@@ -1,0 +1,143 @@
+// Command gia-attack runs one Ghost Installer Attack scenario against a
+// chosen store profile and prints the full AIT + attacker trace.
+//
+// Usage:
+//
+//	gia-attack [-store amazon|amazon-v2|xiaomi|baidu|qihoo360|dtignite|slideme|tencent|huawei|sprintzone|play]
+//	           [-strategy file-observer|wait-and-see] [-defense none|fuse|dapp] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/ghost-installer/gia"
+)
+
+func main() {
+	store := flag.String("store", "amazon", "target store profile")
+	strategy := flag.String("strategy", "file-observer", "attack strategy")
+	defenseName := flag.String("defense", "none", "defense to arm: none, fuse or dapp")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	showTimeline := flag.Bool("timeline", false, "print the merged device event timeline")
+	flag.Parse()
+	if err := run(*store, *strategy, *defenseName, *seed, *showTimeline); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func profileByName(name string) (gia.InstallerProfile, bool) {
+	switch strings.ToLower(name) {
+	case "amazon":
+		return gia.AmazonProfile(), true
+	case "amazon-v2":
+		return gia.AmazonV2Profile(), true
+	case "xiaomi":
+		return gia.XiaomiProfile(), true
+	case "baidu":
+		return gia.BaiduProfile(), true
+	case "qihoo360":
+		return gia.Qihoo360Profile(), true
+	case "dtignite":
+		return gia.DTIgniteProfile(), true
+	case "slideme":
+		return gia.SlideMeProfile(), true
+	case "tencent":
+		return gia.TencentProfile(), true
+	case "huawei":
+		return gia.HuaweiStoreProfile(), true
+	case "sprintzone":
+		return gia.SprintZoneProfile(), true
+	case "play":
+		return gia.GooglePlayProfile(), true
+	default:
+		return gia.InstallerProfile{}, false
+	}
+}
+
+func run(storeName, strategyName, defenseName string, seed int64, showTimeline bool) error {
+	prof, ok := profileByName(storeName)
+	if !ok {
+		return fmt.Errorf("unknown store %q", storeName)
+	}
+	var strat gia.AttackStrategy
+	switch strategyName {
+	case "file-observer":
+		strat = gia.StrategyFileObserver
+	case "wait-and-see":
+		strat = gia.StrategyWaitAndSee
+	default:
+		return fmt.Errorf("unknown strategy %q", strategyName)
+	}
+
+	scenario, err := gia.NewScenario(prof, seed)
+	if err != nil {
+		return err
+	}
+	var rec *gia.Timeline
+	if showTimeline {
+		rec = gia.NewTimeline(scenario.Dev)
+		defer rec.Close()
+		if err := rec.WatchFS(scenario.Dev.FS, prof.StagingDir); err != nil {
+			return err
+		}
+		rec.WatchPackages(scenario.Dev.PMS)
+		rec.WatchFirewall(scenario.Dev.AMS.Firewall())
+	}
+	var dapp *gia.DAPP
+	switch defenseName {
+	case "none":
+	case "fuse":
+		gia.EnableFUSEPatch(scenario.Dev, true)
+	case "dapp":
+		dapp, err = gia.DeployDAPP(scenario.Dev, []string{prof.StagingDir})
+		if err != nil {
+			return err
+		}
+		if rec != nil {
+			rec.WatchDAPP(dapp)
+		}
+	default:
+		return fmt.Errorf("unknown defense %q", defenseName)
+	}
+
+	atk := gia.NewTOCTOU(scenario.Mal, gia.AttackConfigForStore(prof, strat), scenario.Target)
+	if err := atk.Launch(); err != nil {
+		return err
+	}
+	res := scenario.RunAIT()
+	atk.Stop()
+
+	fmt.Printf("store=%s strategy=%s defense=%s\n", prof.Package, strategyName, defenseName)
+	fmt.Printf("result: hijacked=%v clean=%v attempts=%d err=%v\n", res.Hijacked, res.Clean(), res.Attempts, res.Err)
+	if res.Installed != nil {
+		fmt.Printf("installed: %s signed by %q\n", res.Installed.Name(), res.Installed.Cert.Subject)
+	}
+	fmt.Println("\nAIT trace:")
+	for _, step := range res.Trace {
+		fmt.Println("  ", step)
+	}
+	if n := len(atk.Replacements()); n > 0 {
+		fmt.Printf("\nattacker replacements: %d\n", n)
+		for _, r := range atk.Replacements() {
+			fmt.Printf("  %s at t=%v\n", r.Path, r.At)
+		}
+	}
+	if dapp != nil {
+		fmt.Printf("\nDAPP alerts: %d\n", len(dapp.Alerts()))
+		for _, a := range dapp.Alerts() {
+			fmt.Printf("  %s %s: %s\n", a.Kind, a.Package, a.Detail)
+		}
+	}
+	if rec != nil {
+		rec.RecordAIT(res)
+		fmt.Println("\nmerged device timeline:")
+		if err := rec.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Command gia-bench runs the full experiment harness and prints every table
+// and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	gia-bench [-seed N] [-scale F] [-reps N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/ghost-installer/gia"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2017, "experiment seed")
+	scale := flag.Float64("scale", 1.0, "measurement corpus scale (1.0 = paper-sized)")
+	reps := flag.Int("reps", 100, "repetitions for the performance tables")
+	asJSON := flag.Bool("json", false, "emit tables as a JSON array")
+	reportPath := flag.String("report", "", "also write a markdown reproduction report to this path")
+	flag.Parse()
+
+	opts := gia.ExperimentOptions{Seed: *seed, Scale: *scale, PerfReps: *reps}
+	tables, err := gia.AllTables(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := gia.WriteReport(f, opts, tables); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *reportPath)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	for _, tab := range tables {
+		fmt.Println(tab.Render())
+	}
+}

@@ -1,0 +1,67 @@
+package gia_test
+
+// Godoc examples: runnable, deterministic documentation of the public API.
+
+import (
+	"fmt"
+
+	"github.com/ghost-installer/gia"
+)
+
+// Example_hijack mounts the Section III-B installation hijack against the
+// Amazon appstore profile and shows the outcome.
+func Example_hijack() {
+	scenario, err := gia.NewScenario(gia.AmazonProfile(), 42)
+	if err != nil {
+		panic(err)
+	}
+	cfg := gia.AttackConfigForStore(gia.AmazonProfile(), gia.StrategyFileObserver)
+	atk := gia.NewTOCTOU(scenario.Mal, cfg, scenario.Target)
+	if err := atk.Launch(); err != nil {
+		panic(err)
+	}
+	defer atk.Stop()
+
+	res := scenario.RunAIT()
+	fmt.Println("hijacked:", res.Hijacked)
+	fmt.Println("installed signer:", res.Installed.Cert.Subject)
+	// Output:
+	// hijacked: true
+	// installed signer: com.fun.game-author
+}
+
+// Example_fusePatch shows the system-level defense blocking the same attack.
+func Example_fusePatch() {
+	scenario, err := gia.NewScenario(gia.AmazonProfile(), 42)
+	if err != nil {
+		panic(err)
+	}
+	gia.EnableFUSEPatch(scenario.Dev, true)
+	cfg := gia.AttackConfigForStore(gia.AmazonProfile(), gia.StrategyFileObserver)
+	atk := gia.NewTOCTOU(scenario.Mal, cfg, scenario.Target)
+	if err := atk.Launch(); err != nil {
+		panic(err)
+	}
+	defer atk.Stop()
+
+	res := scenario.RunAIT()
+	fmt.Println("hijacked:", res.Hijacked)
+	fmt.Println("clean:", res.Clean())
+	fmt.Println("replacements:", len(atk.Replacements()))
+	// Output:
+	// hijacked: false
+	// clean: true
+	// replacements: 0
+}
+
+// Example_classifier runs the Section IV installer classifier over a
+// paper-scale corpus.
+func Example_classifier() {
+	c := gia.GenerateCorpus(gia.CorpusConfig{Seed: 2017, Scale: 1.0})
+	cls := gia.ClassifyInstallers(c.PlayApps)
+	fmt.Printf("installers: %d\n", cls.Installers)
+	fmt.Printf("potentially vulnerable (of known): %.1f%%\n", 100*cls.VulnerableFracKnown())
+	// Output:
+	// installers: 1493
+	// potentially vulnerable (of known): 83.7%
+}

@@ -1,0 +1,36 @@
+// Command defense-matrix regenerates the evaluation of the paper's
+// defenses: Table VII (effectiveness and complexity), the per-store hijack
+// study, the Download Manager policy study and the redirect-Intent study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/ghost-installer/gia"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "scenario seed")
+	flag.Parse()
+	if err := run(*seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(seed int64) error {
+	for _, gen := range []func(int64) (gia.ExperimentTable, error){
+		gia.DefenseMatrixTable,
+		gia.HijackStudyTable,
+		gia.DMStudyTable,
+		gia.RedirectStudyTable,
+	} {
+		tab, err := gen(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tab.Render())
+	}
+	return nil
+}

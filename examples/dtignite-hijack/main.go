@@ -1,0 +1,63 @@
+// Command dtignite-hijack reproduces the Section III-B headline attack:
+// DT Ignite, the carrier bloatware pusher pre-installed by 30+ carriers,
+// silently installs an app chosen by the carrier — and an SD-card-only
+// attacker swaps the package using both strategies (FileObserver
+// fingerprinting and the 2-second wait-and-see rule).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ghost-installer/gia"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	for _, strategy := range []gia.AttackStrategy{gia.StrategyFileObserver, gia.StrategyWaitAndSee} {
+		scenario, err := gia.NewScenario(gia.DTIgniteProfile(), 7)
+		if err != nil {
+			return err
+		}
+		cfg := gia.AttackConfigForStore(gia.DTIgniteProfile(), strategy)
+		atk := gia.NewTOCTOU(scenario.Mal, cfg, scenario.Target)
+		if err := atk.Launch(); err != nil {
+			return err
+		}
+		res := scenario.RunAIT()
+		atk.Stop()
+
+		fmt.Printf("== DT Ignite push via %v ==\n", strategy)
+		if strategy == gia.StrategyWaitAndSee {
+			fmt.Printf("  pre-measured wait: %v after download completion\n", cfg.WaitDelay)
+		} else {
+			fmt.Printf("  fingerprint: %d CLOSE_NOWRITE verification reads\n", cfg.VerifyReads)
+		}
+		fmt.Printf("  carrier pushed %s; device received content signed by %q (hijacked=%v)\n",
+			res.Requested, res.Installed.Cert.Subject, res.Hijacked)
+		for _, r := range atk.Replacements() {
+			fmt.Printf("  replacement landed on %s at t=%v\n", r.Path, r.At)
+		}
+		fmt.Println()
+	}
+
+	// The same pusher on a device with the patched FUSE daemon.
+	scenario, err := gia.NewScenario(gia.DTIgniteProfile(), 8)
+	if err != nil {
+		return err
+	}
+	gia.EnableFUSEPatch(scenario.Dev, true)
+	atk := gia.NewTOCTOU(scenario.Mal, gia.AttackConfigForStore(gia.DTIgniteProfile(), gia.StrategyFileObserver), scenario.Target)
+	if err := atk.Launch(); err != nil {
+		return err
+	}
+	res := scenario.RunAIT()
+	atk.Stop()
+	fmt.Printf("== With the Section V-C FUSE patch ==\n  hijacked=%v clean=%v\n", res.Hijacked, res.Clean())
+	return nil
+}

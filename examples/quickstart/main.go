@@ -1,0 +1,80 @@
+// Command quickstart boots a simulated device, publishes an app on the
+// Amazon appstore, watches a Ghost Installer hijack the installation, and
+// then shows both defenses stopping or flagging the same attack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ghost-installer/gia"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== GIA quickstart: hijacking the Amazon appstore AIT ==")
+
+	// 1. A victim device with the Amazon appstore pre-installed.
+	scenario, err := gia.NewScenario(gia.AmazonProfile(), 42)
+	if err != nil {
+		return err
+	}
+
+	// 2. The malware — an ordinary app with only the storage permission —
+	// mounts the FileObserver TOCTOU attack of Section III-B.
+	cfg := gia.AttackConfigForStore(gia.AmazonProfile(), gia.StrategyFileObserver)
+	atk := gia.NewTOCTOU(scenario.Mal, cfg, scenario.Target)
+	if err := atk.Launch(); err != nil {
+		return err
+	}
+
+	res := scenario.RunAIT()
+	atk.Stop()
+	fmt.Printf("install of %s: hijacked=%v installedSigner=%s\n",
+		res.Requested, res.Hijacked, res.Installed.Cert.Subject)
+	for _, step := range res.Trace {
+		fmt.Println("  ", step)
+	}
+
+	// 3. Same attack against the patched FUSE daemon: blocked outright.
+	scenario2, err := gia.NewScenario(gia.AmazonProfile(), 43)
+	if err != nil {
+		return err
+	}
+	gia.EnableFUSEPatch(scenario2.Dev, true)
+	atk2 := gia.NewTOCTOU(scenario2.Mal, cfg, scenario2.Target)
+	if err := atk2.Launch(); err != nil {
+		return err
+	}
+	res2 := scenario2.RunAIT()
+	atk2.Stop()
+	fmt.Printf("\nwith the FUSE DAC patch: hijacked=%v clean=%v replacements=%d\n",
+		res2.Hijacked, res2.Clean(), len(atk2.Replacements()))
+
+	// 4. And with the unprivileged DAPP app: the hijack lands but the user
+	// is alerted before trusting the app.
+	scenario3, err := gia.NewScenario(gia.AmazonProfile(), 44)
+	if err != nil {
+		return err
+	}
+	dapp, err := gia.DeployDAPP(scenario3.Dev, []string{gia.AmazonProfile().StagingDir})
+	if err != nil {
+		return err
+	}
+	atk3 := gia.NewTOCTOU(scenario3.Mal, cfg, scenario3.Target)
+	if err := atk3.Launch(); err != nil {
+		return err
+	}
+	res3 := scenario3.RunAIT()
+	atk3.Stop()
+	fmt.Printf("\nwith DAPP: hijacked=%v detected=%v\n", res3.Hijacked, dapp.Thwarted(res3.Requested))
+	for _, alert := range dapp.Alerts() {
+		fmt.Printf("  DAPP alert: %s %s (%s)\n", alert.Kind, alert.Package, alert.Detail)
+	}
+	return nil
+}

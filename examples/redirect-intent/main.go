@@ -1,0 +1,74 @@
+// Command redirect-intent reproduces the Section III-D phishing attack —
+// Facebook redirects the user to Google Play to install Messenger, and
+// background malware repaints the store page with a lookalike app before
+// the user perceives it — then shows the two IntentFirewall defenses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ghost-installer/gia"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tab, err := gia.RedirectStudyTable(5)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tab.Render())
+
+	// Drill into the stock-Android run with a manual scenario to show the
+	// oom_adj side channel in action.
+	dev, err := gia.BootDevice(gia.DeviceProfile{Name: "nexus5", Vendor: "lge", Seed: 9})
+	if err != nil {
+		return err
+	}
+	if _, err := gia.DeployInstaller(dev, gia.GooglePlayProfile(), nil); err != nil {
+		return err
+	}
+	fbKey := gia.NewKey("facebook")
+	fb := gia.BuildAPK(gia.Manifest{Package: "com.facebook.katana", VersionCode: 1, Label: "Facebook"}, nil, fbKey)
+	if _, err := dev.PMS.InstallFromParsed(fb); err != nil {
+		return err
+	}
+	dev.AMS.RegisterActivity("com.facebook.katana", "Feed", true, "", func(gia.Intent) string { return "facebook:feed" })
+	dev.Run()
+
+	mal, err := gia.DeployMalware(dev, "com.fun.game")
+	if err != nil {
+		return err
+	}
+	red := gia.NewRedirect(mal, gia.RedirectConfig{
+		VictimPkg:      "com.facebook.katana",
+		StorePkg:       "com.android.vending",
+		StoreActivity:  "AppDetails",
+		LookalikeAppID: "com.faceb00k.orca",
+	})
+	if err := red.Launch(); err != nil {
+		return err
+	}
+	defer red.Stop()
+
+	_ = dev.AMS.StartActivity("android", gia.Intent{TargetPkg: "com.facebook.katana", Component: "Feed"})
+	dev.Sched.RunUntil(dev.Sched.Now() + 200*1e6)
+	fmt.Printf("user in Facebook; screen = %q\n", dev.AMS.Screen().Content)
+
+	_ = dev.AMS.StartActivity("com.facebook.katana", gia.Intent{
+		TargetPkg: "com.android.vending", Component: "AppDetails",
+		Extras: map[string]string{"appId": "com.facebook.orca"},
+	})
+	dev.Sched.RunUntil(dev.Sched.Now() + 1200*1e6)
+	fmt.Printf("user perceives the store page: %q (racing intents fired: %d)\n",
+		dev.AMS.Screen().Content, red.Fired())
+	if red.Succeeded() {
+		fmt.Println("the user is looking at the attacker's lookalike app, trusting Facebook's redirection")
+	}
+	return nil
+}

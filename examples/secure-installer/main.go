@@ -1,0 +1,70 @@
+// Command secure-installer demonstrates the Section VII developer
+// suggestions: the stock Amazon profile falls to the TOCTOU hijack, while
+// the hardened profile (prefer internal staging; verify on a private copy)
+// survives both strategies — including on a low-end device that must fall
+// back to the SD card.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ghost-installer/gia"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runOne(prof gia.InstallerProfile, strategy gia.AttackStrategy, seed int64) (gia.InstallResult, error) {
+	scenario, err := gia.NewScenario(prof, seed)
+	if err != nil {
+		return gia.InstallResult{}, err
+	}
+	atk := gia.NewTOCTOU(scenario.Mal, gia.AttackConfigForStore(gia.AmazonProfile(), strategy), scenario.Target)
+	if err := atk.Launch(); err != nil {
+		return gia.InstallResult{}, err
+	}
+	res := scenario.RunAIT()
+	atk.Stop()
+	return res, nil
+}
+
+func run() error {
+	for _, strategy := range []gia.AttackStrategy{gia.StrategyFileObserver, gia.StrategyWaitAndSee} {
+		stock, err := runOne(gia.AmazonProfile(), strategy, 11)
+		if err != nil {
+			return err
+		}
+		hardened, err := runOne(gia.HardenedProfile(gia.AmazonProfile()), strategy, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14v stock: hijacked=%-5v | hardened: hijacked=%v clean=%v\n",
+			strategy, stock.Hijacked, hardened.Hijacked, hardened.Clean())
+	}
+
+	fmt.Println("\nhardened AIT trace (note the internal staging path):")
+	res, err := runOne(gia.HardenedProfile(gia.AmazonProfile()), gia.StrategyFileObserver, 13)
+	if err != nil {
+		return err
+	}
+	for _, step := range res.Trace {
+		fmt.Println("  ", step)
+	}
+
+	tab, err := gia.AllTables(gia.ExperimentOptions{Seed: 3, Scale: 0.02, PerfReps: 5})
+	if err != nil {
+		return err
+	}
+	// Print just the suggestion study from the full sweep.
+	for _, t := range tab {
+		if t.ID == "Suggestion Study" {
+			fmt.Println()
+			fmt.Println(t.Render())
+		}
+	}
+	return nil
+}

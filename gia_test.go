@@ -1,0 +1,157 @@
+package gia_test
+
+// Integration tests written purely against the public facade: what a
+// downstream user of the library can do.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia"
+)
+
+func TestPublicAPIHijackLifecycle(t *testing.T) {
+	scenario, err := gia.NewScenario(gia.AmazonProfile(), 1001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gia.AttackConfigForStore(gia.AmazonProfile(), gia.StrategyFileObserver)
+	atk := gia.NewTOCTOU(scenario.Mal, cfg, scenario.Target)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer atk.Stop()
+	res := scenario.RunAIT()
+	if !res.Hijacked {
+		t.Fatalf("hijack failed: %v", res.Err)
+	}
+	if evil := atk.EvilAPK(); evil.Manifest.Package != res.Installed.Name() {
+		t.Errorf("installed %s, evil apk %s", res.Installed.Name(), evil.Manifest.Package)
+	}
+}
+
+func TestPublicAPIDefenses(t *testing.T) {
+	scenario, err := gia.NewScenario(gia.BaiduProfile(), 1003)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gia.EnableFUSEPatch(scenario.Dev, true)
+	gia.EnableIntentDetection(scenario.Dev, true)
+	gia.EnableIntentOrigin(scenario.Dev, true)
+	dapp, err := gia.DeployDAPP(scenario.Dev, []string{gia.BaiduProfile().StagingDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := gia.NewTOCTOU(scenario.Mal, gia.AttackConfigForStore(gia.BaiduProfile(), gia.StrategyFileObserver), scenario.Target)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer atk.Stop()
+	res := scenario.RunAIT()
+	if !res.Clean() {
+		t.Fatalf("patched FUSE did not protect: hijacked=%v err=%v", res.Hijacked, res.Err)
+	}
+	if len(dapp.Alerts()) != 0 {
+		t.Errorf("DAPP alerts on a blocked attack: %v", dapp.Alerts())
+	}
+}
+
+func TestPublicAPIBuildInstallFlow(t *testing.T) {
+	dev, err := gia.BootDevice(gia.DeviceProfile{Name: "custom", Vendor: "acme", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := gia.DeployInstaller(dev, gia.GooglePlayProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := gia.NewKey("my-dev")
+	myAPK := gia.BuildAPK(gia.Manifest{
+		Package: "com.mine", VersionCode: 1, Label: "Mine",
+		UsesPerms: []string{gia.PermInternet},
+	}, map[string][]byte{"classes.dex": []byte("mine")}, key)
+	store.Store.Publish(myAPK)
+
+	var res gia.InstallResult
+	store.RequestInstall("com.mine", func(r gia.InstallResult) { res = r })
+	dev.Run()
+	if !res.Clean() {
+		t.Fatalf("install failed: %v", res.Err)
+	}
+	data := myAPK.Encode()
+	decoded, err := gia.DecodeAPK(data)
+	if err != nil || decoded.Manifest.Package != "com.mine" {
+		t.Errorf("decode round trip: %v", err)
+	}
+	repack := gia.RepackageAPK(myAPK, map[string][]byte{"classes.dex": []byte("evil")}, gia.NewKey("other"), false)
+	if repack.ManifestDigest() != myAPK.ManifestDigest() {
+		t.Error("repackage changed manifest")
+	}
+}
+
+func TestPublicAPIMeasurement(t *testing.T) {
+	c := gia.GenerateCorpus(gia.CorpusConfig{Seed: 2, Scale: 0.02})
+	cls := gia.ClassifyInstallers(c.PlayApps)
+	if cls.Installers == 0 || cls.Vulnerable == 0 {
+		t.Fatalf("classification = %+v", cls)
+	}
+	tables := gia.MeasurementTables(c)
+	if len(tables) != 6 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	for _, tab := range tables {
+		if tab.Render() == "" {
+			t.Errorf("%s renders empty", tab.ID)
+		}
+	}
+}
+
+func TestPublicAPIAllTablesSmoke(t *testing.T) {
+	tables, err := gia.AllTables(gia.ExperimentOptions{Seed: 3, Scale: 0.02, PerfReps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"Table I", "Table II", "Table III", "Table IV", "Table V",
+		"Table VI", "Table VII", "Table VIII", "Table IX", "Table X",
+		"Figure 1", "Hijack Study", "DM Study", "Redirect Study",
+		"Key Study", "Hare Study", "Suggestion Study", "Flow Study", "DAPP Study",
+		"Fleet Study"}
+	if len(tables) != len(wantIDs) {
+		t.Fatalf("tables = %d, want %d", len(tables), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if tables[i].ID != id {
+			t.Errorf("tables[%d] = %s, want %s", i, tables[i].ID, id)
+		}
+	}
+}
+
+func TestPublicAPISweeps(t *testing.T) {
+	points, err := gia.ReactionLatencySweep(gia.AmazonProfile(), []time.Duration{5 * time.Millisecond}, 2, 7)
+	if err != nil || len(points) != 1 || points[0].SuccessRate != 1 {
+		t.Fatalf("latency sweep = %+v, %v", points, err)
+	}
+	gaps, err := gia.DMGapSweep([]time.Duration{2 * time.Millisecond}, 20, 1, 9)
+	if err != nil || len(gaps) != 1 {
+		t.Fatalf("gap sweep = %+v, %v", gaps, err)
+	}
+}
+
+func TestPublicAPIHardenedProfile(t *testing.T) {
+	prof := gia.HardenedProfile(gia.AmazonProfile())
+	if !prof.PreferInternal || !prof.SecureVerify {
+		t.Error("hardening flags not set")
+	}
+	scenario, err := gia.NewScenario(prof, 1009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := gia.NewTOCTOU(scenario.Mal, gia.AttackConfigForStore(gia.AmazonProfile(), gia.StrategyFileObserver), scenario.Target)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer atk.Stop()
+	if res := scenario.RunAIT(); !res.Clean() {
+		t.Fatalf("hardened profile fell: hijacked=%v err=%v", res.Hijacked, res.Err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/ghost-installer/gia
+
+go 1.22

@@ -1,0 +1,192 @@
+package gia_test
+
+// A "day in the life" integration test: one device, several stores, DAPP
+// running, a mix of clean installs, hijack attempts, uninstalls and an
+// escalation — with global consistency checks at the end. Exercises the
+// whole stack through the public API plus a few structural invariants.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia"
+)
+
+// TestConcurrentAITsAreIsolated interleaves three simultaneous
+// transactions on one device — two different stores installing different
+// apps while an attacker targets only one of them — and checks the attack
+// neither leaks into nor is diluted by the concurrent traffic.
+func TestConcurrentAITsAreIsolated(t *testing.T) {
+	dev, err := gia.BootDevice(gia.DeviceProfile{Name: "s6", Vendor: "samsung", Seed: 9090})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amazon, err := gia.DeployInstaller(dev, gia.AmazonProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baidu, err := gia.DeployInstaller(dev, gia.BaiduProfile(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := gia.BuildAPK(gia.Manifest{Package: "com.victim", VersionCode: 1, Label: "V"},
+		map[string][]byte{"classes.dex": []byte("v")}, gia.NewKey("v-dev"))
+	bystander := gia.BuildAPK(gia.Manifest{Package: "com.bystander", VersionCode: 1, Label: "B"},
+		map[string][]byte{"classes.dex": []byte("b")}, gia.NewKey("b-dev"))
+	amazon.Store.Publish(victim)
+	baidu.Store.Publish(bystander)
+
+	mal, err := gia.DeployMalware(dev, "com.fun.game")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk := gia.NewTOCTOU(mal, gia.AttackConfigForStore(gia.AmazonProfile(), gia.StrategyFileObserver), victim)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer atk.Stop()
+
+	// Both transactions start in the same instant and interleave on the
+	// virtual clock.
+	var resVictim, resBystander gia.InstallResult
+	amazon.RequestInstall("com.victim", func(r gia.InstallResult) { resVictim = r })
+	baidu.RequestInstall("com.bystander", func(r gia.InstallResult) { resBystander = r })
+	dev.Sched.RunUntil(dev.Sched.Now() + 2*time.Minute)
+
+	if !resVictim.Hijacked {
+		t.Fatalf("targeted AIT not hijacked: %v", resVictim.Err)
+	}
+	if !resBystander.Clean() {
+		t.Fatalf("concurrent bystander AIT affected: hijacked=%v err=%v",
+			resBystander.Hijacked, resBystander.Err)
+	}
+	if len(atk.Replacements()) != 1 {
+		t.Errorf("replacements = %d, want exactly the victim's file", len(atk.Replacements()))
+	}
+}
+
+func TestDayInTheLife(t *testing.T) {
+	dev, err := gia.BootDevice(gia.DeviceProfile{Name: "galaxy-s6-edge", Vendor: "samsung", Seed: 20170706})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three stores pre-installed by the carrier.
+	profiles := []gia.InstallerProfile{gia.AmazonProfile(), gia.XiaomiProfile(), gia.DTIgniteProfile()}
+	stores := make([]*gia.InstallerApp, 0, len(profiles))
+	dirs := make([]string, 0, len(profiles))
+	for _, prof := range profiles {
+		store, err := gia.DeployInstaller(dev, prof, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, store)
+		dirs = append(dirs, prof.StagingDir)
+	}
+
+	// The user installs DAPP from a store on day one.
+	dapp, err := gia.DeployDAPP(dev, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Malware arrives disguised as a game.
+	mal, err := gia.DeployMalware(dev, "com.fun.game")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(store *gia.InstallerApp, pkg string) gia.InstallResult {
+		t.Helper()
+		var res gia.InstallResult
+		store.RequestInstall(pkg, func(r gia.InstallResult) { res = r })
+		dev.Sched.RunUntil(dev.Sched.Now() + 2*time.Minute)
+		return res
+	}
+
+	// Morning: a handful of clean installs across the stores.
+	cleanPkgs := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		store := stores[i%len(stores)]
+		pkg := fmt.Sprintf("com.daily.app%d", i)
+		store.Store.Publish(gia.BuildAPK(gia.Manifest{
+			Package: pkg, VersionCode: 1, Label: pkg,
+		}, map[string][]byte{"classes.dex": []byte(pkg)}, gia.NewKey(pkg+"-dev")))
+		if res := run(store, pkg); !res.Clean() {
+			t.Fatalf("clean install %d failed: %v", i, res.Err)
+		}
+		cleanPkgs = append(cleanPkgs, pkg)
+	}
+	if alerts := dapp.Alerts(); len(alerts) != 0 {
+		t.Fatalf("DAPP false positives during the clean morning: %v", alerts)
+	}
+
+	// Afternoon: the malware hijacks an Amazon install.
+	target := gia.BuildAPK(gia.Manifest{
+		Package: "com.victim.app", VersionCode: 1, Label: "Victim", Icon: "v",
+	}, map[string][]byte{"classes.dex": []byte("genuine")}, gia.NewKey("victim-dev"))
+	stores[0].Store.Publish(target)
+	atk := gia.NewTOCTOU(mal, gia.AttackConfigForStore(gia.AmazonProfile(), gia.StrategyFileObserver), target)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	hijack := run(stores[0], "com.victim.app")
+	atk.Stop()
+	if !hijack.Hijacked {
+		t.Fatalf("afternoon hijack failed: %v", hijack.Err)
+	}
+	if !dapp.Thwarted("com.victim.app") {
+		t.Fatal("DAPP missed the afternoon hijack")
+	}
+
+	// The user, warned by DAPP, uninstalls the bad app via Settings.
+	if err := dev.PMS.Uninstall(1000 /* system */, "com.victim.app"); err != nil {
+		t.Fatal(err)
+	}
+	dev.Run()
+
+	// Evening: the same install with the FUSE patch enabled is clean.
+	gia.EnableFUSEPatch(dev, true)
+	atk2 := gia.NewTOCTOU(mal, gia.AttackConfigForStore(gia.AmazonProfile(), gia.StrategyFileObserver), target)
+	if err := atk2.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	retry := run(stores[0], "com.victim.app")
+	atk2.Stop()
+	if !retry.Clean() {
+		t.Fatalf("patched retry not clean: hijacked=%v err=%v", retry.Hijacked, retry.Err)
+	}
+
+	// Global consistency checks.
+	seenUIDs := make(map[gia.UID]string)
+	for _, p := range dev.PMS.Packages() {
+		if p.Manifest.SharedUserID == "" {
+			if prev, dup := seenUIDs[p.UID]; dup {
+				t.Errorf("UID %d shared by %s and %s without sharedUserId", p.UID, prev, p.Name())
+			}
+			seenUIDs[p.UID] = p.Name()
+		}
+		if p.CodePath != "" && !dev.FS.Exists(p.CodePath) {
+			t.Errorf("package %s code path %s missing", p.Name(), p.CodePath)
+		}
+		dataDir := "/data/data/" + p.Name()
+		if !dev.FS.Exists(dataDir) {
+			t.Errorf("package %s data dir missing", p.Name())
+		}
+	}
+	for _, pkg := range cleanPkgs {
+		if _, ok := dev.PMS.Installed(pkg); !ok {
+			t.Errorf("morning install %s vanished", pkg)
+		}
+	}
+	if _, ok := dev.PMS.Installed("com.victim.app"); !ok {
+		t.Error("evening install missing")
+	}
+	if dev.FS.Exists("/data/data/com.fun.game") != true {
+		t.Error("malware data dir missing")
+	}
+	if !dev.DM.Healthy() {
+		t.Error("DM database corrupted by normal operation")
+	}
+}

@@ -1,0 +1,133 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/device"
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/sig"
+)
+
+// Certifigate models the first privilege-escalation path of Section III-B:
+// deliberately install a *vulnerable* platform-signed system app (the
+// paper used TeamViewer QuickSupport, exploited with the Check Point
+// "Certifi-gate" technique) and then drive its exposed interface to act
+// with its system-level permissions.
+//
+// The vulnerable app holds INSTALL_PACKAGES (granted because it is signed
+// with the vendor's platform key) and exposes an exported, unauthenticated
+// remote-support receiver whose commands it executes blindly — the
+// Certifi-gate flaw. Because every device of the vendor shares one platform
+// key and Android forbids two packages with the same name, the attack works
+// whenever the patched version is absent from the device, which the
+// fragmentation study of Section IV shows is common.
+type Certifigate struct {
+	mal *Malware
+	// VictimPkg is the vulnerable remote-support app.
+	VictimPkg string
+	// installLog records packages installed through the exploited app.
+	installLog []string
+}
+
+// ErrNotExploitable reports that the victim app rejected the command (the
+// patched variant authenticates its callers).
+var ErrNotExploitable = errors.New("attack: remote-support app rejected the command")
+
+// RemoteCommandAction is the broadcast action the support app listens on.
+func RemoteCommandAction(pkg string) string { return pkg + ".action.REMOTE_COMMAND" }
+
+// NewCertifigate targets victimPkg on the malware's device.
+func NewCertifigate(mal *Malware, victimPkg string) *Certifigate {
+	return &Certifigate{mal: mal, VictimPkg: victimPkg}
+}
+
+// BuildVulnerableApp constructs the vulnerable remote-support app: platform
+// signed, holding INSTALL_PACKAGES, exposing the unauthenticated command
+// receiver. If patched, the receiver is guarded by a signature permission
+// the app defines — the fixed build the attacker must hope is absent.
+func (c *Certifigate) BuildVulnerableApp(platformKey *sig.Key, patched bool) *apk.APK {
+	m := apk.Manifest{
+		Package: c.VictimPkg, VersionCode: 1, Label: "QuickSupport",
+		UsesPerms: []string{perm.InstallPackages, perm.DeletePackages, perm.Internet,
+			perm.WriteExternalStorage, perm.ReadExternalStorage},
+		Components: []apk.Component{
+			{Type: apk.ComponentReceiver, Name: "RemoteCommand", Exported: true},
+		},
+	}
+	if patched {
+		m.VersionCode = 2
+		guard := c.VictimPkg + ".permission.REMOTE"
+		m.DefinesPerms = []apk.PermissionDef{{Name: guard, ProtectionLevel: "signature"}}
+		m.Components[0].GuardedBy = guard
+	}
+	return apk.Build(m, map[string][]byte{"classes.dex": []byte("quicksupport")}, platformKey)
+}
+
+// RegisterVictimComponents wires the installed support app's receiver into
+// the AMS. store names the market the support app fetches plugins from.
+func (c *Certifigate) RegisterVictimComponents(dev *device.Device, storeHost string) error {
+	victim, ok := dev.PMS.Installed(c.VictimPkg)
+	if !ok {
+		return fmt.Errorf("attack: %s not installed", c.VictimPkg)
+	}
+	guard := ""
+	if comp, ok := victim.Manifest.Component("RemoteCommand"); ok {
+		guard = comp.GuardedBy
+	}
+	dev.AMS.RegisterReceiver(c.VictimPkg, "RemoteCommand", RemoteCommandAction(c.VictimPkg), true, guard,
+		func(in intents.Intent) {
+			// The vulnerable build executes remote-support plugin
+			// commands without verifying the requester's certificate.
+			pkg := in.Extra("installPlugin")
+			if pkg == "" {
+				return
+			}
+			srv, ok := dev.Market.Server(storeHost)
+			if !ok {
+				return
+			}
+			listing, ok := srv.Lookup(pkg)
+			if !ok {
+				return
+			}
+			data, err := srv.Fetch(listing.URL)
+			if err != nil {
+				return
+			}
+			staged := "/sdcard/" + pkg + "-plugin.apk"
+			if err := dev.FS.WriteFile(staged, data, victim.UID, 0); err != nil {
+				return
+			}
+			if _, err := dev.PMS.InstallPackage(victim.UID, staged); err != nil {
+				return
+			}
+			c.installLog = append(c.installLog, pkg)
+		})
+	return nil
+}
+
+// Exploit sends the plugin-install command on behalf of the malware. With
+// the vulnerable build, pluginPkg gets installed silently under the support
+// app's INSTALL_PACKAGES privilege.
+func (c *Certifigate) Exploit(pluginPkg string) error {
+	n, err := c.mal.Dev.AMS.SendBroadcast(c.mal.Name(), intents.Intent{
+		Action: RemoteCommandAction(c.VictimPkg),
+		Extras: map[string]string{"installPlugin": pluginPkg},
+	})
+	if err != nil || n == 0 {
+		return fmt.Errorf("%w: %v", ErrNotExploitable, err)
+	}
+	c.mal.Dev.Run()
+	if _, ok := c.mal.Dev.PMS.Installed(pluginPkg); !ok {
+		return fmt.Errorf("attack: plugin %s not installed after exploit", pluginPkg)
+	}
+	return nil
+}
+
+// InstallLog lists packages installed through the exploited app.
+func (c *Certifigate) InstallLog() []string {
+	return append([]string(nil), c.installLog...)
+}

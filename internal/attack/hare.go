@@ -1,0 +1,107 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/device"
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/sig"
+)
+
+// ErrHareBlocked reports that the guarded resource stayed out of reach.
+var ErrHareBlocked = errors.New("attack: hare resource access denied")
+
+// HareEscalation is the privilege-escalation path of Section III-B: the
+// malware defines a permission that a platform-signed system app *uses but
+// never defines* (a hanging attribute reference), then uses a Ghost
+// Installer to put that system app on the device. Because the malware's
+// definition came first — at protection level "normal" — the malware holds
+// the permission guarding the system app's resource (user contacts for
+// S-Voice/Link on the Galaxy Note 3).
+type HareEscalation struct {
+	mal *Malware
+	// HarePerm is the hanging permission
+	// (com.vlingo.midas.contacts.permission.READ in the paper).
+	HarePerm string
+	// VictimPkg is the Hare-creating system app.
+	VictimPkg string
+	// Contacts is what the guarded component protects.
+	Contacts []string
+}
+
+// NewHareEscalation targets harePerm as used by victimPkg.
+func NewHareEscalation(mal *Malware, harePerm, victimPkg string) *HareEscalation {
+	return &HareEscalation{
+		mal:       mal,
+		HarePerm:  harePerm,
+		VictimPkg: victimPkg,
+		Contacts:  []string{"alice:+1-555-0100", "bob:+1-555-0101"},
+	}
+}
+
+// DefinePermission performs the malware's half: define the hanging
+// permission (normal level) and grab it. Must run before the victim app
+// lands on the device.
+func (h *HareEscalation) DefinePermission() error {
+	reg := h.mal.Dev.PMS.Registry()
+	def := perm.Definition{Name: h.HarePerm, Level: perm.Normal, DefinedBy: h.mal.Name()}
+	if err := reg.Define(def); err != nil {
+		return fmt.Errorf("attack: define hare perm: %w", err)
+	}
+	// The malware "updates itself" to request the now-defined permission;
+	// at normal level the grant is automatic.
+	if err := h.mal.Dev.PMS.Grant(h.mal.Name(), h.HarePerm); err != nil {
+		return fmt.Errorf("attack: grant hare perm: %w", err)
+	}
+	return nil
+}
+
+// BuildVictimApp constructs the Hare-creating system app: signed with the
+// device's platform key, using (not defining) the hanging permission, and
+// exposing a contacts service guarded by it.
+func (h *HareEscalation) BuildVictimApp(platformKey *sig.Key) *apk.APK {
+	m := apk.Manifest{
+		Package: h.VictimPkg, VersionCode: 1, Label: "S Voice",
+		UsesPerms: []string{h.HarePerm},
+		Components: []apk.Component{
+			{Type: apk.ComponentActivity, Name: "ContactsService", Exported: true, GuardedBy: h.HarePerm},
+		},
+	}
+	return apk.Build(m, map[string][]byte{"classes.dex": []byte("svoice")}, platformKey)
+}
+
+// RegisterVictimComponents wires the installed victim app's guarded
+// contacts service into the AMS. The service hands the caller the contact
+// list — legitimately reachable only by holders of the (supposedly
+// vendor-controlled) permission.
+func (h *HareEscalation) RegisterVictimComponents(dev *device.Device) {
+	contacts := h.Contacts
+	dev.AMS.RegisterActivity(h.VictimPkg, "ContactsService", true, h.HarePerm,
+		func(in intents.Intent) string {
+			return fmt.Sprintf("contacts:%v", contacts)
+		})
+}
+
+// StealContacts exercises the escalation: the malware calls the guarded
+// service. It returns the leaked screen content, or ErrHareBlocked if the
+// permission guard held.
+func (h *HareEscalation) StealContacts() (string, error) {
+	err := h.mal.Dev.AMS.StartActivity(h.mal.Name(), intents.Intent{
+		TargetPkg: h.VictimPkg, Component: "ContactsService",
+	})
+	if err != nil {
+		if errors.Is(err, intents.ErrPermission) {
+			return "", fmt.Errorf("%w: %v", ErrHareBlocked, err)
+		}
+		return "", err
+	}
+	h.mal.Dev.Run()
+	s := h.mal.Dev.AMS.Screen()
+	if s.Pkg != h.VictimPkg {
+		return "", fmt.Errorf("attack: unexpected screen %q", s.Pkg)
+	}
+	return s.Content, nil
+}

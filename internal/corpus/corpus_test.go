@@ -1,0 +1,129 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGeneratePopulationSizes(t *testing.T) {
+	c := Generate(Config{Seed: 1, Scale: 1.0})
+	if len(c.PlayApps) != 12750 {
+		t.Errorf("play apps = %d, want 12750", len(c.PlayApps))
+	}
+	if len(c.Images) != 1239+382+234 {
+		t.Errorf("images = %d, want 1855", len(c.Images))
+	}
+	if len(c.StoreApps) < 100000 {
+		t.Errorf("store apps = %d", len(c.StoreApps))
+	}
+}
+
+func TestDefaultScale(t *testing.T) {
+	c := Generate(Config{Seed: 1}) // Scale 0 defaults to 1.0
+	if len(c.PlayApps) != 12750 {
+		t.Errorf("play apps with default scale = %d", len(c.PlayApps))
+	}
+}
+
+func TestPlayAppGroundTruthConsistency(t *testing.T) {
+	c := Generate(Config{Seed: 3, Scale: 0.3})
+	for _, app := range c.PlayApps {
+		if app.Package == "" || app.Signer == "" {
+			t.Fatalf("incomplete app: %+v", app)
+		}
+		// Storage behaviour only exists for installer-capable apps.
+		if !app.HasInstallAPI && app.Storage != StorageNone {
+			t.Fatalf("non-installer %s has storage behaviour %v", app.Package, app.Storage)
+		}
+		if app.HasInstallAPI && app.Storage == StorageNone {
+			t.Fatalf("installer %s lacks storage behaviour", app.Package)
+		}
+		// Every SD-card installer needs the storage permission.
+		if app.Storage == StorageSDCard && !app.UsesWriteExternal {
+			t.Fatalf("SD-card installer %s lacks WRITE_EXTERNAL_STORAGE", app.Package)
+		}
+		if app.MarketLinks < 0 || app.MarketLinks > 50 {
+			t.Fatalf("market links = %d", app.MarketLinks)
+		}
+	}
+}
+
+func TestImagesBelongToTheirVendor(t *testing.T) {
+	c := Generate(Config{Seed: 5, Scale: 0.1})
+	for _, img := range c.Images {
+		if img.Vendor == "" || img.Model == "" || img.Region == "" || img.Version == "" {
+			t.Fatalf("incomplete image: %+v", img)
+		}
+		if !strings.HasPrefix(img.Model, img.Vendor+"-model-") {
+			t.Fatalf("model %q does not match vendor %q", img.Model, img.Vendor)
+		}
+		if len(img.Apps) < 20 {
+			t.Fatalf("image %s has only %d apps", img.Model, len(img.Apps))
+		}
+		for _, app := range img.Apps {
+			if app.Vendor != img.Vendor {
+				t.Fatalf("app %s (vendor %s) on a %s image", app.Package, app.Vendor, img.Vendor)
+			}
+			if app.Platform && app.Signer != img.Vendor+"-platform" {
+				t.Fatalf("platform app %s signed by %q", app.Package, app.Signer)
+			}
+		}
+	}
+}
+
+func TestImageAppsSortedAndUniqueWithinImage(t *testing.T) {
+	c := Generate(Config{Seed: 7, Scale: 0.05})
+	for _, img := range c.Images {
+		seen := make(map[string]bool, len(img.Apps))
+		for i, app := range img.Apps {
+			if i > 0 && img.Apps[i-1].Package > app.Package {
+				t.Fatalf("image %s apps unsorted at %d", img.Model, i)
+			}
+			if seen[app.Package] {
+				t.Fatalf("image %s lists %s twice", img.Model, app.Package)
+			}
+			seen[app.Package] = true
+		}
+	}
+}
+
+func TestHarePairsAreConsistent(t *testing.T) {
+	c := Generate(Config{Seed: 9, Scale: 0.2})
+	// Every hare-user's permission must be defined by exactly one app in
+	// the vendor's universe (the matching definer).
+	definers := make(map[string]string) // perm -> package
+	users := make(map[string][]string)  // perm -> packages
+	for _, img := range c.Images {
+		for _, app := range img.Apps {
+			for _, p := range app.DefinesPerms {
+				definers[p] = app.Package
+			}
+			for _, p := range app.UsesPerms {
+				users[p] = append(users[p], app.Package)
+			}
+		}
+	}
+	if len(users) == 0 {
+		t.Fatal("no hare-user apps generated")
+	}
+	for p := range users {
+		if _, ok := definers[p]; !ok {
+			t.Fatalf("permission %s used but never defined anywhere in the universe", p)
+		}
+	}
+}
+
+func TestStoreAppsIncludePlatformSigned(t *testing.T) {
+	c := Generate(Config{Seed: 11, Scale: 0.5})
+	counts := make(map[string]int)
+	for _, app := range c.StoreApps {
+		if app.Platform {
+			counts[app.Vendor]++
+		}
+	}
+	for _, vendor := range []string{"samsung", "huawei", "xiaomi"} {
+		if counts[vendor] == 0 {
+			t.Errorf("no platform-signed store apps for %s", vendor)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/sig"
+)
+
+// BuildAPKFor materializes an AppMeta as an actual APK artifact whose
+// embedded "smali" carries the code-level markers the Section IV-A tooling
+// scans for: the package-archive MIME string, /sdcard path constants,
+// world-readable file APIs (reached through a register, so extraction needs
+// the def-use step), and hard-coded market links. Apps whose storage
+// behaviour resists lightweight analysis get reflection-obfuscated code.
+//
+// The builder is the ground-truth half of the measurement pipeline; the
+// extractor in internal/measure recovers the features from the artifact.
+func BuildAPKFor(meta AppMeta) *apk.APK {
+	m := apk.Manifest{
+		Package:     meta.Package,
+		VersionCode: meta.VersionCode,
+		Label:       meta.Package,
+	}
+	if meta.UsesWriteExternal {
+		m.UsesPerms = append(m.UsesPerms, "android.permission.WRITE_EXTERNAL_STORAGE")
+	}
+	if meta.UsesInstallPkgs {
+		m.UsesPerms = append(m.UsesPerms, "android.permission.INSTALL_PACKAGES")
+	}
+	files := map[string][]byte{
+		"smali/Main.smali": []byte(mainSmali(meta)),
+	}
+	if meta.HasInstallAPI {
+		files["smali/Installer.smali"] = []byte(installerSmali(meta))
+	}
+	if meta.MarketLinks > 0 {
+		files["smali/Redirects.smali"] = []byte(redirectSmali(meta))
+	}
+	return apk.Build(m, files, sig.NewKey(meta.Signer))
+}
+
+func mainSmali(meta AppMeta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".class public L%s/Main;\n", slashed(meta.Package))
+	b.WriteString(".method public onCreate()V\n")
+	b.WriteString("    const-string v0, \"hello\"\n")
+	b.WriteString("    return-void\n")
+	b.WriteString(".end method\n")
+	return b.String()
+}
+
+// installerSmali emits the installation routine with storage-dependent
+// markers.
+func installerSmali(meta AppMeta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".class public L%s/Installer;\n", slashed(meta.Package))
+	b.WriteString(".method public installDownloaded()V\n")
+	// The installation API marker: setDataAndType with the archive MIME.
+	b.WriteString("    const-string v0, \"application/vnd.android.package-archive\"\n")
+	b.WriteString("    invoke-virtual {p1, v1, v0}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;\n")
+	switch meta.Storage {
+	case StorageSDCard:
+		// Stages on shared storage; never makes anything world-readable.
+		fmt.Fprintf(&b, "    const-string v2, \"/sdcard/%s/stage.apk\"\n", shortName(meta.Package))
+		b.WriteString("    invoke-static {v2}, Ljava/io/File;-><init>(Ljava/lang/String;)V\n")
+	case StorageInternalWorldReadable:
+		// Internal staging: the APK is opened world-readable. The mode
+		// flows through a register, so naive string matching on the call
+		// line alone is not enough — the def-use chain resolves it.
+		b.WriteString("    const-string v2, \"stage.apk\"\n")
+		b.WriteString("    const/4 v3, MODE_WORLD_READABLE\n")
+		b.WriteString("    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;\n")
+	case StorageUnclear:
+		// Reflection-built API names and dynamically assembled paths:
+		// exactly the pattern that defeated the Flowdroid attempt.
+		b.WriteString("    const-string v2, \"open\"\n")
+		b.WriteString("    const-string v3, \"File\"\n")
+		b.WriteString("    const-string v4, \"Output\"\n")
+		b.WriteString("    invoke-static {v2, v3, v4}, Lcom/obf/Reflect;->call([Ljava/lang/String;)Ljava/lang/Object;\n")
+		b.WriteString("    invoke-virtual {p0}, Lcom/obf/Path;->assemble()Ljava/lang/String;\n")
+	}
+	b.WriteString("    return-void\n")
+	b.WriteString(".end method\n")
+	return b.String()
+}
+
+// redirectSmali emits the hard-coded Play URLs/schemes of Table IV.
+func redirectSmali(meta AppMeta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".class public L%s/Redirects;\n", slashed(meta.Package))
+	b.WriteString(".method public promote()V\n")
+	for i := 0; i < meta.MarketLinks; i++ {
+		target := fmt.Sprintf("com.promoted.app%d", i)
+		if i%2 == 0 {
+			fmt.Fprintf(&b, "    const-string v%d, \"market://details?id=%s\"\n", i%16, target)
+		} else {
+			fmt.Fprintf(&b, "    const-string v%d, \"http://play.google.com/store/apps/details?id=%s\"\n", i%16, target)
+		}
+	}
+	b.WriteString("    return-void\n")
+	b.WriteString(".end method\n")
+	return b.String()
+}
+
+func slashed(pkg string) string { return strings.ReplaceAll(pkg, ".", "/") }
+
+func shortName(pkg string) string {
+	if idx := strings.LastIndex(pkg, "."); idx >= 0 {
+		return pkg[idx+1:]
+	}
+	return pkg
+}

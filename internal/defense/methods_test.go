@@ -1,0 +1,74 @@
+package defense
+
+import (
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// TestDAPPDetectsEveryReplacementMethod exercises the three replacement
+// tricks Section V-B enumerates — move-over, in-place rewrite, and
+// delete-then-rewrite — and checks DAPP flags each of them both by its
+// race heuristic and by the final signature comparison.
+func TestDAPPDetectsEveryReplacementMethod(t *testing.T) {
+	methods := []attack.ReplaceMethod{
+		attack.MethodRename, attack.MethodOverwrite, attack.MethodDeleteRewrite,
+	}
+	for i, method := range methods {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			prof := installer.Amazon()
+			f := newFixture(t, prof, 701+int64(i))
+			cfg := attack.ConfigForStore(prof, attack.StrategyFileObserver)
+			cfg.Method = method
+			atk := attack.NewTOCTOU(f.mal, cfg, f.target)
+			if err := atk.Launch(); err != nil {
+				t.Fatal(err)
+			}
+			defer atk.Stop()
+
+			res := f.runAIT(t)
+			if !res.Hijacked {
+				t.Fatalf("method %v did not hijack: %v", method, res.Err)
+			}
+			kinds := map[AlertKind]bool{}
+			for _, a := range f.dapp.Alerts() {
+				kinds[a.Kind] = true
+			}
+			if !kinds[RaceSuspected] {
+				t.Errorf("method %v: no race alert; alerts = %v", method, f.dapp.Alerts())
+			}
+			if !kinds[SignatureMismatch] {
+				t.Errorf("method %v: no signature alert; alerts = %v", method, f.dapp.Alerts())
+			}
+		})
+	}
+}
+
+// TestPatchedFUSEBlocksEveryReplacementMethod confirms the system-level
+// defense stops all three mechanics, not just the rename.
+func TestPatchedFUSEBlocksEveryReplacementMethod(t *testing.T) {
+	for i, method := range []attack.ReplaceMethod{
+		attack.MethodRename, attack.MethodOverwrite, attack.MethodDeleteRewrite,
+	} {
+		method := method
+		t.Run(method.String(), func(t *testing.T) {
+			prof := installer.Amazon()
+			f := newFixture(t, prof, 801+int64(i))
+			f.dev.Fuse.SetPatched(true)
+			cfg := attack.ConfigForStore(prof, attack.StrategyFileObserver)
+			cfg.Method = method
+			atk := attack.NewTOCTOU(f.mal, cfg, f.target)
+			if err := atk.Launch(); err != nil {
+				t.Fatal(err)
+			}
+			defer atk.Stop()
+
+			res := f.runAIT(t)
+			if !res.Clean() {
+				t.Fatalf("method %v defeated the FUSE patch: hijacked=%v err=%v", method, res.Hijacked, res.Err)
+			}
+		})
+	}
+}

@@ -1,0 +1,282 @@
+// Package device composes the substrates into a bootable simulated Android
+// device: virtual clock, filesystem with internal storage and a FUSE-wrapped
+// SD card, PackageManagerService, PackageInstallerActivity, Download
+// Manager, ActivityManagerService with IntentFirewall, process table and a
+// connection to remote app markets.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/dm"
+	"github.com/ghost-installer/gia/internal/fuse"
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/market"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/pia"
+	"github.com/ghost-installer/gia/internal/pm"
+	"github.com/ghost-installer/gia/internal/procfs"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/sim"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// Profile describes the device to boot.
+type Profile struct {
+	Name   string // e.g. "galaxy-s6-verizon"
+	Vendor string // e.g. "samsung"
+	// PlatformKey signs the system image. Defaults to a vendor-derived key.
+	PlatformKey *sig.Key
+	// InternalBytes caps /data (0 = unlimited); SDCardBytes caps /sdcard.
+	InternalBytes int64
+	SDCardBytes   int64
+	// RuntimePermissions selects the Android 6.0 permission model.
+	RuntimePermissions bool
+	// DMPolicy selects the Download Manager symlink policy
+	// (default PolicyLegacy, the 4.4 behaviour).
+	DMPolicy dm.SymlinkPolicy
+	// DMRecheckGap overrides the 6.0 policy's check-to-use gap (for the
+	// ablation experiments; zero keeps the default).
+	DMRecheckGap time.Duration
+	// Seed drives all randomness for the device's scheduler.
+	Seed int64
+}
+
+// Device is one booted simulated phone.
+type Device struct {
+	Profile Profile
+	Sched   *sim.Scheduler
+	FS      *vfs.FS
+	Fuse    *fuse.Daemon
+	PMS     *pm.Service
+	PIA     *pia.Activity
+	DM      *dm.Manager
+	AMS     *intents.AMS
+	Procs   *procfs.Table
+	Market  *market.Mux
+
+	foregroundSvc map[string]bool
+}
+
+// Boot constructs and wires a device from a profile.
+func Boot(p Profile) (*Device, error) {
+	if p.PlatformKey == nil {
+		vendor := p.Vendor
+		if vendor == "" {
+			vendor = "aosp"
+		}
+		p.PlatformKey = sig.NewKey(vendor + "-platform")
+	}
+	if p.DMPolicy == 0 {
+		p.DMPolicy = dm.PolicyLegacy
+	}
+	sched := sim.New(p.Seed)
+	fs := vfs.New(sched.Now)
+	for _, dir := range []string{"/data/app", "/data/data", "/sdcard/Download", "/system/app"} {
+		if err := fs.MkdirAll(dir, vfs.Root, vfs.ModeDir); err != nil {
+			return nil, fmt.Errorf("device: prepare %s: %w", dir, err)
+		}
+	}
+
+	registry := perm.NewRegistry()
+	pms := pm.New(fs, registry, pm.Options{
+		PlatformKey:        p.PlatformKey,
+		RuntimePermissions: p.RuntimePermissions,
+		Now:                sched.Now,
+	})
+
+	fuseDaemon := fuse.New("/sdcard", pms.UIDHolds)
+	if err := fs.Mount("/sdcard", fuseDaemon, p.SDCardBytes); err != nil {
+		return nil, fmt.Errorf("device: mount sdcard: %w", err)
+	}
+	if err := fs.Mount("/data", systemFS{}, p.InternalBytes); err != nil {
+		return nil, fmt.Errorf("device: mount data: %w", err)
+	}
+	if err := fs.Mount("/system", systemFS{}, 0); err != nil {
+		return nil, fmt.Errorf("device: mount system: %w", err)
+	}
+
+	mux := market.NewMux()
+	dmgr, err := dm.New(fs, sched, mux, dm.Options{Policy: p.DMPolicy, RecheckGap: p.DMRecheckGap})
+	if err != nil {
+		return nil, fmt.Errorf("device: boot dm: %w", err)
+	}
+
+	procs := procfs.NewTable()
+	d := &Device{
+		Profile: p,
+		Sched:   sched,
+		FS:      fs,
+		Fuse:    fuseDaemon,
+		PMS:     pms,
+		DM:      dmgr,
+		Procs:   procs,
+		Market:  mux,
+	}
+	d.AMS = intents.New(sched, procs, intents.Options{
+		Perms: pms.UIDHolds,
+		UIDOf: func(pkg string) (vfs.UID, bool) {
+			if pkg == SystemSender {
+				return vfs.System, true
+			}
+			if installed, ok := pms.Installed(pkg); ok {
+				return installed.UID, true
+			}
+			return 0, false
+		},
+		IsSystemPkg: d.IsSystemPkg,
+	})
+	d.PIA = pia.New(fs, pms)
+
+	pms.Subscribe(d.onPackageEvent)
+	return d, nil
+}
+
+// SystemSender is the package name used for OS-originated Intents.
+const SystemSender = "android"
+
+// onPackageEvent wires PMS state changes into the rest of the device:
+// app-private directories, process registration and the PACKAGE_* system
+// broadcasts that apps (including the DAPP defense) listen for.
+func (d *Device) onPackageEvent(ev pm.Event) {
+	switch ev.Action {
+	case pm.ActionPackageAdded, pm.ActionPackageReplaced:
+		dataDir := "/data/data/" + ev.Package
+		if !d.FS.Exists(dataDir) {
+			// The system creates the app-private tree and hands it to
+			// the app's UID (installd's job on a real device).
+			for _, dir := range []string{dataDir, dataDir + "/cache", dataDir + "/files"} {
+				_ = d.FS.MkdirAll(dir, vfs.System, vfs.ModeDir)
+				_ = d.FS.Chown(dir, ev.UID, vfs.System)
+			}
+		}
+		d.Procs.Register(ev.Package)
+	case pm.ActionPackageRemoved:
+		d.AMS.UnregisterPackage(ev.Package)
+		_ = d.FS.RemoveAll("/data/data/"+ev.Package, vfs.System)
+	}
+	_, _ = d.AMS.SendBroadcast(SystemSender, intents.Intent{
+		Action:    ev.Action,
+		Extras:    map[string]string{"package": ev.Package},
+		TargetPkg: "", // all interested receivers
+	})
+}
+
+// IsSystemPkg reports whether pkg is a system app: pre-installed or signed
+// with the device's platform key. The OS itself also qualifies.
+func (d *Device) IsSystemPkg(pkg string) bool {
+	if pkg == SystemSender {
+		return true
+	}
+	p, ok := d.PMS.Installed(pkg)
+	if !ok {
+		return false
+	}
+	return p.SystemImage || p.Cert.Equal(d.PMS.PlatformCert())
+}
+
+// InstallSystemApp installs an APK as part of the factory image.
+func (d *Device) InstallSystemApp(a *apk.APK) (*pm.Package, error) {
+	p, err := d.PMS.InstallSystem(a)
+	if err != nil {
+		return nil, err
+	}
+	// Keep a copy under /system/app like a real image.
+	path := "/system/app/" + p.Name() + ".apk"
+	if err := d.FS.WriteFile(path, a.Encode(), vfs.Root, vfs.ModeWorldReadable); err != nil {
+		return nil, fmt.Errorf("device: copy system apk: %w", err)
+	}
+	p.CodePath = path
+	return p, nil
+}
+
+// UIDOf returns the UID of an installed package.
+func (d *Device) UIDOf(pkg string) (vfs.UID, error) {
+	p, ok := d.PMS.Installed(pkg)
+	if !ok {
+		return 0, fmt.Errorf("device: %s: %w", pkg, pm.ErrNotInstalled)
+	}
+	return p.UID, nil
+}
+
+// Foreground brings pkg's process to the foreground (the user opens the
+// app). The package must be installed.
+func (d *Device) Foreground(pkg string) error {
+	if _, ok := d.PMS.Installed(pkg); !ok {
+		return fmt.Errorf("device: %s: %w", pkg, pm.ErrNotInstalled)
+	}
+	d.Procs.Register(pkg)
+	return d.Procs.SetForeground(pkg)
+}
+
+// Run drains the event queue (convenience passthrough).
+func (d *Device) Run() { d.Sched.Run() }
+
+// Snapshot is a structured view of device state for diagnostics and
+// assertions.
+type Snapshot struct {
+	Packages     []PackageInfo
+	SDCardUsed   int64
+	InternalUsed int64
+	DMHealthy    bool
+	Foreground   string
+}
+
+// PackageInfo summarizes one installed package.
+type PackageInfo struct {
+	Name        string
+	UID         vfs.UID
+	VersionCode int
+	Signer      string
+	SystemImage bool
+	Granted     []string
+}
+
+// Snapshot captures the device's current state.
+func (d *Device) Snapshot() Snapshot {
+	var s Snapshot
+	for _, p := range d.PMS.Packages() {
+		s.Packages = append(s.Packages, PackageInfo{
+			Name:        p.Name(),
+			UID:         p.UID,
+			VersionCode: p.Manifest.VersionCode,
+			Signer:      p.Cert.Subject,
+			SystemImage: p.SystemImage,
+			Granted:     p.GrantedPerms(),
+		})
+	}
+	s.SDCardUsed, _, _ = d.FS.MountUsage("/sdcard")
+	s.InternalUsed, _, _ = d.FS.MountUsage("/data")
+	s.DMHealthy = d.DM.Healthy()
+	s.Foreground, _ = d.Procs.Foreground()
+	return s
+}
+
+// StartForeground registers a foreground service for pkg, pinning a
+// notification in the notification center. Foreground services survive
+// KILL_BACKGROUND_PROCESSES — how DAPP protects itself (Section V-B).
+func (d *Device) StartForeground(pkg string) {
+	if d.foregroundSvc == nil {
+		d.foregroundSvc = make(map[string]bool)
+	}
+	d.foregroundSvc[pkg] = true
+}
+
+// HasForegroundService reports whether pkg pinned a foreground service.
+func (d *Device) HasForegroundService(pkg string) bool { return d.foregroundSvc[pkg] }
+
+// KillBackground is the killBackgroundProcesses API: the caller must hold
+// KILL_BACKGROUND_PROCESSES, and apps with a foreground service are immune.
+// It reports whether the target process died.
+func (d *Device) KillBackground(caller vfs.UID, pkg string) (bool, error) {
+	if !d.PMS.UIDHolds(caller, perm.KillBackgroundProcesses) {
+		return false, fmt.Errorf("device: kill %s by uid %d: %w", pkg, caller, pm.ErrPermissionDenied)
+	}
+	if d.foregroundSvc[pkg] {
+		return false, nil
+	}
+	d.Procs.Unregister(pkg)
+	return true, nil
+}

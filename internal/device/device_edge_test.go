@@ -1,0 +1,175 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/pm"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+func TestForegroundServiceProtectsFromKill(t *testing.T) {
+	d := bootTestDevice(t)
+	// A killer with the permission and a victim without protection.
+	killer, err := d.PMS.InstallFromParsed(apk.Build(apk.Manifest{
+		Package: "com.killer", VersionCode: 1, Label: "K",
+		UsesPerms: []string{perm.KillBackgroundProcesses},
+	}, nil, sig.NewKey("k")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.PMS.InstallFromParsed(apk.Build(apk.Manifest{
+		Package: "com.victim", VersionCode: 1, Label: "V",
+	}, nil, sig.NewKey("v"))); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	if d.HasForegroundService("com.victim") {
+		t.Fatal("fresh app has a foreground service")
+	}
+	died, err := d.KillBackground(killer.UID, "com.victim")
+	if err != nil || !died {
+		t.Fatalf("kill = %v, %v", died, err)
+	}
+
+	// With a foreground service the app survives.
+	if _, err := d.PMS.InstallFromParsed(apk.Build(apk.Manifest{
+		Package: "com.protected", VersionCode: 1, Label: "P",
+	}, nil, sig.NewKey("p"))); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	d.StartForeground("com.protected")
+	if !d.HasForegroundService("com.protected") {
+		t.Fatal("foreground service not registered")
+	}
+	died, err = d.KillBackground(killer.UID, "com.protected")
+	if err != nil || died {
+		t.Fatalf("protected kill = %v, %v", died, err)
+	}
+
+	// Without the permission, the call is rejected.
+	victim, _ := d.PMS.Installed("com.protected")
+	if _, err := d.KillBackground(victim.UID, "com.killer"); !errors.Is(err, pm.ErrPermissionDenied) {
+		t.Errorf("unprivileged kill = %v", err)
+	}
+}
+
+func TestSystemSenderResolvesInAMS(t *testing.T) {
+	d := bootTestDevice(t)
+	var origin string
+	d.AMS.Firewall().EnableOrigin(true)
+	d.AMS.RegisterActivity("com.app", "A", true, "", func(in intents.Intent) string {
+		origin, _ = in.Origin()
+		return "a"
+	})
+	if err := d.AMS.StartActivity(SystemSender, intents.Intent{TargetPkg: "com.app", Component: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if origin != SystemSender {
+		t.Errorf("origin = %q", origin)
+	}
+}
+
+func TestSystemFSProtectsForeignAppData(t *testing.T) {
+	d := bootTestDevice(t)
+	owner, err := d.PMS.InstallFromParsed(apk.Build(apk.Manifest{
+		Package: "com.owner", VersionCode: 1, Label: "O",
+	}, nil, sig.NewKey("o")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intruder, err := d.PMS.InstallFromParsed(apk.Build(apk.Manifest{
+		Package: "com.intruder", VersionCode: 1, Label: "I",
+	}, nil, sig.NewKey("i")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+
+	// Owner works inside its own tree, including renames.
+	if err := d.FS.WriteFile("/data/data/com.owner/files/f", []byte("x"), owner.UID, vfs.ModePrivate); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FS.Rename("/data/data/com.owner/files/f", "/data/data/com.owner/files/g", owner.UID); err != nil {
+		t.Fatal(err)
+	}
+	// Intruder cannot create, read private files, or rename out.
+	if err := d.FS.WriteFile("/data/data/com.owner/files/evil", []byte("x"), intruder.UID, vfs.ModeShared); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("foreign create = %v", err)
+	}
+	if _, err := d.FS.ReadFile("/data/data/com.owner/files/g", intruder.UID); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("foreign private read = %v", err)
+	}
+	if err := d.FS.Rename("/data/data/com.owner/files/g", "/data/data/com.intruder/files/g", owner.UID); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("rename across app dirs = %v", err)
+	}
+	// World-readable files in a foreign dir are readable (the staged-APK
+	// pattern), but still not writable.
+	if err := d.FS.WriteFile("/data/data/com.owner/files/pub", []byte("x"), owner.UID, vfs.ModeWorldReadable); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.FS.ReadFile("/data/data/com.owner/files/pub", intruder.UID); err != nil {
+		t.Errorf("foreign world-readable read = %v", err)
+	}
+	if err := d.FS.WriteFile("/data/data/com.owner/files/pub", []byte("y"), intruder.UID, 0); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("foreign world-readable write = %v", err)
+	}
+	// And /system is read-only for apps.
+	if err := d.FS.WriteFile("/system/app/evil.apk", []byte("x"), intruder.UID, vfs.ModeShared); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("write to /system = %v", err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	d := bootTestDevice(t)
+	p, err := d.PMS.InstallFromParsed(apk.Build(apk.Manifest{
+		Package: "com.app", VersionCode: 3, Label: "A",
+		UsesPerms: []string{perm.Internet},
+	}, nil, sig.NewKey("app-dev")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if err := d.Foreground("com.app"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FS.WriteFile("/sdcard/x", []byte("12345"), vfs.System, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	s := d.Snapshot()
+	if len(s.Packages) != 1 {
+		t.Fatalf("packages = %+v", s.Packages)
+	}
+	info := s.Packages[0]
+	if info.Name != "com.app" || info.UID != p.UID || info.VersionCode != 3 ||
+		info.Signer != "app-dev" || info.SystemImage {
+		t.Errorf("package info = %+v", info)
+	}
+	if len(info.Granted) != 1 || info.Granted[0] != perm.Internet {
+		t.Errorf("granted = %v", info.Granted)
+	}
+	if s.SDCardUsed != 5 {
+		t.Errorf("sdcard used = %d", s.SDCardUsed)
+	}
+	if s.InternalUsed == 0 {
+		t.Error("internal used = 0 despite app data dirs")
+	}
+	if !s.DMHealthy || s.Foreground != "com.app" {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestUIDOfMissingPackage(t *testing.T) {
+	d := bootTestDevice(t)
+	if _, err := d.UIDOf("com.none"); !errors.Is(err, pm.ErrNotInstalled) {
+		t.Errorf("UIDOf missing = %v", err)
+	}
+}

@@ -1,0 +1,173 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/pm"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+func bootTestDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := Boot(Profile{Name: "test-device", Vendor: "samsung", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func installerAPK(key *sig.Key) *apk.APK {
+	return apk.Build(apk.Manifest{
+		Package: "com.vendor.store", VersionCode: 1, Label: "Store",
+		UsesPerms: []string{perm.InstallPackages, perm.WriteExternalStorage, perm.ReadExternalStorage},
+	}, nil, key)
+}
+
+func TestBootLayout(t *testing.T) {
+	d := bootTestDevice(t)
+	for _, dir := range []string{"/data/app", "/data/data", "/sdcard/Download", "/system/app"} {
+		if !d.FS.Exists(dir) {
+			t.Errorf("missing %s", dir)
+		}
+	}
+	if d.Fuse.Root() != "/sdcard" {
+		t.Errorf("fuse root = %q", d.Fuse.Root())
+	}
+	if !d.DM.Healthy() {
+		t.Error("DM unhealthy after boot")
+	}
+}
+
+func TestInstallSystemAppWiring(t *testing.T) {
+	d := bootTestDevice(t)
+	p, err := d.InstallSystemApp(installerAPK(d.Profile.PlatformKey))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Granted(perm.InstallPackages) {
+		t.Error("system app lacks INSTALL_PACKAGES")
+	}
+	// Data dirs created, proc registered, /system/app copy exists.
+	for _, path := range []string{
+		"/data/data/com.vendor.store/files",
+		"/data/data/com.vendor.store/cache",
+		"/system/app/com.vendor.store.apk",
+	} {
+		if !d.FS.Exists(path) {
+			t.Errorf("missing %s", path)
+		}
+	}
+	if _, err := d.Procs.PIDOf("com.vendor.store"); err != nil {
+		t.Errorf("process not registered: %v", err)
+	}
+	if uid, err := d.UIDOf("com.vendor.store"); err != nil || uid != p.UID {
+		t.Errorf("UIDOf = %d, %v", uid, err)
+	}
+	if !d.IsSystemPkg("com.vendor.store") {
+		t.Error("system app not recognized as system")
+	}
+	if d.IsSystemPkg("com.random") {
+		t.Error("unknown package recognized as system")
+	}
+	if !d.IsSystemPkg(SystemSender) {
+		t.Error("android sender not system")
+	}
+}
+
+func TestPackageAddedBroadcastReachesReceivers(t *testing.T) {
+	d := bootTestDevice(t)
+	var added []string
+	d.AMS.RegisterReceiver("com.dapp", "Watcher", pm.ActionPackageAdded, true, "", func(in intents.Intent) {
+		added = append(added, in.Extra("package"))
+	})
+	if _, err := d.InstallSystemApp(installerAPK(d.Profile.PlatformKey)); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if len(added) != 1 || added[0] != "com.vendor.store" {
+		t.Errorf("added = %v", added)
+	}
+}
+
+func TestUninstallCleansUp(t *testing.T) {
+	d := bootTestDevice(t)
+	if _, err := d.InstallSystemApp(installerAPK(d.Profile.PlatformKey)); err != nil {
+		t.Fatal(err)
+	}
+	d.AMS.RegisterActivity("com.vendor.store", "Main", true, "", func(intents.Intent) string { return "" })
+	if err := d.PMS.Uninstall(vfs.System, "com.vendor.store"); err != nil {
+		t.Fatal(err)
+	}
+	d.Run()
+	if d.FS.Exists("/data/data/com.vendor.store") {
+		t.Error("data dir survives uninstall")
+	}
+	if err := d.AMS.StartActivity("com.x", intents.Intent{TargetPkg: "com.vendor.store", Component: "Main"}); !errors.Is(err, intents.ErrNoSuchComponent) {
+		t.Errorf("activity survives uninstall: %v", err)
+	}
+}
+
+func TestForeground(t *testing.T) {
+	d := bootTestDevice(t)
+	if err := d.Foreground("com.none"); !errors.Is(err, pm.ErrNotInstalled) {
+		t.Errorf("foreground of missing pkg = %v", err)
+	}
+	if _, err := d.InstallSystemApp(installerAPK(d.Profile.PlatformKey)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Foreground("com.vendor.store"); err != nil {
+		t.Fatal(err)
+	}
+	if fg, ok := d.Procs.Foreground(); !ok || fg != "com.vendor.store" {
+		t.Errorf("foreground = %q, %v", fg, ok)
+	}
+}
+
+func TestLowEndDeviceCapacity(t *testing.T) {
+	d, err := Boot(Profile{Name: "galaxy-j5", Vendor: "samsung", InternalBytes: 1024, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An APK bigger than the remaining internal space cannot be staged
+	// internally — the economic reason stores pick the SD card.
+	big := apk.Build(apk.Manifest{Package: "com.big", VersionCode: 1, Label: "Big"}, nil, sig.NewKey("d"))
+	big.Padding = 2048
+	err = d.FS.WriteFile("/data/data/stage.apk", big.Encode(), vfs.System, vfs.ModeWorldReadable)
+	if !errors.Is(err, vfs.ErrNoSpace) {
+		t.Errorf("internal staging = %v, want ErrNoSpace", err)
+	}
+	// The SD card (uncapped here) takes it fine.
+	if err := d.FS.WriteFile("/sdcard/stage.apk", big.Encode(), vfs.System, 0); err != nil {
+		t.Errorf("sdcard staging: %v", err)
+	}
+}
+
+func TestFuseWiredToPMSGrants(t *testing.T) {
+	d := bootTestDevice(t)
+	// An app without WRITE_EXTERNAL_STORAGE cannot write to /sdcard.
+	noPerm := apk.Build(apk.Manifest{Package: "com.noperm", VersionCode: 1, Label: "N"}, nil, sig.NewKey("n"))
+	p, err := d.InstallSystemApp(noPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FS.WriteFile("/sdcard/x", []byte("x"), p.UID, 0); !errors.Is(err, vfs.ErrPermission) {
+		t.Errorf("write without storage perm = %v", err)
+	}
+	// With the permission it works.
+	withPerm := apk.Build(apk.Manifest{
+		Package: "com.hasperm", VersionCode: 1, Label: "H",
+		UsesPerms: []string{perm.WriteExternalStorage},
+	}, nil, sig.NewKey("h"))
+	p2, err := d.InstallSystemApp(withPerm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FS.WriteFile("/sdcard/y", []byte("y"), p2.UID, 0); err != nil {
+		t.Errorf("write with storage perm: %v", err)
+	}
+}

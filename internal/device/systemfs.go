@@ -1,0 +1,59 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// systemFS is the access policy for internal storage (/data, /system).
+// It models why the paper calls internal storage "the secure option":
+//
+//   - system processes may do anything;
+//   - an app may create, modify and delete files only inside its own
+//     /data/data/<pkg> subtree (identified by the subtree root's owner);
+//   - everything else is read-only, and reads of files in another app's
+//     private directory additionally require the world-readable bit — the
+//     bit installers must set on internally staged APKs.
+type systemFS struct{}
+
+var _ vfs.Policy = systemFS{}
+
+func (systemFS) Check(fs *vfs.FS, req vfs.Request) error {
+	if req.Actor.IsSystem() {
+		return nil
+	}
+	if ownsAppDir(fs, req.Path, req.Actor) {
+		if req.Op == vfs.OpRename && !ownsAppDir(fs, req.Other, req.Actor) {
+			return fmt.Errorf("systemfs: rename %s to %s: %w", req.Path, req.Other, vfs.ErrPermission)
+		}
+		return nil
+	}
+	if req.Op == vfs.OpRead && req.Info != nil && req.Info.Mode.WorldReadable() {
+		return nil
+	}
+	return fmt.Errorf("systemfs: %s %s by uid %d: %w", req.Op, req.Path, req.Actor, vfs.ErrPermission)
+}
+
+func (systemFS) DeriveMode(fs *vfs.FS, path string, actor vfs.UID, requested vfs.Mode) vfs.Mode {
+	return requested
+}
+
+// ownsAppDir reports whether path lies inside an app-private directory
+// (/data/data/<pkg>/...) whose root is owned by actor.
+func ownsAppDir(fs *vfs.FS, path string, actor vfs.UID) bool {
+	rest, ok := strings.CutPrefix(path, "/data/data/")
+	if !ok {
+		return false
+	}
+	pkg, _, _ := strings.Cut(rest, "/")
+	if pkg == "" {
+		return false
+	}
+	info, err := fs.Stat("/data/data/" + pkg)
+	if err != nil {
+		return false
+	}
+	return info.Owner == actor
+}

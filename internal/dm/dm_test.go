@@ -1,0 +1,357 @@
+package dm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/sim"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+const (
+	storeUID vfs.UID = 10010
+	attacker vfs.UID = 10666
+	victim   vfs.UID = 10020
+)
+
+type mapFetcher map[string][]byte
+
+func (f mapFetcher) Fetch(url string) ([]byte, error) {
+	data, ok := f[url]
+	if !ok {
+		return nil, fmt.Errorf("404: %s", url)
+	}
+	return data, nil
+}
+
+func setup(t *testing.T, policy SymlinkPolicy, content mapFetcher) (*Manager, *vfs.FS, *sim.Scheduler) {
+	t.Helper()
+	sched := sim.New(1)
+	fs := vfs.New(sched.Now)
+	for _, dir := range []string{"/sdcard", "/data/data"} {
+		if err := fs.MkdirAll(dir, vfs.Root, vfs.ModeDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := New(fs, sched, content, Options{Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, fs, sched
+}
+
+func TestDownloadCompletesWithContent(t *testing.T) {
+	payload := make([]byte, 200<<10) // 200 KiB -> several chunks
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	m, fs, sched := setup(t, PolicyLegacy, mapFetcher{"http://cdn/app.apk": payload})
+	if err := fs.MkdirAll("/sdcard/store", storeUID, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+
+	var final *Download
+	id, err := m.Enqueue(storeUID, "com.store", "http://cdn/app.apk", "/sdcard/store/app.apk", func(d *Download) { final = d })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+
+	if final == nil || final.Status != StatusSuccessful {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.BytesDone != int64(len(payload)) || final.BytesTotal != int64(len(payload)) {
+		t.Errorf("bytes = %d/%d", final.BytesDone, final.BytesTotal)
+	}
+	got, err := fs.ReadFile("/sdcard/store/app.apk", storeUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Error("downloaded content mismatch")
+	}
+	// The transfer took nonzero virtual time (chunk cadence).
+	if sched.Now() == 0 {
+		t.Error("download completed in zero virtual time")
+	}
+	// Retrieval by the owner returns the bytes.
+	var retrieved []byte
+	m.Retrieve(storeUID, "com.store", id, func(b []byte, err error) {
+		if err != nil {
+			t.Errorf("retrieve: %v", err)
+		}
+		retrieved = b
+	})
+	sched.Run()
+	if string(retrieved) != string(payload) {
+		t.Error("retrieved content mismatch")
+	}
+	// Ownership is visible in Query.
+	q, err := m.Query(id)
+	if err != nil || q.Package != "com.store" {
+		t.Errorf("query = %+v, %v", q, err)
+	}
+}
+
+func TestDestinationPolicy(t *testing.T) {
+	m, fs, _ := setup(t, PolicyLegacy, mapFetcher{"u": []byte("x")})
+	if err := fs.MkdirAll("/data/data/com.app/cache", victim, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/data/data/com.victim/files", victim, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Own cache dir: allowed.
+	if _, err := m.Enqueue(storeUID, "com.app", "u", "/data/data/com.app/cache/f", nil); err != nil {
+		t.Errorf("cache dest rejected: %v", err)
+	}
+	// Another app's directory: rejected.
+	if _, err := m.Enqueue(storeUID, "com.app", "u", "/data/data/com.victim/files/f", nil); !errors.Is(err, ErrUnauthorizedDest) {
+		t.Errorf("foreign dest = %v, want ErrUnauthorizedDest", err)
+	}
+	// System paths: rejected.
+	if err := fs.MkdirAll("/data/system", vfs.Root, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Enqueue(storeUID, "com.app", "u", "/data/system/f", nil); !errors.Is(err, ErrUnauthorizedDest) {
+		t.Errorf("system dest = %v, want ErrUnauthorizedDest", err)
+	}
+}
+
+func TestIDBoundToPackage(t *testing.T) {
+	m, fs, sched := setup(t, PolicyLegacy, mapFetcher{"u": []byte("data")})
+	if err := fs.MkdirAll("/sdcard/dl", storeUID, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Enqueue(storeUID, "com.store", "u", "/sdcard/dl/f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+
+	var gotErr error
+	m.Retrieve(attacker, "com.other", id, func(_ []byte, err error) { gotErr = err })
+	sched.Run()
+	if !errors.Is(gotErr, ErrNotOwner) {
+		t.Errorf("cross-package retrieve = %v, want ErrNotOwner", gotErr)
+	}
+	m.Retrieve(storeUID, "com.store", 999, func(_ []byte, err error) { gotErr = err })
+	sched.Run()
+	if !errors.Is(gotErr, ErrUnknownID) {
+		t.Errorf("unknown id = %v, want ErrUnknownID", gotErr)
+	}
+}
+
+func TestRetrieveBeforeCompleteFails(t *testing.T) {
+	m, fs, sched := setup(t, PolicyLegacy, mapFetcher{"u": make([]byte, 1<<20)})
+	if err := fs.MkdirAll("/sdcard/dl", storeUID, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Enqueue(storeUID, "com.store", "u", "/sdcard/dl/f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	m.Retrieve(storeUID, "com.store", id, func(_ []byte, err error) { gotErr = err })
+	if !errors.Is(gotErr, ErrNotComplete) {
+		t.Errorf("early retrieve = %v, want ErrNotComplete", gotErr)
+	}
+	sched.Run()
+}
+
+func TestFetchFailureMarksFailed(t *testing.T) {
+	m, fs, sched := setup(t, PolicyLegacy, mapFetcher{})
+	if err := fs.MkdirAll("/sdcard/dl", storeUID, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	var final *Download
+	if _, err := m.Enqueue(storeUID, "com.store", "http://gone", "/sdcard/dl/f", func(d *Download) { final = d }); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if final == nil || final.Status != StatusFailed || final.Err == nil {
+		t.Errorf("final = %+v", final)
+	}
+}
+
+// setupSymlinkAttack prepares the Section III-C scenario: the attacker owns
+// /sdcard/atk, creates the symlink /sdcard/dl -> /sdcard/atk, and a victim
+// secret lives at /data/data/com.victim/files/secret.
+func setupSymlinkAttack(t *testing.T, policy SymlinkPolicy) (*Manager, *vfs.FS, *sim.Scheduler, int64) {
+	t.Helper()
+	m, fs, sched := setup(t, policy, mapFetcher{"u": []byte("downloaded")})
+	if err := fs.MkdirAll("/sdcard/atk", attacker, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/data/data/com.victim/files", victim, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/data/data/com.victim/files/secret", []byte("play-url-tokens"), victim, vfs.ModePrivate); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/sdcard/atk", "/sdcard/dl", attacker); err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue passes: /sdcard/dl resolves inside the SD card.
+	id, err := m.Enqueue(attacker, "com.attacker", "u", "/sdcard/dl/secret", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	return m, fs, sched, id
+}
+
+func TestLegacySymlinkRetrieveStealsFile(t *testing.T) {
+	m, fs, sched, id := setupSymlinkAttack(t, PolicyLegacy)
+	// After the check (enqueue) the attacker re-points the link at the
+	// victim's private directory.
+	if err := fs.Retarget("/sdcard/dl", "/data/data/com.victim/files", attacker); err != nil {
+		t.Fatal(err)
+	}
+	var stolen []byte
+	m.Retrieve(attacker, "com.attacker", id, func(b []byte, err error) {
+		if err != nil {
+			t.Errorf("retrieve: %v", err)
+		}
+		stolen = b
+	})
+	sched.Run()
+	if string(stolen) != "play-url-tokens" {
+		t.Errorf("stolen = %q — the 4.4 DM must leak the victim file", stolen)
+	}
+}
+
+func TestLegacySymlinkRemoveDeletesDMDatabase(t *testing.T) {
+	m, fs, sched, id := setupSymlinkAttack(t, PolicyLegacy)
+	// Point the link at the DM's own database directory; the stored dest
+	// basename must match, so use a fresh download named downloads.db.
+	if err := fs.Retarget("/sdcard/dl", "/sdcard/atk", attacker); err != nil {
+		t.Fatal(err)
+	}
+	_ = id
+	id2, err := m.Enqueue(attacker, "com.attacker", "u", "/sdcard/dl/downloads.db", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if err := fs.Retarget("/sdcard/dl", "/data/data/com.android.providers.downloads/databases", attacker); err != nil {
+		t.Fatal(err)
+	}
+	var removeErr error
+	m.Remove(attacker, "com.attacker", id2, func(err error) { removeErr = err })
+	sched.Run()
+	if removeErr != nil {
+		t.Fatalf("remove: %v", removeErr)
+	}
+	if m.Healthy() {
+		t.Fatal("DM database survived — the DoS on Play must succeed on 4.4")
+	}
+	// Every later client is now denied service.
+	if _, err := m.Enqueue(storeUID, "com.android.vending", "u", "/sdcard/atk/x", nil); !errors.Is(err, ErrDatabase) {
+		t.Errorf("post-DoS enqueue = %v, want ErrDatabase", err)
+	}
+}
+
+func TestRecheckPolicyStopsStaticRetarget(t *testing.T) {
+	m, fs, sched, id := setupSymlinkAttack(t, PolicyRecheck)
+	if err := fs.Retarget("/sdcard/dl", "/data/data/com.victim/files", attacker); err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	m.Retrieve(attacker, "com.attacker", id, func(_ []byte, err error) { gotErr = err })
+	sched.Run()
+	if !errors.Is(gotErr, ErrUnauthorizedDest) {
+		t.Errorf("static retarget on 6.0 = %v, want ErrUnauthorizedDest", gotErr)
+	}
+}
+
+func TestRecheckPolicyGapExploitedByFlipper(t *testing.T) {
+	m, fs, sched, id := setupSymlinkAttack(t, PolicyRecheck)
+
+	// The attacker continuously flips the link. To demonstrate the gap
+	// deterministically, flip to the victim path right after the check:
+	// the check at time t sees the benign target; the operation at
+	// t+RecheckGap dereferences the malicious one.
+	var stolen []byte
+	var gotErr error
+	m.Retrieve(attacker, "com.attacker", id, func(b []byte, err error) { stolen, gotErr = b, err })
+	// The callback has not run yet: the op is scheduled after the gap.
+	if stolen != nil || gotErr != nil {
+		t.Fatal("recheck policy completed synchronously; no gap to exploit")
+	}
+	if err := fs.Retarget("/sdcard/dl", "/data/data/com.victim/files", attacker); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if gotErr != nil {
+		t.Fatalf("retrieve: %v", gotErr)
+	}
+	if string(stolen) != "play-url-tokens" {
+		t.Errorf("stolen = %q — the 6.0 gap must be exploitable", stolen)
+	}
+}
+
+func TestFixedPolicyImmuneToFlipper(t *testing.T) {
+	m, fs, sched, id := setupSymlinkAttack(t, PolicyFixed)
+
+	var stolen []byte
+	var gotErr error
+	m.Retrieve(attacker, "com.attacker", id, func(b []byte, err error) { stolen, gotErr = b, err })
+	// Even an instant flip cannot help: the fixed policy already
+	// dereferenced and operated atomically.
+	if err := fs.Retarget("/sdcard/dl", "/data/data/com.victim/files", attacker); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if gotErr != nil {
+		t.Fatalf("retrieve: %v", gotErr)
+	}
+	if string(stolen) != "downloaded" {
+		t.Errorf("retrieve returned %q, want the legitimately downloaded bytes", stolen)
+	}
+	if !m.Healthy() {
+		t.Error("database damaged under the fixed policy")
+	}
+}
+
+func TestRemoveMarksRemoved(t *testing.T) {
+	m, fs, sched := setup(t, PolicyFixed, mapFetcher{"u": []byte("x")})
+	if err := fs.MkdirAll("/sdcard/dl", storeUID, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Enqueue(storeUID, "com.store", "u", "/sdcard/dl/f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	var removeErr error
+	m.Remove(storeUID, "com.store", id, func(err error) { removeErr = err })
+	sched.Run()
+	if removeErr != nil {
+		t.Fatal(removeErr)
+	}
+	if fs.Exists("/sdcard/dl/f") {
+		t.Error("file survives Remove")
+	}
+	q, _ := m.Query(id)
+	if q.Status != StatusRemoved {
+		t.Errorf("status = %v", q.Status)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyLegacy.String() == "" || PolicyRecheck.String() == "" || PolicyFixed.String() == "" {
+		t.Error("empty policy name")
+	}
+	for _, s := range []Status{StatusPending, StatusRunning, StatusSuccessful, StatusFailed, StatusRemoved} {
+		if s.String() == "" {
+			t.Errorf("empty status name for %d", s)
+		}
+	}
+	if time.Duration(0) != 0 { // keep time import honest
+		t.Fatal()
+	}
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// FleetOutcome aggregates hijack results over many simulated devices of
+// one store profile.
+type FleetOutcome struct {
+	Store    string
+	Devices  int
+	Hijacked int
+}
+
+// Rate is the per-store hijack rate.
+func (o FleetOutcome) Rate() float64 {
+	if o.Devices == 0 {
+		return 0
+	}
+	return float64(o.Hijacked) / float64(o.Devices)
+}
+
+// FleetStudy scales the attack across a fleet of devices — the paper's
+// "hundreds of millions of users" claim in miniature. Each device gets a
+// fresh seed (timing jitter, random names, different gaps); the attack
+// must not depend on any particular draw.
+func FleetStudy(devicesPerStore int, seed int64) ([]FleetOutcome, error) {
+	profiles := []installer.Profile{
+		installer.Amazon(), installer.Xiaomi(), installer.Baidu(),
+		installer.Qihoo360(), installer.DTIgnite(), installer.HuaweiStore(),
+	}
+	byStore := make(map[string]*FleetOutcome)
+	for i, prof := range profiles {
+		o := &FleetOutcome{Store: prof.Package}
+		byStore[prof.Package] = o
+		for d := 0; d < devicesPerStore; d++ {
+			s, err := NewScenario(prof, seed+int64(i*1000+d))
+			if err != nil {
+				return nil, err
+			}
+			atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), s.Target)
+			if err := atk.Launch(); err != nil {
+				return nil, err
+			}
+			res := s.RunAIT()
+			atk.Stop()
+			o.Devices++
+			if res.Hijacked {
+				o.Hijacked++
+			}
+		}
+	}
+	names := make([]string, 0, len(byStore))
+	for name := range byStore {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]FleetOutcome, 0, len(names))
+	for _, name := range names {
+		out = append(out, *byStore[name])
+	}
+	return out, nil
+}
+
+// FleetTable renders the fleet study.
+func FleetTable(devicesPerStore int, seed int64) (Table, error) {
+	outcomes, err := FleetStudy(devicesPerStore, seed)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Fleet Study",
+		Title:  "Hijack reliability across a device fleet (per-device timing jitter)",
+		Header: []string{"Store", "Devices", "Hijacked", "Rate"},
+	}
+	total, hijacked := 0, 0
+	for _, o := range outcomes {
+		total += o.Devices
+		hijacked += o.Hijacked
+		t.Rows = append(t.Rows, []string{
+			o.Store, fmt.Sprintf("%d", o.Devices), fmt.Sprintf("%d", o.Hijacked), pct(o.Rate()),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("fleet total: %d/%d devices hijacked", hijacked, total))
+	return t, nil
+}

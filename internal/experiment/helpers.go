@@ -1,0 +1,16 @@
+package experiment
+
+import (
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/sig"
+)
+
+// attackFreeAPK builds a benign APK used by the performance experiments.
+func attackFreeAPK() *apk.APK {
+	return apk.Build(apk.Manifest{
+		Package: "com.perf.sample", VersionCode: 1, Label: "Perf Sample",
+	}, map[string][]byte{"classes.dex": []byte("sample")}, sig.NewKey("perf"))
+}
+
+// decodeForPerf parses an encoded APK (DAPP's signature-grab hot path).
+func decodeForPerf(raw []byte) (*apk.APK, error) { return apk.Decode(raw) }

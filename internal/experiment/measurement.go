@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/ghost-installer/gia/internal/corpus"
+	"github.com/ghost-installer/gia/internal/measure"
+)
+
+// NewCorpus builds the measurement corpus at the given scale (1.0 = the
+// paper's population sizes).
+func NewCorpus(seed int64, scale float64) *corpus.Corpus {
+	return corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
+}
+
+// TableI reproduces the attack/AIT-step summary.
+func TableI() Table {
+	return Table{
+		ID:     "Table I",
+		Title:  "Summary of AIT problems",
+		Header: []string{"Section", "Attack Name", "AIT steps [Step No]"},
+		Rows: [][]string{
+			{"3.2", "Hijacking Installation", "Installation Trigger[3]"},
+			{"3.2", "Hijacking Installation", "APK Install[4]"},
+			{"3.3", "Exploiting DM", "APK Download[2]"},
+			{"3.4", "Attacking Installer Interfaces", "AIT Invocation[1]"},
+		},
+	}
+}
+
+// TableII classifies the top Google Play apps.
+func TableII(c *corpus.Corpus) Table {
+	cls := measure.ClassifyAll(c.PlayApps)
+	writeExt := measure.WriteExternalCount(c.PlayApps)
+	return classificationTable("Table II",
+		"Potentially vulnerable Google Play apps due to SD-Card usage", cls,
+		fmt.Sprintf("%d/%d apps request WRITE_EXTERNAL_STORAGE (sufficient for hijack)", writeExt, cls.Total))
+}
+
+// TableIII classifies the unique pre-installed apps.
+func TableIII(c *corpus.Corpus) Table {
+	unique := measure.UniquePreinstalled(c.Images)
+	cls := measure.ClassifyAll(unique)
+	return classificationTable("Table III",
+		"Potentially vulnerable pre-installed apps due to SD-Card usage", cls,
+		fmt.Sprintf("deduplicated by package name across %d images", len(c.Images)))
+}
+
+func classificationTable(id, title string, cls measure.Classification, note string) Table {
+	return Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Type", "SD-Card (potentially vulnerable)", "Internal Storage (potentially secure)"},
+		Rows: [][]string{
+			{"Excluding Unknown Apps",
+				ratio(cls.Vulnerable, cls.Known()),
+				ratio(cls.Secure, cls.Known())},
+			{"Including Unknown Apps",
+				ratio(cls.Vulnerable, cls.Installers),
+				ratio(cls.Secure, cls.Installers)},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d of %d apps contain installation API calls", cls.Installers, cls.Total),
+			note,
+		},
+	}
+}
+
+// TableIV counts hard-coded market URLs/schemes among Play apps.
+func TableIV(c *corpus.Corpus) Table {
+	b := measure.RedirectCensus(c.PlayApps)
+	return Table{
+		ID:     "Table IV",
+		Title:  "Number of fixed url or redirection scheme",
+		Header: []string{"# of hardcoded url or scheme", "1", "<=2", "<=4", "<=8"},
+		Rows: [][]string{
+			{"# apps",
+				ratio(b.Exactly1, b.Total),
+				ratio(b.AtMost2, b.Total),
+				ratio(b.AtMost4, b.Total),
+				ratio(b.AtMost8, b.Total)},
+		},
+		Notes: []string{
+			fmt.Sprintf("%s of the top apps redirect users with a fixed URL or scheme",
+				pct(float64(b.Redirecting)/float64(b.Total))),
+		},
+	}
+}
+
+// TableVI reports the per-vendor INSTALL_PACKAGES census.
+func TableVI(c *corpus.Corpus) Table {
+	rows := measure.InstallPackagesCensus(c.Images)
+	t := Table{
+		ID:     "Table VI",
+		Title:  "Average number of system apps and INSTALL_PACKAGES ratio per vendor",
+		Header: []string{"Vendor", "Images", "Avg system apps", "Avg w/ INSTALL_PACKAGES", "Ratio"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Vendor,
+			fmt.Sprintf("%d", r.Images),
+			fmt.Sprintf("%.1f", r.AvgSystemApps),
+			fmt.Sprintf("%.1f", r.AvgWithInstall),
+			pct(r.InstallPkgRatio),
+		})
+	}
+	return t
+}
+
+// KeyStudy reports the platform-key usage findings.
+func KeyStudy(c *corpus.Corpus) Table {
+	rows := measure.PlatformKeyStudy(c)
+	t := Table{
+		ID:     "Key Study",
+		Title:  "Platform key usage (Section IV-B)",
+		Header: []string{"Vendor", "Distinct platform keys", "Platform-signed apps/device", "Distinct platform-signed apps", "Store apps w/ platform key"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Vendor,
+			fmt.Sprintf("%d", r.DistinctKeys),
+			fmt.Sprintf("%.0f", r.AvgPerDevice),
+			fmt.Sprintf("%d", r.DistinctTotal),
+			fmt.Sprintf("%d", r.StoreAppsWithKey),
+		})
+	}
+	t.Notes = append(t.Notes, "each vendor signs every device model with a single platform key")
+	return t
+}
+
+// FlowStudy reports the Section IV-A tool comparison: Flowdroid-style
+// taint analysis fails on most installers, while the lightweight
+// world-readable classifier decides the majority.
+func FlowStudy(c *corpus.Corpus, sample int) Table {
+	res := measure.FlowAnalysisStudy(c.PlayApps, sample)
+	return Table{
+		ID:     "Flow Study",
+		Title:  "Flow analysis vs the lightweight classifier (Section IV-A)",
+		Header: []string{"Sampled", "Incomplete CFG", "handleMessage loss", "Analyzer bugs", "Flow-analyzable", "Classifier decided"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", res.Sampled),
+			ratio(res.IncompleteCFG, res.Sampled),
+			ratio(res.HandlerIndirection, res.Sampled),
+			ratio(res.AnalyzerBugs, res.Sampled),
+			ratio(res.FlowAnalyzable, res.Sampled),
+			ratio(res.ClassifierDecided, res.Sampled),
+		}},
+		Notes: []string{"the paper tested 43 apps; 14% stopped on CFGs, 14% on handleMessage, 42% on Flowdroid bugs"},
+	}
+}
+
+// HareStudy reports the hanging-permission escalation surface.
+func HareStudy(c *corpus.Corpus) Table {
+	var samsung []corpus.FactoryImage
+	for _, img := range c.Images {
+		if img.Vendor == "samsung" {
+			samsung = append(samsung, img)
+		}
+	}
+	res := measure.HareStudy(samsung, 10)
+	return Table{
+		ID:     "Hare Study",
+		Title:  "Privilege escalation via hanging attribute references (Section IV-B)",
+		Header: []string{"Seed apps (10 images)", "Images searched", "Vulnerable cases", "Avg cases/image"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", res.SeedApps),
+			fmt.Sprintf("%d", res.ImagesSearched),
+			fmt.Sprintf("%d", res.VulnerableCases),
+			fmt.Sprintf("%.1f", res.AvgPerImage),
+		}},
+	}
+}

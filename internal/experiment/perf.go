@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/fuse"
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/procfs"
+	"github.com/ghost-installer/gia/internal/sim"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// PerfResult is one measured configuration.
+type PerfResult struct {
+	Name string
+	NsOp float64
+	Reps int
+}
+
+// FuseDACPerf measures the wall-clock cost of 1 MiB writes and reads on the
+// FUSE-wrapped SD card with the original vs the modified (Section V-C) DAC
+// scheme — the Table VIII experiment. reps mirrors the paper's 100
+// iterations.
+func FuseDACPerf(reps int) (origWrite, modWrite, origRead, modRead PerfResult) {
+	if reps <= 0 {
+		reps = 100
+	}
+	payload := make([]byte, 1<<20)
+	run := func(patched bool) (write, read PerfResult) {
+		fs := vfs.New(func() time.Duration { return 0 })
+		daemon := fuse.New("/sdcard", func(vfs.UID, string) bool { return true })
+		daemon.SetPatched(patched)
+		_ = fs.MkdirAll("/sdcard/store", vfs.Root, vfs.ModeDir)
+		_ = fs.Mount("/sdcard", daemon, 0)
+		const owner vfs.UID = 10010
+
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := fs.WriteFile("/sdcard/store/app.apk", payload, owner, vfs.ModeShared); err != nil {
+				panic(fmt.Sprintf("experiment: fuse perf write: %v", err))
+			}
+		}
+		write = PerfResult{NsOp: float64(time.Since(start).Nanoseconds()) / float64(reps), Reps: reps}
+
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := fs.ReadFile("/sdcard/store/app.apk", owner); err != nil {
+				panic(fmt.Sprintf("experiment: fuse perf read: %v", err))
+			}
+		}
+		read = PerfResult{NsOp: float64(time.Since(start).Nanoseconds()) / float64(reps), Reps: reps}
+		return write, read
+	}
+	// Warm-up plus three interleaved rounds, keeping the per-config
+	// minimum: minima are robust against allocator growth and GC pauses
+	// triggered by whatever ran earlier in the process.
+	run(false)
+	run(true)
+	minOf := func(a, b PerfResult) PerfResult {
+		if b.NsOp < a.NsOp {
+			return b
+		}
+		return a
+	}
+	ow, or := run(false)
+	mw, mr := run(true)
+	for round := 0; round < 2; round++ {
+		w, r := run(false)
+		ow, or = minOf(ow, w), minOf(or, r)
+		w, r = run(true)
+		mw, mr = minOf(mw, w), minOf(mr, r)
+	}
+	ow.Name, or.Name = "write (org DAC)", "read (org DAC)"
+	mw.Name, mr.Name = "write (mod DAC)", "read (mod DAC)"
+	return ow, mw, or, mr
+}
+
+// TableVIII renders the FUSE DAC overhead measurement.
+func TableVIII(reps int) Table {
+	ow, mw, or, mr := FuseDACPerf(reps)
+	return Table{
+		ID:     "Table VIII",
+		Title:  "FUSE DAC scheme performance (1 MiB ops on the SD card)",
+		Header: []string{"Op", "org DAC ns/op", "mod DAC ns/op", "mod/org"},
+		Rows: [][]string{
+			{"write", fmt.Sprintf("%.0f", ow.NsOp), fmt.Sprintf("%.0f", mw.NsOp), pct(mw.NsOp / ow.NsOp)},
+			{"read", fmt.Sprintf("%.0f", or.NsOp), fmt.Sprintf("%.0f", mr.NsOp), pct(mr.NsOp / or.NsOp)},
+		},
+		Notes: []string{fmt.Sprintf("%d repetitions per configuration, wall-clock", ow.Reps)},
+	}
+}
+
+// intentDeliveryPerf measures wall-clock intent delivery cost with a given
+// firewall configuration. It returns ns per delivered intent.
+func intentDeliveryPerf(reps int, detection, origin bool) float64 {
+	sched := sim.New(1)
+	procs := procfs.NewTable()
+	ams := intents.New(sched, procs, intents.Options{
+		DeliveryLatency: time.Microsecond,
+		Perms:           func(vfs.UID, string) bool { return true },
+		UIDOf:           func(string) (vfs.UID, bool) { return 10001, true },
+	})
+	ams.Firewall().EnableDetection(detection)
+	ams.Firewall().EnableOrigin(origin)
+	// Alternate two senders so detection bookkeeping takes its real path
+	// (alerts are suppressed by spacing beyond the threshold).
+	ams.Firewall().SetThreshold(time.Nanosecond)
+	ams.RegisterActivity("com.recv", "A", true, "", func(intents.Intent) string { return "x" })
+	senders := []string{"com.a", "com.b"}
+
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := ams.StartActivity(senders[i%2], intents.Intent{TargetPkg: "com.recv", Component: "A"}); err != nil {
+			panic(fmt.Sprintf("experiment: intent perf: %v", err))
+		}
+		sched.Run()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+}
+
+// checkIntentPerf measures the CheckIntent logic in isolation (the paper's
+// "Our Logic" column): ns per call with the given schemes enabled.
+func checkIntentPerf(reps int, detection, origin bool) float64 {
+	sched := sim.New(1)
+	procs := procfs.NewTable()
+	ams := intents.New(sched, procs, intents.Options{DeliveryLatency: time.Microsecond})
+	fw := ams.Firewall()
+	fw.EnableDetection(detection)
+	fw.EnableOrigin(origin)
+	fw.SetThreshold(time.Nanosecond)
+	senders := []string{"com.a", "com.b"}
+	in := intents.Intent{TargetPkg: "com.recv", Component: "A"}
+	// Amplify to get above timer resolution.
+	const amplify = 100
+	start := time.Now()
+	for i := 0; i < reps*amplify; i++ {
+		fw.CheckIntent(senders[i%2], "com.recv", &in)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps*amplify)
+}
+
+// RealDeviceDeliveryNs is the paper's measured end-to-end Intent delivery
+// time on the Nexus 5 (Table IX: 4,804,339 ns), used to put the simulated
+// logic cost in real-device perspective.
+const RealDeviceDeliveryNs = 4_804_339.0
+
+// IntentPerf measures total simulated delivery cost and the direct cost of
+// the added CheckIntent logic, reproducing Tables IX and X. The logic cost
+// is measured in isolation (as the paper instrumented its checkIntent).
+func IntentPerf(reps int, origin bool) (total, logic float64) {
+	if reps <= 0 {
+		reps = 50
+	}
+	detection := !origin
+	// Minimum of three rounds for both measurements.
+	for round := 0; round < 3; round++ {
+		t := intentDeliveryPerf(reps, detection, origin)
+		l := checkIntentPerf(reps, detection, origin)
+		if round == 0 || t < total {
+			total = t
+		}
+		if round == 0 || l < logic {
+			logic = l
+		}
+	}
+	return total, logic
+}
+
+func intentPerfTable(id, title string, reps int, origin bool) Table {
+	total, logic := IntentPerf(reps, origin)
+	simShare := 0.0
+	if total > 0 {
+		simShare = logic / total
+		if simShare > 1 {
+			simShare = 1
+		}
+	}
+	return Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Logic ns/intent", "Sim delivery ns", "Share of sim delivery", "Share of real-device delivery (4.8 ms)"},
+		Rows: [][]string{{
+			fmt.Sprintf("%.0f", logic),
+			fmt.Sprintf("%.0f", total),
+			pct(simShare),
+			fmt.Sprintf("%.4f%%", 100*logic/RealDeviceDeliveryNs),
+		}},
+		Notes: []string{
+			"the simulated delivery path lacks binder/zygote/rendering costs, so the real-device column is the comparable one",
+		},
+	}
+}
+
+// TableIX renders the Intent detection scheme overhead.
+func TableIX(reps int) Table {
+	return intentPerfTable("Table IX", "Intent detection scheme performance", reps, false)
+}
+
+// TableX renders the Intent origin scheme overhead.
+func TableX(reps int) Table {
+	return intentPerfTable("Table X", "Intent origin scheme performance", reps, true)
+}
+
+// DAPPSignaturePerf measures DAPP's hot path — reading and parsing a staged
+// APK to grab its signature — as a function of APK size (the Section VI-B
+// CPU/RAM spike discussion).
+func DAPPSignaturePerf(sizes []int, reps int) []PerfResult {
+	if reps <= 0 {
+		reps = 20
+	}
+	var out []PerfResult
+	for _, size := range sizes {
+		fs := vfs.New(func() time.Duration { return 0 })
+		_ = fs.MkdirAll("/sdcard/store", vfs.Root, vfs.ModeDir)
+		data := buildPaddedAPK(size)
+		if err := fs.WriteFile("/sdcard/store/a.apk", data, vfs.UID(10010), vfs.ModeShared); err != nil {
+			panic(fmt.Sprintf("experiment: dapp perf stage: %v", err))
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			raw, err := fs.ReadFile("/sdcard/store/a.apk", vfs.UID(10020))
+			if err != nil {
+				panic(fmt.Sprintf("experiment: dapp perf read: %v", err))
+			}
+			if _, err := decodeForPerf(raw); err != nil {
+				panic(fmt.Sprintf("experiment: dapp perf decode: %v", err))
+			}
+		}
+		out = append(out, PerfResult{
+			Name: fmt.Sprintf("%d-byte apk", len(data)),
+			NsOp: float64(time.Since(start).Nanoseconds()) / float64(reps),
+			Reps: reps,
+		})
+	}
+	return out
+}

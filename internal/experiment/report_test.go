@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteReport(t *testing.T) {
+	tables := []Table{
+		TableI(),
+		{ID: "Pipe", Title: "escaping", Header: []string{"a|b"}, Rows: [][]string{{"x|y"}, {"short"}}, Notes: []string{"n"}},
+	}
+	var b strings.Builder
+	if err := WriteReport(&b, Options{Seed: 7, Scale: 0.5, PerfReps: 10}, tables); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# GIA reproduction report",
+		"seed 7",
+		"- Table I — Summary of AIT problems",
+		"## Table I — Summary of AIT problems",
+		"| Section | Attack Name | AIT steps [Step No] |",
+		"Hijacking Installation",
+		`a\|b`, // pipes escaped in headers
+		`x\|y`, // and cells
+		"*Note: n*",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Short rows are padded to the header width.
+	if !strings.Contains(out, "| short |") {
+		t.Errorf("short row mishandled:\n%s", out)
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	out, err := TableI().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"id": "Table I"`) {
+		t.Errorf("json = %s", out)
+	}
+}
+
+func TestReportDuration(t *testing.T) {
+	if got := ReportDuration(1500 * time.Nanosecond); got != "2µs" {
+		t.Errorf("ReportDuration = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+package experiment
+
+import "github.com/ghost-installer/gia/internal/corpus"
+
+// Options configure a full experiment sweep.
+type Options struct {
+	Seed     int64
+	Scale    float64 // corpus scale (1.0 = paper-sized populations)
+	PerfReps int     // repetitions for Tables VIII/IX/X
+	// DAPPInstalls sizes the DAPP false-positive trace (default 24; the
+	// paper's full trace used 924 installs).
+	DAPPInstalls int
+}
+
+// AllTables regenerates every paper table and figure plus the in-text
+// studies, in presentation order.
+func AllTables(opts Options) ([]Table, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	c := corpus.Generate(corpus.Config{Seed: opts.Seed, Scale: opts.Scale})
+	var tables []Table
+	add := func(t Table, err error) error {
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+		return nil
+	}
+	if err := add(TableI(), nil); err != nil {
+		return nil, err
+	}
+	if err := add(TableII(c), nil); err != nil {
+		return nil, err
+	}
+	if err := add(TableIII(c), nil); err != nil {
+		return nil, err
+	}
+	if err := add(TableIV(c), nil); err != nil {
+		return nil, err
+	}
+	if err := add(TableV(opts.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(TableVI(c), nil); err != nil {
+		return nil, err
+	}
+	if err := add(TableVII(opts.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(TableVIII(opts.PerfReps), nil); err != nil {
+		return nil, err
+	}
+	if err := add(TableIX(opts.PerfReps), nil); err != nil {
+		return nil, err
+	}
+	if err := add(TableX(opts.PerfReps), nil); err != nil {
+		return nil, err
+	}
+	if err := add(Figure1(opts.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(HijackTable(opts.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(DMTable(opts.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(RedirectTable(opts.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(KeyStudy(c), nil); err != nil {
+		return nil, err
+	}
+	if err := add(HareStudy(c), nil); err != nil {
+		return nil, err
+	}
+	if err := add(SuggestionTable(opts.Seed)); err != nil {
+		return nil, err
+	}
+	if err := add(FlowStudy(c, 43), nil); err != nil {
+		return nil, err
+	}
+	installs := opts.DAPPInstalls
+	if installs <= 0 {
+		installs = 24
+	}
+	if err := add(DAPPTable(opts.Seed, installs, 6)); err != nil {
+		return nil, err
+	}
+	if err := add(FleetTable(5, opts.Seed)); err != nil {
+		return nil, err
+	}
+	return tables, nil
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// SuggestionOutcome is one row of the Section VII developer-suggestion
+// study: the same attack run against the stock and the hardened profile.
+type SuggestionOutcome struct {
+	Store            string
+	Strategy         attack.Strategy
+	StockHijacked    bool
+	HardenedHijacked bool
+	HardenedClean    bool
+}
+
+// SuggestionStudy applies the paper's developer suggestions (prefer
+// internal staging; verify on a private copy) to the vulnerable store
+// profiles and replays both hijack strategies: the stock profile falls,
+// the hardened one does not.
+func SuggestionStudy(seed int64) ([]SuggestionOutcome, error) {
+	profiles := []installer.Profile{
+		installer.Amazon(), installer.Xiaomi(), installer.Baidu(), installer.DTIgnite(),
+	}
+	var out []SuggestionOutcome
+	for i, prof := range profiles {
+		strategies := []attack.Strategy{attack.StrategyFileObserver, attack.StrategyWaitAndSee}
+		if prof.TempNameRename {
+			// The paper attacked Xiaomi via its rename signal (the
+			// FileObserver strategy); the generic wait-and-see delay
+			// does not apply to its short window.
+			strategies = strategies[:1]
+		}
+		for j, strategy := range strategies {
+			run := func(p installer.Profile, localSeed int64) (installer.Result, error) {
+				s, err := NewScenario(p, localSeed)
+				if err != nil {
+					return installer.Result{}, err
+				}
+				atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, strategy), s.Target)
+				if err := atk.Launch(); err != nil {
+					return installer.Result{}, err
+				}
+				res := s.RunAIT()
+				atk.Stop()
+				return res, nil
+			}
+			stock, err := run(prof, seed+int64(i*10+j))
+			if err != nil {
+				return nil, err
+			}
+			hardened, err := run(installer.Hardened(prof), seed+int64(i*10+j))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SuggestionOutcome{
+				Store:            prof.Package,
+				Strategy:         strategy,
+				StockHijacked:    stock.Hijacked,
+				HardenedHijacked: hardened.Hijacked,
+				HardenedClean:    hardened.Clean(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// SuggestionTable renders the suggestion study.
+func SuggestionTable(seed int64) (Table, error) {
+	outcomes, err := SuggestionStudy(seed)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "Suggestion Study",
+		Title:  "Section VII developer suggestions vs the hijack attacks",
+		Header: []string{"Store", "Strategy", "Stock hijacked", "Hardened hijacked", "Hardened clean"},
+	}
+	for _, o := range outcomes {
+		t.Rows = append(t.Rows, []string{
+			o.Store, o.Strategy.String(),
+			fmt.Sprintf("%v", o.StockHijacked),
+			fmt.Sprintf("%v", o.HardenedHijacked),
+			fmt.Sprintf("%v", o.HardenedClean),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"hardened = prefer internal staging (Suggestion 1) + verify on a private copy (Suggestion 2)")
+	return t, nil
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+
+	"github.com/ghost-installer/gia/internal/dm"
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// Vector is one potential GIA entry point on a device configuration.
+type Vector struct {
+	Name       string
+	Target     string
+	AITStep    int
+	Applicable bool
+	Reason     string
+}
+
+// Survey enumerates the Ghost Installer attack surface of a device built
+// from the given installer profiles and DM policy — the assessment a
+// security team would run before the live attacks. The verdicts follow the
+// paper's per-step analysis.
+func Survey(profiles []installer.Profile, dmPolicy dm.SymlinkPolicy) []Vector {
+	var out []Vector
+	for _, prof := range profiles {
+		sdCard := prof.Storage == installer.StorageSDCard
+		toctou := Vector{
+			Name: "toctou-hijack", Target: prof.Package, AITStep: 3,
+			Applicable: sdCard && !prof.SecureVerify && !prof.UseSignatureVerification,
+		}
+		switch {
+		case !sdCard:
+			toctou.Reason = "stages in internal storage"
+		case prof.SecureVerify:
+			toctou.Reason = "verifies on a private copy (Suggestion 2)"
+		case prof.UseSignatureVerification:
+			toctou.Reason = "records and verifies the signer (Section V-A fix)"
+		default:
+			toctou.Reason = fmt.Sprintf("stages in %s; fingerprint %d reads", prof.StagingDir, prof.VerifyReads)
+		}
+		out = append(out, toctou)
+
+		if !prof.Silent {
+			out = append(out, Vector{
+				Name: "pia-same-manifest", Target: prof.Package, AITStep: 4,
+				Applicable: sdCard,
+				Reason:     "consent dialog + manifest-only checksum; same-manifest repackage passes",
+			})
+		}
+		if prof.UseManifestVerification {
+			out = append(out, Vector{
+				Name: "manifest-verify-bypass", Target: prof.Package, AITStep: 4,
+				Applicable: sdCard,
+				Reason:     "installPackageWithVerification checks only the manifest digest",
+			})
+		}
+		if prof.JSBridge {
+			v := Vector{
+				Name: "js-bridge-injection", Target: prof.Package, AITStep: 1,
+				Applicable: !prof.JSBridgeSanitized,
+			}
+			if prof.JSBridgeSanitized {
+				v.Reason = "payload sanitization applied"
+			} else {
+				v.Reason = "exported WebView activity executes unauthenticated script"
+			}
+			out = append(out, v)
+		}
+		switch prof.PushAuth {
+		case installer.ReceiverUnauthenticated:
+			out = append(out, Vector{
+				Name: "push-forgery", Target: prof.Package, AITStep: 1,
+				Applicable: true,
+				Reason:     "exported push receiver without sender authentication",
+			})
+		case installer.ReceiverGuarded:
+			out = append(out, Vector{
+				Name: "push-forgery", Target: prof.Package, AITStep: 1,
+				Applicable: false,
+				Reason:     "receiver guarded by a signature permission",
+			})
+		}
+	}
+	dmVector := Vector{
+		Name: "dm-symlink", Target: "AOSP DownloadManager", AITStep: 2,
+		Applicable: dmPolicy != dm.PolicyFixed,
+	}
+	if dmPolicy == dm.PolicyFixed {
+		dmVector.Reason = "resolve-once policy: no check-to-use gap"
+	} else {
+		dmVector.Reason = fmt.Sprintf("policy %v dereferences the stored path after the check", dmPolicy)
+	}
+	out = append(out, dmVector)
+	out = append(out, Vector{
+		Name: "redirect-intent", Target: "any installer UI", AITStep: 1,
+		Applicable: true,
+		Reason:     "stock Android lets a background app repaint a foreground activity without origin info",
+	})
+	return out
+}
+
+// SurfaceTable renders the survey.
+func SurfaceTable(profiles []installer.Profile, dmPolicy dm.SymlinkPolicy) Table {
+	t := Table{
+		ID:     "Surface Survey",
+		Title:  "GIA attack surface of the device configuration",
+		Header: []string{"Vector", "Target", "AIT step", "Applicable", "Reason"},
+	}
+	for _, v := range Survey(profiles, dmPolicy) {
+		t.Rows = append(t.Rows, []string{
+			v.Name, v.Target, fmt.Sprintf("%d", v.AITStep),
+			fmt.Sprintf("%v", v.Applicable), v.Reason,
+		})
+	}
+	return t
+}

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/dm"
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+func vectorsByKey(vs []Vector) map[string]Vector {
+	out := make(map[string]Vector, len(vs))
+	for _, v := range vs {
+		out[v.Name+"/"+v.Target] = v
+	}
+	return out
+}
+
+func TestSurveyVulnerableConfiguration(t *testing.T) {
+	vs := Survey([]installer.Profile{
+		installer.Amazon(), installer.AmazonV2(), installer.Xiaomi(),
+		installer.SlideMe(), installer.GooglePlay(),
+	}, dm.PolicyLegacy)
+	m := vectorsByKey(vs)
+
+	expectApplicable := []string{
+		"toctou-hijack/com.amazon.venezia",
+		"js-bridge-injection/com.amazon.venezia",
+		"manifest-verify-bypass/com.amazon.venezia",
+		"toctou-hijack/com.xiaomi.market",
+		"push-forgery/com.xiaomi.market",
+		"pia-same-manifest/com.slideme.sam.manager",
+		"dm-symlink/AOSP DownloadManager",
+		"redirect-intent/any installer UI",
+	}
+	for _, key := range expectApplicable {
+		v, ok := m[key]
+		if !ok {
+			t.Fatalf("missing vector %s; have %v", key, vs)
+		}
+		if !v.Applicable {
+			t.Errorf("%s not applicable: %s", key, v.Reason)
+		}
+		if v.Reason == "" {
+			t.Errorf("%s lacks a reason", key)
+		}
+	}
+	// Google Play resists the TOCTOU.
+	if v := m["toctou-hijack/com.android.vending"]; v.Applicable {
+		t.Errorf("play toctou marked applicable: %s", v.Reason)
+	}
+}
+
+func TestSurveyHardenedConfiguration(t *testing.T) {
+	amazonFixed := installer.Amazon()
+	amazonFixed.JSBridgeSanitized = true
+	amazonFixed.UseSignatureVerification = true
+	xiaomiFixed := installer.Xiaomi()
+	xiaomiFixed.PushAuth = installer.ReceiverGuarded
+	hardened := installer.Hardened(installer.Baidu())
+
+	vs := Survey([]installer.Profile{amazonFixed, xiaomiFixed, hardened}, dm.PolicyFixed)
+	m := vectorsByKey(vs)
+
+	for _, key := range []string{
+		"toctou-hijack/com.amazon.venezia",
+		"js-bridge-injection/com.amazon.venezia",
+		"push-forgery/com.xiaomi.market",
+		"toctou-hijack/com.baidu.appsearch",
+		"dm-symlink/AOSP DownloadManager",
+	} {
+		v, ok := m[key]
+		if !ok {
+			t.Fatalf("missing vector %s", key)
+		}
+		if v.Applicable {
+			t.Errorf("%s still applicable after hardening: %s", key, v.Reason)
+		}
+	}
+	// Redirect Intent remains an OS-level problem regardless of stores.
+	if v := m["redirect-intent/any installer UI"]; !v.Applicable {
+		t.Error("redirect intent marked inapplicable — only the IntentFirewall addresses it")
+	}
+	if SurfaceTable([]installer.Profile{amazonFixed}, dm.PolicyFixed).Render() == "" {
+		t.Error("surface table renders empty")
+	}
+}

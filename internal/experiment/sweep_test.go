@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+func TestReactionLatencySweepShape(t *testing.T) {
+	// Amazon's check-to-install gap is 120–200 ms: a fast attacker always
+	// wins, one slower than the maximum gap always loses.
+	points, err := ReactionLatencySweep(installer.Amazon(),
+		[]time.Duration{5 * time.Millisecond, 300 * time.Millisecond}, 6, 401)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].SuccessRate != 1.0 {
+		t.Errorf("fast attacker success = %v, want 1.0", points[0].SuccessRate)
+	}
+	if points[1].SuccessRate != 0.0 {
+		t.Errorf("slow attacker success = %v, want 0.0", points[1].SuccessRate)
+	}
+	// A latency inside the gap spread wins sometimes but not always.
+	mid, err := ReactionLatencySweep(installer.Amazon(),
+		[]time.Duration{160 * time.Millisecond}, 12, 409)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid[0].SuccessRate <= 0.0 || mid[0].SuccessRate >= 1.0 {
+		t.Errorf("mid-gap success = %v, want strictly between 0 and 1", mid[0].SuccessRate)
+	}
+}
+
+func TestWaitDelaySweepShape(t *testing.T) {
+	// DTIgnite: check ends ≈360 ms, install at ≈2.1–2.5 s. 100 ms is too
+	// early (corrupts before the check), 2 s is the paper's sweet spot,
+	// 10 s is too late.
+	points, err := WaitDelaySweep(installer.DTIgnite(),
+		[]time.Duration{100 * time.Millisecond, 2 * time.Second, 10 * time.Second}, 5, 421)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].SuccessRate != 0 {
+		t.Errorf("too-early delay success = %v, want 0", points[0].SuccessRate)
+	}
+	if points[1].SuccessRate != 1 {
+		t.Errorf("paper delay success = %v, want 1", points[1].SuccessRate)
+	}
+	if points[2].SuccessRate != 0 {
+		t.Errorf("too-late delay success = %v, want 0", points[2].SuccessRate)
+	}
+}
+
+func TestDMGapSweepShape(t *testing.T) {
+	// With the flip period fixed at 300 µs, a wide gap is easy to hit and
+	// a tiny gap is hard — but with retries even the tiny gap falls,
+	// matching the paper's conclusion that only resolve-once fixes it.
+	points, err := DMGapSweep([]time.Duration{2 * time.Millisecond, 50 * time.Microsecond}, 50, 4, 431)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].SuccessRate != 1 {
+		t.Errorf("wide-gap success = %v, want 1", points[0].SuccessRate)
+	}
+	if points[1].SuccessRate == 0 {
+		t.Errorf("narrow-gap success = 0 — retries must eventually land")
+	}
+}
+
+func TestDetectionThresholdSweepShape(t *testing.T) {
+	outcomes, err := DetectionThresholdSweep([]time.Duration{
+		time.Millisecond, // far below the attacker's ~20 ms reaction: misses
+		time.Second,      // the paper's choice: catches, no FPs
+		30 * time.Second, // oversized: catches, but benign navigation alarms
+	}, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].AttackDetected {
+		t.Error("1 ms threshold detected the attack — attacker reaction is slower than that")
+	}
+	if !outcomes[1].AttackDetected || outcomes[1].FalsePositives != 0 {
+		t.Errorf("1 s threshold: detected=%v fps=%d, want detected with 0 FPs",
+			outcomes[1].AttackDetected, outcomes[1].FalsePositives)
+	}
+	if !outcomes[2].AttackDetected || outcomes[2].FalsePositives == 0 {
+		t.Errorf("30 s threshold: detected=%v fps=%d, want detected with FPs on benign navigation",
+			outcomes[2].AttackDetected, outcomes[2].FalsePositives)
+	}
+}
+
+func TestSuggestionStudyShape(t *testing.T) {
+	outcomes, err := SuggestionStudy(457)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 7 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.StockHijacked {
+			t.Errorf("%s/%v: stock profile resisted — nothing to harden against", o.Store, o.Strategy)
+		}
+		if o.HardenedHijacked || !o.HardenedClean {
+			t.Errorf("%s/%v: hardened profile fell (hijacked=%v clean=%v)",
+				o.Store, o.Strategy, o.HardenedHijacked, o.HardenedClean)
+		}
+	}
+	if _, err := SuggestionTable(457); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetStudyAllDevicesFall(t *testing.T) {
+	outcomes, err := FleetStudy(4, 811)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 6 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.Rate() != 1.0 {
+			t.Errorf("%s fleet rate = %.2f, want 1.0 (the attack must not depend on timing draws)", o.Store, o.Rate())
+		}
+	}
+	if _, err := FleetTable(2, 813); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepTableRenders(t *testing.T) {
+	tab := SweepTable("Ablation", "x", "latency", []SweepPoint{{Param: time.Millisecond, SuccessRate: 0.5, Trials: 10}})
+	if len(tab.Rows) != 1 || tab.Render() == "" {
+		t.Errorf("table = %+v", tab)
+	}
+}

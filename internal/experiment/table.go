@@ -1,0 +1,81 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: the qualitative attack inventories (Tables I and V), the
+// measurement-study tables (II, III, IV, VI, plus the platform-key and Hare
+// studies), the defense effectiveness/complexity matrix (VII), the
+// performance tables (VIII, IX, X), the AIT trace of Figure 1, and the
+// in-text studies of Sections III and VI.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// JSON returns the table as indented JSON (for machine consumption of
+// experiment results).
+func (t Table) JSON() (string, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("experiment: marshal table %s: %w", t.ID, err)
+	}
+	return string(data), nil
+}
+
+// Render produces an aligned plain-text table.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+func ratio(n, d int) string {
+	if d == 0 {
+		return "0/0"
+	}
+	return fmt.Sprintf("%d/%d (%.1f%%)", n, d, 100*float64(n)/float64(d))
+}

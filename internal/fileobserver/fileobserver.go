@@ -1,0 +1,140 @@
+// Package fileobserver mirrors android.os.FileObserver: inotify-backed
+// monitoring of one directory, with the same event mask constants. It is the
+// only capability the Section III-B attacker needs beyond the SD-card
+// permission, and also the sensing layer of the DAPP defense.
+package fileobserver
+
+import (
+	"fmt"
+
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// Event mask bits, matching android.os.FileObserver's constants.
+const (
+	Access       = 0x0001
+	Modify       = 0x0002
+	Attrib       = 0x0004
+	CloseWrite   = 0x0008
+	CloseNoWrite = 0x0010
+	Open         = 0x0020
+	MovedFrom    = 0x0040
+	MovedTo      = 0x0080
+	Create       = 0x0100
+	Delete       = 0x0200
+	AllEvents    = 0x0FFF
+)
+
+// Event is one observed filesystem event.
+type Event struct {
+	Mask  int    // one of the mask bits above
+	Path  string // full path of the affected file
+	Name  string // base name, as FileObserver reports
+	Actor vfs.UID
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s", MaskName(e.Mask), e.Path)
+}
+
+// MaskName names a single mask bit.
+func MaskName(mask int) string {
+	switch mask {
+	case Access:
+		return "ACCESS"
+	case Modify:
+		return "MODIFY"
+	case Attrib:
+		return "ATTRIB"
+	case CloseWrite:
+		return "CLOSE_WRITE"
+	case CloseNoWrite:
+		return "CLOSE_NOWRITE"
+	case Open:
+		return "OPEN"
+	case MovedFrom:
+		return "MOVED_FROM"
+	case MovedTo:
+		return "MOVED_TO"
+	case Create:
+		return "CREATE"
+	case Delete:
+		return "DELETE"
+	default:
+		return fmt.Sprintf("MASK(0x%x)", mask)
+	}
+}
+
+var kindToMask = map[vfs.EventKind]int{
+	vfs.EvAccess:       Access,
+	vfs.EvModify:       Modify,
+	vfs.EvAttrib:       Attrib,
+	vfs.EvCloseWrite:   CloseWrite,
+	vfs.EvCloseNoWrite: CloseNoWrite,
+	vfs.EvOpen:         Open,
+	vfs.EvMovedFrom:    MovedFrom,
+	vfs.EvMovedTo:      MovedTo,
+	vfs.EvCreate:       Create,
+	vfs.EvDelete:       Delete,
+}
+
+func maskToKinds(mask int) vfs.EventKind {
+	var kinds vfs.EventKind
+	for kind, m := range kindToMask {
+		if mask&m != 0 {
+			kinds |= kind
+		}
+	}
+	return kinds
+}
+
+// Observer watches one directory. Like the Android class, it must be
+// started before events are delivered and can be stopped and restarted.
+type Observer struct {
+	fs      *vfs.FS
+	dir     string
+	mask    int
+	onEvent func(Event)
+	watch   *vfs.Watch
+}
+
+// New creates an observer for dir with the given event mask. The directory
+// does not need to exist yet.
+func New(fs *vfs.FS, dir string, mask int, onEvent func(Event)) *Observer {
+	return &Observer{fs: fs, dir: dir, mask: mask, onEvent: onEvent}
+}
+
+// Dir reports the watched directory.
+func (o *Observer) Dir() string { return o.dir }
+
+// StartWatching begins event delivery. Calling it on a running observer is
+// a no-op, like the Android API.
+func (o *Observer) StartWatching() error {
+	if o.watch != nil {
+		return nil
+	}
+	w, err := o.fs.Watch(o.dir, maskToKinds(o.mask), func(ev vfs.Event) {
+		mask, ok := kindToMask[ev.Kind]
+		if !ok {
+			return
+		}
+		o.onEvent(Event{Mask: mask, Path: ev.Path, Name: ev.Name(), Actor: ev.Actor})
+	})
+	if err != nil {
+		return fmt.Errorf("start watching %s: %w", o.dir, err)
+	}
+	o.watch = w
+	return nil
+}
+
+// StopWatching halts event delivery. Safe to call repeatedly.
+func (o *Observer) StopWatching() {
+	if o.watch == nil {
+		return
+	}
+	o.watch.Close()
+	o.watch = nil
+}
+
+// Watching reports whether the observer is active.
+func (o *Observer) Watching() bool { return o.watch != nil }

@@ -1,0 +1,144 @@
+package fileobserver
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+const appA vfs.UID = 10001
+
+func newFS(t *testing.T) *vfs.FS {
+	t.Helper()
+	fs := vfs.New(func() time.Duration { return 0 })
+	if err := fs.MkdirAll("/sdcard/store", vfs.Root, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestObserverDeliversMaskedEvents(t *testing.T) {
+	fs := newFS(t)
+	var got []Event
+	o := New(fs, "/sdcard/store", CloseWrite|CloseNoWrite, func(ev Event) {
+		got = append(got, ev)
+	})
+	if err := o.StartWatching(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.StopWatching()
+
+	if err := fs.WriteFile("/sdcard/store/a.apk", []byte("x"), appA, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile("/sdcard/store/a.apk", appA); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != 2 {
+		t.Fatalf("events = %v, want CLOSE_WRITE then CLOSE_NOWRITE", got)
+	}
+	if got[0].Mask != CloseWrite || got[1].Mask != CloseNoWrite {
+		t.Errorf("masks = %x, %x", got[0].Mask, got[1].Mask)
+	}
+	if got[0].Name != "a.apk" || got[0].Path != "/sdcard/store/a.apk" {
+		t.Errorf("event identity = %+v", got[0])
+	}
+}
+
+func TestObserverAllEventsSequence(t *testing.T) {
+	fs := newFS(t)
+	var names []string
+	o := New(fs, "/sdcard/store", AllEvents, func(ev Event) {
+		names = append(names, MaskName(ev.Mask))
+	})
+	if err := o.StartWatching(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.StopWatching()
+
+	if err := fs.WriteFile("/sdcard/store/a.apk", []byte("x"), appA, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/sdcard/store/a.apk", appA); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{"CREATE", "OPEN", "MODIFY", "CLOSE_WRITE", "DELETE"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, names[i], want[i])
+		}
+	}
+}
+
+func TestObserverStartStopIdempotent(t *testing.T) {
+	fs := newFS(t)
+	count := 0
+	o := New(fs, "/sdcard/store", AllEvents, func(Event) { count++ })
+	if err := o.StartWatching(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.StartWatching(); err != nil { // no double delivery
+		t.Fatal(err)
+	}
+	if !o.Watching() {
+		t.Error("Watching() = false after start")
+	}
+	if err := fs.WriteFile("/sdcard/store/f", []byte("x"), appA, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	first := count
+	if first == 0 {
+		t.Fatal("no events delivered")
+	}
+
+	o.StopWatching()
+	o.StopWatching()
+	if o.Watching() {
+		t.Error("Watching() = true after stop")
+	}
+	if err := fs.WriteFile("/sdcard/store/g", []byte("x"), appA, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if count != first {
+		t.Errorf("events after stop: %d -> %d", first, count)
+	}
+}
+
+func TestObserverOnNotYetExistingDir(t *testing.T) {
+	fs := newFS(t)
+	count := 0
+	o := New(fs, "/sdcard/future", Create, func(Event) { count++ })
+	if err := o.StartWatching(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.StopWatching()
+
+	if err := fs.Mkdir("/sdcard/future", appA, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/sdcard/future/f", []byte("x"), appA, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (CREATE of f)", count)
+	}
+}
+
+func TestMaskNames(t *testing.T) {
+	for mask, want := range map[int]string{
+		Access: "ACCESS", Modify: "MODIFY", Attrib: "ATTRIB",
+		CloseWrite: "CLOSE_WRITE", CloseNoWrite: "CLOSE_NOWRITE",
+		Open: "OPEN", MovedFrom: "MOVED_FROM", MovedTo: "MOVED_TO",
+		Create: "CREATE", Delete: "DELETE",
+	} {
+		if got := MaskName(mask); got != want {
+			t.Errorf("MaskName(0x%x) = %q, want %q", mask, got, want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package fuse
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// Property: under the patched daemon, no sequence of attacker operations
+// (overwrite / delete / rename-away / rename-over / chmod) can change a
+// protected APK's content, whatever order they arrive in.
+func TestPropertyPatchedAPKContentIsImmutableToOthers(t *testing.T) {
+	f := func(ops []uint8) bool {
+		fs, _ := newSDCard2(t, true)
+		const content = "genuine-apk-bytes"
+		if err := fs.WriteFile("/sdcard/store/app.apk", []byte(content), storeApp, 0); err != nil {
+			return false
+		}
+		// Attacker pre-stages a replacement.
+		if err := fs.WriteFile("/sdcard/evil.bin", []byte("evil"), attacker, 0); err != nil {
+			return false
+		}
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				_ = fs.WriteFile("/sdcard/store/app.apk", []byte("evil"), attacker, 0)
+			case 1:
+				_ = fs.Remove("/sdcard/store/app.apk", attacker)
+			case 2:
+				_ = fs.Rename("/sdcard/store/app.apk", "/sdcard/gone.apk", attacker)
+			case 3:
+				_ = fs.Rename("/sdcard/evil.bin", "/sdcard/store/app.apk", attacker)
+			case 4:
+				_ = fs.Chmod("/sdcard/store/app.apk", vfs.ModeShared, attacker)
+			}
+		}
+		got, err := fs.ReadFile("/sdcard/store/app.apk", storeApp)
+		return err == nil && string(got) == content
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// newSDCard2 is newSDCard without fatal assertions, usable inside a
+// quick.Check closure.
+func newSDCard2(t *testing.T, patched bool) (*vfs.FS, *Daemon) {
+	t.Helper()
+	fs := vfs.New(func() time.Duration { return 0 })
+	d := New("/sdcard", grants)
+	d.SetPatched(patched)
+	_ = fs.MkdirAll("/sdcard", vfs.Root, vfs.ModeDir)
+	_ = fs.Mount("/sdcard", d, 0)
+	_ = fs.MkdirAll("/sdcard/store", storeApp, vfs.ModeDir)
+	return fs, d
+}

@@ -1,0 +1,70 @@
+package installer
+
+import (
+	"testing"
+	"time"
+)
+
+// paperWaitDelay mirrors attack.WaitDelayFor without importing the attack
+// package (which would create an import cycle in tests).
+func paperWaitDelay(storePkg string) time.Duration {
+	switch storePkg {
+	case "com.dti.ignite", "com.sprint.zone":
+		return 2 * time.Second
+	default:
+		return 500 * time.Millisecond
+	}
+}
+
+// TestProfileTimingCalibration guards the timing model against profile
+// edits: for the stores the paper attacked with the wait-and-see strategy,
+// the pre-measured delay must land strictly between the end of the hash
+// check and the earliest possible install trigger, with margin for the
+// attacker's detection lag (EOCD polling, up to 50 ms) and reaction
+// latency (up to 6 ms).
+func TestProfileTimingCalibration(t *testing.T) {
+	const (
+		pollLag  = 50 * time.Millisecond
+		reactMax = 6 * time.Millisecond
+	)
+	waitAndSeeStores := map[string]bool{
+		"com.amazon.venezia":  true,
+		"com.baidu.appsearch": true,
+		"com.dti.ignite":      true,
+		"com.sprint.zone":     true,
+	}
+	for _, prof := range AllStoreProfiles() {
+		if prof.Storage != StorageSDCard || !waitAndSeeStores[prof.Package] {
+			continue
+		}
+		checkEnd := time.Duration(prof.VerifyReads) * prof.VerifyReadTime
+		installMin := checkEnd + prof.GapMin
+		delay := paperWaitDelay(prof.Package)
+		strikeMin := delay + 1 // strike happens at least at delay after completion
+		strikeMax := delay + pollLag + reactMax
+
+		if strikeMin <= checkEnd {
+			t.Errorf("%s: earliest strike %v not after the check end %v — would corrupt before verification",
+				prof.Package, strikeMin, checkEnd)
+		}
+		if strikeMax >= installMin {
+			t.Errorf("%s: latest strike %v not before the earliest install %v — would miss the window",
+				prof.Package, strikeMax, installMin)
+		}
+	}
+}
+
+// TestFileObserverWindowCalibration checks every SD-card store leaves a
+// gap wide enough for a FileObserver attacker with up to 6 ms reaction.
+func TestFileObserverWindowCalibration(t *testing.T) {
+	const reactMax = 6 * time.Millisecond
+	for _, prof := range AllStoreProfiles() {
+		if prof.Storage != StorageSDCard {
+			continue
+		}
+		if prof.GapMin <= reactMax {
+			t.Errorf("%s: trigger gap %v not larger than the attacker's max reaction %v",
+				prof.Package, prof.GapMin, reactMax)
+		}
+	}
+}

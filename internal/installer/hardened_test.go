@@ -1,0 +1,148 @@
+package installer
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/device"
+	"github.com/ghost-installer/gia/internal/fileobserver"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// buildAttackerHelper is a minimal app holding the storage permission.
+func buildAttackerHelper(t *testing.T) *apk.APK {
+	t.Helper()
+	return apk.Build(apk.Manifest{
+		Package: "com.replacer", VersionCode: 1, Label: "R",
+		UsesPerms: []string{perm.WriteExternalStorage},
+	}, nil, sig.NewKey("replacer"))
+}
+
+func TestHardenedPrefersInternalWhenSpaceAllows(t *testing.T) {
+	d := bootDev(t)
+	prof := Hardened(Amazon())
+	app, _ := deployWithTarget(t, d, prof, "com.example.app")
+	res := runAIT(t, d, app, "com.example.app")
+	if !res.Clean() {
+		t.Fatal(res.Err)
+	}
+	// Nothing was staged on the SD card.
+	if infos, err := d.FS.List(prof.StagingDir); err == nil && len(infos) > 0 {
+		t.Errorf("SD staging dir used despite internal preference: %+v", infos)
+	}
+	// The internal staging file is world-readable (the PMS requirement).
+	staged := false
+	for _, s := range res.Trace {
+		if s.Name == "downloaded" && strings.HasPrefix(s.Detail, "/data/data/") {
+			staged = true
+		}
+	}
+	if !staged {
+		t.Errorf("trace shows no internal staging: %v", res.Trace)
+	}
+}
+
+func TestHardenedFallsBackToSDCardWhenLowOnSpace(t *testing.T) {
+	// A low-end device: internal storage too small to hold the APK twice
+	// (staging/secure copy + code image), but big enough for the install
+	// itself — the Galaxy J5 situation of Section II.
+	d, err := device.Boot(device.Profile{Name: "galaxy-j5", Vendor: "samsung", InternalBytes: 40 << 10, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := Hardened(Amazon())
+	app, err := Deploy(d, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := apk.Build(apk.Manifest{Package: "com.example.app", VersionCode: 1, Label: "Big"},
+		nil, sig.NewKey("big-dev"))
+	big.Padding = 25 << 10
+	app.Store.Publish(big)
+
+	res := runAIT(t, d, app, "com.example.app")
+	if !res.Clean() {
+		t.Fatalf("low-end hardened install failed: %v", res.Err)
+	}
+	// It fell back to the SD card for the download, and the secure copy
+	// was skipped for the same space reason.
+	sdDownloaded, copySkipped := false, false
+	for _, s := range res.Trace {
+		if s.Name == "downloaded" && strings.HasPrefix(s.Detail, "/sdcard/") {
+			sdDownloaded = true
+		}
+		if s.Name == "secure-copy-skipped" {
+			copySkipped = true
+		}
+	}
+	if !sdDownloaded {
+		t.Errorf("expected SD fallback, trace: %v", res.Trace)
+	}
+	if !copySkipped {
+		t.Errorf("expected skipped secure copy, trace: %v", res.Trace)
+	}
+}
+
+func TestHardenedDTIgniteUsesCacheDir(t *testing.T) {
+	d := bootDev(t)
+	prof := Hardened(DTIgnite())
+	app, _ := deployWithTarget(t, d, prof, "com.carrier.bloat")
+	res := runAIT(t, d, app, "com.carrier.bloat")
+	if !res.Clean() {
+		t.Fatal(res.Err)
+	}
+	q, err := d.DM.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(q.Dest, "/data/data/com.dti.ignite/cache/") {
+		t.Errorf("DM dest = %q, want the installer's cache dir", q.Dest)
+	}
+}
+
+func TestSecureVerifyStopsLateReplacement(t *testing.T) {
+	// Keep SD staging (no internal preference) but verify on a secure
+	// copy. A replacement landing on the shared file after the copy has
+	// no effect on what gets installed.
+	d := bootDev(t)
+	prof := Baidu()
+	prof.SecureVerify = true
+	app, genuine := deployWithTarget(t, d, prof, "com.example.app")
+
+	evil, err := d.InstallSystemApp(buildAttackerHelper(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the shared-storage file right after its CLOSE_WRITE — i.e.
+	// even *before* a Section III-B attacker would normally strike.
+	replaced := false
+	obs := fileobserver.New(d.FS, prof.StagingDir, fileobserver.CloseWrite, func(ev fileobserver.Event) {
+		if !replaced && ev.Actor == app.UID() {
+			replaced = true
+			// Schedule right after the secure copy's read completes.
+			d.Sched.After(1, func() {
+				if werr := d.FS.WriteFile(ev.Path, []byte("evil"), evil.UID, vfs.ModeShared); werr != nil {
+					t.Errorf("replacement write failed: %v", werr)
+				}
+			})
+		}
+	})
+	if err := obs.StartWatching(); err != nil {
+		t.Fatal(err)
+	}
+	defer obs.StopWatching()
+
+	res := runAIT(t, d, app, "com.example.app")
+	if !replaced {
+		t.Fatal("replacement never happened")
+	}
+	if !res.Clean() {
+		t.Fatalf("hardened install not clean: err=%v hijacked=%v", res.Err, res.Hijacked)
+	}
+	if !res.Installed.Cert.Equal(genuine.Cert()) {
+		t.Error("installed package does not carry the genuine certificate")
+	}
+}

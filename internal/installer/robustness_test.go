@@ -1,0 +1,86 @@
+package installer
+
+import (
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/intents"
+)
+
+// The store interfaces must be robust against malformed input: junk
+// payloads may not crash the device or trigger installs.
+func TestPushReceiverRejectsMalformedPayloads(t *testing.T) {
+	d := bootDev(t)
+	_, _ = deployWithTarget(t, d, Xiaomi(), "com.example.app")
+
+	payloads := []string{
+		"",                                     // no payload at all
+		"not json",                             // unparsable outer
+		`{"jsonContent":"also not json"}`,      // unparsable inner
+		`{"jsonContent":"{\"type\":\"web\"}"}`, // wrong type
+		`{"jsonContent":"{\"type\":\"app\"}"}`, // missing package
+		`{"jsonContent":"{\"type\":\"app\",\"packageName\":\"com.not.on.store\"}"}`, // unknown package
+	}
+	for _, payload := range payloads {
+		extras := map[string]string{}
+		if payload != "" {
+			extras["payload"] = payload
+		}
+		if _, err := d.AMS.SendBroadcast("com.malware", intents.Intent{
+			Action: PushAction("com.xiaomi.market"),
+			Extras: extras,
+		}); err != nil {
+			t.Fatalf("broadcast %q: %v", payload, err)
+		}
+	}
+	d.Run()
+	// Nothing beyond the store itself is installed.
+	if got := len(d.PMS.Packages()); got != 1 {
+		t.Errorf("packages after junk payloads = %d, want 1 (the store)", got)
+	}
+}
+
+func TestJSBridgeIgnoresMalformedCommands(t *testing.T) {
+	d := bootDev(t)
+	_, _ = deployWithTarget(t, d, Amazon(), "com.example.app")
+
+	for _, payload := range []string{
+		"",                   // no script
+		"garbage",            // not verb:arg
+		"launch:com.example", // unknown verb
+		"install:",           // empty target -> not in catalog, logged
+		";;;",                // separators only
+	} {
+		if err := d.AMS.StartActivity("com.malware", intents.Intent{
+			TargetPkg: "com.amazon.venezia", Component: ActivityVenezia,
+			SingleTop: true,
+			Extras:    map[string]string{"jsPayload": payload},
+		}); err != nil {
+			t.Fatalf("start with %q: %v", payload, err)
+		}
+		d.Run()
+	}
+	if _, ok := d.PMS.Installed("com.example.app"); ok {
+		t.Error("junk commands installed the target")
+	}
+}
+
+func TestRequestInstallNilCallback(t *testing.T) {
+	d := bootDev(t)
+	app, _ := deployWithTarget(t, d, Baidu(), "com.example.app")
+	app.RequestInstall("com.example.app", nil) // must not panic
+	d.Run()
+	if _, ok := d.PMS.Installed("com.example.app"); !ok {
+		t.Error("install with nil callback did not complete")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	var r Result
+	if r.Succeeded() || r.Clean() {
+		t.Error("zero result reports success")
+	}
+	r.Err = ErrNotInCatalog
+	if r.Succeeded() {
+		t.Error("errored result reports success")
+	}
+}

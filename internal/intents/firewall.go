@@ -1,0 +1,135 @@
+package intents
+
+import (
+	"time"
+)
+
+// DefaultThreshold is the detection window: two Intents reaching the same
+// recipient within it look like a redirect attack (1 second in the paper's
+// implementation).
+const DefaultThreshold = time.Second
+
+// Alert is one suspected redirect-Intent attack.
+type Alert struct {
+	At           time.Duration
+	Recipient    string
+	FirstSender  string
+	SecondSender string
+	Gap          time.Duration
+}
+
+// intentRecord is the IR record of Section V-C: recipient package name
+// (the map key), delivery time and the caller's identity.
+type intentRecord struct {
+	senderPkg string
+	at        time.Duration
+}
+
+// Firewall is the modified IntentFirewall. Both schemes are independent
+// toggles: the detection scheme flags suspiciously quick consecutive
+// Intents to the same recipient, and the origin scheme stamps each Intent
+// with its sender's package name for the recipient to inspect.
+type Firewall struct {
+	detection bool
+	origin    bool
+	threshold time.Duration
+
+	now         func() time.Duration
+	isSystemPkg func(pkg string) bool
+
+	// records keeps only the last Intent per recipient package.
+	records map[string]intentRecord
+	alerts  []Alert
+	onAlert func(Alert)
+
+	// checks counts checkIntent invocations (used by the overhead
+	// benchmarks of Tables IX and X).
+	checks int
+}
+
+func newFirewall(now func() time.Duration, isSystemPkg func(string) bool) *Firewall {
+	return &Firewall{
+		threshold:   DefaultThreshold,
+		now:         now,
+		isSystemPkg: isSystemPkg,
+		records:     make(map[string]intentRecord),
+	}
+}
+
+// EnableDetection toggles the redirect-Intent detection scheme.
+func (f *Firewall) EnableDetection(on bool) { f.detection = on }
+
+// DetectionEnabled reports whether detection is active.
+func (f *Firewall) DetectionEnabled() bool { return f.detection }
+
+// EnableOrigin toggles the Intent-origin identification scheme.
+func (f *Firewall) EnableOrigin(on bool) { f.origin = on }
+
+// OriginEnabled reports whether origin stamping is active.
+func (f *Firewall) OriginEnabled() bool { return f.origin }
+
+// SetThreshold overrides the detection window.
+func (f *Firewall) SetThreshold(d time.Duration) { f.threshold = d }
+
+// OnAlert registers a callback invoked for each new alert (the "report the
+// event to the user" path).
+func (f *Firewall) OnAlert(fn func(Alert)) { f.onAlert = fn }
+
+// Alerts returns all alerts raised so far.
+func (f *Firewall) Alerts() []Alert { return append([]Alert(nil), f.alerts...) }
+
+// ResetAlerts clears alert history (between experiment runs).
+func (f *Firewall) ResetAlerts() { f.alerts = nil }
+
+// Checks reports how many Intents have passed through checkIntent.
+func (f *Firewall) Checks() int { return f.checks }
+
+// CheckIntent is the modified IntentFirewall.checkIntent: it stamps the
+// origin (when enabled), and compares the Intent against the recipient's
+// previous IR record (when detection is enabled). The AMS calls it for
+// every startActivity; it is exported so the Table IX/X benchmarks can
+// measure exactly the added logic.
+//
+// No alarm is raised when (1) both Intents come from the same app, (2) the
+// sender is the recipient itself, or (3) the sender is a system app or
+// service — the paper's three false-positive suppressions.
+func (f *Firewall) CheckIntent(senderPkg, recipientPkg string, in *Intent) {
+	f.checks++
+	if f.origin {
+		in.origin = senderPkg
+	}
+	if !f.detection {
+		return
+	}
+	now := f.now()
+	prev, seen := f.records[recipientPkg]
+	// Only the last Intent received by the package is preserved.
+	f.records[recipientPkg] = intentRecord{senderPkg: senderPkg, at: now}
+	if !seen {
+		return
+	}
+	gap := now - prev.at
+	if gap >= f.threshold {
+		return
+	}
+	if prev.senderPkg == senderPkg { // same app sent both
+		return
+	}
+	if senderPkg == recipientPkg { // sent and received by the same app
+		return
+	}
+	if f.isSystemPkg(senderPkg) { // system apps and services are trusted
+		return
+	}
+	alert := Alert{
+		At:           now,
+		Recipient:    recipientPkg,
+		FirstSender:  prev.senderPkg,
+		SecondSender: senderPkg,
+		Gap:          gap,
+	}
+	f.alerts = append(f.alerts, alert)
+	if f.onAlert != nil {
+		f.onAlert(alert)
+	}
+}

@@ -1,0 +1,90 @@
+package intents
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: a single sender, however fast it fires at one recipient, never
+// triggers the detection scheme (suppression rule 1).
+func TestPropertySingleSenderNeverAlerts(t *testing.T) {
+	f := func(gapsMs []uint8) bool {
+		fx := newFixture(Options{DeliveryLatency: time.Microsecond})
+		fx.ams.Firewall().EnableDetection(true)
+		fx.ams.RegisterActivity("com.recv", "A", true, "", echoActivity("r"))
+		for _, g := range gapsMs {
+			fx.sched.RunUntil(fx.sched.Now() + time.Duration(g)*time.Millisecond)
+			if err := fx.ams.StartActivity("com.only", Intent{TargetPkg: "com.recv", Component: "A"}); err != nil {
+				return false
+			}
+		}
+		fx.sched.Run()
+		return len(fx.ams.Firewall().Alerts()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: alternating senders alert if and only if some consecutive pair
+// lands within the threshold (given distinct non-system senders and a
+// recipient that is neither).
+func TestPropertyAlertIffWithinThreshold(t *testing.T) {
+	const threshold = 50 * time.Millisecond
+	f := func(gapsMs []uint8) bool {
+		fx := newFixture(Options{DeliveryLatency: time.Microsecond})
+		fw := fx.ams.Firewall()
+		fw.EnableDetection(true)
+		fw.SetThreshold(threshold)
+		fx.ams.RegisterActivity("com.recv", "A", true, "", echoActivity("r"))
+
+		expectAlert := false
+		for i, g := range gapsMs {
+			gap := time.Duration(g) * time.Millisecond
+			if i > 0 {
+				if gap < threshold {
+					expectAlert = true
+				}
+				fx.sched.RunUntil(fx.sched.Now() + gap)
+			}
+			sender := fmt.Sprintf("com.s%d", i%2)
+			if err := fx.ams.StartActivity(sender, Intent{TargetPkg: "com.recv", Component: "A"}); err != nil {
+				return false
+			}
+		}
+		fx.sched.Run()
+		return (len(fw.Alerts()) > 0) == expectAlert
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: origin stamping is exact for arbitrary sender names, and absent
+// when the scheme is off.
+func TestPropertyOriginExactness(t *testing.T) {
+	f := func(senderSuffix uint16, enabled bool) bool {
+		fx := newFixture(Options{DeliveryLatency: time.Microsecond})
+		fx.ams.Firewall().EnableOrigin(enabled)
+		var got string
+		var ok bool
+		fx.ams.RegisterActivity("com.recv", "A", true, "", func(in Intent) string {
+			got, ok = in.Origin()
+			return "x"
+		})
+		sender := fmt.Sprintf("com.sender%04x", senderSuffix)
+		if err := fx.ams.StartActivity(sender, Intent{TargetPkg: "com.recv", Component: "A"}); err != nil {
+			return false
+		}
+		fx.sched.Run()
+		if enabled {
+			return ok && got == sender
+		}
+		return !ok && got == ""
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package intents implements the Intent machinery of the simulated device:
+// explicit Intents, activities, broadcast receivers, an
+// ActivityManagerService (AMS) with a foreground/back-stack model, and the
+// IntentFirewall hosting the paper's two Section V-C Intent defenses —
+// redirect-Intent detection and Intent-origin identification.
+//
+// Android's stock design gives an Intent recipient no way to learn the
+// sender's identity, and lets a background app start a foreground app's
+// activity, replacing the screen the user is about to see. Both properties
+// are preserved here because the Section III-D attacks depend on them.
+package intents
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/procfs"
+	"github.com/ghost-installer/gia/internal/sim"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// Errors returned by the AMS.
+var (
+	ErrNoSuchComponent = errors.New("intents: no such component")
+	ErrNotExported     = errors.New("intents: component not exported")
+	ErrPermission      = errors.New("intents: sender lacks the guarding permission")
+)
+
+// Intent is an explicit intent aimed at one component.
+type Intent struct {
+	Action    string
+	TargetPkg string
+	Component string
+	Extras    map[string]string
+	// SingleTop requests singleTop launch mode: if the target activity is
+	// already on top it is not recreated — the Amazon command-injection
+	// attack relies on this to keep the WebView alive.
+	SingleTop bool
+
+	// origin is the hidden mIntentOrigin field added by the paper's
+	// Intent-origin enhancement. Empty unless the scheme is enabled.
+	origin string
+}
+
+// Extra reads an extra with a default of "".
+func (in Intent) Extra(key string) string { return in.Extras[key] }
+
+// Origin is the hidden getIntentOrigin API: the sender's package name, if
+// the origin scheme stamped it.
+func (in Intent) Origin() (string, bool) { return in.origin, in.origin != "" }
+
+// ActivityHandler runs when an activity receives an intent and returns the
+// screen content the activity displays.
+type ActivityHandler func(in Intent) string
+
+// ReceiverHandler runs when a broadcast receiver gets an intent.
+type ReceiverHandler func(in Intent)
+
+// Screen is what the display currently shows.
+type Screen struct {
+	Pkg      string
+	Activity string
+	Content  string
+	Since    time.Duration
+}
+
+type activityReg struct {
+	pkg       string
+	name      string
+	exported  bool
+	guardedBy string
+	handler   ActivityHandler
+	// generation counts instance recreations. A singleTop Intent aimed at
+	// the already-top activity is handed to the existing instance
+	// (onNewIntent) and does not bump it — the property the Amazon
+	// command-injection attack depends on to keep the WebView alive.
+	generation int
+}
+
+type receiverReg struct {
+	pkg       string
+	name      string
+	action    string
+	exported  bool
+	guardedBy string
+	handler   ReceiverHandler
+}
+
+// PermChecker reports whether uid holds an Android permission.
+type PermChecker func(uid vfs.UID, permission string) bool
+
+// Options configure an AMS.
+type Options struct {
+	// DeliveryLatency is the virtual time between startActivity and the
+	// activity rendering.
+	DeliveryLatency time.Duration
+	// Perms resolves permission checks for guarded components.
+	Perms PermChecker
+	// UIDOf maps a package name to its UID.
+	UIDOf func(pkg string) (vfs.UID, bool)
+	// IsSystemPkg reports whether a package is a system app (firewall
+	// whitelist rule 3).
+	IsSystemPkg func(pkg string) bool
+}
+
+func (o *Options) fill() {
+	if o.DeliveryLatency <= 0 {
+		o.DeliveryLatency = 5 * time.Millisecond
+	}
+	if o.Perms == nil {
+		o.Perms = func(vfs.UID, string) bool { return true }
+	}
+	if o.UIDOf == nil {
+		o.UIDOf = func(string) (vfs.UID, bool) { return 0, false }
+	}
+	if o.IsSystemPkg == nil {
+		o.IsSystemPkg = func(string) bool { return false }
+	}
+}
+
+// AMS is the ActivityManagerService.
+type AMS struct {
+	sched    *sim.Scheduler
+	procs    *procfs.Table
+	opts     Options
+	firewall *Firewall
+
+	activities map[string]*activityReg // "pkg/name"
+	receivers  []*receiverReg
+	screen     Screen
+	stackTop   string // "pkg/name" of the top activity
+}
+
+// New creates an AMS bound to the scheduler and process table.
+func New(sched *sim.Scheduler, procs *procfs.Table, opts Options) *AMS {
+	opts.fill()
+	a := &AMS{
+		sched:      sched,
+		procs:      procs,
+		opts:       opts,
+		activities: make(map[string]*activityReg),
+	}
+	a.firewall = newFirewall(sched.Now, opts.IsSystemPkg)
+	return a
+}
+
+// Firewall returns the IntentFirewall for defense configuration.
+func (a *AMS) Firewall() *Firewall { return a.firewall }
+
+// RegisterActivity declares an activity of pkg.
+func (a *AMS) RegisterActivity(pkg, name string, exported bool, guardedBy string, h ActivityHandler) {
+	a.activities[pkg+"/"+name] = &activityReg{
+		pkg: pkg, name: name, exported: exported, guardedBy: guardedBy, handler: h,
+	}
+	a.procs.Register(pkg)
+}
+
+// RegisterReceiver declares a broadcast receiver of pkg for action.
+func (a *AMS) RegisterReceiver(pkg, name, action string, exported bool, guardedBy string, h ReceiverHandler) {
+	a.receivers = append(a.receivers, &receiverReg{
+		pkg: pkg, name: name, action: action, exported: exported, guardedBy: guardedBy, handler: h,
+	})
+	a.procs.Register(pkg)
+}
+
+// UnregisterPackage removes every component of pkg (uninstall).
+func (a *AMS) UnregisterPackage(pkg string) {
+	for key, reg := range a.activities {
+		if reg.pkg == pkg {
+			delete(a.activities, key)
+		}
+	}
+	kept := a.receivers[:0]
+	for _, r := range a.receivers {
+		if r.pkg != pkg {
+			kept = append(kept, r)
+		}
+	}
+	a.receivers = kept
+	a.procs.Unregister(pkg)
+}
+
+// Screen returns the currently displayed screen.
+func (a *AMS) Screen() Screen { return a.screen }
+
+// StartActivity delivers in to its target activity on behalf of senderPkg.
+// The intent passes through the IntentFirewall; delivery (and the screen
+// change) happens one DeliveryLatency later in virtual time. The returned
+// error reflects resolution and permission failures only — like the real
+// API, the sender learns nothing about what the firewall thought.
+func (a *AMS) StartActivity(senderPkg string, in Intent) error {
+	key := in.TargetPkg + "/" + in.Component
+	reg, ok := a.activities[key]
+	if !ok {
+		return fmt.Errorf("%s: %w", key, ErrNoSuchComponent)
+	}
+	if !reg.exported && senderPkg != reg.pkg {
+		return fmt.Errorf("%s: %w", key, ErrNotExported)
+	}
+	if reg.guardedBy != "" {
+		uid, ok := a.opts.UIDOf(senderPkg)
+		if !ok || !a.opts.Perms(uid, reg.guardedBy) {
+			return fmt.Errorf("%s guarded by %s: %w", key, reg.guardedBy, ErrPermission)
+		}
+	}
+	// checkIntent: detection bookkeeping and origin stamping.
+	a.firewall.CheckIntent(senderPkg, reg.pkg, &in)
+
+	a.sched.After(a.opts.DeliveryLatency, func() {
+		a.deliver(reg, in)
+	})
+	return nil
+}
+
+func (a *AMS) deliver(reg *activityReg, in Intent) {
+	key := reg.pkg + "/" + reg.name
+	// singleTop: an already-top activity is not recreated; the intent is
+	// handed to the existing instance (onNewIntent). Anything else spins
+	// up a fresh instance.
+	if !(in.SingleTop && a.stackTop == key && reg.generation > 0) {
+		reg.generation++
+	}
+	content := reg.handler(in)
+	a.stackTop = key
+	_ = a.procs.SetForeground(reg.pkg)
+	a.screen = Screen{
+		Pkg:      reg.pkg,
+		Activity: reg.name,
+		Content:  content,
+		Since:    a.sched.Now(),
+	}
+}
+
+// ActivityGeneration reports how many times the named activity has been
+// (re)created. Zero means it never launched.
+func (a *AMS) ActivityGeneration(pkg, name string) int {
+	if reg, ok := a.activities[pkg+"/"+name]; ok {
+		return reg.generation
+	}
+	return 0
+}
+
+// SendBroadcast delivers in to every receiver registered for its action
+// (optionally narrowed to in.TargetPkg). Guarded receivers require the
+// sender to hold the guarding permission; NOTHING authenticates an
+// unguarded receiver's callers — the Xiaomi appstore flaw.
+func (a *AMS) SendBroadcast(senderPkg string, in Intent) (delivered int, err error) {
+	uid, hasUID := a.opts.UIDOf(senderPkg)
+	for _, r := range a.receivers {
+		if r.action != in.Action {
+			continue
+		}
+		if in.TargetPkg != "" && r.pkg != in.TargetPkg {
+			continue
+		}
+		if !r.exported && senderPkg != r.pkg {
+			continue
+		}
+		if r.guardedBy != "" {
+			if !hasUID || !a.opts.Perms(uid, r.guardedBy) {
+				err = fmt.Errorf("%s/%s guarded by %s: %w", r.pkg, r.name, r.guardedBy, ErrPermission)
+				continue
+			}
+		}
+		r := r
+		inCopy := in
+		a.sched.After(a.opts.DeliveryLatency, func() { r.handler(inCopy) })
+		delivered++
+	}
+	return delivered, err
+}

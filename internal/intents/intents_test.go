@@ -1,0 +1,343 @@
+package intents
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/procfs"
+	"github.com/ghost-installer/gia/internal/sim"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+type fixture struct {
+	sched *sim.Scheduler
+	procs *procfs.Table
+	ams   *AMS
+}
+
+func newFixture(opts Options) *fixture {
+	sched := sim.New(1)
+	procs := procfs.NewTable()
+	return &fixture{sched: sched, procs: procs, ams: New(sched, procs, opts)}
+}
+
+func echoActivity(label string) ActivityHandler {
+	return func(in Intent) string { return label + ":" + in.Extra("appId") }
+}
+
+func TestStartActivityUpdatesScreenAndForeground(t *testing.T) {
+	f := newFixture(Options{})
+	f.ams.RegisterActivity("com.android.vending", "AppDetails", true, "", echoActivity("play"))
+
+	err := f.ams.StartActivity("com.facebook", Intent{
+		TargetPkg: "com.android.vending", Component: "AppDetails",
+		Extras: map[string]string{"appId": "com.facebook.orca"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not delivered yet: latency applies.
+	if f.ams.Screen().Pkg != "" {
+		t.Error("screen changed before delivery latency")
+	}
+	f.sched.Run()
+
+	s := f.ams.Screen()
+	if s.Pkg != "com.android.vending" || s.Activity != "AppDetails" || s.Content != "play:com.facebook.orca" {
+		t.Errorf("screen = %+v", s)
+	}
+	if s.Since == 0 {
+		t.Error("screen timestamp missing")
+	}
+	if fg, _ := f.procs.Foreground(); fg != "com.android.vending" {
+		t.Errorf("foreground = %q", fg)
+	}
+}
+
+func TestStartActivityResolutionErrors(t *testing.T) {
+	f := newFixture(Options{})
+	f.ams.RegisterActivity("com.app", "Private", false, "", echoActivity("x"))
+
+	if err := f.ams.StartActivity("com.other", Intent{TargetPkg: "com.app", Component: "Nope"}); !errors.Is(err, ErrNoSuchComponent) {
+		t.Errorf("missing component = %v", err)
+	}
+	if err := f.ams.StartActivity("com.other", Intent{TargetPkg: "com.app", Component: "Private"}); !errors.Is(err, ErrNotExported) {
+		t.Errorf("non-exported = %v", err)
+	}
+	// The owner can start its own non-exported activity.
+	if err := f.ams.StartActivity("com.app", Intent{TargetPkg: "com.app", Component: "Private"}); err != nil {
+		t.Errorf("self start = %v", err)
+	}
+}
+
+func TestGuardedActivityRequiresPermission(t *testing.T) {
+	held := map[string]bool{"com.trusted": true}
+	f := newFixture(Options{
+		Perms: func(uid vfs.UID, p string) bool { return uid == 42 && p == "com.app.CALL" },
+		UIDOf: func(pkg string) (vfs.UID, bool) {
+			if held[pkg] {
+				return 42, true
+			}
+			return 7, true
+		},
+	})
+	f.ams.RegisterActivity("com.app", "Guarded", true, "com.app.CALL", echoActivity("g"))
+
+	if err := f.ams.StartActivity("com.evil", Intent{TargetPkg: "com.app", Component: "Guarded"}); !errors.Is(err, ErrPermission) {
+		t.Errorf("unprivileged = %v", err)
+	}
+	if err := f.ams.StartActivity("com.trusted", Intent{TargetPkg: "com.app", Component: "Guarded"}); err != nil {
+		t.Errorf("privileged = %v", err)
+	}
+}
+
+func TestSecondIntentReplacesScreenBeforeUserSees(t *testing.T) {
+	// The stock-Android behaviour the redirect attack exploits: a second
+	// Intent delivered shortly after the first replaces the screen.
+	f := newFixture(Options{DeliveryLatency: 5 * time.Millisecond})
+	f.ams.RegisterActivity("com.android.vending", "AppDetails", true, "", echoActivity("play"))
+
+	send := func(sender, appID string) {
+		if err := f.ams.StartActivity(sender, Intent{
+			TargetPkg: "com.android.vending", Component: "AppDetails",
+			Extras: map[string]string{"appId": appID},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send("com.facebook", "com.facebook.orca")
+	f.sched.RunUntil(100 * time.Millisecond)
+	send("com.malware", "com.fake.orca")
+	f.sched.Run()
+
+	if got := f.ams.Screen().Content; got != "play:com.fake.orca" {
+		t.Errorf("screen = %q — the attacker's intent must win", got)
+	}
+}
+
+func TestBroadcastDelivery(t *testing.T) {
+	f := newFixture(Options{})
+	var got []string
+	f.ams.RegisterReceiver("com.store", "Push", "com.store.PUSH", true, "", func(in Intent) {
+		got = append(got, in.Extra("cmd"))
+	})
+	f.ams.RegisterReceiver("com.other", "Push", "com.store.PUSH", true, "", func(in Intent) {
+		got = append(got, "other")
+	})
+
+	n, err := f.ams.SendBroadcast("com.evil", Intent{Action: "com.store.PUSH", Extras: map[string]string{"cmd": "install"}})
+	if err != nil || n != 2 {
+		t.Fatalf("broadcast = %d, %v", n, err)
+	}
+	// Narrowed to one package:
+	n, err = f.ams.SendBroadcast("com.evil", Intent{Action: "com.store.PUSH", TargetPkg: "com.store", Extras: map[string]string{"cmd": "x"}})
+	if err != nil || n != 1 {
+		t.Fatalf("narrowed broadcast = %d, %v", n, err)
+	}
+	f.sched.Run()
+	if len(got) != 3 {
+		t.Errorf("deliveries = %v", got)
+	}
+}
+
+func TestGuardedReceiverBlocksUnprivilegedSender(t *testing.T) {
+	f := newFixture(Options{
+		Perms: func(uid vfs.UID, p string) bool { return uid == 42 },
+		UIDOf: func(pkg string) (vfs.UID, bool) {
+			if pkg == "com.store" {
+				return 42, true
+			}
+			return 7, true
+		},
+	})
+	delivered := 0
+	f.ams.RegisterReceiver("com.store", "Push", "PUSH", true, "com.store.PERM", func(Intent) { delivered++ })
+
+	n, err := f.ams.SendBroadcast("com.evil", Intent{Action: "PUSH"})
+	if n != 0 || !errors.Is(err, ErrPermission) {
+		t.Errorf("unprivileged broadcast = %d, %v", n, err)
+	}
+	n, err = f.ams.SendBroadcast("com.store", Intent{Action: "PUSH"})
+	if n != 1 || err != nil {
+		t.Errorf("privileged broadcast = %d, %v", n, err)
+	}
+	f.sched.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d", delivered)
+	}
+}
+
+func TestFirewallDetectionRaisesAlert(t *testing.T) {
+	f := newFixture(Options{DeliveryLatency: time.Millisecond})
+	f.ams.Firewall().EnableDetection(true)
+	f.ams.RegisterActivity("com.android.vending", "AppDetails", true, "", echoActivity("play"))
+
+	var alerted []Alert
+	f.ams.Firewall().OnAlert(func(a Alert) { alerted = append(alerted, a) })
+
+	in := func(appID string) Intent {
+		return Intent{TargetPkg: "com.android.vending", Component: "AppDetails", Extras: map[string]string{"appId": appID}}
+	}
+	if err := f.ams.StartActivity("com.facebook", in("orca")); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.RunUntil(300 * time.Millisecond) // attacker reacts within the window
+	if err := f.ams.StartActivity("com.malware", in("fake")); err != nil {
+		t.Fatal(err)
+	}
+	f.sched.Run()
+
+	if len(alerted) != 1 {
+		t.Fatalf("alerts = %v", alerted)
+	}
+	a := alerted[0]
+	if a.Recipient != "com.android.vending" || a.FirstSender != "com.facebook" || a.SecondSender != "com.malware" {
+		t.Errorf("alert = %+v", a)
+	}
+	if a.Gap >= DefaultThreshold {
+		t.Errorf("gap = %v", a.Gap)
+	}
+	if got := f.ams.Firewall().Alerts(); len(got) != 1 {
+		t.Errorf("Alerts() = %v", got)
+	}
+}
+
+func TestFirewallFalsePositiveSuppressions(t *testing.T) {
+	tests := []struct {
+		name    string
+		sender2 string
+		gap     time.Duration
+	}{
+		{name: "same sender twice", sender2: "com.facebook", gap: 100 * time.Millisecond},
+		{name: "self send", sender2: "com.android.vending", gap: 100 * time.Millisecond},
+		{name: "system sender", sender2: "com.android.systemui", gap: 100 * time.Millisecond},
+		{name: "slow second intent", sender2: "com.other", gap: 2 * time.Second},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := newFixture(Options{
+				DeliveryLatency: time.Millisecond,
+				IsSystemPkg:     func(pkg string) bool { return pkg == "com.android.systemui" },
+			})
+			f.ams.Firewall().EnableDetection(true)
+			f.ams.RegisterActivity("com.android.vending", "AppDetails", true, "", echoActivity("play"))
+
+			if err := f.ams.StartActivity("com.facebook", Intent{TargetPkg: "com.android.vending", Component: "AppDetails"}); err != nil {
+				t.Fatal(err)
+			}
+			f.sched.RunUntil(tt.gap)
+			if err := f.ams.StartActivity(tt.sender2, Intent{TargetPkg: "com.android.vending", Component: "AppDetails"}); err != nil {
+				t.Fatal(err)
+			}
+			f.sched.Run()
+			if alerts := f.ams.Firewall().Alerts(); len(alerts) != 0 {
+				t.Errorf("alerts = %v, want none", alerts)
+			}
+		})
+	}
+}
+
+func TestFirewallDisabledRaisesNothing(t *testing.T) {
+	f := newFixture(Options{DeliveryLatency: time.Millisecond})
+	f.ams.RegisterActivity("com.play", "A", true, "", echoActivity("p"))
+	_ = f.ams.StartActivity("com.a", Intent{TargetPkg: "com.play", Component: "A"})
+	_ = f.ams.StartActivity("com.b", Intent{TargetPkg: "com.play", Component: "A"})
+	f.sched.Run()
+	if alerts := f.ams.Firewall().Alerts(); len(alerts) != 0 {
+		t.Errorf("alerts with detection off = %v", alerts)
+	}
+	if f.ams.Firewall().Checks() != 2 {
+		t.Errorf("checks = %d", f.ams.Firewall().Checks())
+	}
+}
+
+func TestOriginStamping(t *testing.T) {
+	f := newFixture(Options{DeliveryLatency: time.Millisecond})
+	var seen Intent
+	f.ams.RegisterActivity("com.play", "A", true, "", func(in Intent) string {
+		seen = in
+		return "x"
+	})
+
+	// Off: no origin available (stock Android).
+	_ = f.ams.StartActivity("com.facebook", Intent{TargetPkg: "com.play", Component: "A"})
+	f.sched.Run()
+	if origin, ok := seen.Origin(); ok {
+		t.Errorf("origin present with scheme off: %q", origin)
+	}
+
+	// On: the recipient can identify the sender.
+	f.ams.Firewall().EnableOrigin(true)
+	_ = f.ams.StartActivity("com.malware", Intent{TargetPkg: "com.play", Component: "A"})
+	f.sched.Run()
+	origin, ok := seen.Origin()
+	if !ok || origin != "com.malware" {
+		t.Errorf("origin = %q, %v", origin, ok)
+	}
+}
+
+func TestSingleTopLaunchModes(t *testing.T) {
+	f := newFixture(Options{DeliveryLatency: time.Millisecond})
+	f.ams.RegisterActivity("com.store", "Venezia", true, "", echoActivity("v"))
+	f.ams.RegisterActivity("com.other", "A", true, "", echoActivity("a"))
+
+	send := func(target, comp string, singleTop bool) {
+		if err := f.ams.StartActivity("com.x", Intent{TargetPkg: target, Component: comp, SingleTop: singleTop}); err != nil {
+			t.Fatal(err)
+		}
+		f.sched.Run()
+	}
+
+	if got := f.ams.ActivityGeneration("com.store", "Venezia"); got != 0 {
+		t.Fatalf("pre-launch generation = %d", got)
+	}
+	send("com.store", "Venezia", true) // first launch always creates
+	if got := f.ams.ActivityGeneration("com.store", "Venezia"); got != 1 {
+		t.Fatalf("first-launch generation = %d", got)
+	}
+	send("com.store", "Venezia", true) // singleTop onto itself: no recreate
+	if got := f.ams.ActivityGeneration("com.store", "Venezia"); got != 1 {
+		t.Fatalf("singleTop generation = %d, want 1 (instance reused)", got)
+	}
+	send("com.store", "Venezia", false) // plain launch: recreated
+	if got := f.ams.ActivityGeneration("com.store", "Venezia"); got != 2 {
+		t.Fatalf("plain relaunch generation = %d, want 2", got)
+	}
+	// After another activity takes the top, even singleTop recreates.
+	send("com.other", "A", false)
+	send("com.store", "Venezia", true)
+	if got := f.ams.ActivityGeneration("com.store", "Venezia"); got != 3 {
+		t.Fatalf("singleTop after losing top = %d, want 3", got)
+	}
+}
+
+func TestUnregisterPackage(t *testing.T) {
+	f := newFixture(Options{})
+	f.ams.RegisterActivity("com.app", "A", true, "", echoActivity("a"))
+	f.ams.RegisterReceiver("com.app", "R", "ACT", true, "", func(Intent) {})
+	f.ams.UnregisterPackage("com.app")
+
+	if err := f.ams.StartActivity("com.x", Intent{TargetPkg: "com.app", Component: "A"}); !errors.Is(err, ErrNoSuchComponent) {
+		t.Errorf("start after unregister = %v", err)
+	}
+	if n, _ := f.ams.SendBroadcast("com.x", Intent{Action: "ACT"}); n != 0 {
+		t.Errorf("broadcast after unregister delivered %d", n)
+	}
+}
+
+func TestFirewallResetAlerts(t *testing.T) {
+	f := newFixture(Options{DeliveryLatency: time.Millisecond})
+	f.ams.Firewall().EnableDetection(true)
+	f.ams.RegisterActivity("com.play", "A", true, "", echoActivity("p"))
+	_ = f.ams.StartActivity("com.a", Intent{TargetPkg: "com.play", Component: "A"})
+	_ = f.ams.StartActivity("com.b", Intent{TargetPkg: "com.play", Component: "A"})
+	f.sched.Run()
+	if len(f.ams.Firewall().Alerts()) == 0 {
+		t.Fatal("no alert to reset")
+	}
+	f.ams.Firewall().ResetAlerts()
+	if len(f.ams.Firewall().Alerts()) != 0 {
+		t.Error("alerts survive reset")
+	}
+}

@@ -1,0 +1,96 @@
+package market
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/sig"
+)
+
+func testAPK(pkg string, version int) *apk.APK {
+	return apk.Build(apk.Manifest{Package: pkg, VersionCode: version, Label: pkg},
+		map[string][]byte{"classes.dex": []byte(pkg)}, sig.NewKey(pkg+"-dev"))
+}
+
+func TestPublishAndFetch(t *testing.T) {
+	s := NewServer("store.example.com")
+	a := testAPK("com.app", 2)
+	l := s.Publish(a)
+
+	if l.Package != "com.app" || l.VersionCode != 2 {
+		t.Errorf("listing = %+v", l)
+	}
+	data, err := s.Fetch(l.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != l.SizeBytes {
+		t.Errorf("size = %d, want %d", len(data), l.SizeBytes)
+	}
+	if apk.ContentDigest(data) != l.ContentHash {
+		t.Error("content hash mismatch")
+	}
+	decoded, err := apk.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ManifestDigest() != l.ManifestHash {
+		t.Error("manifest hash mismatch")
+	}
+	if _, err := s.Fetch("https://store.example.com/apps/none.apk"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing fetch = %v", err)
+	}
+}
+
+func TestLookupLatestVersionWins(t *testing.T) {
+	s := NewServer("h")
+	s.Publish(testAPK("com.app", 1))
+	s.Publish(testAPK("com.app", 5))
+	s.Publish(testAPK("com.app", 3)) // older upload does not displace v5
+
+	l, ok := s.Lookup("com.app")
+	if !ok || l.VersionCode != 5 {
+		t.Errorf("Lookup = %+v, %v", l, ok)
+	}
+	if _, ok := s.Lookup("com.none"); ok {
+		t.Error("Lookup found a missing package")
+	}
+}
+
+func TestCatalogSorted(t *testing.T) {
+	s := NewServer("h")
+	s.Publish(testAPK("com.b", 1))
+	s.Publish(testAPK("com.a", 1))
+	cat := s.Catalog()
+	if len(cat) != 2 || cat[0].Package != "com.a" || cat[1].Package != "com.b" {
+		t.Errorf("catalog = %+v", cat)
+	}
+}
+
+func TestMuxRoutesByHost(t *testing.T) {
+	play := NewServer("play.google.com")
+	amazon := NewServer("mas.amazon.com")
+	lp := play.Publish(testAPK("com.p", 1))
+	la := amazon.Publish(testAPK("com.a", 1))
+
+	m := NewMux()
+	m.Add(play)
+	m.Add(amazon)
+
+	if _, err := m.Fetch(lp.URL); err != nil {
+		t.Errorf("play fetch: %v", err)
+	}
+	if _, err := m.Fetch(la.URL); err != nil {
+		t.Errorf("amazon fetch: %v", err)
+	}
+	if _, err := m.Fetch("https://unknown.host/x"); !errors.Is(err, ErrNoServer) {
+		t.Errorf("unknown host = %v", err)
+	}
+	if _, err := m.Fetch("not-a-url"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("bad url = %v", err)
+	}
+	if s, ok := m.Server("play.google.com"); !ok || s != play {
+		t.Error("Server lookup failed")
+	}
+}

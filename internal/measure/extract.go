@@ -1,0 +1,170 @@
+package measure
+
+import (
+	"strings"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/corpus"
+)
+
+// ExtractedMeta is what the Section IV-A scanner recovers from an APK
+// artifact (the Apktool/Soot pipeline of the paper, reimplemented over our
+// synthetic smali).
+type ExtractedMeta struct {
+	Package           string
+	HasInstallAPI     bool
+	UsesSDCard        bool
+	SetsWorldReadable bool
+	MarketLinks       int
+	UsesWriteExternal bool
+}
+
+// Code-level markers.
+const (
+	installMIME  = "application/vnd.android.package-archive"
+	marketScheme = "market://details?id="
+	playURL      = "play.google.com/store/apps/details?id="
+)
+
+// worldReadableModes are the values that make a staged APK readable by the
+// PMS when passed to a file-creation API.
+var worldReadableModes = map[string]bool{
+	"MODE_WORLD_READABLE": true,
+	"0x1":                 true,
+	"644":                 true,
+}
+
+// ExtractMeta scans an APK's embedded code for the classifier's features.
+// It mirrors the paper's tool: find the install-API marker first, then the
+// world-readable file APIs (resolving call arguments through a def-use
+// chain over register constants) and /sdcard string constants.
+func ExtractMeta(a *apk.APK) ExtractedMeta {
+	out := ExtractedMeta{Package: a.Manifest.Package}
+	for _, p := range a.Manifest.UsesPerms {
+		if p == "android.permission.WRITE_EXTERNAL_STORAGE" {
+			out.UsesWriteExternal = true
+		}
+	}
+	for name, content := range a.Files {
+		if !strings.HasPrefix(name, "smali/") {
+			continue
+		}
+		scanSmali(string(content), &out)
+	}
+	return out
+}
+
+// scanSmali processes one decompiled class.
+func scanSmali(code string, out *ExtractedMeta) {
+	// defs maps registers to their last constant value (the def-use
+	// chain, flattened: smali within one method assigns before use).
+	defs := make(map[string]string)
+	for _, line := range strings.Split(code, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "const-string "):
+			reg, val, ok := parseConst(line, "const-string ")
+			if !ok {
+				continue
+			}
+			defs[reg] = val
+			if strings.Contains(val, installMIME) {
+				out.HasInstallAPI = true
+			}
+			if strings.Contains(val, "/sdcard") {
+				out.UsesSDCard = true
+			}
+			if strings.Contains(val, marketScheme) || strings.Contains(val, playURL) {
+				out.MarketLinks++
+			}
+		case strings.HasPrefix(line, "const/4 ") || strings.HasPrefix(line, "const/16 "):
+			prefix := "const/4 "
+			if strings.HasPrefix(line, "const/16 ") {
+				prefix = "const/16 "
+			}
+			if reg, val, ok := parseConst(line, prefix); ok {
+				defs[reg] = val
+			}
+		case strings.Contains(line, "openFileOutput") ||
+			strings.Contains(line, "setReadable") ||
+			strings.Contains(line, "setPosixFilePermissions") ||
+			strings.Contains(line, "chmod"):
+			// Resolve the call's register arguments through the defs.
+			for _, reg := range callRegisters(line) {
+				if worldReadableModes[defs[reg]] {
+					out.SetsWorldReadable = true
+				}
+			}
+			// Literal modes on the call line itself.
+			for mode := range worldReadableModes {
+				if strings.Contains(line, mode) {
+					out.SetsWorldReadable = true
+				}
+			}
+		}
+	}
+}
+
+// parseConst splits `const-string v3, "value"` / `const/4 v3, VALUE`.
+func parseConst(line, prefix string) (reg, value string, ok bool) {
+	rest := strings.TrimPrefix(line, prefix)
+	reg, value, ok = strings.Cut(rest, ", ")
+	if !ok {
+		return "", "", false
+	}
+	value = strings.Trim(value, `"`)
+	return strings.TrimSpace(reg), value, true
+}
+
+// callRegisters extracts the register list of `invoke-* {p0, v2, v3}, ...`.
+func callRegisters(line string) []string {
+	open := strings.IndexByte(line, '{')
+	closing := strings.IndexByte(line, '}')
+	if open < 0 || closing < open {
+		return nil
+	}
+	parts := strings.Split(line[open+1:closing], ",")
+	regs := make([]string, 0, len(parts))
+	for _, p := range parts {
+		regs = append(regs, strings.TrimSpace(p))
+	}
+	return regs
+}
+
+// ClassifyExtracted applies the classifier rules to extracted features.
+func ClassifyExtracted(m ExtractedMeta) Category {
+	switch {
+	case !m.HasInstallAPI:
+		return NotInstaller
+	case m.UsesSDCard && !m.SetsWorldReadable:
+		return PotentiallyVulnerable
+	case !m.UsesSDCard && m.SetsWorldReadable:
+		return PotentiallySecure
+	default:
+		return Unknown
+	}
+}
+
+// ClassifyArtifacts runs the full pipeline — build the APK artifact from
+// ground truth, extract features from its code, classify — over a
+// population, exercising the builder+scanner end to end.
+func ClassifyArtifacts(apps []corpus.AppMeta) Classification {
+	var c Classification
+	c.Total = len(apps)
+	for _, meta := range apps {
+		artifact := corpus.BuildAPKFor(meta)
+		extracted := ExtractMeta(artifact)
+		switch ClassifyExtracted(extracted) {
+		case NotInstaller:
+			continue
+		case PotentiallyVulnerable:
+			c.Vulnerable++
+		case PotentiallySecure:
+			c.Secure++
+		case Unknown:
+			c.Unknown++
+		}
+		c.Installers++
+	}
+	return c
+}

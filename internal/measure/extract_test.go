@@ -1,0 +1,109 @@
+package measure
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/ghost-installer/gia/internal/corpus"
+)
+
+func metaFor(storage corpus.StorageUse, installAPI bool, links int) corpus.AppMeta {
+	return corpus.AppMeta{
+		Package: "com.scan.me", VersionCode: 1, Signer: "dev",
+		HasInstallAPI: installAPI, Storage: storage, MarketLinks: links,
+		UsesWriteExternal: storage == corpus.StorageSDCard,
+	}
+}
+
+func TestExtractMetaSDCardInstaller(t *testing.T) {
+	meta := metaFor(corpus.StorageSDCard, true, 0)
+	got := ExtractMeta(corpus.BuildAPKFor(meta))
+	if !got.HasInstallAPI || !got.UsesSDCard || got.SetsWorldReadable {
+		t.Errorf("extracted = %+v", got)
+	}
+	if !got.UsesWriteExternal {
+		t.Error("WRITE_EXTERNAL_STORAGE not extracted from the manifest")
+	}
+	if ClassifyExtracted(got) != PotentiallyVulnerable {
+		t.Errorf("classified as %v", ClassifyExtracted(got))
+	}
+}
+
+func TestExtractMetaInternalInstallerNeedsDefUse(t *testing.T) {
+	// The world-readable mode reaches openFileOutput through a register:
+	// only the def-use resolution finds it.
+	meta := metaFor(corpus.StorageInternalWorldReadable, true, 0)
+	got := ExtractMeta(corpus.BuildAPKFor(meta))
+	if !got.HasInstallAPI || got.UsesSDCard || !got.SetsWorldReadable {
+		t.Errorf("extracted = %+v", got)
+	}
+	if ClassifyExtracted(got) != PotentiallySecure {
+		t.Errorf("classified as %v", ClassifyExtracted(got))
+	}
+}
+
+func TestExtractMetaObfuscatedInstallerIsUnknown(t *testing.T) {
+	meta := metaFor(corpus.StorageUnclear, true, 0)
+	got := ExtractMeta(corpus.BuildAPKFor(meta))
+	if !got.HasInstallAPI {
+		t.Error("install API marker missed")
+	}
+	if got.UsesSDCard || got.SetsWorldReadable {
+		t.Errorf("reflection-obfuscated app leaked markers: %+v", got)
+	}
+	if ClassifyExtracted(got) != Unknown {
+		t.Errorf("classified as %v", ClassifyExtracted(got))
+	}
+}
+
+func TestExtractMetaNonInstaller(t *testing.T) {
+	meta := metaFor(corpus.StorageNone, false, 3)
+	got := ExtractMeta(corpus.BuildAPKFor(meta))
+	if got.HasInstallAPI {
+		t.Error("phantom install API")
+	}
+	if got.MarketLinks != 3 {
+		t.Errorf("market links = %d, want 3", got.MarketLinks)
+	}
+	if ClassifyExtracted(got) != NotInstaller {
+		t.Errorf("classified as %v", ClassifyExtracted(got))
+	}
+}
+
+// Property: for any generated ground truth, the artifact round-trip
+// (build → extract → classify) agrees with classifying the ground truth
+// directly, and the market-link count survives exactly.
+func TestPropertyArtifactRoundTrip(t *testing.T) {
+	storages := []corpus.StorageUse{
+		corpus.StorageNone, corpus.StorageSDCard,
+		corpus.StorageInternalWorldReadable, corpus.StorageUnclear,
+	}
+	f := func(storageIdx, links uint8) bool {
+		storage := storages[int(storageIdx)%len(storages)]
+		meta := metaFor(storage, storage != corpus.StorageNone, int(links)%20)
+		got := ExtractMeta(corpus.BuildAPKFor(meta))
+		if ClassifyExtracted(got) != Classify(meta) {
+			return false
+		}
+		return got.MarketLinks == meta.MarketLinks
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPipelineReproducesTableIIOnSample runs the full artifact pipeline
+// over a corpus slice and checks it agrees with ground-truth
+// classification app by app.
+func TestPipelineReproducesTableIIOnSample(t *testing.T) {
+	small := corpus.Generate(corpus.Config{Seed: 77, Scale: 0.05})
+	sample := small.PlayApps
+	if len(sample) > 400 {
+		sample = sample[:400]
+	}
+	want := ClassifyAll(sample)
+	got := ClassifyArtifacts(sample)
+	if got != want {
+		t.Errorf("pipeline = %+v, ground truth = %+v", got, want)
+	}
+}

@@ -1,0 +1,176 @@
+// Package perm implements the Android permission model the paper's attacks
+// traverse: protection levels, permission groups (including the STORAGE
+// group auto-grant that lets the adversary acquire WRITE_EXTERNAL_STORAGE
+// silently, Section III-A), and a first-definer-wins definition registry
+// that makes Hare (hanging attribute reference) hijacking possible
+// (Section III-B, privilege escalation).
+package perm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Level is a permission protection level.
+type Level int
+
+// Protection levels, in increasing order of privilege.
+const (
+	Normal Level = iota + 1
+	Dangerous
+	Signature
+	SignatureOrSystem
+)
+
+func (l Level) String() string {
+	switch l {
+	case Normal:
+		return "normal"
+	case Dangerous:
+		return "dangerous"
+	case Signature:
+		return "signature"
+	case SignatureOrSystem:
+		return "signatureOrSystem"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ParseLevel converts a manifest protectionLevel string.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "normal", "":
+		return Normal, nil
+	case "dangerous":
+		return Dangerous, nil
+	case "signature":
+		return Signature, nil
+	case "signatureOrSystem":
+		return SignatureOrSystem, nil
+	default:
+		return 0, fmt.Errorf("perm: unknown protection level %q", s)
+	}
+}
+
+// Well-known permission names.
+const (
+	WriteExternalStorage    = "android.permission.WRITE_EXTERNAL_STORAGE"
+	ReadExternalStorage     = "android.permission.READ_EXTERNAL_STORAGE"
+	InstallPackages         = "android.permission.INSTALL_PACKAGES"
+	DeletePackages          = "android.permission.DELETE_PACKAGES"
+	Internet                = "android.permission.INTERNET"
+	ReadContacts            = "android.permission.READ_CONTACTS"
+	KillBackgroundProcesses = "android.permission.KILL_BACKGROUND_PROCESSES"
+
+	// GroupStorage is the permission group shared by the two external
+	// storage permissions. Holding either member lets an app silently
+	// acquire the other under the Android 6.0 runtime model.
+	GroupStorage = "android.permission-group.STORAGE"
+)
+
+// Definition declares a permission: who defined it, at what level, and in
+// which group.
+type Definition struct {
+	Name      string
+	Level     Level
+	Group     string
+	DefinedBy string // package name of the defining app ("android" for AOSP)
+}
+
+// Errors returned by the registry.
+var (
+	ErrAlreadyDefined = errors.New("perm: permission already defined")
+	ErrNotDefined     = errors.New("perm: permission not defined")
+)
+
+// Registry tracks permission definitions on one device. Definitions follow
+// Android's first-definer-wins rule: once a permission name is defined, a
+// later definition by another package is rejected — which is precisely why
+// *defining a permission before its legitimate owner appears* grants the
+// Hare attacker control over it.
+type Registry struct {
+	defs map[string]Definition
+}
+
+// NewRegistry returns a registry pre-loaded with the AOSP definitions the
+// simulation uses.
+func NewRegistry() *Registry {
+	r := &Registry{defs: make(map[string]Definition)}
+	aosp := []Definition{
+		{Name: WriteExternalStorage, Level: Dangerous, Group: GroupStorage},
+		{Name: ReadExternalStorage, Level: Dangerous, Group: GroupStorage},
+		{Name: InstallPackages, Level: SignatureOrSystem},
+		{Name: DeletePackages, Level: SignatureOrSystem},
+		{Name: Internet, Level: Normal},
+		{Name: ReadContacts, Level: Dangerous},
+		{Name: KillBackgroundProcesses, Level: Normal},
+	}
+	for _, d := range aosp {
+		d.DefinedBy = "android"
+		r.defs[d.Name] = d
+	}
+	return r
+}
+
+// Define registers a permission definition. It fails if the name is taken.
+func (r *Registry) Define(d Definition) error {
+	if existing, ok := r.defs[d.Name]; ok {
+		return fmt.Errorf("%q already defined by %s: %w", d.Name, existing.DefinedBy, ErrAlreadyDefined)
+	}
+	r.defs[d.Name] = d
+	return nil
+}
+
+// Undefine removes every definition owned by pkg (app uninstall), returning
+// the removed names. Permissions used by other apps become hanging (Hare).
+func (r *Registry) Undefine(pkg string) []string {
+	var removed []string
+	for name, d := range r.defs {
+		if d.DefinedBy == pkg {
+			delete(r.defs, name)
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	return removed
+}
+
+// Lookup returns the definition of name.
+func (r *Registry) Lookup(name string) (Definition, bool) {
+	d, ok := r.defs[name]
+	return d, ok
+}
+
+// Defined reports whether name has a definition.
+func (r *Registry) Defined(name string) bool {
+	_, ok := r.defs[name]
+	return ok
+}
+
+// DefinerOf returns the package that defined name, or "" if undefined.
+func (r *Registry) DefinerOf(name string) string {
+	if d, ok := r.defs[name]; ok {
+		return d.DefinedBy
+	}
+	return ""
+}
+
+// SameGroup reports whether two defined permissions share a non-empty
+// permission group — the condition for the silent runtime auto-grant.
+func (r *Registry) SameGroup(a, b string) bool {
+	da, okA := r.defs[a]
+	db, okB := r.defs[b]
+	return okA && okB && da.Group != "" && da.Group == db.Group
+}
+
+// Names returns all defined permission names, sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.defs))
+	for name := range r.defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,139 @@
+package perm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    Level
+		wantErr bool
+	}{
+		{give: "normal", want: Normal},
+		{give: "", want: Normal},
+		{give: "dangerous", want: Dangerous},
+		{give: "signature", want: Signature},
+		{give: "signatureOrSystem", want: SignatureOrSystem},
+		{give: "bogus", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseLevel(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseLevel(%q) succeeded, want error", tt.give)
+			}
+			continue
+		}
+		if err != nil || got != tt.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", tt.give, got, err, tt.want)
+		}
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{
+		Normal: "normal", Dangerous: "dangerous",
+		Signature: "signature", SignatureOrSystem: "signatureOrSystem",
+	} {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+		}
+	}
+}
+
+func TestRegistryHasAOSPDefaults(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{WriteExternalStorage, ReadExternalStorage, InstallPackages, DeletePackages} {
+		d, ok := r.Lookup(name)
+		if !ok {
+			t.Errorf("%s not defined by default", name)
+			continue
+		}
+		if d.DefinedBy != "android" {
+			t.Errorf("%s defined by %q, want android", name, d.DefinedBy)
+		}
+	}
+	if d, _ := r.Lookup(InstallPackages); d.Level != SignatureOrSystem {
+		t.Errorf("INSTALL_PACKAGES level = %v", d.Level)
+	}
+}
+
+func TestFirstDefinerWins(t *testing.T) {
+	r := NewRegistry()
+	hare := Definition{Name: "com.vlingo.midas.contacts.permission.READ", Level: Normal, DefinedBy: "com.malware"}
+	if err := r.Define(hare); err != nil {
+		t.Fatal(err)
+	}
+	// The legitimate app arrives later and cannot take the name back.
+	later := hare
+	later.DefinedBy = "com.vlingo.midas"
+	later.Level = Signature
+	if err := r.Define(later); !errors.Is(err, ErrAlreadyDefined) {
+		t.Fatalf("second Define = %v, want ErrAlreadyDefined", err)
+	}
+	if got := r.DefinerOf(hare.Name); got != "com.malware" {
+		t.Errorf("definer = %q, want com.malware", got)
+	}
+	if d, _ := r.Lookup(hare.Name); d.Level != Normal {
+		t.Errorf("level = %v, want the hijacker's Normal", d.Level)
+	}
+}
+
+func TestUndefineCreatesHangingReferences(t *testing.T) {
+	r := NewRegistry()
+	defs := []Definition{
+		{Name: "com.app.P1", Level: Signature, DefinedBy: "com.app"},
+		{Name: "com.app.P2", Level: Normal, DefinedBy: "com.app"},
+		{Name: "com.other.P", Level: Normal, DefinedBy: "com.other"},
+	}
+	for _, d := range defs {
+		if err := r.Define(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed := r.Undefine("com.app")
+	if len(removed) != 2 || removed[0] != "com.app.P1" || removed[1] != "com.app.P2" {
+		t.Errorf("removed = %v", removed)
+	}
+	if r.Defined("com.app.P1") || r.Defined("com.app.P2") {
+		t.Error("permissions survive undefine")
+	}
+	if !r.Defined("com.other.P") {
+		t.Error("unrelated permission removed")
+	}
+	if got := r.DefinerOf("com.app.P1"); got != "" {
+		t.Errorf("DefinerOf removed perm = %q", got)
+	}
+}
+
+func TestSameGroup(t *testing.T) {
+	r := NewRegistry()
+	if !r.SameGroup(WriteExternalStorage, ReadExternalStorage) {
+		t.Error("storage permissions not in the same group")
+	}
+	if r.SameGroup(WriteExternalStorage, Internet) {
+		t.Error("unrelated permissions reported in the same group")
+	}
+	if r.SameGroup(WriteExternalStorage, "undefined.perm") {
+		t.Error("undefined permission reported grouped")
+	}
+	// Two grouped-empty permissions never match.
+	if r.SameGroup(Internet, KillBackgroundProcesses) {
+		t.Error("ungrouped permissions reported grouped")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) == 0 {
+		t.Fatal("no names")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package pia models the PackageInstallerActivity — the consent-dialog
+// install path used by apps without the INSTALL_PACKAGES permission
+// (AIT Step 4 for side-loaded installers).
+//
+// The PIA records a checksum of the staged APK's *manifest* before showing
+// the consent dialog and verifies it again before handing the file to the
+// PMS. The paper shows this defense fails twice over: the attacker can swap
+// the file in the Step-3 window before the PIA ever reads it, and even
+// inside Step 4 a same-manifest repackage (e.g. a phishing version of a
+// bank app) passes the manifest check while carrying a different payload
+// and signer.
+package pia
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ghost-installer/gia/internal/pm"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// Errors returned by PIA sessions.
+var (
+	ErrManifestChanged = errors.New("pia: staged apk manifest changed while the consent dialog was showing")
+	ErrSessionClosed   = errors.New("pia: session already decided")
+	ErrDenied          = errors.New("pia: user denied the installation")
+)
+
+// Prompt is what the consent dialog shows the user. Every field comes from
+// the staged APK itself, which is why an attacker-supplied APK embedding the
+// original app's label and icon looks identical.
+type Prompt struct {
+	Package     string
+	Label       string
+	Icon        string
+	VersionCode int
+	Permissions []string
+}
+
+// Activity is the PackageInstallerActivity.
+type Activity struct {
+	fs  *vfs.FS
+	pms *pm.Service
+}
+
+// New creates the activity over the device's filesystem and PMS.
+func New(fs *vfs.FS, pms *pm.Service) *Activity {
+	return &Activity{fs: fs, pms: pms}
+}
+
+// Session is one consent-dialog interaction. Between Begin and Approve the
+// dialog is on screen; the wall-clock (virtual) time that passes there is
+// the Step-4 race window.
+type Session struct {
+	act            *Activity
+	path           string
+	manifestDigest sig.Digest
+	prompt         Prompt
+	done           bool
+}
+
+// Begin reads the staged APK, records its manifest digest and returns the
+// session plus the dialog contents.
+func (a *Activity) Begin(stagedPath string) (*Session, error) {
+	parsed, _, err := pm.ReadStaged(a.fs, stagedPath)
+	if err != nil {
+		return nil, fmt.Errorf("pia: %w", err)
+	}
+	m := parsed.Manifest
+	return &Session{
+		act:            a,
+		path:           stagedPath,
+		manifestDigest: parsed.ManifestDigest(),
+		prompt: Prompt{
+			Package:     m.Package,
+			Label:       m.Label,
+			Icon:        m.Icon,
+			VersionCode: m.VersionCode,
+			Permissions: append([]string(nil), m.UsesPerms...),
+		},
+	}, nil
+}
+
+// Prompt returns the dialog contents.
+func (s *Session) Prompt() Prompt { return s.prompt }
+
+// Approve is called when the user taps Install. The PIA re-reads the file,
+// verifies that the manifest digest still matches the one recorded before
+// the dialog, and installs.
+func (s *Session) Approve() (*pm.Package, error) {
+	if s.done {
+		return nil, ErrSessionClosed
+	}
+	s.done = true
+	parsed, _, err := pm.ReadStaged(s.act.fs, s.path)
+	if err != nil {
+		return nil, fmt.Errorf("pia: re-read: %w", err)
+	}
+	if parsed.ManifestDigest() != s.manifestDigest {
+		return nil, fmt.Errorf("%s: %w", s.path, ErrManifestChanged)
+	}
+	// The PIA itself runs as system, so the PMS accepts the request.
+	p, err := s.act.pms.InstallPackage(vfs.System, s.path)
+	if err != nil {
+		return nil, fmt.Errorf("pia: install: %w", err)
+	}
+	return p, nil
+}
+
+// Deny is called when the user dismisses the dialog.
+func (s *Session) Deny() error {
+	if s.done {
+		return ErrSessionClosed
+	}
+	s.done = true
+	return ErrDenied
+}

@@ -1,0 +1,183 @@
+package pia
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/pm"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+const attacker vfs.UID = 10666
+
+func setup(t *testing.T) (*Activity, *vfs.FS) {
+	t.Helper()
+	fs := vfs.New(func() time.Duration { return 0 })
+	for _, dir := range []string{"/data/app", "/sdcard"} {
+		if err := fs.MkdirAll(dir, vfs.Root, vfs.ModeDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pms := pm.New(fs, perm.NewRegistry(), pm.Options{})
+	return New(fs, pms), fs
+}
+
+func bankAPK(key *sig.Key) *apk.APK {
+	return apk.Build(apk.Manifest{
+		Package: "com.bank", VersionCode: 3, Label: "MyBank", Icon: "bank-icon",
+		UsesPerms: []string{perm.Internet},
+	}, map[string][]byte{"classes.dex": []byte("legit")}, key)
+}
+
+func TestConsentFlowInstalls(t *testing.T) {
+	act, fs := setup(t)
+	dev := sig.NewKey("bank-dev")
+	if err := fs.WriteFile("/sdcard/bank.apk", bankAPK(dev).Encode(), vfs.Root, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := act.Begin("/sdcard/bank.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := sess.Prompt()
+	if pr.Package != "com.bank" || pr.Label != "MyBank" || pr.Icon != "bank-icon" {
+		t.Errorf("prompt = %+v", pr)
+	}
+	if len(pr.Permissions) != 1 || pr.Permissions[0] != perm.Internet {
+		t.Errorf("permissions = %v", pr.Permissions)
+	}
+	p, err := sess.Approve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "com.bank" || !p.Cert.Equal(dev.Certificate()) {
+		t.Errorf("installed = %+v", p)
+	}
+	// Session is single-use.
+	if _, err := sess.Approve(); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("second approve = %v", err)
+	}
+}
+
+func TestDeny(t *testing.T) {
+	act, fs := setup(t)
+	if err := fs.WriteFile("/sdcard/bank.apk", bankAPK(sig.NewKey("d")).Encode(), vfs.Root, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := act.Begin("/sdcard/bank.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Deny(); !errors.Is(err, ErrDenied) {
+		t.Errorf("Deny = %v", err)
+	}
+	if _, err := sess.Approve(); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("approve after deny = %v", err)
+	}
+}
+
+func TestManifestSwapDuringDialogDetected(t *testing.T) {
+	act, fs := setup(t)
+	if err := fs.WriteFile("/sdcard/bank.apk", bankAPK(sig.NewKey("d")).Encode(), vfs.Root, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := act.Begin("/sdcard/bank.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crude swap with a *different* manifest is what the manifest
+	// checksum was designed to catch — and it does.
+	other := apk.Build(apk.Manifest{Package: "com.evil", VersionCode: 1, Label: "Evil"}, nil, sig.NewKey("attacker"))
+	if err := fs.WriteFile("/sdcard/bank.apk", other.Encode(), attacker, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Approve(); !errors.Is(err, ErrManifestChanged) {
+		t.Errorf("crude swap approve = %v, want ErrManifestChanged", err)
+	}
+}
+
+func TestSameManifestRepackageDefeatsPIA(t *testing.T) {
+	act, fs := setup(t)
+	dev := sig.NewKey("bank-dev")
+	orig := bankAPK(dev)
+	if err := fs.WriteFile("/sdcard/bank.apk", orig.Encode(), vfs.Root, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := act.Begin("/sdcard/bank.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the consent dialog is showing, the attacker substitutes a
+	// phishing build: same manifest (name, label, icon), new payload and
+	// signer. The PIA's manifest check passes — the Section III-B result.
+	attackerKey := sig.NewKey("attacker")
+	evil := apk.Repackage(orig, map[string][]byte{"classes.dex": []byte("phish")}, attackerKey, false)
+	if err := fs.WriteFile("/sdcard/bank.apk", evil.Encode(), attacker, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	p, err := sess.Approve()
+	if err != nil {
+		t.Fatalf("same-manifest swap rejected: %v — the modelled PIA must accept it", err)
+	}
+	if !p.Cert.Equal(attackerKey.Certificate()) {
+		t.Error("installed package is not the attacker's build")
+	}
+	if string(p.Image().Files["classes.dex"]) != "phish" {
+		t.Errorf("installed payload = %q", p.Image().Files["classes.dex"])
+	}
+}
+
+func TestDenyThenFreshSessionWorks(t *testing.T) {
+	act, fs := setup(t)
+	if err := fs.WriteFile("/sdcard/bank.apk", bankAPK(sig.NewKey("d")).Encode(), vfs.Root, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := act.Begin("/sdcard/bank.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Deny(); !errors.Is(err, ErrDenied) {
+		t.Fatal(err)
+	}
+	// The user changes their mind: a fresh session installs fine.
+	sess2, err := act.Begin("/sdcard/bank.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess2.Approve(); err != nil {
+		t.Fatalf("fresh session approve: %v", err)
+	}
+}
+
+func TestBeginRejectsUnreadableInternalStaging(t *testing.T) {
+	act, fs := setup(t)
+	owner := vfs.UID(10030)
+	if err := fs.MkdirAll("/data/data/com.app/files", owner, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/data/data/com.app/files/a.apk",
+		bankAPK(sig.NewKey("d")).Encode(), owner, vfs.ModePrivate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := act.Begin("/data/data/com.app/files/a.apk"); !errors.Is(err, pm.ErrUnreadableAPK) {
+		t.Errorf("Begin on private internal staging = %v, want ErrUnreadableAPK", err)
+	}
+}
+
+func TestBeginFailsOnMissingOrCorrupt(t *testing.T) {
+	act, fs := setup(t)
+	if _, err := act.Begin("/sdcard/nope.apk"); err == nil {
+		t.Error("Begin on missing file succeeded")
+	}
+	data := bankAPK(sig.NewKey("d")).Encode()
+	if err := fs.WriteFile("/sdcard/trunc.apk", data[:len(data)/2], vfs.Root, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := act.Begin("/sdcard/trunc.apk"); err == nil {
+		t.Error("Begin on truncated file succeeded")
+	}
+}

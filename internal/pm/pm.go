@@ -1,0 +1,514 @@
+// Package pm implements the PackageManagerService (PMS): package
+// installation and removal, UID assignment, signature-continuity checks,
+// permission definition and granting, and the two install entry points the
+// paper analyses — installPackage and installPackageWithVerification
+// (AIT Step 4).
+//
+// Two deliberate weaknesses of the real service are preserved because the
+// attacks depend on them:
+//
+//   - installPackageWithVerification checks only the *manifest* digest, so a
+//     repackaged APK with an unchanged manifest passes (Section III-B,
+//     "Attack on new Amazon appstore" and "Attack on PIA");
+//   - the PMS reads the staged APK with its own identity, so an APK staged
+//     in an app-private internal directory must be world-readable — the
+//     observation the Section IV measurement classifier is built on.
+package pm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// Errors returned by the service.
+var (
+	ErrPermissionDenied    = errors.New("pm: caller lacks the required permission")
+	ErrNotInstalled        = errors.New("pm: package not installed")
+	ErrSignatureMismatch   = errors.New("pm: update signature does not match installed package")
+	ErrVersionDowngrade    = errors.New("pm: version downgrade rejected")
+	ErrManifestVerify      = errors.New("pm: manifest digest verification failed")
+	ErrSignatureVerify     = errors.New("pm: staged apk signature does not match the recorded signer")
+	ErrUnreadableAPK       = errors.New("pm: staged apk is not readable by the package manager")
+	ErrSharedUIDMismatch   = errors.New("pm: sharedUserId certificate mismatch")
+	ErrInsufficientStorage = errors.New("pm: insufficient storage")
+)
+
+// FirstAppUID is the first UID handed to installed applications.
+const FirstAppUID vfs.UID = 10000
+
+// Broadcast actions emitted on package state changes.
+const (
+	ActionPackageAdded    = "android.intent.action.PACKAGE_ADDED"
+	ActionPackageReplaced = "android.intent.action.PACKAGE_REPLACED"
+	ActionPackageRemoved  = "android.intent.action.PACKAGE_REMOVED"
+	ActionPackageInstall  = "android.intent.action.PACKAGE_INSTALL"
+)
+
+// Event describes a package state change.
+type Event struct {
+	Action  string
+	Package string
+	UID     vfs.UID
+}
+
+// Package is an installed application.
+type Package struct {
+	Manifest    apk.Manifest
+	Cert        sig.Certificate
+	UID         vfs.UID
+	SystemImage bool // pre-installed on the factory image
+	CodePath    string
+	InstallTime time.Duration
+	granted     map[string]bool
+	image       *apk.APK
+}
+
+// Name returns the package name.
+func (p *Package) Name() string { return p.Manifest.Package }
+
+// Granted reports whether the package holds the named permission.
+func (p *Package) Granted(name string) bool { return p.granted[name] }
+
+// GrantedPerms returns the sorted list of held permissions.
+func (p *Package) GrantedPerms() []string {
+	out := make([]string, 0, len(p.granted))
+	for name, ok := range p.granted {
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Image returns the installed APK image.
+func (p *Package) Image() *apk.APK { return p.image }
+
+// Options configure a Service.
+type Options struct {
+	// PlatformKey signs the system image; apps signed with it receive
+	// signature and signatureOrSystem permissions.
+	PlatformKey *sig.Key
+	// RuntimePermissions enables the Android 6.0 model: dangerous
+	// permissions are granted on request rather than at install. The
+	// STORAGE-group silent grant applies either way.
+	RuntimePermissions bool
+	// Now supplies virtual time for install timestamps.
+	Now func() time.Duration
+}
+
+// Service is the PackageManagerService.
+type Service struct {
+	fs       *vfs.FS
+	registry *perm.Registry
+	opts     Options
+
+	packages  map[string]*Package
+	sharedUID map[string]vfs.UID
+	byUID     map[vfs.UID][]*Package
+	nextUID   vfs.UID
+
+	listeners []func(Event)
+}
+
+// New creates a service over fs with the given permission registry.
+func New(fs *vfs.FS, registry *perm.Registry, opts Options) *Service {
+	if opts.Now == nil {
+		opts.Now = func() time.Duration { return 0 }
+	}
+	if opts.PlatformKey == nil {
+		opts.PlatformKey = sig.NewKey("aosp-platform")
+	}
+	return &Service{
+		fs:        fs,
+		registry:  registry,
+		opts:      opts,
+		packages:  make(map[string]*Package),
+		sharedUID: make(map[string]vfs.UID),
+		byUID:     make(map[vfs.UID][]*Package),
+		nextUID:   FirstAppUID,
+	}
+}
+
+// PlatformCert returns the device's platform certificate.
+func (s *Service) PlatformCert() sig.Certificate { return s.opts.PlatformKey.Certificate() }
+
+// Registry exposes the permission registry.
+func (s *Service) Registry() *perm.Registry { return s.registry }
+
+// Subscribe registers a listener for package events.
+func (s *Service) Subscribe(fn func(Event)) { s.listeners = append(s.listeners, fn) }
+
+func (s *Service) emit(ev Event) {
+	for _, fn := range s.listeners {
+		fn(ev)
+	}
+}
+
+// Installed returns the installed package by name.
+func (s *Service) Installed(name string) (*Package, bool) {
+	p, ok := s.packages[name]
+	return p, ok
+}
+
+// Packages returns all installed packages sorted by name.
+func (s *Service) Packages() []*Package {
+	names := make([]string, 0, len(s.packages))
+	for name := range s.packages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Package, 0, len(names))
+	for _, name := range names {
+		out = append(out, s.packages[name])
+	}
+	return out
+}
+
+// PackagesForUID returns the packages sharing uid.
+func (s *Service) PackagesForUID(uid vfs.UID) []*Package {
+	return append([]*Package(nil), s.byUID[uid]...)
+}
+
+// UIDHolds reports whether any package running as uid holds the permission.
+// This is the check the FUSE daemon and component guards consult. System
+// UIDs implicitly hold everything.
+func (s *Service) UIDHolds(uid vfs.UID, permission string) bool {
+	if uid.IsSystem() {
+		return true
+	}
+	for _, p := range s.byUID[uid] {
+		if p.granted[permission] {
+			return true
+		}
+	}
+	return false
+}
+
+// callerMay reports whether uid may exercise a signatureOrSystem capability
+// permission such as INSTALL_PACKAGES.
+func (s *Service) callerMay(uid vfs.UID, permission string) bool {
+	return s.UIDHolds(uid, permission)
+}
+
+// readStaged loads the staged APK with the service's identity.
+func (s *Service) readStaged(path string) (*apk.APK, []byte, error) {
+	return ReadStaged(s.fs, path)
+}
+
+// ReadStaged loads a staged APK the way the real PMS (and PIA) does: with
+// the system's own identity. Files inside another app's private
+// internal-storage directory are only readable if world-readable; files on
+// external storage are always readable to the system. The returned APK has
+// a verified signature.
+func ReadStaged(fs *vfs.FS, path string) (*apk.APK, []byte, error) {
+	info, err := fs.Stat(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("stat staged apk: %w", err)
+	}
+	if strings.HasPrefix(path, "/data/") && !info.Owner.IsSystem() && !info.Mode.WorldReadable() {
+		return nil, nil, fmt.Errorf("%s (mode %o): %w", path, info.Mode, ErrUnreadableAPK)
+	}
+	data, err := fs.ReadFile(path, vfs.System)
+	if err != nil {
+		return nil, nil, fmt.Errorf("read staged apk: %w", err)
+	}
+	parsed, err := apk.Decode(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse staged apk: %w", err)
+	}
+	if err := parsed.VerifySignature(); err != nil {
+		return nil, nil, err
+	}
+	return parsed, data, nil
+}
+
+// InstallPackage is PackageManager.installPackage: a silent install on
+// behalf of caller, which must hold INSTALL_PACKAGES.
+func (s *Service) InstallPackage(caller vfs.UID, stagedPath string) (*Package, error) {
+	if !s.callerMay(caller, perm.InstallPackages) {
+		return nil, fmt.Errorf("installPackage by uid %d: %w", caller, ErrPermissionDenied)
+	}
+	return s.install(stagedPath, false)
+}
+
+// InstallPackageWithVerification additionally verifies the digest of the
+// staged APK's manifest against wantManifest before installing — and
+// nothing else, which is why same-manifest repackaging defeats it.
+func (s *Service) InstallPackageWithVerification(caller vfs.UID, stagedPath string, wantManifest sig.Digest) (*Package, error) {
+	if !s.callerMay(caller, perm.InstallPackages) {
+		return nil, fmt.Errorf("installPackageWithVerification by uid %d: %w", caller, ErrPermissionDenied)
+	}
+	parsed, _, err := s.readStaged(stagedPath)
+	if err != nil {
+		return nil, err
+	}
+	if parsed.ManifestDigest() != wantManifest {
+		return nil, fmt.Errorf("%s: %w", stagedPath, ErrManifestVerify)
+	}
+	return s.install(stagedPath, false)
+}
+
+// InstallPackageWithSignature is the paper's proposed replacement for
+// installPackageWithVerification (Section V-A, "Verification API"): the
+// installer records the *signature certificate* of the APK when it is
+// downloaded and the PMS verifies the staged file still carries it at
+// install time. Unlike the manifest-only check, a same-manifest repackage
+// cannot pass: the repackager cannot reproduce the original signature.
+func (s *Service) InstallPackageWithSignature(caller vfs.UID, stagedPath string, wantCert sig.Certificate) (*Package, error) {
+	if !s.callerMay(caller, perm.InstallPackages) {
+		return nil, fmt.Errorf("installPackageWithSignature by uid %d: %w", caller, ErrPermissionDenied)
+	}
+	parsed, _, err := s.readStaged(stagedPath)
+	if err != nil {
+		return nil, err
+	}
+	if !parsed.Cert().Equal(wantCert) {
+		return nil, fmt.Errorf("%s signed by %s, expected %s: %w",
+			stagedPath, parsed.Cert(), wantCert, ErrSignatureVerify)
+	}
+	return s.install(stagedPath, false)
+}
+
+// InstallSystem installs a pre-built APK as part of the factory image,
+// bypassing caller checks. Used when booting a device profile.
+func (s *Service) InstallSystem(image *apk.APK) (*Package, error) {
+	return s.installParsed(image, "", true)
+}
+
+// InstallFromParsed installs an already-parsed APK (used by the PIA, which
+// has read and verified the file itself).
+func (s *Service) InstallFromParsed(image *apk.APK) (*Package, error) {
+	return s.installParsed(image, "", false)
+}
+
+func (s *Service) install(stagedPath string, system bool) (*Package, error) {
+	parsed, data, err := s.readStaged(stagedPath)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.installParsed(parsed, stagedPath, system)
+	if err != nil {
+		return nil, err
+	}
+	// Copy the code image into /data/app — the second copy that makes
+	// internal-storage staging cost twice the APK size.
+	codePath := "/data/app/" + p.Name() + ".apk"
+	if err := s.fs.MkdirAll("/data/app", vfs.System, vfs.ModeDir); err != nil {
+		return nil, fmt.Errorf("prepare /data/app: %w", err)
+	}
+	if err := s.fs.WriteFile(codePath, data, vfs.System, vfs.ModePrivate); err != nil {
+		s.removeState(p)
+		if errors.Is(err, vfs.ErrNoSpace) {
+			return nil, fmt.Errorf("copy code image: %w", ErrInsufficientStorage)
+		}
+		return nil, fmt.Errorf("copy code image: %w", err)
+	}
+	p.CodePath = codePath
+	return p, nil
+}
+
+func (s *Service) installParsed(image *apk.APK, stagedPath string, system bool) (*Package, error) {
+	if err := image.VerifySignature(); err != nil {
+		return nil, err
+	}
+	m := image.Manifest
+	replaced := false
+	if existing, ok := s.packages[m.Package]; ok {
+		// Signature continuity: updates must come from the same signer.
+		if !existing.Cert.Equal(image.Cert()) {
+			return nil, fmt.Errorf("%s: %w", m.Package, ErrSignatureMismatch)
+		}
+		if m.VersionCode < existing.Manifest.VersionCode {
+			return nil, fmt.Errorf("%s: %d < %d: %w", m.Package, m.VersionCode, existing.Manifest.VersionCode, ErrVersionDowngrade)
+		}
+		s.removeState(existing)
+		replaced = true
+	}
+	uid, err := s.assignUID(m, image.Cert())
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{
+		Manifest:    m,
+		Cert:        image.Cert(),
+		UID:         uid,
+		SystemImage: system,
+		InstallTime: s.opts.Now(),
+		granted:     make(map[string]bool),
+		image:       image,
+	}
+	// Define the manifest's permissions. First definer wins: a name
+	// already defined (possibly by a Hare hijacker) is silently kept.
+	for _, def := range m.DefinesPerms {
+		level, err := perm.ParseLevel(def.ProtectionLevel)
+		if err != nil {
+			return nil, fmt.Errorf("%s defines %s: %w", m.Package, def.Name, err)
+		}
+		_ = s.registry.Define(perm.Definition{
+			Name: def.Name, Level: level, DefinedBy: m.Package,
+		})
+	}
+	s.grantPermissions(p)
+	s.packages[m.Package] = p
+	s.byUID[uid] = append(s.byUID[uid], p)
+	_ = stagedPath // retained for trace tooling
+	action := ActionPackageAdded
+	if replaced {
+		action = ActionPackageReplaced
+	}
+	s.emit(Event{Action: action, Package: m.Package, UID: uid})
+	return p, nil
+}
+
+// Uninstall removes a package. The caller must hold DELETE_PACKAGES or be a
+// system process.
+func (s *Service) Uninstall(caller vfs.UID, name string) error {
+	if !s.callerMay(caller, perm.DeletePackages) {
+		return fmt.Errorf("uninstall %s by uid %d: %w", name, caller, ErrPermissionDenied)
+	}
+	p, ok := s.packages[name]
+	if !ok {
+		return fmt.Errorf("%s: %w", name, ErrNotInstalled)
+	}
+	s.removeState(p)
+	if p.CodePath != "" {
+		_ = s.fs.Remove(p.CodePath, vfs.System)
+	}
+	// Removing the definer leaves other users of its permissions hanging —
+	// a Hare situation.
+	s.registry.Undefine(name)
+	s.emit(Event{Action: ActionPackageRemoved, Package: name, UID: p.UID})
+	return nil
+}
+
+func (s *Service) removeState(p *Package) {
+	delete(s.packages, p.Name())
+	peers := s.byUID[p.UID]
+	for i, other := range peers {
+		if other == p {
+			s.byUID[p.UID] = append(peers[:i:i], peers[i+1:]...)
+			break
+		}
+	}
+	if len(s.byUID[p.UID]) == 0 {
+		delete(s.byUID, p.UID)
+	}
+}
+
+func (s *Service) assignUID(m apk.Manifest, cert sig.Certificate) (vfs.UID, error) {
+	if m.SharedUserID != "" {
+		if uid, ok := s.sharedUID[m.SharedUserID]; ok {
+			// Every member of a shared UID must share a certificate.
+			for _, peer := range s.byUID[uid] {
+				if !peer.Cert.Equal(cert) {
+					return 0, fmt.Errorf("sharedUserId %s: %w", m.SharedUserID, ErrSharedUIDMismatch)
+				}
+			}
+			return uid, nil
+		}
+		uid := s.nextUID
+		s.nextUID++
+		s.sharedUID[m.SharedUserID] = uid
+		return uid, nil
+	}
+	uid := s.nextUID
+	s.nextUID++
+	return uid, nil
+}
+
+// grantPermissions applies the protection-level rules to every permission
+// the manifest requests.
+func (s *Service) grantPermissions(p *Package) {
+	for _, name := range p.Manifest.UsesPerms {
+		def, ok := s.registry.Lookup(name)
+		if !ok {
+			// Hanging reference: used but undefined. Not granted — but
+			// grabbable by whoever defines it first.
+			continue
+		}
+		switch def.Level {
+		case perm.Normal:
+			p.granted[name] = true
+		case perm.Dangerous:
+			if !s.opts.RuntimePermissions {
+				p.granted[name] = true
+			}
+		case perm.Signature:
+			if s.definerCert(def).Equal(p.Cert) {
+				p.granted[name] = true
+			}
+		case perm.SignatureOrSystem:
+			if s.definerCert(def).Equal(p.Cert) || p.SystemImage || p.Cert.Equal(s.PlatformCert()) {
+				p.granted[name] = true
+			}
+		}
+	}
+}
+
+// definerCert resolves the certificate that owns a permission definition.
+func (s *Service) definerCert(def perm.Definition) sig.Certificate {
+	if def.DefinedBy == "android" {
+		return s.PlatformCert()
+	}
+	if definer, ok := s.packages[def.DefinedBy]; ok {
+		return definer.Cert
+	}
+	return sig.Certificate{}
+}
+
+// RequestPermission implements the runtime (Android 6.0) grant flow for
+// dangerous permissions. If the app already holds another permission in the
+// same group, the new one is granted silently, without consulting the user —
+// the STORAGE-group behaviour the adversary exploits (Section III-A).
+// Otherwise the grant depends on userApproves.
+func (s *Service) RequestPermission(pkgName, permission string, userApproves bool) (granted, silent bool, err error) {
+	p, ok := s.packages[pkgName]
+	if !ok {
+		return false, false, fmt.Errorf("%s: %w", pkgName, ErrNotInstalled)
+	}
+	if !p.Manifest.Uses(permission) {
+		return false, false, fmt.Errorf("%s does not declare %s: %w", pkgName, permission, ErrPermissionDenied)
+	}
+	def, ok := s.registry.Lookup(permission)
+	if !ok {
+		return false, false, nil
+	}
+	if def.Level != perm.Dangerous {
+		return p.granted[permission], false, nil
+	}
+	if p.granted[permission] {
+		return true, true, nil
+	}
+	// Same-group silent grant.
+	for held := range p.granted {
+		if s.registry.SameGroup(held, permission) {
+			p.granted[permission] = true
+			return true, true, nil
+		}
+	}
+	if userApproves {
+		p.granted[permission] = true
+		return true, false, nil
+	}
+	return false, false, nil
+}
+
+// Grant force-grants a permission (used to model pre-granted permissions on
+// factory images).
+func (s *Service) Grant(pkgName, permission string) error {
+	p, ok := s.packages[pkgName]
+	if !ok {
+		return fmt.Errorf("%s: %w", pkgName, ErrNotInstalled)
+	}
+	p.granted[permission] = true
+	return nil
+}

@@ -1,0 +1,113 @@
+package pm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// Property: whatever subset of permissions an app requests, the grant set
+// is a subset of the request set; normal permissions are always granted;
+// undefined names never are; signatureOrSystem never goes to a
+// non-platform, non-system app.
+func TestPropertyGrantRules(t *testing.T) {
+	pool := []string{
+		perm.Internet,                // normal -> always granted
+		perm.ReadContacts,            // dangerous -> granted pre-M
+		perm.InstallPackages,         // signatureOrSystem -> never for ordinary apps
+		"com.undefined.NOPE",         // hanging -> never granted
+		perm.KillBackgroundProcesses, // normal
+	}
+	seq := 0
+	f := func(mask uint8) bool {
+		seq++
+		s, fs := newPropService(t)
+		installer := installSystemInstaller(t, s)
+		var uses []string
+		for i, p := range pool {
+			if mask&(1<<i) != 0 {
+				uses = append(uses, p)
+			}
+		}
+		pkgName := fmt.Sprintf("com.prop.app%d", seq)
+		a := apk.Build(apk.Manifest{Package: pkgName, VersionCode: 1, Label: "P", UsesPerms: uses},
+			nil, sig.NewKey(pkgName))
+		if err := fs.WriteFile("/sdcard/p.apk", a.Encode(), vfs.Root, vfs.ModeShared); err != nil {
+			return false
+		}
+		p, err := s.InstallPackage(installer, "/sdcard/p.apk")
+		if err != nil {
+			return false
+		}
+		for _, granted := range p.GrantedPerms() {
+			if !p.Manifest.Uses(granted) {
+				return false // granted something never requested
+			}
+		}
+		for _, u := range uses {
+			switch u {
+			case perm.Internet, perm.KillBackgroundProcesses, perm.ReadContacts:
+				if !p.Granted(u) {
+					return false
+				}
+			case perm.InstallPackages, "com.undefined.NOPE":
+				if p.Granted(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newPropService(t *testing.T) (*Service, *vfs.FS) {
+	t.Helper()
+	return newTestService(t, Options{})
+}
+
+// Property: install → uninstall always returns the package table and the
+// permission registry to their previous state (no leaked definitions).
+func TestPropertyInstallUninstallRoundTrip(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	installer := installSystemInstaller(t, s)
+	seq := 0
+	f := func(defineCount uint8) bool {
+		seq++
+		pkgName := fmt.Sprintf("com.rt.app%d", seq)
+		var defs []apk.PermissionDef
+		for i := 0; i < int(defineCount%5); i++ {
+			defs = append(defs, apk.PermissionDef{
+				Name:            fmt.Sprintf("%s.P%d", pkgName, i),
+				ProtectionLevel: "normal",
+			})
+		}
+		before := len(s.Registry().Names())
+		beforePkgs := len(s.Packages())
+		a := apk.Build(apk.Manifest{Package: pkgName, VersionCode: 1, Label: "RT", DefinesPerms: defs},
+			nil, sig.NewKey(pkgName))
+		if err := fs.WriteFile("/sdcard/rt.apk", a.Encode(), vfs.Root, vfs.ModeShared); err != nil {
+			return false
+		}
+		if _, err := s.InstallPackage(installer, "/sdcard/rt.apk"); err != nil {
+			return false
+		}
+		if len(s.Registry().Names()) != before+len(defs) {
+			return false
+		}
+		if err := s.Uninstall(installer, pkgName); err != nil {
+			return false
+		}
+		return len(s.Registry().Names()) == before && len(s.Packages()) == beforePkgs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

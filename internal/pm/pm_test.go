@@ -1,0 +1,401 @@
+package pm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+func newTestService(t *testing.T, opts Options) (*Service, *vfs.FS) {
+	t.Helper()
+	fs := vfs.New(func() time.Duration { return 0 })
+	for _, dir := range []string{"/data/app", "/data/data", "/sdcard"} {
+		if err := fs.MkdirAll(dir, vfs.Root, vfs.ModeDir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(fs, perm.NewRegistry(), opts), fs
+}
+
+// installSystemInstaller installs a platform-ish installer app holding
+// INSTALL_PACKAGES and DELETE_PACKAGES and returns its UID.
+func installSystemInstaller(t *testing.T, s *Service) vfs.UID {
+	t.Helper()
+	m := apk.Manifest{
+		Package:     "com.vendor.installer",
+		VersionCode: 1,
+		Label:       "Installer",
+		UsesPerms:   []string{perm.InstallPackages, perm.DeletePackages, perm.WriteExternalStorage},
+	}
+	p, err := s.InstallSystem(apk.Build(m, nil, sig.NewKey("vendor-installer")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Granted(perm.InstallPackages) {
+		t.Fatal("system installer not granted INSTALL_PACKAGES")
+	}
+	return p.UID
+}
+
+func buildAPK(pkg string, version int, key *sig.Key, uses ...string) *apk.APK {
+	return apk.Build(apk.Manifest{
+		Package:     pkg,
+		VersionCode: version,
+		Label:       pkg,
+		UsesPerms:   uses,
+	}, map[string][]byte{"classes.dex": []byte("code-" + pkg)}, key)
+}
+
+func stage(t *testing.T, fs *vfs.FS, path string, a *apk.APK, owner vfs.UID, mode vfs.Mode) {
+	t.Helper()
+	if err := fs.WriteFile(path, a.Encode(), owner, mode); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallRequiresInstallPackages(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	stage(t, fs, "/sdcard/app.apk", buildAPK("com.x", 1, sig.NewKey("dev")), vfs.Root, vfs.ModeShared)
+
+	if _, err := s.InstallPackage(vfs.UID(10050), "/sdcard/app.apk"); !errors.Is(err, ErrPermissionDenied) {
+		t.Errorf("unprivileged install = %v, want ErrPermissionDenied", err)
+	}
+	installer := installSystemInstaller(t, s)
+	p, err := s.InstallPackage(installer, "/sdcard/app.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "com.x" || p.UID < FirstAppUID {
+		t.Errorf("installed package = %+v", p)
+	}
+	if p.CodePath != "/data/app/com.x.apk" || !fs.Exists(p.CodePath) {
+		t.Errorf("code path = %q", p.CodePath)
+	}
+}
+
+func TestInternalStagingMustBeWorldReadable(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	installer := installSystemInstaller(t, s)
+	owner := vfs.UID(10040)
+	if err := fs.MkdirAll("/data/data/com.store/files", owner, vfs.ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	a := buildAPK("com.y", 1, sig.NewKey("dev"))
+
+	// Private mode: the PMS cannot read it (the Stack Overflow trap).
+	stage(t, fs, "/data/data/com.store/files/y.apk", a, owner, vfs.ModePrivate)
+	if _, err := s.InstallPackage(installer, "/data/data/com.store/files/y.apk"); !errors.Is(err, ErrUnreadableAPK) {
+		t.Fatalf("private staged install = %v, want ErrUnreadableAPK", err)
+	}
+
+	// World-readable fixes it — the marker the Section IV classifier keys on.
+	if err := fs.Chmod("/data/data/com.store/files/y.apk", vfs.ModeWorldReadable, owner); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallPackage(installer, "/data/data/com.store/files/y.apk"); err != nil {
+		t.Fatalf("world-readable staged install: %v", err)
+	}
+}
+
+func TestSignatureContinuityOnUpdate(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	installer := installSystemInstaller(t, s)
+	dev := sig.NewKey("dev")
+	stage(t, fs, "/sdcard/v1.apk", buildAPK("com.app", 1, dev), vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/v1.apk"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same signer, higher version: OK, emits PACKAGE_REPLACED.
+	var actions []string
+	s.Subscribe(func(ev Event) { actions = append(actions, ev.Action) })
+	stage(t, fs, "/sdcard/v2.apk", buildAPK("com.app", 2, dev), vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/v2.apk"); err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) != 1 || actions[0] != ActionPackageReplaced {
+		t.Errorf("actions = %v", actions)
+	}
+
+	// Different signer: rejected.
+	stage(t, fs, "/sdcard/v3.apk", buildAPK("com.app", 3, sig.NewKey("attacker")), vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/v3.apk"); !errors.Is(err, ErrSignatureMismatch) {
+		t.Errorf("wrong-signer update = %v, want ErrSignatureMismatch", err)
+	}
+
+	// Downgrade: rejected.
+	stage(t, fs, "/sdcard/v0.apk", buildAPK("com.app", 1, dev), vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/v0.apk"); !errors.Is(err, ErrVersionDowngrade) {
+		t.Errorf("downgrade = %v, want ErrVersionDowngrade", err)
+	}
+}
+
+func TestInstallWithVerificationChecksOnlyManifest(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	installer := installSystemInstaller(t, s)
+	dev := sig.NewKey("bank")
+	attacker := sig.NewKey("attacker")
+	orig := buildAPK("com.bank", 1, dev)
+	stage(t, fs, "/sdcard/bank.apk", orig, vfs.Root, vfs.ModeShared)
+
+	// Wrong manifest digest: rejected.
+	other := buildAPK("com.other", 1, dev)
+	if _, err := s.InstallPackageWithVerification(installer, "/sdcard/bank.apk", other.ManifestDigest()); !errors.Is(err, ErrManifestVerify) {
+		t.Fatalf("wrong digest = %v, want ErrManifestVerify", err)
+	}
+	// Correct digest: accepted.
+	if _, err := s.InstallPackageWithVerification(installer, "/sdcard/bank.apk", orig.ManifestDigest()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Uninstall(installer, "com.bank"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The paper's weakness: a repackaged APK with the same manifest
+	// (malicious payload, attacker's signature) passes verification.
+	evil := apk.Repackage(orig, map[string][]byte{"classes.dex": []byte("malware")}, attacker, false)
+	stage(t, fs, "/sdcard/bank2.apk", evil, vfs.Root, vfs.ModeShared)
+	p, err := s.InstallPackageWithVerification(installer, "/sdcard/bank2.apk", orig.ManifestDigest())
+	if err != nil {
+		t.Fatalf("same-manifest repackage rejected: %v — the modelled API must accept it", err)
+	}
+	if !p.Cert.Equal(attacker.Certificate()) {
+		t.Error("installed package does not carry the attacker's certificate")
+	}
+}
+
+func TestPermissionGrantLevels(t *testing.T) {
+	platform := sig.NewKey("samsung-platform")
+	s, fs := newTestService(t, Options{PlatformKey: platform})
+	installer := installSystemInstaller(t, s)
+
+	// A defining app with a signature-level permission.
+	definer := apk.Build(apk.Manifest{
+		Package: "com.definer", VersionCode: 1, Label: "Definer",
+		DefinesPerms: []apk.PermissionDef{{Name: "com.definer.API", ProtectionLevel: "signature"}},
+	}, nil, sig.NewKey("definer-key"))
+	if _, err := s.InstallSystem(definer); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name     string
+		pkg      string
+		key      *sig.Key
+		uses     string
+		wantHeld bool
+	}{
+		{name: "normal auto-granted", pkg: "com.n", key: sig.NewKey("a"), uses: perm.Internet, wantHeld: true},
+		{name: "dangerous granted at install (pre-M)", pkg: "com.d", key: sig.NewKey("b"), uses: perm.ReadContacts, wantHeld: true},
+		{name: "signature denied to other signer", pkg: "com.s1", key: sig.NewKey("c"), uses: "com.definer.API", wantHeld: false},
+		{name: "signature granted to same signer", pkg: "com.s2", key: sig.NewKey("definer-key"), uses: "com.definer.API", wantHeld: true},
+		{name: "signatureOrSystem denied to ordinary app", pkg: "com.p1", key: sig.NewKey("d"), uses: perm.InstallPackages, wantHeld: false},
+		{name: "signatureOrSystem granted to platform-signed app", pkg: "com.p2", key: platform, uses: perm.InstallPackages, wantHeld: true},
+		{name: "hanging permission not granted", pkg: "com.h", key: sig.NewKey("e"), uses: "com.undefined.PERM", wantHeld: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			stage(t, fs, "/sdcard/t.apk", buildAPK(tt.pkg, 1, tt.key, tt.uses), vfs.Root, vfs.ModeShared)
+			p, err := s.InstallPackage(installer, "/sdcard/t.apk")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Granted(tt.uses) != tt.wantHeld {
+				t.Errorf("Granted(%s) = %v, want %v", tt.uses, p.Granted(tt.uses), tt.wantHeld)
+			}
+		})
+	}
+}
+
+func TestHareHijack(t *testing.T) {
+	platform := sig.NewKey("samsung-platform")
+	s, fs := newTestService(t, Options{PlatformKey: platform})
+	installer := installSystemInstaller(t, s)
+	harePerm := "com.vlingo.midas.contacts.permission.READ"
+
+	// The malware arrives first, defines the hanging permission at normal
+	// level and requests it.
+	malware := apk.Build(apk.Manifest{
+		Package: "com.malware", VersionCode: 1, Label: "Game",
+		UsesPerms:    []string{harePerm},
+		DefinesPerms: []apk.PermissionDef{{Name: harePerm, ProtectionLevel: "normal"}},
+	}, nil, sig.NewKey("attacker"))
+	stage(t, fs, "/sdcard/m.apk", malware, vfs.Root, vfs.ModeShared)
+	mp, err := s.InstallPackage(installer, "/sdcard/m.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mp.Granted(harePerm) {
+		t.Fatal("malware not granted its self-defined permission")
+	}
+
+	// The Hare-creating system app (S-Voice) uses the permission but does
+	// not define it. Its definition attempt is moot — the name is taken.
+	svoice := apk.Build(apk.Manifest{
+		Package: "com.vlingo.midas", VersionCode: 1, Label: "S Voice",
+		UsesPerms: []string{harePerm},
+		Components: []apk.Component{
+			{Type: apk.ComponentService, Name: "com.vlingo.midas.Contacts", Exported: true, GuardedBy: harePerm},
+		},
+	}, nil, platform)
+	stage(t, fs, "/sdcard/s.apk", svoice, vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/s.apk"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Registry().DefinerOf(harePerm); got != "com.malware" {
+		t.Errorf("definer = %q, want com.malware", got)
+	}
+	// The malware's UID passes the guard on the contacts service.
+	if !s.UIDHolds(mp.UID, harePerm) {
+		t.Error("malware UID does not hold the hijacked permission")
+	}
+}
+
+func TestRuntimeStorageGroupSilentGrant(t *testing.T) {
+	s, fs := newTestService(t, Options{RuntimePermissions: true})
+	installer := installSystemInstaller(t, s)
+	a := buildAPK("com.game", 1, sig.NewKey("dev"), perm.ReadExternalStorage, perm.WriteExternalStorage)
+	stage(t, fs, "/sdcard/g.apk", a, vfs.Root, vfs.ModeShared)
+	p, err := s.InstallPackage(installer, "/sdcard/g.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Granted(perm.ReadExternalStorage) || p.Granted(perm.WriteExternalStorage) {
+		t.Fatal("dangerous permissions granted at install under the runtime model")
+	}
+
+	// The user approves READ for a legitimate purpose...
+	granted, silent, err := s.RequestPermission("com.game", perm.ReadExternalStorage, true)
+	if err != nil || !granted || silent {
+		t.Fatalf("READ request = %v/%v/%v", granted, silent, err)
+	}
+	// ...and WRITE arrives silently via the shared STORAGE group.
+	granted, silent, err = s.RequestPermission("com.game", perm.WriteExternalStorage, false /* user would say no */)
+	if err != nil || !granted || !silent {
+		t.Fatalf("WRITE request = granted=%v silent=%v err=%v, want silent grant", granted, silent, err)
+	}
+}
+
+func TestRequestPermissionDeniedWithoutApproval(t *testing.T) {
+	s, fs := newTestService(t, Options{RuntimePermissions: true})
+	installer := installSystemInstaller(t, s)
+	a := buildAPK("com.app", 1, sig.NewKey("dev"), perm.ReadContacts)
+	stage(t, fs, "/sdcard/a.apk", a, vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/a.apk"); err != nil {
+		t.Fatal(err)
+	}
+	granted, _, err := s.RequestPermission("com.app", perm.ReadContacts, false)
+	if err != nil || granted {
+		t.Errorf("unapproved request = %v, %v", granted, err)
+	}
+	// Undeclared permissions cannot be requested.
+	if _, _, err := s.RequestPermission("com.app", perm.Internet, true); !errors.Is(err, ErrPermissionDenied) {
+		t.Errorf("undeclared request = %v", err)
+	}
+}
+
+func TestSharedUserID(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	installer := installSystemInstaller(t, s)
+	key := sig.NewKey("suite")
+	build := func(pkg string, k *sig.Key) *apk.APK {
+		return apk.Build(apk.Manifest{Package: pkg, VersionCode: 1, Label: pkg, SharedUserID: "com.suite.shared"}, nil, k)
+	}
+	stage(t, fs, "/sdcard/a.apk", build("com.suite.a", key), vfs.Root, vfs.ModeShared)
+	pa, err := s.InstallPackage(installer, "/sdcard/a.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage(t, fs, "/sdcard/b.apk", build("com.suite.b", key), vfs.Root, vfs.ModeShared)
+	pb, err := s.InstallPackage(installer, "/sdcard/b.apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.UID != pb.UID {
+		t.Errorf("shared uid mismatch: %d vs %d", pa.UID, pb.UID)
+	}
+	if got := s.PackagesForUID(pa.UID); len(got) != 2 {
+		t.Errorf("PackagesForUID = %d packages", len(got))
+	}
+	// A different signer cannot join the shared UID.
+	stage(t, fs, "/sdcard/c.apk", build("com.suite.c", sig.NewKey("intruder")), vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/c.apk"); !errors.Is(err, ErrSharedUIDMismatch) {
+		t.Errorf("intruder join = %v, want ErrSharedUIDMismatch", err)
+	}
+}
+
+func TestUninstallCreatesHangingPermissions(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	installer := installSystemInstaller(t, s)
+	definer := apk.Build(apk.Manifest{
+		Package: "com.definer", VersionCode: 1, Label: "D",
+		DefinesPerms: []apk.PermissionDef{{Name: "com.definer.P", ProtectionLevel: "normal"}},
+	}, nil, sig.NewKey("d"))
+	stage(t, fs, "/sdcard/d.apk", definer, vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/d.apk"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Registry().Defined("com.definer.P") {
+		t.Fatal("permission not defined on install")
+	}
+	if err := s.Uninstall(installer, "com.definer"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Registry().Defined("com.definer.P") {
+		t.Error("permission survives uninstall — no Hare possible")
+	}
+	if _, ok := s.Installed("com.definer"); ok {
+		t.Error("package still installed")
+	}
+	if err := s.Uninstall(installer, "com.definer"); !errors.Is(err, ErrNotInstalled) {
+		t.Errorf("double uninstall = %v", err)
+	}
+	if err := s.Uninstall(vfs.UID(10055), "whatever"); !errors.Is(err, ErrPermissionDenied) {
+		t.Errorf("unprivileged uninstall = %v", err)
+	}
+}
+
+func TestInsufficientStorage(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	installer := installSystemInstaller(t, s)
+	a := buildAPK("com.big", 1, sig.NewKey("dev"))
+	encoded := a.Encode()
+	// Capacity smaller than the code-image copy.
+	if err := fs.Mount("/data", nil, int64(len(encoded))-1); err != nil {
+		t.Fatal(err)
+	}
+	stage(t, fs, "/sdcard/big.apk", a, vfs.Root, vfs.ModeShared)
+	if _, err := s.InstallPackage(installer, "/sdcard/big.apk"); !errors.Is(err, ErrInsufficientStorage) {
+		t.Fatalf("over-capacity install = %v, want ErrInsufficientStorage", err)
+	}
+	if _, ok := s.Installed("com.big"); ok {
+		t.Error("failed install left package state behind")
+	}
+}
+
+func TestTruncatedStagedAPKRejected(t *testing.T) {
+	s, fs := newTestService(t, Options{})
+	installer := installSystemInstaller(t, s)
+	data := buildAPK("com.t", 1, sig.NewKey("dev")).Encode()
+	if err := fs.WriteFile("/sdcard/t.apk", data[:len(data)/2], vfs.Root, vfs.ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InstallPackage(installer, "/sdcard/t.apk"); !errors.Is(err, apk.ErrTruncated) && !errors.Is(err, apk.ErrCorrupt) {
+		t.Errorf("truncated install = %v", err)
+	}
+}
+
+func TestUIDHoldsSystemImplicit(t *testing.T) {
+	s, _ := newTestService(t, Options{})
+	if !s.UIDHolds(vfs.System, perm.InstallPackages) {
+		t.Error("system UID lacks implicit permissions")
+	}
+	if s.UIDHolds(vfs.UID(10099), perm.InstallPackages) {
+		t.Error("unknown app UID holds permissions")
+	}
+}

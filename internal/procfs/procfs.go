@@ -1,0 +1,123 @@
+// Package procfs models the slice of /proc the redirect-Intent attacker
+// reads: /proc/<pid>/oom_adj, which is world-readable on the Android
+// versions the paper studies and drops to zero when an app moves to the
+// foreground (Section III-D).
+package procfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// oom_adj values used by Android's process ranking.
+const (
+	// OOMForeground is the oom_adj of the foreground app.
+	OOMForeground = 0
+	// OOMVisible is assigned to visible-but-not-foreground processes.
+	OOMVisible = 1
+	// OOMBackground is assigned to cached background processes.
+	OOMBackground = 9
+)
+
+// ErrNoProcess is returned for unknown PIDs or packages.
+var ErrNoProcess = errors.New("procfs: no such process")
+
+// Table is the process table of one device.
+type Table struct {
+	byPID   map[int]*proc
+	byPkg   map[string]int
+	nextPID int
+}
+
+type proc struct {
+	pid    int
+	pkg    string
+	oomAdj int
+}
+
+// NewTable creates an empty process table. PIDs start at 1000 to look
+// Android-ish in traces.
+func NewTable() *Table {
+	return &Table{
+		byPID:   make(map[int]*proc),
+		byPkg:   make(map[string]int),
+		nextPID: 1000,
+	}
+}
+
+// Register adds a process for pkg and returns its PID. Registering an
+// already-running package returns the existing PID.
+func (t *Table) Register(pkg string) int {
+	if pid, ok := t.byPkg[pkg]; ok {
+		return pid
+	}
+	pid := t.nextPID
+	t.nextPID++
+	t.byPID[pid] = &proc{pid: pid, pkg: pkg, oomAdj: OOMBackground}
+	t.byPkg[pkg] = pid
+	return pid
+}
+
+// Unregister removes pkg's process (app killed or uninstalled).
+func (t *Table) Unregister(pkg string) {
+	if pid, ok := t.byPkg[pkg]; ok {
+		delete(t.byPID, pid)
+		delete(t.byPkg, pkg)
+	}
+}
+
+// PIDOf returns the PID of pkg's process.
+func (t *Table) PIDOf(pkg string) (int, error) {
+	pid, ok := t.byPkg[pkg]
+	if !ok {
+		return 0, fmt.Errorf("%s: %w", pkg, ErrNoProcess)
+	}
+	return pid, nil
+}
+
+// SetForeground marks pkg as the foreground app: its oom_adj drops to 0 and
+// the previous foreground process falls back to background.
+func (t *Table) SetForeground(pkg string) error {
+	pid, ok := t.byPkg[pkg]
+	if !ok {
+		return fmt.Errorf("%s: %w", pkg, ErrNoProcess)
+	}
+	for _, p := range t.byPID {
+		if p.oomAdj == OOMForeground {
+			p.oomAdj = OOMBackground
+		}
+	}
+	t.byPID[pid].oomAdj = OOMForeground
+	return nil
+}
+
+// OOMAdj reads /proc/<pid>/oom_adj. Any process may read any other's value —
+// the public side channel the attacker polls.
+func (t *Table) OOMAdj(pid int) (int, error) {
+	p, ok := t.byPID[pid]
+	if !ok {
+		return 0, fmt.Errorf("pid %d: %w", pid, ErrNoProcess)
+	}
+	return p.oomAdj, nil
+}
+
+// Foreground returns the current foreground package, if any.
+func (t *Table) Foreground() (string, bool) {
+	for _, p := range t.byPID {
+		if p.oomAdj == OOMForeground {
+			return p.pkg, true
+		}
+	}
+	return "", false
+}
+
+// Processes lists running packages, sorted.
+func (t *Table) Processes() []string {
+	out := make([]string, 0, len(t.byPkg))
+	for pkg := range t.byPkg {
+		out = append(out, pkg)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package procfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterAndPIDs(t *testing.T) {
+	tbl := NewTable()
+	pid1 := tbl.Register("com.facebook")
+	pid2 := tbl.Register("com.android.vending")
+	if pid1 == pid2 {
+		t.Fatal("duplicate PIDs")
+	}
+	if again := tbl.Register("com.facebook"); again != pid1 {
+		t.Errorf("re-register changed PID: %d -> %d", pid1, again)
+	}
+	got, err := tbl.PIDOf("com.facebook")
+	if err != nil || got != pid1 {
+		t.Errorf("PIDOf = %d, %v", got, err)
+	}
+	if _, err := tbl.PIDOf("com.none"); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("PIDOf unknown = %v", err)
+	}
+	procs := tbl.Processes()
+	if len(procs) != 2 || procs[0] != "com.android.vending" {
+		t.Errorf("Processes = %v", procs)
+	}
+}
+
+func TestForegroundTransitionsVisibleViaOOMAdj(t *testing.T) {
+	tbl := NewTable()
+	fb := tbl.Register("com.facebook")
+	play := tbl.Register("com.android.vending")
+
+	// Fresh processes are background.
+	if adj, _ := tbl.OOMAdj(fb); adj != OOMBackground {
+		t.Errorf("initial oom_adj = %d", adj)
+	}
+
+	if err := tbl.SetForeground("com.facebook"); err != nil {
+		t.Fatal(err)
+	}
+	if adj, _ := tbl.OOMAdj(fb); adj != OOMForeground {
+		t.Errorf("facebook oom_adj = %d, want 0", adj)
+	}
+
+	// Play takes the foreground: facebook's oom_adj rises — the signal
+	// the redirect attacker polls for.
+	if err := tbl.SetForeground("com.android.vending"); err != nil {
+		t.Fatal(err)
+	}
+	if adj, _ := tbl.OOMAdj(fb); adj != OOMBackground {
+		t.Errorf("facebook oom_adj after switch = %d, want background", adj)
+	}
+	if adj, _ := tbl.OOMAdj(play); adj != OOMForeground {
+		t.Errorf("play oom_adj = %d, want 0", adj)
+	}
+	if fg, ok := tbl.Foreground(); !ok || fg != "com.android.vending" {
+		t.Errorf("Foreground = %q, %v", fg, ok)
+	}
+}
+
+func TestSetForegroundUnknown(t *testing.T) {
+	tbl := NewTable()
+	if err := tbl.SetForeground("com.none"); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	tbl := NewTable()
+	pid := tbl.Register("com.app")
+	tbl.Unregister("com.app")
+	if _, err := tbl.OOMAdj(pid); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("OOMAdj after unregister = %v", err)
+	}
+	if _, ok := tbl.Foreground(); ok {
+		t.Error("foreground reported with no processes")
+	}
+	tbl.Unregister("com.app") // idempotent
+}

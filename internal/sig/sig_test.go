@@ -1,0 +1,101 @@
+package sig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyDeterminism(t *testing.T) {
+	a := NewKey("com.example")
+	b := NewKey("com.example")
+	if !a.Certificate().Equal(b.Certificate()) {
+		t.Error("same subject produced different certificates")
+	}
+	c := NewKey("com.other")
+	if a.Certificate().Equal(c.Certificate()) {
+		t.Error("different subjects produced equal certificates")
+	}
+}
+
+func TestSignAndVerify(t *testing.T) {
+	k := NewKey("samsung-platform")
+	digest := Sum([]byte("apk contents"))
+	s := k.Sign(digest)
+
+	if !Verify(s, digest) {
+		t.Error("valid signature failed verification")
+	}
+	if Verify(s, Sum([]byte("tampered"))) {
+		t.Error("signature verified over wrong digest")
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	digest := Sum([]byte("data"))
+	attacker := NewKey("attacker")
+	s := attacker.Sign(digest)
+
+	// Claiming to be another subject must fail: the certificate
+	// fingerprint will not match the claimed subject's key.
+	s.Cert.Subject = "samsung-platform"
+	if Verify(s, digest) {
+		t.Error("forged certificate subject verified")
+	}
+}
+
+func TestVerifyRejectsZeroSignature(t *testing.T) {
+	if Verify(Signature{}, Sum([]byte("x"))) {
+		t.Error("zero signature verified")
+	}
+}
+
+func TestCertificateHelpers(t *testing.T) {
+	k := NewKey("x")
+	c := k.Certificate()
+	if c.IsZero() {
+		t.Error("real certificate reported zero")
+	}
+	if (Certificate{}).IsZero() != true {
+		t.Error("zero certificate not reported zero")
+	}
+	if c.String() == "" || c.Fingerprint.Hex() == "" || c.Fingerprint.Short() == "" {
+		t.Error("string helpers returned empty output")
+	}
+	if len(c.Fingerprint.Hex()) != DigestSize*2 {
+		t.Errorf("hex length = %d", len(c.Fingerprint.Hex()))
+	}
+}
+
+// Property: a signature verifies iff checked against the digest it signed.
+func TestPropertySignVerify(t *testing.T) {
+	k := NewKey("dev")
+	f := func(a, b []byte) bool {
+		da, db := Sum(a), Sum(b)
+		s := k.Sign(da)
+		if !Verify(s, da) {
+			return false
+		}
+		if da != db && Verify(s, db) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tampering with the signature value breaks verification.
+func TestPropertyTamperedSignatureFails(t *testing.T) {
+	k := NewKey("dev")
+	f := func(data []byte, bit uint16) bool {
+		d := Sum(data)
+		s := k.Sign(d)
+		idx := int(bit) % DigestSize
+		s.Value[idx] ^= 0x01
+		return !Verify(s, d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

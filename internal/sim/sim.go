@@ -1,0 +1,208 @@
+// Package sim provides a deterministic discrete-event scheduler with a
+// virtual clock. Every timing-sensitive component of the simulated Android
+// device (downloads, verification reads, attacker reaction latency, race
+// windows) is driven by one Scheduler, which makes every experiment in this
+// repository reproducible from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Scheduler is a virtual-time discrete-event scheduler. Events scheduled for
+// the same instant fire in scheduling order (FIFO), which gives stable,
+// deterministic traces.
+//
+// A Scheduler is safe for concurrent use, although the intended model is
+// single-threaded: callbacks run on the goroutine that calls Run, Step or
+// RunUntil, and may schedule further events.
+type Scheduler struct {
+	mu      sync.Mutex
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	running bool
+}
+
+// New returns a Scheduler whose random source is seeded with seed. The same
+// seed always yields the same event interleavings and random draws.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time, measured from boot (zero).
+func (s *Scheduler) Now() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Pending reports how many events are queued.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Rand returns the scheduler's seeded random source. Components must draw
+// all randomness from this source to stay deterministic.
+func (s *Scheduler) Rand() *rand.Rand {
+	return s.rng
+}
+
+// Uniform draws a duration uniformly from [lo, hi]. It panics if hi < lo,
+// which always indicates a programming error in a caller's timing model.
+func (s *Scheduler) Uniform(lo, hi time.Duration) time.Duration {
+	if hi < lo {
+		panic(fmt.Sprintf("sim: invalid uniform range [%v, %v]", lo, hi))
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + time.Duration(s.rng.Int63n(int64(hi-lo)+1))
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t earlier than Now) clamps to the present: the event fires on the next
+// Step. The returned Timer can cancel the event before it fires.
+func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t < s.now {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return &Timer{s: s, ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	now := s.now
+	s.mu.Unlock()
+	return s.At(now+d, fn)
+}
+
+// Step runs the earliest pending event, advancing the clock to its deadline.
+// It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	s.mu.Lock()
+	ev := s.popRunnable()
+	s.mu.Unlock()
+	if ev == nil {
+		return false
+	}
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain. Callbacks may schedule more events;
+// Run returns only once the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines at or before t, then advances the
+// clock to t even if the queue drained earlier.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for {
+		s.mu.Lock()
+		if len(s.events) == 0 || s.events[0].at > t {
+			if s.now < t {
+				s.now = t
+			}
+			s.mu.Unlock()
+			return
+		}
+		ev := s.popRunnable()
+		s.mu.Unlock()
+		if ev != nil {
+			ev.fn()
+		}
+	}
+}
+
+// popRunnable pops the next non-cancelled event and advances the clock.
+// Callers must hold s.mu.
+func (s *Scheduler) popRunnable() *event {
+	for len(s.events) > 0 {
+		ev, ok := heap.Pop(&s.events).(*event)
+		if !ok {
+			panic("sim: event heap holds a non-event")
+		}
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		return ev
+	}
+	return nil
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.ev.cancelled = true
+}
+
+// When reports the virtual time the event is (or was) scheduled for.
+func (t *Timer) When() time.Duration { return t.ev.at }
+
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		panic("sim: pushing a non-event")
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

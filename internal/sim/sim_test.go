@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSchedulerRunsInDeadlineOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(20*time.Millisecond, func() { got = append(got, 2) })
+	s.Run()
+
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now() = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerSameInstantIsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Millisecond, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (same-instant events must be FIFO)", i, v, i)
+		}
+	}
+}
+
+func TestSchedulerAfterIsRelative(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.At(5*time.Millisecond, func() {
+		s.After(7*time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 12*time.Millisecond {
+		t.Errorf("nested After fired at %v, want 12ms", at)
+	}
+}
+
+func TestSchedulerPastEventClampsToNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration
+	s.At(10*time.Millisecond, func() {
+		s.At(time.Millisecond, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 10*time.Millisecond {
+		t.Errorf("past-scheduled event fired at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.At(time.Millisecond, func() { fired = true })
+	tm.Cancel()
+	tm.Cancel() // double-cancel is a no-op
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.At(5*time.Millisecond, func() { ran++ })
+	s.At(50*time.Millisecond, func() { ran++ })
+
+	s.RunUntil(10 * time.Millisecond)
+	if ran != 1 {
+		t.Fatalf("ran %d events by 10ms, want 1", ran)
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Errorf("Now() = %v, want 10ms", s.Now())
+	}
+
+	s.RunUntil(100 * time.Millisecond)
+	if ran != 2 {
+		t.Fatalf("ran %d events by 100ms, want 2", ran)
+	}
+	if s.Now() != 100*time.Millisecond {
+		t.Errorf("Now() = %v, want 100ms", s.Now())
+	}
+}
+
+func TestRunUntilEmptyQueueStillAdvances(t *testing.T) {
+	s := New(1)
+	s.RunUntil(42 * time.Millisecond)
+	if s.Now() != 42*time.Millisecond {
+		t.Errorf("Now() = %v, want 42ms", s.Now())
+	}
+}
+
+func TestUniformBoundsAndDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		va := a.Uniform(time.Millisecond, 5*time.Millisecond)
+		vb := b.Uniform(time.Millisecond, 5*time.Millisecond)
+		if va != vb {
+			t.Fatalf("draw %d: same seed produced %v and %v", i, va, vb)
+		}
+		if va < time.Millisecond || va > 5*time.Millisecond {
+			t.Fatalf("draw %d: %v outside [1ms, 5ms]", i, va)
+		}
+	}
+	if got := a.Uniform(3*time.Second, 3*time.Second); got != 3*time.Second {
+		t.Errorf("degenerate range draw = %v, want 3s", got)
+	}
+}
+
+func TestUniformPanicsOnInvertedRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uniform(hi<lo) did not panic")
+		}
+	}()
+	New(1).Uniform(2*time.Second, time.Second)
+}
+
+func TestTickerFiresUntilStopped(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	tk := NewTicker(s, time.Millisecond, func(now time.Duration) bool {
+		ticks++
+		return ticks < 5
+	})
+	s.Run()
+	if ticks != 5 {
+		t.Errorf("ticks = %d, want 5", ticks)
+	}
+	if !tk.Stopped() {
+		t.Error("ticker not stopped after callback returned false")
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := New(1)
+	ticks := 0
+	var tk *Ticker
+	tk = NewTicker(s, time.Millisecond, func(now time.Duration) bool {
+		ticks++
+		if ticks == 3 {
+			tk.Stop()
+			tk.Stop() // double stop is a no-op
+		}
+		return true
+	})
+	s.Run()
+	if ticks != 3 {
+		t.Errorf("ticks = %d, want 3 (stopped mid-run)", ticks)
+	}
+}
+
+func TestTickerPanicsOnNonPositivePeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTicker(0) did not panic")
+		}
+	}()
+	NewTicker(New(1), 0, func(time.Duration) bool { return false })
+}
+
+// Property: for any set of deadlines, events run in nondecreasing time order
+// and the clock ends at the max deadline.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(deadlines []uint16) bool {
+		if len(deadlines) == 0 {
+			return true
+		}
+		s := New(99)
+		var fired []time.Duration
+		var maxAt time.Duration
+		for _, d := range deadlines {
+			at := time.Duration(d) * time.Microsecond
+			if at > maxAt {
+				maxAt = at
+			}
+			s.At(at, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(deadlines) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return s.Now() == maxAt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two schedulers with the same seed make identical uniform draws.
+func TestPropertySeedDeterminism(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < int(n); i++ {
+			if a.Uniform(0, time.Second) != b.Uniform(0, time.Second) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

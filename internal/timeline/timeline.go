@@ -1,0 +1,124 @@
+// Package timeline records a merged, virtual-time-ordered view of
+// everything observable on the device during an experiment: filesystem
+// events in watched directories, package-manager state changes,
+// IntentFirewall alerts, DAPP detections and AIT steps. It is the textual
+// equivalent of the paper's demo videos, and the debugging surface for
+// anyone building new attacks or defenses on this library.
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/defense"
+	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/pm"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+// Entry is one recorded event.
+type Entry struct {
+	At     time.Duration
+	Source string
+	Detail string
+}
+
+func (e Entry) String() string {
+	return fmt.Sprintf("[%10.3fms] %-8s %s", float64(e.At)/float64(time.Millisecond), e.Source, e.Detail)
+}
+
+// Recorder accumulates entries. It is single-threaded, like the simulation.
+type Recorder struct {
+	now     func() time.Duration
+	entries []Entry
+	watches []*vfs.Watch
+}
+
+// New creates a recorder reading timestamps from now (Scheduler.Now).
+func New(now func() time.Duration) *Recorder {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &Recorder{now: now}
+}
+
+// Add records an event at the current virtual time.
+func (r *Recorder) Add(source, detail string) {
+	r.entries = append(r.entries, Entry{At: r.now(), Source: source, Detail: detail})
+}
+
+// addAt records an event with an explicit timestamp (for merged AIT traces).
+func (r *Recorder) addAt(at time.Duration, source, detail string) {
+	r.entries = append(r.entries, Entry{At: at, Source: source, Detail: detail})
+}
+
+// WatchFS subscribes the recorder to all filesystem events in dirs.
+func (r *Recorder) WatchFS(fs *vfs.FS, dirs ...string) error {
+	for _, dir := range dirs {
+		w, err := fs.Watch(dir, vfs.EvAll, func(ev vfs.Event) {
+			r.Add("fs", ev.String())
+		})
+		if err != nil {
+			return fmt.Errorf("timeline: watch %s: %w", dir, err)
+		}
+		r.watches = append(r.watches, w)
+	}
+	return nil
+}
+
+// WatchPackages subscribes to package-manager state changes.
+func (r *Recorder) WatchPackages(pms *pm.Service) {
+	pms.Subscribe(func(ev pm.Event) {
+		r.Add("pm", fmt.Sprintf("%s %s (uid %d)", ev.Action, ev.Package, ev.UID))
+	})
+}
+
+// WatchFirewall subscribes to IntentFirewall alerts.
+func (r *Recorder) WatchFirewall(fw *intents.Firewall) {
+	fw.OnAlert(func(a intents.Alert) {
+		r.Add("firewall", fmt.Sprintf("redirect suspected at %s: %s then %s within %v",
+			a.Recipient, a.FirstSender, a.SecondSender, a.Gap))
+	})
+}
+
+// WatchDAPP subscribes to DAPP detections.
+func (r *Recorder) WatchDAPP(d *defense.DAPP) {
+	d.OnAlert(func(a defense.Alert) {
+		r.Add("dapp", fmt.Sprintf("%s %s: %s", a.Kind, a.Package, a.Detail))
+	})
+}
+
+// RecordAIT merges an AIT trace into the timeline at its own timestamps.
+func (r *Recorder) RecordAIT(res installer.Result) {
+	for _, step := range res.Trace {
+		r.addAt(step.At, "ait", fmt.Sprintf("[%s] step %d %s: %s", res.Store, step.Step, step.Name, step.Detail))
+	}
+}
+
+// Close cancels the filesystem subscriptions.
+func (r *Recorder) Close() {
+	for _, w := range r.watches {
+		w.Close()
+	}
+	r.watches = nil
+}
+
+// Entries returns all events in time order (stable for equal timestamps).
+func (r *Recorder) Entries() []Entry {
+	out := append([]Entry(nil), r.entries...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Render writes the timeline to w.
+func (r *Recorder) Render(w io.Writer) error {
+	for _, e := range r.Entries() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

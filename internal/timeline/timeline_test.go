@@ -1,0 +1,122 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/defense"
+	"github.com/ghost-installer/gia/internal/device"
+	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/perm"
+	"github.com/ghost-installer/gia/internal/sig"
+)
+
+func TestRecorderOrdersAndRenders(t *testing.T) {
+	now := time.Duration(0)
+	r := New(func() time.Duration { return now })
+	now = 5 * time.Millisecond
+	r.Add("x", "second")
+	r.addAt(time.Millisecond, "y", "first")
+	entries := r.Entries()
+	if len(entries) != 2 || entries[0].Detail != "first" || entries[1].Detail != "second" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "first") || !strings.Contains(b.String(), "second") {
+		t.Errorf("render = %q", b.String())
+	}
+}
+
+func TestNilClockDefaults(t *testing.T) {
+	r := New(nil)
+	r.Add("x", "event")
+	if r.Entries()[0].At != 0 {
+		t.Error("nil clock did not default to zero")
+	}
+}
+
+// TestFullHijackTimeline records a complete hijack with every source wired
+// and checks the narrative order: download events, attacker replacement,
+// DAPP race alert, install, DAPP signature alert.
+func TestFullHijackTimeline(t *testing.T) {
+	dev, err := device.Boot(device.Profile{Name: "s6", Vendor: "samsung", Seed: 601})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := installer.Amazon()
+	store, err := installer.Deploy(dev, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := apk.Build(apk.Manifest{
+		Package: "com.popular.app", VersionCode: 1, Label: "Popular",
+		UsesPerms: []string{perm.Internet},
+	}, map[string][]byte{"classes.dex": []byte("genuine")}, sig.NewKey("dev"))
+	store.Store.Publish(target)
+	mal, err := attack.DeployMalware(dev, "com.fun.game")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dapp, err := defense.Deploy(dev, []string{prof.StagingDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := New(dev.Sched.Now)
+	defer rec.Close()
+	if err := rec.WatchFS(dev.FS, prof.StagingDir); err != nil {
+		t.Fatal(err)
+	}
+	rec.WatchPackages(dev.PMS)
+	rec.WatchFirewall(dev.AMS.Firewall())
+	rec.WatchDAPP(dapp)
+
+	atk := attack.NewTOCTOU(mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), target)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	defer atk.Stop()
+
+	var res installer.Result
+	store.RequestInstall("com.popular.app", func(r installer.Result) { res = r })
+	dev.Sched.RunUntil(dev.Sched.Now() + 2*time.Minute)
+	if !res.Hijacked {
+		t.Fatalf("hijack failed: %v", res.Err)
+	}
+	rec.RecordAIT(res)
+
+	var b strings.Builder
+	if err := rec.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The narrative landmarks, in order. DAPP's observer registered
+	// before the recorder's, so its race alert precedes the recorder's
+	// MOVED_TO line within the same instant.
+	landmarks := []string{
+		"CREATE",             // staged file appears
+		"CLOSE_WRITE",        // download completes
+		"race-suspected",     // DAPP's first heuristic (the replacement)
+		"MOVED_TO",           // the replacement as the recorder saw it
+		"PACKAGE_ADDED",      // PMS installs
+		"signature-mismatch", // DAPP's final verdict
+	}
+	pos := 0
+	for _, mark := range landmarks {
+		idx := strings.Index(out[pos:], mark)
+		if idx < 0 {
+			t.Fatalf("timeline missing %q after offset %d:\n%s", mark, pos, out)
+		}
+		pos += idx
+	}
+	// The AIT steps are merged at their original timestamps.
+	if !strings.Contains(out, "step 1 invocation") || !strings.Contains(out, "step 4 installed") {
+		t.Errorf("AIT steps missing from timeline:\n%s", out)
+	}
+}

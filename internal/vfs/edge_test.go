@@ -1,0 +1,321 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestOpenErrorPaths(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+
+	if _, err := fs.Open("/d/f", appA, 0, 0); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("open without read/write = %v", err)
+	}
+	if _, err := fs.Open("/d/missing", appA, FlagRead, 0); !errors.Is(err, ErrNotExist) {
+		t.Errorf("open missing = %v", err)
+	}
+	if _, err := fs.Open("/d", appA, FlagRead, 0); !errors.Is(err, ErrIsDir) {
+		t.Errorf("open dir = %v", err)
+	}
+	if _, err := fs.Open("/missing/f", appA, FlagWrite|FlagCreate, 0); !errors.Is(err, ErrNotExist) {
+		t.Errorf("create under missing dir = %v", err)
+	}
+	// Write-protected file cannot be opened for write by others.
+	mustWrite(t, fs, "/d/ro", "x", appA, ModeWorldReadable)
+	if _, err := fs.Open("/d/ro", appB, FlagWrite, 0); !errors.Is(err, ErrPermission) {
+		t.Errorf("write open on read-only = %v", err)
+	}
+	// Unreadable file cannot be opened for read by others.
+	mustWrite(t, fs, "/d/priv", "x", appA, ModePrivate)
+	if _, err := fs.Open("/d/priv", appB, FlagRead, 0); !errors.Is(err, ErrPermission) {
+		t.Errorf("read open on private = %v", err)
+	}
+}
+
+func TestReadTailOnUnreadableFile(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/priv", "secret", appA, ModePrivate)
+	if _, err := fs.ReadTail("/d/priv", 4, appB); !errors.Is(err, ErrPermission) {
+		t.Errorf("tail of private file = %v", err)
+	}
+}
+
+func TestRenameErrorPaths(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/a/sub", Root)
+	mustWrite(t, fs, "/a/f", "x", appA, ModeShared)
+
+	if err := fs.Rename("/missing", "/a/g", appA); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename missing = %v", err)
+	}
+	if err := fs.Rename("/a/f", "/missing/g", appA); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename into missing dir = %v", err)
+	}
+	// Renaming over a directory is rejected.
+	if err := fs.Rename("/a/f", "/a/sub", appA); !errors.Is(err, ErrIsDir) {
+		t.Errorf("rename over dir = %v", err)
+	}
+	if err := fs.Rename("/", "/b", Root); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("rename root = %v", err)
+	}
+}
+
+func TestRenameAcrossMountsMovesAccounting(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/m1", Root)
+	mustMkdirAll(t, fs, "/m2", Root)
+	if err := fs.Mount("/m1", nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mount("/m2", nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "/m1/f", "0123456789", appA, ModeShared)
+
+	used1, _, _ := fs.MountUsage("/m1")
+	if used1 != 10 {
+		t.Fatalf("m1 used = %d", used1)
+	}
+	if err := fs.Rename("/m1/f", "/m2/f", appA); err != nil {
+		t.Fatal(err)
+	}
+	used1, _, _ = fs.MountUsage("/m1")
+	used2, _, _ := fs.MountUsage("/m2")
+	if used1 != 0 || used2 != 10 {
+		t.Errorf("usage after cross-mount rename = %d / %d", used1, used2)
+	}
+	// A destination mount too small rejects the move.
+	mustMkdirAll(t, fs, "/m3", Root)
+	if err := fs.Mount("/m3", nil, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/m2/f", "/m3/f", appA); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("cross-mount rename over capacity = %v", err)
+	}
+}
+
+func TestMountReplaceAndUsageErrors(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/m", Root)
+	if err := fs.Mount("/m", nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Remounting the same prefix replaces the capacity.
+	if err := fs.Mount("/m", nil, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, capacity, err := fs.MountUsage("/m"); err != nil || capacity != 1000 {
+		t.Errorf("capacity after remount = %d, %v", capacity, err)
+	}
+	if _, _, err := fs.MountUsage("/nope"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("usage of unmounted prefix = %v", err)
+	}
+	if err := fs.Mount("relative", nil, 0); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("mount relative = %v", err)
+	}
+}
+
+func TestLstatAndDanglingSymlink(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	if err := fs.Symlink("/nowhere", "/d/link", appA); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Lstat("/d/link")
+	if err != nil || !info.IsSymlink || info.LinkTarget != "/nowhere" {
+		t.Errorf("lstat = %+v, %v", info, err)
+	}
+	// Stat follows and fails on the dangling target.
+	if _, err := fs.Stat("/d/link"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("stat dangling = %v", err)
+	}
+	if _, err := fs.Resolve("/d/link"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("resolve dangling = %v", err)
+	}
+	// ReadLink of a non-symlink fails.
+	mustWrite(t, fs, "/d/f", "x", appA, ModeShared)
+	if _, err := fs.ReadLink("/d/f"); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("readlink of file = %v", err)
+	}
+	// Retarget of a non-symlink fails.
+	if err := fs.Retarget("/d/f", "/x", appA); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("retarget of file = %v", err)
+	}
+}
+
+func TestWalkErrorPropagation(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/f", "x", appA, ModeShared)
+	wantErr := errors.New("stop")
+	err := fs.Walk("/d", func(info Info) error {
+		if info.Name == "f" {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Errorf("walk error = %v", err)
+	}
+	if err := fs.Walk("/missing", func(Info) error { return nil }); !errors.Is(err, ErrNotExist) {
+		t.Errorf("walk missing root = %v", err)
+	}
+}
+
+func TestSymlinkThroughFileIsNotDir(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/f", "x", appA, ModeShared)
+	if _, err := fs.Stat("/d/f/deeper"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("walk through file = %v", err)
+	}
+}
+
+func TestRemoveRootAndMissing(t *testing.T) {
+	fs := newFS()
+	if err := fs.Remove("/", Root); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("remove root = %v", err)
+	}
+	if err := fs.Remove("/nope", Root); !errors.Is(err, ErrNotExist) {
+		t.Errorf("remove missing = %v", err)
+	}
+}
+
+func TestChmodMissingAndSymlinkExists(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	if err := fs.Chmod("/d/none", ModeShared, appA); !errors.Is(err, ErrNotExist) {
+		t.Errorf("chmod missing = %v", err)
+	}
+	if err := fs.Symlink("/t", "/d/l", appA); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/t", "/d/l", appA); !errors.Is(err, ErrExist) {
+		t.Errorf("symlink over existing = %v", err)
+	}
+}
+
+func TestEventAndOpStrings(t *testing.T) {
+	kinds := []EventKind{EvCreate, EvOpen, EvAccess, EvModify, EvCloseWrite,
+		EvCloseNoWrite, EvDelete, EvMovedFrom, EvMovedTo, EvAttrib}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty name for kind %d", k)
+		}
+	}
+	ev := Event{Kind: EvCreate, Path: "/a/b", Actor: appA}
+	if ev.Name() != "b" || ev.String() == "" {
+		t.Errorf("event helpers: %q %q", ev.Name(), ev.String())
+	}
+	for _, op := range []Op{OpRead, OpWrite, OpCreate, OpDelete, OpRename, OpChmod} {
+		if op.String() == "" {
+			t.Errorf("empty name for op %d", op)
+		}
+	}
+}
+
+func TestHandleSequentialReadAndAccessors(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/f", "abcdefgh", appA, ModeShared)
+
+	h, err := fs.Open("/d/f", appA, FlagRead, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = h.Close() }()
+	if h.Path() != "/d/f" || h.Size() != 8 {
+		t.Errorf("handle accessors = %q, %d", h.Path(), h.Size())
+	}
+	buf := make([]byte, 3)
+	var got string
+	for {
+		n, err := h.Read(buf)
+		got += string(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if got != "abcdefgh" {
+		t.Errorf("sequential read = %q", got)
+	}
+	// ReadAt past EOF and short tail.
+	if _, err := h.ReadAt(buf, 100); err == nil {
+		t.Error("ReadAt past EOF succeeded")
+	}
+	if n, _ := h.ReadAt(buf, 6); n != 2 || string(buf[:2]) != "gh" {
+		t.Errorf("short ReadAt = %d %q", n, buf[:2])
+	}
+}
+
+func TestMkdirAllThroughFileFails(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/f", "x", appA, ModeShared)
+	if err := fs.MkdirAll("/d/f/sub", Root, ModeDir); !errors.Is(err, ErrNotDir) {
+		t.Errorf("MkdirAll through file = %v", err)
+	}
+	if err := fs.MkdirAll("/", Root, ModeDir); err != nil {
+		t.Errorf("MkdirAll root = %v", err)
+	}
+	if err := fs.MkdirAll("rel", Root, ModeDir); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("MkdirAll relative = %v", err)
+	}
+}
+
+func TestRemoveAllPermissionPropagates(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d/sub", appA)
+	mustWrite(t, fs, "/d/sub/f", "x", appA, ModePrivate) // others lack write
+	if err := fs.RemoveAll("/d", appB); !errors.Is(err, ErrPermission) {
+		t.Errorf("foreign RemoveAll = %v", err)
+	}
+	if !fs.Exists("/d/sub/f") {
+		t.Error("file removed despite the error")
+	}
+}
+
+func TestWatchDirAccessorAndModeHelpers(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	w, err := fs.Watch("/d", EvAll, func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Dir() != "/d" {
+		t.Errorf("Dir() = %q", w.Dir())
+	}
+	if !ModeWorldReadable.WorldReadable() || ModePrivate.WorldReadable() {
+		t.Error("WorldReadable helper wrong")
+	}
+}
+
+func TestLstatMissing(t *testing.T) {
+	fs := newFS()
+	if _, err := fs.Lstat("/none"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Lstat missing = %v", err)
+	}
+}
+
+func TestNowFuncDefaultsAndTimestamps(t *testing.T) {
+	fs := New(nil) // nil clock defaults to zero
+	if err := fs.MkdirAll("/d", Root, ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	fs2 := New(func() time.Duration { now += time.Second; return now })
+	if err := fs2.MkdirAll("/d", Root, ModeDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.WriteFile("/d/f", []byte("x"), appA, ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs2.Stat("/d/f")
+	if info.ModTime == 0 {
+		t.Error("mod time not stamped from the clock")
+	}
+}

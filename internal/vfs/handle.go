@@ -1,0 +1,233 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+)
+
+// OpenFlag selects how a file is opened.
+type OpenFlag int
+
+// Open flags.
+const (
+	FlagRead OpenFlag = 1 << iota
+	FlagWrite
+	FlagCreate
+	FlagTrunc
+	FlagAppend
+)
+
+// Handle is an open file descriptor. Closing a handle emits CLOSE_WRITE if
+// any write happened through it and CLOSE_NOWRITE otherwise — the exact
+// signal the paper's attacks and defenses key on.
+type Handle struct {
+	fs     *FS
+	node   *node
+	path   string
+	actor  UID
+	flags  OpenFlag
+	offset int64
+	wrote  bool
+	closed bool
+}
+
+// Open opens the file at p on behalf of actor. FlagCreate creates a missing
+// regular file (mode filtered through the mount policy's DeriveMode);
+// FlagTrunc empties it. Opening emits an OPEN event.
+func (fs *FS) Open(p string, actor UID, flags OpenFlag, mode Mode) (*Handle, error) {
+	if flags&(FlagRead|FlagWrite) == 0 {
+		return nil, fmt.Errorf("open %q: need read or write: %w", p, ErrInvalidPath)
+	}
+	n, err := fs.lookup(p, true)
+	created := false
+	if err != nil {
+		if flags&FlagCreate == 0 {
+			return nil, err
+		}
+		parent, name, perr := fs.parentOf(p)
+		if perr != nil {
+			return nil, perr
+		}
+		full := childPath(parent, name)
+		if cerr := fs.check(Request{Op: OpCreate, Path: full, Actor: actor}); cerr != nil {
+			return nil, cerr
+		}
+		derived := fs.policyFor(full).DeriveMode(fs, full, actor, mode)
+		n = &node{
+			kind:    kindFile,
+			name:    name,
+			parent:  parent,
+			owner:   actor,
+			mode:    derived,
+			modTime: fs.now(),
+		}
+		parent.children[name] = n
+		created = true
+		fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor})
+	}
+	if n.kind == kindDir {
+		return nil, fmt.Errorf("open %q: %w", p, ErrIsDir)
+	}
+	full := n.path()
+	info := n.info()
+	if flags&FlagRead != 0 && !created {
+		if err := fs.check(Request{Op: OpRead, Path: full, Actor: actor, Info: &info}); err != nil {
+			return nil, err
+		}
+	}
+	if flags&FlagWrite != 0 && !created {
+		if err := fs.check(Request{Op: OpWrite, Path: full, Actor: actor, Info: &info}); err != nil {
+			return nil, err
+		}
+	}
+	h := &Handle{fs: fs, node: n, path: full, actor: actor, flags: flags}
+	fs.emit(Event{Kind: EvOpen, Path: full, Actor: actor})
+	if flags&FlagTrunc != 0 && !created {
+		if err := fs.chargeSpace(full, -int64(len(n.data))); err != nil {
+			return nil, err
+		}
+		n.data = nil
+		n.modTime = fs.now()
+		h.wrote = true
+		fs.emit(Event{Kind: EvModify, Path: full, Actor: actor})
+	}
+	if flags&FlagAppend != 0 {
+		h.offset = int64(len(n.data))
+	}
+	return h, nil
+}
+
+// Path reports the (resolved) path the handle refers to.
+func (h *Handle) Path() string { return h.path }
+
+// Size reports the current file size.
+func (h *Handle) Size() int64 { return int64(len(h.node.data)) }
+
+// Write appends p at the current offset, emitting a MODIFY event.
+func (h *Handle) Write(p []byte) (int, error) {
+	if h.closed {
+		return 0, ErrClosedHandle
+	}
+	if h.flags&FlagWrite == 0 {
+		return 0, fmt.Errorf("write %q: read-only handle: %w", h.path, ErrPermission)
+	}
+	end := h.offset + int64(len(p))
+	if grow := end - int64(len(h.node.data)); grow > 0 {
+		if err := h.fs.chargeSpace(h.path, grow); err != nil {
+			return 0, err
+		}
+		h.node.data = append(h.node.data, make([]byte, grow)...)
+	}
+	copy(h.node.data[h.offset:end], p)
+	h.offset = end
+	h.wrote = true
+	h.node.modTime = h.fs.now()
+	h.fs.emit(Event{Kind: EvModify, Path: h.path, Actor: h.actor})
+	return len(p), nil
+}
+
+// Read reads from the current offset, emitting an ACCESS event.
+func (h *Handle) Read(p []byte) (int, error) {
+	if h.closed {
+		return 0, ErrClosedHandle
+	}
+	if h.flags&FlagRead == 0 {
+		return 0, fmt.Errorf("read %q: write-only handle: %w", h.path, ErrPermission)
+	}
+	if h.offset >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[h.offset:])
+	h.offset += int64(n)
+	h.fs.emit(Event{Kind: EvAccess, Path: h.path, Actor: h.actor})
+	return n, nil
+}
+
+// ReadAt reads len(p) bytes at off without moving the offset.
+func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
+	if h.closed {
+		return 0, ErrClosedHandle
+	}
+	if h.flags&FlagRead == 0 {
+		return 0, fmt.Errorf("read %q: write-only handle: %w", h.path, ErrPermission)
+	}
+	if off >= int64(len(h.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.node.data[off:])
+	h.fs.emit(Event{Kind: EvAccess, Path: h.path, Actor: h.actor})
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Close releases the handle, emitting CLOSE_WRITE if the handle wrote and
+// CLOSE_NOWRITE otherwise. Closing twice is an error.
+func (h *Handle) Close() error {
+	if h.closed {
+		return ErrClosedHandle
+	}
+	h.closed = true
+	kind := EvCloseNoWrite
+	if h.wrote {
+		kind = EvCloseWrite
+	}
+	h.fs.emit(Event{Kind: kind, Path: h.path, Actor: h.actor})
+	return nil
+}
+
+// WriteFile creates or replaces the file at p with data in one open-write-
+// close sequence (OPEN, MODIFY, CLOSE_WRITE events).
+func (fs *FS) WriteFile(p string, data []byte, actor UID, mode Mode) error {
+	h, err := fs.Open(p, actor, FlagWrite|FlagCreate|FlagTrunc, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := h.Write(data); err != nil {
+		// Best-effort close; the write error is the one to report.
+		_ = h.Close()
+		return err
+	}
+	return h.Close()
+}
+
+// ReadFile returns a copy of the file's content (OPEN, ACCESS,
+// CLOSE_NOWRITE events).
+func (fs *FS) ReadFile(p string, actor UID) ([]byte, error) {
+	h, err := fs.Open(p, actor, FlagRead, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = h.Close() }()
+	out := make([]byte, h.Size())
+	if len(out) == 0 {
+		return out, nil
+	}
+	if _, err := h.ReadAt(out, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadTail returns the last n bytes of the file at p — how the wait-and-see
+// attacker polls for an APK's End-Of-Central-Directory record.
+func (fs *FS) ReadTail(p string, n int, actor UID) ([]byte, error) {
+	h, err := fs.Open(p, actor, FlagRead, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = h.Close() }()
+	size := h.Size()
+	if int64(n) > size {
+		n = int(size)
+	}
+	out := make([]byte, n)
+	if n == 0 {
+		return out, nil
+	}
+	if _, err := h.ReadAt(out, size-int64(n)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}

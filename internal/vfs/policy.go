@@ -1,0 +1,109 @@
+package vfs
+
+import "fmt"
+
+// Op identifies the kind of access a Request asks for.
+type Op int
+
+// Access operations checked by policies.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+	OpCreate
+	OpDelete
+	OpRename
+	OpChmod
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCreate:
+		return "create"
+	case OpDelete:
+		return "delete"
+	case OpRename:
+		return "rename"
+	case OpChmod:
+		return "chmod"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Request describes an access for policy evaluation. Path is the resolved
+// logical path; Info is nil for creations; Other is the destination of a
+// rename; Dir marks directory creation.
+type Request struct {
+	Op    Op
+	Path  string
+	Other string
+	Actor UID
+	Info  *Info
+	Dir   bool
+}
+
+// Policy decides whether an access is allowed and can override the mode
+// derived for newly created files (the FUSE daemon's
+// derive_permissions_locked hook).
+type Policy interface {
+	// Check returns nil to allow the request.
+	Check(fs *FS, req Request) error
+	// DeriveMode returns the mode a newly created file at path receives.
+	// Implementations return requested to keep the caller's mode.
+	DeriveMode(fs *FS, path string, actor UID, requested Mode) Mode
+}
+
+// defaultDAC is plain Unix discretionary access control: root and system
+// UIDs bypass checks; otherwise the owner needs the owner bits and everyone
+// else the "other" bits. (Group semantics are folded into "other" — the
+// simulation does not model supplementary groups.)
+type defaultDAC struct{}
+
+var _ Policy = defaultDAC{}
+
+func (defaultDAC) Check(fs *FS, req Request) error {
+	if req.Actor.IsSystem() {
+		return nil
+	}
+	switch req.Op {
+	case OpCreate:
+		return nil
+	case OpRead:
+		if req.Info.Owner == req.Actor {
+			if req.Info.Mode&ModeOwnerRead == 0 {
+				return fmt.Errorf("%s %q: %w", req.Op, req.Path, ErrPermission)
+			}
+			return nil
+		}
+		if req.Info.Mode&ModeOtherRead == 0 {
+			return fmt.Errorf("%s %q: %w", req.Op, req.Path, ErrPermission)
+		}
+		return nil
+	case OpWrite, OpDelete, OpRename:
+		if req.Info.Owner == req.Actor {
+			if req.Info.Mode&ModeOwnerWrite == 0 {
+				return fmt.Errorf("%s %q: %w", req.Op, req.Path, ErrPermission)
+			}
+			return nil
+		}
+		if req.Info.Mode&ModeOtherWrite == 0 {
+			return fmt.Errorf("%s %q: %w", req.Op, req.Path, ErrPermission)
+		}
+		return nil
+	case OpChmod:
+		if req.Info.Owner != req.Actor {
+			return fmt.Errorf("%s %q: %w", req.Op, req.Path, ErrPermission)
+		}
+		return nil
+	default:
+		return fmt.Errorf("%s %q: unknown op: %w", req.Op, req.Path, ErrInvalidPath)
+	}
+}
+
+func (defaultDAC) DeriveMode(fs *FS, path string, actor UID, requested Mode) Mode {
+	return requested
+}

@@ -1,0 +1,673 @@
+// Package vfs implements the in-memory Unix-like filesystem of the simulated
+// Android device: directories, regular files, symbolic links, UID ownership,
+// permission bits, pluggable per-mount access policies (used by the FUSE
+// daemon for /sdcard) and inotify-style event emission (used by the
+// FileObserver class and by the attacks and defenses built on it).
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"time"
+)
+
+// UID identifies the acting process/app, following Android's convention:
+// UID 0 is root, 1000 is the system server, and app UIDs start at 10000.
+type UID int
+
+// Well-known UIDs.
+const (
+	Root   UID = 0
+	System UID = 1000
+)
+
+// IsSystem reports whether the UID belongs to a system process (root or a
+// UID below the first app UID).
+func (u UID) IsSystem() bool { return u < 10000 }
+
+// Mode holds simplified Unix permission bits (owner/group/other rwx).
+type Mode uint16
+
+// Common permission modes.
+const (
+	ModeOwnerRead  Mode = 0o400
+	ModeOwnerWrite Mode = 0o200
+	ModeGroupRead  Mode = 0o040
+	ModeOtherRead  Mode = 0o004
+	ModeOtherWrite Mode = 0o002
+
+	// ModePrivate is the default for app-private files: rw- --- ---.
+	ModePrivate Mode = 0o600
+	// ModeWorldReadable marks a file readable by every app: rw- r-- r--.
+	// Installers using internal storage must set this on a staged APK or
+	// the PackageManager cannot read it (Section II of the paper).
+	ModeWorldReadable Mode = 0o644
+	// ModeProtectedAPK is the mode the patched FUSE daemon derives for
+	// APKs on the SD card: rw- r-- ---.
+	ModeProtectedAPK Mode = 0o640
+	// ModeShared is the default for files on shared external storage.
+	ModeShared Mode = 0o666
+	// ModeDir is the default directory mode.
+	ModeDir Mode = 0o755
+)
+
+// WorldReadable reports whether the "other" read bit is set.
+func (m Mode) WorldReadable() bool { return m&ModeOtherRead != 0 }
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotExist     = errors.New("vfs: file does not exist")
+	ErrExist        = errors.New("vfs: file already exists")
+	ErrPermission   = errors.New("vfs: permission denied")
+	ErrIsDir        = errors.New("vfs: is a directory")
+	ErrNotDir       = errors.New("vfs: not a directory")
+	ErrNotEmpty     = errors.New("vfs: directory not empty")
+	ErrNoSpace      = errors.New("vfs: no space left on device")
+	ErrLinkLoop     = errors.New("vfs: too many levels of symbolic links")
+	ErrInvalidPath  = errors.New("vfs: invalid path")
+	ErrClosedHandle = errors.New("vfs: handle is closed")
+)
+
+const maxSymlinkHops = 16
+
+// Info describes a file, directory or symlink.
+type Info struct {
+	Path       string
+	Name       string
+	Size       int64
+	Mode       Mode
+	Owner      UID
+	IsDir      bool
+	IsSymlink  bool
+	LinkTarget string
+	ModTime    time.Duration
+}
+
+type nodeKind int
+
+const (
+	kindDir nodeKind = iota + 1
+	kindFile
+	kindSymlink
+)
+
+type node struct {
+	kind     nodeKind
+	name     string
+	parent   *node
+	children map[string]*node // kindDir
+	data     []byte           // kindFile
+	target   string           // kindSymlink
+	owner    UID
+	mode     Mode
+	modTime  time.Duration
+}
+
+func (n *node) path() string {
+	if n.parent == nil {
+		return "/"
+	}
+	parent := n.parent.path()
+	if parent == "/" {
+		return "/" + n.name
+	}
+	return parent + "/" + n.name
+}
+
+func (n *node) info() Info {
+	return Info{
+		Path:       n.path(),
+		Name:       n.name,
+		Size:       int64(len(n.data)),
+		Mode:       n.mode,
+		Owner:      n.owner,
+		IsDir:      n.kind == kindDir,
+		IsSymlink:  n.kind == kindSymlink,
+		LinkTarget: n.target,
+		ModTime:    n.modTime,
+	}
+}
+
+// FS is an in-memory filesystem. It is not safe for concurrent use: the
+// simulation is single-threaded by design (see internal/sim).
+type FS struct {
+	root     *node
+	now      func() time.Duration
+	watchers map[string][]*Watch
+	mounts   []mount // sorted by descending prefix length
+	nextWID  int
+}
+
+type mount struct {
+	prefix   string
+	policy   Policy
+	capacity int64 // 0 means unlimited
+	used     int64
+}
+
+// New creates an empty filesystem whose event timestamps come from now
+// (typically Scheduler.Now). The root directory is owned by Root.
+func New(now func() time.Duration) *FS {
+	if now == nil {
+		now = func() time.Duration { return 0 }
+	}
+	return &FS{
+		root: &node{
+			kind:     kindDir,
+			children: make(map[string]*node),
+			owner:    Root,
+			mode:     ModeDir,
+		},
+		now:      now,
+		watchers: make(map[string][]*Watch),
+	}
+}
+
+// Mount installs an access policy over the subtree rooted at prefix, with an
+// optional capacity in bytes (0 = unlimited). Longest-prefix match wins.
+// Mounting over an existing prefix replaces the previous policy.
+func (fs *FS) Mount(prefix string, p Policy, capacity int64) error {
+	prefix, err := cleanPath(prefix)
+	if err != nil {
+		return err
+	}
+	for i := range fs.mounts {
+		if fs.mounts[i].prefix == prefix {
+			fs.mounts[i].policy = p
+			fs.mounts[i].capacity = capacity
+			return nil
+		}
+	}
+	fs.mounts = append(fs.mounts, mount{prefix: prefix, policy: p, capacity: capacity})
+	sort.Slice(fs.mounts, func(i, j int) bool {
+		return len(fs.mounts[i].prefix) > len(fs.mounts[j].prefix)
+	})
+	return nil
+}
+
+// MountUsage reports bytes used and capacity of the mount covering prefix.
+func (fs *FS) MountUsage(prefix string) (used, capacity int64, err error) {
+	prefix, err = cleanPath(prefix)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := range fs.mounts {
+		if fs.mounts[i].prefix == prefix {
+			return fs.mounts[i].used, fs.mounts[i].capacity, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("vfs: no mount at %q: %w", prefix, ErrNotExist)
+}
+
+func (fs *FS) mountFor(p string) *mount {
+	for i := range fs.mounts {
+		if underPrefix(p, fs.mounts[i].prefix) {
+			return &fs.mounts[i]
+		}
+	}
+	return nil
+}
+
+func (fs *FS) policyFor(p string) Policy {
+	if m := fs.mountFor(p); m != nil && m.policy != nil {
+		return m.policy
+	}
+	return defaultDAC{}
+}
+
+func (fs *FS) check(req Request) error {
+	return fs.policyFor(req.Path).Check(fs, req)
+}
+
+// chargeSpace accounts newBytes-oldBytes against the mount covering p.
+func (fs *FS) chargeSpace(p string, delta int64) error {
+	m := fs.mountFor(p)
+	if m == nil {
+		return nil
+	}
+	if m.capacity > 0 && delta > 0 && m.used+delta > m.capacity {
+		return fmt.Errorf("mount %s: %w", m.prefix, ErrNoSpace)
+	}
+	m.used += delta
+	if m.used < 0 {
+		m.used = 0
+	}
+	return nil
+}
+
+// cleanPath validates and normalizes an absolute path.
+func cleanPath(p string) (string, error) {
+	if p == "" || p[0] != '/' {
+		return "", fmt.Errorf("%q: %w", p, ErrInvalidPath)
+	}
+	return path.Clean(p), nil
+}
+
+// underPrefix reports whether p equals prefix or lies beneath it,
+// respecting path-component boundaries.
+func underPrefix(p, prefix string) bool {
+	if prefix == "/" {
+		return true
+	}
+	return p == prefix || strings.HasPrefix(p, prefix+"/")
+}
+
+// lookup walks to the node at p. If followLast, a trailing symlink is
+// resolved. Intermediate symlinks are always resolved.
+func (fs *FS) lookup(p string, followLast bool) (*node, error) {
+	return fs.walk(p, followLast, 0)
+}
+
+func (fs *FS) walk(p string, followLast bool, hops int) (*node, error) {
+	if hops > maxSymlinkHops {
+		return nil, fmt.Errorf("%q: %w", p, ErrLinkLoop)
+	}
+	clean, err := cleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	cur := fs.root
+	if clean == "/" {
+		return cur, nil
+	}
+	parts := strings.Split(clean[1:], "/")
+	for i, part := range parts {
+		if cur.kind != kindDir {
+			return nil, fmt.Errorf("%q: %w", clean, ErrNotDir)
+		}
+		child, ok := cur.children[part]
+		if !ok {
+			return nil, fmt.Errorf("%q: %w", clean, ErrNotExist)
+		}
+		last := i == len(parts)-1
+		if child.kind == kindSymlink && (!last || followLast) {
+			rest := strings.Join(parts[i+1:], "/")
+			target := child.target
+			if !strings.HasPrefix(target, "/") {
+				target = path.Join(cur.path(), target)
+			}
+			if rest != "" {
+				target = target + "/" + rest
+			}
+			return fs.walk(target, followLast, hops+1)
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+// parentOf resolves the directory that would contain path p, following
+// symlinks in the directory portion, and returns it with the final name.
+func (fs *FS) parentOf(p string) (*node, string, error) {
+	clean, err := cleanPath(p)
+	if err != nil {
+		return nil, "", err
+	}
+	if clean == "/" {
+		return nil, "", fmt.Errorf("%q: %w", p, ErrInvalidPath)
+	}
+	dir, name := path.Split(clean)
+	dir = strings.TrimSuffix(dir, "/")
+	if dir == "" {
+		dir = "/"
+	}
+	dnode, err := fs.lookup(dir, true)
+	if err != nil {
+		return nil, "", err
+	}
+	if dnode.kind != kindDir {
+		return nil, "", fmt.Errorf("%q: %w", dir, ErrNotDir)
+	}
+	return dnode, name, nil
+}
+
+// Resolve returns the physical path p refers to after following every
+// symlink. This is the check the Download Manager performs on destination
+// paths; the gap between Resolve and a later operation on the same string
+// path is exactly the TOCTOU window of Section III-C.
+func (fs *FS) Resolve(p string) (string, error) {
+	n, err := fs.lookup(p, true)
+	if err != nil {
+		return "", err
+	}
+	return n.path(), nil
+}
+
+// Stat describes the file at p, following symlinks.
+func (fs *FS) Stat(p string) (Info, error) {
+	n, err := fs.lookup(p, true)
+	if err != nil {
+		return Info{}, err
+	}
+	return n.info(), nil
+}
+
+// Lstat describes the file at p without following a trailing symlink.
+func (fs *FS) Lstat(p string) (Info, error) {
+	n, err := fs.lookup(p, false)
+	if err != nil {
+		return Info{}, err
+	}
+	return n.info(), nil
+}
+
+// Exists reports whether p resolves to an existing file or directory.
+func (fs *FS) Exists(p string) bool {
+	_, err := fs.lookup(p, true)
+	return err == nil
+}
+
+// Mkdir creates a single directory owned by actor.
+func (fs *FS) Mkdir(p string, actor UID, mode Mode) error {
+	parent, name, err := fs.parentOf(p)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[name]; ok {
+		return fmt.Errorf("%q: %w", p, ErrExist)
+	}
+	full := childPath(parent, name)
+	if err := fs.check(Request{Op: OpCreate, Path: full, Actor: actor, Dir: true}); err != nil {
+		return err
+	}
+	parent.children[name] = &node{
+		kind:     kindDir,
+		name:     name,
+		parent:   parent,
+		children: make(map[string]*node),
+		owner:    actor,
+		mode:     mode,
+		modTime:  fs.now(),
+	}
+	fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor, IsDir: true})
+	return nil
+}
+
+// MkdirAll creates p and any missing parents, owned by actor.
+func (fs *FS) MkdirAll(p string, actor UID, mode Mode) error {
+	clean, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	if clean == "/" {
+		return nil
+	}
+	parts := strings.Split(clean[1:], "/")
+	cur := "/"
+	for _, part := range parts {
+		cur = path.Join(cur, part)
+		n, err := fs.lookup(cur, true)
+		if err == nil {
+			if n.kind != kindDir {
+				return fmt.Errorf("%q: %w", cur, ErrNotDir)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrNotExist) {
+			return err
+		}
+		if err := fs.Mkdir(cur, actor, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Symlink creates a symbolic link at linkPath pointing at target. The
+// target need not exist (dangling links are legal, as on Linux).
+func (fs *FS) Symlink(target, linkPath string, actor UID) error {
+	parent, name, err := fs.parentOf(linkPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[name]; ok {
+		return fmt.Errorf("%q: %w", linkPath, ErrExist)
+	}
+	full := childPath(parent, name)
+	if err := fs.check(Request{Op: OpCreate, Path: full, Actor: actor}); err != nil {
+		return err
+	}
+	parent.children[name] = &node{
+		kind:    kindSymlink,
+		name:    name,
+		parent:  parent,
+		target:  target,
+		owner:   actor,
+		mode:    0o777,
+		modTime: fs.now(),
+	}
+	fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor})
+	return nil
+}
+
+// Retarget atomically re-points an existing symlink — the core primitive of
+// the Download Manager TOCTOU attack. Only the link's owner or a system
+// process may retarget it.
+func (fs *FS) Retarget(linkPath, newTarget string, actor UID) error {
+	n, err := fs.lookup(linkPath, false)
+	if err != nil {
+		return err
+	}
+	if n.kind != kindSymlink {
+		return fmt.Errorf("%q: not a symlink: %w", linkPath, ErrInvalidPath)
+	}
+	if n.owner != actor && !actor.IsSystem() {
+		return fmt.Errorf("retarget %q as uid %d: %w", linkPath, actor, ErrPermission)
+	}
+	n.target = newTarget
+	n.modTime = fs.now()
+	return nil
+}
+
+// ReadLink returns the target of the symlink at p.
+func (fs *FS) ReadLink(p string) (string, error) {
+	n, err := fs.lookup(p, false)
+	if err != nil {
+		return "", err
+	}
+	if n.kind != kindSymlink {
+		return "", fmt.Errorf("%q: not a symlink: %w", p, ErrInvalidPath)
+	}
+	return n.target, nil
+}
+
+// Chmod changes the mode of the file at p. Permitted for the owner and
+// system processes.
+func (fs *FS) Chmod(p string, mode Mode, actor UID) error {
+	n, err := fs.lookup(p, true)
+	if err != nil {
+		return err
+	}
+	if err := fs.check(Request{Op: OpChmod, Path: n.path(), Actor: actor, Info: ptr(n.info())}); err != nil {
+		return err
+	}
+	n.mode = mode
+	n.modTime = fs.now()
+	fs.emit(Event{Kind: EvAttrib, Path: n.path(), Actor: actor})
+	return nil
+}
+
+// Chown changes the owner of the file at p. Only system processes may do so.
+func (fs *FS) Chown(p string, owner UID, actor UID) error {
+	n, err := fs.lookup(p, true)
+	if err != nil {
+		return err
+	}
+	if !actor.IsSystem() {
+		return fmt.Errorf("chown %q as uid %d: %w", p, actor, ErrPermission)
+	}
+	n.owner = owner
+	n.modTime = fs.now()
+	fs.emit(Event{Kind: EvAttrib, Path: n.path(), Actor: actor})
+	return nil
+}
+
+// Remove unlinks the file, symlink or empty directory at p (not following a
+// trailing symlink, like unlink(2)).
+func (fs *FS) Remove(p string, actor UID) error {
+	n, err := fs.lookup(p, false)
+	if err != nil {
+		return err
+	}
+	if n.parent == nil {
+		return fmt.Errorf("remove /: %w", ErrInvalidPath)
+	}
+	if n.kind == kindDir && len(n.children) > 0 {
+		return fmt.Errorf("%q: %w", p, ErrNotEmpty)
+	}
+	full := n.path()
+	if err := fs.check(Request{Op: OpDelete, Path: full, Actor: actor, Info: ptr(n.info())}); err != nil {
+		return err
+	}
+	if n.kind == kindFile {
+		if err := fs.chargeSpace(full, -int64(len(n.data))); err != nil {
+			return err
+		}
+	}
+	delete(n.parent.children, n.name)
+	fs.emit(Event{Kind: EvDelete, Path: full, Actor: actor, IsDir: n.kind == kindDir})
+	return nil
+}
+
+// RemoveAll removes p and, if it is a directory, everything beneath it.
+func (fs *FS) RemoveAll(p string, actor UID) error {
+	n, err := fs.lookup(p, false)
+	if err != nil {
+		if errors.Is(err, ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	if n.kind == kindDir {
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := fs.RemoveAll(childPath(n, name), actor); err != nil {
+				return err
+			}
+		}
+	}
+	return fs.Remove(n.path(), actor)
+}
+
+// Rename moves oldPath to newPath, overwriting a regular file at newPath if
+// present. It emits MOVED_FROM / MOVED_TO events, which is how both the
+// "move a pre-stored APK over the target" attack and the DAPP defense
+// observe replacements.
+func (fs *FS) Rename(oldPath, newPath string, actor UID) error {
+	n, err := fs.lookup(oldPath, false)
+	if err != nil {
+		return err
+	}
+	if n.parent == nil {
+		return fmt.Errorf("rename /: %w", ErrInvalidPath)
+	}
+	newParent, newName, err := fs.parentOf(newPath)
+	if err != nil {
+		return err
+	}
+	oldFull := n.path()
+	newFull := childPath(newParent, newName)
+	req := Request{Op: OpRename, Path: oldFull, Other: newFull, Actor: actor, Info: ptr(n.info())}
+	if err := fs.check(req); err != nil {
+		return err
+	}
+	if existing, ok := newParent.children[newName]; ok {
+		if existing.kind == kindDir {
+			return fmt.Errorf("%q: %w", newFull, ErrIsDir)
+		}
+		if err := fs.check(Request{Op: OpDelete, Path: newFull, Actor: actor, Info: ptr(existing.info())}); err != nil {
+			return err
+		}
+		if err := fs.chargeSpace(newFull, -int64(len(existing.data))); err != nil {
+			return err
+		}
+	}
+	// Move capacity accounting across mounts if needed.
+	if n.kind == kindFile {
+		size := int64(len(n.data))
+		oldMount, newMount := fs.mountFor(oldFull), fs.mountFor(newFull)
+		if oldMount != newMount {
+			if err := fs.chargeSpace(newFull, size); err != nil {
+				return err
+			}
+			if err := fs.chargeSpace(oldFull, -size); err != nil {
+				return err
+			}
+		}
+	}
+	delete(n.parent.children, n.name)
+	fs.emit(Event{Kind: EvMovedFrom, Path: oldFull, Actor: actor, IsDir: n.kind == kindDir})
+	n.parent = newParent
+	n.name = newName
+	n.modTime = fs.now()
+	newParent.children[newName] = n
+	fs.emit(Event{Kind: EvMovedTo, Path: newFull, Actor: actor, IsDir: n.kind == kindDir})
+	return nil
+}
+
+// List returns the entries of the directory at p, sorted by name.
+func (fs *FS) List(p string) ([]Info, error) {
+	n, err := fs.lookup(p, true)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != kindDir {
+		return nil, fmt.Errorf("%q: %w", p, ErrNotDir)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	infos := make([]Info, 0, len(names))
+	for _, name := range names {
+		infos = append(infos, n.children[name].info())
+	}
+	return infos, nil
+}
+
+// Walk visits every path under root in depth-first lexical order.
+func (fs *FS) Walk(root string, fn func(Info) error) error {
+	n, err := fs.lookup(root, true)
+	if err != nil {
+		return err
+	}
+	return walkNode(n, fn)
+}
+
+func walkNode(n *node, fn func(Info) error) error {
+	if err := fn(n.info()); err != nil {
+		return err
+	}
+	if n.kind != kindDir {
+		return nil
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := walkNode(n.children[name], fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func childPath(parent *node, name string) string {
+	pp := parent.path()
+	if pp == "/" {
+		return "/" + name
+	}
+	return pp + "/" + name
+}
+
+func ptr[T any](v T) *T { return &v }

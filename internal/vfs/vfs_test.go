@@ -1,0 +1,588 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const (
+	appA UID = 10001
+	appB UID = 10002
+)
+
+func newFS() *FS { return New(func() time.Duration { return 0 }) }
+
+func mustMkdirAll(t *testing.T, fs *FS, p string, uid UID) {
+	t.Helper()
+	if err := fs.MkdirAll(p, uid, ModeDir); err != nil {
+		t.Fatalf("MkdirAll(%q): %v", p, err)
+	}
+}
+
+func mustWrite(t *testing.T, fs *FS, p string, data string, uid UID, mode Mode) {
+	t.Helper()
+	if err := fs.WriteFile(p, []byte(data), uid, mode); err != nil {
+		t.Fatalf("WriteFile(%q): %v", p, err)
+	}
+}
+
+func TestMkdirAndStat(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/sdcard/Download", Root)
+	info, err := fs.Stat("/sdcard/Download")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.IsDir || info.Name != "Download" || info.Path != "/sdcard/Download" {
+		t.Errorf("unexpected info: %+v", info)
+	}
+}
+
+func TestMkdirErrors(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/a", Root)
+	if err := fs.Mkdir("/a", Root, ModeDir); !errors.Is(err, ErrExist) {
+		t.Errorf("Mkdir existing = %v, want ErrExist", err)
+	}
+	if err := fs.Mkdir("/missing/sub", Root, ModeDir); !errors.Is(err, ErrNotExist) {
+		t.Errorf("Mkdir under missing = %v, want ErrNotExist", err)
+	}
+	if err := fs.Mkdir("relative", Root, ModeDir); !errors.Is(err, ErrInvalidPath) {
+		t.Errorf("Mkdir relative = %v, want ErrInvalidPath", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/data", Root)
+	mustWrite(t, fs, "/data/f.txt", "hello", appA, ModePrivate)
+	got, err := fs.ReadFile("/data/f.txt", appA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("read %q, want hello", got)
+	}
+	info, _ := fs.Stat("/data/f.txt")
+	if info.Size != 5 || info.Owner != appA {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestDACProtectsPrivateFiles(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/data", Root)
+	mustWrite(t, fs, "/data/secret", "s", appA, ModePrivate)
+
+	if _, err := fs.ReadFile("/data/secret", appB); !errors.Is(err, ErrPermission) {
+		t.Errorf("other app read private file: err = %v, want ErrPermission", err)
+	}
+	if err := fs.WriteFile("/data/secret", []byte("x"), appB, ModePrivate); !errors.Is(err, ErrPermission) {
+		t.Errorf("other app wrote private file: err = %v, want ErrPermission", err)
+	}
+	// System bypasses DAC.
+	if _, err := fs.ReadFile("/data/secret", System); err != nil {
+		t.Errorf("system read failed: %v", err)
+	}
+	// World-readable allows cross-app reads, not writes.
+	mustWrite(t, fs, "/data/pub", "p", appA, ModeWorldReadable)
+	if _, err := fs.ReadFile("/data/pub", appB); err != nil {
+		t.Errorf("world-readable read failed: %v", err)
+	}
+	if err := fs.WriteFile("/data/pub", []byte("x"), appB, 0); !errors.Is(err, ErrPermission) {
+		t.Errorf("world-readable write allowed: err = %v", err)
+	}
+}
+
+func TestChmodAndChown(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/f", "x", appA, ModePrivate)
+
+	if err := fs.Chmod("/d/f", ModeWorldReadable, appB); !errors.Is(err, ErrPermission) {
+		t.Errorf("non-owner chmod = %v, want ErrPermission", err)
+	}
+	if err := fs.Chmod("/d/f", ModeWorldReadable, appA); err != nil {
+		t.Fatalf("owner chmod: %v", err)
+	}
+	if _, err := fs.ReadFile("/d/f", appB); err != nil {
+		t.Errorf("read after chmod 644: %v", err)
+	}
+	if err := fs.Chown("/d/f", appB, appA); !errors.Is(err, ErrPermission) {
+		t.Errorf("app chown = %v, want ErrPermission", err)
+	}
+	if err := fs.Chown("/d/f", appB, System); err != nil {
+		t.Fatalf("system chown: %v", err)
+	}
+	info, _ := fs.Stat("/d/f")
+	if info.Owner != appB {
+		t.Errorf("owner = %d, want %d", info.Owner, appB)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d/sub", Root)
+	mustWrite(t, fs, "/d/sub/f", "x", appA, ModeShared)
+
+	if err := fs.Remove("/d/sub", Root); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("remove non-empty dir = %v, want ErrNotEmpty", err)
+	}
+	if err := fs.Remove("/d/sub/f", appA); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d/sub/f") {
+		t.Error("file still exists after Remove")
+	}
+	if err := fs.Remove("/d/sub", Root); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RemoveAll("/d", Root); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d") {
+		t.Error("dir still exists after RemoveAll")
+	}
+	if err := fs.RemoveAll("/d", Root); err != nil {
+		t.Errorf("RemoveAll on missing path = %v, want nil", err)
+	}
+}
+
+func TestRenameMovesAndOverwrites(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/a", Root)
+	mustMkdirAll(t, fs, "/b", Root)
+	mustWrite(t, fs, "/a/f", "one", appA, ModeShared)
+	mustWrite(t, fs, "/b/g", "two", appA, ModeShared)
+
+	if err := fs.Rename("/a/f", "/b/g", appA); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a/f") {
+		t.Error("source still exists after rename")
+	}
+	got, err := fs.ReadFile("/b/g", appA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "one" {
+		t.Errorf("dest content = %q, want %q", got, "one")
+	}
+}
+
+func TestSymlinkResolution(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/sdcard/real", Root)
+	mustWrite(t, fs, "/sdcard/real/f", "data", appA, ModeShared)
+	if err := fs.Symlink("/sdcard/real", "/sdcard/link", appA); err != nil {
+		t.Fatal(err)
+	}
+
+	resolved, err := fs.Resolve("/sdcard/link/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != "/sdcard/real/f" {
+		t.Errorf("Resolve = %q, want /sdcard/real/f", resolved)
+	}
+	got, err := fs.ReadFile("/sdcard/link/f", appA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "data" {
+		t.Errorf("read through link = %q", got)
+	}
+	target, err := fs.ReadLink("/sdcard/link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "/sdcard/real" {
+		t.Errorf("ReadLink = %q", target)
+	}
+}
+
+func TestRetargetIsTheTOCTOUPrimitive(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/sdcard/mine", Root)
+	mustMkdirAll(t, fs, "/data/private", Root)
+	mustWrite(t, fs, "/data/private/db", "secrets", System, ModePrivate)
+	if err := fs.Symlink("/sdcard/mine", "/sdcard/dl", appA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Check time: the path resolves inside the authorized area.
+	resolved, err := fs.Resolve("/sdcard/dl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != "/sdcard/mine" {
+		t.Fatalf("Resolve = %q", resolved)
+	}
+
+	// Use time: the owner re-points the link.
+	if err := fs.Retarget("/sdcard/dl", "/data/private", appA); err != nil {
+		t.Fatal(err)
+	}
+	resolved, err = fs.Resolve("/sdcard/dl/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != "/data/private/db" {
+		t.Errorf("post-retarget Resolve = %q, want /data/private/db", resolved)
+	}
+
+	// Only the owner (or system) may retarget.
+	if err := fs.Retarget("/sdcard/dl", "/sdcard/mine", appB); !errors.Is(err, ErrPermission) {
+		t.Errorf("non-owner retarget = %v, want ErrPermission", err)
+	}
+}
+
+func TestSymlinkLoopDetected(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	if err := fs.Symlink("/d/b", "/d/a", appA); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Symlink("/d/a", "/d/b", appA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Resolve("/d/a"); !errors.Is(err, ErrLinkLoop) {
+		t.Errorf("Resolve loop = %v, want ErrLinkLoop", err)
+	}
+}
+
+func TestRelativeSymlinkTarget(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d/real", Root)
+	mustWrite(t, fs, "/d/real/f", "x", appA, ModeShared)
+	if err := fs.Symlink("real", "/d/link", appA); err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := fs.Resolve("/d/link/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != "/d/real/f" {
+		t.Errorf("Resolve = %q", resolved)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/data", Root)
+	if err := fs.Mount("/data", nil, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/data/small", make([]byte, 8), appA, ModePrivate); err != nil {
+		t.Fatal(err)
+	}
+	err := fs.WriteFile("/data/big", make([]byte, 8), appA, ModePrivate)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("over-capacity write = %v, want ErrNoSpace", err)
+	}
+	// Freeing space makes room again.
+	if err := fs.Remove("/data/small", appA); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/data/big", make([]byte, 8), appA, ModePrivate); err != nil {
+		t.Errorf("write after free: %v", err)
+	}
+	used, capacity, err := fs.MountUsage("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 8 || capacity != 10 {
+		t.Errorf("usage = %d/%d, want 8/10", used, capacity)
+	}
+}
+
+func TestHandleReadWriteSemantics(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	h, err := fs.Open("/d/f", appA, FlagWrite|FlagCreate, ModeShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("chunk1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("chunk2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Read(make([]byte, 1)); !errors.Is(err, ErrPermission) {
+		t.Errorf("read on write-only handle = %v, want ErrPermission", err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); !errors.Is(err, ErrClosedHandle) {
+		t.Errorf("double close = %v, want ErrClosedHandle", err)
+	}
+	if _, err := h.Write([]byte("x")); !errors.Is(err, ErrClosedHandle) {
+		t.Errorf("write after close = %v, want ErrClosedHandle", err)
+	}
+
+	got, err := fs.ReadFile("/d/f", appA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "chunk1chunk2" {
+		t.Errorf("content = %q", got)
+	}
+
+	tail, err := fs.ReadTail("/d/f", 6, appA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tail) != "chunk2" {
+		t.Errorf("tail = %q", tail)
+	}
+	// Tail longer than the file returns the whole file.
+	tail, err = fs.ReadTail("/d/f", 100, appA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(tail) != "chunk1chunk2" {
+		t.Errorf("long tail = %q", tail)
+	}
+}
+
+func TestOpenTruncAndAppend(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/f", "original", appA, ModeShared)
+
+	h, err := fs.Open("/d/f", appA, FlagWrite|FlagAppend, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("+more")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/d/f", appA)
+	if string(got) != "original+more" {
+		t.Errorf("append result = %q", got)
+	}
+
+	h, err = fs.Open("/d/f", appA, FlagWrite|FlagTrunc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("/d/f", appA)
+	if len(got) != 0 {
+		t.Errorf("trunc left %q", got)
+	}
+}
+
+func TestCloseWriteVsCloseNoWrite(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/f", "x", appA, ModeShared)
+
+	var kinds []EventKind
+	w, err := fs.Watch("/d", EvCloseWrite|EvCloseNoWrite, func(ev Event) {
+		kinds = append(kinds, ev.Kind)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// A pure read closes with CLOSE_NOWRITE.
+	if _, err := fs.ReadFile("/d/f", appA); err != nil {
+		t.Fatal(err)
+	}
+	// A write closes with CLOSE_WRITE.
+	if err := fs.WriteFile("/d/f", []byte("y"), appA, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A read-write open with no writes closes with CLOSE_NOWRITE.
+	h, err := fs.Open("/d/f", appA, FlagRead|FlagWrite, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []EventKind{EvCloseNoWrite, EvCloseWrite, EvCloseNoWrite}
+	if len(kinds) != len(want) {
+		t.Fatalf("saw %d close events %v, want %d", len(kinds), kinds, len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestWatchEventSequenceForDownload(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/sdcard/store", Root)
+	var events []string
+	w, err := fs.Watch("/sdcard/store", EvAll, func(ev Event) {
+		events = append(events, ev.Kind.String()+" "+ev.Name())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Simulate a chunked download followed by a verification read and a
+	// replacement move — the full Section III-B event fingerprint.
+	h, _ := fs.Open("/sdcard/store/app.apk", appA, FlagWrite|FlagCreate, ModeShared)
+	_, _ = h.Write([]byte("part1"))
+	_, _ = h.Write([]byte("part2"))
+	_ = h.Close()
+	_, _ = fs.ReadFile("/sdcard/store/app.apk", appA)
+	mustWrite(t, fs, "/sdcard/evil.apk", "evil", appB, ModeShared)
+	_ = fs.Rename("/sdcard/evil.apk", "/sdcard/store/app.apk", appB)
+
+	want := []string{
+		"CREATE app.apk",
+		"OPEN app.apk",
+		"MODIFY app.apk",
+		"MODIFY app.apk",
+		"CLOSE_WRITE app.apk",
+		"OPEN app.apk",
+		"ACCESS app.apk",
+		"CLOSE_NOWRITE app.apk",
+		"MOVED_TO app.apk",
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, events[i], want[i])
+		}
+	}
+}
+
+func TestWatchMaskAndClose(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	count := 0
+	w, err := fs.Watch("/d", EvCreate, func(ev Event) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, fs, "/d/a", "x", appA, ModeShared) // CREATE counted, others masked
+	if count != 1 {
+		t.Fatalf("count = %d after create, want 1", count)
+	}
+	w.Close()
+	w.Close() // idempotent
+	mustWrite(t, fs, "/d/b", "x", appA, ModeShared)
+	if count != 1 {
+		t.Errorf("count = %d after watch closed, want 1", count)
+	}
+}
+
+func TestWatchOnlyDirectChildren(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d/sub", Root)
+	count := 0
+	w, err := fs.Watch("/d", EvAll, func(ev Event) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	mustWrite(t, fs, "/d/sub/deep", "x", appA, ModeShared)
+	if count != 0 {
+		t.Errorf("watcher saw %d events from a nested dir, want 0", count)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/a/b", Root)
+	mustWrite(t, fs, "/a/f1", "x", appA, ModeShared)
+	mustWrite(t, fs, "/a/b/f2", "y", appA, ModeShared)
+
+	var paths []string
+	if err := fs.Walk("/a", func(info Info) error {
+		paths = append(paths, info.Path)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/a", "/a/b", "/a/b/f2", "/a/f1"}
+	if len(paths) != len(want) {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Errorf("paths[%d] = %q, want %q", i, paths[i], want[i])
+		}
+	}
+}
+
+func TestList(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	mustWrite(t, fs, "/d/b", "x", appA, ModeShared)
+	mustWrite(t, fs, "/d/a", "x", appA, ModeShared)
+	infos, err := fs.List("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "a" || infos[1].Name != "b" {
+		t.Errorf("List = %+v", infos)
+	}
+	if _, err := fs.List("/d/a"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("List(file) = %v, want ErrNotDir", err)
+	}
+}
+
+// Property: WriteFile then ReadFile round-trips arbitrary content.
+func TestPropertyWriteReadRoundTrip(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/d", Root)
+	f := func(data []byte) bool {
+		if err := fs.WriteFile("/d/f", data, appA, ModeShared); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("/d/f", appA)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rename preserves content for arbitrary data.
+func TestPropertyRenamePreservesContent(t *testing.T) {
+	fs := newFS()
+	mustMkdirAll(t, fs, "/src", Root)
+	mustMkdirAll(t, fs, "/dst", Root)
+	f := func(data []byte) bool {
+		if err := fs.WriteFile("/src/f", data, appA, ModeShared); err != nil {
+			return false
+		}
+		if err := fs.Rename("/src/f", "/dst/f", appA); err != nil {
+			return false
+		}
+		got, err := fs.ReadFile("/dst/f", appA)
+		if err != nil {
+			return false
+		}
+		ok := string(got) == string(data) && !fs.Exists("/src/f")
+		// Reset for next iteration.
+		return ok && fs.Remove("/dst/f", appA) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
