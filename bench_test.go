@@ -12,10 +12,13 @@ package gia
 // asserted inside the loop.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
+	"github.com/ghost-installer/gia/internal/analysis"
+	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/attack"
 	"github.com/ghost-installer/gia/internal/corpus"
 	"github.com/ghost-installer/gia/internal/device"
@@ -297,6 +300,49 @@ func BenchmarkRedirect_Study(b *testing.B) {
 		}
 	}
 }
+
+// --- Section IV-A: static-analysis engine throughput ----------------------------
+
+// benchArtifacts prebuilds a slice of corpus APK artifacts once so the scan
+// benchmarks measure the analysis engine, not APK construction.
+var (
+	benchArtifactsOnce sync.Once
+	benchArtifactsVal  []*apk.APK
+)
+
+func benchArtifacts() []*apk.APK {
+	benchArtifactsOnce.Do(func() {
+		apps := benchCorpus().PlayApps
+		if len(apps) > 600 {
+			apps = apps[:600]
+		}
+		benchArtifactsVal = make([]*apk.APK, len(apps))
+		for i, app := range apps {
+			benchArtifactsVal[i] = corpus.BuildAPKFor(app)
+		}
+	})
+	return benchArtifactsVal
+}
+
+// benchCorpusScan drives the parallel corpus scanner over prebuilt
+// artifacts with the given worker-pool size. Compare the serial and
+// parallel variants to see the pool's speedup on a multi-core host.
+func benchCorpusScan(b *testing.B, workers int) {
+	artifacts := benchArtifacts()
+	eng := analysis.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats := eng.ScanCorpus(len(artifacts), workers, func(j int) *apk.APK {
+			return artifacts[j]
+		})
+		if stats.Findings == 0 || stats.Stats.ParseErrors != 0 {
+			b.Fatalf("scan stats = %+v", stats)
+		}
+	}
+}
+
+func BenchmarkCorpusScan_1Worker(b *testing.B) { benchCorpusScan(b, 1) }
+func BenchmarkCorpusScan_NumCPU(b *testing.B)  { benchCorpusScan(b, runtime.NumCPU()) }
 
 // --- Section IV studies --------------------------------------------------------
 

@@ -33,6 +33,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/ghost-installer/gia/internal/analysis"
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/attack"
 	"github.com/ghost-installer/gia/internal/corpus"
@@ -267,6 +268,34 @@ type ExtractedMeta = measure.ExtractedMeta
 // ExtractAPKMeta runs the Section IV-A scanner (marker search + def-use
 // resolution) over an APK artifact.
 func ExtractAPKMeta(a *APK) ExtractedMeta { return measure.ExtractMeta(a) }
+
+// Static-analysis engine.
+type (
+	// Finding is one lint-rule hit with class/method/line provenance.
+	Finding = analysis.Finding
+	// LintRule is one pluggable GIA detector.
+	LintRule = analysis.Rule
+	// ScanStats aggregates a corpus scan: per-rule hit counts, coverage
+	// and throughput.
+	ScanStats = analysis.ScanStats
+)
+
+// LintRules returns the default GIA rule set (sdcard staging,
+// world-readable staging, install API, market redirects, reflection
+// obfuscation).
+func LintRules() []LintRule { return analysis.DefaultRules() }
+
+// LintAPK runs the analysis engine — smali IR, control-flow graphs,
+// reaching definitions, lint rules — over an APK artifact's embedded code
+// and returns the findings.
+func LintAPK(a *APK) []Finding { return analysis.NewEngine().ScanAPK(a).Findings }
+
+// ScanCorpusArtifacts materializes and scans a population on a parallel
+// worker pool (workers <= 0 selects NumCPU), returning per-app extracted
+// features plus aggregate scan statistics.
+func ScanCorpusArtifacts(apps []AppMeta, workers int) ([]ExtractedMeta, ScanStats) {
+	return measure.ScanArtifacts(apps, workers)
+}
 
 // Timeline is a merged virtual-time event recorder (fs + pm + firewall +
 // DAPP + AIT), the textual equivalent of the paper's attack demos.

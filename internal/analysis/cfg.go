@@ -1,0 +1,123 @@
+package analysis
+
+// Block is one basic block: a maximal straight-line instruction run
+// [Start, End) entered only at Start and left only at End-1.
+type Block struct {
+	Index     int
+	Start     int // first instruction index (inclusive)
+	End       int // last instruction index (exclusive)
+	Succs     []int
+	Preds     []int
+	Reachable bool // reachable from the method entry
+}
+
+// CFG is a method's control-flow graph.
+type CFG struct {
+	Method  *Method
+	Blocks  []*Block
+	blockOf []int // instruction index → block index
+}
+
+// BuildCFG partitions a method into basic blocks and wires branch edges.
+// Leaders are: the entry instruction, every label, and every instruction
+// following a goto/if/return.
+func BuildCFG(m *Method) *CFG {
+	g := &CFG{Method: m}
+	n := len(m.Instructions)
+	if n == 0 {
+		return g
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, ins := range m.Instructions {
+		switch ins.Kind {
+		case KindLabel:
+			leader[i] = true
+		case KindGoto, KindIf, KindReturn:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+	g.blockOf = make([]int, n)
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			g.Blocks = append(g.Blocks, &Block{Index: len(g.Blocks), Start: i})
+		}
+		g.blockOf[i] = len(g.Blocks) - 1
+	}
+	for bi, b := range g.Blocks {
+		if bi+1 < len(g.Blocks) {
+			b.End = g.Blocks[bi+1].Start
+		} else {
+			b.End = n
+		}
+	}
+	// Edges. Branch targets are label instructions, which are always
+	// leaders, so BlockOf(target) starts exactly at the target.
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for bi, b := range g.Blocks {
+		last := m.Instructions[b.End-1]
+		switch last.Kind {
+		case KindGoto:
+			if t, ok := m.LabelTarget(last.Label); ok {
+				addEdge(bi, g.blockOf[t])
+			}
+		case KindIf:
+			if t, ok := m.LabelTarget(last.Label); ok {
+				addEdge(bi, g.blockOf[t])
+			}
+			if b.End < n {
+				addEdge(bi, g.blockOf[b.End])
+			}
+		case KindReturn:
+			// no successors
+		default:
+			if b.End < n {
+				addEdge(bi, g.blockOf[b.End])
+			}
+		}
+	}
+	g.markReachable()
+	return g
+}
+
+// markReachable flood-fills from the entry block. Definitions in
+// unreachable blocks must not flow into live code — that is exactly how
+// the old line-scanner produced false positives on dead stores.
+func (g *CFG) markReachable() {
+	if len(g.Blocks) == 0 {
+		return
+	}
+	stack := []int{0}
+	g.Blocks[0].Reachable = true
+	for len(stack) > 0 {
+		bi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[bi].Succs {
+			if !g.Blocks[s].Reachable {
+				g.Blocks[s].Reachable = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// BlockOf returns the block containing instruction index idx.
+func (g *CFG) BlockOf(idx int) *Block {
+	return g.Blocks[g.blockOf[idx]]
+}
+
+// Unreachable returns the blocks no path from the entry reaches.
+func (g *CFG) Unreachable() []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if !b.Reachable {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func parseMethod(t *testing.T, body string) *Method {
+	t.Helper()
+	cls, err := ParseFile("t.smali", ".class Lt;\n.method m()V\n"+body+".end method\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cls.Methods[0]
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	m := parseMethod(t, "    const/4 v0, 0x0\n    const/4 v1, 0x1\n    return-void\n")
+	g := BuildCFG(m)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	b := g.Blocks[0]
+	if b.Start != 0 || b.End != 3 || len(b.Succs) != 0 || !b.Reachable {
+		t.Errorf("block = %+v", b)
+	}
+}
+
+func TestCFGBranchJoin(t *testing.T) {
+	// Diamond: entry branches, both arms join at :out.
+	m := parseMethod(t, `    const/4 v0, 0x0
+    if-eqz v9, :alt
+    goto :out
+:alt
+    const/4 v0, 0x1
+:out
+    return-void
+`)
+	g := BuildCFG(m)
+	// Blocks: [const,if] [goto] [:alt,const] [:out,return]
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4: %+v", len(g.Blocks), g.Blocks)
+	}
+	if got := g.Blocks[0].Succs; !reflect.DeepEqual(sortedInts(got), []int{1, 2}) {
+		t.Errorf("entry succs = %v", got)
+	}
+	join := g.Blocks[3]
+	if !reflect.DeepEqual(sortedInts(join.Preds), []int{1, 2}) {
+		t.Errorf("join preds = %v", join.Preds)
+	}
+	for _, b := range g.Blocks {
+		if !b.Reachable {
+			t.Errorf("block %d unreachable in a diamond", b.Index)
+		}
+	}
+	// Both arms' definitions reach the join (may-analysis).
+	r := Reaching(g)
+	retIdx := len(m.Instructions) - 1
+	if got := r.ConstsAt(retIdx, "v0"); !reflect.DeepEqual(got, []string{"0x0", "0x1"}) {
+		t.Errorf("consts at join = %v, want [0x0 0x1]", got)
+	}
+}
+
+func TestCFGUnreachableBlock(t *testing.T) {
+	// The middle block is dead: entry jumps straight to :out, and the dead
+	// store of 0x7 must not reach the return.
+	m := parseMethod(t, `    const/4 v0, 0x0
+    goto :out
+:dead
+    const/4 v0, 0x7
+:out
+    return-void
+`)
+	g := BuildCFG(m)
+	unreach := g.Unreachable()
+	if len(unreach) != 1 {
+		t.Fatalf("unreachable blocks = %d, want 1", len(unreach))
+	}
+	if first := m.Instructions[unreach[0].Start]; first.Kind != KindLabel || first.Label != "dead" {
+		t.Errorf("unreachable block starts at %+v", first)
+	}
+	r := Reaching(g)
+	retIdx := len(m.Instructions) - 1
+	if got := r.ConstsAt(retIdx, "v0"); !reflect.DeepEqual(got, []string{"0x0"}) {
+		t.Errorf("consts at return = %v, want [0x0] (dead store must not flow)", got)
+	}
+}
+
+// TestReachingBackwardGoto is the register-overwrite regression: in
+// execution order v3 is set to MODE_WORLD_READABLE and then overwritten
+// with 0x0 before the call, but textual order is reversed by the backward
+// jump — a last-write-wins scan over the lines resolves v3 to
+// MODE_WORLD_READABLE, while reaching definitions prove only 0x0 arrives.
+func TestReachingBackwardGoto(t *testing.T) {
+	m := parseMethod(t, `    goto :init
+:fix
+    const/4 v3, 0x0
+    goto :use
+:init
+    const/4 v3, MODE_WORLD_READABLE
+    goto :fix
+:use
+    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+    return-void
+`)
+	g := BuildCFG(m)
+	for _, b := range g.Blocks {
+		if !b.Reachable {
+			t.Fatalf("block %d should be reachable (backward goto, not dead code)", b.Index)
+		}
+	}
+	r := Reaching(g)
+	var invokeIdx int
+	for _, ins := range m.Instructions {
+		if ins.Kind == KindInvoke {
+			invokeIdx = ins.Index
+		}
+	}
+	if got := r.ConstsAt(invokeIdx, "v3"); !reflect.DeepEqual(got, []string{"0x0"}) {
+		t.Errorf("consts at call = %v, want [0x0] only", got)
+	}
+	// A flattened textual scan gets this wrong: the last const before the
+	// call line assigns MODE_WORLD_READABLE.
+	lastTextual := ""
+	for _, ins := range m.Instructions {
+		if ins.Index >= invokeIdx {
+			break
+		}
+		if ins.Kind == KindConst && ins.Dest == "v3" {
+			lastTextual = ins.Value
+		}
+	}
+	if lastTextual != "MODE_WORLD_READABLE" {
+		t.Fatalf("test fixture broken: textual last write = %q", lastTextual)
+	}
+}
+
+func TestReachingLoop(t *testing.T) {
+	// A loop: the back edge carries the redefinition around, so both the
+	// initial and loop-body definitions may reach the header's use.
+	m := parseMethod(t, `    const/4 v0, 0x0
+:head
+    invoke-static {v0}, Lt;->use(I)V
+    const/4 v0, 0x1
+    if-eqz v9, :head
+    return-void
+`)
+	g := BuildCFG(m)
+	r := Reaching(g)
+	if got := r.ConstsAt(2, "v0"); !reflect.DeepEqual(got, []string{"0x0", "0x1"}) {
+		t.Errorf("consts at loop-header use = %v, want [0x0 0x1]", got)
+	}
+}
+
+func TestReachingUndefinedRegister(t *testing.T) {
+	m := parseMethod(t, "    invoke-virtual {v9, v3}, Ljava/io/File;->setReadable(Z)Z\n    return-void\n")
+	r := Reaching(BuildCFG(m))
+	if got := r.ConstsAt(0, "v3"); len(got) != 0 {
+		t.Errorf("undefined register has consts %v", got)
+	}
+	if got := r.DefsAt(0, "v3"); len(got) != 0 {
+		t.Errorf("undefined register has defs %v", got)
+	}
+}
+
+func TestCFGEmptyMethod(t *testing.T) {
+	m := parseMethod(t, "")
+	g := BuildCFG(m)
+	if len(g.Blocks) != 0 {
+		t.Errorf("blocks = %d", len(g.Blocks))
+	}
+	if r := Reaching(g); r == nil {
+		t.Error("nil reaching defs")
+	}
+}
+
+func sortedInts(in []int) []int {
+	out := append([]int(nil), in...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+// Package analysis is the static-analysis engine behind the Section IV-A
+// measurement tooling: a lexer/parser for the synthetic smali dialect the
+// corpus emits, a typed IR (classes → methods → instructions), per-method
+// control-flow graphs with intra-procedural reaching definitions, a
+// pluggable GIA lint-rule framework, and a parallel corpus scanner.
+//
+// The paper's authors first tried heavyweight taint analysis (Flowdroid)
+// and watched it fail on ~70% of installer apps, then fell back to a
+// lightweight scanner keyed on the world-readable observation. This package
+// is that scanner done properly: instead of a flat last-write-wins register
+// map over raw lines, constants are resolved through real def-use chains
+// over basic blocks, so branch joins, backward jumps, dead stores and
+// method boundaries are all handled precisely.
+package analysis
+
+// Kind classifies an instruction for the analyses. The dialect is small:
+// everything the corpus emitter produces plus enough generality that
+// unknown opcodes survive as KindOther instead of failing the parse.
+type Kind int
+
+// Instruction kinds.
+const (
+	// KindOther: an opcode the analyses do not model (treated as a no-op
+	// with fallthrough control flow and no register writes).
+	KindOther Kind = iota
+	// KindConst: const/4, const/16, const-string, … — writes Dest.
+	KindConst
+	// KindInvoke: invoke-virtual/static/direct — reads Args, calls Target.
+	KindInvoke
+	// KindGoto: unconditional jump to Label.
+	KindGoto
+	// KindIf: conditional branch on Cond to Label, else fallthrough.
+	KindIf
+	// KindReturn: method exit.
+	KindReturn
+	// KindLabel: a `:name` jump target (no-op at runtime).
+	KindLabel
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConst:
+		return "const"
+	case KindInvoke:
+		return "invoke"
+	case KindGoto:
+		return "goto"
+	case KindIf:
+		return "if"
+	case KindReturn:
+		return "return"
+	case KindLabel:
+		return "label"
+	default:
+		return "other"
+	}
+}
+
+// Instruction is one IR operation.
+type Instruction struct {
+	Index int // position within the method body
+	Line  int // 1-based line in the source file
+	Kind  Kind
+	Op    string // mnemonic as written (e.g. "const-string", "invoke-virtual")
+
+	Dest  string // KindConst: destination register
+	Value string // KindConst: operand with string quotes stripped
+
+	Args   []string // KindInvoke: argument registers
+	Target string   // KindInvoke: callee signature
+
+	Cond  string // KindIf: tested register
+	Label string // KindGoto/KindIf/KindLabel: label name without the colon
+}
+
+// Method is one parsed method body.
+type Method struct {
+	Name         string
+	Class        string // owning class name
+	File         string
+	Line         int // line of the .method directive
+	Instructions []Instruction
+
+	labels map[string]int // label name → instruction index of the label
+}
+
+// LabelTarget resolves a label to the index of its KindLabel instruction.
+func (m *Method) LabelTarget(name string) (int, bool) {
+	idx, ok := m.labels[name]
+	return idx, ok
+}
+
+// Class is one parsed smali class.
+type Class struct {
+	Name    string
+	File    string
+	Methods []*Method
+}
+
+// Instructions counts the IR operations across all methods.
+func (c *Class) Instructions() int {
+	n := 0
+	for _, m := range c.Methods {
+		n += len(m.Instructions)
+	}
+	return n
+}

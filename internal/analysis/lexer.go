@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf8"
+)
+
+// tokenKind discriminates lexed tokens. The dialect is line-oriented, so
+// the lexer works one line at a time and never crosses newlines.
+type tokenKind int
+
+const (
+	tokWord   tokenKind = iota // directive, opcode, register, literal, signature
+	tokString                  // double-quoted string, escapes resolved
+	tokLabel                   // :name
+	tokComma
+	tokLBrace
+	tokRBrace
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokWord:
+		return "word"
+	case tokString:
+		return "string"
+	case tokLabel:
+		return "label"
+	case tokComma:
+		return "','"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	default:
+		return "token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string // word/signature text, label name (no colon), or decoded string
+}
+
+// lexLine tokenizes one source line. A '#' outside a string starts a
+// comment running to end of line. The only error condition is an
+// unterminated or badly escaped string literal.
+func lexLine(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			return toks, nil
+		case c == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{"})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}"})
+			i++
+		case c == '"':
+			text, rest, err := lexString(line[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{tokString, text})
+			i = len(line) - len(rest)
+		case c == ':':
+			start := i + 1
+			j := start
+			for j < len(line) && isWordByte(line[j]) {
+				j++
+			}
+			if j == start {
+				return nil, fmt.Errorf("empty label name")
+			}
+			toks = append(toks, token{tokLabel, line[start:j]})
+			i = j
+		default:
+			j := i
+			for j < len(line) && isWordByte(line[j]) {
+				j++
+			}
+			if j == i {
+				r, _ := utf8.DecodeRuneInString(line[i:])
+				return nil, fmt.Errorf("unexpected character %q", r)
+			}
+			toks = append(toks, token{tokWord, line[i:j]})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+// lexString consumes a leading double-quoted literal and returns the
+// decoded text plus the unconsumed remainder.
+func lexString(s string) (text, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("unterminated string literal")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("bad string escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string literal")
+}
+
+// isWordByte reports whether b can appear inside a word token: opcodes
+// (`const/4`, `invoke-virtual`), registers, numeric literals and full
+// method signatures like `Landroid/content/Intent;->setDataAndType(...)V`.
+func isWordByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	}
+	switch b {
+	case '.', '/', ';', '-', '>', '(', ')', '[', '_', '$', '<', '=':
+		return true
+	}
+	return false
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError carries file/line provenance for a malformed smali input.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// ParseFile parses one smali source file into a Class. The parser is
+// strict where the analyses need structure (one class per file, balanced
+// .method/.end method, well-formed register lists, defined branch targets)
+// and lenient elsewhere (unknown opcodes become KindOther, unknown dot
+// directives are skipped), and it returns errors — never panics — on
+// malformed input.
+func ParseFile(file, src string) (*Class, error) {
+	p := &parser{file: file}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := p.line(lineNo+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	if p.method != nil {
+		return nil, p.errf(p.method.Line, "method %s truncated: missing .end method", p.method.Name)
+	}
+	if p.class == nil {
+		return nil, p.errf(1, "no .class directive")
+	}
+	return p.class, nil
+}
+
+type parser struct {
+	file   string
+	class  *Class
+	method *Method
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &ParseError{File: p.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) line(n int, raw string) error {
+	toks, err := lexLine(raw)
+	if err != nil {
+		return p.errf(n, "%v", err)
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	first := toks[0]
+	switch {
+	case first.kind == tokWord && strings.HasPrefix(first.text, "."):
+		return p.directive(n, toks)
+	case first.kind == tokLabel:
+		return p.label(n, toks)
+	case first.kind == tokWord:
+		return p.instruction(n, toks)
+	default:
+		return p.errf(n, "unexpected %v at start of line", first.kind)
+	}
+}
+
+func (p *parser) directive(n int, toks []token) error {
+	switch toks[0].text {
+	case ".class":
+		if p.class != nil {
+			return p.errf(n, "duplicate .class directive")
+		}
+		if len(toks) < 2 {
+			return p.errf(n, ".class needs a name")
+		}
+		p.class = &Class{Name: toks[len(toks)-1].text, File: p.file}
+		return nil
+	case ".method":
+		if p.class == nil {
+			return p.errf(n, ".method before .class")
+		}
+		if p.method != nil {
+			return p.errf(n, ".method inside method %s", p.method.Name)
+		}
+		if len(toks) < 2 {
+			return p.errf(n, ".method needs a name")
+		}
+		p.method = &Method{
+			Name:   toks[len(toks)-1].text,
+			Class:  p.class.Name,
+			File:   p.file,
+			Line:   n,
+			labels: make(map[string]int),
+		}
+		return nil
+	case ".end":
+		if len(toks) < 2 || toks[1].text != "method" {
+			return p.errf(n, "unsupported .end directive")
+		}
+		if p.method == nil {
+			return p.errf(n, ".end method outside a method")
+		}
+		if err := p.validateMethod(); err != nil {
+			return err
+		}
+		p.class.Methods = append(p.class.Methods, p.method)
+		p.method = nil
+		return nil
+	default:
+		// Unknown directives (.source, .field, .annotation, …) are not
+		// part of any analysis; skip them.
+		return nil
+	}
+}
+
+// validateMethod checks every branch resolves to a defined label.
+func (p *parser) validateMethod() error {
+	for _, ins := range p.method.Instructions {
+		if ins.Kind != KindGoto && ins.Kind != KindIf {
+			continue
+		}
+		if _, ok := p.method.labels[ins.Label]; !ok {
+			return p.errf(ins.Line, "branch to undefined label :%s", ins.Label)
+		}
+	}
+	return nil
+}
+
+func (p *parser) emit(ins Instruction) {
+	ins.Index = len(p.method.Instructions)
+	p.method.Instructions = append(p.method.Instructions, ins)
+}
+
+func (p *parser) label(n int, toks []token) error {
+	if p.method == nil {
+		return p.errf(n, "label :%s outside a method", toks[0].text)
+	}
+	if len(toks) != 1 {
+		return p.errf(n, "trailing tokens after label :%s", toks[0].text)
+	}
+	name := toks[0].text
+	if _, dup := p.method.labels[name]; dup {
+		return p.errf(n, "duplicate label :%s", name)
+	}
+	p.method.labels[name] = len(p.method.Instructions)
+	p.emit(Instruction{Line: n, Kind: KindLabel, Op: "label", Label: name})
+	return nil
+}
+
+func (p *parser) instruction(n int, toks []token) error {
+	if p.method == nil {
+		return p.errf(n, "instruction %q outside a method", toks[0].text)
+	}
+	op := toks[0].text
+	rest := toks[1:]
+	switch {
+	case strings.HasPrefix(op, "const"):
+		return p.constOp(n, op, rest)
+	case strings.HasPrefix(op, "invoke-"):
+		return p.invokeOp(n, op, rest)
+	case op == "goto":
+		if len(rest) != 1 || rest[0].kind != tokLabel {
+			return p.errf(n, "goto needs exactly one label operand")
+		}
+		p.emit(Instruction{Line: n, Kind: KindGoto, Op: op, Label: rest[0].text})
+		return nil
+	case strings.HasPrefix(op, "if-"):
+		if len(rest) != 3 || rest[0].kind != tokWord || rest[1].kind != tokComma || rest[2].kind != tokLabel {
+			return p.errf(n, "%s needs a register and a label", op)
+		}
+		p.emit(Instruction{Line: n, Kind: KindIf, Op: op, Cond: rest[0].text, Label: rest[2].text})
+		return nil
+	case strings.HasPrefix(op, "return"):
+		p.emit(Instruction{Line: n, Kind: KindReturn, Op: op})
+		return nil
+	default:
+		p.emit(Instruction{Line: n, Kind: KindOther, Op: op})
+		return nil
+	}
+}
+
+// constOp parses `const-string vX, "text"` and `const/4 vX, LITERAL`.
+func (p *parser) constOp(n int, op string, rest []token) error {
+	if len(rest) != 3 || rest[0].kind != tokWord || rest[1].kind != tokComma {
+		return p.errf(n, "%s needs a register and an operand", op)
+	}
+	operand := rest[2]
+	if op == "const-string" {
+		if operand.kind != tokString {
+			return p.errf(n, "const-string operand must be a string literal")
+		}
+	} else if operand.kind != tokWord {
+		return p.errf(n, "%s operand must be a literal", op)
+	}
+	p.emit(Instruction{Line: n, Kind: KindConst, Op: op, Dest: rest[0].text, Value: operand.text})
+	return nil
+}
+
+// invokeOp parses `invoke-* {v0, v1, …}, Lpkg/Cls;->name(sig)ret`.
+func (p *parser) invokeOp(n int, op string, rest []token) error {
+	if len(rest) == 0 || rest[0].kind != tokLBrace {
+		return p.errf(n, "%s needs a {register list}", op)
+	}
+	args := []string{}
+	i := 1
+	for {
+		if i >= len(rest) {
+			return p.errf(n, "%s: unterminated register list", op)
+		}
+		if rest[i].kind == tokRBrace {
+			break
+		}
+		if rest[i].kind != tokWord {
+			return p.errf(n, "%s: bad register list element", op)
+		}
+		args = append(args, rest[i].text)
+		i++
+		if i < len(rest) && rest[i].kind == tokComma {
+			i++
+			continue
+		}
+	}
+	if len(args) == 0 {
+		return p.errf(n, "%s: empty register list", op)
+	}
+	// rest[i] is the closing brace; expect `, target`.
+	if i+2 >= len(rest) || rest[i+1].kind != tokComma || rest[i+2].kind != tokWord {
+		return p.errf(n, "%s: missing call target", op)
+	}
+	if i+3 != len(rest) {
+		return p.errf(n, "%s: trailing tokens after call target", op)
+	}
+	p.emit(Instruction{Line: n, Kind: KindInvoke, Op: op, Args: args, Target: rest[i+2].text})
+	return nil
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodSmali = `.class public Lcom/example/Installer;
+.method public installDownloaded()V
+    const-string v0, "application/vnd.android.package-archive"
+    invoke-virtual {p1, v1, v0}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+    const/4 v3, 0x0
+    if-eqz v5, :alt
+    goto :done
+:alt
+    const/4 v3, MODE_WORLD_READABLE
+:done
+    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+    return-void
+.end method
+`
+
+func TestParseWellFormed(t *testing.T) {
+	cls, err := ParseFile("smali/Installer.smali", goodSmali)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Name != "Lcom/example/Installer;" {
+		t.Errorf("class name = %q", cls.Name)
+	}
+	if len(cls.Methods) != 1 {
+		t.Fatalf("methods = %d", len(cls.Methods))
+	}
+	m := cls.Methods[0]
+	if !strings.HasPrefix(m.Name, "installDownloaded") {
+		t.Errorf("method name = %q", m.Name)
+	}
+	wantKinds := []Kind{KindConst, KindInvoke, KindConst, KindIf, KindGoto,
+		KindLabel, KindConst, KindLabel, KindInvoke, KindReturn}
+	if len(m.Instructions) != len(wantKinds) {
+		t.Fatalf("instructions = %d, want %d", len(m.Instructions), len(wantKinds))
+	}
+	for i, want := range wantKinds {
+		if m.Instructions[i].Kind != want {
+			t.Errorf("instr %d kind = %v, want %v", i, m.Instructions[i].Kind, want)
+		}
+	}
+	// Provenance: instruction lines are 1-based source lines.
+	if m.Instructions[0].Line != 3 {
+		t.Errorf("first instruction line = %d, want 3", m.Instructions[0].Line)
+	}
+	// Operand decoding.
+	if m.Instructions[0].Dest != "v0" || !strings.Contains(m.Instructions[0].Value, "package-archive") {
+		t.Errorf("const-string decoded as %+v", m.Instructions[0])
+	}
+	inv := m.Instructions[8]
+	if len(inv.Args) != 3 || inv.Args[0] != "p0" || inv.Args[2] != "v3" {
+		t.Errorf("invoke args = %v", inv.Args)
+	}
+	if !strings.Contains(inv.Target, "openFileOutput") {
+		t.Errorf("invoke target = %q", inv.Target)
+	}
+	if idx, ok := m.LabelTarget("alt"); !ok || m.Instructions[idx].Kind != KindLabel {
+		t.Errorf("label alt → %d, %v", idx, ok)
+	}
+}
+
+// TestParseMalformed drives every malformed-input class the engine must
+// reject with an error (never a panic): unterminated strings, empty and
+// truncated register lists, truncated invoke lines, dangling methods,
+// undefined labels, and code outside any method.
+func TestParseMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{
+			name: "unterminated string",
+			src:  ".class Lx;\n.method m()V\n    const-string v0, \"oops\n.end method\n",
+			want: "unterminated string",
+		},
+		{
+			name: "bad string escape",
+			src:  ".class Lx;\n.method m()V\n    const-string v0, \"a\\q\"\n.end method\n",
+			want: "escape",
+		},
+		{
+			name: "empty register list",
+			src:  ".class Lx;\n.method m()V\n    invoke-static {}, Lx;->m()V\n.end method\n",
+			want: "empty register list",
+		},
+		{
+			name: "unterminated register list",
+			src:  ".class Lx;\n.method m()V\n    invoke-virtual {p0, v2\n.end method\n",
+			want: "unterminated register list",
+		},
+		{
+			name: "truncated invoke without target",
+			src:  ".class Lx;\n.method m()V\n    invoke-virtual {p0, v2}\n.end method\n",
+			want: "missing call target",
+		},
+		{
+			name: "invoke without register list",
+			src:  ".class Lx;\n.method m()V\n    invoke-virtual Lx;->m()V\n.end method\n",
+			want: "{register list}",
+		},
+		{
+			name: "const without operand",
+			src:  ".class Lx;\n.method m()V\n    const/4 v3\n.end method\n",
+			want: "needs a register and an operand",
+		},
+		{
+			name: "const-string with bare operand",
+			src:  ".class Lx;\n.method m()V\n    const-string v0, bare\n.end method\n",
+			want: "string literal",
+		},
+		{
+			name: "truncated method at EOF",
+			src:  ".class Lx;\n.method m()V\n    return-void\n",
+			want: "missing .end method",
+		},
+		{
+			name: "goto without label",
+			src:  ".class Lx;\n.method m()V\n    goto\n.end method\n",
+			want: "label operand",
+		},
+		{
+			name: "branch to undefined label",
+			src:  ".class Lx;\n.method m()V\n    goto :nowhere\n.end method\n",
+			want: "undefined label",
+		},
+		{
+			name: "if without label",
+			src:  ".class Lx;\n.method m()V\n    if-eqz v0\n.end method\n",
+			want: "register and a label",
+		},
+		{
+			name: "duplicate label",
+			src:  ".class Lx;\n.method m()V\n:a\n:a\n.end method\n",
+			want: "duplicate label",
+		},
+		{
+			name: "instruction outside method",
+			src:  ".class Lx;\n    return-void\n",
+			want: "outside a method",
+		},
+		{
+			name: "label outside method",
+			src:  ".class Lx;\n:stray\n",
+			want: "outside a method",
+		},
+		{
+			name: "method before class",
+			src:  ".method m()V\n.end method\n",
+			want: ".method before .class",
+		},
+		{
+			name: "duplicate class",
+			src:  ".class Lx;\n.class Ly;\n",
+			want: "duplicate .class",
+		},
+		{
+			name: "end method without method",
+			src:  ".class Lx;\n.end method\n",
+			want: ".end method outside",
+		},
+		{
+			name: "empty input",
+			src:  "",
+			want: "no .class directive",
+		},
+		{
+			name: "empty label name",
+			src:  ".class Lx;\n.method m()V\n    goto :\n.end method\n",
+			want: "empty label",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cls, err := ParseFile("bad.smali", tt.src)
+			if err == nil {
+				t.Fatalf("parsed without error: %+v", cls)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %q, want substring %q", err, tt.want)
+			}
+			var pe *ParseError
+			if !errorsAs(err, &pe) {
+				t.Errorf("error %T is not a *ParseError", err)
+			} else if pe.File != "bad.smali" || pe.Line < 1 {
+				t.Errorf("provenance = %s:%d", pe.File, pe.Line)
+			}
+		})
+	}
+}
+
+// errorsAs avoids importing errors just for one assertion.
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestParseLenientUnknowns(t *testing.T) {
+	src := ".class Lx;\n.source \"x.java\"\n.field private a:I\n" +
+		".method m()V\n    nop\n    move-result v0  # comment\n    return-void\n.end method\n"
+	cls, err := ParseFile("x.smali", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cls.Methods[0]
+	if len(m.Instructions) != 3 {
+		t.Fatalf("instructions = %d", len(m.Instructions))
+	}
+	if m.Instructions[0].Kind != KindOther || m.Instructions[1].Kind != KindOther {
+		t.Errorf("unknown opcodes should parse as KindOther: %+v", m.Instructions[:2])
+	}
+}
+
+// FuzzParseFile asserts the parser returns errors instead of panicking on
+// arbitrary inputs.
+func FuzzParseFile(f *testing.F) {
+	f.Add(goodSmali)
+	f.Add(".class Lx;\n.method m()V\n    const-string v0, \"unterminated\n")
+	f.Add(".class Lx;\n.method m()V\n    invoke-virtual {}, Lx;->m()V\n")
+	f.Add(".class Lx;\n.method m()V\n    invoke-virtual {p0, \n")
+	f.Add(":label\n{}}{\",\"\\")
+	f.Add(".class\n.method\n.end\n.end method\n# comment\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		cls, err := ParseFile("fuzz.smali", src)
+		if err == nil && cls == nil {
+			t.Fatal("nil class without error")
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import "sort"
+
+// defSet is the set of defining instruction indices for one register.
+type defSet map[int]struct{}
+
+func (s defSet) clone() defSet {
+	out := make(defSet, len(s))
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// regDefs maps register name → reaching definition sites.
+type regDefs map[string]defSet
+
+func (r regDefs) clone() regDefs {
+	out := make(regDefs, len(r))
+	for reg, s := range r {
+		out[reg] = s.clone()
+	}
+	return out
+}
+
+// merge unions other into r, reporting whether r grew.
+func (r regDefs) merge(other regDefs) bool {
+	changed := false
+	for reg, defs := range other {
+		dst, ok := r[reg]
+		if !ok {
+			dst = make(defSet, len(defs))
+			r[reg] = dst
+		}
+		for d := range defs {
+			if _, seen := dst[d]; !seen {
+				dst[d] = struct{}{}
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// ReachingDefs holds the fixpoint of the classic intra-procedural
+// reaching-definitions (may) analysis over a method's CFG. In this dialect
+// the only register writers are const* instructions, so "which definitions
+// reach this use" is equivalently "which constant values may this register
+// hold here" — the def-use chain the world-readable rule needs.
+type ReachingDefs struct {
+	cfg *CFG
+	in  []regDefs // per-block entry state
+}
+
+// Reaching computes reaching definitions with a worklist over reachable
+// blocks. Unreachable blocks contribute nothing: a dead store of
+// MODE_WORLD_READABLE must not taint live code.
+func Reaching(g *CFG) *ReachingDefs {
+	r := &ReachingDefs{cfg: g, in: make([]regDefs, len(g.Blocks))}
+	for i := range r.in {
+		r.in[i] = make(regDefs)
+	}
+	if len(g.Blocks) == 0 {
+		return r
+	}
+	// Seed with every reachable block (in index order) so states propagate
+	// even along edges whose source generates no definitions. Unreachable
+	// blocks are never processed, so their dead stores cannot flow.
+	work := make([]int, 0, len(g.Blocks))
+	queued := make([]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		if b.Reachable {
+			work = append(work, b.Index)
+			queued[b.Index] = true
+		}
+	}
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		queued[bi] = false
+		out := r.transfer(bi, r.in[bi])
+		for _, s := range g.Blocks[bi].Succs {
+			if r.in[s].merge(out) && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return r
+}
+
+// transfer applies a block's definitions to an entry state: each const
+// kills every prior definition of its destination register (strong
+// update) and generates itself.
+func (r *ReachingDefs) transfer(bi int, entry regDefs) regDefs {
+	state := entry.clone()
+	b := r.cfg.Blocks[bi]
+	for i := b.Start; i < b.End; i++ {
+		ins := r.cfg.Method.Instructions[i]
+		if ins.Kind == KindConst {
+			state[ins.Dest] = defSet{i: {}}
+		}
+	}
+	return state
+}
+
+// DefsAt returns the instruction indices of the definitions of reg that
+// may reach instruction idx, sorted ascending. An empty result means the
+// register is never defined on any path to idx.
+func (r *ReachingDefs) DefsAt(idx int, reg string) []int {
+	b := r.cfg.BlockOf(idx)
+	state := r.in[b.Index][reg].clone()
+	if state == nil {
+		state = defSet{}
+	}
+	for i := b.Start; i < idx; i++ {
+		ins := r.cfg.Method.Instructions[i]
+		if ins.Kind == KindConst && ins.Dest == reg {
+			state = defSet{i: {}}
+		}
+	}
+	out := make([]int, 0, len(state))
+	for d := range state {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ConstsAt returns the distinct constant values register reg may hold at
+// instruction idx, sorted for determinism.
+func (r *ReachingDefs) ConstsAt(idx int, reg string) []string {
+	defs := r.DefsAt(idx, reg)
+	seen := make(map[string]bool, len(defs))
+	out := make([]string, 0, len(defs))
+	for _, d := range defs {
+		v := r.cfg.Method.Instructions[d].Value
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

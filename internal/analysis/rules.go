@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stable rule IDs, exported so consumers (internal/measure, gia-lint) can
+// key on findings without string literals.
+const (
+	RuleIDInstallAPI    = "gia/install-api"
+	RuleIDSDCardStaging = "gia/sdcard-staging"
+	RuleIDWorldReadable = "gia/world-readable-staging"
+	RuleIDMarketLink    = "gia/market-redirect"
+	RuleIDReflection    = "gia/reflection-obfuscation"
+)
+
+// Code-level markers shared by the rules (the paper's Section IV-A scan
+// targets).
+const (
+	installMIME  = "application/vnd.android.package-archive"
+	marketScheme = "market://details?id="
+	playURL      = "play.google.com/store/apps/details?id="
+)
+
+// worldReadableModes are the constants that make a staged APK readable by
+// the PMS when passed to a file-creation API.
+var worldReadableModes = map[string]bool{
+	"MODE_WORLD_READABLE": true,
+	"0x1":                 true,
+	"644":                 true,
+}
+
+// fileModeAPIs are call-target substrings whose integer/boolean arguments
+// carry a file mode.
+var fileModeAPIs = []string{
+	"openFileOutput",
+	"setReadable",
+	"setPosixFilePermissions",
+	"chmod",
+}
+
+// reflectionMarkers are call-target substrings indicating reflection-built
+// API access — the "analysis blocker" pattern that defeated the paper's
+// Flowdroid run.
+var reflectionMarkers = []string{
+	"Ljava/lang/reflect/",
+	"Ljava/lang/Class;->forName",
+	"->invoke(",
+	"Lcom/obf/",
+}
+
+// DefaultRules returns the full GIA rule set, one Rule per detector of the
+// Section IV-A scanner.
+func DefaultRules() []Rule {
+	return []Rule{
+		InstallAPIRule{},
+		SDCardStagingRule{},
+		WorldReadableRule{},
+		MarketRedirectRule{},
+		ReflectionRule{},
+	}
+}
+
+// InstallAPIRule finds the package-archive install marker: the
+// application/vnd.android.package-archive MIME constant handed to
+// setDataAndType before firing the install Intent.
+type InstallAPIRule struct{}
+
+func (InstallAPIRule) ID() string         { return RuleIDInstallAPI }
+func (InstallAPIRule) Severity() Severity { return SeverityInfo }
+func (InstallAPIRule) Description() string {
+	return "package-archive install API (setDataAndType with the APK MIME type)"
+}
+
+func (r InstallAPIRule) Check(ci *ClassInfo) []Finding {
+	return eachConstString(r, ci, func(v string) (string, bool) {
+		if strings.Contains(v, installMIME) {
+			return "install API marker " + installMIME, true
+		}
+		return "", false
+	})
+}
+
+// SDCardStagingRule finds APK staging on shared external storage — the
+// potentially vulnerable half of the paper's classifier: any attacker
+// holding WRITE_EXTERNAL_STORAGE can replace the staged file.
+type SDCardStagingRule struct{}
+
+func (SDCardStagingRule) ID() string         { return RuleIDSDCardStaging }
+func (SDCardStagingRule) Severity() Severity { return SeverityVuln }
+func (SDCardStagingRule) Description() string {
+	return "APK staged on /sdcard (world-writable shared storage)"
+}
+
+func (r SDCardStagingRule) Check(ci *ClassInfo) []Finding {
+	return eachConstString(r, ci, func(v string) (string, bool) {
+		if strings.Contains(v, "/sdcard") {
+			return fmt.Sprintf("external-storage path %q", v), true
+		}
+		return "", false
+	})
+}
+
+// MarketRedirectRule counts hard-coded market:// schemes and Play URLs —
+// the Table IV redirect census. One finding per link constant, so the
+// finding count is the app's link count.
+type MarketRedirectRule struct{}
+
+func (MarketRedirectRule) ID() string         { return RuleIDMarketLink }
+func (MarketRedirectRule) Severity() Severity { return SeverityInfo }
+func (MarketRedirectRule) Description() string {
+	return "hard-coded market:// or Play Store redirect link"
+}
+
+func (r MarketRedirectRule) Check(ci *ClassInfo) []Finding {
+	return eachConstString(r, ci, func(v string) (string, bool) {
+		if strings.Contains(v, marketScheme) || strings.Contains(v, playURL) {
+			return fmt.Sprintf("market redirect %q", v), true
+		}
+		return "", false
+	})
+}
+
+// WorldReadableRule resolves the mode arguments of file-creation APIs
+// through the reaching-definitions chain and flags calls a world-readable
+// constant may reach — the paper's "potentially secure" internal-staging
+// marker. Branch joins are handled as a may-analysis (one world-readable
+// arm flags the call), dead stores and unreachable code do not flag, and
+// definitions never leak across method boundaries.
+type WorldReadableRule struct{}
+
+func (WorldReadableRule) ID() string         { return RuleIDWorldReadable }
+func (WorldReadableRule) Severity() Severity { return SeverityWarning }
+func (WorldReadableRule) Description() string {
+	return "staged file created world-readable (mode resolved through def-use chains)"
+}
+
+func (r WorldReadableRule) Check(ci *ClassInfo) []Finding {
+	var out []Finding
+	for _, mi := range ci.Methods {
+		for _, ins := range mi.Method.Instructions {
+			if ins.Kind != KindInvoke || !isFileModeAPI(ins.Target) {
+				continue
+			}
+			if !mi.CFG().BlockOf(ins.Index).Reachable {
+				continue
+			}
+			reach := mi.Reaching()
+			for _, reg := range ins.Args {
+				for _, v := range reach.ConstsAt(ins.Index, reg) {
+					if worldReadableModes[v] {
+						out = append(out, finding(r, mi.Method, ins,
+							fmt.Sprintf("mode %s may reach %s via %s", v, callName(ins.Target), reg)))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ReflectionRule flags reflection-built API access: the obfuscation
+// pattern that leaves an installer's storage behaviour "unknown" to static
+// analysis (Section IV-A's analysis-blocker post-mortem).
+type ReflectionRule struct{}
+
+func (ReflectionRule) ID() string         { return RuleIDReflection }
+func (ReflectionRule) Severity() Severity { return SeverityWarning }
+func (ReflectionRule) Description() string {
+	return "reflection-obfuscated API access blocks static analysis"
+}
+
+func (r ReflectionRule) Check(ci *ClassInfo) []Finding {
+	var out []Finding
+	for _, mi := range ci.Methods {
+		for _, ins := range mi.Method.Instructions {
+			if ins.Kind != KindInvoke {
+				continue
+			}
+			for _, marker := range reflectionMarkers {
+				if strings.Contains(ins.Target, marker) {
+					out = append(out, finding(r, mi.Method, ins,
+						"reflective call "+callName(ins.Target)))
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// eachConstString applies match to every const-string value in the class,
+// emitting one finding per matching instruction.
+func eachConstString(r Rule, ci *ClassInfo, match func(string) (string, bool)) []Finding {
+	var out []Finding
+	for _, mi := range ci.Methods {
+		for _, ins := range mi.Method.Instructions {
+			if ins.Kind != KindConst || ins.Op != "const-string" {
+				continue
+			}
+			if msg, ok := match(ins.Value); ok {
+				out = append(out, finding(r, mi.Method, ins, msg))
+			}
+		}
+	}
+	return out
+}
+
+func isFileModeAPI(target string) bool {
+	for _, api := range fileModeAPIs {
+		if strings.Contains(target, api) {
+			return true
+		}
+	}
+	return false
+}
+
+// callName trims a full smali signature to Class->method for messages.
+func callName(target string) string {
+	if i := strings.IndexByte(target, '('); i >= 0 {
+		target = target[:i]
+	}
+	if i := strings.LastIndexByte(target, '/'); i >= 0 {
+		target = target[i+1:]
+	}
+	return target
+}

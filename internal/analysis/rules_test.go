@@ -1,0 +1,222 @@
+package analysis
+
+import "testing"
+
+// checkRule parses src and runs a single rule over it.
+func checkRule(t *testing.T, r Rule, src string) []Finding {
+	t.Helper()
+	cls, err := ParseFile("t.smali", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Check(NewClassInfo(cls))
+}
+
+func wrap(body string) string {
+	return ".class public Lcom/t/C;\n.method public m()V\n" + body + "    return-void\n.end method\n"
+}
+
+// Every rule is exercised with one true-positive and one true-negative
+// sample.
+func TestRuleSamples(t *testing.T) {
+	tests := []struct {
+		name     string
+		rule     Rule
+		positive string
+		negative string
+		wantHits int // hits expected on the positive sample
+	}{
+		{
+			name: "install-api",
+			rule: InstallAPIRule{},
+			positive: wrap(`    const-string v0, "application/vnd.android.package-archive"
+    invoke-virtual {p1, v1, v0}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+`),
+			negative: wrap(`    const-string v0, "text/plain"
+    invoke-virtual {p1, v1, v0}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+`),
+			wantHits: 1,
+		},
+		{
+			name: "sdcard-staging",
+			rule: SDCardStagingRule{},
+			positive: wrap(`    const-string v2, "/sdcard/store/stage.apk"
+    invoke-static {v2}, Ljava/io/File;-><init>(Ljava/lang/String;)V
+`),
+			negative: wrap(`    const-string v2, "/data/data/com.t/files/stage.apk"
+    invoke-static {v2}, Ljava/io/File;-><init>(Ljava/lang/String;)V
+`),
+			wantHits: 1,
+		},
+		{
+			name: "world-readable via def-use",
+			rule: WorldReadableRule{},
+			positive: wrap(`    const-string v2, "stage.apk"
+    const/4 v3, MODE_WORLD_READABLE
+    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+`),
+			negative: wrap(`    const-string v2, "stage.apk"
+    const/4 v3, 0x0
+    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+`),
+			wantHits: 1,
+		},
+		{
+			name: "market-redirect",
+			rule: MarketRedirectRule{},
+			positive: wrap(`    const-string v0, "market://details?id=com.promoted.one"
+    const-string v1, "http://play.google.com/store/apps/details?id=com.promoted.two"
+`),
+			negative: wrap(`    const-string v0, "https://example.com/details?id=com.promoted.one"
+`),
+			wantHits: 2,
+		},
+		{
+			name: "reflection-obfuscation",
+			rule: ReflectionRule{},
+			positive: wrap(`    const-string v2, "open"
+    invoke-static {v2}, Lcom/obf/Reflect;->call([Ljava/lang/String;)Ljava/lang/Object;
+`),
+			negative: wrap(`    const-string v2, "open"
+    invoke-static {v2}, Lcom/t/Direct;->call(Ljava/lang/String;)V
+`),
+			wantHits: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pos := checkRule(t, tt.rule, tt.positive)
+			if len(pos) != tt.wantHits {
+				t.Errorf("positive sample: %d findings, want %d: %v", len(pos), tt.wantHits, pos)
+			}
+			for _, f := range pos {
+				if f.RuleID != tt.rule.ID() || f.Severity != tt.rule.Severity() {
+					t.Errorf("finding carries wrong rule metadata: %+v", f)
+				}
+				if f.Class == "" || f.Method == "" || f.Line == 0 || f.File == "" {
+					t.Errorf("finding lacks provenance: %+v", f)
+				}
+			}
+			if neg := checkRule(t, tt.rule, tt.negative); len(neg) != 0 {
+				t.Errorf("negative sample flagged: %v", neg)
+			}
+		})
+	}
+}
+
+// TestWorldReadableRegisterOverwrite is the regression the flat
+// last-write-wins scanner misclassified: MODE_WORLD_READABLE assigned,
+// then overwritten with a benign mode (in execution order) before the
+// call. The backward jump puts the benign write textually first, so a
+// textual scan flags it; the reaching-definitions rule must not.
+func TestWorldReadableRegisterOverwrite(t *testing.T) {
+	src := wrap(`    const-string v2, "stage.apk"
+    goto :init_mode
+:fix_mode
+    const/4 v3, 0x0
+    goto :stage
+:init_mode
+    const/4 v3, MODE_WORLD_READABLE
+    goto :fix_mode
+:stage
+    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+`)
+	if got := checkRule(t, WorldReadableRule{}, src); len(got) != 0 {
+		t.Errorf("benign overwrite flagged: %v", got)
+	}
+}
+
+func TestWorldReadableBranchJoin(t *testing.T) {
+	// One arm assigns the world-readable mode; the may-analysis must flag
+	// the call at the join.
+	src := wrap(`    const-string v2, "stage.apk"
+    const/4 v3, 0x0
+    if-eqz v5, :world_readable
+    goto :stage
+:world_readable
+    const/4 v3, MODE_WORLD_READABLE
+:stage
+    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+`)
+	got := checkRule(t, WorldReadableRule{}, src)
+	if len(got) != 1 {
+		t.Errorf("branch join: %d findings, want 1: %v", len(got), got)
+	}
+}
+
+func TestWorldReadableDeadStoreDoesNotFlag(t *testing.T) {
+	// The world-readable const sits in unreachable code.
+	src := wrap(`    const-string v2, "stage.apk"
+    const/4 v3, 0x0
+    goto :stage
+:dead
+    const/4 v3, MODE_WORLD_READABLE
+:stage
+    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+`)
+	if got := checkRule(t, WorldReadableRule{}, src); len(got) != 0 {
+		t.Errorf("dead store flagged: %v", got)
+	}
+}
+
+func TestWorldReadableUnreachableCallDoesNotFlag(t *testing.T) {
+	// Even a genuinely world-readable call must not flag from dead code.
+	src := wrap(`    const/4 v3, MODE_WORLD_READABLE
+    goto :out
+:dead
+    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;
+:out
+`)
+	if got := checkRule(t, WorldReadableRule{}, src); len(got) != 0 {
+		t.Errorf("unreachable call flagged: %v", got)
+	}
+}
+
+func TestWorldReadableNoCrossMethodLeak(t *testing.T) {
+	// Method A leaves v3 = MODE_WORLD_READABLE; method B uses v3 undefined.
+	// The flat per-file map leaked A's def into B.
+	src := `.class public Lcom/t/C;
+.method public a()V
+    const/4 v3, MODE_WORLD_READABLE
+    return-void
+.end method
+.method public b()V
+    invoke-virtual {v9, v3}, Ljava/io/File;->setReadable(Z)Z
+    return-void
+.end method
+`
+	if got := checkRule(t, WorldReadableRule{}, src); len(got) != 0 {
+		t.Errorf("cross-method leak flagged: %v", got)
+	}
+}
+
+func TestDefaultRulesRegistry(t *testing.T) {
+	rules := DefaultRules()
+	if len(rules) < 5 {
+		t.Fatalf("default rules = %d, want >= 5", len(rules))
+	}
+	seen := make(map[string]bool)
+	for _, r := range rules {
+		if r.ID() == "" || r.Description() == "" {
+			t.Errorf("rule %T lacks ID or description", r)
+		}
+		if seen[r.ID()] {
+			t.Errorf("duplicate rule ID %s", r.ID())
+		}
+		seen[r.ID()] = true
+	}
+	for _, id := range []string{RuleIDInstallAPI, RuleIDSDCardStaging,
+		RuleIDWorldReadable, RuleIDMarketLink, RuleIDReflection} {
+		if !seen[id] {
+			t.Errorf("rule %s missing from DefaultRules", id)
+		}
+	}
+}
+
+func TestSeverityStrings(t *testing.T) {
+	for _, s := range []Severity{SeverityInfo, SeverityWarning, SeverityVuln} {
+		if s.String() == "" {
+			t.Errorf("empty severity name for %d", s)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/apk"
+)
+
+// Engine runs a rule set over smali sources and APK artifacts. An Engine
+// is immutable after construction and safe for concurrent use.
+type Engine struct {
+	rules []Rule
+}
+
+// NewEngine builds an engine; with no arguments it loads DefaultRules.
+func NewEngine(rules ...Rule) *Engine {
+	if len(rules) == 0 {
+		rules = DefaultRules()
+	}
+	return &Engine{rules: rules}
+}
+
+// Rules returns the engine's rule set.
+func (e *Engine) Rules() []Rule { return e.rules }
+
+// Stats counts what one scan covered.
+type Stats struct {
+	Files        int
+	Classes      int
+	Methods      int
+	Instructions int
+	ParseErrors  int
+}
+
+func (s *Stats) add(o Stats) {
+	s.Files += o.Files
+	s.Classes += o.Classes
+	s.Methods += o.Methods
+	s.Instructions += o.Instructions
+	s.ParseErrors += o.ParseErrors
+}
+
+// Report is the outcome of scanning one artifact: findings sorted by
+// (file, line, rule), coverage stats and any per-file parse errors.
+type Report struct {
+	Findings []Finding
+	Stats    Stats
+	Errors   []error
+}
+
+// AnalyzeSource parses one smali file and checks every rule against it.
+func (e *Engine) AnalyzeSource(file, src string) ([]Finding, Stats, error) {
+	cls, err := ParseFile(file, src)
+	if err != nil {
+		return nil, Stats{Files: 1, ParseErrors: 1}, err
+	}
+	ci := NewClassInfo(cls)
+	var findings []Finding
+	for _, rule := range e.rules {
+		findings = append(findings, rule.Check(ci)...)
+	}
+	sortFindings(findings)
+	return findings, Stats{
+		Files:        1,
+		Classes:      1,
+		Methods:      len(cls.Methods),
+		Instructions: cls.Instructions(),
+	}, nil
+}
+
+// ScanAPK runs the rule set over every smali entry of an APK. Malformed
+// entries are recorded in Report.Errors and skipped; the scan never
+// panics on corrupt code.
+func (e *Engine) ScanAPK(a *apk.APK) Report {
+	var rep Report
+	names := make([]string, 0, len(a.Files))
+	for name := range a.Files {
+		if strings.HasPrefix(name, "smali/") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		findings, stats, err := e.AnalyzeSource(name, string(a.Files[name]))
+		rep.Stats.add(stats)
+		if err != nil {
+			rep.Errors = append(rep.Errors, err)
+			continue
+		}
+		rep.Findings = append(rep.Findings, findings...)
+	}
+	sortFindings(rep.Findings)
+	return rep
+}
+
+// ScanStats aggregates a corpus scan with per-rule hit counts and
+// throughput figures.
+type ScanStats struct {
+	APKs     int
+	Workers  int
+	Findings int
+	PerRule  map[string]int
+	Stats    Stats
+	Elapsed  time.Duration
+}
+
+// InstructionsPerSecond is the scan throughput in IR operations.
+func (s ScanStats) InstructionsPerSecond() float64 {
+	return rate(s.Stats.Instructions, s.Elapsed)
+}
+
+// APKsPerSecond is the scan throughput in artifacts.
+func (s ScanStats) APKsPerSecond() float64 { return rate(s.APKs, s.Elapsed) }
+
+func rate(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// ScanCorpus fans a corpus of n artifacts out over a bounded worker pool.
+// fetch(i) supplies the i-th artifact and is called concurrently from the
+// workers, so expensive artifact materialization (corpus.BuildAPKFor)
+// parallelizes with the scan itself. Results are returned index-aligned
+// with the input; a nil artifact yields an empty Report.
+func (e *Engine) ScanCorpus(n, workers int, fetch func(int) *apk.APK) ([]Report, ScanStats) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	start := time.Now()
+	reports := make([]Report, n)
+	partials := make([]ScanStats, workers)
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(part *ScanStats) {
+			defer wg.Done()
+			part.PerRule = make(map[string]int)
+			for i := range indices {
+				a := fetch(i)
+				if a == nil {
+					continue
+				}
+				rep := e.ScanAPK(a)
+				reports[i] = rep
+				part.APKs++
+				part.Findings += len(rep.Findings)
+				part.Stats.add(rep.Stats)
+				for _, f := range rep.Findings {
+					part.PerRule[f.RuleID]++
+				}
+			}
+		}(&partials[w])
+	}
+	for i := 0; i < n; i++ {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	agg := ScanStats{Workers: workers, PerRule: make(map[string]int)}
+	for _, p := range partials {
+		agg.APKs += p.APKs
+		agg.Findings += p.Findings
+		agg.Stats.add(p.Stats)
+		for id, c := range p.PerRule {
+			agg.PerRule[id] += c
+		}
+	}
+	agg.Elapsed = time.Since(start)
+	return reports, agg
+}
+
+// sortFindings orders findings by (file, line, rule, message) so scan
+// output is deterministic regardless of rule or map iteration order.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].RuleID != fs[j].RuleID {
+			return fs[i].RuleID < fs[j].RuleID
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}

@@ -482,10 +482,3 @@ func generateStoreApps(rng *rand.Rand, scale float64) []AppMeta {
 	rng.Shuffle(len(apps), func(i, j int) { apps[i], apps[j] = apps[j], apps[i] })
 	return apps
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -52,7 +52,11 @@ func mainSmali(meta AppMeta) string {
 }
 
 // installerSmali emits the installation routine with storage-dependent
-// markers.
+// markers. The emitted code is deliberately not straight-line: modes are
+// reassigned within the method, flow through branch joins and backward
+// jumps, and a second method reuses the same register names — so only an
+// analysis with real control flow and per-method def-use chains (not a
+// flattened last-write-wins register map) classifies it correctly.
 func installerSmali(meta AppMeta) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, ".class public L%s/Installer;\n", slashed(meta.Package))
@@ -65,12 +69,38 @@ func installerSmali(meta AppMeta) string {
 		// Stages on shared storage; never makes anything world-readable.
 		fmt.Fprintf(&b, "    const-string v2, \"/sdcard/%s/stage.apk\"\n", shortName(meta.Package))
 		b.WriteString("    invoke-static {v2}, Ljava/io/File;-><init>(Ljava/lang/String;)V\n")
-	case StorageInternalWorldReadable:
-		// Internal staging: the APK is opened world-readable. The mode
-		// flows through a register, so naive string matching on the call
-		// line alone is not enough — the def-use chain resolves it.
-		b.WriteString("    const-string v2, \"stage.apk\"\n")
+		// Register-overwrite regression: in execution order the mode
+		// register is first set to MODE_WORLD_READABLE and then
+		// overwritten with MODE_PRIVATE before the staging call, so the
+		// call must NOT be flagged world-readable. The backward goto makes
+		// the benign overwrite appear *before* the world-readable const in
+		// textual order — a flattened last-write-wins scan of the lines
+		// resolves v3 to MODE_WORLD_READABLE and misclassifies the app;
+		// only reaching definitions over the CFG get it right.
+		b.WriteString("    goto :init_mode\n")
+		b.WriteString(":fix_mode\n")
+		b.WriteString("    const/4 v3, 0x0\n")
+		b.WriteString("    goto :stage\n")
+		b.WriteString(":init_mode\n")
 		b.WriteString("    const/4 v3, MODE_WORLD_READABLE\n")
+		b.WriteString("    goto :fix_mode\n")
+		b.WriteString(":stage\n")
+		b.WriteString("    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;\n")
+	case StorageInternalWorldReadable:
+		// Internal staging: the APK is opened world-readable, but only on
+		// one arm of a branch — the mode register defaults to
+		// MODE_PRIVATE and is reassigned to MODE_WORLD_READABLE on the
+		// world-readable path. Both definitions reach the call through
+		// the join, so a may-analysis over the CFG flags it; matching on
+		// the call line alone (or a single flattened register value)
+		// cannot.
+		b.WriteString("    const-string v2, \"stage.apk\"\n")
+		b.WriteString("    const/4 v3, 0x0\n")
+		b.WriteString("    if-eqz v5, :world_readable\n")
+		b.WriteString("    goto :stage\n")
+		b.WriteString(":world_readable\n")
+		b.WriteString("    const/4 v3, MODE_WORLD_READABLE\n")
+		b.WriteString(":stage\n")
 		b.WriteString("    invoke-virtual {p0, v2, v3}, Landroid/content/Context;->openFileOutput(Ljava/lang/String;I)Ljava/io/FileOutputStream;\n")
 	case StorageUnclear:
 		// Reflection-built API names and dynamically assembled paths:
@@ -81,6 +111,12 @@ func installerSmali(meta AppMeta) string {
 		b.WriteString("    invoke-static {v2, v3, v4}, Lcom/obf/Reflect;->call([Ljava/lang/String;)Ljava/lang/Object;\n")
 		b.WriteString("    invoke-virtual {p0}, Lcom/obf/Path;->assemble()Ljava/lang/String;\n")
 	}
+	b.WriteString("    return-void\n")
+	b.WriteString(".end method\n")
+	// A second method reusing the mode register without defining it: defs
+	// must not leak across method boundaries into this call.
+	b.WriteString(".method private touchStageFile()V\n")
+	b.WriteString("    invoke-virtual {v9, v3}, Ljava/io/File;->setReadable(Z)Z\n")
 	b.WriteString("    return-void\n")
 	b.WriteString(".end method\n")
 	return b.String()

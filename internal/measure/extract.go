@@ -1,8 +1,9 @@
 package measure
 
 import (
-	"strings"
+	"runtime"
 
+	"github.com/ghost-installer/gia/internal/analysis"
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/corpus"
 )
@@ -17,27 +18,23 @@ type ExtractedMeta struct {
 	SetsWorldReadable bool
 	MarketLinks       int
 	UsesWriteExternal bool
+	// ReflectionObfuscated marks the analysis-blocker pattern: the app
+	// reaches file APIs through reflection, so its storage behaviour is
+	// opaque to static analysis (the paper's "unknown" bucket).
+	ReflectionObfuscated bool
 }
 
-// Code-level markers.
-const (
-	installMIME  = "application/vnd.android.package-archive"
-	marketScheme = "market://details?id="
-	playURL      = "play.google.com/store/apps/details?id="
-)
-
-// worldReadableModes are the values that make a staged APK readable by the
-// PMS when passed to a file-creation API.
-var worldReadableModes = map[string]bool{
-	"MODE_WORLD_READABLE": true,
-	"0x1":                 true,
-	"644":                 true,
-}
+// engine is the shared analysis engine with the default GIA rule set. It
+// is immutable and safe for concurrent use by the parallel scanner.
+var engine = analysis.NewEngine()
 
 // ExtractMeta scans an APK's embedded code for the classifier's features.
-// It mirrors the paper's tool: find the install-API marker first, then the
-// world-readable file APIs (resolving call arguments through a def-use
-// chain over register constants) and /sdcard string constants.
+// It mirrors the paper's tool — find the install-API marker first, then
+// the world-readable file APIs and /sdcard string constants — but runs on
+// the internal/analysis engine: parsed IR, per-method control-flow graphs
+// and reaching definitions instead of a flattened line scan, so register
+// reassignment, branch joins, dead stores and method boundaries are
+// resolved precisely.
 func ExtractMeta(a *apk.APK) ExtractedMeta {
 	out := ExtractedMeta{Package: a.Manifest.Package}
 	for _, p := range a.Manifest.UsesPerms {
@@ -45,90 +42,26 @@ func ExtractMeta(a *apk.APK) ExtractedMeta {
 			out.UsesWriteExternal = true
 		}
 	}
-	for name, content := range a.Files {
-		if !strings.HasPrefix(name, "smali/") {
-			continue
-		}
-		scanSmali(string(content), &out)
-	}
+	applyFindings(&out, engine.ScanAPK(a).Findings)
 	return out
 }
 
-// scanSmali processes one decompiled class.
-func scanSmali(code string, out *ExtractedMeta) {
-	// defs maps registers to their last constant value (the def-use
-	// chain, flattened: smali within one method assigns before use).
-	defs := make(map[string]string)
-	for _, line := range strings.Split(code, "\n") {
-		line = strings.TrimSpace(line)
-		switch {
-		case strings.HasPrefix(line, "const-string "):
-			reg, val, ok := parseConst(line, "const-string ")
-			if !ok {
-				continue
-			}
-			defs[reg] = val
-			if strings.Contains(val, installMIME) {
-				out.HasInstallAPI = true
-			}
-			if strings.Contains(val, "/sdcard") {
-				out.UsesSDCard = true
-			}
-			if strings.Contains(val, marketScheme) || strings.Contains(val, playURL) {
-				out.MarketLinks++
-			}
-		case strings.HasPrefix(line, "const/4 ") || strings.HasPrefix(line, "const/16 "):
-			prefix := "const/4 "
-			if strings.HasPrefix(line, "const/16 ") {
-				prefix = "const/16 "
-			}
-			if reg, val, ok := parseConst(line, prefix); ok {
-				defs[reg] = val
-			}
-		case strings.Contains(line, "openFileOutput") ||
-			strings.Contains(line, "setReadable") ||
-			strings.Contains(line, "setPosixFilePermissions") ||
-			strings.Contains(line, "chmod"):
-			// Resolve the call's register arguments through the defs.
-			for _, reg := range callRegisters(line) {
-				if worldReadableModes[defs[reg]] {
-					out.SetsWorldReadable = true
-				}
-			}
-			// Literal modes on the call line itself.
-			for mode := range worldReadableModes {
-				if strings.Contains(line, mode) {
-					out.SetsWorldReadable = true
-				}
-			}
+// applyFindings folds the engine's rule hits into the classifier features.
+func applyFindings(out *ExtractedMeta, findings []analysis.Finding) {
+	for _, f := range findings {
+		switch f.RuleID {
+		case analysis.RuleIDInstallAPI:
+			out.HasInstallAPI = true
+		case analysis.RuleIDSDCardStaging:
+			out.UsesSDCard = true
+		case analysis.RuleIDWorldReadable:
+			out.SetsWorldReadable = true
+		case analysis.RuleIDMarketLink:
+			out.MarketLinks++
+		case analysis.RuleIDReflection:
+			out.ReflectionObfuscated = true
 		}
 	}
-}
-
-// parseConst splits `const-string v3, "value"` / `const/4 v3, VALUE`.
-func parseConst(line, prefix string) (reg, value string, ok bool) {
-	rest := strings.TrimPrefix(line, prefix)
-	reg, value, ok = strings.Cut(rest, ", ")
-	if !ok {
-		return "", "", false
-	}
-	value = strings.Trim(value, `"`)
-	return strings.TrimSpace(reg), value, true
-}
-
-// callRegisters extracts the register list of `invoke-* {p0, v2, v3}, ...`.
-func callRegisters(line string) []string {
-	open := strings.IndexByte(line, '{')
-	closing := strings.IndexByte(line, '}')
-	if open < 0 || closing < open {
-		return nil
-	}
-	parts := strings.Split(line[open+1:closing], ",")
-	regs := make([]string, 0, len(parts))
-	for _, p := range parts {
-		regs = append(regs, strings.TrimSpace(p))
-	}
-	return regs
 }
 
 // ClassifyExtracted applies the classifier rules to extracted features.
@@ -145,16 +78,40 @@ func ClassifyExtracted(m ExtractedMeta) Category {
 	}
 }
 
+// ScanArtifacts materializes APK artifacts for a population and runs the
+// parallel corpus scanner over them, returning per-app extracted features
+// plus the aggregate scan statistics (per-rule hit counts, throughput).
+func ScanArtifacts(apps []corpus.AppMeta, workers int) ([]ExtractedMeta, analysis.ScanStats) {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	artifacts := make([]*apk.APK, len(apps))
+	reports, stats := engine.ScanCorpus(len(apps), workers, func(i int) *apk.APK {
+		artifacts[i] = corpus.BuildAPKFor(apps[i])
+		return artifacts[i]
+	})
+	metas := make([]ExtractedMeta, len(apps))
+	for i, rep := range reports {
+		metas[i] = ExtractedMeta{Package: apps[i].Package}
+		for _, p := range artifacts[i].Manifest.UsesPerms {
+			if p == "android.permission.WRITE_EXTERNAL_STORAGE" {
+				metas[i].UsesWriteExternal = true
+			}
+		}
+		applyFindings(&metas[i], rep.Findings)
+	}
+	return metas, stats
+}
+
 // ClassifyArtifacts runs the full pipeline — build the APK artifact from
-// ground truth, extract features from its code, classify — over a
-// population, exercising the builder+scanner end to end.
+// ground truth, extract features from its code with the analysis engine,
+// classify — over a population, fanned out over the parallel scanner.
 func ClassifyArtifacts(apps []corpus.AppMeta) Classification {
+	metas, _ := ScanArtifacts(apps, 0)
 	var c Classification
 	c.Total = len(apps)
-	for _, meta := range apps {
-		artifact := corpus.BuildAPKFor(meta)
-		extracted := ExtractMeta(artifact)
-		switch ClassifyExtracted(extracted) {
+	for _, m := range metas {
+		switch ClassifyExtracted(m) {
 		case NotInstaller:
 			continue
 		case PotentiallyVulnerable:
@@ -167,4 +124,42 @@ func ClassifyArtifacts(apps []corpus.AppMeta) Classification {
 		c.Installers++
 	}
 	return c
+}
+
+// FlowAnalysisStudyArtifacts replays FlowAnalysisStudy over real artifacts:
+// the sample's analysis blockers come from ground truth (the paper could
+// only tally Flowdroid's failures post mortem), but the lightweight
+// classifier's verdicts are re-derived from the artifacts through the
+// analysis engine instead of read off the metadata.
+func FlowAnalysisStudyArtifacts(apps []corpus.AppMeta, sample int) FlowResult {
+	var sampled []corpus.AppMeta
+	var res FlowResult
+	for _, app := range apps {
+		if !app.HasInstallAPI {
+			continue
+		}
+		if len(sampled) >= sample {
+			break
+		}
+		sampled = append(sampled, app)
+		res.Sampled++
+		switch app.Blocker {
+		case corpus.BlockerIncompleteCFG:
+			res.IncompleteCFG++
+		case corpus.BlockerHandlerIndirection:
+			res.HandlerIndirection++
+		case corpus.BlockerAnalyzerBug:
+			res.AnalyzerBugs++
+		default:
+			res.FlowAnalyzable++
+		}
+	}
+	metas, _ := ScanArtifacts(sampled, 0)
+	for _, m := range metas {
+		switch ClassifyExtracted(m) {
+		case PotentiallyVulnerable, PotentiallySecure:
+			res.ClassifierDecided++
+		}
+	}
+	return res
 }

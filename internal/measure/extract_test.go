@@ -1,9 +1,11 @@
 package measure
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 
+	"github.com/ghost-installer/gia/internal/analysis"
 	"github.com/ghost-installer/gia/internal/corpus"
 )
 
@@ -89,6 +91,93 @@ func TestPropertyArtifactRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestRegisterOverwriteRegression pins the case the old flat line-scanner
+// misclassified: the SD-card installer's smali assigns MODE_WORLD_READABLE
+// to the mode register and then (in execution order, behind a backward
+// goto) overwrites it with MODE_PRIVATE before the staging call. A
+// last-write-wins textual scan resolves the register to
+// MODE_WORLD_READABLE and flags the app; the CFG-based engine must not.
+func TestRegisterOverwriteRegression(t *testing.T) {
+	meta := metaFor(corpus.StorageSDCard, true, 0)
+	artifact := corpus.BuildAPKFor(meta)
+	code := string(artifact.Files["smali/Installer.smali"])
+	if !strings.Contains(code, "MODE_WORLD_READABLE") {
+		t.Fatal("emitter no longer plants the world-readable decoy; the regression case is gone")
+	}
+	if !strings.Contains(code, "goto :") {
+		t.Fatal("emitter no longer emits branches")
+	}
+	// The flat scan's verdict: last textual write to v3 before the call.
+	lastWrite := ""
+	for _, line := range strings.Split(code, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "const/4 v3, ") {
+			lastWrite = strings.TrimPrefix(line, "const/4 v3, ")
+		}
+		if strings.Contains(line, "openFileOutput") {
+			break
+		}
+	}
+	if lastWrite != "MODE_WORLD_READABLE" {
+		t.Fatalf("fixture lost its teeth: textual last write = %q, want MODE_WORLD_READABLE", lastWrite)
+	}
+	got := ExtractMeta(artifact)
+	if got.SetsWorldReadable {
+		t.Error("dead world-readable store flagged: the def-use chain regressed to last-write-wins")
+	}
+	if ClassifyExtracted(got) != PotentiallyVulnerable {
+		t.Errorf("classified as %v, want PotentiallyVulnerable", ClassifyExtracted(got))
+	}
+}
+
+func TestExtractMetaReflectionBlocker(t *testing.T) {
+	if got := ExtractMeta(corpus.BuildAPKFor(metaFor(corpus.StorageUnclear, true, 0))); !got.ReflectionObfuscated {
+		t.Error("reflection obfuscation not detected on the unclear installer")
+	}
+	if got := ExtractMeta(corpus.BuildAPKFor(metaFor(corpus.StorageSDCard, true, 0))); got.ReflectionObfuscated {
+		t.Error("phantom reflection blocker on a plain SD-card installer")
+	}
+}
+
+// TestScanArtifactsStats checks the parallel scanner's aggregate: per-rule
+// hit counts consistent with ground truth and non-trivial coverage stats.
+func TestScanArtifactsStats(t *testing.T) {
+	apps := []corpus.AppMeta{
+		metaFor(corpus.StorageSDCard, true, 0),
+		metaFor(corpus.StorageInternalWorldReadable, true, 0),
+		metaFor(corpus.StorageUnclear, true, 0),
+		metaFor(corpus.StorageNone, false, 4),
+	}
+	metas, stats := ScanArtifacts(apps, 2)
+	if len(metas) != len(apps) {
+		t.Fatalf("metas = %d", len(metas))
+	}
+	if stats.APKs != len(apps) || stats.Workers != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.PerRule[analysis.RuleIDInstallAPI] != 3 ||
+		stats.PerRule[analysis.RuleIDSDCardStaging] != 1 ||
+		stats.PerRule[analysis.RuleIDWorldReadable] != 1 ||
+		stats.PerRule[analysis.RuleIDMarketLink] != 4 ||
+		stats.PerRule[analysis.RuleIDReflection] == 0 {
+		t.Errorf("per-rule = %v", stats.PerRule)
+	}
+	if stats.Stats.Instructions == 0 || stats.Stats.Classes == 0 || stats.Stats.ParseErrors != 0 {
+		t.Errorf("coverage stats = %+v", stats.Stats)
+	}
+}
+
+// TestFlowAnalysisStudyArtifactsAgrees replays the flow study through the
+// artifact pipeline and checks it agrees with the metadata-driven version.
+func TestFlowAnalysisStudyArtifactsAgrees(t *testing.T) {
+	small := corpus.Generate(corpus.Config{Seed: 11, Scale: 0.02})
+	want := FlowAnalysisStudy(small.PlayApps, 43)
+	got := FlowAnalysisStudyArtifacts(small.PlayApps, 43)
+	if got != want {
+		t.Errorf("artifacts study = %+v, metadata study = %+v", got, want)
 	}
 }
 

@@ -1,0 +1,25 @@
+#!/bin/sh
+# verify.sh — repo-wide quality gate: formatting, vet, build, race-enabled
+# tests. Run before every commit; exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test -race ./... =="
+go test -race ./...
+
+echo "verify.sh: all checks passed"
