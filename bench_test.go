@@ -12,6 +12,7 @@ package gia
 // asserted inside the loop.
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"github.com/ghost-installer/gia/internal/analysis"
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/chaos"
 	"github.com/ghost-installer/gia/internal/corpus"
 	"github.com/ghost-installer/gia/internal/device"
 	"github.com/ghost-installer/gia/internal/dm"
@@ -244,6 +246,51 @@ func BenchmarkHijack_DTIgnite_WaitAndSee(b *testing.B) {
 func BenchmarkHijack_Xiaomi_FileObserver(b *testing.B) {
 	benchHijack(b, installer.Xiaomi(), attack.StrategyFileObserver)
 }
+
+// --- Chaos harness: Explorer throughput ---------------------------------------
+
+// benchExplorerSweep measures schedule-exploration throughput: each
+// benchmark iteration is one complete AIT hijack scenario checked under the
+// chaos harness, swept across b.N seeds by a pool of the given size. The
+// schedules/s metric is the headline number for sizing seed × jitter grids.
+func benchExplorerSweep(b *testing.B, workerCount int) {
+	prof := installer.Amazon()
+	fn := func(r *chaos.Run) error {
+		s, err := experiment.NewScenario(prof, r.Seed())
+		if err != nil {
+			return err
+		}
+		s.Instrument(r)
+		atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), s.Target)
+		if err := atk.Launch(); err != nil {
+			return err
+		}
+		res := s.RunAIT()
+		atk.Stop()
+		if !res.Hijacked {
+			return fmt.Errorf("hijack missed: %v", res.Err)
+		}
+		return nil
+	}
+	seeds := make([]int64, b.N)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	ex := &chaos.Explorer{Workers: workerCount}
+	b.ResetTimer()
+	res := ex.Sweep(seeds, nil, fn)
+	b.StopTimer()
+	if res.Violations != 0 {
+		b.Fatalf("%d violations in a plain sweep (first: %v)", res.Violations, res.First.Err)
+	}
+	if res.Explored != b.N {
+		b.Fatalf("explored %d schedules, want %d", res.Explored, b.N)
+	}
+	b.ReportMetric(float64(res.Explored)/b.Elapsed().Seconds(), "schedules/s")
+}
+
+func BenchmarkExplorerSweep_1Worker(b *testing.B) { benchExplorerSweep(b, 1) }
+func BenchmarkExplorerSweep_NumCPU(b *testing.B)  { benchExplorerSweep(b, runtime.NumCPU()) }
 
 // --- Section III-C: DM symlink attack ----------------------------------------
 

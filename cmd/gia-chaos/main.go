@@ -1,0 +1,273 @@
+// Command gia-chaos drives the schedule-exploration and fault-injection
+// harness over the TOCTOU installation-hijack race.
+//
+// Usage:
+//
+//	gia-chaos -mode orders  [-store amazon] [-strategy wait-and-see] [-seed N]
+//	          [-grid 10ms] [-payload-kb 900] [-max 2000] [-workers N]
+//	    enumerate every same-instant event ordering (deadlines quantized
+//	    onto -grid) and check the hijack invariant on each
+//
+//	gia-chaos -mode sweep [-schedules 1000] [-jitter 5ms] [-patched] ...
+//	    sweep a seed × jitter grid of schedules
+//
+//	gia-chaos -mode fault [-store dtignite] [-fault truncate-download] ...
+//	    inject a named fault and minimize the resulting violation to a
+//	    replay token
+//
+//	gia-chaos -mode replay -token gia1:SEED:JITTER:CHOICES ...
+//	    re-execute one schedule from its token (pass the same world flags
+//	    that produced it)
+//
+//	gia-chaos -mode table [-seed N] [-workers N]
+//	    run the full exploration study and print the summary table
+//
+// The invariant checked is "the hijack lands" — or, with -patched, "the
+// hijack never lands through the FUSE patch".
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/ghost-installer/gia"
+)
+
+type options struct {
+	store     string
+	strategy  string
+	seed      int64
+	workers   int
+	patched   bool
+	payloadKB int
+	grid      time.Duration
+	max       int
+	schedules int
+	jitter    time.Duration
+	faultName string
+	token     string
+}
+
+func main() {
+	var o options
+	mode := flag.String("mode", "table", "orders, sweep, fault, replay or table")
+	flag.StringVar(&o.store, "store", "amazon", "store profile under attack")
+	flag.StringVar(&o.strategy, "strategy", "file-observer", "attack strategy: file-observer or wait-and-see")
+	flag.Int64Var(&o.seed, "seed", 1, "base scenario seed")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = NumCPU)")
+	flag.BoolVar(&o.patched, "patched", false, "arm the FUSE patch and invert the invariant")
+	flag.IntVar(&o.payloadKB, "payload-kb", 0, "target APK payload in KiB (0 = minimal)")
+	flag.DurationVar(&o.grid, "grid", 10*time.Millisecond, "orders: quantization grid creating same-instant ties")
+	flag.IntVar(&o.max, "max", 2000, "orders: cap on explored schedules")
+	flag.IntVar(&o.schedules, "schedules", 1000, "sweep: number of grid cells (seeds x 4 jitters)")
+	flag.DurationVar(&o.jitter, "jitter", 5*time.Millisecond, "sweep: largest event-jitter bound")
+	flag.StringVar(&o.faultName, "fault", "truncate-download", "fault: truncate-download, fail-rename, drop-intent")
+	flag.StringVar(&o.token, "token", "", "replay: schedule token to re-execute")
+	flag.Parse()
+	if err := run(*mode, o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func profileByName(name string) (gia.InstallerProfile, error) {
+	switch strings.ToLower(name) {
+	case "amazon":
+		return gia.AmazonProfile(), nil
+	case "xiaomi":
+		return gia.XiaomiProfile(), nil
+	case "baidu":
+		return gia.BaiduProfile(), nil
+	case "qihoo360":
+		return gia.Qihoo360Profile(), nil
+	case "dtignite":
+		return gia.DTIgniteProfile(), nil
+	case "slideme":
+		return gia.SlideMeProfile(), nil
+	case "tencent":
+		return gia.TencentProfile(), nil
+	default:
+		return gia.InstallerProfile{}, fmt.Errorf("unknown store %q", name)
+	}
+}
+
+// invariant builds the RunFunc checked on every explored schedule.
+func invariant(o options) (func(r *gia.ChaosRun) error, error) {
+	prof, err := profileByName(o.store)
+	if err != nil {
+		return nil, err
+	}
+	var strategy gia.AttackStrategy
+	switch strings.ToLower(o.strategy) {
+	case "file-observer":
+		strategy = gia.StrategyFileObserver
+	case "wait-and-see":
+		strategy = gia.StrategyWaitAndSee
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", o.strategy)
+	}
+	var payload []byte
+	if o.payloadKB > 0 {
+		payload = bytes.Repeat([]byte("x"), o.payloadKB<<10)
+	}
+	patched := o.patched
+	return func(r *gia.ChaosRun) error {
+		var (
+			s   *gia.Scenario
+			err error
+		)
+		if payload == nil {
+			s, err = gia.NewScenario(prof, r.Seed())
+		} else {
+			s, err = gia.NewScenarioPayload(prof, r.Seed(), payload)
+		}
+		if err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if patched {
+			gia.EnableFUSEPatch(s.Dev, true)
+		}
+		gia.InstrumentScenario(s, r)
+		atk := gia.NewTOCTOU(s.Mal, gia.AttackConfigForStore(prof, strategy), s.Target)
+		if err := atk.Launch(); err != nil {
+			return fmt.Errorf("launch: %w", err)
+		}
+		res := s.RunAIT()
+		atk.Stop()
+		if patched {
+			if res.Hijacked {
+				return fmt.Errorf("hijack landed through the FUSE patch")
+			}
+			return nil
+		}
+		if !res.Hijacked {
+			return fmt.Errorf("hijack missed (attempts=%d, err=%v)", res.Attempts, res.Err)
+		}
+		return nil
+	}, nil
+}
+
+func faultPlan(name string, seed int64) (*gia.FaultPlan, error) {
+	switch strings.ToLower(name) {
+	case "truncate-download":
+		// Every transfer past its first chunk silently truncates: hash
+		// verification starves and the AIT fails. Needs a DM-backed store
+		// (-store dtignite) and a multi-chunk payload (-payload-kb 200).
+		return gia.NewFaultPlan(seed, gia.FaultRule{
+			Site: gia.FaultSiteDMChunk, Kind: gia.FaultTruncate, Skip: 1,
+		}), nil
+	case "fail-rename":
+		return gia.NewFaultPlan(seed, gia.FaultRule{
+			Site: gia.FaultSiteVFSRename, Kind: gia.FaultError, Count: 1,
+		}), nil
+	case "drop-intent":
+		return gia.NewFaultPlan(seed, gia.FaultRule{
+			Site: gia.FaultSiteIntentDeliver, Kind: gia.FaultDrop, Count: 1,
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown fault %q (want truncate-download, fail-rename or drop-intent)", name)
+	}
+}
+
+func report(kind string, res *gia.ChaosResult, ex *gia.ChaosExplorer, fn func(r *gia.ChaosRun) error) {
+	capped := ""
+	if res.Truncated {
+		capped = " (capped)"
+	}
+	fmt.Printf("%s: %d schedules%s, %d violations, widest tie %d\n",
+		kind, res.Explored, capped, res.Violations, res.MaxBranch)
+	if res.First == nil {
+		fmt.Println("invariant held on every explored schedule")
+		return
+	}
+	min := ex.Minimize(res.First.Schedule, fn)
+	fmt.Printf("first violation: %v\n", res.First.Err)
+	fmt.Printf("minimized replay token: %s\n", min.Token())
+	if _, err := ex.Replay(min.Token(), fn); err != nil {
+		fmt.Printf("replay reproduces: %v\n", err)
+	} else {
+		fmt.Println("replay does NOT reproduce (schedule-external nondeterminism?)")
+	}
+}
+
+func run(mode string, o options) error {
+	switch strings.ToLower(mode) {
+	case "table":
+		tbl, err := gia.ChaosExplorationTable(o.seed, o.workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl.Render())
+		return nil
+	case "orders":
+		fn, err := invariant(o)
+		if err != nil {
+			return err
+		}
+		ex := &gia.ChaosExplorer{Workers: o.workers, MaxSchedules: o.max}
+		if o.grid > 0 {
+			ex.Plan = gia.NewFaultPlan(0, gia.FaultRule{
+				Site: gia.FaultSiteSimEvent, Kind: gia.FaultDelay, SnapTo: o.grid,
+			})
+		}
+		report("orderings", ex.ExploreOrders(gia.ChaosSchedule{Seed: o.seed}, fn), ex, fn)
+		return nil
+	case "sweep":
+		fn, err := invariant(o)
+		if err != nil {
+			return err
+		}
+		jitters := []time.Duration{0, o.jitter / 4, o.jitter / 2, o.jitter}
+		nseeds := o.schedules / len(jitters)
+		if nseeds < 1 {
+			nseeds = 1
+		}
+		seeds := make([]int64, nseeds)
+		for i := range seeds {
+			seeds[i] = o.seed + int64(i)
+		}
+		ex := &gia.ChaosExplorer{Workers: o.workers}
+		report("sweep", ex.Sweep(seeds, jitters, fn), ex, fn)
+		return nil
+	case "fault":
+		fn, err := invariant(o)
+		if err != nil {
+			return err
+		}
+		plan, err := faultPlan(o.faultName, o.seed)
+		if err != nil {
+			return err
+		}
+		ex := &gia.ChaosExplorer{Workers: o.workers, Plan: plan}
+		report("fault "+o.faultName, ex.Sweep([]int64{o.seed}, nil, fn), ex, fn)
+		return nil
+	case "replay":
+		if o.token == "" {
+			return fmt.Errorf("replay needs -token")
+		}
+		fn, err := invariant(o)
+		if err != nil {
+			return err
+		}
+		var plan *gia.FaultPlan
+		if o.faultName != "" && o.faultName != "none" {
+			if plan, err = faultPlan(o.faultName, o.seed); err != nil {
+				return err
+			}
+		}
+		ex := &gia.ChaosExplorer{Workers: 1, Plan: plan}
+		sched, err := ex.Replay(o.token, fn)
+		if err != nil {
+			fmt.Printf("schedule %s violates: %v\n", sched.Token(), err)
+			os.Exit(1)
+		}
+		fmt.Printf("schedule %s: invariant holds\n", sched.Token())
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q (want orders, sweep, fault, replay or table)", mode)
+	}
+}

@@ -36,11 +36,13 @@ import (
 	"github.com/ghost-installer/gia/internal/analysis"
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/chaos"
 	"github.com/ghost-installer/gia/internal/corpus"
 	"github.com/ghost-installer/gia/internal/defense"
 	"github.com/ghost-installer/gia/internal/device"
 	"github.com/ghost-installer/gia/internal/dm"
 	"github.com/ghost-installer/gia/internal/experiment"
+	"github.com/ghost-installer/gia/internal/fault"
 	"github.com/ghost-installer/gia/internal/installer"
 	"github.com/ghost-installer/gia/internal/intents"
 	"github.com/ghost-installer/gia/internal/measure"
@@ -329,6 +331,12 @@ func NewScenario(prof InstallerProfile, seed int64) (*Scenario, error) {
 	return experiment.NewScenario(prof, seed)
 }
 
+// NewScenarioPayload is NewScenario with a caller-chosen target payload; a
+// payload above one 64 KiB chunk makes the staged download multi-chunk.
+func NewScenarioPayload(prof InstallerProfile, seed int64, payload []byte) (*Scenario, error) {
+	return experiment.NewScenarioPayload(prof, seed, payload)
+}
+
 // HijackStudyTable runs both hijack strategies against every store.
 func HijackStudyTable(seed int64) (ExperimentTable, error) { return experiment.HijackTable(seed) }
 
@@ -398,4 +406,72 @@ func MeasurementTables(c *Corpus) []ExperimentTable {
 		experiment.TableII(c), experiment.TableIII(c), experiment.TableIV(c),
 		experiment.TableVI(c), experiment.KeyStudy(c), experiment.HareStudy(c),
 	}
+}
+
+// Chaos harness: schedule exploration and fault injection.
+type (
+	// ChaosExplorer enumerates same-instant event orderings, sweeps
+	// seed × jitter grids and minimizes invariant violations to replay
+	// tokens.
+	ChaosExplorer = chaos.Explorer
+	// ChaosSchedule names one deterministic execution (seed, jitter,
+	// arbiter choices); its Token method is the replay string.
+	ChaosSchedule = chaos.Schedule
+	// ChaosRun is the harness's handle passed to each explored execution.
+	ChaosRun = chaos.Run
+	// ChaosResult summarises an exploration or sweep.
+	ChaosResult = chaos.Result
+	// ChaosViolation is one schedule on which an invariant failed.
+	ChaosViolation = chaos.Violation
+	// FaultPlan injects deterministic faults (I/O errors, delays, drops,
+	// duplicates, truncations) at the substrates' named sites.
+	FaultPlan = chaos.FaultPlan
+	// FaultRule is one declarative fault of a FaultPlan.
+	FaultRule = chaos.Rule
+	// FaultSite names an injection point (see the FaultSite* constants).
+	FaultSite = fault.Site
+	// FaultKind is a fault category (see the Fault* kind constants).
+	FaultKind = fault.Kind
+)
+
+// Fault injection sites.
+const (
+	FaultSiteSimEvent        = fault.SiteSimEvent
+	FaultSiteVFSOpen         = fault.SiteVFSOpen
+	FaultSiteVFSRead         = fault.SiteVFSRead
+	FaultSiteVFSWrite        = fault.SiteVFSWrite
+	FaultSiteVFSRename       = fault.SiteVFSRename
+	FaultSiteDMFetch         = fault.SiteDMFetch
+	FaultSiteDMChunk         = fault.SiteDMChunk
+	FaultSiteFuseCheck       = fault.SiteFuseCheck
+	FaultSiteIntentDeliver   = fault.SiteIntentDeliver
+	FaultSiteIntentBroadcast = fault.SiteIntentBroadcast
+)
+
+// Fault kinds.
+const (
+	FaultError     = fault.KindError
+	FaultDelay     = fault.KindDelay
+	FaultDrop      = fault.KindDrop
+	FaultDuplicate = fault.KindDuplicate
+	FaultTruncate  = fault.KindTruncate
+)
+
+// NewFaultPlan builds a deterministic fault plan from rules.
+func NewFaultPlan(seed int64, rules ...FaultRule) *FaultPlan {
+	return chaos.NewFaultPlan(seed, rules...)
+}
+
+// ParseChaosToken decodes a replay token back into a schedule.
+func ParseChaosToken(tok string) (ChaosSchedule, error) { return chaos.ParseToken(tok) }
+
+// InstrumentScenario attaches a chaos run to a scenario's scheduler and
+// every fault-capable substrate; call it before driving the clock.
+func InstrumentScenario(s *Scenario, r *ChaosRun) { s.Instrument(r) }
+
+// ChaosExplorationTable runs the schedule-exploration study over the TOCTOU
+// race: exhaustive orderings, seed × jitter sweeps with and without the
+// FUSE patch, and a truncated-download fault minimized to a replay token.
+func ChaosExplorationTable(seed int64, workers int) (ExperimentTable, error) {
+	return experiment.ChaosTable(seed, workers)
 }

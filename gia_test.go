@@ -115,7 +115,7 @@ func TestPublicAPIAllTablesSmoke(t *testing.T) {
 		"Table VI", "Table VII", "Table VIII", "Table IX", "Table X",
 		"Figure 1", "Hijack Study", "DM Study", "Redirect Study",
 		"Key Study", "Hare Study", "Suggestion Study", "Flow Study", "DAPP Study",
-		"Fleet Study"}
+		"Fleet Study", "Chaos Study"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("tables = %d, want %d", len(tables), len(wantIDs))
 	}

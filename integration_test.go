@@ -7,10 +7,12 @@ package gia_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/ghost-installer/gia"
+	"github.com/ghost-installer/gia/internal/vfs"
 )
 
 // TestConcurrentAITsAreIsolated interleaves three simultaneous
@@ -188,5 +190,228 @@ func TestDayInTheLife(t *testing.T) {
 	}
 	if !dev.DM.Healthy() {
 		t.Error("DM database corrupted by normal operation")
+	}
+}
+
+// The full attack × defense matrix, promoted from examples/defense-matrix
+// into a pinned regression: every GIA in the repository run under every
+// defense configuration, with the exact outcome of each cell asserted. A
+// defense gaining or losing coverage — or an attack regressing — flips a
+// cell and fails the test. Must stay green under `go test -race -count=2`.
+
+// matrixDefenses are the defense configurations, applied to a fresh device
+// per cell.
+var matrixDefenses = []string{"none", "dapp", "fuse-patch", "intent-firewall"}
+
+// armDefense applies one named defense to dev and returns the DAPP handle
+// when one was deployed (DAPP detects rather than blocks, so its verdict is
+// read separately).
+func armDefense(t *testing.T, dev *gia.Device, defense string, watchDirs []string) *gia.DAPP {
+	t.Helper()
+	switch defense {
+	case "none":
+		return nil
+	case "dapp":
+		d, err := gia.DeployDAPP(dev, watchDirs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	case "fuse-patch":
+		gia.EnableFUSEPatch(dev, true)
+		return nil
+	case "intent-firewall":
+		gia.EnableIntentDetection(dev, true)
+		gia.EnableIntentOrigin(dev, true)
+		return nil
+	default:
+		t.Fatalf("unknown defense %q", defense)
+		return nil
+	}
+}
+
+// toctouCell runs one installation-hijack attempt under one defense and
+// classifies the outcome: hijacked, detected (landed but DAPP alerted) or
+// blocked (install clean, no replacement).
+func toctouCell(t *testing.T, strategy gia.AttackStrategy, defense string, seed int64) string {
+	t.Helper()
+	prof := gia.AmazonProfile()
+	scenario, err := gia.NewScenario(prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dapp := armDefense(t, scenario.Dev, defense, []string{prof.StagingDir})
+	atk := gia.NewTOCTOU(scenario.Mal, gia.AttackConfigForStore(prof, strategy), scenario.Target)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	res := scenario.RunAIT()
+	atk.Stop()
+	switch {
+	case res.Hijacked && dapp != nil && dapp.Thwarted(scenario.Target.Manifest.Package):
+		return "detected"
+	case res.Hijacked:
+		return "hijacked"
+	case res.Clean() && len(atk.Replacements()) == 0:
+		return "blocked"
+	default:
+		return fmt.Sprintf("anomalous (hijacked=%v err=%v)", res.Hijacked, res.Err)
+	}
+}
+
+// dmSymlinkCell runs the Download Manager symlink TOCTOU (stealing a
+// private file of another app) under one defense.
+func dmSymlinkCell(t *testing.T, defense string, seed int64) string {
+	t.Helper()
+	dev, err := gia.BootDevice(gia.DeviceProfile{Name: "nexus5", Vendor: "lge", Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := dev.PMS.InstallFromParsed(gia.BuildAPK(gia.Manifest{
+		Package: "com.android.vending", VersionCode: 1, Label: "Play",
+	}, nil, gia.NewKey("play")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Run()
+	secret := "/data/data/com.android.vending/files/url-tokens"
+	if err := dev.FS.WriteFile(secret, []byte("tokens"), victim.UID, vfs.ModePrivate); err != nil {
+		t.Fatal(err)
+	}
+	armDefense(t, dev, defense, []string{"/sdcard"})
+	mal, err := gia.DeployMalware(dev, "com.fun.game")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := gia.NewDMSymlink(mal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen := false
+	atk.Steal(secret, 50, func(b []byte, err error) {
+		stolen = err == nil && string(b) == "tokens"
+	})
+	dev.Sched.RunUntil(dev.Sched.Now() + 2*time.Minute)
+	if stolen {
+		return "stolen"
+	}
+	return "defended"
+}
+
+// redirectCell runs the Facebook→Play redirect-Intent attack under one
+// defense: deceived (lookalike page shown, no alarm) or alerted (the
+// firewall flagged the redirect).
+func redirectCell(t *testing.T, defense string, seed int64) string {
+	t.Helper()
+	dev, err := gia.BootDevice(gia.DeviceProfile{Name: "nexus5", Vendor: "lge", Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gia.DeployInstaller(dev, gia.GooglePlayProfile(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.PMS.InstallFromParsed(gia.BuildAPK(gia.Manifest{
+		Package: "com.facebook.katana", VersionCode: 1, Label: "Facebook",
+	}, nil, gia.NewKey("facebook"))); err != nil {
+		t.Fatal(err)
+	}
+	dev.AMS.RegisterActivity("com.facebook.katana", "Feed", true, "",
+		func(gia.Intent) string { return "facebook:feed" })
+	dev.Run()
+	armDefense(t, dev, defense, []string{"/sdcard"})
+	mal, err := gia.DeployMalware(dev, "com.fun.game")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := gia.NewRedirect(mal, gia.RedirectConfig{
+		VictimPkg:      "com.facebook.katana",
+		StorePkg:       "com.android.vending",
+		StoreActivity:  "AppDetails",
+		LookalikeAppID: "com.faceb00k.orca",
+	})
+	if err := red.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	_ = dev.AMS.StartActivity("android", gia.Intent{TargetPkg: "com.facebook.katana", Component: "Feed"})
+	dev.Sched.RunUntil(dev.Sched.Now() + 200*time.Millisecond)
+	_ = dev.AMS.StartActivity("com.facebook.katana", gia.Intent{
+		TargetPkg: "com.android.vending", Component: "AppDetails",
+		Extras: map[string]string{"appId": "com.facebook.orca"},
+	})
+	dev.Sched.RunUntil(dev.Sched.Now() + time.Second)
+	red.Stop()
+
+	screen := dev.AMS.Screen()
+	alerts := dev.AMS.Firewall().Alerts()
+	switch {
+	case len(alerts) > 0:
+		return "alerted"
+	case screen.Pkg == "com.android.vending" && strings.Contains(screen.Content, "com.faceb00k.orca"):
+		return "deceived"
+	default:
+		return fmt.Sprintf("anomalous (screen=%s:%s alerts=%d)", screen.Pkg, screen.Content, len(alerts))
+	}
+}
+
+// TestDefenseMatrix pins the outcome of every GIA against every defense.
+// The matrix documents coverage, not universal success: DAPP and the FUSE
+// patch address installation hijacking only, the IntentFirewall addresses
+// the redirect Intent only, and nothing here stops the DM symlink attack
+// (its fix is the DM recheck/fixed policy, covered by the DM study).
+func TestDefenseMatrix(t *testing.T) {
+	attacks := []struct {
+		name string
+		run  func(t *testing.T, defense string, seed int64) string
+		want map[string]string
+	}{
+		{
+			name: "toctou-file-observer",
+			run: func(t *testing.T, d string, s int64) string {
+				return toctouCell(t, gia.StrategyFileObserver, d, s)
+			},
+			want: map[string]string{
+				"none": "hijacked", "dapp": "detected",
+				"fuse-patch": "blocked", "intent-firewall": "hijacked",
+			},
+		},
+		{
+			name: "toctou-wait-and-see",
+			run: func(t *testing.T, d string, s int64) string {
+				return toctouCell(t, gia.StrategyWaitAndSee, d, s)
+			},
+			want: map[string]string{
+				"none": "hijacked", "dapp": "detected",
+				"fuse-patch": "blocked", "intent-firewall": "hijacked",
+			},
+		},
+		{
+			name: "dm-symlink",
+			run:  dmSymlinkCell,
+			want: map[string]string{
+				"none": "stolen", "dapp": "stolen",
+				"fuse-patch": "stolen", "intent-firewall": "stolen",
+			},
+		},
+		{
+			name: "redirect-intent",
+			run:  redirectCell,
+			want: map[string]string{
+				"none": "deceived", "dapp": "deceived",
+				"fuse-patch": "deceived", "intent-firewall": "alerted",
+			},
+		},
+	}
+	for row, atk := range attacks {
+		atk := atk
+		row := row
+		t.Run(atk.name, func(t *testing.T) {
+			for col, defense := range matrixDefenses {
+				seed := int64(4000 + row*10 + col)
+				got := atk.run(t, defense, seed)
+				if want := atk.want[defense]; got != want {
+					t.Errorf("%s vs %s: got %q, want %q", atk.name, defense, got, want)
+				}
+			}
+		})
 	}
 }

@@ -38,8 +38,8 @@ var attackerBait = []byte("bait-download")
 func NewDMSymlink(mal *Malware) (*DMSymlink, error) {
 	a := &DMSymlink{
 		mal:       mal,
-		linkDir:   fmt.Sprintf("/sdcard/.dl-%08x", mal.Dev.Sched.Rand().Uint32()),
-		benignDir: fmt.Sprintf("/sdcard/.benign-%08x", mal.Dev.Sched.Rand().Uint32()),
+		linkDir:   fmt.Sprintf("/sdcard/.dl-%08x", mal.Dev.Sched.Uint32()),
+		benignDir: fmt.Sprintf("/sdcard/.benign-%08x", mal.Dev.Sched.Uint32()),
 	}
 	if err := mal.Dev.FS.MkdirAll(a.benignDir, mal.UID(), vfs.ModeDir); err != nil {
 		return nil, fmt.Errorf("attack: prepare benign dir: %w", err)

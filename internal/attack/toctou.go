@@ -151,7 +151,7 @@ func NewTOCTOU(mal *Malware, cfg TOCTOUConfig, orig *apk.APK) *TOCTOU {
 		cfg:      cfg,
 		evil:     evil,
 		evilData: evil.Encode(),
-		cacheDir: fmt.Sprintf("/sdcard/.gia-%08x", mal.Dev.Sched.Rand().Uint32()),
+		cacheDir: fmt.Sprintf("/sdcard/.gia-%08x", mal.Dev.Sched.Uint32()),
 		handled:  make(map[string]bool),
 	}
 }

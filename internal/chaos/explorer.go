@@ -1,0 +1,298 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Violation is one schedule on which the invariant did not hold.
+type Violation struct {
+	Schedule Schedule // fully resolved (replayable) schedule
+	Err      error    // what the RunFunc reported
+}
+
+// Result summarises an exploration or sweep.
+type Result struct {
+	// Explored counts schedules actually executed.
+	Explored int
+	// Violations counts schedules on which the invariant failed.
+	Violations int
+	// First is the canonical violation — the one with the smallest
+	// schedule (shortest trimmed choice sequence, then lexicographically,
+	// then by grid order for sweeps) — or nil if the invariant held
+	// everywhere. It is deterministic regardless of worker count.
+	First *Violation
+	// Truncated reports that MaxSchedules stopped the exploration before
+	// the choice tree (or grid) was exhausted.
+	Truncated bool
+	// MaxBranch is the widest same-instant tie observed (diagnostics: the
+	// factorial blow-up knob).
+	MaxBranch int
+}
+
+// Explorer enumerates schedules and checks an invariant over each. The zero
+// value is ready to use.
+type Explorer struct {
+	// Workers bounds the worker pool; <= 0 means runtime.NumCPU. Each
+	// worker runs complete schedules, so RunFuncs must be self-contained
+	// (no shared mutable state between runs).
+	Workers int
+	// MaxSchedules caps how many schedules a call may execute; <= 0 means
+	// no cap. Exhaustive exploration of an N-wide tie costs N! runs.
+	MaxSchedules int
+	// Plan, when non-nil, is the base fault plan cloned into every run.
+	Plan *FaultPlan
+}
+
+func (e *Explorer) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Check executes fn once under schedule s and reports the invariant's
+// verdict plus the fully resolved schedule (the replay token).
+func (e *Explorer) Check(s Schedule, fn RunFunc) (Schedule, error) {
+	r := newRun(s.clone(), e.Plan)
+	err := runGuarded(r, fn)
+	return r.Schedule(), err
+}
+
+// Replay decodes a token and re-executes its schedule, returning the
+// invariant error the schedule reproduces (nil if it no longer violates).
+func (e *Explorer) Replay(token string, fn RunFunc) (Schedule, error) {
+	s, err := ParseToken(token)
+	if err != nil {
+		return Schedule{}, err
+	}
+	return e.Check(s, fn)
+}
+
+// runGuarded converts a RunFunc panic into a violation error, so one broken
+// schedule fails that schedule instead of the whole exploration.
+func runGuarded(r *Run, fn RunFunc) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("chaos: run panicked: %v", p)
+		}
+	}()
+	return fn(r)
+}
+
+// ExploreOrders exhaustively enumerates same-instant event orderings
+// reachable from base (normally Schedule{Seed: s}): a depth-first walk of
+// the arbiter's choice tree. Every execution is identified by its choice
+// sequence; a run explored with prefix P spawns sibling prefixes at every
+// contended instant after P, which visits each distinct ordering exactly
+// once. For one instant with N tied events this is exactly the N!
+// permutations.
+func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
+	res := &Result{}
+	frontier := []Schedule{base.clone()}
+
+	var (
+		mu       sync.Mutex
+		inflight int
+		wg       sync.WaitGroup
+	)
+	cond := sync.NewCond(&mu)
+	cap := e.MaxSchedules
+
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			for len(frontier) == 0 && inflight > 0 {
+				cond.Wait()
+			}
+			if len(frontier) == 0 {
+				mu.Unlock()
+				return
+			}
+			if cap > 0 && res.Explored >= cap {
+				res.Truncated = res.Truncated || len(frontier) > 0
+				frontier = nil
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			s := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			inflight++
+			res.Explored++
+			mu.Unlock()
+
+			r := newRun(s, e.Plan)
+			err := runGuarded(r, fn)
+
+			mu.Lock()
+			// Extend the frontier with every sibling of a default choice
+			// taken past the imposed prefix.
+			for i := len(s.Choices); i < len(r.arb.branches); i++ {
+				if b := r.arb.branches[i]; b > res.MaxBranch {
+					res.MaxBranch = b
+				}
+				for alt := r.arb.choices[i] + 1; alt < r.arb.branches[i]; alt++ {
+					sib := s.clone()
+					sib.Choices = append(append([]int(nil), r.arb.choices[:i]...), alt)
+					frontier = append(frontier, sib)
+				}
+			}
+			if err != nil {
+				res.Violations++
+				v := &Violation{Schedule: trim(r.Schedule()), Err: err}
+				if res.First == nil || lessSchedule(v.Schedule, res.First.Schedule) {
+					res.First = v
+				}
+			}
+			inflight--
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+
+	n := e.workers()
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go worker()
+	}
+	wg.Wait()
+	return res
+}
+
+// Sweep checks the invariant over the full seeds × jitters grid (one
+// schedule per cell, arbiter left at FIFO), using the bounded worker pool.
+// MaxSchedules truncates the grid in row-major order.
+func (e *Explorer) Sweep(seeds []int64, jitters []time.Duration, fn RunFunc) *Result {
+	if len(jitters) == 0 {
+		jitters = []time.Duration{0}
+	}
+	type cell struct {
+		idx int
+		s   Schedule
+	}
+	cells := make([]cell, 0, len(seeds)*len(jitters))
+	for _, seed := range seeds {
+		for _, j := range jitters {
+			cells = append(cells, cell{idx: len(cells), s: Schedule{Seed: seed, Jitter: j}})
+		}
+	}
+	res := &Result{}
+	if cap := e.MaxSchedules; cap > 0 && len(cells) > cap {
+		cells = cells[:cap]
+		res.Truncated = true
+	}
+
+	jobs := make(chan cell)
+	var mu sync.Mutex
+	firstIdx := -1
+	var wg sync.WaitGroup
+	n := e.workers()
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				r := newRun(c.s, e.Plan)
+				err := runGuarded(r, fn)
+				mu.Lock()
+				res.Explored++
+				if mb := maxBranch(r.arb.branches); mb > res.MaxBranch {
+					res.MaxBranch = mb
+				}
+				if err != nil {
+					res.Violations++
+					if firstIdx == -1 || c.idx < firstIdx {
+						firstIdx = c.idx
+						res.First = &Violation{Schedule: trim(r.Schedule()), Err: err}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cells {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+	return res
+}
+
+// Minimize shrinks a violating schedule to the smallest one (shortest
+// choice prefix, zeroed where possible) that still violates the invariant,
+// re-running fn to validate each candidate. The result replays to a
+// violation by construction; its token is what a test should print.
+func (e *Explorer) Minimize(v Schedule, fn RunFunc) Schedule {
+	best := trim(v.clone())
+	violates := func(s Schedule) bool {
+		_, err := e.Check(s, fn)
+		return err != nil
+	}
+	if !violates(best) {
+		return best // not reproducible; nothing to shrink against
+	}
+	// Shortest violating prefix (the suffix defaults to FIFO).
+	for k := 0; k < len(best.Choices); k++ {
+		cand := best.clone()
+		cand.Choices = cand.Choices[:k]
+		if violates(cand) {
+			best = trim(cand)
+			break
+		}
+	}
+	// Zero out any remaining individual choices.
+	for i := range best.Choices {
+		if best.Choices[i] == 0 {
+			continue
+		}
+		cand := best.clone()
+		cand.Choices[i] = 0
+		if violates(cand) {
+			best = cand
+		}
+	}
+	return trim(best)
+}
+
+// trim drops trailing FIFO (zero) choices — they are the default, so the
+// shorter token names the same execution.
+func trim(s Schedule) Schedule {
+	n := len(s.Choices)
+	for n > 0 && s.Choices[n-1] == 0 {
+		n--
+	}
+	s.Choices = s.Choices[:n]
+	return s
+}
+
+// lessSchedule orders schedules by choice-sequence length, then
+// lexicographically, then by seed and jitter — a total order that makes
+// Result.First deterministic under concurrency.
+func lessSchedule(a, b Schedule) bool {
+	if len(a.Choices) != len(b.Choices) {
+		return len(a.Choices) < len(b.Choices)
+	}
+	for i := range a.Choices {
+		if a.Choices[i] != b.Choices[i] {
+			return a.Choices[i] < b.Choices[i]
+		}
+	}
+	if a.Seed != b.Seed {
+		return a.Seed < b.Seed
+	}
+	return a.Jitter < b.Jitter
+}
+
+func maxBranch(bs []int) int {
+	m := 0
+	for _, b := range bs {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}

@@ -1,0 +1,106 @@
+package chaos
+
+import (
+	"time"
+
+	"github.com/ghost-installer/gia/internal/fault"
+	"github.com/ghost-installer/gia/internal/sim"
+)
+
+// RunFunc builds one world, attaches it to the run, drives it, and checks
+// the invariant. It must construct everything — scheduler, device, apps —
+// from r.Seed() alone, call r.Attach on the scheduler (and r.Inject on any
+// other substrate it wants faulted) before driving the clock, and return a
+// non-nil error exactly when the invariant does not hold for this schedule.
+type RunFunc func(r *Run) error
+
+// Run is the harness's view of one execution: the schedule being imposed
+// and the fault plan clone serving it.
+type Run struct {
+	schedule Schedule
+	plan     *FaultPlan // nil-safe composite: user rules + jitter rule
+	arb      *arbiter
+}
+
+// newRun prepares a run for schedule, deriving the run-local fault plan
+// from base (which may be nil).
+func newRun(schedule Schedule, base *FaultPlan) *Run {
+	plan := base.Clone(schedule.Seed)
+	if schedule.Jitter > 0 {
+		plan = plan.Extend(schedule.Seed, Rule{
+			Site: fault.SiteSimEvent, Kind: fault.KindDelay, MaxJitter: schedule.Jitter,
+		})
+	}
+	return &Run{
+		schedule: schedule,
+		plan:     plan,
+		arb:      &arbiter{prefix: schedule.Choices},
+	}
+}
+
+// Seed is the scheduler seed the RunFunc must build its world from.
+func (r *Run) Seed() int64 { return r.schedule.Seed }
+
+// Jitter reports the event-jitter bound of this run's schedule.
+func (r *Run) Jitter() time.Duration { return r.schedule.Jitter }
+
+// Schedule reports the schedule imposed on this run. Calling it after the
+// run completes yields the fully resolved choice sequence (the imposed
+// prefix plus every default choice actually taken), which is the replay
+// token for what happened.
+func (r *Run) Schedule() Schedule {
+	s := r.schedule.clone()
+	if len(r.arb.choices) > 0 {
+		s.Choices = append([]int(nil), r.arb.choices...)
+	}
+	return s
+}
+
+// Hits reports the faults injected so far in this run.
+func (r *Run) Hits() []Hit { return r.plan.Hits() }
+
+// Attach imposes the run's schedule on s: the arbiter that replays (then
+// records) same-instant choices, and the fault plan as s's injector. Call
+// it once, before driving the clock.
+func (r *Run) Attach(s *sim.Scheduler, targets ...fault.Target) {
+	s.SetArbiter(r.arb.choose)
+	s.SetFaultInjector(r.plan)
+	r.Inject(targets...)
+}
+
+// Inject installs the run's fault plan on additional substrates (vfs.FS,
+// dm.Manager, fuse.Daemon, intents.AMS — anything with SetFaultInjector).
+func (r *Run) Inject(targets ...fault.Target) {
+	for _, t := range targets {
+		if t != nil {
+			t.SetFaultInjector(r.plan)
+		}
+	}
+}
+
+// arbiter replays a choice prefix and records the full decision trace: the
+// choice taken and the branch factor (number of runnable candidates) at
+// every contended instant. The explorer reads branches to know where the
+// run could have gone differently.
+type arbiter struct {
+	prefix   []int
+	pos      int
+	choices  []int
+	branches []int
+}
+
+// choose implements sim.Arbiter. Within the prefix it replays the recorded
+// choice (clamped into range, so stale prefixes stay valid executions);
+// past it, FIFO order (index 0).
+func (a *arbiter) choose(n int) int {
+	c := 0
+	if a.pos < len(a.prefix) {
+		if pc := a.prefix[a.pos]; pc > 0 && pc < n {
+			c = pc
+		}
+	}
+	a.pos++
+	a.choices = append(a.choices, c)
+	a.branches = append(a.branches, n)
+	return c
+}

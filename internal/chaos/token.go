@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Schedule names one deterministic execution: the scheduler seed, the event
+// jitter bound, and the arbiter choice sequence resolving same-instant ties.
+// Everything else a run does follows from these three values (plus the
+// fault plan, which the harness owns), so a Schedule doubles as a replay
+// token.
+type Schedule struct {
+	Seed   int64
+	Jitter time.Duration
+	// Choices are arbiter decisions in probe order: Choices[i] is the index
+	// (into FIFO order) of the event fired at the i-th contended instant.
+	// Past the end of the slice the arbiter defaults to FIFO (index 0), so
+	// a short prefix names a full execution.
+	Choices []int
+}
+
+// tokenPrefix versions the wire format; bump it if Schedule gains fields.
+const tokenPrefix = "gia1"
+
+// Token renders the schedule as a compact string, e.g.
+// "gia1:42:5ms:0.2.1". The empty choice sequence renders as "-".
+func (s Schedule) Token() string {
+	var b strings.Builder
+	b.WriteString(tokenPrefix)
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatInt(s.Seed, 10))
+	b.WriteByte(':')
+	b.WriteString(s.Jitter.String())
+	b.WriteByte(':')
+	if len(s.Choices) == 0 {
+		b.WriteByte('-')
+	} else {
+		for i, c := range s.Choices {
+			if i > 0 {
+				b.WriteByte('.')
+			}
+			b.WriteString(strconv.Itoa(c))
+		}
+	}
+	return b.String()
+}
+
+func (s Schedule) String() string { return s.Token() }
+
+// clone returns a deep copy (Choices is the only reference field).
+func (s Schedule) clone() Schedule {
+	s.Choices = append([]int(nil), s.Choices...)
+	return s
+}
+
+// ParseToken decodes a string produced by Token.
+func ParseToken(tok string) (Schedule, error) {
+	parts := strings.Split(strings.TrimSpace(tok), ":")
+	if len(parts) != 4 || parts[0] != tokenPrefix {
+		return Schedule{}, fmt.Errorf("chaos: malformed token %q (want %s:<seed>:<jitter>:<choices>)", tok, tokenPrefix)
+	}
+	seed, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("chaos: token seed %q: %w", parts[1], err)
+	}
+	jitter, err := time.ParseDuration(parts[2])
+	if err != nil {
+		return Schedule{}, fmt.Errorf("chaos: token jitter %q: %w", parts[2], err)
+	}
+	s := Schedule{Seed: seed, Jitter: jitter}
+	if parts[3] != "-" && parts[3] != "" {
+		for _, f := range strings.Split(parts[3], ".") {
+			c, err := strconv.Atoi(f)
+			if err != nil || c < 0 {
+				return Schedule{}, fmt.Errorf("chaos: token choice %q: not a non-negative integer", f)
+			}
+			s.Choices = append(s.Choices, c)
+		}
+	}
+	return s, nil
+}

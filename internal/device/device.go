@@ -88,6 +88,7 @@ func Boot(p Profile) (*Device, error) {
 	})
 
 	fuseDaemon := fuse.New("/sdcard", pms.UIDHolds)
+	fuseDaemon.SetClock(sched.Now)
 	if err := fs.Mount("/sdcard", fuseDaemon, p.SDCardBytes); err != nil {
 		return nil, fmt.Errorf("device: mount sdcard: %w", err)
 	}

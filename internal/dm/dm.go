@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/ghost-installer/gia/internal/fault"
 	"github.com/ghost-installer/gia/internal/sim"
 	"github.com/ghost-installer/gia/internal/vfs"
 )
@@ -153,6 +154,22 @@ type Manager struct {
 	downloads   map[int64]*Download
 	nextID      int64
 	initialized bool
+	injector    fault.Injector
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault hook probed on
+// each remote fetch (fault.SiteDMFetch) and each chunk write
+// (fault.SiteDMChunk). Chunk faults model the transfer pathologies the AIT
+// must survive: error fails the download, delay stretches it, and truncate
+// ends it early while still reporting success — a silently truncated
+// download landing in the staging directory.
+func (m *Manager) SetFaultInjector(fi fault.Injector) { m.injector = fi }
+
+func (m *Manager) probe(site fault.Site, subject string) fault.Action {
+	if m.injector == nil {
+		return fault.None
+	}
+	return m.injector.Probe(site, subject, m.sched.Now())
 }
 
 // New creates a Manager and initializes its database file.
@@ -273,6 +290,10 @@ func (m *Manager) Enqueue(caller vfs.UID, pkg, url, dest string, done func(*Down
 }
 
 func (m *Manager) start(d *Download, done func(*Download)) {
+	if act := m.probe(fault.SiteDMFetch, d.URL); act.Kind == fault.KindError {
+		m.finish(d, fmt.Errorf("dm: fetch %s: %w", d.URL, act.Err), done)
+		return
+	}
 	data, err := m.fetch.Fetch(d.URL)
 	if err != nil {
 		m.finish(d, fmt.Errorf("dm: fetch %s: %w", d.URL, err), done)
@@ -306,6 +327,23 @@ func (m *Manager) writeChunks(d *Download, h *vfs.Handle, rest []byte, done func
 		n = int64(len(rest))
 	}
 	chunkTime := time.Duration(float64(n) / float64(m.opts.BytesPerSec) * float64(time.Second))
+	switch act := m.probe(fault.SiteDMChunk, d.Dest); act.Kind {
+	case fault.KindError:
+		_ = h.Close()
+		m.finish(d, fmt.Errorf("dm: write chunk: %w", act.Err), done)
+		return
+	case fault.KindDelay:
+		chunkTime += act.Delay
+	case fault.KindTruncate:
+		// The transfer ends here but nothing notices: what has arrived
+		// stays on disk and the download is reported successful.
+		if err := h.Close(); err != nil {
+			m.finish(d, err, done)
+			return
+		}
+		m.finish(d, nil, done)
+		return
+	}
 	m.sched.After(chunkTime, func() {
 		if d.Status != StatusRunning { // removed mid-flight
 			_ = h.Close()

@@ -34,6 +34,14 @@ type Scenario struct {
 // NewScenario boots a device, deploys the store profile, publishes the
 // target app and plants the malware.
 func NewScenario(prof installer.Profile, seed int64) (*Scenario, error) {
+	return NewScenarioPayload(prof, seed, []byte("genuine"))
+}
+
+// NewScenarioPayload is NewScenario with a caller-chosen classes.dex
+// payload; a payload larger than one transfer chunk (64 KiB) makes the
+// download multi-chunk, which the chaos fault rows rely on to truncate a
+// transfer mid-flight.
+func NewScenarioPayload(prof installer.Profile, seed int64, payload []byte) (*Scenario, error) {
 	dev, err := device.Boot(device.Profile{Name: "galaxy-s6-verizon", Vendor: "samsung", Seed: seed})
 	if err != nil {
 		return nil, err
@@ -45,7 +53,7 @@ func NewScenario(prof installer.Profile, seed int64) (*Scenario, error) {
 	target := apk.Build(apk.Manifest{
 		Package: TargetPackage, VersionCode: 1, Label: "Popular App", Icon: "icon-popular",
 		UsesPerms: []string{perm.Internet},
-	}, map[string][]byte{"classes.dex": []byte("genuine")}, sig.NewKey("popular-dev"))
+	}, map[string][]byte{"classes.dex": payload}, sig.NewKey("popular-dev"))
 	store.Store.Publish(target)
 	mal, err := attack.DeployMalware(dev, "com.fun.game")
 	if err != nil {

@@ -91,5 +91,8 @@ func AllTables(opts Options) ([]Table, error) {
 	if err := add(FleetTable(5, opts.Seed)); err != nil {
 		return nil, err
 	}
+	if err := add(ChaosTable(opts.Seed, 0)); err != nil {
+		return nil, err
+	}
 	return tables, nil
 }

@@ -20,7 +20,9 @@ package fuse
 import (
 	"fmt"
 	"strings"
+	"time"
 
+	"github.com/ghost-installer/gia/internal/fault"
 	"github.com/ghost-installer/gia/internal/perm"
 	"github.com/ghost-installer/gia/internal/vfs"
 )
@@ -32,11 +34,22 @@ type PermChecker func(uid vfs.UID, permission string) bool
 // Daemon is the FUSE daemon for one external-storage mount. Install it with
 // FS.Mount(root, daemon, capacity).
 type Daemon struct {
-	root    string
-	perms   PermChecker
-	patched bool
-	apkList map[string]vfs.UID // protected APK path -> owning UID
+	root     string
+	perms    PermChecker
+	patched  bool
+	apkList  map[string]vfs.UID // protected APK path -> owning UID
+	injector fault.Injector
+	now      func() time.Duration
 }
+
+// SetFaultInjector installs (or, with nil, removes) the fault hook probed on
+// every access check (fault.SiteFuseCheck): an error-kind fault surfaces as
+// a transient daemon failure, denying an operation the policy would allow.
+func (d *Daemon) SetFaultInjector(fi fault.Injector) { d.injector = fi }
+
+// SetClock supplies the virtual clock used to timestamp fault probes
+// (Scheduler.Now); without one, probes report time zero.
+func (d *Daemon) SetClock(now func() time.Duration) { d.now = now }
 
 var _ vfs.Policy = (*Daemon)(nil)
 
@@ -79,6 +92,15 @@ func (d *Daemon) APKList() map[string]vfs.UID {
 // Check implements vfs.Policy with the stock external-storage semantics,
 // tightened by the patch when enabled.
 func (d *Daemon) Check(fs *vfs.FS, req vfs.Request) error {
+	if d.injector != nil {
+		var now time.Duration
+		if d.now != nil {
+			now = d.now()
+		}
+		if act := d.injector.Probe(fault.SiteFuseCheck, req.Path, now); act.Kind == fault.KindError {
+			return fmt.Errorf("fuse: %s %s: %w", req.Op, req.Path, act.Err)
+		}
+	}
 	if req.Actor.IsSystem() {
 		// The protected file can always be handled by a system process
 		// (e.g. the user freeing space through Settings). System deletes

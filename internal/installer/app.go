@@ -220,7 +220,7 @@ func (a *App) UID() vfs.UID { return a.uid }
 // stagingName picks the staged file name for a target package.
 func (a *App) stagingName(target string) string {
 	if a.Prof.RandomizeNames {
-		return fmt.Sprintf("%08x.apk", a.Dev.Sched.Rand().Uint32())
+		return fmt.Sprintf("%08x.apk", a.Dev.Sched.Uint32())
 	}
 	return target + ".apk"
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/ghost-installer/gia/internal/fault"
 	"github.com/ghost-installer/gia/internal/procfs"
 	"github.com/ghost-installer/gia/internal/sim"
 	"github.com/ghost-installer/gia/internal/vfs"
@@ -130,6 +131,22 @@ type AMS struct {
 	receivers  []*receiverReg
 	screen     Screen
 	stackTop   string // "pkg/name" of the top activity
+	injector   fault.Injector
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault hook probed on
+// every delivery: fault.SiteIntentDeliver for startActivity (subject
+// "sender->pkg/component") and fault.SiteIntentBroadcast per matching
+// receiver (subject "action->pkg"). Drops model the silent losses of the
+// real binder queue under pressure; errors surface as API failures.
+func (a *AMS) SetFaultInjector(fi fault.Injector) { a.injector = fi }
+
+// probe consults the injector, returning fault.None when none is installed.
+func (a *AMS) probe(site fault.Site, subject string) fault.Action {
+	if a.injector == nil {
+		return fault.None
+	}
+	return a.injector.Probe(site, subject, a.sched.Now())
 }
 
 // New creates an AMS bound to the scheduler and process table.
@@ -207,7 +224,19 @@ func (a *AMS) StartActivity(senderPkg string, in Intent) error {
 	// checkIntent: detection bookkeeping and origin stamping.
 	a.firewall.CheckIntent(senderPkg, reg.pkg, &in)
 
-	a.sched.After(a.opts.DeliveryLatency, func() {
+	latency := a.opts.DeliveryLatency
+	switch act := a.probe(fault.SiteIntentDeliver, senderPkg+"->"+key); act.Kind {
+	case fault.KindError:
+		return fmt.Errorf("startActivity %s: %w", key, act.Err)
+	case fault.KindDrop:
+		// Swallowed in transit; like the real API the sender sees success.
+		return nil
+	case fault.KindDelay:
+		latency += act.Delay
+	case fault.KindDuplicate:
+		a.sched.After(latency+act.Delay, func() { a.deliver(reg, in) })
+	}
+	a.sched.After(latency, func() {
 		a.deliver(reg, in)
 	})
 	return nil
@@ -265,7 +294,19 @@ func (a *AMS) SendBroadcast(senderPkg string, in Intent) (delivered int, err err
 		}
 		r := r
 		inCopy := in
-		a.sched.After(a.opts.DeliveryLatency, func() { r.handler(inCopy) })
+		latency := a.opts.DeliveryLatency
+		switch act := a.probe(fault.SiteIntentBroadcast, in.Action+"->"+r.pkg); act.Kind {
+		case fault.KindError:
+			err = fmt.Errorf("broadcast %s to %s: %w", in.Action, r.pkg, act.Err)
+			continue
+		case fault.KindDrop:
+			continue
+		case fault.KindDelay:
+			latency += act.Delay
+		case fault.KindDuplicate:
+			a.sched.After(latency+act.Delay, func() { r.handler(inCopy) })
+		}
+		a.sched.After(latency, func() { r.handler(inCopy) })
 		delivered++
 	}
 	return delivered, err

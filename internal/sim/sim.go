@@ -11,28 +11,58 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"github.com/ghost-installer/gia/internal/fault"
 )
 
 // Scheduler is a virtual-time discrete-event scheduler. Events scheduled for
-// the same instant fire in scheduling order (FIFO), which gives stable,
-// deterministic traces.
+// the same instant fire in scheduling order (FIFO) unless an Arbiter is
+// installed, which gives stable, deterministic traces.
 //
 // A Scheduler is safe for concurrent use, although the intended model is
 // single-threaded: callbacks run on the goroutine that calls Run, Step or
 // RunUntil, and may schedule further events.
 type Scheduler struct {
-	mu      sync.Mutex
-	now     time.Duration
-	seq     uint64
-	events  eventHeap
-	rng     *rand.Rand
-	running bool
+	mu       sync.Mutex
+	now      time.Duration
+	seq      uint64
+	events   eventHeap
+	rng      *rand.Rand
+	arbiter  Arbiter
+	injector fault.Injector
+	running  bool
 }
+
+// Arbiter chooses which of n same-instant runnable events fires next,
+// returning an index into their FIFO (scheduling) order. It is only
+// consulted when n > 1; out-of-range returns clamp to the FIFO choice.
+// The chaos explorer uses this hook to enumerate every permutation of a
+// race window. Arbiters are called with the scheduler's internal lock held
+// and must not call back into the scheduler.
+type Arbiter func(n int) int
 
 // New returns a Scheduler whose random source is seeded with seed. The same
 // seed always yields the same event interleavings and random draws.
 func New(seed int64) *Scheduler {
 	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetArbiter installs (or, with nil, removes) the same-instant tie-break
+// hook. Install it before driving the clock: switching arbiters mid-run
+// still yields a valid execution, but not one a replay token can name.
+func (s *Scheduler) SetArbiter(a Arbiter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.arbiter = a
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault hook consulted
+// whenever an event is scheduled (fault.SiteSimEvent): a fault plan can
+// delay, duplicate or drop any event at a chosen virtual time.
+func (s *Scheduler) SetFaultInjector(fi fault.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injector = fi
 }
 
 // Now reports the current virtual time, measured from boot (zero).
@@ -49,10 +79,28 @@ func (s *Scheduler) Pending() int {
 	return len(s.events)
 }
 
-// Rand returns the scheduler's seeded random source. Components must draw
-// all randomness from this source to stay deterministic.
-func (s *Scheduler) Rand() *rand.Rand {
-	return s.rng
+// Uint32 draws from the scheduler's seeded source under its lock.
+// Components must draw all randomness through the scheduler to stay
+// deterministic; the source itself is never handed out because *rand.Rand
+// is not safe for concurrent draws.
+func (s *Scheduler) Uint32() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Uint32()
+}
+
+// Int63n draws a uniform int64 in [0, n) from the seeded source.
+func (s *Scheduler) Int63n(n int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Int63n(n)
+}
+
+// Float64 draws a uniform float64 in [0, 1) from the seeded source.
+func (s *Scheduler) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng.Float64()
 }
 
 // Uniform draws a duration uniformly from [lo, hi]. It panics if hi < lo,
@@ -64,13 +112,39 @@ func (s *Scheduler) Uniform(lo, hi time.Duration) time.Duration {
 	if hi == lo {
 		return lo
 	}
-	return lo + time.Duration(s.rng.Int63n(int64(hi-lo)+1))
+	return lo + time.Duration(s.Int63n(int64(hi-lo)+1))
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t earlier than Now) clamps to the present: the event fires on the next
 // Step. The returned Timer can cancel the event before it fires.
 func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	s.mu.Lock()
+	fi := s.injector
+	now := s.now
+	s.mu.Unlock()
+	if fi != nil {
+		// The probe timestamp is the event's effective deadline, so plans
+		// can window on when events would fire, not when they are made.
+		deadline := t
+		if deadline < now {
+			deadline = now
+		}
+		switch act := fi.Probe(fault.SiteSimEvent, "", deadline); act.Kind {
+		case fault.KindDelay:
+			t += act.Delay
+		case fault.KindDrop:
+			// Never enters the heap; Cancel stays a harmless no-op.
+			return &Timer{s: s, ev: &event{at: t, fn: fn, cancelled: true}}
+		case fault.KindDuplicate:
+			s.at(t+act.Delay, fn)
+		}
+	}
+	return s.at(t, fn)
+}
+
+// at is At without the fault probe (used for injected duplicates).
+func (s *Scheduler) at(t time.Duration, fn func()) *Timer {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t < s.now {
@@ -131,20 +205,49 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 }
 
 // popRunnable pops the next non-cancelled event and advances the clock.
-// Callers must hold s.mu.
+// With an arbiter installed, every runnable event sharing the earliest
+// deadline is collected, the arbiter picks which fires, and the rest return
+// to the queue with their scheduling order intact. Callers must hold s.mu.
 func (s *Scheduler) popRunnable() *event {
-	for len(s.events) > 0 {
-		ev, ok := heap.Pop(&s.events).(*event)
-		if !ok {
-			panic("sim: event heap holds a non-event")
-		}
-		if ev.cancelled {
-			continue
-		}
+	for len(s.events) > 0 && s.events[0].cancelled {
+		heap.Pop(&s.events)
+	}
+	if len(s.events) == 0 {
+		return nil
+	}
+	if s.arbiter == nil {
+		ev := s.popEvent()
 		s.now = ev.at
 		return ev
 	}
-	return nil
+	at := s.events[0].at
+	var cands []*event
+	for len(s.events) > 0 && s.events[0].at == at {
+		if ev := s.popEvent(); !ev.cancelled {
+			cands = append(cands, ev)
+		}
+	}
+	idx := 0
+	if len(cands) > 1 {
+		if i := s.arbiter(len(cands)); i >= 0 && i < len(cands) {
+			idx = i
+		}
+	}
+	for i, ev := range cands {
+		if i != idx {
+			heap.Push(&s.events, ev)
+		}
+	}
+	s.now = at
+	return cands[idx]
+}
+
+func (s *Scheduler) popEvent() *event {
+	ev, ok := heap.Pop(&s.events).(*event)
+	if !ok {
+		panic("sim: event heap holds a non-event")
+	}
+	return ev
 }
 
 // Timer is a handle to a scheduled event.

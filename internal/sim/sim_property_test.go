@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: same-instant events fire in scheduling (FIFO) order, whatever
+// the deadlines around them look like.
+func TestPropertySameInstantFIFO(t *testing.T) {
+	f := func(deadlines []uint8) bool {
+		s := New(7)
+		// Index events per deadline; FIFO demands firing order equals
+		// scheduling order within each instant.
+		firedAt := make(map[time.Duration][]int)
+		for i, d := range deadlines {
+			i := i
+			at := time.Duration(d) * time.Microsecond
+			s.At(at, func() { firedAt[at] = append(firedAt[at], i) })
+		}
+		s.Run()
+		for _, order := range firedAt {
+			for j := 1; j < len(order); j++ {
+				if order[j] < order[j-1] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a cancelled timer never fires, and cancellation never disturbs
+// the surviving events' order.
+func TestPropertyCancelNeverFires(t *testing.T) {
+	f := func(deadlines []uint8, cancelMask uint64) bool {
+		s := New(3)
+		fired := make(map[int]bool)
+		var timers []*Timer
+		for i, d := range deadlines {
+			i := i
+			timers = append(timers, s.At(time.Duration(d)*time.Microsecond, func() { fired[i] = true }))
+		}
+		cancelled := make(map[int]bool)
+		for i := range timers {
+			if cancelMask&(1<<(uint(i)%64)) != 0 {
+				timers[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		s.Run()
+		for i := range deadlines {
+			if cancelled[i] && fired[i] {
+				return false
+			}
+			if !cancelled[i] && !fired[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the virtual clock is monotone across any interleaving of
+// scheduling styles (At, After, nested scheduling from callbacks).
+func TestPropertyMonotoneClock(t *testing.T) {
+	f := func(offsets []uint8) bool {
+		s := New(11)
+		monotone := true
+		last := time.Duration(-1)
+		observe := func() {
+			now := s.Now()
+			if now < last {
+				monotone = false
+			}
+			last = now
+		}
+		for _, d := range offsets {
+			d := time.Duration(d) * time.Microsecond
+			s.After(d, func() {
+				observe()
+				// Nested events, including ones clamped to the present.
+				s.After(d/2, observe)
+				s.At(0, observe)
+			})
+		}
+		s.Run()
+		return monotone
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// trace serializes one full run — which event fired at which instant with
+// which random draw — for determinism comparisons.
+func trace(seed int64, deadlines []uint8) string {
+	s := New(seed)
+	var out string
+	for i, d := range deadlines {
+		i := i
+		s.At(time.Duration(d)*time.Microsecond, func() {
+			out += fmt.Sprintf("%d@%v:%d;", i, s.Now(), s.Uint32())
+		})
+	}
+	s.Run()
+	return out
+}
+
+// Property: identical seeds and workloads yield byte-identical traces.
+func TestPropertyIdenticalSeedIdenticalTrace(t *testing.T) {
+	f := func(seed int64, deadlines []uint8) bool {
+		return trace(seed, deadlines) == trace(seed, deadlines)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzSchedulerDeterminism feeds arbitrary deadline workloads through two
+// identically seeded schedulers and requires identical traces, monotone
+// time included (the trace embeds Now at each firing).
+func FuzzSchedulerDeterminism(f *testing.F) {
+	f.Add(int64(1), []byte{0, 0, 5, 3, 3})
+	f.Add(int64(-7), []byte{255, 1, 128})
+	f.Add(int64(42), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		deadlines := make([]uint8, len(raw))
+		copy(deadlines, raw)
+		a := trace(seed, deadlines)
+		b := trace(seed, deadlines)
+		if a != b {
+			t.Fatalf("seed %d: traces diverge:\n%s\n%s", seed, a, b)
+		}
+	})
+}

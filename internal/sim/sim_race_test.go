@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentDrawsAreRaceFree pins the fix for the shared-*rand.Rand
+// race: every random draw goes through the scheduler's mutex, so concurrent
+// draws (and draws racing the event loop) are safe. Run with -race.
+func TestConcurrentDrawsAreRaceFree(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 64; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			_ = s.Uint32()
+			_ = s.Float64()
+		})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = s.Uint32()
+				_ = s.Int63n(10)
+				_ = s.Uniform(time.Millisecond, time.Second)
+			}
+		}()
+	}
+	s.Run()
+	wg.Wait()
+}
+
+// TestConcurrentSchedulingIsRaceFree hammers At/After/Cancel/Now from many
+// goroutines while the event loop drains, covering the locked heap paths.
+func TestConcurrentSchedulingIsRaceFree(t *testing.T) {
+	s := New(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				timer := s.At(time.Duration(g*200+i)*time.Microsecond, func() {})
+				if i%3 == 0 {
+					timer.Cancel()
+				}
+				_ = s.Now()
+				_ = s.Pending()
+			}
+		}()
+	}
+	wg.Wait()
+	s.Run()
+	if s.Pending() != 0 {
+		t.Errorf("%d events left after Run", s.Pending())
+	}
+}

@@ -3,6 +3,8 @@ package vfs
 import (
 	"fmt"
 	"io"
+
+	"github.com/ghost-installer/gia/internal/fault"
 )
 
 // OpenFlag selects how a file is opened.
@@ -37,6 +39,9 @@ type Handle struct {
 func (fs *FS) Open(p string, actor UID, flags OpenFlag, mode Mode) (*Handle, error) {
 	if flags&(FlagRead|FlagWrite) == 0 {
 		return nil, fmt.Errorf("open %q: need read or write: %w", p, ErrInvalidPath)
+	}
+	if err := fs.injectErr(fault.SiteVFSOpen, p); err != nil {
+		return nil, fmt.Errorf("open %q: %w", p, err)
 	}
 	n, err := fs.lookup(p, true)
 	created := false
@@ -111,6 +116,9 @@ func (h *Handle) Write(p []byte) (int, error) {
 	if h.flags&FlagWrite == 0 {
 		return 0, fmt.Errorf("write %q: read-only handle: %w", h.path, ErrPermission)
 	}
+	if err := h.fs.injectErr(fault.SiteVFSWrite, h.path); err != nil {
+		return 0, fmt.Errorf("write %q: %w", h.path, err)
+	}
 	end := h.offset + int64(len(p))
 	if grow := end - int64(len(h.node.data)); grow > 0 {
 		if err := h.fs.chargeSpace(h.path, grow); err != nil {
@@ -134,6 +142,9 @@ func (h *Handle) Read(p []byte) (int, error) {
 	if h.flags&FlagRead == 0 {
 		return 0, fmt.Errorf("read %q: write-only handle: %w", h.path, ErrPermission)
 	}
+	if err := h.fs.injectErr(fault.SiteVFSRead, h.path); err != nil {
+		return 0, fmt.Errorf("read %q: %w", h.path, err)
+	}
 	if h.offset >= int64(len(h.node.data)) {
 		return 0, io.EOF
 	}
@@ -150,6 +161,9 @@ func (h *Handle) ReadAt(p []byte, off int64) (int, error) {
 	}
 	if h.flags&FlagRead == 0 {
 		return 0, fmt.Errorf("read %q: write-only handle: %w", h.path, ErrPermission)
+	}
+	if err := h.fs.injectErr(fault.SiteVFSRead, h.path); err != nil {
+		return 0, fmt.Errorf("read %q: %w", h.path, err)
 	}
 	if off >= int64(len(h.node.data)) {
 		return 0, io.EOF

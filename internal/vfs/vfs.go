@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/ghost-installer/gia/internal/fault"
 )
 
 // UID identifies the acting process/app, following Android's convention:
@@ -139,6 +141,7 @@ type FS struct {
 	watchers map[string][]*Watch
 	mounts   []mount // sorted by descending prefix length
 	nextWID  int
+	injector fault.Injector
 }
 
 type mount struct {
@@ -220,6 +223,24 @@ func (fs *FS) policyFor(p string) Policy {
 
 func (fs *FS) check(req Request) error {
 	return fs.policyFor(req.Path).Check(fs, req)
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault hook probed
+// on open, read, write and rename (fault.SiteVFS*). Only error-kind faults
+// apply: filesystem calls are synchronous, so there is nothing to delay or
+// duplicate.
+func (fs *FS) SetFaultInjector(fi fault.Injector) { fs.injector = fi }
+
+// injectErr probes the injector at site for p and returns the injected
+// error, if any.
+func (fs *FS) injectErr(site fault.Site, p string) error {
+	if fs.injector == nil {
+		return nil
+	}
+	if act := fs.injector.Probe(site, p, fs.now()); act.Kind == fault.KindError {
+		return act.Err
+	}
+	return nil
 }
 
 // chargeSpace accounts newBytes-oldBytes against the mount covering p.
@@ -561,6 +582,9 @@ func (fs *FS) RemoveAll(p string, actor UID) error {
 // "move a pre-stored APK over the target" attack and the DAPP defense
 // observe replacements.
 func (fs *FS) Rename(oldPath, newPath string, actor UID) error {
+	if err := fs.injectErr(fault.SiteVFSRename, oldPath); err != nil {
+		return fmt.Errorf("rename %q: %w", oldPath, err)
+	}
 	n, err := fs.lookup(oldPath, false)
 	if err != nil {
 		return err

@@ -19,7 +19,26 @@ go vet ./...
 echo "== go build ./... =="
 go build ./...
 
-echo "== go test -race ./... =="
-go test -race ./...
+echo "== go test -race -count=2 ./... =="
+# -count=2 defeats the test cache and catches order- or state-dependent
+# flakes in the race-enabled suite (golden traces, the defense matrix and
+# the chaos sweeps must be bit-identical run over run).
+go test -race -count=2 ./...
+
+echo "== fuzz smoke (5s per target) =="
+# Run every Fuzz target briefly; fuzzing requires one target per invocation.
+go test ./... -list 'Fuzz.*' 2>/dev/null | while read -r line; do
+    case "$line" in
+    Fuzz*) targets="${targets:-} $line" ;;
+    ok*)
+        pkg=$(echo "$line" | awk '{print $2}')
+        for t in ${targets:-}; do
+            echo "-- $pkg $t"
+            go test "$pkg" -run '^$' -fuzz "^${t}\$" -fuzztime=5s
+        done
+        targets=""
+        ;;
+    esac
+done
 
 echo "verify.sh: all checks passed"
