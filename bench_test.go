@@ -292,6 +292,45 @@ func benchExplorerSweep(b *testing.B, workerCount int) {
 func BenchmarkExplorerSweep_1Worker(b *testing.B) { benchExplorerSweep(b, 1) }
 func BenchmarkExplorerSweep_NumCPU(b *testing.B)  { benchExplorerSweep(b, runtime.NumCPU()) }
 
+// --- Experiment engine: worker-pool scaling ----------------------------------
+
+// benchAllTables regenerates the full 21-table evaluation at reduced scale;
+// the 1-worker vs NumCPU pair quantifies the engine's pool speed-up (the
+// tables themselves are identical for any worker count).
+func benchAllTables(b *testing.B, workerCount int) {
+	for i := 0; i < b.N; i++ {
+		tables, err := experiment.AllTables(experiment.Options{
+			Seed: 2017, Scale: 0.05, PerfReps: 2, DAPPInstalls: 6, Workers: workerCount,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != 21 {
+			b.Fatalf("tables = %d, want 21", len(tables))
+		}
+	}
+}
+
+func BenchmarkAllTables_1Worker(b *testing.B) { benchAllTables(b, 1) }
+func BenchmarkAllTables_NumCPU(b *testing.B)  { benchAllTables(b, runtime.NumCPU()) }
+
+func benchFleetStudy(b *testing.B, workerCount int) {
+	for i := 0; i < b.N; i++ {
+		outcomes, err := experiment.FleetStudy(4, 2017, workerCount)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range outcomes {
+			if o.Rate() != 1.0 {
+				b.Fatalf("%s fleet rate = %.2f, want 1.0", o.Store, o.Rate())
+			}
+		}
+	}
+}
+
+func BenchmarkFleetStudy_1Worker(b *testing.B) { benchFleetStudy(b, 1) }
+func BenchmarkFleetStudy_NumCPU(b *testing.B)  { benchFleetStudy(b, runtime.NumCPU()) }
+
 // --- Section III-C: DM symlink attack ----------------------------------------
 
 func benchDMSteal(b *testing.B, policy dm.SymlinkPolicy, wantWin bool) {
@@ -426,7 +465,7 @@ func BenchmarkHareStudy(b *testing.B) {
 func BenchmarkAblation_ReactionLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points, err := experiment.ReactionLatencySweep(installer.Amazon(),
-			[]time.Duration{5 * time.Millisecond, 300 * time.Millisecond}, 3, int64(i))
+			[]time.Duration{5 * time.Millisecond, 300 * time.Millisecond}, 3, int64(i), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -439,7 +478,7 @@ func BenchmarkAblation_ReactionLatency(b *testing.B) {
 func BenchmarkAblation_WaitDelay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		points, err := experiment.WaitDelaySweep(installer.DTIgnite(),
-			[]time.Duration{2 * time.Second}, 2, int64(i))
+			[]time.Duration{2 * time.Second}, 2, int64(i), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -451,7 +490,7 @@ func BenchmarkAblation_WaitDelay(b *testing.B) {
 
 func BenchmarkAblation_DMGap(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.DMGapSweep([]time.Duration{2 * time.Millisecond}, 30, 1, int64(i))
+		points, err := experiment.DMGapSweep([]time.Duration{2 * time.Millisecond}, 30, 1, int64(i), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -463,7 +502,7 @@ func BenchmarkAblation_DMGap(b *testing.B) {
 
 func BenchmarkSuggestionStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		outcomes, err := experiment.SuggestionStudy(int64(i))
+		outcomes, err := experiment.SuggestionStudy(int64(i), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -478,7 +517,10 @@ func BenchmarkSuggestionStudy(b *testing.B) {
 // --- Section VI-B: DAPP hot path -----------------------------------------------
 
 func BenchmarkDAPP_SignatureGrab1MiB(b *testing.B) {
-	res := experiment.DAPPSignaturePerf([]int{1 << 20}, 1)
+	res, err := experiment.DAPPSignaturePerf([]int{1 << 20}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
 	_ = res
 	fs := vfs.New(func() time.Duration { return 0 })
 	_ = fs.MkdirAll("/sdcard/store", vfs.Root, vfs.ModeDir)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gia-bench [-seed N] [-scale F] [-reps N]
+//	gia-bench [-seed N] [-scale F] [-reps N] [-workers N]
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"github.com/ghost-installer/gia"
 )
@@ -20,11 +21,12 @@ func main() {
 	seed := flag.Int64("seed", 2017, "experiment seed")
 	scale := flag.Float64("scale", 1.0, "measurement corpus scale (1.0 = paper-sized)")
 	reps := flag.Int("reps", 100, "repetitions for the performance tables")
+	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (tables are identical for any value)")
 	asJSON := flag.Bool("json", false, "emit tables as a JSON array")
 	reportPath := flag.String("report", "", "also write a markdown reproduction report to this path")
 	flag.Parse()
 
-	opts := gia.ExperimentOptions{Seed: *seed, Scale: *scale, PerfReps: *reps}
+	opts := gia.ExperimentOptions{Seed: *seed, Scale: *scale, PerfReps: *reps, Workers: *workers}
 	tables, err := gia.AllTables(opts)
 	if err != nil {
 		log.Fatal(err)

@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	gia-sweep [-trials N] [-seed N]
+//	gia-sweep [-trials N] [-seed N] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"github.com/ghost-installer/gia"
@@ -20,8 +21,9 @@ import (
 func main() {
 	trials := flag.Int("trials", 10, "trials per sweep point")
 	seed := flag.Int64("seed", 1, "sweep seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the sweep grids (results are identical for any value)")
 	flag.Parse()
-	if err := run(*trials, *seed); err != nil {
+	if err := run(*trials, *seed, *workers); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -35,12 +37,12 @@ func printPoints(title, param string, points []gia.SweepPoint) {
 	fmt.Println()
 }
 
-func run(trials int, seed int64) error {
+func run(trials int, seed int64, workers int) error {
 	latencies := []time.Duration{
 		5 * time.Millisecond, 50 * time.Millisecond, 120 * time.Millisecond,
 		160 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond,
 	}
-	points, err := gia.ReactionLatencySweep(gia.AmazonProfile(), latencies, trials, seed)
+	points, err := gia.ReactionLatencySweep(gia.AmazonProfile(), latencies, trials, seed, workers)
 	if err != nil {
 		return err
 	}
@@ -50,7 +52,7 @@ func run(trials int, seed int64) error {
 		100 * time.Millisecond, 500 * time.Millisecond,
 		2 * time.Second, 2200 * time.Millisecond, 10 * time.Second,
 	}
-	points, err = gia.WaitDelaySweep(gia.DTIgniteProfile(), delays, trials, seed+100)
+	points, err = gia.WaitDelaySweep(gia.DTIgniteProfile(), delays, trials, seed+100, workers)
 	if err != nil {
 		return err
 	}
@@ -60,14 +62,14 @@ func run(trials int, seed int64) error {
 		2 * time.Millisecond, 500 * time.Microsecond,
 		150 * time.Microsecond, 50 * time.Microsecond,
 	}
-	points, err = gia.DMGapSweep(gaps, 50, trials, seed+200)
+	points, err = gia.DMGapSweep(gaps, 50, trials, seed+200, workers)
 	if err != nil {
 		return err
 	}
 	printPoints("X3: DM recheck gap vs the 300 µs link flipper (50 tries/attempt)", "gap", points)
 
 	thresholds := []time.Duration{time.Millisecond, 100 * time.Millisecond, time.Second, 30 * time.Second}
-	outcomes, err := gia.DetectionThresholdSweep(thresholds, seed+300)
+	outcomes, err := gia.DetectionThresholdSweep(thresholds, seed+300, workers)
 	if err != nil {
 		return err
 	}

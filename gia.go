@@ -361,23 +361,25 @@ type (
 )
 
 // ReactionLatencySweep ablates hijack success vs attacker reaction latency.
-func ReactionLatencySweep(prof InstallerProfile, latencies []time.Duration, trials int, seed int64) ([]SweepPoint, error) {
-	return experiment.ReactionLatencySweep(prof, latencies, trials, seed)
+// workers bounds the trial pool (<= 0 selects NumCPU); results are
+// identical for any pool size.
+func ReactionLatencySweep(prof InstallerProfile, latencies []time.Duration, trials int, seed int64, workers int) ([]SweepPoint, error) {
+	return experiment.ReactionLatencySweep(prof, latencies, trials, seed, workers)
 }
 
 // WaitDelaySweep ablates wait-and-see success vs the pre-measured delay.
-func WaitDelaySweep(prof InstallerProfile, delays []time.Duration, trials int, seed int64) ([]SweepPoint, error) {
-	return experiment.WaitDelaySweep(prof, delays, trials, seed)
+func WaitDelaySweep(prof InstallerProfile, delays []time.Duration, trials int, seed int64, workers int) ([]SweepPoint, error) {
+	return experiment.WaitDelaySweep(prof, delays, trials, seed, workers)
 }
 
 // DMGapSweep ablates the 6.0 DM policy's exposure vs the check-to-use gap.
-func DMGapSweep(gaps []time.Duration, maxTries, trials int, seed int64) ([]SweepPoint, error) {
-	return experiment.DMGapSweep(gaps, maxTries, trials, seed)
+func DMGapSweep(gaps []time.Duration, maxTries, trials int, seed int64, workers int) ([]SweepPoint, error) {
+	return experiment.DMGapSweep(gaps, maxTries, trials, seed, workers)
 }
 
 // DetectionThresholdSweep ablates the IntentFirewall's detection window.
-func DetectionThresholdSweep(thresholds []time.Duration, seed int64) ([]ThresholdOutcome, error) {
-	return experiment.DetectionThresholdSweep(thresholds, seed)
+func DetectionThresholdSweep(thresholds []time.Duration, seed int64, workers int) ([]ThresholdOutcome, error) {
+	return experiment.DetectionThresholdSweep(thresholds, seed, workers)
 }
 
 // AttackVector is one entry of the attack-surface survey.
@@ -394,9 +396,10 @@ func SurfaceTable(profiles []InstallerProfile, dmPolicy dm.SymlinkPolicy) Experi
 	return experiment.SurfaceTable(profiles, dmPolicy)
 }
 
-// FleetStudyTable scales the hijack across a device fleet.
-func FleetStudyTable(devicesPerStore int, seed int64) (ExperimentTable, error) {
-	return experiment.FleetTable(devicesPerStore, seed)
+// FleetStudyTable scales the hijack across a device fleet, fanning devices
+// out on a worker pool of the given size (<= 0 selects NumCPU).
+func FleetStudyTable(devicesPerStore int, seed int64, workers int) (ExperimentTable, error) {
+	return experiment.FleetTable(devicesPerStore, seed, workers)
 }
 
 // MeasurementTables regenerates the corpus-based tables (II, III, IV, VI,

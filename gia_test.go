@@ -127,11 +127,11 @@ func TestPublicAPIAllTablesSmoke(t *testing.T) {
 }
 
 func TestPublicAPISweeps(t *testing.T) {
-	points, err := gia.ReactionLatencySweep(gia.AmazonProfile(), []time.Duration{5 * time.Millisecond}, 2, 7)
+	points, err := gia.ReactionLatencySweep(gia.AmazonProfile(), []time.Duration{5 * time.Millisecond}, 2, 7, 0)
 	if err != nil || len(points) != 1 || points[0].SuccessRate != 1 {
 		t.Fatalf("latency sweep = %+v, %v", points, err)
 	}
-	gaps, err := gia.DMGapSweep([]time.Duration{2 * time.Millisecond}, 20, 1, 9)
+	gaps, err := gia.DMGapSweep([]time.Duration{2 * time.Millisecond}, 20, 1, 9, 0)
 	if err != nil || len(gaps) != 1 {
 		t.Fatalf("gap sweep = %+v, %v", gaps, err)
 	}

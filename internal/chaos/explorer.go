@@ -2,9 +2,10 @@ package chaos
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 	"time"
+
+	"github.com/ghost-installer/gia/internal/par"
 )
 
 // Violation is one schedule on which the invariant did not hold.
@@ -32,25 +33,19 @@ type Result struct {
 	MaxBranch int
 }
 
-// Explorer enumerates schedules and checks an invariant over each. The zero
-// value is ready to use.
+// Explorer enumerates schedules and checks an invariant over each, fanning
+// runs out on the shared par worker pool. The zero value is ready to use.
 type Explorer struct {
-	// Workers bounds the worker pool; <= 0 means runtime.NumCPU. Each
-	// worker runs complete schedules, so RunFuncs must be self-contained
-	// (no shared mutable state between runs).
+	// Workers bounds the worker pool; <= 0 means runtime.NumCPU (the
+	// par.Workers convention). Each worker runs complete schedules, so
+	// RunFuncs must be self-contained (no shared mutable state between
+	// runs).
 	Workers int
 	// MaxSchedules caps how many schedules a call may execute; <= 0 means
 	// no cap. Exhaustive exploration of an N-wide tie costs N! runs.
 	MaxSchedules int
 	// Plan, when non-nil, is the base fault plan cloned into every run.
 	Plan *FaultPlan
-}
-
-func (e *Explorer) workers() int {
-	if e.Workers > 0 {
-		return e.Workers
-	}
-	return runtime.NumCPU()
 }
 
 // Check executes fn once under schedule s and reports the invariant's
@@ -91,93 +86,62 @@ func runGuarded(r *Run, fn RunFunc) (err error) {
 // permutations.
 func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
 	res := &Result{}
-	frontier := []Schedule{base.clone()}
-
-	var (
-		mu       sync.Mutex
-		inflight int
-		wg       sync.WaitGroup
-	)
-	cond := sync.NewCond(&mu)
-	cap := e.MaxSchedules
-
-	worker := func() {
-		defer wg.Done()
-		for {
-			mu.Lock()
-			for len(frontier) == 0 && inflight > 0 {
-				cond.Wait()
-			}
-			if len(frontier) == 0 {
-				mu.Unlock()
-				return
-			}
-			if cap > 0 && res.Explored >= cap {
-				res.Truncated = res.Truncated || len(frontier) > 0
-				frontier = nil
-				cond.Broadcast()
-				mu.Unlock()
-				return
-			}
-			s := frontier[len(frontier)-1]
-			frontier = frontier[:len(frontier)-1]
-			inflight++
-			res.Explored++
+	var mu sync.Mutex
+	maxSchedules := e.MaxSchedules
+	par.Frontier(e.Workers, []Schedule{base.clone()}, func(s Schedule) []Schedule {
+		mu.Lock()
+		if maxSchedules > 0 && res.Explored >= maxSchedules {
+			// The cap was reached while work remained queued: drop this
+			// schedule (and, transitively, its unexplored siblings).
+			res.Truncated = true
 			mu.Unlock()
-
-			r := newRun(s, e.Plan)
-			err := runGuarded(r, fn)
-
-			mu.Lock()
-			// Extend the frontier with every sibling of a default choice
-			// taken past the imposed prefix.
-			for i := len(s.Choices); i < len(r.arb.branches); i++ {
-				if b := r.arb.branches[i]; b > res.MaxBranch {
-					res.MaxBranch = b
-				}
-				for alt := r.arb.choices[i] + 1; alt < r.arb.branches[i]; alt++ {
-					sib := s.clone()
-					sib.Choices = append(append([]int(nil), r.arb.choices[:i]...), alt)
-					frontier = append(frontier, sib)
-				}
-			}
-			if err != nil {
-				res.Violations++
-				v := &Violation{Schedule: trim(r.Schedule()), Err: err}
-				if res.First == nil || lessSchedule(v.Schedule, res.First.Schedule) {
-					res.First = v
-				}
-			}
-			inflight--
-			cond.Broadcast()
-			mu.Unlock()
+			return nil
 		}
-	}
+		res.Explored++
+		mu.Unlock()
 
-	n := e.workers()
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go worker()
-	}
-	wg.Wait()
+		r := newRun(s, e.Plan)
+		err := runGuarded(r, fn)
+
+		mu.Lock()
+		defer mu.Unlock()
+		// Extend the frontier with every sibling of a default choice taken
+		// past the imposed prefix.
+		var sibs []Schedule
+		for i := len(s.Choices); i < len(r.arb.branches); i++ {
+			if b := r.arb.branches[i]; b > res.MaxBranch {
+				res.MaxBranch = b
+			}
+			for alt := r.arb.choices[i] + 1; alt < r.arb.branches[i]; alt++ {
+				sib := s.clone()
+				sib.Choices = append(append([]int(nil), r.arb.choices[:i]...), alt)
+				sibs = append(sibs, sib)
+			}
+		}
+		if err != nil {
+			res.Violations++
+			v := &Violation{Schedule: trim(r.Schedule()), Err: err}
+			if res.First == nil || lessSchedule(v.Schedule, res.First.Schedule) {
+				res.First = v
+			}
+		}
+		return sibs
+	})
 	return res
 }
 
 // Sweep checks the invariant over the full seeds × jitters grid (one
-// schedule per cell, arbiter left at FIFO), using the bounded worker pool.
-// MaxSchedules truncates the grid in row-major order.
+// schedule per cell, arbiter left at FIFO), using the shared bounded worker
+// pool. MaxSchedules truncates the grid in row-major order; Result.First is
+// the violation at the lowest grid index regardless of worker count.
 func (e *Explorer) Sweep(seeds []int64, jitters []time.Duration, fn RunFunc) *Result {
 	if len(jitters) == 0 {
 		jitters = []time.Duration{0}
 	}
-	type cell struct {
-		idx int
-		s   Schedule
-	}
-	cells := make([]cell, 0, len(seeds)*len(jitters))
+	cells := make([]Schedule, 0, len(seeds)*len(jitters))
 	for _, seed := range seeds {
 		for _, j := range jitters {
-			cells = append(cells, cell{idx: len(cells), s: Schedule{Seed: seed, Jitter: j}})
+			cells = append(cells, Schedule{Seed: seed, Jitter: j})
 		}
 	}
 	res := &Result{}
@@ -186,39 +150,30 @@ func (e *Explorer) Sweep(seeds []int64, jitters []time.Duration, fn RunFunc) *Re
 		res.Truncated = true
 	}
 
-	jobs := make(chan cell)
-	var mu sync.Mutex
-	firstIdx := -1
-	var wg sync.WaitGroup
-	n := e.workers()
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				r := newRun(c.s, e.Plan)
-				err := runGuarded(r, fn)
-				mu.Lock()
-				res.Explored++
-				if mb := maxBranch(r.arb.branches); mb > res.MaxBranch {
-					res.MaxBranch = mb
-				}
-				if err != nil {
-					res.Violations++
-					if firstIdx == -1 || c.idx < firstIdx {
-						firstIdx = c.idx
-						res.First = &Violation{Schedule: trim(r.Schedule()), Err: err}
-					}
-				}
-				mu.Unlock()
+	type cellResult struct {
+		sched     Schedule
+		maxBranch int
+		err       error
+	}
+	// The RunFunc's verdict is data (a violation), never a pool error, so
+	// the map always completes the whole grid.
+	outs, _ := par.Map(e.Workers, len(cells), func(i int) (cellResult, error) {
+		r := newRun(cells[i], e.Plan)
+		err := runGuarded(r, fn)
+		return cellResult{sched: trim(r.Schedule()), maxBranch: maxBranch(r.arb.branches), err: err}, nil
+	})
+	for _, o := range outs {
+		res.Explored++
+		if o.maxBranch > res.MaxBranch {
+			res.MaxBranch = o.maxBranch
+		}
+		if o.err != nil {
+			res.Violations++
+			if res.First == nil {
+				res.First = &Violation{Schedule: o.sched, Err: o.err}
 			}
-		}()
+		}
 	}
-	for _, c := range cells {
-		jobs <- c
-	}
-	close(jobs)
-	wg.Wait()
 	return res
 }
 

@@ -27,6 +27,12 @@ const tokenPrefix = "gia1"
 
 // Token renders the schedule as a compact string, e.g.
 // "gia1:42:5ms:0.2.1". The empty choice sequence renders as "-".
+//
+// Token is canonical: ParseToken(s.Token()) reproduces s exactly, and
+// re-rendering any parsed token is a fixpoint (parse→Token→parse yields the
+// same string). Consumers that deduplicate replay tokens must key on
+// ParseToken(tok).Token(), which collapses accepted non-canonical spellings
+// ("+42" seeds, "5000µs" jitters) onto one string per schedule.
 func (s Schedule) Token() string {
 	var b strings.Builder
 	b.WriteString(tokenPrefix)
@@ -56,7 +62,12 @@ func (s Schedule) clone() Schedule {
 	return s
 }
 
-// ParseToken decodes a string produced by Token.
+// ParseToken decodes a string produced by Token. Accepted non-canonical
+// spellings of the numeric fields (an explicit "+" sign, leading zeros,
+// non-normalized duration units) are canonicalized: the returned schedule
+// renders via Token as the one canonical string for that execution. The
+// empty choices segment is rejected — "no choices" is spelled "-" — and a
+// negative jitter never names a real execution, so it is rejected too.
 func ParseToken(tok string) (Schedule, error) {
 	parts := strings.Split(strings.TrimSpace(tok), ":")
 	if len(parts) != 4 || parts[0] != tokenPrefix {
@@ -70,8 +81,15 @@ func ParseToken(tok string) (Schedule, error) {
 	if err != nil {
 		return Schedule{}, fmt.Errorf("chaos: token jitter %q: %w", parts[2], err)
 	}
+	if jitter < 0 {
+		return Schedule{}, fmt.Errorf("chaos: token jitter %q: negative", parts[2])
+	}
 	s := Schedule{Seed: seed, Jitter: jitter}
-	if parts[3] != "-" && parts[3] != "" {
+	switch parts[3] {
+	case "-": // canonical empty choice sequence
+	case "":
+		return Schedule{}, fmt.Errorf("chaos: token %q: empty choices segment (no choices is spelled %q)", tok, "-")
+	default:
 		for _, f := range strings.Split(parts[3], ".") {
 			c, err := strconv.Atoi(f)
 			if err != nil || c < 0 {

@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseTokenRejectsNonCanonicalEmptySegment(t *testing.T) {
+	// "no choices" is spelled "-"; the empty segment used to alias it,
+	// breaking Token/Parse bijectivity (and with it replay-token dedup).
+	if _, err := ParseToken("gia1:42:5ms:"); err == nil {
+		t.Fatal("empty choices segment accepted")
+	}
+	s, err := ParseToken("gia1:42:5ms:-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Choices) != 0 {
+		t.Fatalf("choices = %v", s.Choices)
+	}
+}
+
+func TestParseTokenRejectsNegativeJitter(t *testing.T) {
+	if _, err := ParseToken("gia1:1:-5ms:-"); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+}
+
+func TestParseTokenCanonicalizes(t *testing.T) {
+	// Non-canonical spellings parse, but re-render to the one canonical
+	// token — the dedup key for replay tokens.
+	for noncanon, canon := range map[string]string{
+		"gia1:+42:5ms:0.2.1":   "gia1:42:5ms:0.2.1",
+		"gia1:042:5ms:-":       "gia1:42:5ms:-",
+		"gia1:7:5000µs:-":      "gia1:7:5ms:-",
+		"gia1:7:0s:+1.02":      "gia1:7:0s:1.2",
+		" gia1:7:1m0s:- ":      "gia1:7:1m0s:-",
+		"gia1:-3:1500ms:0.0.3": "gia1:-3:1.5s:0.0.3",
+	} {
+		s, err := ParseToken(noncanon)
+		if err != nil {
+			t.Errorf("ParseToken(%q): %v", noncanon, err)
+			continue
+		}
+		if got := s.Token(); got != canon {
+			t.Errorf("ParseToken(%q).Token() = %q, want %q", noncanon, got, canon)
+		}
+	}
+}
+
+// FuzzTokenRoundTrip pins the two halves of the Token/Parse bijection:
+// ParseToken(s.Token()) == s for any constructible schedule, and for any
+// accepted input string, parse→Token→parse is a fixpoint (one canonical
+// string per schedule).
+func FuzzTokenRoundTrip(f *testing.F) {
+	f.Add(int64(42), int64(5*time.Millisecond), []byte{0, 2, 1}, "gia1:42:5ms:0.2.1")
+	f.Add(int64(-7), int64(0), []byte{}, "gia1:+42:5ms:")
+	f.Add(int64(0), int64(time.Hour+time.Nanosecond), []byte{255}, "gia1:007:5000µs:-")
+	f.Add(int64(1), int64(time.Second), []byte{0, 0}, "gia1:1:1500ms:+0.00.3")
+	f.Fuzz(func(t *testing.T, seed, jitterNs int64, choiceBytes []byte, raw string) {
+		if jitterNs < 0 {
+			jitterNs = 0
+		}
+		s := Schedule{Seed: seed, Jitter: time.Duration(jitterNs)}
+		for _, c := range choiceBytes {
+			s.Choices = append(s.Choices, int(c))
+		}
+		got, err := ParseToken(s.Token())
+		if err != nil {
+			t.Fatalf("ParseToken(%q): %v", s.Token(), err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("round trip: %q parsed to %+v, want %+v", s.Token(), got, s)
+		}
+
+		p1, err := ParseToken(raw)
+		if err != nil {
+			return // malformed inputs only need to be rejected consistently
+		}
+		canon := p1.Token()
+		p2, err := ParseToken(canon)
+		if err != nil {
+			t.Fatalf("canonical token %q does not reparse: %v", canon, err)
+		}
+		if p2.Token() != canon {
+			t.Fatalf("not a fixpoint: %q → %q → %q", raw, canon, p2.Token())
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("canonical reparse differs: %+v vs %+v", p1, p2)
+		}
+	})
+}

@@ -88,8 +88,11 @@ func HijackStudy(seed int64) ([]HijackOutcome, error) {
 	profiles := installer.AllStoreProfiles()
 	var out []HijackOutcome
 	for i, prof := range profiles {
-		for j, strategy := range []attack.Strategy{attack.StrategyFileObserver, attack.StrategyWaitAndSee} {
-			s, err := NewScenario(prof, seed+int64(i*10+j))
+		for _, strategy := range []attack.Strategy{attack.StrategyFileObserver, attack.StrategyWaitAndSee} {
+			// Stream per strategy, index per profile position: profiles can
+			// share a package name (Amazon v1/v2), so the position is the
+			// collision-free coordinate.
+			s, err := NewScenario(prof, deriveSeed(seed, "hijack/"+strategy.String(), int64(i)))
 			if err != nil {
 				return nil, err
 			}
@@ -170,12 +173,12 @@ func TableV(seed int64) (Table, error) {
 		Title:  "Impact of vulnerable pre-installed apps with INSTALL_PACKAGES",
 		Header: []string{"Vulnerable app", "Verified", "Affected devices", "Affected carriers", "Affected vendors"},
 	}
-	for i, e := range entries {
+	for _, e := range entries {
 		verified := "attack reproduced"
 		if e.static {
 			verified = "static analysis only"
 		} else {
-			s, err := NewScenario(e.prof, seed+int64(i))
+			s, err := NewScenario(e.prof, deriveSeed(seed, "tablev/"+e.prof.Package, 0))
 			if err != nil {
 				return Table{}, err
 			}
@@ -206,9 +209,9 @@ type DMOutcome struct {
 // DMStudy exercises the Section III-C attack across the three DM policies.
 func DMStudy(seed int64) ([]DMOutcome, error) {
 	var out []DMOutcome
-	for i, policy := range []dm.SymlinkPolicy{dm.PolicyLegacy, dm.PolicyRecheck, dm.PolicyFixed} {
+	for _, policy := range []dm.SymlinkPolicy{dm.PolicyLegacy, dm.PolicyRecheck, dm.PolicyFixed} {
 		for j, op := range []string{"steal-private-file", "delete-dm-database"} {
-			dev, err := device.Boot(device.Profile{Name: "nexus5", Vendor: "lge", DMPolicy: policy, Seed: seed + int64(i*10+j)})
+			dev, err := device.Boot(device.Profile{Name: "nexus5", Vendor: "lge", DMPolicy: policy, Seed: deriveSeed(seed, "dm/"+policy.String(), int64(j))})
 			if err != nil {
 				return nil, err
 			}
@@ -292,8 +295,8 @@ func RedirectStudy(seed int64) ([]RedirectOutcome, error) {
 		{name: "intent origin", origin: true},
 	}
 	var out []RedirectOutcome
-	for i, cfg := range configs {
-		dev, err := device.Boot(device.Profile{Name: "nexus5", Vendor: "lge", Seed: seed + int64(i)})
+	for _, cfg := range configs {
+		dev, err := device.Boot(device.Profile{Name: "nexus5", Vendor: "lge", Seed: deriveSeed(seed, "redirect/"+cfg.name, 0)})
 		if err != nil {
 			return nil, err
 		}
@@ -465,8 +468,8 @@ func Figure1(seed int64) (Table, error) {
 		Title:  "App Installation Transaction (AIT) steps",
 		Header: []string{"Store", "Step", "Phase", "Virtual time", "Detail"},
 	}
-	for i, prof := range []installer.Profile{installer.Amazon(), installer.DTIgnite(), installer.SlideMe(), installer.GooglePlay()} {
-		s, err := NewScenario(prof, seed+int64(i))
+	for _, prof := range []installer.Profile{installer.Amazon(), installer.DTIgnite(), installer.SlideMe(), installer.GooglePlay()} {
+		s, err := NewScenario(prof, deriveSeed(seed, "figure1/"+prof.Package, 0))
 		if err != nil {
 			return Table{}, err
 		}
@@ -560,7 +563,7 @@ func DAPPStudy(seed int64, cleanInstalls, attacks int) (DAPPStudyResult, error) 
 	// detected.
 	for i := 0; i < attacks; i++ {
 		prof := profiles[i%len(profiles)]
-		as, err := NewScenario(prof, seed+1000+int64(i))
+		as, err := NewScenario(prof, deriveSeed(seed, "dapp/attack", int64(i)))
 		if err != nil {
 			return res, err
 		}

@@ -203,12 +203,21 @@ func TestDefenseLOCSane(t *testing.T) {
 }
 
 func TestPerfTables(t *testing.T) {
-	viii := TableVIII(5)
+	viii, err := TableVIII(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(viii.Rows) != 2 {
 		t.Fatalf("table VIII rows = %d", len(viii.Rows))
 	}
-	ix := TableIX(10)
-	x := TableX(10)
+	ix, err := TableIX(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := TableX(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tab := range []Table{viii, ix, x} {
 		if strings.TrimSpace(tab.Render()) == "" {
 			t.Errorf("%s renders empty", tab.ID)
@@ -217,7 +226,10 @@ func TestPerfTables(t *testing.T) {
 }
 
 func TestDAPPSignaturePerfScalesWithSize(t *testing.T) {
-	res := DAPPSignaturePerf([]int{1 << 10, 1 << 20}, 3)
+	res, err := DAPPSignaturePerf([]int{1 << 10, 1 << 20}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 2 {
 		t.Fatalf("res = %+v", res)
 	}

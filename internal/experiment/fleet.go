@@ -6,6 +6,7 @@ import (
 
 	"github.com/ghost-installer/gia/internal/attack"
 	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/par"
 )
 
 // FleetOutcome aggregates hijack results over many simulated devices of
@@ -26,32 +27,51 @@ func (o FleetOutcome) Rate() float64 {
 
 // FleetStudy scales the attack across a fleet of devices — the paper's
 // "hundreds of millions of users" claim in miniature. Each device gets a
-// fresh seed (timing jitter, random names, different gaps); the attack
-// must not depend on any particular draw.
-func FleetStudy(devicesPerStore int, seed int64) ([]FleetOutcome, error) {
+// collision-free derived seed (timing jitter, random names, different
+// gaps); the attack must not depend on any particular draw. Devices own
+// private simulators, so the study fans out on a worker pool of the given
+// size (<= 0 selects NumCPU); the aggregate is identical for any pool size.
+func FleetStudy(devicesPerStore int, seed int64, workers int) ([]FleetOutcome, error) {
 	profiles := []installer.Profile{
 		installer.Amazon(), installer.Xiaomi(), installer.Baidu(),
 		installer.Qihoo360(), installer.DTIgnite(), installer.HuaweiStore(),
 	}
-	byStore := make(map[string]*FleetOutcome)
-	for i, prof := range profiles {
-		o := &FleetOutcome{Store: prof.Package}
-		byStore[prof.Package] = o
+	type job struct {
+		prof   installer.Profile
+		device int
+	}
+	jobs := make([]job, 0, len(profiles)*devicesPerStore)
+	for _, prof := range profiles {
 		for d := 0; d < devicesPerStore; d++ {
-			s, err := NewScenario(prof, seed+int64(i*1000+d))
-			if err != nil {
-				return nil, err
-			}
-			atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), s.Target)
-			if err := atk.Launch(); err != nil {
-				return nil, err
-			}
-			res := s.RunAIT()
-			atk.Stop()
-			o.Devices++
-			if res.Hijacked {
-				o.Hijacked++
-			}
+			jobs = append(jobs, job{prof: prof, device: d})
+		}
+	}
+	hijacked, err := par.Map(workers, len(jobs), func(i int) (bool, error) {
+		j := jobs[i]
+		s, err := NewScenario(j.prof, deriveSeed(seed, "fleet/"+j.prof.Package, int64(j.device)))
+		if err != nil {
+			return false, err
+		}
+		atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(j.prof, attack.StrategyFileObserver), s.Target)
+		if err := atk.Launch(); err != nil {
+			return false, err
+		}
+		res := s.RunAIT()
+		atk.Stop()
+		return res.Hijacked, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	byStore := make(map[string]*FleetOutcome, len(profiles))
+	for _, prof := range profiles {
+		byStore[prof.Package] = &FleetOutcome{Store: prof.Package}
+	}
+	for i, hit := range hijacked {
+		o := byStore[jobs[i].prof.Package]
+		o.Devices++
+		if hit {
+			o.Hijacked++
 		}
 	}
 	names := make([]string, 0, len(byStore))
@@ -67,8 +87,8 @@ func FleetStudy(devicesPerStore int, seed int64) ([]FleetOutcome, error) {
 }
 
 // FleetTable renders the fleet study.
-func FleetTable(devicesPerStore int, seed int64) (Table, error) {
-	outcomes, err := FleetStudy(devicesPerStore, seed)
+func FleetTable(devicesPerStore int, seed int64, workers int) (Table, error) {
+	outcomes, err := FleetStudy(devicesPerStore, seed, workers)
 	if err != nil {
 		return Table{}, err
 	}

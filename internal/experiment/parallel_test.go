@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/chaos"
+	"github.com/ghost-installer/gia/internal/fault"
+)
+
+// stubPerfClock swaps the wall-clock stopwatch for a constant, so the perf
+// tables — the only wall-clock-dependent output — render identically no
+// matter how measurements interleave across workers.
+func stubPerfClock(t *testing.T) {
+	t.Helper()
+	orig := perfClock
+	perfClock = func() func() time.Duration {
+		return func() time.Duration { return time.Millisecond }
+	}
+	t.Cleanup(func() { perfClock = orig })
+}
+
+// TestParallelMatchesSerial pins the engine's reproducibility contract: a
+// full AllTables run renders byte-identically with 1 worker and with 8.
+func TestParallelMatchesSerial(t *testing.T) {
+	stubPerfClock(t)
+	opts := Options{Seed: 2017, Scale: 0.02, PerfReps: 2, DAPPInstalls: 6, Workers: 1}
+	serial, err := AllTables(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	parallel, err := AllTables(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("table count: %d serial vs %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if s, p := serial[i].Render(), parallel[i].Render(); s != p {
+			t.Errorf("table %s differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+				serial[i].ID, s, p)
+		}
+	}
+}
+
+// TestPerfFaultPathsPropagate pins the fault-path fix: a failing operation
+// inside a perf measurement loop used to panic out of the whole process;
+// now it must surface as the measurement's error, all the way out of
+// AllTables. FaultPlan probing is not concurrency-safe, so these cases run
+// the engine with one worker.
+func TestPerfFaultPathsPropagate(t *testing.T) {
+	stubPerfClock(t)
+	orig := perfInjector
+	t.Cleanup(func() { perfInjector = orig })
+
+	// A write failing mid-measurement (past the Skip window) aborts the
+	// FUSE DAC table with the injected error.
+	perfInjector = chaos.NewFaultPlan(1, chaos.Rule{Site: fault.SiteVFSWrite, Kind: fault.KindError, Skip: 3})
+	if _, err := TableVIII(2); err == nil {
+		t.Error("TableVIII swallowed an injected write fault")
+	} else if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("TableVIII error = %v, want wrapped fault.ErrInjected", err)
+	}
+
+	perfInjector = chaos.NewFaultPlan(1, chaos.Rule{Site: fault.SiteVFSRead, Kind: fault.KindError, Skip: 1})
+	if _, err := DAPPSignaturePerf([]int{1 << 12}, 2); err == nil {
+		t.Error("DAPPSignaturePerf swallowed an injected read fault")
+	}
+
+	perfInjector = chaos.NewFaultPlan(1, chaos.Rule{Site: fault.SiteIntentDeliver, Kind: fault.KindError, Skip: 2})
+	if _, err := TableIX(3); err == nil {
+		t.Error("TableIX swallowed an injected delivery fault")
+	}
+
+	perfInjector = chaos.NewFaultPlan(1, chaos.Rule{Site: fault.SiteVFSWrite, Kind: fault.KindError, Skip: 3})
+	if _, err := AllTables(Options{Seed: 3, Scale: 0.02, PerfReps: 2, DAPPInstalls: 6, Workers: 1}); err == nil {
+		t.Error("AllTables swallowed the perf fault")
+	} else if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("AllTables error = %v, want wrapped fault.ErrInjected", err)
+	}
+}

@@ -4,12 +4,28 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/ghost-installer/gia/internal/fault"
 	"github.com/ghost-installer/gia/internal/fuse"
 	"github.com/ghost-installer/gia/internal/intents"
 	"github.com/ghost-installer/gia/internal/procfs"
 	"github.com/ghost-installer/gia/internal/sim"
 	"github.com/ghost-installer/gia/internal/vfs"
 )
+
+// perfClock hands each measurement its stopwatch: the returned function
+// reports the elapsed time since perfClock was called. The default reads
+// the monotonic wall clock; tests swap in a deterministic counter so
+// parallel and serial AllTables runs render byte-identical perf tables.
+var perfClock = func() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+// perfInjector, when non-nil, is installed on every simulator a perf
+// measurement builds. The perf paths used to panic on injected faults —
+// taking down a whole AllTables run from inside a measurement loop — so the
+// fault tests drive this hook to pin the error propagation instead.
+var perfInjector fault.Injector
 
 // PerfResult is one measured configuration.
 type PerfResult struct {
@@ -21,64 +37,85 @@ type PerfResult struct {
 // FuseDACPerf measures the wall-clock cost of 1 MiB writes and reads on the
 // FUSE-wrapped SD card with the original vs the modified (Section V-C) DAC
 // scheme — the Table VIII experiment. reps mirrors the paper's 100
-// iterations.
-func FuseDACPerf(reps int) (origWrite, modWrite, origRead, modRead PerfResult) {
+// iterations. A failing operation aborts the measurement with its error:
+// an injected or real fault must surface, not poison the timings.
+func FuseDACPerf(reps int) (origWrite, modWrite, origRead, modRead PerfResult, err error) {
 	if reps <= 0 {
 		reps = 100
 	}
 	payload := make([]byte, 1<<20)
-	run := func(patched bool) (write, read PerfResult) {
+	run := func(patched bool) (write, read PerfResult, err error) {
 		fs := vfs.New(func() time.Duration { return 0 })
+		fs.SetFaultInjector(perfInjector)
 		daemon := fuse.New("/sdcard", func(vfs.UID, string) bool { return true })
 		daemon.SetPatched(patched)
 		_ = fs.MkdirAll("/sdcard/store", vfs.Root, vfs.ModeDir)
 		_ = fs.Mount("/sdcard", daemon, 0)
 		const owner vfs.UID = 10010
 
-		start := time.Now()
+		elapsed := perfClock()
 		for i := 0; i < reps; i++ {
 			if err := fs.WriteFile("/sdcard/store/app.apk", payload, owner, vfs.ModeShared); err != nil {
-				panic(fmt.Sprintf("experiment: fuse perf write: %v", err))
+				return write, read, fmt.Errorf("experiment: fuse perf write: %w", err)
 			}
 		}
-		write = PerfResult{NsOp: float64(time.Since(start).Nanoseconds()) / float64(reps), Reps: reps}
+		write = PerfResult{NsOp: float64(elapsed().Nanoseconds()) / float64(reps), Reps: reps}
 
-		start = time.Now()
+		elapsed = perfClock()
 		for i := 0; i < reps; i++ {
 			if _, err := fs.ReadFile("/sdcard/store/app.apk", owner); err != nil {
-				panic(fmt.Sprintf("experiment: fuse perf read: %v", err))
+				return write, read, fmt.Errorf("experiment: fuse perf read: %w", err)
 			}
 		}
-		read = PerfResult{NsOp: float64(time.Since(start).Nanoseconds()) / float64(reps), Reps: reps}
-		return write, read
+		read = PerfResult{NsOp: float64(elapsed().Nanoseconds()) / float64(reps), Reps: reps}
+		return write, read, nil
 	}
 	// Warm-up plus three interleaved rounds, keeping the per-config
 	// minimum: minima are robust against allocator growth and GC pauses
 	// triggered by whatever ran earlier in the process.
-	run(false)
-	run(true)
+	if _, _, err := run(false); err != nil {
+		return origWrite, modWrite, origRead, modRead, err
+	}
+	if _, _, err := run(true); err != nil {
+		return origWrite, modWrite, origRead, modRead, err
+	}
 	minOf := func(a, b PerfResult) PerfResult {
 		if b.NsOp < a.NsOp {
 			return b
 		}
 		return a
 	}
-	ow, or := run(false)
-	mw, mr := run(true)
+	ow, or, err := run(false)
+	if err != nil {
+		return origWrite, modWrite, origRead, modRead, err
+	}
+	mw, mr, err := run(true)
+	if err != nil {
+		return origWrite, modWrite, origRead, modRead, err
+	}
 	for round := 0; round < 2; round++ {
-		w, r := run(false)
+		w, r, err := run(false)
+		if err != nil {
+			return origWrite, modWrite, origRead, modRead, err
+		}
 		ow, or = minOf(ow, w), minOf(or, r)
-		w, r = run(true)
+		w, r, err = run(true)
+		if err != nil {
+			return origWrite, modWrite, origRead, modRead, err
+		}
 		mw, mr = minOf(mw, w), minOf(mr, r)
 	}
 	ow.Name, or.Name = "write (org DAC)", "read (org DAC)"
 	mw.Name, mr.Name = "write (mod DAC)", "read (mod DAC)"
-	return ow, mw, or, mr
+	return ow, mw, or, mr, nil
 }
 
 // TableVIII renders the FUSE DAC overhead measurement.
-func TableVIII(reps int) Table {
-	ow, mw, or, mr := FuseDACPerf(reps)
+func TableVIII(reps int) (Table, error) {
+	ow, mw, or, mr, err := FuseDACPerf(reps)
+	if err != nil {
+		return Table{}, err
+	}
 	return Table{
 		ID:     "Table VIII",
 		Title:  "FUSE DAC scheme performance (1 MiB ops on the SD card)",
@@ -88,12 +125,12 @@ func TableVIII(reps int) Table {
 			{"read", fmt.Sprintf("%.0f", or.NsOp), fmt.Sprintf("%.0f", mr.NsOp), pct(mr.NsOp / or.NsOp)},
 		},
 		Notes: []string{fmt.Sprintf("%d repetitions per configuration, wall-clock", ow.Reps)},
-	}
+	}, nil
 }
 
 // intentDeliveryPerf measures wall-clock intent delivery cost with a given
 // firewall configuration. It returns ns per delivered intent.
-func intentDeliveryPerf(reps int, detection, origin bool) float64 {
+func intentDeliveryPerf(reps int, detection, origin bool) (float64, error) {
 	sched := sim.New(1)
 	procs := procfs.NewTable()
 	ams := intents.New(sched, procs, intents.Options{
@@ -101,6 +138,7 @@ func intentDeliveryPerf(reps int, detection, origin bool) float64 {
 		Perms:           func(vfs.UID, string) bool { return true },
 		UIDOf:           func(string) (vfs.UID, bool) { return 10001, true },
 	})
+	ams.SetFaultInjector(perfInjector)
 	ams.Firewall().EnableDetection(detection)
 	ams.Firewall().EnableOrigin(origin)
 	// Alternate two senders so detection bookkeeping takes its real path
@@ -109,14 +147,14 @@ func intentDeliveryPerf(reps int, detection, origin bool) float64 {
 	ams.RegisterActivity("com.recv", "A", true, "", func(intents.Intent) string { return "x" })
 	senders := []string{"com.a", "com.b"}
 
-	start := time.Now()
+	elapsed := perfClock()
 	for i := 0; i < reps; i++ {
 		if err := ams.StartActivity(senders[i%2], intents.Intent{TargetPkg: "com.recv", Component: "A"}); err != nil {
-			panic(fmt.Sprintf("experiment: intent perf: %v", err))
+			return 0, fmt.Errorf("experiment: intent perf: %w", err)
 		}
 		sched.Run()
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(reps)
+	return float64(elapsed().Nanoseconds()) / float64(reps), nil
 }
 
 // checkIntentPerf measures the CheckIntent logic in isolation (the paper's
@@ -133,11 +171,11 @@ func checkIntentPerf(reps int, detection, origin bool) float64 {
 	in := intents.Intent{TargetPkg: "com.recv", Component: "A"}
 	// Amplify to get above timer resolution.
 	const amplify = 100
-	start := time.Now()
+	elapsed := perfClock()
 	for i := 0; i < reps*amplify; i++ {
 		fw.CheckIntent(senders[i%2], "com.recv", &in)
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(reps*amplify)
+	return float64(elapsed().Nanoseconds()) / float64(reps*amplify)
 }
 
 // RealDeviceDeliveryNs is the paper's measured end-to-end Intent delivery
@@ -148,14 +186,17 @@ const RealDeviceDeliveryNs = 4_804_339.0
 // IntentPerf measures total simulated delivery cost and the direct cost of
 // the added CheckIntent logic, reproducing Tables IX and X. The logic cost
 // is measured in isolation (as the paper instrumented its checkIntent).
-func IntentPerf(reps int, origin bool) (total, logic float64) {
+func IntentPerf(reps int, origin bool) (total, logic float64, err error) {
 	if reps <= 0 {
 		reps = 50
 	}
 	detection := !origin
 	// Minimum of three rounds for both measurements.
 	for round := 0; round < 3; round++ {
-		t := intentDeliveryPerf(reps, detection, origin)
+		t, err := intentDeliveryPerf(reps, detection, origin)
+		if err != nil {
+			return 0, 0, err
+		}
 		l := checkIntentPerf(reps, detection, origin)
 		if round == 0 || t < total {
 			total = t
@@ -164,11 +205,14 @@ func IntentPerf(reps int, origin bool) (total, logic float64) {
 			logic = l
 		}
 	}
-	return total, logic
+	return total, logic, nil
 }
 
-func intentPerfTable(id, title string, reps int, origin bool) Table {
-	total, logic := IntentPerf(reps, origin)
+func intentPerfTable(id, title string, reps int, origin bool) (Table, error) {
+	total, logic, err := IntentPerf(reps, origin)
+	if err != nil {
+		return Table{}, err
+	}
 	simShare := 0.0
 	if total > 0 {
 		simShare = logic / total
@@ -189,49 +233,50 @@ func intentPerfTable(id, title string, reps int, origin bool) Table {
 		Notes: []string{
 			"the simulated delivery path lacks binder/zygote/rendering costs, so the real-device column is the comparable one",
 		},
-	}
+	}, nil
 }
 
 // TableIX renders the Intent detection scheme overhead.
-func TableIX(reps int) Table {
+func TableIX(reps int) (Table, error) {
 	return intentPerfTable("Table IX", "Intent detection scheme performance", reps, false)
 }
 
 // TableX renders the Intent origin scheme overhead.
-func TableX(reps int) Table {
+func TableX(reps int) (Table, error) {
 	return intentPerfTable("Table X", "Intent origin scheme performance", reps, true)
 }
 
 // DAPPSignaturePerf measures DAPP's hot path — reading and parsing a staged
 // APK to grab its signature — as a function of APK size (the Section VI-B
 // CPU/RAM spike discussion).
-func DAPPSignaturePerf(sizes []int, reps int) []PerfResult {
+func DAPPSignaturePerf(sizes []int, reps int) ([]PerfResult, error) {
 	if reps <= 0 {
 		reps = 20
 	}
 	var out []PerfResult
 	for _, size := range sizes {
 		fs := vfs.New(func() time.Duration { return 0 })
+		fs.SetFaultInjector(perfInjector)
 		_ = fs.MkdirAll("/sdcard/store", vfs.Root, vfs.ModeDir)
 		data := buildPaddedAPK(size)
 		if err := fs.WriteFile("/sdcard/store/a.apk", data, vfs.UID(10010), vfs.ModeShared); err != nil {
-			panic(fmt.Sprintf("experiment: dapp perf stage: %v", err))
+			return nil, fmt.Errorf("experiment: dapp perf stage: %w", err)
 		}
-		start := time.Now()
+		elapsed := perfClock()
 		for i := 0; i < reps; i++ {
 			raw, err := fs.ReadFile("/sdcard/store/a.apk", vfs.UID(10020))
 			if err != nil {
-				panic(fmt.Sprintf("experiment: dapp perf read: %v", err))
+				return nil, fmt.Errorf("experiment: dapp perf read: %w", err)
 			}
 			if _, err := decodeForPerf(raw); err != nil {
-				panic(fmt.Sprintf("experiment: dapp perf decode: %v", err))
+				return nil, fmt.Errorf("experiment: dapp perf decode: %w", err)
 			}
 		}
 		out = append(out, PerfResult{
 			Name: fmt.Sprintf("%d-byte apk", len(data)),
-			NsOp: float64(time.Since(start).Nanoseconds()) / float64(reps),
+			NsOp: float64(elapsed().Nanoseconds()) / float64(reps),
 			Reps: reps,
 		})
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,9 @@
 package experiment
 
-import "github.com/ghost-installer/gia/internal/corpus"
+import (
+	"github.com/ghost-installer/gia/internal/corpus"
+	"github.com/ghost-installer/gia/internal/par"
+)
 
 // Options configure a full experiment sweep.
 type Options struct {
@@ -10,89 +13,51 @@ type Options struct {
 	// DAPPInstalls sizes the DAPP false-positive trace (default 24; the
 	// paper's full trace used 924 installs).
 	DAPPInstalls int
+	// Workers bounds the experiment engine's shared worker pool; <= 0
+	// selects NumCPU. Independent tables generate concurrently and the
+	// fleet/suggestion/chaos studies fan out on the same bound. Every
+	// study builds private simulators from derived seeds, so the rendered
+	// output is bit-identical for any worker count.
+	Workers int
 }
 
 // AllTables regenerates every paper table and figure plus the in-text
-// studies, in presentation order.
+// studies, in presentation order. The tables are independent of each other
+// (they share only the read-only corpus), so they run concurrently on the
+// worker pool; results come back in presentation order and, on failure, the
+// error of the earliest failing table is returned.
 func AllTables(opts Options) ([]Table, error) {
 	if opts.Scale <= 0 {
 		opts.Scale = 1.0
-	}
-	c := corpus.Generate(corpus.Config{Seed: opts.Seed, Scale: opts.Scale})
-	var tables []Table
-	add := func(t Table, err error) error {
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-		return nil
-	}
-	if err := add(TableI(), nil); err != nil {
-		return nil, err
-	}
-	if err := add(TableII(c), nil); err != nil {
-		return nil, err
-	}
-	if err := add(TableIII(c), nil); err != nil {
-		return nil, err
-	}
-	if err := add(TableIV(c), nil); err != nil {
-		return nil, err
-	}
-	if err := add(TableV(opts.Seed)); err != nil {
-		return nil, err
-	}
-	if err := add(TableVI(c), nil); err != nil {
-		return nil, err
-	}
-	if err := add(TableVII(opts.Seed)); err != nil {
-		return nil, err
-	}
-	if err := add(TableVIII(opts.PerfReps), nil); err != nil {
-		return nil, err
-	}
-	if err := add(TableIX(opts.PerfReps), nil); err != nil {
-		return nil, err
-	}
-	if err := add(TableX(opts.PerfReps), nil); err != nil {
-		return nil, err
-	}
-	if err := add(Figure1(opts.Seed)); err != nil {
-		return nil, err
-	}
-	if err := add(HijackTable(opts.Seed)); err != nil {
-		return nil, err
-	}
-	if err := add(DMTable(opts.Seed)); err != nil {
-		return nil, err
-	}
-	if err := add(RedirectTable(opts.Seed)); err != nil {
-		return nil, err
-	}
-	if err := add(KeyStudy(c), nil); err != nil {
-		return nil, err
-	}
-	if err := add(HareStudy(c), nil); err != nil {
-		return nil, err
-	}
-	if err := add(SuggestionTable(opts.Seed)); err != nil {
-		return nil, err
-	}
-	if err := add(FlowStudy(c, 43), nil); err != nil {
-		return nil, err
 	}
 	installs := opts.DAPPInstalls
 	if installs <= 0 {
 		installs = 24
 	}
-	if err := add(DAPPTable(opts.Seed, installs, 6)); err != nil {
-		return nil, err
+	// Generated once up front; the table builders only read it.
+	c := corpus.Generate(corpus.Config{Seed: opts.Seed, Scale: opts.Scale})
+	jobs := []func() (Table, error){
+		func() (Table, error) { return TableI(), nil },
+		func() (Table, error) { return TableII(c), nil },
+		func() (Table, error) { return TableIII(c), nil },
+		func() (Table, error) { return TableIV(c), nil },
+		func() (Table, error) { return TableV(opts.Seed) },
+		func() (Table, error) { return TableVI(c), nil },
+		func() (Table, error) { return TableVII(opts.Seed) },
+		func() (Table, error) { return TableVIII(opts.PerfReps) },
+		func() (Table, error) { return TableIX(opts.PerfReps) },
+		func() (Table, error) { return TableX(opts.PerfReps) },
+		func() (Table, error) { return Figure1(opts.Seed) },
+		func() (Table, error) { return HijackTable(opts.Seed) },
+		func() (Table, error) { return DMTable(opts.Seed) },
+		func() (Table, error) { return RedirectTable(opts.Seed) },
+		func() (Table, error) { return KeyStudy(c), nil },
+		func() (Table, error) { return HareStudy(c), nil },
+		func() (Table, error) { return SuggestionTable(opts.Seed, opts.Workers) },
+		func() (Table, error) { return FlowStudy(c, 43), nil },
+		func() (Table, error) { return DAPPTable(opts.Seed, installs, 6) },
+		func() (Table, error) { return FleetTable(5, opts.Seed, opts.Workers) },
+		func() (Table, error) { return ChaosTable(opts.Seed, opts.Workers) },
 	}
-	if err := add(FleetTable(5, opts.Seed)); err != nil {
-		return nil, err
-	}
-	if err := add(ChaosTable(opts.Seed, 0)); err != nil {
-		return nil, err
-	}
-	return tables, nil
+	return par.Map(opts.Workers, len(jobs), func(i int) (Table, error) { return jobs[i]() })
 }

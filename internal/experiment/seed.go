@@ -1,0 +1,49 @@
+package experiment
+
+// Seed derivation for the experiment engine.
+//
+// Every study fans out over stores × trials × devices, and each leaf builds
+// its whole world from one int64 seed. The old additive strides
+// (seed+i*1000+d, i*10+j, trial*31+latency, …) silently collide once a
+// study is scaled past the hard-coded stride — exactly the fleet-scale runs
+// the ROADMAP cares about — feeding duplicated timing draws into supposedly
+// independent devices. deriveSeed replaces them with a SplitMix64-style
+// mix, the contract being:
+//
+//   - for a fixed (root, stream), every index maps to a distinct seed: the
+//     golden-ratio stride is odd (injective mod 2^64) and the SplitMix64
+//     finalizer is a bijection, so collisions across indexes are impossible
+//     at any fleet size;
+//   - distinct streams decorrelate whole studies: the stream label is
+//     hashed (FNV-1a) into the state before finalizing, so "fleet/<store>"
+//     and "hijack/<store>" draw from unrelated sequences even under the
+//     same root seed.
+
+// deriveSeed maps (root, stream, index) to a statistically independent
+// scenario seed. stream names the study and its fixed coordinates (for
+// example "fleet/com.amazon.venezia"); index enumerates the trial or device
+// within the stream.
+func deriveSeed(root int64, stream string, index int64) int64 {
+	x := splitmix64(uint64(root) ^ fnv1a(stream))
+	x += uint64(index) * 0x9E3779B97F4A7C15
+	return int64(splitmix64(x))
+}
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64 generator — a
+// bijection on uint64 with full avalanche.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes a stream label (FNV-1a, 64-bit).
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,97 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// TestDeriveSeedFleetScaleDistinct pins the seed-collision fix: at fleet
+// scale (6 stores × 2000 devices — past every stride the old additive
+// scheme used) every (stream, index) pair must map to a distinct scenario
+// seed.
+func TestDeriveSeedFleetScaleDistinct(t *testing.T) {
+	profiles := []installer.Profile{
+		installer.Amazon(), installer.Xiaomi(), installer.Baidu(),
+		installer.Qihoo360(), installer.DTIgnite(), installer.HuaweiStore(),
+	}
+	const devices = 2000
+	seen := make(map[int64]string, len(profiles)*devices)
+	for _, prof := range profiles {
+		for d := int64(0); d < devices; d++ {
+			coord := fmt.Sprintf("%s/%d", prof.Package, d)
+			s := deriveSeed(2017, "fleet/"+prof.Package, d)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("derived seed collision: %s and %s both map to %d", prev, coord, s)
+			}
+			seen[s] = coord
+		}
+	}
+
+	// The legacy stride this replaces (seed + store*1000 + device) collides
+	// as soon as devicesPerStore crosses the hard-coded 1000 — store 0
+	// device 1000 and store 1 device 0 ran identical worlds.
+	legacy := func(store, device int) int64 { return 2017 + int64(store*1000+device) }
+	if legacy(0, 1000) != legacy(1, 0) {
+		t.Fatal("legacy stride arithmetic changed; regression demonstration is stale")
+	}
+}
+
+// TestDeriveSeedStreamsDecorrelated pins the stream contract: the same
+// (root, index) under different stream labels draws unrelated seeds, and
+// the same coordinates always rederive the same seed.
+func TestDeriveSeedStreamsDecorrelated(t *testing.T) {
+	if a, b := deriveSeed(5, "fleet/com.amazon.venezia", 3), deriveSeed(5, "hijack/file-observer", 3); a == b {
+		t.Errorf("streams collide: both derive %d", a)
+	}
+	if a, b := deriveSeed(5, "fleet/x", 0), deriveSeed(5, "fleet/x", 0); a != b {
+		t.Errorf("derivation not deterministic: %d vs %d", a, b)
+	}
+	if a, b := deriveSeed(5, "fleet/x", 0), deriveSeed(6, "fleet/x", 0); a == b {
+		t.Errorf("roots collide: both derive %d", a)
+	}
+}
+
+// TestSeed2017Outcomes pins the headline study verdicts at the default
+// bench seed under the new derivation: reseeding must not have flipped the
+// paper's reproduced conclusions.
+func TestSeed2017Outcomes(t *testing.T) {
+	fleet, err := FleetStudy(3, 2017, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 6 {
+		t.Fatalf("fleet outcomes = %d", len(fleet))
+	}
+	for _, o := range fleet {
+		if o.Rate() != 1.0 {
+			t.Errorf("%s fleet rate = %.2f, want 1.0", o.Store, o.Rate())
+		}
+	}
+
+	dms, err := DMStudy(2017)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range dms {
+		fixed := o.Policy.String() == "fixed"
+		if o.Succeeded == fixed {
+			t.Errorf("dm %s/%s succeeded=%v, want %v", o.Policy, o.Operation, o.Succeeded, !fixed)
+		}
+	}
+
+	sug, err := SuggestionStudy(2017, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sug {
+		if !o.StockHijacked {
+			t.Errorf("suggestion %s/%v: stock resisted", o.Store, o.Strategy)
+		}
+		if o.HardenedHijacked || !o.HardenedClean {
+			t.Errorf("suggestion %s/%v: hardened fell (hijacked=%v clean=%v)",
+				o.Store, o.Strategy, o.HardenedHijacked, o.HardenedClean)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/ghost-installer/gia/internal/attack"
 	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/par"
 )
 
 // SuggestionOutcome is one row of the Section VII developer-suggestion
@@ -20,13 +21,20 @@ type SuggestionOutcome struct {
 // SuggestionStudy applies the paper's developer suggestions (prefer
 // internal staging; verify on a private copy) to the vulnerable store
 // profiles and replays both hijack strategies: the stock profile falls,
-// the hardened one does not.
-func SuggestionStudy(seed int64) ([]SuggestionOutcome, error) {
+// the hardened one does not. The (store, strategy) cells are independent
+// worlds, so they fan out on a worker pool of the given size (<= 0 selects
+// NumCPU); the outcome order is fixed for any pool size.
+func SuggestionStudy(seed int64, workers int) ([]SuggestionOutcome, error) {
 	profiles := []installer.Profile{
 		installer.Amazon(), installer.Xiaomi(), installer.Baidu(), installer.DTIgnite(),
 	}
-	var out []SuggestionOutcome
-	for i, prof := range profiles {
+	type job struct {
+		prof     installer.Profile
+		strategy attack.Strategy
+		index    int64
+	}
+	var jobs []job
+	for _, prof := range profiles {
 		strategies := []attack.Strategy{attack.StrategyFileObserver, attack.StrategyWaitAndSee}
 		if prof.TempNameRename {
 			// The paper attacked Xiaomi via its rename signal (the
@@ -35,42 +43,49 @@ func SuggestionStudy(seed int64) ([]SuggestionOutcome, error) {
 			strategies = strategies[:1]
 		}
 		for j, strategy := range strategies {
-			run := func(p installer.Profile, localSeed int64) (installer.Result, error) {
-				s, err := NewScenario(p, localSeed)
-				if err != nil {
-					return installer.Result{}, err
-				}
-				atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, strategy), s.Target)
-				if err := atk.Launch(); err != nil {
-					return installer.Result{}, err
-				}
-				res := s.RunAIT()
-				atk.Stop()
-				return res, nil
-			}
-			stock, err := run(prof, seed+int64(i*10+j))
-			if err != nil {
-				return nil, err
-			}
-			hardened, err := run(installer.Hardened(prof), seed+int64(i*10+j))
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SuggestionOutcome{
-				Store:            prof.Package,
-				Strategy:         strategy,
-				StockHijacked:    stock.Hijacked,
-				HardenedHijacked: hardened.Hijacked,
-				HardenedClean:    hardened.Clean(),
-			})
+			jobs = append(jobs, job{prof: prof, strategy: strategy, index: int64(j)})
 		}
 	}
-	return out, nil
+	return par.Map(workers, len(jobs), func(i int) (SuggestionOutcome, error) {
+		jb := jobs[i]
+		run := func(p installer.Profile, localSeed int64) (installer.Result, error) {
+			s, err := NewScenario(p, localSeed)
+			if err != nil {
+				return installer.Result{}, err
+			}
+			atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(jb.prof, jb.strategy), s.Target)
+			if err := atk.Launch(); err != nil {
+				return installer.Result{}, err
+			}
+			res := s.RunAIT()
+			atk.Stop()
+			return res, nil
+		}
+		// The stock and hardened runs deliberately share one derived seed:
+		// the comparison must isolate the profile change from the timing
+		// draws.
+		localSeed := deriveSeed(seed, "suggestion/"+jb.prof.Package, jb.index)
+		stock, err := run(jb.prof, localSeed)
+		if err != nil {
+			return SuggestionOutcome{}, err
+		}
+		hardened, err := run(installer.Hardened(jb.prof), localSeed)
+		if err != nil {
+			return SuggestionOutcome{}, err
+		}
+		return SuggestionOutcome{
+			Store:            jb.prof.Package,
+			Strategy:         jb.strategy,
+			StockHijacked:    stock.Hijacked,
+			HardenedHijacked: hardened.Hijacked,
+			HardenedClean:    hardened.Clean(),
+		}, nil
+	})
 }
 
 // SuggestionTable renders the suggestion study.
-func SuggestionTable(seed int64) (Table, error) {
-	outcomes, err := SuggestionStudy(seed)
+func SuggestionTable(seed int64, workers int) (Table, error) {
+	outcomes, err := SuggestionStudy(seed, workers)
 	if err != nil {
 		return Table{}, err
 	}

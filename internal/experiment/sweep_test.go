@@ -11,7 +11,7 @@ func TestReactionLatencySweepShape(t *testing.T) {
 	// Amazon's check-to-install gap is 120–200 ms: a fast attacker always
 	// wins, one slower than the maximum gap always loses.
 	points, err := ReactionLatencySweep(installer.Amazon(),
-		[]time.Duration{5 * time.Millisecond, 300 * time.Millisecond}, 6, 401)
+		[]time.Duration{5 * time.Millisecond, 300 * time.Millisecond}, 6, 401, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestReactionLatencySweepShape(t *testing.T) {
 	}
 	// A latency inside the gap spread wins sometimes but not always.
 	mid, err := ReactionLatencySweep(installer.Amazon(),
-		[]time.Duration{160 * time.Millisecond}, 12, 409)
+		[]time.Duration{160 * time.Millisecond}, 12, 409, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestWaitDelaySweepShape(t *testing.T) {
 	// early (corrupts before the check), 2 s is the paper's sweet spot,
 	// 10 s is too late.
 	points, err := WaitDelaySweep(installer.DTIgnite(),
-		[]time.Duration{100 * time.Millisecond, 2 * time.Second, 10 * time.Second}, 5, 421)
+		[]time.Duration{100 * time.Millisecond, 2 * time.Second, 10 * time.Second}, 5, 421, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestDMGapSweepShape(t *testing.T) {
 	// With the flip period fixed at 300 µs, a wide gap is easy to hit and
 	// a tiny gap is hard — but with retries even the tiny gap falls,
 	// matching the paper's conclusion that only resolve-once fixes it.
-	points, err := DMGapSweep([]time.Duration{2 * time.Millisecond, 50 * time.Microsecond}, 50, 4, 431)
+	points, err := DMGapSweep([]time.Duration{2 * time.Millisecond, 50 * time.Microsecond}, 50, 4, 431, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestDetectionThresholdSweepShape(t *testing.T) {
 		time.Millisecond, // far below the attacker's ~20 ms reaction: misses
 		time.Second,      // the paper's choice: catches, no FPs
 		30 * time.Second, // oversized: catches, but benign navigation alarms
-	}, 443)
+	}, 443, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestDetectionThresholdSweepShape(t *testing.T) {
 }
 
 func TestSuggestionStudyShape(t *testing.T) {
-	outcomes, err := SuggestionStudy(457)
+	outcomes, err := SuggestionStudy(457, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +107,13 @@ func TestSuggestionStudyShape(t *testing.T) {
 				o.Store, o.Strategy, o.HardenedHijacked, o.HardenedClean)
 		}
 	}
-	if _, err := SuggestionTable(457); err != nil {
+	if _, err := SuggestionTable(457, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFleetStudyAllDevicesFall(t *testing.T) {
-	outcomes, err := FleetStudy(4, 811)
+	outcomes, err := FleetStudy(4, 811, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestFleetStudyAllDevicesFall(t *testing.T) {
 			t.Errorf("%s fleet rate = %.2f, want 1.0 (the attack must not depend on timing draws)", o.Store, o.Rate())
 		}
 	}
-	if _, err := FleetTable(2, 813); err != nil {
+	if _, err := FleetTable(2, 813, 0); err != nil {
 		t.Fatal(err)
 	}
 }

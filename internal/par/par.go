@@ -1,0 +1,173 @@
+// Package par is the shared bounded worker pool of the measurement surface:
+// the chaos explorer, the experiment sweeps, the fleet study and the table
+// runner all fan out through it. Its contract is the one that makes
+// concurrent experiments reproducible:
+//
+//   - bounded workers: at most Workers(n) goroutines run jobs at any time;
+//   - deterministic results: Map returns job results in index order, so the
+//     output of a parallel run is bit-identical to a serial one whenever the
+//     jobs themselves are deterministic;
+//   - deterministic first-error capture: when jobs fail, the error of the
+//     lowest-indexed failed job is returned, regardless of which worker
+//     observed its failure first;
+//   - cancellation: after any job fails, unstarted jobs are skipped
+//     (in-flight jobs run to completion);
+//   - panic containment: a panicking job is captured as that job's error
+//     instead of killing the process from a worker goroutine.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested pool size: n > 0 is used as given; zero or
+// negative selects runtime.NumCPU(). Callers that want strict serial
+// execution must pass 1 explicitly.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// Map runs jobs 0..n-1 on a pool of at most Workers(workers) goroutines and
+// returns their results in index order. The first error — by job index, not
+// by wall-clock — aborts the map: the results slice is nil and unstarted
+// jobs are skipped. A job that panics contributes a descriptive error
+// instead of crashing the process.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := runJob(i, fn, &results[i]); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Run is Map for side-effect-only jobs: same pool, same cancellation, same
+// lowest-index error capture, no result collection.
+func Run(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// runJob executes one job with panic containment, storing its result only
+// on success so a failed map never exposes partial values.
+func runJob[T any](i int, fn func(int) (T, error), out *T) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("par: job %d panicked: %v", i, p)
+		}
+	}()
+	v, err := fn(i)
+	if err != nil {
+		return err
+	}
+	*out = v
+	return nil
+}
+
+// Frontier drains a dynamic work list on a pool of Workers(workers)
+// goroutines: each item is handed to process, which may return follow-up
+// items that join the list. Frontier returns once the list is empty and
+// every in-flight item has completed. Processing order is unspecified —
+// callers needing deterministic aggregates must derive them from item
+// payloads (as the chaos explorer does with its total schedule order), not
+// from completion order. A panic in process is re-raised on the calling
+// goroutine after the remaining workers drain, never from a worker.
+func Frontier[T any](workers int, seed []T, process func(T) []T) {
+	var (
+		mu       sync.Mutex
+		items    = append([]T(nil), seed...)
+		inflight int
+		panicked any
+		aborted  bool
+	)
+	cond := sync.NewCond(&mu)
+	var wg sync.WaitGroup
+	w := Workers(workers)
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(items) == 0 && inflight > 0 && !aborted {
+					cond.Wait()
+				}
+				if len(items) == 0 || aborted {
+					mu.Unlock()
+					return
+				}
+				it := items[len(items)-1]
+				items = items[:len(items)-1]
+				inflight++
+				mu.Unlock()
+
+				kids, p := guardedProcess(process, it)
+
+				mu.Lock()
+				if p != nil {
+					if panicked == nil {
+						panicked = p
+					}
+					aborted = true
+				} else {
+					items = append(items, kids...)
+				}
+				inflight--
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+func guardedProcess[T any](process func(T) []T, it T) (kids []T, panicked any) {
+	defer func() {
+		if p := recover(); p != nil {
+			panicked = p
+		}
+	}()
+	return process(it), nil
+}

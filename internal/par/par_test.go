@@ -1,0 +1,209 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		got, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndNegativeWorkers(t *testing.T) {
+	// <= 0 selects NumCPU; the pool must still run every job exactly once.
+	for _, workers := range []int{0, -1, -100} {
+		var ran atomic.Int64
+		got, err := Map(workers, 50, func(i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if err != nil || len(got) != 50 || ran.Load() != 50 {
+			t.Fatalf("workers=%d: err=%v len=%d ran=%d", workers, err, len(got), ran.Load())
+		}
+	}
+	if w := Workers(0); w != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", w, runtime.NumCPU())
+	}
+	if w := Workers(3); w != 3 {
+		t.Errorf("Workers(3) = %d", w)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { t.Fatal("job ran"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	// Several jobs fail; the reported error must be the lowest-indexed
+	// failure regardless of completion order, and results must be nil.
+	errLow := errors.New("low")
+	for _, workers := range []int{1, 4, 16} {
+		got, err := Map(workers, 40, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, errLow
+			case 17, 31:
+				return 0, fmt.Errorf("high %d", i)
+			}
+			return i, nil
+		})
+		if got != nil {
+			t.Fatalf("workers=%d: results not nil on error", workers)
+		}
+		// With workers > 1 a higher-indexed failure may cancel the map
+		// before job 3 starts; the captured error must still be the
+		// lowest-indexed one that actually failed.
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if workers == 1 && !errors.Is(err, errLow) {
+			t.Fatalf("workers=1: err = %v, want %v (lowest index runs first serially)", err, errLow)
+		}
+	}
+}
+
+func TestMapCancellationSkipsUnstartedJobs(t *testing.T) {
+	// With one worker the jobs run in index order, so a failure at index 2
+	// must prevent every later job from starting.
+	var ran []int
+	err := Run(1, 100, func(i int) error {
+		ran = append(ran, i)
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if len(ran) != 3 {
+		t.Fatalf("ran %v, want exactly [0 1 2]", ran)
+	}
+}
+
+func TestMapPanicContainment(t *testing.T) {
+	got, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if got != nil || err == nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if !strings.Contains(err.Error(), "job 5 panicked: boom") {
+		t.Errorf("err = %v, want panic provenance", err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := Run(workers, 64, func(int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds pool size %d", p, workers)
+	}
+}
+
+func TestFrontierDrainsDynamicWork(t *testing.T) {
+	// Walk a ternary tree of depth 3 via the frontier: every node must be
+	// visited exactly once, regardless of worker count.
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		seen := map[string]bool{}
+		Frontier(workers, []string{""}, func(path string) []string {
+			mu.Lock()
+			if seen[path] {
+				t.Errorf("node %q visited twice", path)
+			}
+			seen[path] = true
+			mu.Unlock()
+			if len(path) >= 3 {
+				return nil
+			}
+			return []string{path + "a", path + "b", path + "c"}
+		})
+		want := 1 + 3 + 9 + 27
+		if len(seen) != want {
+			t.Fatalf("workers=%d: visited %d nodes, want %d", workers, len(seen), want)
+		}
+	}
+}
+
+func TestFrontierPanicSurfacesOnCaller(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s, ok := p.(string); !ok || s != "frontier boom" {
+			t.Fatalf("recovered %v", p)
+		}
+	}()
+	Frontier(2, []int{1, 2, 3, 4}, func(i int) []int {
+		if i == 3 {
+			panic("frontier boom")
+		}
+		return nil
+	})
+}
+
+func TestFrontierDeterministicAggregation(t *testing.T) {
+	// Aggregates derived from item payloads (not completion order) must be
+	// identical across worker counts — the property the chaos explorer and
+	// the experiment engine rely on.
+	collect := func(workers int) []int {
+		var mu sync.Mutex
+		var out []int
+		Frontier(workers, []int{10, 20, 30}, func(i int) []int {
+			mu.Lock()
+			out = append(out, i)
+			mu.Unlock()
+			if i%10 == 0 {
+				return []int{i + 1, i + 2}
+			}
+			return nil
+		})
+		sort.Ints(out)
+		return out
+	}
+	a, b := collect(1), collect(8)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("aggregates differ: %v vs %v", a, b)
+	}
+}

@@ -25,20 +25,44 @@ echo "== go test -race -count=2 ./... =="
 # the chaos sweeps must be bit-identical run over run).
 go test -race -count=2 ./...
 
+echo "== bench smoke (worker-pool engine under race, 1 iteration) =="
+# One race-enabled iteration of the parallel experiment engine: AllTables
+# and the fleet study fan out on the shared pool, so this catches data
+# races the serial unit tests cannot reach.
+go test -race -run '^$' -bench '^(BenchmarkAllTables|BenchmarkFleetStudy)' -benchtime=1x .
+
 echo "== fuzz smoke (5s per target) =="
-# Run every Fuzz target briefly; fuzzing requires one target per invocation.
-go test ./... -list 'Fuzz.*' 2>/dev/null | while read -r line; do
+# Run every Fuzz target briefly; fuzzing requires one target per
+# invocation. The target list is materialized in a temp file — not a pipe —
+# so a failing list or a failing fuzz run fails the gate instead of being
+# swallowed by a subshell.
+fuzzlist=$(mktemp)
+trap 'rm -f "$fuzzlist"' EXIT
+go test ./... -list 'Fuzz.*' >"$fuzzlist" || {
+    echo "verify.sh: fuzz target listing failed" >&2
+    exit 1
+}
+targets=""
+while read -r line; do
     case "$line" in
     Fuzz*) targets="${targets:-} $line" ;;
+    FAIL*)
+        echo "verify.sh: fuzz target listing reported: $line" >&2
+        exit 1
+        ;;
     ok*)
         pkg=$(echo "$line" | awk '{print $2}')
         for t in ${targets:-}; do
             echo "-- $pkg $t"
-            go test "$pkg" -run '^$' -fuzz "^${t}\$" -fuzztime=5s
+            go test "$pkg" -run '^$' -fuzz "^${t}\$" -fuzztime=5s || exit 1
         done
         targets=""
         ;;
     esac
-done
+done <"$fuzzlist"
+if [ -n "${targets:-}" ]; then
+    echo "verify.sh: fuzz targets not attributed to any package:${targets}" >&2
+    exit 1
+fi
 
 echo "verify.sh: all checks passed"
