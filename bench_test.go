@@ -430,6 +430,87 @@ func benchCorpusScan(b *testing.B, workers int) {
 func BenchmarkCorpusScan_1Worker(b *testing.B) { benchCorpusScan(b, 1) }
 func BenchmarkCorpusScan_NumCPU(b *testing.B)  { benchCorpusScan(b, runtime.NumCPU()) }
 
+// --- Section IV-A: content-addressed analysis cache ------------------------------
+
+// scanArtifactsWith runs one full corpus scan over the prebuilt artifacts
+// through the given engine and sanity-checks the result.
+func scanArtifactsWith(b *testing.B, eng *analysis.Engine, workers int) analysis.ScanStats {
+	artifacts := benchArtifacts()
+	_, stats := eng.ScanCorpus(len(artifacts), workers, func(j int) *apk.APK {
+		return artifacts[j]
+	})
+	if stats.Findings == 0 || stats.Stats.ParseErrors != 0 {
+		b.Fatalf("scan stats = %+v", stats)
+	}
+	return stats
+}
+
+// BenchmarkScanArtifactsNoCache is the uncached baseline: every smali file
+// is lexed, parsed and analyzed from scratch on every scan.
+func BenchmarkScanArtifactsNoCache(b *testing.B) {
+	eng := analysis.NewEngine()
+	benchArtifacts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanArtifactsWith(b, eng, runtime.NumCPU())
+	}
+}
+
+// BenchmarkScanArtifactsCold measures the first scan through a fresh
+// cache: every template pays canonicalization + hashing + one analysis,
+// and template twins are served by singleflight dedup.
+func BenchmarkScanArtifactsCold(b *testing.B) {
+	benchArtifacts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := analysis.NewEngineWithOptions(analysis.EngineOptions{CacheCapacity: 4096})
+		stats := scanArtifactsWith(b, eng, runtime.NumCPU())
+		if stats.CacheMisses == 0 {
+			b.Fatalf("cold scan had no misses: %+v", stats)
+		}
+	}
+}
+
+// BenchmarkScanArtifactsWarm measures steady state: the cache is primed,
+// so each file costs canonicalization + hashing + finding rehydration.
+func BenchmarkScanArtifactsWarm(b *testing.B) {
+	eng := analysis.NewEngineWithOptions(analysis.EngineOptions{CacheCapacity: 4096})
+	scanArtifactsWith(b, eng, runtime.NumCPU()) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := scanArtifactsWith(b, eng, runtime.NumCPU())
+		if stats.CacheHits != stats.Stats.Files {
+			b.Fatalf("warm scan not fully cached: %+v", stats)
+		}
+	}
+}
+
+// BenchmarkLexer measures the zero-copy smali front end alone (lexing +
+// parsing to IR, no CFG/dataflow/rules).
+func BenchmarkLexer(b *testing.B) {
+	var src []byte
+	for _, a := range benchArtifacts() {
+		if s, ok := a.Files["smali/Installer.smali"]; ok {
+			src = s
+			break
+		}
+	}
+	if len(src) == 0 {
+		b.Fatal("no artifact carries smali/Installer.smali")
+	}
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.ParseBytes("bench.smali", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Section IV studies --------------------------------------------------------
 
 func BenchmarkKeyStudy(b *testing.B) {

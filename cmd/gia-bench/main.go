@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gia-bench [-seed N] [-scale F] [-reps N] [-workers N]
+//	gia-bench [-seed N] [-scale F] [-reps N] [-workers N] [-cache on|off]
 package main
 
 import (
@@ -22,11 +22,16 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "measurement corpus scale (1.0 = paper-sized)")
 	reps := flag.Int("reps", 100, "repetitions for the performance tables")
 	workers := flag.Int("workers", runtime.NumCPU(), "experiment worker pool size (tables are identical for any value)")
+	cache := flag.String("cache", "on", "content-addressed analysis cache for the artifact-scanning tables: on|off (tables are identical either way)")
 	asJSON := flag.Bool("json", false, "emit tables as a JSON array")
 	reportPath := flag.String("report", "", "also write a markdown reproduction report to this path")
 	flag.Parse()
 
-	opts := gia.ExperimentOptions{Seed: *seed, Scale: *scale, PerfReps: *reps, Workers: *workers}
+	if *cache != "on" && *cache != "off" {
+		log.Fatalf("-cache=%q: want on or off", *cache)
+	}
+	opts := gia.ExperimentOptions{Seed: *seed, Scale: *scale, PerfReps: *reps, Workers: *workers,
+		NoAnalysisCache: *cache == "off"}
 	tables, err := gia.AllTables(opts)
 	if err != nil {
 		log.Fatal(err)

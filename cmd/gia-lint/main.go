@@ -8,7 +8,8 @@
 //
 //	gia-lint file.smali [file2.smali ...]        # lint smali sources
 //	gia-lint [-seed N] [-scale F] [-pop play|preinstalled|store|all]
-//	         [-workers N] [-findings N]          # scan a synthetic corpus
+//	         [-workers N] [-findings N] [-cache on|off]
+//	                                             # scan a synthetic corpus
 package main
 
 import (
@@ -30,9 +31,18 @@ func main() {
 	pop := flag.String("pop", "play", "population: play|preinstalled|store|all")
 	workers := flag.Int("workers", runtime.NumCPU(), "scanner worker pool size")
 	findings := flag.Int("findings", 10, "example findings to print in corpus mode")
+	cache := flag.String("cache", "on", "content-addressed analysis cache: on|off (findings are identical either way)")
 	flag.Parse()
 
-	eng := analysis.NewEngine()
+	var eng *analysis.Engine
+	switch *cache {
+	case "on":
+		eng = analysis.NewEngineWithOptions(analysis.EngineOptions{CacheCapacity: 4096})
+	case "off":
+		eng = analysis.NewEngine()
+	default:
+		log.Fatalf("-cache=%q: want on or off", *cache)
+	}
 	if flag.NArg() > 0 {
 		os.Exit(lintFiles(eng, flag.Args()))
 	}
@@ -109,6 +119,10 @@ func scanCorpus(eng *analysis.Engine, seed int64, scale float64, pop string, wor
 		stats.Stats.ParseErrors, stats.Elapsed.Round(1e6))
 	fmt.Printf("throughput: %.0f APKs/s, %.0f instructions/s (%d workers)\n",
 		stats.APKsPerSecond(), stats.InstructionsPerSecond(), stats.Workers)
+	if cs, ok := eng.CacheStats(); ok {
+		fmt.Printf("cache: %d hits, %d misses, %d deduped, %d evictions, %d entries\n",
+			cs.Hits, cs.Misses, cs.Deduped, cs.Evictions, cs.Entries)
+	}
 	return nil
 }
 

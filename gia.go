@@ -294,7 +294,10 @@ func LintAPK(a *APK) []Finding { return analysis.NewEngine().ScanAPK(a).Findings
 
 // ScanCorpusArtifacts materializes and scans a population on a parallel
 // worker pool (workers <= 0 selects NumCPU), returning per-app extracted
-// features plus aggregate scan statistics.
+// features plus aggregate scan statistics. Analyses are served from a
+// shared content-addressed cache keyed on canonicalized smali, so
+// template-identical apps are analyzed once; the returned stats carry the
+// hit/miss/dedup split. Use measure.ScanArtifactsOpts to opt out.
 func ScanCorpusArtifacts(apps []AppMeta, workers int) ([]ExtractedMeta, ScanStats) {
 	return measure.ScanArtifacts(apps, workers)
 }

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"github.com/ghost-installer/gia/internal/memo"
+)
+
+// EngineOptions configure optional engine behaviour. The zero value is a
+// plain uncached engine, identical to NewEngine.
+type EngineOptions struct {
+	// CacheCapacity > 0 enables the content-addressed analysis cache,
+	// bounded (LRU) to roughly that many distinct canonical sources.
+	// Template-shared corpora collapse to a few dozen entries, so even a
+	// small capacity turns a corpus re-scan into hash-and-rehydrate work.
+	CacheCapacity int
+	// CacheMarkers overrides the marker set guarding canonicalization.
+	// nil selects DefaultCanonMarkers(), which is sound for DefaultRules.
+	// An engine running custom rules with the cache enabled must supply
+	// markers covering every substring/constant those rules match on.
+	CacheMarkers []string
+}
+
+// NewEngineWithOptions builds an engine with the given options; with no
+// rules it loads DefaultRules. A cached engine produces byte-identical
+// findings and stats to an uncached one — the cache only changes how often
+// the analyses actually run.
+func NewEngineWithOptions(o EngineOptions, rules ...Rule) *Engine {
+	e := NewEngine(rules...)
+	if o.CacheCapacity > 0 {
+		markers := o.CacheMarkers
+		if markers == nil {
+			markers = DefaultCanonMarkers()
+		}
+		e.cache = &sourceCache{
+			canon: NewCanonicalizer(markers),
+			raw:   memo.New[cachedSource](o.CacheCapacity),
+			table: memo.New[cachedSource](o.CacheCapacity),
+		}
+	}
+	return e
+}
+
+// CacheStats snapshots the engine's analysis-cache counters, summed over
+// both levels (the raw-content layer and the canonical-template layer).
+// ok is false for an uncached engine.
+func (e *Engine) CacheStats() (st memo.Stats, ok bool) {
+	if e.cache == nil {
+		return memo.Stats{}, false
+	}
+	r, t := e.cache.raw.Stats(), e.cache.table.Stats()
+	return memo.Stats{
+		Hits:      r.Hits + t.Hits,
+		Misses:    r.Misses + t.Misses,
+		Deduped:   r.Deduped + t.Deduped,
+		Evictions: r.Evictions + t.Evictions,
+		Entries:   r.Entries + t.Entries,
+	}, true
+}
+
+// cachedSource is one memoized analysis: the findings and stats of the
+// canonical source. Findings still carry placeholders (and the file name
+// of whichever artifact missed first); rehydrate fixes both per caller.
+type cachedSource struct {
+	findings []Finding
+	stats    Stats
+}
+
+// sourceCache is the engine's two-level content-addressed analysis cache.
+// The raw level keys on (file name, exact bytes) and stores fully
+// rehydrated findings, so re-scanning an unchanged file — corpus re-scans,
+// multiple table renders over one corpus — costs one hash, one lookup and
+// one findings clone, skipping canonicalization entirely. The template
+// level keys on canonicalized bytes and is what collapses template-shared
+// corpora to a few dozen distinct analyses on first contact.
+type sourceCache struct {
+	canon *Canonicalizer
+	raw   *memo.Table[cachedSource]
+	table *memo.Table[cachedSource]
+}
+
+// analyze serves one file through the cache. The returned findings are
+// re-attributed to file with placeholders expanded, but the slice may be
+// SHARED with the cache entry: callers must copy the elements (as
+// ScanAPK's append does) before exposing a mutable slice. The reported
+// outcome is Hit only when an actual analysis was skipped at either
+// level; a raw-level miss that hits the template level is a Hit.
+func (c *sourceCache) analyze(e *Engine, file string, src []byte) ([]Finding, Stats, memo.Outcome, error) {
+	rawKey := memo.KeyOfNamed(file, src)
+	var inner memo.Outcome
+	v, outcome, err := c.raw.Do(rawKey, func() (cachedSource, error) {
+		findings, stats, o, err := c.analyzeShared(e, file, src)
+		inner = o
+		if err != nil {
+			return cachedSource{}, err
+		}
+		return cachedSource{findings: findings, stats: stats}, nil
+	})
+	if outcome == memo.Miss {
+		// The raw layer didn't have it; report how the template layer
+		// served the analysis instead (Hit for template twins).
+		outcome = inner
+	}
+	if err != nil {
+		return nil, Stats{Files: 1, ParseErrors: 1}, outcome, err
+	}
+	// The stored findings already carry this file's names (the raw key
+	// includes the file name), so no re-attribution is needed; the slice
+	// is returned as-is and stays owned by the cache entry.
+	if len(v.findings) == 0 {
+		return nil, v.stats, outcome, nil
+	}
+	return v.findings, v.stats, outcome, nil
+}
+
+// analyzeShared is the template-level path: canonicalize, serve from the
+// shared table, rehydrate for this file.
+func (c *sourceCache) analyzeShared(e *Engine, file string, src []byte) ([]Finding, Stats, memo.Outcome, error) {
+	canon, subs, canonOK := c.canon.Canonicalize(src)
+	key := memo.KeyOf(canon)
+	v, outcome, err := c.table.Do(key, func() (cachedSource, error) {
+		findings, stats, err := e.analyzeUncached(file, canon)
+		if err != nil {
+			return cachedSource{}, err
+		}
+		return cachedSource{findings: findings, stats: stats}, nil
+	})
+	if canonOK {
+		ReleaseCanon(canon)
+	}
+	if err != nil {
+		if !canonOK {
+			// canon aliases src: the error is the real analysis error.
+			return nil, Stats{Files: 1, ParseErrors: 1}, outcome, err
+		}
+		// The canonical source failed to analyze. That can only happen on
+		// pathological inputs where a substitution lands outside the
+		// guards' reach (e.g. inside an `.end method` operand); fall back
+		// to analyzing the original directly, uncached.
+		findings, stats, err := e.analyzeUncached(file, src)
+		return findings, stats, outcome, err
+	}
+	return rehydrate(v, subs, file), v.stats, outcome, nil
+}
+
+// rehydrate re-attributes a cached analysis to the requesting file:
+// findings are cloned, their File overwritten, placeholders expanded back
+// to the app's concrete strings, and the result re-sorted (expansion can
+// change message order).
+func rehydrate(v cachedSource, subs []string, file string) []Finding {
+	if len(v.findings) == 0 {
+		return nil
+	}
+	out := make([]Finding, len(v.findings))
+	copy(out, v.findings)
+	for i := range out {
+		out[i].File = file
+		if len(subs) > 0 {
+			out[i].Class = Expand(out[i].Class, subs)
+			out[i].Method = Expand(out[i].Method, subs)
+			out[i].Message = Expand(out[i].Message, subs)
+		}
+	}
+	sortFindings(out)
+	return out
+}

@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+)
+
+// This file implements source canonicalization for the content-addressed
+// analysis cache. The corpus (like the template-built app stores the paper
+// scanned) contains thousands of smali sources that are byte-identical
+// except for package-name strings: `Lcom/play/app00042/Installer;` vs
+// `Lcom/play/app17311/Installer;`, `/sdcard/app00042/stage.apk` vs
+// `/sdcard/app17311/stage.apk`. Canonicalize replaces those app-specific
+// substrings with fixed placeholder tokens, so every instance of a
+// template hashes to one cache key and is analyzed once; Expand inverts
+// the substitution on the cached findings.
+//
+// Soundness: a substitution is a consistent textual renaming, applied
+// only when three guards hold, each of which is checked per rewritten
+// line and aborts canonicalization for the whole file on violation:
+//
+//  1. the source contains no "GIA_P" (so placeholders are fresh: every
+//     occurrence of a placeholder in the canonical text is one we
+//     inserted, which makes Expand an exact inverse);
+//  2. a rewritten line's first token is byte-identical to the original
+//     (the parser dispatches on the first token — directives, labels,
+//     `const*`/`invoke-`/`if-`/`goto`/`return` prefix classification —
+//     so instruction kinds cannot change);
+//  3. a rewritten line contains each rule marker (see the markers list)
+//     exactly as often as the original (rules match markers by substring
+//     or exact equality, so their verdicts cannot change).
+//
+// Substitution values are drawn from the word-token charset
+// [A-Za-z0-9_./] and placeholders from the same charset plus '$' (also
+// word-legal), so replacements never split or join tokens: tokenization
+// skeletons are identical, and every remaining difference is an
+// alpha-renaming of registers, labels, names and string contents that the
+// analyses are invariant under. FuzzCanonicalKey checks the whole claim
+// end to end against the real engine.
+
+// placeholderMark is the fragment whose absence guard 1 requires. It never
+// appears in benign smali; any source containing it is cached under its
+// raw hash instead.
+const placeholderMark = "GIA_P"
+
+var placeholderMarkBytes = []byte(placeholderMark)
+
+// maxSubs bounds the substitution list: slashed package, dotted package,
+// short name.
+const maxSubs = 3
+
+var placeholders = [maxSubs]string{"$GIA_P0$", "$GIA_P1$", "$GIA_P2$"}
+
+var placeholderBytes = [maxSubs][]byte{
+	[]byte(placeholders[0]), []byte(placeholders[1]), []byte(placeholders[2]),
+}
+
+// Canonicalizer rewrites app-specific identifier strings to placeholders
+// under the soundness guards above. It is immutable and safe for
+// concurrent use.
+type Canonicalizer struct {
+	markers [][]byte
+}
+
+// NewCanonicalizer builds a canonicalizer whose guard 3 protects the
+// given marker substrings. The markers must cover every substring and
+// every exact constant the rule set matches on; DefaultCanonMarkers
+// covers DefaultRules.
+func NewCanonicalizer(markers []string) *Canonicalizer {
+	c := &Canonicalizer{markers: make([][]byte, 0, len(markers))}
+	for _, m := range markers {
+		if m != "" {
+			c.markers = append(c.markers, []byte(m))
+		}
+	}
+	return c
+}
+
+// canonBufPool recycles output buffers for canonical sources. The buffer
+// only lives for hashing plus (on a cache miss) one parse, so pooling it
+// keeps the warm path free of per-file large allocations.
+var canonBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 2048); return &b },
+}
+
+// Canonicalize returns the canonical form of src, the concrete values the
+// placeholders stand for, and whether canonicalization applied. When ok
+// is false, canon aliases src unchanged and subs is nil: the caller
+// caches under the raw content hash, which is trivially sound. When ok is
+// true, canon may alias a pooled buffer — ReleaseCanon returns it to the
+// pool once the caller is done hashing/parsing it.
+func (c *Canonicalizer) Canonicalize(src []byte) (canon []byte, subs []string, ok bool) {
+	if bytes.Contains(src, placeholderMarkBytes) {
+		return src, nil, false // guard 1
+	}
+	subs = extractSubs(src)
+	if len(subs) == 0 {
+		return src, nil, false
+	}
+	subBytes := make([][]byte, len(subs))
+	for i, v := range subs {
+		// A value overlapping placeholder text would corrupt earlier
+		// insertions; guard 1 already excludes "GIA_P", and values cannot
+		// contain '$' (charset), so this is belt and braces.
+		for k := range placeholders[:len(subs)] {
+			if strings.Contains(placeholders[k], v) {
+				return src, nil, false
+			}
+		}
+		subBytes[i] = []byte(v)
+	}
+
+	outPtr := canonBufPool.Get().(*[]byte)
+	out := (*outPtr)[:0]
+	rewroteAny := false
+	for start := 0; ; {
+		nl := bytes.IndexByte(src[start:], '\n')
+		var line []byte
+		if nl < 0 {
+			line = src[start:]
+		} else {
+			line = src[start : start+nl]
+		}
+		newline := line
+		if lineHasAny(line, subBytes) {
+			newline = rewriteLine(line, subBytes)
+			if !c.lineGuardsHold(line, newline) {
+				*outPtr = out[:0]
+				canonBufPool.Put(outPtr)
+				return src, nil, false
+			}
+			rewroteAny = true
+		}
+		out = append(out, newline...)
+		if nl < 0 {
+			break
+		}
+		out = append(out, '\n')
+		start += nl + 1
+	}
+	if !rewroteAny {
+		*outPtr = out[:0]
+		canonBufPool.Put(outPtr)
+		return src, nil, false
+	}
+	*outPtr = out
+	return out, subs, true
+}
+
+// ReleaseCanon returns a canonical buffer obtained from Canonicalize
+// (ok == true) to the pool. Call it only when nothing retains the bytes.
+func ReleaseCanon(canon []byte) {
+	buf := canon[:0]
+	canonBufPool.Put(&buf)
+}
+
+// extractSubs derives the substitution values from the first .class
+// directive: for `.class public Lcom/play/app00042/Main;` they are the
+// slashed package path, its dotted spelling, and the short last segment —
+// the three forms app templates embed. Values shorter than 3 bytes are
+// dropped (too collision-prone to be worth rewriting); duplicates
+// collapse. Order matters: longer forms first, so the slashed path is
+// consumed before its short suffix.
+func extractSubs(src []byte) []string {
+	desc, ok := classDescriptor(src)
+	if !ok {
+		return nil
+	}
+	// desc is like "com/play/app00042/Main": strip the class name.
+	lastSlash := bytes.LastIndexByte(desc, '/')
+	if lastSlash <= 0 {
+		return nil // default-package class: nothing app-specific to rewrite
+	}
+	pkg := desc[:lastSlash]
+	for _, b := range pkg {
+		if !isSubByte(b) {
+			return nil
+		}
+	}
+	slashed := string(pkg)
+	dotted := strings.ReplaceAll(slashed, "/", ".")
+	short := slashed
+	if i := strings.LastIndexByte(slashed, '/'); i >= 0 {
+		short = slashed[i+1:]
+	}
+	subs := make([]string, 0, maxSubs)
+	for _, v := range []string{slashed, dotted, short} {
+		if len(v) < 3 {
+			continue
+		}
+		dup := false
+		for _, seen := range subs {
+			if seen == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			subs = append(subs, v)
+		}
+	}
+	return subs
+}
+
+// classDescriptor finds the first `.class` line and returns the inner
+// text of its trailing `L...;` descriptor token. Lines containing quotes
+// or comments before the descriptor make extraction ambiguous; bail.
+func classDescriptor(src []byte) ([]byte, bool) {
+	for start := 0; start <= len(src); {
+		nl := bytes.IndexByte(src[start:], '\n')
+		var line []byte
+		if nl < 0 {
+			line = src[start:]
+			start = len(src) + 1
+		} else {
+			line = src[start : start+nl]
+			start += nl + 1
+		}
+		fields := bytes.Fields(line)
+		if len(fields) == 0 || string(fields[0]) != ".class" {
+			continue
+		}
+		if bytes.IndexByte(line, '"') >= 0 || bytes.IndexByte(line, '#') >= 0 {
+			return nil, false
+		}
+		last := fields[len(fields)-1]
+		if len(last) < 3 || last[0] != 'L' || last[len(last)-1] != ';' {
+			return nil, false
+		}
+		return last[1 : len(last)-1], true
+	}
+	return nil, false
+}
+
+// isSubByte restricts substitution values to bytes that can never split a
+// token or collide with lexer syntax: letters, digits, '_', '.', '/'.
+func isSubByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '_' || b == '.' || b == '/':
+		return true
+	}
+	return false
+}
+
+func lineHasAny(line []byte, subs [][]byte) bool {
+	for _, s := range subs {
+		if bytes.Contains(line, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// rewriteLine applies the substitutions in order (longest forms first).
+func rewriteLine(line []byte, subs [][]byte) []byte {
+	out := line
+	for i, s := range subs {
+		if bytes.Contains(out, s) {
+			out = bytes.ReplaceAll(out, s, placeholderBytes[i])
+		}
+	}
+	return out
+}
+
+// lineGuardsHold checks guards 2 and 3 for one rewritten line.
+func (c *Canonicalizer) lineGuardsHold(old, new []byte) bool {
+	if !bytes.Equal(firstToken(old), firstToken(new)) {
+		return false
+	}
+	hasMarker := false
+	for _, m := range c.markers {
+		oldCount := bytes.Count(old, m)
+		if oldCount != bytes.Count(new, m) {
+			return false
+		}
+		if oldCount > 0 {
+			hasMarker = true
+		}
+	}
+	// Marker-bearing lines feed rule messages, and messages trim call
+	// targets at their last '/'. Requiring the rewrite to leave every
+	// slash in place keeps that trimming outside the substituted spans,
+	// so message construction commutes with placeholder expansion.
+	if hasMarker && bytes.Count(old, slashBytes) != bytes.Count(new, slashBytes) {
+		return false
+	}
+	return true
+}
+
+var slashBytes = []byte("/")
+
+// firstToken returns the first whitespace-delimited run of a line — a
+// conservative superset of the lexer's dispatch token.
+func firstToken(line []byte) []byte {
+	i := 0
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	j := i
+	for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != '\r' {
+		j++
+	}
+	return line[i:j]
+}
+
+// Expand inverts the canonical substitution on one string: every
+// placeholder inserted by Canonicalize is replaced by its concrete value.
+// Strings without placeholders are returned unchanged (and unallocated).
+func Expand(s string, subs []string) string {
+	if len(subs) == 0 || !strings.Contains(s, placeholderMark) {
+		return s
+	}
+	for i, v := range subs {
+		s = strings.ReplaceAll(s, placeholders[i], v)
+	}
+	return s
+}

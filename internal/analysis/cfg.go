@@ -1,5 +1,7 @@
 package analysis
 
+import "sync"
+
 // Block is one basic block: a maximal straight-line instruction run
 // [Start, End) entered only at Start and left only at End-1.
 type Block struct {
@@ -18,6 +20,33 @@ type CFG struct {
 	blockOf []int // instruction index → block index
 }
 
+// intScratchPool recycles the transient int slices the CFG and
+// reaching-definitions passes use as stacks/worklists; nothing from the
+// pool escapes into results.
+var intScratchPool = sync.Pool{
+	New: func() any { s := make([]int, 0, 64); return &s },
+}
+
+// boolScratchPool recycles the queued-markers slice of the reaching
+// fixpoint.
+var boolScratchPool = sync.Pool{
+	New: func() any { s := make([]bool, 0, 64); return &s },
+}
+
+// isLeader reports whether instruction i starts a basic block: the entry,
+// every label, and every instruction following a goto/if/return. The
+// predicate is local, so leader detection needs no scratch array.
+func isLeader(ins []Instruction, i int) bool {
+	if i == 0 || ins[i].Kind == KindLabel {
+		return true
+	}
+	switch ins[i-1].Kind {
+	case KindGoto, KindIf, KindReturn:
+		return true
+	}
+	return false
+}
+
 // BuildCFG partitions a method into basic blocks and wires branch edges.
 // Leaders are: the entry instruction, every label, and every instruction
 // following a goto/if/return.
@@ -27,24 +56,25 @@ func BuildCFG(m *Method) *CFG {
 	if n == 0 {
 		return g
 	}
-	leader := make([]bool, n)
-	leader[0] = true
-	for i, ins := range m.Instructions {
-		switch ins.Kind {
-		case KindLabel:
-			leader[i] = true
-		case KindGoto, KindIf, KindReturn:
-			if i+1 < n {
-				leader[i+1] = true
-			}
+	nBlocks := 0
+	for i := 0; i < n; i++ {
+		if isLeader(m.Instructions, i) {
+			nBlocks++
 		}
 	}
+	// One backing array for the blocks themselves and one for the pointer
+	// slice: two allocations regardless of block count.
+	backing := make([]Block, nBlocks)
+	g.Blocks = make([]*Block, nBlocks)
 	g.blockOf = make([]int, n)
+	bi := -1
 	for i := 0; i < n; i++ {
-		if leader[i] {
-			g.Blocks = append(g.Blocks, &Block{Index: len(g.Blocks), Start: i})
+		if isLeader(m.Instructions, i) {
+			bi++
+			backing[bi] = Block{Index: bi, Start: i}
+			g.Blocks[bi] = &backing[bi]
 		}
-		g.blockOf[i] = len(g.Blocks) - 1
+		g.blockOf[i] = bi
 	}
 	for bi, b := range g.Blocks {
 		if bi+1 < len(g.Blocks) {
@@ -92,7 +122,8 @@ func (g *CFG) markReachable() {
 	if len(g.Blocks) == 0 {
 		return
 	}
-	stack := []int{0}
+	stackPtr := intScratchPool.Get().(*[]int)
+	stack := append((*stackPtr)[:0], 0)
 	g.Blocks[0].Reachable = true
 	for len(stack) > 0 {
 		bi := stack[len(stack)-1]
@@ -104,6 +135,8 @@ func (g *CFG) markReachable() {
 			}
 		}
 	}
+	*stackPtr = stack[:0]
+	intScratchPool.Put(stackPtr)
 }
 
 // BlockOf returns the block containing instruction index idx.

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"fmt"
-	"strings"
 	"unicode/utf8"
 )
 
@@ -38,16 +37,20 @@ func (k tokenKind) String() string {
 	}
 }
 
+// token is one lexed unit. text sub-slices the source line (escape-free
+// strings included), so tokens are valid only until the next lexLine call
+// on the same scratch buffer; the parser materializes what it keeps via
+// intern.
 type token struct {
 	kind tokenKind
-	text string // word/signature text, label name (no colon), or decoded string
+	text []byte // word/signature text, label name (no colon), or decoded string
 }
 
-// lexLine tokenizes one source line. A '#' outside a string starts a
+// lexLine tokenizes one source line, appending into toks (pass a reused
+// scratch slice truncated to zero length). A '#' outside a string starts a
 // comment running to end of line. The only error condition is an
 // unterminated or badly escaped string literal.
-func lexLine(line string) ([]token, error) {
-	var toks []token
+func lexLine(line []byte, toks []token) ([]token, error) {
 	i := 0
 	for i < len(line) {
 		c := line[i]
@@ -57,21 +60,21 @@ func lexLine(line string) ([]token, error) {
 		case c == '#':
 			return toks, nil
 		case c == ',':
-			toks = append(toks, token{tokComma, ","})
+			toks = append(toks, token{kind: tokComma})
 			i++
 		case c == '{':
-			toks = append(toks, token{tokLBrace, "{"})
+			toks = append(toks, token{kind: tokLBrace})
 			i++
 		case c == '}':
-			toks = append(toks, token{tokRBrace, "}"})
+			toks = append(toks, token{kind: tokRBrace})
 			i++
 		case c == '"':
-			text, rest, err := lexString(line[i:])
+			text, n, err := lexString(line[i:])
 			if err != nil {
 				return nil, err
 			}
-			toks = append(toks, token{tokString, text})
-			i = len(line) - len(rest)
+			toks = append(toks, token{kind: tokString, text: text})
+			i += n
 		case c == ':':
 			start := i + 1
 			j := start
@@ -81,7 +84,7 @@ func lexLine(line string) ([]token, error) {
 			if j == start {
 				return nil, fmt.Errorf("empty label name")
 			}
-			toks = append(toks, token{tokLabel, line[start:j]})
+			toks = append(toks, token{kind: tokLabel, text: line[start:j]})
 			i = j
 		default:
 			j := i
@@ -89,10 +92,10 @@ func lexLine(line string) ([]token, error) {
 				j++
 			}
 			if j == i {
-				r, _ := utf8.DecodeRuneInString(line[i:])
+				r, _ := utf8.DecodeRune(line[i:])
 				return nil, fmt.Errorf("unexpected character %q", r)
 			}
-			toks = append(toks, token{tokWord, line[i:j]})
+			toks = append(toks, token{kind: tokWord, text: line[i:j]})
 			i = j
 		}
 	}
@@ -100,33 +103,51 @@ func lexLine(line string) ([]token, error) {
 }
 
 // lexString consumes a leading double-quoted literal and returns the
-// decoded text plus the unconsumed remainder.
-func lexString(s string) (text, rest string, err error) {
-	var b strings.Builder
+// decoded text plus the number of bytes consumed. Escape-free literals —
+// the overwhelmingly common case — are returned as a zero-copy sub-slice
+// of s; only literals containing backslash escapes allocate a decode
+// buffer.
+func lexString(s []byte) (text []byte, n int, err error) {
 	for i := 1; i < len(s); i++ {
 		switch s[i] {
 		case '"':
-			return b.String(), s[i+1:], nil
+			return s[1:i], i + 1, nil
+		case '\\':
+			return lexStringEscaped(s, i)
+		}
+	}
+	return nil, 0, fmt.Errorf("unterminated string literal")
+}
+
+// lexStringEscaped is the slow path: s[1:esc] is escape-free, s[esc] is
+// the first backslash.
+func lexStringEscaped(s []byte, esc int) (text []byte, n int, err error) {
+	b := make([]byte, 0, len(s))
+	b = append(b, s[1:esc]...)
+	for i := esc; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b, i + 1, nil
 		case '\\':
 			if i+1 >= len(s) {
-				return "", "", fmt.Errorf("unterminated string literal")
+				return nil, 0, fmt.Errorf("unterminated string literal")
 			}
 			i++
 			switch s[i] {
 			case 'n':
-				b.WriteByte('\n')
+				b = append(b, '\n')
 			case 't':
-				b.WriteByte('\t')
+				b = append(b, '\t')
 			case '"', '\\':
-				b.WriteByte(s[i])
+				b = append(b, s[i])
 			default:
-				return "", "", fmt.Errorf("bad string escape \\%c", s[i])
+				return nil, 0, fmt.Errorf("bad string escape \\%c", s[i])
 			}
 		default:
-			b.WriteByte(s[i])
+			b = append(b, s[i])
 		}
 	}
-	return "", "", fmt.Errorf("unterminated string literal")
+	return nil, 0, fmt.Errorf("unterminated string literal")
 }
 
 // isWordByte reports whether b can appear inside a word token: opcodes
@@ -142,4 +163,45 @@ func isWordByte(b byte) bool {
 		return true
 	}
 	return false
+}
+
+// internTable holds the hot smali vocabulary — directives, mnemonics,
+// registers, common literals — as shared string instances. Probing a Go
+// map with a string([]byte) key conversion compiles to an allocation-free
+// lookup, so interned words cost nothing to materialize.
+var internTable = buildInternTable()
+
+func buildInternTable() map[string]string {
+	words := []string{
+		".class", ".method", ".end", ".field", ".source", ".super",
+		"public", "private", "protected", "static", "final", "method",
+		"const", "const/4", "const/16", "const-string", "const-wide",
+		"invoke-virtual", "invoke-static", "invoke-direct",
+		"invoke-super", "invoke-interface",
+		"goto", "if-eq", "if-ne", "if-eqz", "if-nez", "if-ltz", "if-gez",
+		"return", "return-void", "return-object",
+		"nop", "move", "move-result", "move-result-object",
+		"0x0", "0x1", "644",
+		"MODE_PRIVATE", "MODE_WORLD_READABLE", "MODE_WORLD_WRITEABLE",
+	}
+	for i := 0; i < 32; i++ {
+		words = append(words, fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < 16; i++ {
+		words = append(words, fmt.Sprintf("p%d", i))
+	}
+	t := make(map[string]string, len(words))
+	for _, w := range words {
+		t[w] = w
+	}
+	return t
+}
+
+// intern materializes a token's bytes as a string, reusing the shared
+// instance for vocabulary words and allocating only for novel text.
+func intern(b []byte) string {
+	if s, ok := internTable[string(b)]; ok {
+		return s
+	}
+	return string(b)
 }

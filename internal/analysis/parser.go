@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // ParseError carries file/line provenance for a malformed smali input.
@@ -23,11 +25,54 @@ func (e *ParseError) Error() string {
 // directives are skipped), and it returns errors — never panics — on
 // malformed input.
 func ParseFile(file, src string) (*Class, error) {
-	p := &parser{file: file}
-	for lineNo, raw := range strings.Split(src, "\n") {
-		if err := p.line(lineNo+1, raw); err != nil {
+	return ParseBytes(file, []byte(src))
+}
+
+// parserPool recycles parser state (including the lexer's token scratch)
+// across files, so a steady-state parse allocates only what escapes into
+// the returned IR.
+var parserPool = sync.Pool{
+	New: func() any { return &parser{toks: make([]token, 0, 16)} },
+}
+
+// ParseBytes is ParseFile over raw bytes — the scanner's hot path. The
+// source is tokenized in place: no per-line or per-token copies are made,
+// and everything retained in the IR is interned or copied out, so src may
+// be reused or mutated after ParseBytes returns.
+func ParseBytes(file string, src []byte) (*Class, error) {
+	p := parserPool.Get().(*parser)
+	p.file = file
+	cls, err := p.parse(src)
+	p.file, p.class, p.method = "", nil, nil
+	parserPool.Put(p)
+	return cls, err
+}
+
+type parser struct {
+	file   string
+	class  *Class
+	method *Method
+	toks   []token // lexer scratch, reused line to line
+}
+
+func (p *parser) parse(src []byte) (*Class, error) {
+	// Mirrors strings.Split(src, "\n") line numbering: a trailing newline
+	// yields a final empty line.
+	for start, lineNo := 0, 1; ; lineNo++ {
+		nl := bytes.IndexByte(src[start:], '\n')
+		var line []byte
+		if nl < 0 {
+			line = src[start:]
+		} else {
+			line = src[start : start+nl]
+		}
+		if err := p.line(lineNo, line); err != nil {
 			return nil, err
 		}
+		if nl < 0 {
+			break
+		}
+		start += nl + 1
 	}
 	if p.method != nil {
 		return nil, p.errf(p.method.Line, "method %s truncated: missing .end method", p.method.Name)
@@ -38,18 +83,13 @@ func ParseFile(file, src string) (*Class, error) {
 	return p.class, nil
 }
 
-type parser struct {
-	file   string
-	class  *Class
-	method *Method
-}
-
 func (p *parser) errf(line int, format string, args ...any) error {
 	return &ParseError{File: p.file, Line: line, Msg: fmt.Sprintf(format, args...)}
 }
 
-func (p *parser) line(n int, raw string) error {
-	toks, err := lexLine(raw)
+func (p *parser) line(n int, raw []byte) error {
+	toks, err := lexLine(raw, p.toks[:0])
+	p.toks = toks[:0]
 	if err != nil {
 		return p.errf(n, "%v", err)
 	}
@@ -58,7 +98,7 @@ func (p *parser) line(n int, raw string) error {
 	}
 	first := toks[0]
 	switch {
-	case first.kind == tokWord && strings.HasPrefix(first.text, "."):
+	case first.kind == tokWord && len(first.text) > 0 && first.text[0] == '.':
 		return p.directive(n, toks)
 	case first.kind == tokLabel:
 		return p.label(n, toks)
@@ -70,7 +110,7 @@ func (p *parser) line(n int, raw string) error {
 }
 
 func (p *parser) directive(n int, toks []token) error {
-	switch toks[0].text {
+	switch string(toks[0].text) {
 	case ".class":
 		if p.class != nil {
 			return p.errf(n, "duplicate .class directive")
@@ -78,7 +118,7 @@ func (p *parser) directive(n int, toks []token) error {
 		if len(toks) < 2 {
 			return p.errf(n, ".class needs a name")
 		}
-		p.class = &Class{Name: toks[len(toks)-1].text, File: p.file}
+		p.class = &Class{Name: intern(toks[len(toks)-1].text), File: p.file}
 		return nil
 	case ".method":
 		if p.class == nil {
@@ -91,7 +131,7 @@ func (p *parser) directive(n int, toks []token) error {
 			return p.errf(n, ".method needs a name")
 		}
 		p.method = &Method{
-			Name:   toks[len(toks)-1].text,
+			Name:   intern(toks[len(toks)-1].text),
 			Class:  p.class.Name,
 			File:   p.file,
 			Line:   n,
@@ -99,7 +139,7 @@ func (p *parser) directive(n int, toks []token) error {
 		}
 		return nil
 	case ".end":
-		if len(toks) < 2 || toks[1].text != "method" {
+		if len(toks) < 2 || string(toks[1].text) != "method" {
 			return p.errf(n, "unsupported .end directive")
 		}
 		if p.method == nil {
@@ -143,7 +183,7 @@ func (p *parser) label(n int, toks []token) error {
 	if len(toks) != 1 {
 		return p.errf(n, "trailing tokens after label :%s", toks[0].text)
 	}
-	name := toks[0].text
+	name := intern(toks[0].text)
 	if _, dup := p.method.labels[name]; dup {
 		return p.errf(n, "duplicate label :%s", name)
 	}
@@ -156,7 +196,7 @@ func (p *parser) instruction(n int, toks []token) error {
 	if p.method == nil {
 		return p.errf(n, "instruction %q outside a method", toks[0].text)
 	}
-	op := toks[0].text
+	op := intern(toks[0].text)
 	rest := toks[1:]
 	switch {
 	case strings.HasPrefix(op, "const"):
@@ -167,13 +207,13 @@ func (p *parser) instruction(n int, toks []token) error {
 		if len(rest) != 1 || rest[0].kind != tokLabel {
 			return p.errf(n, "goto needs exactly one label operand")
 		}
-		p.emit(Instruction{Line: n, Kind: KindGoto, Op: op, Label: rest[0].text})
+		p.emit(Instruction{Line: n, Kind: KindGoto, Op: op, Label: intern(rest[0].text)})
 		return nil
 	case strings.HasPrefix(op, "if-"):
 		if len(rest) != 3 || rest[0].kind != tokWord || rest[1].kind != tokComma || rest[2].kind != tokLabel {
 			return p.errf(n, "%s needs a register and a label", op)
 		}
-		p.emit(Instruction{Line: n, Kind: KindIf, Op: op, Cond: rest[0].text, Label: rest[2].text})
+		p.emit(Instruction{Line: n, Kind: KindIf, Op: op, Cond: intern(rest[0].text), Label: intern(rest[2].text)})
 		return nil
 	case strings.HasPrefix(op, "return"):
 		p.emit(Instruction{Line: n, Kind: KindReturn, Op: op})
@@ -197,7 +237,7 @@ func (p *parser) constOp(n int, op string, rest []token) error {
 	} else if operand.kind != tokWord {
 		return p.errf(n, "%s operand must be a literal", op)
 	}
-	p.emit(Instruction{Line: n, Kind: KindConst, Op: op, Dest: rest[0].text, Value: operand.text})
+	p.emit(Instruction{Line: n, Kind: KindConst, Op: op, Dest: intern(rest[0].text), Value: intern(operand.text)})
 	return nil
 }
 
@@ -206,7 +246,7 @@ func (p *parser) invokeOp(n int, op string, rest []token) error {
 	if len(rest) == 0 || rest[0].kind != tokLBrace {
 		return p.errf(n, "%s needs a {register list}", op)
 	}
-	args := []string{}
+	args := make([]string, 0, 4)
 	i := 1
 	for {
 		if i >= len(rest) {
@@ -218,7 +258,7 @@ func (p *parser) invokeOp(n int, op string, rest []token) error {
 		if rest[i].kind != tokWord {
 			return p.errf(n, "%s: bad register list element", op)
 		}
-		args = append(args, rest[i].text)
+		args = append(args, intern(rest[i].text))
 		i++
 		if i < len(rest) && rest[i].kind == tokComma {
 			i++
@@ -235,6 +275,6 @@ func (p *parser) invokeOp(n int, op string, rest []token) error {
 	if i+3 != len(rest) {
 		return p.errf(n, "%s: trailing tokens after call target", op)
 	}
-	p.emit(Instruction{Line: n, Kind: KindInvoke, Op: op, Args: args, Target: rest[i+2].text})
+	p.emit(Instruction{Line: n, Kind: KindInvoke, Op: op, Args: args, Target: intern(rest[i+2].text)})
 	return nil
 }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package analysis
+
+// raceEnabled reports whether the race detector is compiled in; the
+// alloc-budget tests skip under it (instrumentation changes allocation
+// counts).
+const raceEnabled = false

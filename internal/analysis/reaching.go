@@ -66,18 +66,23 @@ func Reaching(g *CFG) *ReachingDefs {
 	}
 	// Seed with every reachable block (in index order) so states propagate
 	// even along edges whose source generates no definitions. Unreachable
-	// blocks are never processed, so their dead stores cannot flow.
-	work := make([]int, 0, len(g.Blocks))
-	queued := make([]bool, len(g.Blocks))
+	// blocks are never processed, so their dead stores cannot flow. The
+	// worklist and queued markers are pooled scratch; nothing escapes.
+	workPtr := intScratchPool.Get().(*[]int)
+	queuedPtr := boolScratchPool.Get().(*[]bool)
+	work := (*workPtr)[:0]
+	queued := (*queuedPtr)[:0]
+	for i := 0; i < len(g.Blocks); i++ {
+		queued = append(queued, false)
+	}
 	for _, b := range g.Blocks {
 		if b.Reachable {
 			work = append(work, b.Index)
 			queued[b.Index] = true
 		}
 	}
-	for len(work) > 0 {
-		bi := work[0]
-		work = work[1:]
+	for head := 0; head < len(work); head++ {
+		bi := work[head]
 		queued[bi] = false
 		out := r.transfer(bi, r.in[bi])
 		for _, s := range g.Blocks[bi].Succs {
@@ -87,6 +92,10 @@ func Reaching(g *CFG) *ReachingDefs {
 			}
 		}
 	}
+	*workPtr = work[:0]
+	intScratchPool.Put(workPtr)
+	*queuedPtr = queued[:0]
+	boolScratchPool.Put(queuedPtr)
 	return r
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -48,6 +49,22 @@ var reflectionMarkers = []string{
 	"Ljava/lang/Class;->forName",
 	"->invoke(",
 	"Lcom/obf/",
+}
+
+// DefaultCanonMarkers returns every substring and exact constant the
+// default rules match on. The analysis cache's canonicalizer refuses any
+// rewrite that changes a line's occurrence count of one of these, which is
+// what makes rule verdicts invariant across sources sharing a canonical
+// form. Keep this list in sync with the rule definitions below.
+func DefaultCanonMarkers() []string {
+	out := []string{installMIME, marketScheme, playURL, "/sdcard"}
+	for m := range worldReadableModes {
+		out = append(out, m)
+	}
+	out = append(out, fileModeAPIs...)
+	out = append(out, reflectionMarkers...)
+	sort.Strings(out)
+	return out
 }
 
 // DefaultRules returns the full GIA rule set, one Rule per detector of the

@@ -1,18 +1,22 @@
 package analysis
 
 import (
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/memo"
 )
 
 // Engine runs a rule set over smali sources and APK artifacts. An Engine
 // is immutable after construction and safe for concurrent use.
 type Engine struct {
 	rules []Rule
+	// cache, when non-nil, memoizes per-source analyses by canonicalized
+	// content hash (see NewEngineWithOptions and cache.go).
+	cache *sourceCache
 }
 
 // NewEngine builds an engine; with no arguments it loads DefaultRules.
@@ -44,16 +48,46 @@ func (s *Stats) add(o Stats) {
 }
 
 // Report is the outcome of scanning one artifact: findings sorted by
-// (file, line, rule), coverage stats and any per-file parse errors.
+// (file, line, rule), coverage stats and any per-file parse errors. The
+// cache counters record how the artifact's files were served when the
+// engine's analysis cache is enabled (all zero otherwise).
 type Report struct {
 	Findings []Finding
 	Stats    Stats
 	Errors   []error
+
+	CacheHits    int
+	CacheMisses  int
+	CacheDeduped int
 }
 
 // AnalyzeSource parses one smali file and checks every rule against it.
+// On a cache-enabled engine the result may be served from the
+// content-addressed cache; either way it is byte-identical to a direct
+// analysis.
 func (e *Engine) AnalyzeSource(file, src string) ([]Finding, Stats, error) {
-	cls, err := ParseFile(file, src)
+	findings, stats, _, err := e.analyzeSourceBytes(file, []byte(src))
+	if e.cache != nil && len(findings) > 0 {
+		// analyzeSourceBytes may return a slice owned by a cache entry;
+		// hand the caller a private copy.
+		findings = append([]Finding(nil), findings...)
+	}
+	return findings, stats, err
+}
+
+// analyzeSourceBytes routes one file through the cache when enabled.
+func (e *Engine) analyzeSourceBytes(file string, src []byte) ([]Finding, Stats, memo.Outcome, error) {
+	if e.cache != nil {
+		return e.cache.analyze(e, file, src)
+	}
+	findings, stats, err := e.analyzeUncached(file, src)
+	return findings, stats, memo.Miss, err
+}
+
+// analyzeUncached is the full analysis pipeline: parse, build per-method
+// facts lazily, run every rule.
+func (e *Engine) analyzeUncached(file string, src []byte) ([]Finding, Stats, error) {
+	cls, err := ParseBytes(file, src)
 	if err != nil {
 		return nil, Stats{Files: 1, ParseErrors: 1}, err
 	}
@@ -82,10 +116,20 @@ func (e *Engine) ScanAPK(a *apk.APK) Report {
 			names = append(names, name)
 		}
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
-		findings, stats, err := e.AnalyzeSource(name, string(a.Files[name]))
+		findings, stats, outcome, err := e.analyzeSourceBytes(name, a.Files[name])
 		rep.Stats.add(stats)
+		if e.cache != nil {
+			switch outcome {
+			case memo.Hit:
+				rep.CacheHits++
+			case memo.Deduped:
+				rep.CacheDeduped++
+			default:
+				rep.CacheMisses++
+			}
+		}
 		if err != nil {
 			rep.Errors = append(rep.Errors, err)
 			continue
@@ -97,7 +141,10 @@ func (e *Engine) ScanAPK(a *apk.APK) Report {
 }
 
 // ScanStats aggregates a corpus scan with per-rule hit counts and
-// throughput figures.
+// throughput figures. The cache counters aggregate per-file outcomes of a
+// cache-enabled engine (zero otherwise); their split between misses,
+// hits and dedups depends on worker scheduling, but their sum is always
+// the number of files scanned.
 type ScanStats struct {
 	APKs     int
 	Workers  int
@@ -105,6 +152,10 @@ type ScanStats struct {
 	PerRule  map[string]int
 	Stats    Stats
 	Elapsed  time.Duration
+
+	CacheHits    int
+	CacheMisses  int
+	CacheDeduped int
 }
 
 // InstructionsPerSecond is the scan throughput in IR operations.
@@ -154,6 +205,9 @@ func (e *Engine) ScanCorpus(n, workers int, fetch func(int) *apk.APK) ([]Report,
 				part.APKs++
 				part.Findings += len(rep.Findings)
 				part.Stats.add(rep.Stats)
+				part.CacheHits += rep.CacheHits
+				part.CacheMisses += rep.CacheMisses
+				part.CacheDeduped += rep.CacheDeduped
 				for _, f := range rep.Findings {
 					part.PerRule[f.RuleID]++
 				}
@@ -171,6 +225,9 @@ func (e *Engine) ScanCorpus(n, workers int, fetch func(int) *apk.APK) ([]Report,
 		agg.APKs += p.APKs
 		agg.Findings += p.Findings
 		agg.Stats.add(p.Stats)
+		agg.CacheHits += p.CacheHits
+		agg.CacheMisses += p.CacheMisses
+		agg.CacheDeduped += p.CacheDeduped
 		for id, c := range p.PerRule {
 			agg.PerRule[id] += c
 		}
@@ -181,17 +238,22 @@ func (e *Engine) ScanCorpus(n, workers int, fetch func(int) *apk.APK) ([]Report,
 
 // sortFindings orders findings by (file, line, rule, message) so scan
 // output is deterministic regardless of rule or map iteration order.
+// slices.SortFunc rather than sort.Slice: the latter builds a reflective
+// swapper per call, which the cached scan path is hot enough to notice.
 func sortFindings(fs []Finding) {
-	sort.Slice(fs, func(i, j int) bool {
-		if fs[i].File != fs[j].File {
-			return fs[i].File < fs[j].File
+	slices.SortFunc(fs, func(a, b Finding) int {
+		if c := strings.Compare(a.File, b.File); c != 0 {
+			return c
 		}
-		if fs[i].Line != fs[j].Line {
-			return fs[i].Line < fs[j].Line
+		if a.Line != b.Line {
+			if a.Line < b.Line {
+				return -1
+			}
+			return 1
 		}
-		if fs[i].RuleID != fs[j].RuleID {
-			return fs[i].RuleID < fs[j].RuleID
+		if c := strings.Compare(a.RuleID, b.RuleID); c != 0 {
+			return c
 		}
-		return fs[i].Message < fs[j].Message
+		return strings.Compare(a.Message, b.Message)
 	})
 }

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/measure"
+)
+
+// TestCacheTableParity is the -cache=off vs -cache=on gate: every table
+// that scans artifacts must render byte-identically with the analysis
+// cache disabled and enabled, at one worker and at the default pool size.
+func TestCacheTableParity(t *testing.T) {
+	builders := []struct {
+		name string
+		f    func(o measure.ScanOptions) Table
+	}{
+		{"Table II", func(o measure.ScanOptions) Table { return tableII(smallCorpus, o) }},
+		{"Table III", func(o measure.ScanOptions) Table { return tableIII(smallCorpus, o) }},
+		{"Flow Study", func(o measure.ScanOptions) Table { return flowStudy(smallCorpus, 43, o) }},
+	}
+	for _, b := range builders {
+		for _, workers := range []int{1, 0} {
+			on := b.f(measure.ScanOptions{Workers: workers}).Render()
+			off := b.f(measure.ScanOptions{Workers: workers, NoCache: true}).Render()
+			if on != off {
+				t.Errorf("%s (workers=%d) diverges between cache modes:\n-- cache on --\n%s\n-- cache off --\n%s",
+					b.name, workers, on, off)
+			}
+		}
+	}
+}
+
+// TestFlowStudyRowsAgree pins the study's point: the artifact pipeline's
+// classifier column reproduces the ground-truth tally.
+func TestFlowStudyRowsAgree(t *testing.T) {
+	tab := FlowStudy(smallCorpus, 43)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("flow study rows = %d, want ground truth + artifact scan", len(tab.Rows))
+	}
+	gt, scan := tab.Rows[0], tab.Rows[1]
+	if gt[0] != "ground truth" || scan[0] != "artifact scan" {
+		t.Fatalf("row labels = %q, %q", gt[0], scan[0])
+	}
+	for i := 1; i < len(gt); i++ {
+		if gt[i] != scan[i] {
+			t.Errorf("column %q: ground truth %q != artifact scan %q", tab.Header[i], gt[i], scan[i])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"github.com/ghost-installer/gia/internal/corpus"
+	"github.com/ghost-installer/gia/internal/measure"
 	"github.com/ghost-installer/gia/internal/par"
 )
 
@@ -19,6 +20,12 @@ type Options struct {
 	// study builds private simulators from derived seeds, so the rendered
 	// output is bit-identical for any worker count.
 	Workers int
+	// NoAnalysisCache disables the content-addressed analysis cache that
+	// backs the artifact-scanning tables (II, III, Flow Study); every smali
+	// file is then re-analyzed from scratch. The rendered tables are
+	// identical either way (TestCacheTableParity pins this) — the switch
+	// exists for benchmarking and as a soundness escape hatch.
+	NoAnalysisCache bool
 }
 
 // AllTables regenerates every paper table and figure plus the in-text
@@ -36,10 +43,11 @@ func AllTables(opts Options) ([]Table, error) {
 	}
 	// Generated once up front; the table builders only read it.
 	c := corpus.Generate(corpus.Config{Seed: opts.Seed, Scale: opts.Scale})
+	scanOpts := measure.ScanOptions{Workers: opts.Workers, NoCache: opts.NoAnalysisCache}
 	jobs := []func() (Table, error){
 		func() (Table, error) { return TableI(), nil },
-		func() (Table, error) { return TableII(c), nil },
-		func() (Table, error) { return TableIII(c), nil },
+		func() (Table, error) { return tableII(c, scanOpts), nil },
+		func() (Table, error) { return tableIII(c, scanOpts), nil },
 		func() (Table, error) { return TableIV(c), nil },
 		func() (Table, error) { return TableV(opts.Seed) },
 		func() (Table, error) { return TableVI(c), nil },
@@ -54,7 +62,7 @@ func AllTables(opts Options) ([]Table, error) {
 		func() (Table, error) { return KeyStudy(c), nil },
 		func() (Table, error) { return HareStudy(c), nil },
 		func() (Table, error) { return SuggestionTable(opts.Seed, opts.Workers) },
-		func() (Table, error) { return FlowStudy(c, 43), nil },
+		func() (Table, error) { return flowStudy(c, 43, scanOpts), nil },
 		func() (Table, error) { return DAPPTable(opts.Seed, installs, 6) },
 		func() (Table, error) { return FleetTable(5, opts.Seed, opts.Workers) },
 		func() (Table, error) { return ChaosTable(opts.Seed, opts.Workers) },

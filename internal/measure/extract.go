@@ -24,9 +24,23 @@ type ExtractedMeta struct {
 	ReflectionObfuscated bool
 }
 
-// engine is the shared analysis engine with the default GIA rule set. It
-// is immutable and safe for concurrent use by the parallel scanner.
+// engine is the shared uncached analysis engine with the default GIA rule
+// set. It is immutable and safe for concurrent use.
 var engine = analysis.NewEngine()
+
+// cachedEngine backs the corpus-scale scans with one content-addressed
+// analysis cache shared across every table render: template-identical
+// smali collapses to a few dozen distinct canonical analyses, so Table II,
+// Table III and the flow study pay for the corpus once instead of per
+// render. Its findings are byte-identical to the uncached engine's
+// (TestCachedMatchesUncached pins this).
+var cachedEngine = analysis.NewEngineWithOptions(analysis.EngineOptions{CacheCapacity: 4096})
+
+// hasWriteExternal reports whether the artifact's manifest requests the
+// permission that suffices for a GIA hijack on shared storage.
+func hasWriteExternal(a *apk.APK) bool {
+	return a.Manifest.Uses("android.permission.WRITE_EXTERNAL_STORAGE")
+}
 
 // ExtractMeta scans an APK's embedded code for the classifier's features.
 // It mirrors the paper's tool — find the install-API marker first, then
@@ -36,11 +50,9 @@ var engine = analysis.NewEngine()
 // reassignment, branch joins, dead stores and method boundaries are
 // resolved precisely.
 func ExtractMeta(a *apk.APK) ExtractedMeta {
-	out := ExtractedMeta{Package: a.Manifest.Package}
-	for _, p := range a.Manifest.UsesPerms {
-		if p == "android.permission.WRITE_EXTERNAL_STORAGE" {
-			out.UsesWriteExternal = true
-		}
+	out := ExtractedMeta{
+		Package:           a.Manifest.Package,
+		UsesWriteExternal: hasWriteExternal(a),
 	}
 	applyFindings(&out, engine.ScanAPK(a).Findings)
 	return out
@@ -78,25 +90,46 @@ func ClassifyExtracted(m ExtractedMeta) Category {
 	}
 }
 
+// ScanOptions configure an artifact scan.
+type ScanOptions struct {
+	// Workers sizes the scanner's worker pool; <= 0 selects NumCPU.
+	Workers int
+	// NoCache bypasses the shared content-addressed analysis cache and
+	// re-analyzes every file from scratch (the -cache=off path).
+	NoCache bool
+}
+
+func (o ScanOptions) engine() *analysis.Engine {
+	if o.NoCache {
+		return engine
+	}
+	return cachedEngine
+}
+
 // ScanArtifacts materializes APK artifacts for a population and runs the
 // parallel corpus scanner over them, returning per-app extracted features
-// plus the aggregate scan statistics (per-rule hit counts, throughput).
+// plus the aggregate scan statistics (per-rule hit counts, throughput,
+// cache counters). Analyses are served from the shared content-addressed
+// cache; use ScanArtifactsOpts to opt out.
 func ScanArtifacts(apps []corpus.AppMeta, workers int) ([]ExtractedMeta, analysis.ScanStats) {
-	if workers < 1 {
-		workers = runtime.NumCPU()
+	return ScanArtifactsOpts(apps, ScanOptions{Workers: workers})
+}
+
+// ScanArtifactsOpts is ScanArtifacts with explicit cache/worker control.
+func ScanArtifactsOpts(apps []corpus.AppMeta, o ScanOptions) ([]ExtractedMeta, analysis.ScanStats) {
+	if o.Workers < 1 {
+		o.Workers = runtime.NumCPU()
 	}
 	artifacts := make([]*apk.APK, len(apps))
-	reports, stats := engine.ScanCorpus(len(apps), workers, func(i int) *apk.APK {
+	reports, stats := o.engine().ScanCorpus(len(apps), o.Workers, func(i int) *apk.APK {
 		artifacts[i] = corpus.BuildAPKFor(apps[i])
 		return artifacts[i]
 	})
 	metas := make([]ExtractedMeta, len(apps))
 	for i, rep := range reports {
-		metas[i] = ExtractedMeta{Package: apps[i].Package}
-		for _, p := range artifacts[i].Manifest.UsesPerms {
-			if p == "android.permission.WRITE_EXTERNAL_STORAGE" {
-				metas[i].UsesWriteExternal = true
-			}
+		metas[i] = ExtractedMeta{
+			Package:           apps[i].Package,
+			UsesWriteExternal: hasWriteExternal(artifacts[i]),
 		}
 		applyFindings(&metas[i], rep.Findings)
 	}
@@ -107,7 +140,13 @@ func ScanArtifacts(apps []corpus.AppMeta, workers int) ([]ExtractedMeta, analysi
 // ground truth, extract features from its code with the analysis engine,
 // classify — over a population, fanned out over the parallel scanner.
 func ClassifyArtifacts(apps []corpus.AppMeta) Classification {
-	metas, _ := ScanArtifacts(apps, 0)
+	return ClassifyArtifactsOpts(apps, ScanOptions{})
+}
+
+// ClassifyArtifactsOpts is ClassifyArtifacts with explicit cache/worker
+// control; the classification is identical for any options.
+func ClassifyArtifactsOpts(apps []corpus.AppMeta, o ScanOptions) Classification {
+	metas, _ := ScanArtifactsOpts(apps, o)
 	var c Classification
 	c.Total = len(apps)
 	for _, m := range metas {
@@ -132,6 +171,12 @@ func ClassifyArtifacts(apps []corpus.AppMeta) Classification {
 // classifier's verdicts are re-derived from the artifacts through the
 // analysis engine instead of read off the metadata.
 func FlowAnalysisStudyArtifacts(apps []corpus.AppMeta, sample int) FlowResult {
+	return FlowAnalysisStudyArtifactsOpts(apps, sample, ScanOptions{})
+}
+
+// FlowAnalysisStudyArtifactsOpts is FlowAnalysisStudyArtifacts with
+// explicit cache/worker control.
+func FlowAnalysisStudyArtifactsOpts(apps []corpus.AppMeta, sample int, o ScanOptions) FlowResult {
 	var sampled []corpus.AppMeta
 	var res FlowResult
 	for _, app := range apps {
@@ -154,7 +199,7 @@ func FlowAnalysisStudyArtifacts(apps []corpus.AppMeta, sample int) FlowResult {
 			res.FlowAnalyzable++
 		}
 	}
-	metas, _ := ScanArtifacts(sampled, 0)
+	metas, _ := ScanArtifactsOpts(sampled, o)
 	for _, m := range metas {
 		switch ClassifyExtracted(m) {
 		case PotentiallyVulnerable, PotentiallySecure:

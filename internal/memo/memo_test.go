@@ -1,0 +1,190 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoHitMissOutcomes(t *testing.T) {
+	tab := New[int](64)
+	k := KeyOf([]byte("alpha"))
+	computes := 0
+	compute := func() (int, error) { computes++; return 42, nil }
+
+	v, out, err := tab.Do(k, compute)
+	if err != nil || v != 42 || out != Miss {
+		t.Fatalf("first Do = (%d, %v, %v), want (42, miss, nil)", v, out, err)
+	}
+	v, out, err = tab.Do(k, compute)
+	if err != nil || v != 42 || out != Hit {
+		t.Fatalf("second Do = (%d, %v, %v), want (42, hit, nil)", v, out, err)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times, want 1", computes)
+	}
+	st := tab.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Deduped != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSingleflightDedup blocks one compute while many goroutines request
+// the same key: exactly one compute must run and every other caller must
+// report Deduped with the shared value.
+func TestSingleflightDedup(t *testing.T) {
+	tab := New[string](64)
+	k := KeyOf([]byte("shared"))
+	var computes atomic.Int32
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	var once sync.Once
+	compute := func() (string, error) {
+		computes.Add(1)
+		once.Do(func() { close(started) })
+		<-gate
+		return "value", nil
+	}
+
+	const callers = 8
+	results := make([]Outcome, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := tab.Do(k, compute)
+			if err != nil || v != "value" {
+				t.Errorf("caller %d: (%q, %v)", i, v, err)
+			}
+			results[i] = out
+		}(i)
+	}
+	<-started // the winning caller is inside compute
+	close(gate)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	misses, deduped := 0, 0
+	for _, out := range results {
+		switch out {
+		case Miss:
+			misses++
+		case Deduped:
+			deduped++
+		}
+	}
+	// Late arrivals may land after the value is resident (Hit); but exactly
+	// one caller computed and nobody recomputed.
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1 (outcomes %v)", misses, results)
+	}
+	if st := tab.Stats(); st.Deduped != int64(deduped) || st.Misses != 1 {
+		t.Fatalf("stats = %+v, observed %d deduped", st, deduped)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	tab := New[int](64)
+	k := KeyOf([]byte("flaky"))
+	boom := errors.New("boom")
+	calls := 0
+
+	_, out, err := tab.Do(k, func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) || out != Miss {
+		t.Fatalf("failing Do = (%v, %v)", out, err)
+	}
+	v, out, err := tab.Do(k, func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || out != Miss {
+		t.Fatalf("retry Do = (%d, %v, %v), want fresh miss", v, out, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute calls = %d, want 2", calls)
+	}
+	if st := tab.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (error entry must be removed)", st.Entries)
+	}
+}
+
+// TestLRUEvictionBound fills the table well past capacity and checks the
+// resident count stays bounded, evictions are counted, and an evicted key
+// recomputes while a hot key survives.
+func TestLRUEvictionBound(t *testing.T) {
+	const capacity = 32
+	tab := New[int](capacity)
+	hot := KeyOf([]byte("hot"))
+	if _, _, err := tab.Do(hot, func() (int, error) { return -1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	const total = 10 * capacity
+	for i := 0; i < total; i++ {
+		i := i
+		if _, _, err := tab.Do(KeyOf([]byte(fmt.Sprintf("k%d", i))), func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+		// Keep the hot key recently used in every shard epoch.
+		if _, _, err := tab.Do(hot, func() (int, error) { t.Error("hot key evicted"); return -1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := tab.Stats()
+	// Per-shard rounding allows a bit of slack above nominal capacity.
+	if st.Entries > capacity+numShards {
+		t.Fatalf("entries = %d, want <= %d", st.Entries, capacity+numShards)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions after overfilling")
+	}
+	// An early key must have been evicted and recompute as a miss.
+	recomputed := false
+	if _, out, _ := tab.Do(KeyOf([]byte("k0")), func() (int, error) { recomputed = true; return 0, nil }); out != Miss || !recomputed {
+		t.Fatalf("k0 outcome = %v, recomputed = %v; want evicted miss", out, recomputed)
+	}
+}
+
+// TestConcurrentMixedKeys exercises the table under the race detector:
+// many goroutines, overlapping key sets, eviction pressure.
+func TestConcurrentMixedKeys(t *testing.T) {
+	tab := New[int](48)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				want := i % 64
+				v, _, err := tab.Do(KeyOf([]byte(fmt.Sprintf("key-%d", want))), func() (int, error) {
+					return want, nil
+				})
+				if err != nil || v != want {
+					t.Errorf("g%d i%d: got (%d, %v), want %d", g, i, v, err, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := tab.Stats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGet(t *testing.T) {
+	tab := New[int](16)
+	k := KeyOf([]byte("g"))
+	if _, ok := tab.Get(k); ok {
+		t.Fatal("Get hit on empty table")
+	}
+	if _, _, err := tab.Do(k, func() (int, error) { return 9, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Get(k); !ok || v != 9 {
+		t.Fatalf("Get = (%d, %v), want (9, true)", v, ok)
+	}
+}

@@ -31,6 +31,22 @@ echo "== bench smoke (worker-pool engine under race, 1 iteration) =="
 # races the serial unit tests cannot reach.
 go test -race -run '^$' -bench '^(BenchmarkAllTables|BenchmarkFleetStudy)' -benchtime=1x .
 
+echo "== alloc budgets (non-race) =="
+# The race-enabled suite skips the per-instruction allocation budgets
+# (instrumentation changes allocation counts); pin them here without race.
+go test -run 'AllocBudget' -count=1 ./internal/analysis
+
+echo "== analysis-cache parity =="
+# Cached and uncached scans must be byte-identical: full-output diff at 1
+# and NumCPU workers, plus the rendered -cache=on vs -cache=off tables.
+go test -count=1 -run '^(TestCachedMatchesUncached|TestCacheTableParity)$' \
+    ./internal/measure ./internal/experiment
+
+echo "== cache smoke under race (warm corpus scan, NumCPU workers) =="
+# Two race-enabled warm scans through the shared cache: concurrent hits,
+# singleflight dedups and LRU movement all run under the race detector.
+go test -race -run '^$' -bench '^BenchmarkScanArtifactsWarm$' -benchtime=1x -count=2 .
+
 echo "== fuzz smoke (5s per target) =="
 # Run every Fuzz target briefly; fuzzing requires one target per
 # invocation. The target list is materialized in a temp file — not a pipe —
