@@ -22,12 +22,25 @@
 //	gia-chaos -mode table [-seed N] [-workers N]
 //	    run the full exploration study and print the summary table
 //
+// The mode (and, for replay, the token) may also be passed positionally:
+//
+//	gia-chaos -trace=out.json replay gia1:SEED:JITTER:CHOICES
+//
 // The invariant checked is "the hijack lands" — or, with -patched, "the
 // hijack never lands through the FUSE patch".
+//
+// Observability: -trace=FILE exports a deterministic virtual-time trace of
+// every explored run — one track per schedule token carrying the full
+// device timeline (fs, packages, firewall, AIT steps) — as Chrome
+// trace-event JSON (open in chrome://tracing or Perfetto), or JSONL when
+// FILE ends in .jsonl. -metrics prints a counter snapshot (schedules
+// explored, violations, scheduler and installer counters) to stderr. Both
+// are byte-identical for any -workers value.
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -51,7 +64,16 @@ type options struct {
 	jitter    time.Duration
 	faultName string
 	token     string
+	tracePath string
+	metrics   bool
+
+	reg *gia.ObsRegistry
+	tr  *gia.ObsTrace
 }
+
+// errViolation marks a replay that reproduced its violation: exit status 1,
+// but only after the trace and metrics outputs are flushed.
+var errViolation = errors.New("invariant violated")
 
 func main() {
 	var o options
@@ -68,10 +90,70 @@ func main() {
 	flag.DurationVar(&o.jitter, "jitter", 5*time.Millisecond, "sweep: largest event-jitter bound")
 	flag.StringVar(&o.faultName, "fault", "truncate-download", "fault: truncate-download, fail-rename, drop-intent")
 	flag.StringVar(&o.token, "token", "", "replay: schedule token to re-execute")
+	flag.StringVar(&o.tracePath, "trace", "", "export a Chrome trace (or JSONL if the path ends in .jsonl) of every explored run")
+	flag.BoolVar(&o.metrics, "metrics", false, "print a metrics snapshot to stderr")
 	flag.Parse()
-	if err := run(*mode, o); err != nil {
+	if flag.NArg() > 0 {
+		*mode = flag.Arg(0)
+	}
+	if flag.NArg() > 1 {
+		o.token = flag.Arg(1)
+	}
+	if o.tracePath != "" {
+		o.tr = gia.NewObsTrace()
+		// Virtual-time only: wall spans depend on worker scheduling and
+		// would break byte-for-byte replay comparisons.
+		o.tr.SetWallClock(nil)
+	}
+	if o.metrics {
+		o.reg = gia.NewObsRegistry()
+	}
+	err := run(*mode, o)
+	if werr := writeObservability(o); werr != nil {
+		log.Fatal(werr)
+	}
+	if errors.Is(err, errViolation) {
+		os.Exit(1)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// writeObservability flushes the trace file and the metrics snapshot; it
+// runs even when the invariant verdict will exit nonzero.
+func writeObservability(o options) error {
+	if o.tr != nil {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(o.tracePath, ".jsonl") {
+			err = o.tr.WriteJSONL(f)
+		} else {
+			err = o.tr.WriteChrome(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", o.tracePath)
+	}
+	if o.reg != nil {
+		if err := o.reg.Snapshot().WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// instrument attaches the session's registry and trace to an explorer.
+func (o options) instrument(ex *gia.ChaosExplorer) *gia.ChaosExplorer {
+	ex.Metrics = o.reg
+	ex.Trace = o.tr
+	return ex
 }
 
 func profileByName(name string) (gia.InstallerProfile, error) {
@@ -132,12 +214,33 @@ func invariant(o options) (func(r *gia.ChaosRun) error, error) {
 			gia.EnableFUSEPatch(s.Dev, true)
 		}
 		gia.InstrumentScenario(s, r)
+		if o.reg != nil {
+			// Shared atomic counters: totals are worker-count independent.
+			gia.InstrumentDevice(s.Dev, o.reg, nil)
+			s.Store.Instrument(o.reg, nil)
+		}
+		var rec *gia.Timeline
+		if o.tr != nil {
+			rec = gia.NewTimeline(s.Dev)
+			if err := rec.WatchFS(s.Dev.FS, prof.StagingDir); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			rec.WatchPackages(s.Dev.PMS)
+			rec.WatchFirewall(s.Dev.AMS.Firewall())
+		}
 		atk := gia.NewTOCTOU(s.Mal, gia.AttackConfigForStore(prof, strategy), s.Target)
 		if err := atk.Launch(); err != nil {
 			return fmt.Errorf("launch: %w", err)
 		}
 		res := s.RunAIT()
 		atk.Stop()
+		if rec != nil {
+			// The run's trace lane is the merged device timeline — the same
+			// event stream the golden TOCTOU timeline pins.
+			rec.RecordAIT(res)
+			rec.ExportSpans(r.Track())
+			rec.Close()
+		}
 		if patched {
 			if res.Hijacked {
 				return fmt.Errorf("hijack landed through the FUSE patch")
@@ -208,7 +311,7 @@ func run(mode string, o options) error {
 		if err != nil {
 			return err
 		}
-		ex := &gia.ChaosExplorer{Workers: o.workers, MaxSchedules: o.max}
+		ex := o.instrument(&gia.ChaosExplorer{Workers: o.workers, MaxSchedules: o.max})
 		if o.grid > 0 {
 			ex.Plan = gia.NewFaultPlan(0, gia.FaultRule{
 				Site: gia.FaultSiteSimEvent, Kind: gia.FaultDelay, SnapTo: o.grid,
@@ -230,7 +333,7 @@ func run(mode string, o options) error {
 		for i := range seeds {
 			seeds[i] = o.seed + int64(i)
 		}
-		ex := &gia.ChaosExplorer{Workers: o.workers}
+		ex := o.instrument(&gia.ChaosExplorer{Workers: o.workers})
 		report("sweep", ex.Sweep(seeds, jitters, fn), ex, fn)
 		return nil
 	case "fault":
@@ -242,7 +345,7 @@ func run(mode string, o options) error {
 		if err != nil {
 			return err
 		}
-		ex := &gia.ChaosExplorer{Workers: o.workers, Plan: plan}
+		ex := o.instrument(&gia.ChaosExplorer{Workers: o.workers, Plan: plan})
 		report("fault "+o.faultName, ex.Sweep([]int64{o.seed}, nil, fn), ex, fn)
 		return nil
 	case "replay":
@@ -259,11 +362,11 @@ func run(mode string, o options) error {
 				return err
 			}
 		}
-		ex := &gia.ChaosExplorer{Workers: 1, Plan: plan}
+		ex := o.instrument(&gia.ChaosExplorer{Workers: 1, Plan: plan})
 		sched, err := ex.Replay(o.token, fn)
 		if err != nil {
 			fmt.Printf("schedule %s violates: %v\n", sched.Token(), err)
-			os.Exit(1)
+			return errViolation
 		}
 		fmt.Printf("schedule %s: invariant holds\n", sched.Token())
 		return nil

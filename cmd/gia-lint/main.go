@@ -9,7 +9,13 @@
 //	gia-lint file.smali [file2.smali ...]        # lint smali sources
 //	gia-lint [-seed N] [-scale F] [-pop play|preinstalled|store|all]
 //	         [-workers N] [-findings N] [-cache on|off]
-//	                                             # scan a synthetic corpus
+//	         [-trace FILE] [-metrics]            # scan a synthetic corpus
+//
+// Observability: -trace=FILE exports wall-clock spans of the corpus scan
+// (one track per scanner worker, one span per APK) as Chrome trace-event
+// JSON, or JSONL when FILE ends in .jsonl. -metrics prints the engine's
+// counter snapshot (files, instructions, findings, cache layers) to
+// stderr.
 package main
 
 import (
@@ -19,10 +25,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 
 	"github.com/ghost-installer/gia/internal/analysis"
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/corpus"
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 func main() {
@@ -32,16 +40,31 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "scanner worker pool size")
 	findings := flag.Int("findings", 10, "example findings to print in corpus mode")
 	cache := flag.String("cache", "on", "content-addressed analysis cache: on|off (findings are identical either way)")
+	tracePath := flag.String("trace", "", "export a Chrome trace (or JSONL if the path ends in .jsonl) of the corpus scan")
+	metrics := flag.Bool("metrics", false, "print the engine's metrics snapshot to stderr")
 	flag.Parse()
 
-	var eng *analysis.Engine
+	opts := analysis.EngineOptions{}
 	switch *cache {
 	case "on":
-		eng = analysis.NewEngineWithOptions(analysis.EngineOptions{CacheCapacity: 4096})
+		opts.CacheCapacity = 4096
 	case "off":
-		eng = analysis.NewEngine()
 	default:
 		log.Fatalf("-cache=%q: want on or off", *cache)
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		opts.Registry = reg
+	}
+	var tr *obs.Trace
+	if *tracePath != "" {
+		tr = obs.NewTrace()
+		opts.Trace = tr
+	}
+	eng := analysis.NewEngineWithOptions(opts)
+	if opts.CacheCapacity == 0 && opts.Registry == nil && opts.Trace == nil {
+		eng = analysis.NewEngine()
 	}
 	if flag.NArg() > 0 {
 		os.Exit(lintFiles(eng, flag.Args()))
@@ -49,6 +72,37 @@ func main() {
 	if err := scanCorpus(eng, *seed, *scale, *pop, *workers, *findings); err != nil {
 		log.Fatal(err)
 	}
+	if tr != nil {
+		if err := writeTrace(tr, *tracePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if reg != nil {
+		if err := reg.Snapshot().WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeTrace flushes the scan trace in the format the file extension picks.
+func writeTrace(tr *obs.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChrome(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
+	return nil
 }
 
 // lintFiles lints smali sources from disk and returns the exit code:

@@ -6,13 +6,19 @@
 // Usage:
 //
 //	gia-sweep [-trials N] [-seed N] [-workers N]
+//	          [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile/-memprofile write pprof profiles of the sweep; CPU samples
+// carry a "par.worker" label so profiles split by pool worker.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/ghost-installer/gia"
@@ -22,9 +28,41 @@ func main() {
 	trials := flag.Int("trials", 10, "trials per sweep point")
 	seed := flag.Int64("seed", 1, "sweep seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker pool size for the sweep grids (results are identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		gia.InstrumentWorkerPool(nil, nil, true)
+		defer func() {
+			gia.InstrumentWorkerPool(nil, nil, false)
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 	if err := run(*trials, *seed, *workers); err != nil {
 		log.Fatal(err)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

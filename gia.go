@@ -46,8 +46,11 @@ import (
 	"github.com/ghost-installer/gia/internal/installer"
 	"github.com/ghost-installer/gia/internal/intents"
 	"github.com/ghost-installer/gia/internal/measure"
+	"github.com/ghost-installer/gia/internal/obs"
+	"github.com/ghost-installer/gia/internal/par"
 	"github.com/ghost-installer/gia/internal/perm"
 	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/sim"
 	"github.com/ghost-installer/gia/internal/timeline"
 	"github.com/ghost-installer/gia/internal/vfs"
 )
@@ -481,3 +484,77 @@ func InstrumentScenario(s *Scenario, r *ChaosRun) { s.Instrument(r) }
 func ChaosExplorationTable(seed int64, workers int) (ExperimentTable, error) {
 	return experiment.ChaosTable(seed, workers)
 }
+
+// Observability: dual-clock tracing and a metrics registry (internal/obs).
+// Spans and instants live on tracks, each bound to one clock domain —
+// virtual (the simulated device clock) or wall (a real monotonic
+// stopwatch) — and export as Chrome trace-event JSON (WriteChrome, open in
+// chrome://tracing or Perfetto), JSONL (WriteJSONL) or a text snapshot
+// (Snapshot().WriteText). All hooks are nil-safe: a nil registry, trace,
+// track or metric disables that instrument at zero cost.
+type (
+	// ObsRegistry is a process-wide registry of named counters, gauges and
+	// histograms.
+	ObsRegistry = obs.Registry
+	// ObsTrace is a collection of spans and instants across tracks.
+	ObsTrace = obs.Trace
+	// ObsTrack is one named lane of trace events in one clock domain.
+	ObsTrack = obs.Track
+	// ObsSnapshot is a point-in-time, deterministic view of a registry.
+	ObsSnapshot = obs.Snapshot
+	// ObsEvent is one recorded span or instant on a track.
+	ObsEvent = obs.Event
+)
+
+// NewObsRegistry creates an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsTrace creates an empty trace whose wall-clock domain reads a real
+// monotonic stopwatch. Call SetWallClock(nil) for deterministic
+// (virtual-only) traces that are byte-identical across worker counts.
+func NewObsTrace() *ObsTrace { return obs.NewTrace() }
+
+// InstrumentDevice hooks a device's scheduler onto the registry — counters
+// "sim.events.scheduled", "sim.events.dispatched", "sim.events.cancelled"
+// and gauge "sim.queue.depth" — and, when track is non-nil, emits one
+// virtual-time dispatch instant per event. Either argument may be nil.
+func InstrumentDevice(dev *Device, reg *ObsRegistry, track *ObsTrack) {
+	m := sim.Metrics{Track: track}
+	if reg != nil {
+		m.Scheduled = reg.Counter("sim.events.scheduled")
+		m.Dispatched = reg.Counter("sim.events.dispatched")
+		m.Cancelled = reg.Counter("sim.events.cancelled")
+		m.Depth = reg.Gauge("sim.queue.depth")
+	}
+	dev.Sched.Instrument(m)
+}
+
+// InstrumentWorkerPool installs process-wide telemetry on the shared par
+// worker pool: counters "par.tasks" and "par.busy_ns", gauges "par.queued"
+// and "par.busy", histogram "par.job_ns", per-worker wall-clock trace
+// tracks ("par/worker-K"), and — when pprofLabels is set — a "par.worker"
+// pprof label on every worker goroutine so CPU profiles split by worker.
+// Wall telemetry is schedule-dependent; leave tr nil for deterministic
+// runs. Passing all-zero arguments uninstalls the instrumentation.
+func InstrumentWorkerPool(reg *ObsRegistry, tr *ObsTrace, pprofLabels bool) {
+	if reg == nil && tr == nil && !pprofLabels {
+		par.SetInstrumentation(nil)
+		return
+	}
+	in := &par.Instrumentation{Trace: tr, PprofLabels: pprofLabels}
+	if reg != nil {
+		in.Tasks = reg.Counter("par.tasks")
+		in.Queued = reg.Gauge("par.queued")
+		in.Busy = reg.Gauge("par.busy")
+		in.BusyNS = reg.Counter("par.busy_ns")
+		in.JobNS = reg.Histogram("par.job_ns", obs.DurationBuckets())
+		in.Clock = obs.Stopwatch()
+	}
+	par.SetInstrumentation(in)
+}
+
+// ObserveAnalysisCache re-homes the shared analysis engines' telemetry
+// (scan counters plus both memo-cache layers) onto reg, so corpus scans
+// via ScanCorpusArtifacts / ClassifyInstallers surface their cache
+// behaviour. A nil registry is a no-op.
+func ObserveAnalysisCache(reg *ObsRegistry) { measure.ObserveSharedEngines(reg) }

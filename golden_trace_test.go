@@ -1,0 +1,110 @@
+package gia_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia"
+)
+
+// renderTOCTOUTrace runs the same fixed-seed FileObserver TOCTOU fixture as
+// TestGoldenTOCTOUTimeline and exports the merged device timeline as a
+// Chrome trace: one virtual-time track carrying every fs, package, firewall
+// and AIT event.
+func renderTOCTOUTrace(t *testing.T) ([]byte, *gia.ObsTrack) {
+	t.Helper()
+	prof := gia.AmazonProfile()
+	scenario, err := gia.NewScenario(prof, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := gia.NewTimeline(scenario.Dev)
+	defer rec.Close()
+	if err := rec.WatchFS(scenario.Dev.FS, prof.StagingDir); err != nil {
+		t.Fatal(err)
+	}
+	rec.WatchPackages(scenario.Dev.PMS)
+	rec.WatchFirewall(scenario.Dev.AMS.Firewall())
+
+	atk := gia.NewTOCTOU(scenario.Mal, gia.AttackConfigForStore(prof, gia.StrategyFileObserver), scenario.Target)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	res := scenario.RunAIT()
+	atk.Stop()
+	if !res.Hijacked {
+		t.Fatalf("fixed-seed TOCTOU did not hijack: %v", res.Err)
+	}
+	rec.RecordAIT(res)
+
+	tr := gia.NewObsTrace()
+	// Virtual time only: the wall domain would embed real durations and
+	// break byte-for-byte reproducibility.
+	tr.SetWallClock(nil)
+	track := tr.VirtualTrack("device")
+	rec.ExportSpans(track)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), track
+}
+
+// TestGoldenTOCTOUTrace pins the Chrome-trace export of the FileObserver
+// TOCTOU timeline: the same events testdata/toctou_timeline.golden pins, as
+// trace instants on a virtual-time "device" track. The export must be
+// byte-identical across runs; regenerate deliberately with
+// `go test -run TestGoldenTOCTOUTrace -update`.
+func TestGoldenTOCTOUTrace(t *testing.T) {
+	got, track := renderTOCTOUTrace(t)
+	again, _ := renderTOCTOUTrace(t)
+	if !bytes.Equal(got, again) {
+		t.Fatalf("trace export is not deterministic across runs:\n--- first ---\n%s\n--- second ---\n%s",
+			firstDiffWindow(got, again), firstDiffWindow(again, got))
+	}
+
+	// Every trace event must agree, field for field, with the golden
+	// timeline: re-rendering the track in the timeline's own line format
+	// must reproduce toctou_timeline.golden exactly.
+	var lines bytes.Buffer
+	for _, ev := range track.Events() {
+		if !ev.Instant {
+			t.Fatalf("timeline export produced a non-instant event: %+v", ev)
+		}
+		fmt.Fprintf(&lines, "[%10.3fms] %-8s %s\n",
+			float64(ev.Start)/float64(time.Millisecond), ev.Name, ev.Detail)
+	}
+	timelineGolden, err := os.ReadFile(filepath.Join("testdata", "toctou_timeline.golden"))
+	if err != nil {
+		t.Fatalf("read timeline golden: %v", err)
+	}
+	if !bytes.Equal(lines.Bytes(), timelineGolden) {
+		t.Errorf("trace events drifted from the golden timeline:\n--- trace ---\n%s\n--- timeline ---\n%s",
+			firstDiffWindow(lines.Bytes(), timelineGolden), firstDiffWindow(timelineGolden, lines.Bytes()))
+	}
+
+	golden := filepath.Join("testdata", "toctou_trace.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace drifted from %s (rerun with -update if deliberate):\n--- got ---\n%s\n--- want ---\n%s",
+			golden, firstDiffWindow(got, want), firstDiffWindow(want, got))
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"github.com/ghost-installer/gia/internal/memo"
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 // EngineOptions configure optional engine behaviour. The zero value is a
@@ -17,6 +18,14 @@ type EngineOptions struct {
 	// An engine running custom rules with the cache enabled must supply
 	// markers covering every substring/constant those rules match on.
 	CacheMarkers []string
+	// Registry, when non-nil, re-homes the engine's telemetry onto it:
+	// scan counters under "analysis.scan.*" and — with the cache enabled —
+	// the two memo layers under "analysis.cache.raw.*" and
+	// "analysis.cache.canon.*". Equivalent to calling Observe afterwards.
+	Registry *obs.Registry
+	// Trace, when non-nil, gives ScanCorpus workers wall-clock
+	// "scan/worker-K" tracks with one span per scanned artifact.
+	Trace *obs.Trace
 }
 
 // NewEngineWithOptions builds an engine with the given options; with no
@@ -36,7 +45,31 @@ func NewEngineWithOptions(o EngineOptions, rules ...Rule) *Engine {
 			table: memo.New[cachedSource](o.CacheCapacity),
 		}
 	}
+	e.trace = o.Trace
+	e.Observe(o.Registry)
 	return e
+}
+
+// Observe re-homes the engine's telemetry onto reg: the per-scan counters
+// ("analysis.scan.files", ".instructions", ".findings", ".parse_errors"
+// and the ".cache.hits/misses/deduped" outcome split) plus, on a cached
+// engine, both memo layers. Values accumulated so far carry over. Call it
+// before scanning concurrently; a nil registry is a no-op.
+func (e *Engine) Observe(reg *obs.Registry) {
+	if e == nil || reg == nil {
+		return
+	}
+	obs.Rehome(reg, "analysis.scan.files", &e.met.files)
+	obs.Rehome(reg, "analysis.scan.instructions", &e.met.instructions)
+	obs.Rehome(reg, "analysis.scan.findings", &e.met.findings)
+	obs.Rehome(reg, "analysis.scan.parse_errors", &e.met.parseErrors)
+	obs.Rehome(reg, "analysis.scan.cache.hits", &e.met.cacheHits)
+	obs.Rehome(reg, "analysis.scan.cache.misses", &e.met.cacheMisses)
+	obs.Rehome(reg, "analysis.scan.cache.deduped", &e.met.cacheDeduped)
+	if e.cache != nil {
+		e.cache.raw.Observe(reg, "analysis.cache.raw")
+		e.cache.table.Observe(reg, "analysis.cache.canon")
+	}
 }
 
 // CacheStats snapshots the engine's analysis-cache counters, summed over

@@ -2,12 +2,14 @@ package analysis
 
 import (
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/memo"
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 // Engine runs a rule set over smali sources and APK artifacts. An Engine
@@ -17,6 +19,23 @@ type Engine struct {
 	// cache, when non-nil, memoizes per-source analyses by canonicalized
 	// content hash (see NewEngineWithOptions and cache.go).
 	cache *sourceCache
+	// met are the engine's scan counters; all-nil (the default) disables
+	// them at zero cost. Observe re-homes them onto a registry.
+	met engineMetrics
+	// trace, when non-nil, gives ScanCorpus workers per-worker wall spans.
+	trace *obs.Trace
+}
+
+// engineMetrics mirror the per-scan ScanStats aggregates as cumulative,
+// engine-lifetime counters on the obs registry.
+type engineMetrics struct {
+	files        *obs.Counter
+	instructions *obs.Counter
+	findings     *obs.Counter
+	parseErrors  *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheDeduped *obs.Counter
 }
 
 // NewEngine builds an engine; with no arguments it loads DefaultRules.
@@ -137,7 +156,21 @@ func (e *Engine) ScanAPK(a *apk.APK) Report {
 		rep.Findings = append(rep.Findings, findings...)
 	}
 	sortFindings(rep.Findings)
+	e.met.record(rep)
 	return rep
+}
+
+// record mirrors one report onto the engine's cumulative counters. Called
+// once per artifact — never on the per-instruction hot path — and free
+// when the counters are nil.
+func (m *engineMetrics) record(rep Report) {
+	m.files.Add(int64(rep.Stats.Files))
+	m.instructions.Add(int64(rep.Stats.Instructions))
+	m.findings.Add(int64(len(rep.Findings)))
+	m.parseErrors.Add(int64(rep.Stats.ParseErrors))
+	m.cacheHits.Add(int64(rep.CacheHits))
+	m.cacheMisses.Add(int64(rep.CacheMisses))
+	m.cacheDeduped.Add(int64(rep.CacheDeduped))
 }
 
 // ScanStats aggregates a corpus scan with per-rule hit counts and
@@ -192,15 +225,24 @@ func (e *Engine) ScanCorpus(n, workers int, fetch func(int) *apk.APK) ([]Report,
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(part *ScanStats) {
+		go func(w int, part *ScanStats) {
 			defer wg.Done()
 			part.PerRule = make(map[string]int)
+			var track *obs.Track
+			if e.trace != nil {
+				track = e.trace.WallTrack("scan/worker-" + strconv.Itoa(w))
+			}
 			for i := range indices {
 				a := fetch(i)
 				if a == nil {
 					continue
 				}
+				var sp obs.Span
+				if track != nil {
+					sp = track.Begin("apk", strconv.Itoa(i))
+				}
 				rep := e.ScanAPK(a)
+				sp.End()
 				reports[i] = rep
 				part.APKs++
 				part.Findings += len(rep.Findings)
@@ -212,7 +254,7 @@ func (e *Engine) ScanCorpus(n, workers int, fetch func(int) *apk.APK) ([]Report,
 					part.PerRule[f.RuleID]++
 				}
 			}
-		}(&partials[w])
+		}(w, &partials[w])
 	}
 	for i := 0; i < n; i++ {
 		indices <- i

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/sig"
 )
 
@@ -138,5 +139,62 @@ func TestAnalyzeSourceError(t *testing.T) {
 	}
 	if stats.ParseErrors != 1 {
 		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestScanCountersMatchStats pins the re-homing satellite: the per-scan
+// ScanStats aggregates and the registry's engine-lifetime counters report
+// the same numbers after one corpus scan on a fresh engine.
+func TestScanCountersMatchStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := NewEngineWithOptions(EngineOptions{CacheCapacity: 256, Registry: reg})
+	apks := []*apk.APK{
+		testAPK(map[string]string{"smali/A.smali": wrap(`    const-string v2, "/sdcard/a.apk"
+`)}),
+		testAPK(map[string]string{"smali/A.smali": wrap(`    const-string v2, "/sdcard/a.apk"
+`)}),
+		testAPK(map[string]string{"smali/B.smali": wrap(`    const-string v0, "market://details?id=com.x"
+`)}),
+	}
+	reports, stats := eng.ScanCorpus(len(apks), runtime.NumCPU(), func(i int) *apk.APK { return apks[i] })
+	if len(reports) != len(apks) {
+		t.Fatalf("reports = %d", len(reports))
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("analysis.scan.files"); got != int64(stats.Stats.Files) {
+		t.Errorf("analysis.scan.files = %d, ScanStats.Files = %d", got, stats.Stats.Files)
+	}
+	if got := snap.Counter("analysis.scan.instructions"); got != int64(stats.Stats.Instructions) {
+		t.Errorf("analysis.scan.instructions = %d, ScanStats = %d", got, stats.Stats.Instructions)
+	}
+	if got := snap.Counter("analysis.scan.findings"); got != int64(stats.Findings) {
+		t.Errorf("analysis.scan.findings = %d, ScanStats.Findings = %d", got, stats.Findings)
+	}
+	if got := snap.Counter("analysis.scan.cache.hits"); got != int64(stats.CacheHits) {
+		t.Errorf("analysis.scan.cache.hits = %d, ScanStats.CacheHits = %d", got, stats.CacheHits)
+	}
+	if got := snap.Counter("analysis.scan.cache.misses"); got != int64(stats.CacheMisses) {
+		t.Errorf("analysis.scan.cache.misses = %d, ScanStats.CacheMisses = %d", got, stats.CacheMisses)
+	}
+	if got := snap.Counter("analysis.scan.cache.deduped"); got != int64(stats.CacheDeduped) {
+		t.Errorf("analysis.scan.cache.deduped = %d, ScanStats.CacheDeduped = %d", got, stats.CacheDeduped)
+	}
+	// The sum of outcomes is the file count — the ScanStats invariant,
+	// now visible through the registry too.
+	sum := snap.Counter("analysis.scan.cache.hits") + snap.Counter("analysis.scan.cache.misses") +
+		snap.Counter("analysis.scan.cache.deduped")
+	if sum != int64(stats.Stats.Files) {
+		t.Errorf("cache outcome sum = %d, files = %d", sum, stats.Stats.Files)
+	}
+
+	// CacheStats and the memo-layer registry counters must also agree.
+	cs, ok := eng.CacheStats()
+	if !ok {
+		t.Fatal("cached engine reported no cache stats")
+	}
+	memoSum := snap.Counter("analysis.cache.raw.hits") + snap.Counter("analysis.cache.canon.hits")
+	if memoSum != cs.Hits {
+		t.Errorf("memo-layer registry hits = %d, CacheStats.Hits = %d", memoSum, cs.Hits)
 	}
 }

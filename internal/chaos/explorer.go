@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/par"
 )
 
@@ -46,13 +47,45 @@ type Explorer struct {
 	MaxSchedules int
 	// Plan, when non-nil, is the base fault plan cloned into every run.
 	Plan *FaultPlan
+	// Metrics, when non-nil, receives the counters "chaos.explored" and
+	// "chaos.violations" — shared atomics, so their totals are identical
+	// for any worker count.
+	Metrics *obs.Registry
+	// Trace, when non-nil, hands every run a virtual-time track named
+	// "run/<token of the imposed schedule>" (reachable via Run.Track and
+	// clock-bound at Attach). Track names derive from schedules, never
+	// from workers, so virtual-only exports are byte-identical at any
+	// worker count.
+	Trace *obs.Trace
+}
+
+// prepare builds the run for schedule s (already cloned by the caller)
+// and gives it its trace lane.
+func (e *Explorer) prepare(s Schedule) *Run {
+	r := newRun(s, e.Plan)
+	if e.Trace != nil {
+		r.track = e.Trace.VirtualTrack("run/" + s.Token())
+	}
+	return r
+}
+
+// counted bumps the explorer's registry counters for one executed run.
+func (e *Explorer) counted(err error) {
+	if e.Metrics == nil {
+		return
+	}
+	e.Metrics.Counter("chaos.explored").Add(1)
+	if err != nil {
+		e.Metrics.Counter("chaos.violations").Add(1)
+	}
 }
 
 // Check executes fn once under schedule s and reports the invariant's
 // verdict plus the fully resolved schedule (the replay token).
 func (e *Explorer) Check(s Schedule, fn RunFunc) (Schedule, error) {
-	r := newRun(s.clone(), e.Plan)
+	r := e.prepare(s.clone())
 	err := runGuarded(r, fn)
+	e.counted(err)
 	return r.Schedule(), err
 }
 
@@ -100,8 +133,9 @@ func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
 		res.Explored++
 		mu.Unlock()
 
-		r := newRun(s, e.Plan)
+		r := e.prepare(s)
 		err := runGuarded(r, fn)
+		e.counted(err)
 
 		mu.Lock()
 		defer mu.Unlock()
@@ -158,8 +192,9 @@ func (e *Explorer) Sweep(seeds []int64, jitters []time.Duration, fn RunFunc) *Re
 	// The RunFunc's verdict is data (a violation), never a pool error, so
 	// the map always completes the whole grid.
 	outs, _ := par.Map(e.Workers, len(cells), func(i int) (cellResult, error) {
-		r := newRun(cells[i], e.Plan)
+		r := e.prepare(cells[i])
 		err := runGuarded(r, fn)
+		e.counted(err)
 		return cellResult{sched: trim(r.Schedule()), maxBranch: maxBranch(r.arb.branches), err: err}, nil
 	})
 	for _, o := range outs {

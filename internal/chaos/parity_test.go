@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/obs"
+	"github.com/ghost-installer/gia/internal/sim"
+)
+
+// traceSweep runs a fixed seed × jitter sweep with full instrumentation
+// and renders the Chrome trace, the JSONL stream and the metrics snapshot.
+func traceSweep(t *testing.T, workers int) (chrome, jsonl, metrics []byte) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	// Wall-clock telemetry is schedule-dependent by nature; a trace meant
+	// to be byte-identical across worker counts runs virtual-only.
+	tr.SetWallClock(nil)
+	ex := &Explorer{Workers: workers, Metrics: reg, Trace: tr}
+
+	fn := func(r *Run) error {
+		s := sim.New(r.Seed())
+		r.Attach(s)
+		s.Instrument(sim.Metrics{
+			Scheduled:  reg.Counter("sim.scheduled"),
+			Dispatched: reg.Counter("sim.dispatched"),
+			Track:      r.Track(),
+		})
+		// A small deterministic world: a chain of events whose spacing
+		// depends on the seed, plus an explicit outcome instant.
+		for i := 0; i < 4; i++ {
+			d := time.Duration(1+s.Int63n(5)) * time.Millisecond
+			s.After(d*time.Duration(i+1), func() {})
+		}
+		s.Run()
+		if r.Seed()%3 == 0 {
+			r.Track().Instant("verdict", "violation")
+			return errors.New("synthetic violation")
+		}
+		r.Track().Instant("verdict", "held")
+		return nil
+	}
+
+	seeds := make([]int64, 6)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	res := ex.Sweep(seeds, []time.Duration{0, time.Millisecond}, fn)
+	if res.Explored != 12 {
+		t.Fatalf("explored = %d, want 12", res.Explored)
+	}
+
+	var cb, jb, mb bytes.Buffer
+	if err := tr.WriteChrome(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteText(&mb); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes(), mb.Bytes()
+}
+
+// TestTraceParityAcrossWorkers is the verify.sh determinism gate: for a
+// fixed seed grid, the Chrome trace, the JSONL export and the metrics
+// snapshot are byte-identical at 1 worker and at NumCPU workers.
+func TestTraceParityAcrossWorkers(t *testing.T) {
+	c1, j1, m1 := traceSweep(t, 1)
+	cn, jn, mn := traceSweep(t, runtime.NumCPU())
+	if !bytes.Equal(c1, cn) {
+		t.Errorf("Chrome trace differs between 1 and %d workers:\n--- 1 ---\n%s\n--- N ---\n%s",
+			runtime.NumCPU(), c1, cn)
+	}
+	if !bytes.Equal(j1, jn) {
+		t.Errorf("JSONL export differs between 1 and %d workers", runtime.NumCPU())
+	}
+	if !bytes.Equal(m1, mn) {
+		t.Errorf("metrics snapshot differs between 1 and %d workers:\n--- 1 ---\n%s\n--- N ---\n%s",
+			runtime.NumCPU(), m1, mn)
+	}
+	if len(c1) == 0 || len(j1) == 0 || len(m1) == 0 {
+		t.Fatal("parity gate compared empty exports")
+	}
+}
+
+// TestExplorerCounters pins the registry counters against the Result the
+// explorer itself reports.
+func TestExplorerCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	ex := &Explorer{Workers: 2, Metrics: reg}
+	fn := func(r *Run) error {
+		if r.Seed()%2 == 0 {
+			return fmt.Errorf("even seed violates")
+		}
+		return nil
+	}
+	res := ex.Sweep([]int64{1, 2, 3, 4, 5}, nil, fn)
+	snap := reg.Snapshot()
+	if got := snap.Counter("chaos.explored"); got != int64(res.Explored) {
+		t.Errorf("chaos.explored = %d, Result.Explored = %d", got, res.Explored)
+	}
+	if got := snap.Counter("chaos.violations"); got != int64(res.Violations) {
+		t.Errorf("chaos.violations = %d, Result.Violations = %d", got, res.Violations)
+	}
+	if res.Violations != 2 {
+		t.Errorf("violations = %d, want 2", res.Violations)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/ghost-installer/gia/internal/fault"
+	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/sim"
 )
 
@@ -20,6 +21,10 @@ type Run struct {
 	schedule Schedule
 	plan     *FaultPlan // nil-safe composite: user rules + jitter rule
 	arb      *arbiter
+	// track is the run's virtual-time trace lane, named by the imposed
+	// schedule's token so exports are deterministic at any worker count.
+	// Nil unless the explorer has a Trace attached.
+	track *obs.Track
 }
 
 // newRun prepares a run for schedule, deriving the run-local fault plan
@@ -59,12 +64,21 @@ func (r *Run) Schedule() Schedule {
 // Hits reports the faults injected so far in this run.
 func (r *Run) Hits() []Hit { return r.plan.Hits() }
 
+// Track returns the run's virtual-time trace track — nil (a no-op track)
+// unless the explorer carries a Trace. RunFuncs use it to record what the
+// schedule did in simulated time: AIT outcomes, timeline exports,
+// invariant verdicts.
+func (r *Run) Track() *obs.Track { return r.track }
+
 // Attach imposes the run's schedule on s: the arbiter that replays (then
 // records) same-instant choices, and the fault plan as s's injector. Call
 // it once, before driving the clock.
 func (r *Run) Attach(s *sim.Scheduler, targets ...fault.Target) {
 	s.SetArbiter(r.arb.choose)
 	s.SetFaultInjector(r.plan)
+	// Bind the run's trace track to this world's virtual clock, so Begin
+	// and Instant read simulated time.
+	r.track.SetClock(s.Now)
 	r.Inject(targets...)
 }
 

@@ -65,9 +65,11 @@ type ait struct {
 }
 
 func (t *ait) step(step int, name, detail string) {
+	at := t.app.Dev.Sched.Now()
 	t.result.Trace = append(t.result.Trace, TraceStep{
-		Step: step, Name: name, At: t.app.Dev.Sched.Now(), Detail: detail,
+		Step: step, Name: name, At: at, Detail: detail,
 	})
+	t.app.met.track.InstantAt(at, name, detail)
 }
 
 func (t *ait) fail(err error) {
@@ -86,6 +88,14 @@ func (a *App) RequestInstall(target string, done func(Result)) {
 	}
 	if done == nil {
 		t.done = func(Result) {}
+	}
+	a.met.aits.Add(1)
+	if a.met.active() {
+		start, inner := a.Dev.Sched.Now(), t.done
+		t.done = func(r Result) {
+			a.met.record(a, start, r)
+			inner(r)
+		}
 	}
 	t.step(StepInvocation, "invocation", "install request for "+target)
 	listing, ok := a.Store.Lookup(target)

@@ -13,6 +13,7 @@ import (
 	"github.com/ghost-installer/gia/internal/dm"
 	"github.com/ghost-installer/gia/internal/intents"
 	"github.com/ghost-installer/gia/internal/market"
+	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/perm"
 	"github.com/ghost-installer/gia/internal/pm"
 	"github.com/ghost-installer/gia/internal/sig"
@@ -60,6 +61,55 @@ type App struct {
 	uid     vfs.UID
 	nextDL  int
 	pushLog []Result
+	met     appMetrics
+}
+
+// appMetrics are the app's AIT observability hooks; the zero value (all
+// nil) disables them at zero cost. See Instrument.
+type appMetrics struct {
+	aits     *obs.Counter
+	clean    *obs.Counter
+	hijacked *obs.Counter
+	failed   *obs.Counter
+	track    *obs.Track
+}
+
+func (m *appMetrics) active() bool { return m.aits != nil || m.track != nil }
+
+// record closes out one AIT on the hooks: an outcome counter plus, when a
+// track is attached, one virtual-time span covering the whole transaction.
+func (m *appMetrics) record(app *App, start time.Duration, r Result) {
+	outcome := "failed"
+	switch {
+	case r.Clean():
+		outcome = "clean"
+		m.clean.Add(1)
+	case r.Succeeded():
+		outcome = "hijacked"
+		m.hijacked.Add(1)
+	default:
+		m.failed.Add(1)
+	}
+	if m.track != nil {
+		m.track.SpanAt(start, app.Dev.Sched.Now()-start,
+			"ait/"+r.Requested, outcome)
+	}
+}
+
+// Instrument hooks the app's AIT telemetry onto reg (counters
+// "installer.aits", "installer.installed.clean",
+// "installer.installed.hijacked", "installer.failed") and, when track is
+// non-nil, emits the AIT trace onto it in virtual time: one instant per
+// TraceStep and one span per transaction. Either argument may be nil;
+// calling Instrument with both nil restores the uninstrumented state.
+func (a *App) Instrument(reg *obs.Registry, track *obs.Track) {
+	a.met = appMetrics{track: track}
+	if reg != nil {
+		a.met.aits = reg.Counter("installer.aits")
+		a.met.clean = reg.Counter("installer.installed.clean")
+		a.met.hijacked = reg.Counter("installer.installed.hijacked")
+		a.met.failed = reg.Counter("installer.failed")
+	}
 }
 
 // Deploy builds the installer's APK from its profile, installs it as part

@@ -10,6 +10,7 @@ import (
 	"github.com/ghost-installer/gia/internal/device"
 	"github.com/ghost-installer/gia/internal/fileobserver"
 	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/perm"
 	"github.com/ghost-installer/gia/internal/sig"
 	"github.com/ghost-installer/gia/internal/vfs"
@@ -429,5 +430,76 @@ func TestOrdinaryDeveloperSelfUpdateViaPIA(t *testing.T) {
 	}
 	if !hasConsent {
 		t.Errorf("trace lacks consent step: %v", res.Trace)
+	}
+}
+
+func TestInstrumentedAITMatchesTrace(t *testing.T) {
+	d := bootDev(t)
+	app, _ := deployWithTarget(t, d, Amazon(), "com.example.app")
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	app.Instrument(reg, tr.VirtualTrack("device"))
+	res := runAIT(t, d, app, "com.example.app")
+	if !res.Clean() {
+		t.Fatalf("result = err %v, hijacked %v", res.Err, res.Hijacked)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("installer.aits"); got != 1 {
+		t.Errorf("installer.aits = %d, want 1", got)
+	}
+	if got := snap.Counter("installer.installed.clean"); got != 1 {
+		t.Errorf("installer.installed.clean = %d, want 1", got)
+	}
+	if got := snap.Counter("installer.installed.hijacked"); got != 0 {
+		t.Errorf("installer.installed.hijacked = %d, want 0", got)
+	}
+	if got := snap.Counter("installer.failed"); got != 0 {
+		t.Errorf("installer.failed = %d, want 0", got)
+	}
+
+	// The track carries one instant per TraceStep plus one closing span
+	// whose extent covers the whole transaction.
+	evs := tr.Tracks()[0].Events()
+	if want := len(res.Trace) + 1; len(evs) != want {
+		t.Fatalf("track has %d events, want %d", len(evs), want)
+	}
+	for i, st := range res.Trace {
+		ev := evs[i]
+		if !ev.Instant || ev.Name != st.Name || ev.Detail != st.Detail || ev.Start != st.At {
+			t.Errorf("event %d = %+v, want instant mirroring step %+v", i, ev, st)
+		}
+	}
+	sp := evs[len(evs)-1]
+	if sp.Instant || sp.Name != "ait/com.example.app" || sp.Detail != "clean" {
+		t.Errorf("closing span = %+v", sp)
+	}
+	last := res.Trace[len(res.Trace)-1]
+	if sp.Start != 0 && sp.Start > res.Trace[0].At {
+		t.Errorf("span starts at %v, after first step %v", sp.Start, res.Trace[0].At)
+	}
+	if sp.Start+sp.Dur != last.At {
+		t.Errorf("span ends at %v, want %v (last step)", sp.Start+sp.Dur, last.At)
+	}
+}
+
+func TestInstrumentedAITFailure(t *testing.T) {
+	d := bootDev(t)
+	app, err := Deploy(d, Amazon(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	app.Instrument(reg, nil)
+	res := runAIT(t, d, app, "com.not.in.catalog")
+	if res.Err == nil {
+		t.Fatal("expected catalog miss")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("installer.aits"); got != 1 {
+		t.Errorf("installer.aits = %d, want 1", got)
+	}
+	if got := snap.Counter("installer.failed"); got != 1 {
+		t.Errorf("installer.failed = %d, want 1", got)
 	}
 }

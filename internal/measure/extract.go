@@ -6,6 +6,7 @@ import (
 	"github.com/ghost-installer/gia/internal/analysis"
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/corpus"
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 // ExtractedMeta is what the Section IV-A scanner recovers from an APK
@@ -35,6 +36,17 @@ var engine = analysis.NewEngine()
 // render. Its findings are byte-identical to the uncached engine's
 // (TestCachedMatchesUncached pins this).
 var cachedEngine = analysis.NewEngineWithOptions(analysis.EngineOptions{CacheCapacity: 4096})
+
+// ObserveSharedEngines re-homes the telemetry of both shared engines onto
+// reg. The two merge onto the same "analysis.scan.*" counters (one
+// process-wide view of scan work regardless of which engine served it);
+// the cached engine additionally contributes the "analysis.cache.*" memo
+// layers. Values accumulated before the call carry over; a nil registry
+// is a no-op. Call it before scanning concurrently.
+func ObserveSharedEngines(reg *obs.Registry) {
+	engine.Observe(reg)
+	cachedEngine.Observe(reg)
+}
 
 // hasWriteExternal reports whether the artifact's manifest requests the
 // permission that suffices for a GIA hijack on shared storage.

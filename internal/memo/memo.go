@@ -12,7 +12,8 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"sync"
-	"sync/atomic"
+
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 // Key is a content address: the SHA-256 of the canonical input bytes.
@@ -80,7 +81,10 @@ type Table[V any] struct {
 	perShard int
 	shards   [numShards]shard[V]
 
-	hits, misses, deduped, evictions atomic.Int64
+	// The counters live on the obs layer so Observe can re-home them onto
+	// a shared registry; New starts them private, making Stats usable with
+	// no registry anywhere in sight.
+	hits, misses, deduped, evictions *obs.Counter
 }
 
 type shard[V any] struct {
@@ -107,11 +111,29 @@ func New[V any](capacity int) *Table[V] {
 	if capacity < numShards {
 		capacity = numShards
 	}
-	t := &Table[V]{perShard: (capacity + numShards - 1) / numShards}
+	t := &Table[V]{
+		perShard:  (capacity + numShards - 1) / numShards,
+		hits:      &obs.Counter{},
+		misses:    &obs.Counter{},
+		deduped:   &obs.Counter{},
+		evictions: &obs.Counter{},
+	}
 	for i := range t.shards {
 		t.shards[i].byKey = make(map[Key]*entry[V])
 	}
 	return t
+}
+
+// Observe re-homes the table's counters onto reg under "<prefix>.hits",
+// "<prefix>.misses", "<prefix>.deduped" and "<prefix>.evictions", carrying
+// current values over. Stats keeps working unchanged — it becomes a
+// snapshot of the registry-owned counters. Call Observe before sharing the
+// table across goroutines (it swaps counter pointers unsynchronized).
+func (t *Table[V]) Observe(reg *obs.Registry, prefix string) {
+	obs.Rehome(reg, prefix+".hits", &t.hits)
+	obs.Rehome(reg, prefix+".misses", &t.misses)
+	obs.Rehome(reg, prefix+".deduped", &t.deduped)
+	obs.Rehome(reg, prefix+".evictions", &t.evictions)
 }
 
 func (t *Table[V]) shardFor(k Key) *shard[V] {
@@ -181,10 +203,10 @@ func (t *Table[V]) Get(k Key) (V, bool) {
 // Stats snapshots the counters and resident-entry count.
 func (t *Table[V]) Stats() Stats {
 	st := Stats{
-		Hits:      t.hits.Load(),
-		Misses:    t.misses.Load(),
-		Deduped:   t.deduped.Load(),
-		Evictions: t.evictions.Load(),
+		Hits:      t.hits.Value(),
+		Misses:    t.misses.Value(),
+		Deduped:   t.deduped.Value(),
+		Evictions: t.evictions.Value(),
 	}
 	for i := range t.shards {
 		s := &t.shards[i]

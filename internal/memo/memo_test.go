@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 func TestDoHitMissOutcomes(t *testing.T) {
@@ -186,5 +188,49 @@ func TestGet(t *testing.T) {
 	}
 	if v, ok := tab.Get(k); !ok || v != 9 {
 		t.Fatalf("Get = (%d, %v), want (9, true)", v, ok)
+	}
+}
+
+// TestObserveRehomesStats pins the satellite contract: after Observe, the
+// table's Stats snapshot and the registry's counters are the same numbers —
+// history carried over, future increments visible through both.
+func TestObserveRehomesStats(t *testing.T) {
+	tab := New[int](16)
+	ka, kb := KeyOf([]byte("a")), KeyOf([]byte("b"))
+	if _, _, err := tab.Do(ka, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tab.Do(ka, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	tab.Observe(reg, "test.cache")
+
+	// Pre-Observe history must have carried over.
+	if got := reg.Snapshot().Counter("test.cache.misses"); got != 1 {
+		t.Errorf("carried misses = %d, want 1", got)
+	}
+	if got := reg.Snapshot().Counter("test.cache.hits"); got != 1 {
+		t.Errorf("carried hits = %d, want 1", got)
+	}
+
+	// Post-Observe activity shows up in both views identically.
+	if _, _, err := tab.Do(kb, func() (int, error) { return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tab.Do(kb, func() (int, error) { return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := tab.Stats()
+	snap := reg.Snapshot()
+	if st.Hits != snap.Counter("test.cache.hits") ||
+		st.Misses != snap.Counter("test.cache.misses") ||
+		st.Deduped != snap.Counter("test.cache.deduped") ||
+		st.Evictions != snap.Counter("test.cache.evictions") {
+		t.Errorf("Stats %+v disagrees with registry snapshot %+v", st, snap)
+	}
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("Stats = %+v, want 2 hits / 2 misses", st)
 	}
 }

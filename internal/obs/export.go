@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Exporters. Both renderers are deterministic: tracks are emitted in
+// sorted (domain, name) order, events in per-track recording order, and
+// floating-point timestamps use a fixed 'f'/3 format — so a run traced
+// twice (or at a different worker count, for virtual-only traces) produces
+// byte-identical files.
+
+// chromePID maps a clock domain to a Chrome trace "process": the two
+// domains must never share a timeline, so each gets its own pid.
+func chromePID(d Domain) int {
+	if d == DomainWall {
+		return 2
+	}
+	return 1
+}
+
+// usec renders a duration as Chrome's microsecond timestamps with fixed
+// precision (strconv, not %g: %g switches to scientific notation on large
+// runs, which some viewers reject and which is not byte-stable across
+// magnitudes).
+func usec(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Microsecond), 'f', 3, 64)
+}
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Marshalling a string cannot fail; keep the exporter total anyway.
+		return `""`
+	}
+	return string(b)
+}
+
+// WriteChrome renders the trace in Chrome trace-event JSON (the format
+// chrome://tracing and Perfetto load): virtual-time tracks as threads of
+// process 1 ("virtual time"), wall-clock tracks as threads of process 2
+// ("wall clock"), spans as complete ("X") events and instants as "i"
+// events. A nil trace writes an empty, still-loadable file.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.WriteString(line)
+		return err
+	}
+
+	tracks := t.Tracks()
+	domainSeen := map[Domain]bool{}
+	for _, k := range tracks {
+		if !domainSeen[k.domain] {
+			domainSeen[k.domain] = true
+			name := "virtual time"
+			if k.domain == DomainWall {
+				name = "wall clock"
+			}
+			meta := fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+				chromePID(k.domain), jstr(name))
+			if err := emit(meta); err != nil {
+				return err
+			}
+		}
+	}
+	for i, k := range tracks {
+		meta := fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+			chromePID(k.domain), i+1, jstr(k.name))
+		if err := emit(meta); err != nil {
+			return err
+		}
+	}
+	for i, k := range tracks {
+		pid, tid := chromePID(k.domain), i+1
+		for _, ev := range k.Events() {
+			var line string
+			switch {
+			case ev.Instant:
+				line = fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"detail":%s}}`,
+					jstr(ev.Name), jstr(k.domain.String()), usec(ev.Start), pid, tid, jstr(ev.Detail))
+			default:
+				dur := ev.Dur
+				if dur < 0 {
+					dur = 0 // never ended; render as a zero-width span
+				}
+				line = fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"detail":%s}}`,
+					jstr(ev.Name), jstr(k.domain.String()), usec(ev.Start), usec(dur), pid, tid, jstr(ev.Detail))
+			}
+			if err := emit(line); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// jsonlEvent fixes the JSONL field order.
+type jsonlEvent struct {
+	Domain  string `json:"domain"`
+	Track   string `json:"track"`
+	Name    string `json:"name"`
+	AtNS    int64  `json:"at_ns"`
+	DurNS   int64  `json:"dur_ns,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+	Instant bool   `json:"instant,omitempty"`
+}
+
+// WriteJSONL renders the trace as one JSON object per line — the
+// machine-diffable stream form of WriteChrome, with the same deterministic
+// ordering. A nil trace writes nothing.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range t.Tracks() {
+		for _, ev := range k.Events() {
+			dur := ev.Dur
+			if dur < 0 {
+				dur = 0
+			}
+			line, err := json.Marshal(jsonlEvent{
+				Domain:  k.domain.String(),
+				Track:   k.name,
+				Name:    ev.Name,
+				AtNS:    int64(ev.Start),
+				DurNS:   int64(dur),
+				Detail:  ev.Detail,
+				Instant: ev.Instant,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := bw.Write(line); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

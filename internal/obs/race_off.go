@@ -1,0 +1,8 @@
+//go:build !race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation assertions skip under it (instrumentation changes
+// allocation counts).
+const raceEnabled = false

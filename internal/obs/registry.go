@@ -1,0 +1,326 @@
+// Package obs is the repository's unified observability layer: a metrics
+// registry (counters, gauges, histograms), dual-clock span tracks and
+// exporters (Chrome trace-event JSON, JSONL, text snapshot).
+//
+// Two rules shape the whole package:
+//
+//   - Every hook is a nil-safe no-op. Calling Add, Set, Observe, Begin or
+//     Instant on a nil receiver returns immediately and allocates nothing,
+//     so instrumented hot paths (the smali parser, the memo table, the
+//     worker pool) cost zero when observability is disabled and stay inside
+//     the PR-4 allocation budgets.
+//
+//   - Two clock domains never mix. Virtual-time tracks read the simulated
+//     clock (sim.Scheduler.Now) and are fully deterministic: the same seed
+//     produces byte-identical exports at any worker count. Wall-clock
+//     tracks read an injectable monotonic stopwatch (Clock); tests inject a
+//     ticking fake so goldens stay stable, CLIs use the real stopwatch.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil Counter is a valid
+// disabled counter: Add and Inc are no-ops, Value reports zero.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count (zero on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time level (queue depth, busy workers). The nil
+// Gauge is a valid disabled gauge.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge's level by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reports the current level (zero on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into a fixed bucket layout chosen at
+// registration: counts[i] holds observations <= bounds[i], the last bucket
+// is the overflow. The nil Histogram is a valid disabled histogram.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last = overflow
+	sum    atomic.Int64
+}
+
+// DurationBuckets is the standard latency layout in nanoseconds:
+// 1µs, 10µs, 100µs, 1ms, 10ms, 100ms, 1s, 10s.
+func DurationBuckets() []int64 {
+	return []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+}
+
+// Observe records one sample. The linear bucket scan is deliberate: layouts
+// are small (≤ a dozen buckets) and the scan allocates nothing.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+}
+
+// snapshot copies the histogram's state.
+func (h *Histogram) snapshot(name string) HistogramSnap {
+	s := HistogramSnap{
+		Name:   name,
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}
+
+// Registry names and owns metrics. Looking a name up twice returns the
+// same metric, so independently instrumented components aggregate onto one
+// counter by agreeing on a name. The nil Registry is a valid disabled
+// registry: every lookup returns nil, which is itself a disabled metric.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	gaugs map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:  make(map[string]*Counter),
+		gaugs: make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. A nil registry returns nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gaugs[name]
+	if !ok {
+		g = &Gauge{}
+		r.gaugs[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket layout on first use (an existing histogram keeps its
+// original layout). bounds must be ascending.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Rehome points *c at reg's counter named name, carrying the current value
+// over, so a component's private counter becomes a registry-owned one
+// without losing history or breaking the component's own accessors.
+// Nil-safe in every position.
+func Rehome(reg *Registry, name string, c **Counter) {
+	if reg == nil || c == nil {
+		return
+	}
+	nc := reg.Counter(name)
+	if *c != nil && *c != nc {
+		nc.Add((*c).Value())
+	}
+	*c = nc
+}
+
+// NamedValue is one named counter or gauge reading.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// HistogramSnap is one histogram reading.
+type HistogramSnap struct {
+	Name   string
+	Count  int64
+	Sum    int64
+	Bounds []int64
+	Counts []int64
+}
+
+// Snapshot is a point-in-time view of a registry, sorted by name within
+// each kind so renders are deterministic.
+type Snapshot struct {
+	Counters   []NamedValue
+	Gauges     []NamedValue
+	Histograms []HistogramSnap
+}
+
+// Snapshot captures every registered metric. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		s.Counters = append(s.Counters, NamedValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gaugs {
+		s.Gauges = append(s.Gauges, NamedValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, h.snapshot(name))
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Counter reports the snapshotted value of the named counter (zero when
+// absent) — a convenience for tests and render code.
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge reports the snapshotted level of the named gauge (zero when absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// WriteText renders the snapshot as an aligned text table.
+func (s Snapshot) WriteText(w io.Writer) error {
+	if len(s.Counters) > 0 {
+		if _, err := fmt.Fprintln(w, "== counters =="); err != nil {
+			return err
+		}
+		for _, c := range s.Counters {
+			if _, err := fmt.Fprintf(w, "%-40s %12d\n", c.Name, c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		if _, err := fmt.Fprintln(w, "== gauges =="); err != nil {
+			return err
+		}
+		for _, g := range s.Gauges {
+			if _, err := fmt.Fprintf(w, "%-40s %12d\n", g.Name, g.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Histograms) > 0 {
+		if _, err := fmt.Fprintln(w, "== histograms =="); err != nil {
+			return err
+		}
+		for _, h := range s.Histograms {
+			if _, err := fmt.Fprintf(w, "%-40s count=%d sum=%d\n", h.Name, h.Count, h.Sum); err != nil {
+				return err
+			}
+			for i, n := range h.Counts {
+				if n == 0 {
+					continue
+				}
+				label := "+inf"
+				if i < len(h.Bounds) {
+					label = fmt.Sprintf("%d", h.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "  le %-12s %12d\n", label, n); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

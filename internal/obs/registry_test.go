@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from parallel writers —
+// lookups and updates interleaved — and checks the totals. Run under
+// -race this is the package's data-race gate.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 8
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("shared.hits").Inc()
+				reg.Counter("shared.bytes").Add(3)
+				reg.Gauge("shared.depth").Add(1)
+				reg.Gauge("shared.depth").Add(-1)
+				reg.Histogram("shared.lat", DurationBuckets()).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("shared.hits"); got != goroutines*perG {
+		t.Errorf("shared.hits = %d, want %d", got, goroutines*perG)
+	}
+	if got := snap.Counter("shared.bytes"); got != 3*goroutines*perG {
+		t.Errorf("shared.bytes = %d, want %d", got, 3*goroutines*perG)
+	}
+	if got := snap.Gauge("shared.depth"); got != 0 {
+		t.Errorf("shared.depth = %d, want 0", got)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != goroutines*perG {
+		t.Errorf("histogram count = %+v, want %d observations", snap.Histograms, goroutines*perG)
+	}
+}
+
+func TestRegistrySameNameSameMetric(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("two lookups of one counter name returned different counters")
+	}
+	if reg.Gauge("x") != reg.Gauge("x") {
+		t.Error("two lookups of one gauge name returned different gauges")
+	}
+	if reg.Histogram("x", DurationBuckets()) != reg.Histogram("x", nil) {
+		t.Error("two lookups of one histogram name returned different histograms")
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("a")
+	g := reg.Gauge("b")
+	h := reg.Histogram("c", DurationBuckets())
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil metrics")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(9)
+	g.Add(-2)
+	h.Observe(17)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Error("nil metrics must read zero")
+	}
+	if snap := reg.Snapshot(); len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestRehomeCarriesValueOver(t *testing.T) {
+	c := &Counter{}
+	c.Add(41)
+	reg := NewRegistry()
+	Rehome(reg, "carried", &c)
+	c.Inc()
+	if got := reg.Snapshot().Counter("carried"); got != 42 {
+		t.Errorf("rehomed counter = %d, want 42", got)
+	}
+	// Rehoming the already-registered counter must not double its value.
+	Rehome(reg, "carried", &c)
+	if got := reg.Snapshot().Counter("carried"); got != 42 {
+		t.Errorf("idempotent rehome = %d, want 42", got)
+	}
+	// Nil registry leaves the counter alone.
+	Rehome(nil, "carried", &c)
+	if c.Value() != 42 {
+		t.Errorf("rehome onto nil registry mutated the counter: %d", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", []int64{10, 100})
+	for _, v := range []int64{1, 10, 11, 100, 101, 5000} {
+		h.Observe(v)
+	}
+	snap := reg.Snapshot().Histograms[0]
+	want := []int64{2, 2, 2} // ≤10, ≤100, overflow
+	for i, n := range want {
+		if snap.Counts[i] != n {
+			t.Errorf("bucket %d = %d, want %d (snap %+v)", i, snap.Counts[i], n, snap)
+		}
+	}
+	if snap.Sum != 1+10+11+100+101+5000 {
+		t.Errorf("sum = %d", snap.Sum)
+	}
+}
+
+func TestSnapshotWriteTextDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Counter("a.count").Add(1)
+	reg.Gauge("z.depth").Set(7)
+	reg.Histogram("m.lat", []int64{10}).Observe(4)
+
+	var one, two bytes.Buffer
+	if err := reg.Snapshot().WriteText(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Snapshot().WriteText(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("two renders of one snapshot differ")
+	}
+	if !strings.Contains(one.String(), "a.count") || strings.Index(one.String(), "a.count") > strings.Index(one.String(), "b.count") {
+		t.Errorf("counters not sorted by name:\n%s", one.String())
+	}
+}

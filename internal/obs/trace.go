@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock reads a monotonic timestamp measured from some fixed origin. The
+// virtual domain uses sim.Scheduler.Now; the wall domain uses Stopwatch
+// (or a deterministic fake in tests).
+type Clock func() time.Duration
+
+// Stopwatch returns a real monotonic wall clock starting at zero now.
+func Stopwatch() Clock {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+// TickingClock returns a deterministic fake wall clock that advances by
+// step on every reading — enough to give test spans distinct, stable
+// timestamps without touching the real clock.
+func TickingClock(step time.Duration) Clock {
+	var mu sync.Mutex
+	var now time.Duration
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		now += step
+		return now
+	}
+}
+
+// Domain is a trace clock domain. Events never compare across domains:
+// exporters render each domain as its own process.
+type Domain uint8
+
+const (
+	// DomainVirtual is simulated time, measured from device boot.
+	DomainVirtual Domain = iota
+	// DomainWall is host time, measured from an injectable stopwatch.
+	DomainWall
+)
+
+func (d Domain) String() string {
+	if d == DomainWall {
+		return "wall"
+	}
+	return "virtual"
+}
+
+// Event is one recorded trace event. An Event with Instant set marks a
+// point in time; otherwise it is a span of Dur starting at Start (Dur < 0
+// means the span never ended).
+type Event struct {
+	Name    string
+	Detail  string
+	Start   time.Duration
+	Dur     time.Duration
+	Instant bool
+}
+
+// Trace collects tracks across both clock domains. The nil Trace is a
+// valid disabled trace: VirtualTrack and WallTrack return nil tracks,
+// whose methods are all no-ops. A Trace is safe for concurrent use.
+type Trace struct {
+	mu     sync.Mutex
+	wall   Clock
+	tracks map[trackKey]*Track
+}
+
+type trackKey struct {
+	domain Domain
+	name   string
+}
+
+// NewTrace builds an empty trace. The wall domain starts on a real
+// stopwatch; SetWallClock swaps in a fake (or nil to disable wall tracks,
+// which is what keeps multi-worker chaos exports deterministic).
+func NewTrace() *Trace {
+	return &Trace{wall: Stopwatch(), tracks: make(map[trackKey]*Track)}
+}
+
+// SetWallClock replaces the wall-domain clock. Passing nil disables the
+// wall domain: WallTrack returns nil until a clock is installed again.
+func (t *Trace) SetWallClock(c Clock) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wall = c
+}
+
+// VirtualTrack returns the named virtual-time track, creating it on first
+// use. The track has no clock until SetClock binds it to a scheduler;
+// until then only the explicit-timestamp recorders (InstantAt, SpanAt)
+// place events meaningfully. A nil trace returns nil.
+func (t *Trace) VirtualTrack(name string) *Track {
+	if t == nil {
+		return nil
+	}
+	return t.track(DomainVirtual, name, nil)
+}
+
+// WallTrack returns the named wall-clock track, creating it on first use
+// with the trace's wall clock. It returns nil — a disabled track — when
+// the trace is nil or the wall domain is disabled.
+func (t *Trace) WallTrack(name string) *Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	wall := t.wall
+	t.mu.Unlock()
+	if wall == nil {
+		return nil
+	}
+	return t.track(DomainWall, name, wall)
+}
+
+func (t *Trace) track(d Domain, name string, clock Clock) *Track {
+	key := trackKey{domain: d, name: name}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k, ok := t.tracks[key]
+	if !ok {
+		k = &Track{domain: d, name: name, clock: clock}
+		t.tracks[key] = k
+	}
+	return k
+}
+
+// Tracks returns every track sorted by (domain, name) — the deterministic
+// order all exporters use.
+func (t *Trace) Tracks() []*Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]*Track, 0, len(t.tracks))
+	for _, k := range t.tracks {
+		out = append(out, k)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].domain != out[j].domain {
+			return out[i].domain < out[j].domain
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// Track is one named event lane of a trace (a device, a worker, a chaos
+// run). The nil Track is a valid disabled track. A Track is safe for
+// concurrent use.
+type Track struct {
+	domain Domain
+	name   string
+
+	mu     sync.Mutex
+	clock  Clock
+	events []Event
+}
+
+// Domain reports the track's clock domain.
+func (k *Track) Domain() Domain {
+	if k == nil {
+		return DomainVirtual
+	}
+	return k.domain
+}
+
+// Name reports the track's name (empty on a nil track).
+func (k *Track) Name() string {
+	if k == nil {
+		return ""
+	}
+	return k.name
+}
+
+// SetClock binds the track's implicit-timestamp recorders (Begin, Instant)
+// to a clock — for virtual tracks, the owning scheduler's Now.
+func (k *Track) SetClock(c Clock) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.clock = c
+}
+
+// now must be called with k.mu held.
+func (k *Track) now() time.Duration {
+	if k.clock == nil {
+		return 0
+	}
+	return k.clock()
+}
+
+// Begin opens a span at the current clock reading and returns its handle.
+// On a nil track the returned zero Span is itself a no-op.
+func (k *Track) Begin(name, detail string) Span {
+	if k == nil {
+		return Span{}
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.events = append(k.events, Event{Name: name, Detail: detail, Start: k.now(), Dur: -1})
+	return Span{k: k, idx: len(k.events) - 1}
+}
+
+// Instant records a point event at the current clock reading.
+func (k *Track) Instant(name, detail string) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.events = append(k.events, Event{Name: name, Detail: detail, Start: k.now(), Instant: true})
+}
+
+// InstantAt records a point event with an explicit timestamp. Hooks that
+// fire with a scheduler lock held use this instead of Instant, because the
+// clock they would read takes that same lock.
+func (k *Track) InstantAt(at time.Duration, name, detail string) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.events = append(k.events, Event{Name: name, Detail: detail, Start: at, Instant: true})
+}
+
+// SpanAt records a completed span with explicit timestamps.
+func (k *Track) SpanAt(start, dur time.Duration, name, detail string) {
+	if k == nil {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.events = append(k.events, Event{Name: name, Detail: detail, Start: start, Dur: dur})
+}
+
+// Events returns a copy of the track's events in recording order.
+func (k *Track) Events() []Event {
+	if k == nil {
+		return nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]Event(nil), k.events...)
+}
+
+// Span is an open span handle. The zero Span (from a nil track's Begin)
+// is a no-op. Spans are values: copying one is fine, End is idempotent in
+// effect only if called once — call it exactly once per Begin.
+type Span struct {
+	k   *Track
+	idx int
+}
+
+// End closes the span at the track clock's current reading.
+func (s Span) End() { s.EndDetail("") }
+
+// EndDetail closes the span and, when detail is non-empty, replaces the
+// span's detail with the outcome observed at completion.
+func (s Span) EndDetail(detail string) {
+	if s.k == nil {
+		return
+	}
+	s.k.mu.Lock()
+	defer s.k.mu.Unlock()
+	ev := &s.k.events[s.idx]
+	ev.Dur = s.k.now() - ev.Start
+	if detail != "" {
+		ev.Detail = detail
+	}
+}

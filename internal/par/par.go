@@ -17,11 +17,89 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/obs"
 )
+
+// Instrumentation re-homes the pool's telemetry onto the obs layer. Every
+// field is optional. Wall-clock spans and durations are only recorded when
+// Clock (and, for spans, Trace with an enabled wall domain) is set —
+// chaos sweeps that must export byte-identical traces at any worker count
+// leave both unset, because per-worker wall telemetry is inherently
+// schedule-dependent.
+type Instrumentation struct {
+	// Tasks counts completed jobs (Map/Run) and processed items (Frontier).
+	Tasks *obs.Counter
+	// Queued tracks unclaimed work in the active call.
+	Queued *obs.Gauge
+	// Busy tracks workers currently running a job.
+	Busy *obs.Gauge
+	// BusyNS accumulates per-job wall time in nanoseconds (needs Clock).
+	BusyNS *obs.Counter
+	// JobNS distributes per-job wall time (needs Clock).
+	JobNS *obs.Histogram
+	// Clock is the wall stopwatch for BusyNS/JobNS and span timestamps.
+	Clock obs.Clock
+	// Trace, when non-nil with an enabled wall domain, receives one
+	// wall-clock span per job on a "par/worker-K" track.
+	Trace *obs.Trace
+	// PprofLabels labels worker goroutines with their worker index
+	// (runtime/pprof label "par.worker") so CPU profiles attribute samples
+	// per worker. Off by default: labeling allocates per pool spin-up.
+	PprofLabels bool
+}
+
+// instr is the package-wide instrumentation; the pool is process-shared,
+// so its telemetry is too. Loaded once per worker spin-up — never on the
+// per-job fast path when disabled.
+var instr atomic.Pointer[Instrumentation]
+
+// SetInstrumentation installs hooks for every subsequent Map, Run and
+// Frontier call (nil disables them). Calls already in flight keep the
+// instrumentation they started with.
+func SetInstrumentation(in *Instrumentation) { instr.Store(in) }
+
+// workerTrack returns worker k's wall track, nil when tracing is off.
+func (in *Instrumentation) workerTrack(k int) *obs.Track {
+	if in == nil || in.Trace == nil {
+		return nil
+	}
+	return in.Trace.WallTrack("par/worker-" + strconv.Itoa(k))
+}
+
+// runLabeled runs work, optionally under a pprof worker label.
+func (in *Instrumentation) runLabeled(k int, work func()) {
+	if in != nil && in.PprofLabels {
+		pprof.Do(context.Background(), pprof.Labels("par.worker", strconv.Itoa(k)), func(context.Context) {
+			work()
+		})
+		return
+	}
+	work()
+}
+
+// jobDone records one finished job's counters; start is the Clock reading
+// at job begin (zero when Clock is nil).
+func (in *Instrumentation) jobDone(start time.Duration) {
+	if in == nil {
+		return
+	}
+	in.Tasks.Add(1)
+	if in.Clock != nil {
+		d := int64(in.Clock() - start)
+		in.BusyNS.Add(d)
+		in.JobNS.Observe(d)
+	}
+	in.Busy.Add(-1)
+}
 
 // Workers normalizes a requested pool size: n > 0 is used as given; zero or
 // negative selects runtime.NumCPU(). Callers that want strict serial
@@ -53,21 +131,43 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		failed atomic.Bool
 		wg     sync.WaitGroup
 	)
+	in := instr.Load()
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(k int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
-					return
+			track := in.workerTrack(k)
+			in.runLabeled(k, func() {
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || failed.Load() {
+						return
+					}
+					var start time.Duration
+					if in != nil {
+						if q := int64(n) - next.Load(); q > 0 {
+							in.Queued.Set(q)
+						} else {
+							in.Queued.Set(0)
+						}
+						in.Busy.Add(1)
+						if in.Clock != nil {
+							start = in.Clock()
+						}
+					}
+					var sp obs.Span
+					if track != nil {
+						sp = track.Begin("job", strconv.Itoa(i))
+					}
+					if err := runJob(i, fn, &results[i]); err != nil {
+						errs[i] = err
+						failed.Store(true)
+					}
+					sp.End()
+					in.jobDone(start)
 				}
-				if err := runJob(i, fn, &results[i]); err != nil {
-					errs[i] = err
-					failed.Store(true)
-				}
-			}
-		}()
+			})
+		}(k)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -122,40 +222,61 @@ func Frontier[T any](workers int, seed []T, process func(T) []T) {
 	cond := sync.NewCond(&mu)
 	var wg sync.WaitGroup
 	w := Workers(workers)
+	in := instr.Load()
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(k int) {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				for len(items) == 0 && inflight > 0 && !aborted {
-					cond.Wait()
-				}
-				if len(items) == 0 || aborted {
-					mu.Unlock()
-					return
-				}
-				it := items[len(items)-1]
-				items = items[:len(items)-1]
-				inflight++
-				mu.Unlock()
-
-				kids, p := guardedProcess(process, it)
-
-				mu.Lock()
-				if p != nil {
-					if panicked == nil {
-						panicked = p
+			track := in.workerTrack(k)
+			in.runLabeled(k, func() {
+				for {
+					mu.Lock()
+					for len(items) == 0 && inflight > 0 && !aborted {
+						cond.Wait()
 					}
-					aborted = true
-				} else {
-					items = append(items, kids...)
+					if len(items) == 0 || aborted {
+						mu.Unlock()
+						return
+					}
+					it := items[len(items)-1]
+					items = items[:len(items)-1]
+					inflight++
+					if in != nil {
+						in.Queued.Set(int64(len(items)))
+						in.Busy.Add(1)
+					}
+					mu.Unlock()
+
+					var start time.Duration
+					if in != nil && in.Clock != nil {
+						start = in.Clock()
+					}
+					var sp obs.Span
+					if track != nil {
+						sp = track.Begin("item", "")
+					}
+					kids, p := guardedProcess(process, it)
+					sp.End()
+
+					mu.Lock()
+					if p != nil {
+						if panicked == nil {
+							panicked = p
+						}
+						aborted = true
+					} else {
+						items = append(items, kids...)
+					}
+					inflight--
+					if in != nil {
+						in.Queued.Set(int64(len(items)))
+					}
+					cond.Broadcast()
+					mu.Unlock()
+					in.jobDone(start)
 				}
-				inflight--
-				cond.Broadcast()
-				mu.Unlock()
-			}
-		}()
+			})
+		}(k)
 	}
 	wg.Wait()
 	if panicked != nil {

@@ -9,6 +9,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 func TestMapOrdersResultsByIndex(t *testing.T) {
@@ -205,5 +208,98 @@ func TestFrontierDeterministicAggregation(t *testing.T) {
 	a, b := collect(1), collect(8)
 	if fmt.Sprint(a) != fmt.Sprint(b) {
 		t.Fatalf("aggregates differ: %v vs %v", a, b)
+	}
+}
+
+// TestMapInstrumentation exercises the pool's obs hooks: task counts,
+// busy/queued gauges draining to zero, wall durations on an injected
+// ticking clock and per-worker trace spans.
+func TestMapInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	tr.SetWallClock(obs.TickingClock(time.Microsecond))
+	SetInstrumentation(&Instrumentation{
+		Tasks:  reg.Counter("par.tasks"),
+		Queued: reg.Gauge("par.queued"),
+		Busy:   reg.Gauge("par.busy"),
+		BusyNS: reg.Counter("par.busy_ns"),
+		JobNS:  reg.Histogram("par.job_ns", obs.DurationBuckets()),
+		Clock:  obs.TickingClock(time.Microsecond),
+		Trace:  tr,
+	})
+	defer SetInstrumentation(nil)
+
+	const n = 50
+	results, err := Map(4, n, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != n || results[7] != 49 {
+		t.Fatalf("results corrupted: len=%d", len(results))
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("par.tasks"); got != n {
+		t.Errorf("par.tasks = %d, want %d", got, n)
+	}
+	if got := snap.Gauge("par.busy"); got != 0 {
+		t.Errorf("par.busy after drain = %d, want 0", got)
+	}
+	if got := snap.Counter("par.busy_ns"); got <= 0 {
+		t.Errorf("par.busy_ns = %d, want > 0 on a ticking clock", got)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Count != n {
+		t.Errorf("par.job_ns histogram = %+v, want %d observations", snap.Histograms, n)
+	}
+	spans := 0
+	for _, k := range tr.Tracks() {
+		if k.Domain() != obs.DomainWall {
+			t.Errorf("worker track %q in domain %v, want wall", k.Name(), k.Domain())
+		}
+		for _, ev := range k.Events() {
+			if ev.Instant || ev.Name != "job" || ev.Dur < 0 {
+				t.Errorf("worker span: %+v", ev)
+			}
+			spans++
+		}
+	}
+	if spans != n {
+		t.Errorf("worker spans = %d, want %d", spans, n)
+	}
+}
+
+// TestFrontierInstrumentation checks item accounting on the dynamic list.
+func TestFrontierInstrumentation(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetInstrumentation(&Instrumentation{
+		Tasks:  reg.Counter("par.tasks"),
+		Queued: reg.Gauge("par.queued"),
+		Busy:   reg.Gauge("par.busy"),
+	})
+	defer SetInstrumentation(nil)
+
+	// 1 seed item spawning a two-level tree: 1 + 3 + 9 items.
+	Frontier(4, []int{0}, func(depth int) []int {
+		if depth >= 2 {
+			return nil
+		}
+		return []int{depth + 1, depth + 1, depth + 1}
+	})
+	snap := reg.Snapshot()
+	if got := snap.Counter("par.tasks"); got != 13 {
+		t.Errorf("par.tasks = %d, want 13", got)
+	}
+	if snap.Gauge("par.busy") != 0 || snap.Gauge("par.queued") != 0 {
+		t.Errorf("gauges after drain: busy=%d queued=%d", snap.Gauge("par.busy"), snap.Gauge("par.queued"))
+	}
+}
+
+// TestUninstrumentedPoolUnaffected pins that the default (nil) state keeps
+// working after instrumentation is removed.
+func TestUninstrumentedPoolUnaffected(t *testing.T) {
+	SetInstrumentation(nil)
+	out, err := Map(2, 8, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 8 {
+		t.Fatalf("uninstrumented Map = (%v, %v)", out, err)
 	}
 }

@@ -13,7 +13,27 @@ import (
 	"time"
 
 	"github.com/ghost-installer/gia/internal/fault"
+	"github.com/ghost-installer/gia/internal/obs"
 )
+
+// Metrics are the scheduler's observability hooks. Every field is
+// optional; nil fields (and the zero Metrics) disable the corresponding
+// stream at zero cost, so an uninstrumented scheduler stays on the PR-4
+// allocation budgets.
+type Metrics struct {
+	// Scheduled counts events entering the queue (duplicates included).
+	Scheduled *obs.Counter
+	// Dispatched counts events actually fired.
+	Dispatched *obs.Counter
+	// Cancelled counts Timer.Cancel transitions.
+	Cancelled *obs.Counter
+	// Depth tracks the queue depth after every mutation.
+	Depth *obs.Gauge
+	// Track, when non-nil, receives a virtual-time instant per dispatched
+	// event. The hook fires with the scheduler lock held, so it records via
+	// InstantAt with the event's own deadline — never by reading Now.
+	Track *obs.Track
+}
 
 // Scheduler is a virtual-time discrete-event scheduler. Events scheduled for
 // the same instant fire in scheduling order (FIFO) unless an Arbiter is
@@ -30,6 +50,7 @@ type Scheduler struct {
 	rng      *rand.Rand
 	arbiter  Arbiter
 	injector fault.Injector
+	met      Metrics
 	running  bool
 }
 
@@ -63,6 +84,14 @@ func (s *Scheduler) SetFaultInjector(fi fault.Injector) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.injector = fi
+}
+
+// Instrument installs (or, with the zero Metrics, removes) the
+// scheduler's observability hooks. Install before driving the clock.
+func (s *Scheduler) Instrument(m Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = m
 }
 
 // Now reports the current virtual time, measured from boot (zero).
@@ -153,6 +182,8 @@ func (s *Scheduler) at(t time.Duration, fn func()) *Timer {
 	ev := &event{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.events, ev)
+	s.met.Scheduled.Add(1)
+	s.met.Depth.Set(int64(len(s.events)))
 	return &Timer{s: s, ev: ev}
 }
 
@@ -213,11 +244,13 @@ func (s *Scheduler) popRunnable() *event {
 		heap.Pop(&s.events)
 	}
 	if len(s.events) == 0 {
+		s.met.Depth.Set(0)
 		return nil
 	}
 	if s.arbiter == nil {
 		ev := s.popEvent()
 		s.now = ev.at
+		s.dispatched(ev)
 		return ev
 	}
 	at := s.events[0].at
@@ -239,7 +272,19 @@ func (s *Scheduler) popRunnable() *event {
 		}
 	}
 	s.now = at
+	s.dispatched(cands[idx])
 	return cands[idx]
+}
+
+// dispatched records one fired event. Callers hold s.mu, so the trace
+// instant carries the event's own deadline instead of reading Now (which
+// takes the same lock).
+func (s *Scheduler) dispatched(ev *event) {
+	s.met.Dispatched.Add(1)
+	s.met.Depth.Set(int64(len(s.events)))
+	if s.met.Track != nil {
+		s.met.Track.InstantAt(ev.at, "dispatch", "")
+	}
 }
 
 func (s *Scheduler) popEvent() *event {
@@ -261,7 +306,10 @@ type Timer struct {
 func (t *Timer) Cancel() {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	t.ev.cancelled = true
+	if !t.ev.cancelled {
+		t.ev.cancelled = true
+		t.s.met.Cancelled.Add(1)
+	}
 }
 
 // When reports the virtual time the event is (or was) scheduled for.

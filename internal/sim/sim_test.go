@@ -4,6 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 func TestSchedulerRunsInDeadlineOrder(t *testing.T) {
@@ -228,5 +230,50 @@ func TestPropertySeedDeterminism(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSchedulerMetrics exercises the Instrument hooks: scheduled/dispatched
+// counters, cancel transitions, queue depth, and per-dispatch trace
+// instants stamped with event deadlines.
+func TestSchedulerMetrics(t *testing.T) {
+	s := New(1)
+	reg := obs.NewRegistry()
+	tr := obs.NewTrace()
+	track := tr.VirtualTrack("sched")
+	s.Instrument(Metrics{
+		Scheduled:  reg.Counter("sim.scheduled"),
+		Dispatched: reg.Counter("sim.dispatched"),
+		Cancelled:  reg.Counter("sim.cancelled"),
+		Depth:      reg.Gauge("sim.depth"),
+		Track:      track,
+	})
+
+	s.At(10*time.Millisecond, func() {})
+	s.At(20*time.Millisecond, func() {})
+	tm := s.At(30*time.Millisecond, func() { t.Error("cancelled event fired") })
+	if got := reg.Snapshot().Gauge("sim.depth"); got != 3 {
+		t.Errorf("depth after scheduling = %d, want 3", got)
+	}
+	tm.Cancel()
+	tm.Cancel() // second cancel is not a transition
+	s.Run()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("sim.scheduled"); got != 3 {
+		t.Errorf("scheduled = %d, want 3", got)
+	}
+	if got := snap.Counter("sim.dispatched"); got != 2 {
+		t.Errorf("dispatched = %d, want 2", got)
+	}
+	if got := snap.Counter("sim.cancelled"); got != 1 {
+		t.Errorf("cancelled = %d, want 1", got)
+	}
+	if got := snap.Gauge("sim.depth"); got != 0 {
+		t.Errorf("depth after drain = %d, want 0", got)
+	}
+	evs := track.Events()
+	if len(evs) != 2 || evs[0].Start != 10*time.Millisecond || evs[1].Start != 20*time.Millisecond {
+		t.Errorf("dispatch instants = %+v", evs)
 	}
 }

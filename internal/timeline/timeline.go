@@ -7,6 +7,8 @@
 package timeline
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +17,7 @@ import (
 	"github.com/ghost-installer/gia/internal/defense"
 	"github.com/ghost-installer/gia/internal/installer"
 	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/pm"
 	"github.com/ghost-installer/gia/internal/vfs"
 )
@@ -121,4 +124,44 @@ func (r *Recorder) Render(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// jsonEntry fixes the JSONL field order of WriteJSON.
+type jsonEntry struct {
+	AtNS   int64  `json:"at_ns"`
+	Source string `json:"source"`
+	Detail string `json:"detail"`
+}
+
+// WriteJSON writes the timeline as JSONL — one entry object per line, in
+// the same virtual-time order Render uses, so the two views line up
+// line-for-line.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.Entries() {
+		line, err := json.Marshal(jsonEntry{AtNS: int64(e.At), Source: e.Source, Detail: e.Detail})
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ExportSpans emits every entry onto a virtual-time obs track as an
+// instant named by its source with the rendered detail — the adapter that
+// makes the TOCTOU timeline and the trace view agree event-for-event. A
+// nil track is a no-op.
+func (r *Recorder) ExportSpans(k *obs.Track) {
+	if k == nil {
+		return
+	}
+	for _, e := range r.Entries() {
+		k.InstantAt(e.At, e.Source, e.Detail)
+	}
 }

@@ -1,6 +1,8 @@
 package timeline
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"github.com/ghost-installer/gia/internal/defense"
 	"github.com/ghost-installer/gia/internal/device"
 	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/perm"
 	"github.com/ghost-installer/gia/internal/sig"
 )
@@ -119,4 +122,53 @@ func TestFullHijackTimeline(t *testing.T) {
 	if !strings.Contains(out, "step 1 invocation") || !strings.Contains(out, "step 4 installed") {
 		t.Errorf("AIT steps missing from timeline:\n%s", out)
 	}
+}
+
+// TestWriteJSONAndExportSpansAgree pins the adapter contract: the JSONL
+// export, the text render and the obs-track view of one recorder are the
+// same events in the same order.
+func TestWriteJSONAndExportSpansAgree(t *testing.T) {
+	var now time.Duration
+	rec := New(func() time.Duration { return now })
+	now = 3 * time.Millisecond
+	rec.Add("fs", `create "staging/app.apk"`)
+	now = time.Millisecond
+	rec.Add("pm", "installed com.example (uid 10001)")
+	rec.addAt(2*time.Millisecond, "ait", "step 2 download")
+
+	entries := rec.Entries()
+	if len(entries) != 3 || entries[0].Source != "pm" {
+		t.Fatalf("entries not time-sorted: %+v", entries)
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := rec.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(jsonBuf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("jsonl lines = %d, want 3:\n%s", len(lines), jsonBuf.String())
+	}
+	var first jsonEntry
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.AtNS != int64(time.Millisecond) || first.Source != "pm" {
+		t.Errorf("first jsonl entry: %+v", first)
+	}
+
+	tr := obs.NewTrace()
+	track := tr.VirtualTrack("timeline")
+	rec.ExportSpans(track)
+	evs := track.Events()
+	if len(evs) != len(entries) {
+		t.Fatalf("span events = %d, want %d", len(evs), len(entries))
+	}
+	for i, ev := range evs {
+		if !ev.Instant || ev.Start != entries[i].At || ev.Name != entries[i].Source || ev.Detail != entries[i].Detail {
+			t.Errorf("event %d = %+v, want entry %+v", i, ev, entries[i])
+		}
+	}
+	// Nil track: no-op.
+	rec.ExportSpans(nil)
 }

@@ -34,7 +34,15 @@ go test -race -run '^$' -bench '^(BenchmarkAllTables|BenchmarkFleetStudy)' -benc
 echo "== alloc budgets (non-race) =="
 # The race-enabled suite skips the per-instruction allocation budgets
 # (instrumentation changes allocation counts); pin them here without race.
+# The obs gate proves disabled observability hooks cost zero allocations,
+# which is what keeps the analysis budgets intact with hooks compiled in.
 go test -run 'AllocBudget' -count=1 ./internal/analysis
+go test -run '^TestDisabledHooksZeroAlloc$' -count=1 ./internal/obs
+
+echo "== trace/metrics parity across worker counts =="
+# A virtual-only trace, its JSONL export and the metrics snapshot must be
+# byte-identical at 1 worker and at NumCPU workers.
+go test -count=1 -run '^TestTraceParityAcrossWorkers$' ./internal/chaos
 
 echo "== analysis-cache parity =="
 # Cached and uncached scans must be byte-identical: full-output diff at 1
