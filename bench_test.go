@@ -294,7 +294,7 @@ func BenchmarkExplorerSweep_NumCPU(b *testing.B)  { benchExplorerSweep(b, runtim
 
 // --- Experiment engine: worker-pool scaling ----------------------------------
 
-// benchAllTables regenerates the full 21-table evaluation at reduced scale;
+// benchAllTables regenerates the full 22-table evaluation at reduced scale;
 // the 1-worker vs NumCPU pair quantifies the engine's pool speed-up (the
 // tables themselves are identical for any worker count).
 func benchAllTables(b *testing.B, workerCount int) {
@@ -305,8 +305,8 @@ func benchAllTables(b *testing.B, workerCount int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(tables) != 21 {
-			b.Fatalf("tables = %d, want 21", len(tables))
+		if len(tables) != 22 {
+			b.Fatalf("tables = %d, want 22", len(tables))
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/analysis"
+	"github.com/ghost-installer/gia/internal/apk"
+	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/chaos"
+	"github.com/ghost-installer/gia/internal/corpus"
+	"github.com/ghost-installer/gia/internal/experiment"
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// benchRun is one measured scanner configuration in the -benchjson
+// snapshot.
+type benchRun struct {
+	Name         string  `json:"name"`
+	Workers      int     `json:"workers"`
+	APKs         int     `json:"apks"`
+	Instructions int     `json:"instructions"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	APKsPerSec   float64 `json:"apks_per_sec"`
+	InstrPerSec  float64 `json:"instructions_per_sec"`
+	Findings     int     `json:"findings"`
+	MeanScore    float64 `json:"mean_score"`
+
+	// Cache layers, present on the cached configurations.
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	SummaryHits    int64 `json:"summary_cache_hits,omitempty"`
+	SummaryMisses  int64 `json:"summary_cache_misses,omitempty"`
+	SummaryEntries int   `json:"summary_cache_entries,omitempty"`
+
+	// Explorer configuration fields (the explore/sweep run).
+	Schedules       int     `json:"schedules,omitempty"`
+	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
+}
+
+// benchDoc is the whole BENCH_scan.json document.
+type benchDoc struct {
+	Seed    int64      `json:"seed"`
+	Scale   float64    `json:"scale"`
+	GoArch  string     `json:"goarch"`
+	GoOS    string     `json:"goos"`
+	NumCPU  int        `json:"num_cpu"`
+	Results []benchRun `json:"results"`
+}
+
+// runScanBench measures corpus-scan throughput through three engine
+// configurations — uncached, cold cache and warm cache — and writes the
+// JSON snapshot to path. The corpus (all three populations) is generated
+// once; every configuration scans the same APK stream.
+func runScanBench(path string, seed int64, scale float64, workers int) error {
+	c := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
+	var apps []corpus.AppMeta
+	apps = append(apps, c.PlayApps...)
+	seen := map[string]bool{}
+	for _, img := range c.Images {
+		for _, app := range img.Apps {
+			if !seen[app.Package] {
+				seen[app.Package] = true
+				apps = append(apps, app)
+			}
+		}
+	}
+	apps = append(apps, c.StoreApps...)
+
+	doc := benchDoc{
+		Seed: seed, Scale: scale,
+		GoArch: runtime.GOARCH, GoOS: runtime.GOOS, NumCPU: runtime.NumCPU(),
+	}
+	scan := func(eng *analysis.Engine) analysis.ScanStats {
+		_, stats := eng.ScanCorpus(len(apps), workers, func(i int) *apk.APK {
+			return corpus.BuildAPKFor(apps[i])
+		})
+		return stats
+	}
+	record := func(name string, eng *analysis.Engine, stats analysis.ScanStats) {
+		run := benchRun{
+			Name:         name,
+			Workers:      stats.Workers,
+			APKs:         stats.APKs,
+			Instructions: stats.Stats.Instructions,
+			ElapsedNs:    stats.Elapsed.Nanoseconds(),
+			APKsPerSec:   stats.APKsPerSecond(),
+			InstrPerSec:  stats.InstructionsPerSecond(),
+			Findings:     stats.Findings,
+			MeanScore:    stats.MeanScore(),
+		}
+		if cs, ok := eng.CacheStats(); ok {
+			run.CacheHits, run.CacheMisses = cs.Hits, cs.Misses
+		}
+		if ss, ok := eng.SummaryCacheStats(); ok {
+			run.SummaryHits, run.SummaryMisses = ss.Hits, ss.Misses
+			run.SummaryEntries = ss.Entries
+		}
+		doc.Results = append(doc.Results, run)
+	}
+
+	uncached := analysis.NewEngine()
+	record("scan/uncached", uncached, scan(uncached))
+
+	cached := analysis.NewEngineWithOptions(analysis.EngineOptions{CacheCapacity: 4096})
+	record("scan/cached-cold", cached, scan(cached))
+	record("scan/cached-warm", cached, scan(cached))
+
+	explore, err := runExplorerBench(200, workers)
+	if err != nil {
+		return err
+	}
+	doc.Results = append(doc.Results, explore)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return writeBenchDoc(f, path, doc)
+}
+
+// runExplorerBench sweeps n complete AIT hijack scenarios (boot device,
+// deploy store + malware, download, verify, hijack, install) through the
+// chaos explorer and reports schedules/s — the headline number for sizing
+// seed x jitter grids.
+func runExplorerBench(n, workers int) (benchRun, error) {
+	prof := installer.Amazon()
+	fn := func(r *chaos.Run) error {
+		s, err := experiment.NewScenario(prof, r.Seed())
+		if err != nil {
+			return err
+		}
+		s.Instrument(r)
+		atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), s.Target)
+		if err := atk.Launch(); err != nil {
+			return err
+		}
+		res := s.RunAIT()
+		atk.Stop()
+		if !res.Hijacked {
+			return fmt.Errorf("hijack missed: %v", res.Err)
+		}
+		return nil
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	ex := &chaos.Explorer{Workers: workers}
+	start := time.Now()
+	res := ex.Sweep(seeds, nil, fn)
+	elapsed := time.Since(start)
+	if res.Violations != 0 {
+		return benchRun{}, fmt.Errorf("explorer bench: %d violations in a plain sweep (first: %v)", res.Violations, res.First.Err)
+	}
+	return benchRun{
+		Name:            "explore/sweep",
+		Workers:         workers,
+		ElapsedNs:       elapsed.Nanoseconds(),
+		Schedules:       res.Explored,
+		SchedulesPerSec: float64(res.Explored) / elapsed.Seconds(),
+	}, nil
+}
+
+func writeBenchDoc(f *os.File, path string, doc benchDoc) error {
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write bench snapshot: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "bench snapshot written to %s\n", path)
+	return nil
+}

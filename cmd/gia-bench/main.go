@@ -39,10 +39,17 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print a metrics snapshot to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
+	benchjson := flag.String("benchjson", "", "measure corpus-scan throughput (uncached / cold cache / warm cache) and write the JSON snapshot to this path, skipping the tables")
 	flag.Parse()
 
 	if *cache != "on" && *cache != "off" {
 		log.Fatalf("-cache=%q: want on or off", *cache)
+	}
+	if *benchjson != "" {
+		if err := runScanBench(*benchjson, *seed, *scale, *workers); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	if *cpuprofile != "" {

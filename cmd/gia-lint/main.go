@@ -9,7 +9,12 @@
 //	gia-lint file.smali [file2.smali ...]        # lint smali sources
 //	gia-lint [-seed N] [-scale F] [-pop play|preinstalled|store|all]
 //	         [-workers N] [-findings N] [-cache on|off]
-//	         [-trace FILE] [-metrics]            # scan a synthetic corpus
+//	         [-trace FILE] [-metrics] [-json]    # scan a synthetic corpus
+//
+// -json switches the report to machine-readable output on stdout: one
+// object with per-APK packages, findings and 0-100 threat scores plus the
+// aggregate score distribution. In file mode it emits the same shape with
+// file paths in place of package names.
 //
 // Observability: -trace=FILE exports wall-clock spans of the corpus scan
 // (one track per scanner worker, one span per APK) as Chrome trace-event
@@ -19,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +48,7 @@ func main() {
 	cache := flag.String("cache", "on", "content-addressed analysis cache: on|off (findings are identical either way)")
 	tracePath := flag.String("trace", "", "export a Chrome trace (or JSONL if the path ends in .jsonl) of the corpus scan")
 	metrics := flag.Bool("metrics", false, "print the engine's metrics snapshot to stderr")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON (per-APK findings and threat scores) on stdout")
 	flag.Parse()
 
 	opts := analysis.EngineOptions{}
@@ -67,9 +74,9 @@ func main() {
 		eng = analysis.NewEngine()
 	}
 	if flag.NArg() > 0 {
-		os.Exit(lintFiles(eng, flag.Args()))
+		os.Exit(lintFiles(eng, flag.Args(), *jsonOut))
 	}
-	if err := scanCorpus(eng, *seed, *scale, *pop, *workers, *findings); err != nil {
+	if err := scanCorpus(eng, *seed, *scale, *pop, *workers, *findings, *jsonOut); err != nil {
 		log.Fatal(err)
 	}
 	if tr != nil {
@@ -105,10 +112,62 @@ func writeTrace(tr *obs.Trace, path string) error {
 	return nil
 }
 
+// jsonFinding is one finding in -json output.
+type jsonFinding struct {
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Class    string `json:"class"`
+	Method   string `json:"method"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
+// jsonReport is one scanned unit (an APK in corpus mode, a source file in
+// file mode) with its findings and 0-100 threat score.
+type jsonReport struct {
+	Package  string        `json:"package"`
+	Score    int           `json:"score"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+// jsonOutput is the -json document: per-unit reports plus the aggregate
+// score distribution over the scan.
+type jsonOutput struct {
+	Scanned   int            `json:"scanned"`
+	MeanScore float64        `json:"mean_score"`
+	MaxScore  int            `json:"max_score"`
+	ScoreHist map[string]int `json:"score_hist"`
+	Reports   []jsonReport   `json:"reports"`
+}
+
+func toJSONFindings(found []analysis.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(found))
+	for _, f := range found {
+		out = append(out, jsonFinding{
+			Rule:     f.RuleID,
+			Severity: f.Severity.String(),
+			File:     f.File,
+			Class:    f.Class,
+			Method:   f.Method,
+			Line:     f.Line,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+func writeJSON(out jsonOutput) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // lintFiles lints smali sources from disk and returns the exit code:
 // 0 clean, 1 findings, 2 parse errors.
-func lintFiles(eng *analysis.Engine, paths []string) int {
+func lintFiles(eng *analysis.Engine, paths []string, jsonOut bool) int {
 	code := 0
+	out := jsonOutput{ScoreHist: map[string]int{}}
 	for _, path := range paths {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -122,28 +181,73 @@ func lintFiles(eng *analysis.Engine, paths []string) int {
 			code = 2
 			continue
 		}
-		for _, f := range found {
-			fmt.Println(f)
-			if code == 0 {
-				code = 1
+		score := analysis.Score(found)
+		if jsonOut {
+			out.Scanned++
+			out.MeanScore += float64(score)
+			if score > out.MaxScore {
+				out.MaxScore = score
 			}
+			out.ScoreHist[analysis.ScoreBucketLabel(analysis.ScoreBucket(score))]++
+			out.Reports = append(out.Reports, jsonReport{
+				Package: path, Score: score, Findings: toJSONFindings(found),
+			})
+		} else {
+			for _, f := range found {
+				fmt.Println(f)
+			}
+			fmt.Printf("%s: threat score %d/%d\n", path, score, analysis.MaxScore)
+		}
+		if len(found) > 0 && code == 0 {
+			code = 1
+		}
+	}
+	if jsonOut {
+		if out.Scanned > 0 {
+			out.MeanScore /= float64(out.Scanned)
+		}
+		if err := writeJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 2
 		}
 	}
 	return code
 }
 
-func scanCorpus(eng *analysis.Engine, seed int64, scale float64, pop string, workers, maxFindings int) error {
+func scanCorpus(eng *analysis.Engine, seed int64, scale float64, pop string, workers, maxFindings int, jsonOut bool) error {
 	c := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
 	apps, err := population(c, pop)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scanning %d %s apps with %d workers, %d rules\n\n",
-		len(apps), pop, workers, len(eng.Rules()))
+	if !jsonOut {
+		fmt.Printf("scanning %d %s apps with %d workers, %d rules\n\n",
+			len(apps), pop, workers, len(eng.Rules()))
+	}
 
 	reports, stats := eng.ScanCorpus(len(apps), workers, func(i int) *apk.APK {
 		return corpus.BuildAPKFor(apps[i])
 	})
+
+	if jsonOut {
+		out := jsonOutput{
+			Scanned:   stats.APKs,
+			MeanScore: stats.MeanScore(),
+			MaxScore:  stats.ScoreMax,
+			ScoreHist: map[string]int{},
+		}
+		for b := 0; b < analysis.ScoreBuckets; b++ {
+			out.ScoreHist[analysis.ScoreBucketLabel(b)] = stats.ScoreHist[b]
+		}
+		for i, rep := range reports {
+			out.Reports = append(out.Reports, jsonReport{
+				Package:  apps[i].Package,
+				Score:    rep.Score,
+				Findings: toJSONFindings(rep.Findings),
+			})
+		}
+		return writeJSON(out)
+	}
 
 	printed := 0
 	for i, rep := range reports {
@@ -173,6 +277,11 @@ func scanCorpus(eng *analysis.Engine, seed int64, scale float64, pop string, wor
 		stats.Stats.ParseErrors, stats.Elapsed.Round(1e6))
 	fmt.Printf("throughput: %.0f APKs/s, %.0f instructions/s (%d workers)\n",
 		stats.APKsPerSecond(), stats.InstructionsPerSecond(), stats.Workers)
+	fmt.Printf("threat scores: mean %.1f, max %d; distribution", stats.MeanScore(), stats.ScoreMax)
+	for b := 0; b < analysis.ScoreBuckets; b++ {
+		fmt.Printf(" %s:%d", analysis.ScoreBucketLabel(b), stats.ScoreHist[b])
+	}
+	fmt.Println()
 	if cs, ok := eng.CacheStats(); ok {
 		fmt.Printf("cache: %d hits, %d misses, %d deduped, %d evictions, %d entries\n",
 			cs.Hits, cs.Misses, cs.Deduped, cs.Evictions, cs.Entries)

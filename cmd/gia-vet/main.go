@@ -1,0 +1,276 @@
+// Command gia-vet is the repo's determinism linter. The simulation,
+// chaos and experiment layers promise bit-identical output for a given
+// seed at any worker count; that promise dies the moment one of them
+// reads the wall clock, draws from the process-global rand source, or
+// prints in map-iteration order. gia-vet walks those packages' syntax
+// trees (stdlib go/ast only — no external analysis framework) and fails
+// the build on:
+//
+//   - time.Now calls — simulated time comes from the scheduler, wall
+//     time from the injectable obs.Stopwatch;
+//   - the global math/rand drawing functions (rand.Intn, rand.Float64,
+//     rand.Shuffle, ...) — rand.New(rand.NewSource(seed)) is the only
+//     blessed way to randomness;
+//   - output emitted from inside a range over a map — Go randomizes map
+//     iteration order, so printing or writing per-entry inside the loop
+//     is nondeterministic by construction (collect the keys, sort,
+//     then emit).
+//
+// Usage:
+//
+//	gia-vet [dir ...]    # default: the guarded packages under ./internal
+//
+// Exit code 0 when clean, 1 with findings, 2 on parse errors. The checks
+// are syntactic: map-ness is inferred from declarations visible in the
+// same file, which covers the guarded packages without a type checker.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// guardedDirs are the packages under the determinism contract, relative
+// to the module root.
+var guardedDirs = []string{
+	"internal/sim",
+	"internal/chaos",
+	"internal/experiment",
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from (or reseed) the shared global source. Constructors (New,
+// NewSource, NewZipf) and the Rand/Source types are deliberately absent:
+// seeded private generators are the blessed pattern.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+}
+
+// printFuncs are the fmt emitters whose call inside a map range makes
+// the output order nondeterministic.
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func main() {
+	dirs := os.Args[1:]
+	if len(dirs) == 0 || (len(dirs) == 1 && (dirs[0] == "./..." || dirs[0] == "...")) {
+		dirs = guardedDirs
+	}
+	code := 0
+	for _, dir := range dirs {
+		files, err := goFiles(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gia-vet: %v\n", err)
+			code = 2
+			continue
+		}
+		for _, path := range files {
+			findings, err := vetFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gia-vet: %v\n", err)
+				code = 2
+				continue
+			}
+			for _, f := range findings {
+				fmt.Println(f)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// goFiles lists the .go files directly in dir (no recursion — the
+// guarded packages are flat).
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	return out, nil
+}
+
+// vetFile parses one source file and runs all three checks over it.
+func vetFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	v := &vetter{fset: fset, randPkg: importName(file, "math/rand"), timePkg: importName(file, "time")}
+	v.collectMapIdents(file)
+	ast.Inspect(file, v.visit)
+	return v.findings, nil
+}
+
+// importName returns the identifier the file binds an import path to
+// ("" when the path is not imported; the default name when unaliased).
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return ""
+}
+
+type vetter struct {
+	fset     *token.FileSet
+	randPkg  string // identifier math/rand is imported as, "" if absent
+	timePkg  string // identifier time is imported as, "" if absent
+	mapNames map[string]bool
+	findings []string
+}
+
+// collectMapIdents records every identifier the file visibly declares
+// with a map type: var/field declarations, make(map...) and map-literal
+// assignments, and function parameters. Purely syntactic — good enough
+// to decide "is this range over a map" inside the guarded packages.
+func (v *vetter) collectMapIdents(file *ast.File) {
+	v.mapNames = map[string]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			if isMapType(n.Type) {
+				for _, name := range n.Names {
+					v.mapNames[name.Name] = true
+				}
+			}
+		case *ast.Field:
+			if isMapType(n.Type) {
+				for _, name := range n.Names {
+					v.mapNames[name.Name] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if isMapExpr(rhs) {
+					v.mapNames[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isMapType(t ast.Expr) bool {
+	_, ok := t.(*ast.MapType)
+	return ok
+}
+
+// isMapExpr reports whether an expression is syntactically map-valued:
+// a map literal, or make(map[...]...).
+func isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return isMapType(e.Type)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			return isMapType(e.Args[0])
+		}
+	}
+	return false
+}
+
+func (v *vetter) report(pos token.Pos, format string, args ...any) {
+	v.findings = append(v.findings,
+		fmt.Sprintf("%s: %s", v.fset.Position(pos), fmt.Sprintf(format, args...)))
+}
+
+func (v *vetter) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		sel, ok := n.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Obj != nil { // shadowed by a local binding
+			return true
+		}
+		if v.timePkg != "" && pkg.Name == v.timePkg && sel.Sel.Name == "Now" {
+			v.report(n.Pos(), "time.Now: wall clock in a deterministic package (use the scheduler's virtual clock or obs.Stopwatch)")
+		}
+		if v.randPkg != "" && pkg.Name == v.randPkg && globalRandFuncs[sel.Sel.Name] {
+			v.report(n.Pos(), "rand.%s: process-global rand source (use rand.New(rand.NewSource(seed)))", sel.Sel.Name)
+		}
+	case *ast.RangeStmt:
+		if !v.rangesOverMap(n.X) {
+			return true
+		}
+		ast.Inspect(n.Body, func(inner ast.Node) bool {
+			call, ok := inner.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := printCallName(call); ok {
+				v.report(call.Pos(), "%s inside a range over a map: iteration order is random (sort the keys first)", name)
+			}
+			return true
+		})
+	}
+	return true
+}
+
+// rangesOverMap decides, syntactically, whether the ranged expression is
+// a map: a map literal inline, or an identifier this file declares with
+// a map type.
+func (v *vetter) rangesOverMap(x ast.Expr) bool {
+	switch x := x.(type) {
+	case *ast.CompositeLit:
+		return isMapType(x.Type)
+	case *ast.CallExpr:
+		return isMapExpr(x)
+	case *ast.Ident:
+		return v.mapNames[x.Name]
+	}
+	return false
+}
+
+// printCallName matches the calls that emit output: the fmt print
+// family and Write/WriteString on some writer.
+func printCallName(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" && printFuncs[sel.Sel.Name] {
+		return "fmt." + sel.Sel.Name, true
+	}
+	if sel.Sel.Name == "WriteString" || sel.Sel.Name == "Write" {
+		return "." + sel.Sel.Name, true
+	}
+	return "", false
+}

@@ -114,8 +114,8 @@ func TestPublicAPIAllTablesSmoke(t *testing.T) {
 	wantIDs := []string{"Table I", "Table II", "Table III", "Table IV", "Table V",
 		"Table VI", "Table VII", "Table VIII", "Table IX", "Table X",
 		"Figure 1", "Hijack Study", "DM Study", "Redirect Study",
-		"Key Study", "Hare Study", "Suggestion Study", "Flow Study", "DAPP Study",
-		"Fleet Study", "Chaos Study"}
+		"Key Study", "Hare Study", "Suggestion Study", "Flow Study",
+		"Threat Scores", "DAPP Study", "Fleet Study", "Chaos Study"}
 	if len(tables) != len(wantIDs) {
 		t.Fatalf("tables = %d, want %d", len(tables), len(wantIDs))
 	}

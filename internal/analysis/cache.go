@@ -43,6 +43,7 @@ func NewEngineWithOptions(o EngineOptions, rules ...Rule) *Engine {
 			canon: NewCanonicalizer(markers),
 			raw:   memo.New[cachedSource](o.CacheCapacity),
 			table: memo.New[cachedSource](o.CacheCapacity),
+			sums:  memo.New[*ClassSummaries](o.CacheCapacity),
 		}
 	}
 	e.trace = o.Trace
@@ -69,6 +70,7 @@ func (e *Engine) Observe(reg *obs.Registry) {
 	if e.cache != nil {
 		e.cache.raw.Observe(reg, "analysis.cache.raw")
 		e.cache.table.Observe(reg, "analysis.cache.canon")
+		e.cache.sums.Observe(reg, "analysis.cache.summaries")
 	}
 }
 
@@ -87,6 +89,18 @@ func (e *Engine) CacheStats() (st memo.Stats, ok bool) {
 		Evictions: r.Evictions + t.Evictions,
 		Entries:   r.Entries + t.Entries,
 	}, true
+}
+
+// SummaryCacheStats snapshots the content-addressed summary-object cache —
+// the per-class interprocedural summaries the taint rules share across
+// template twins. It is reported separately from CacheStats because
+// summaries are only computed on template-level misses: its counters are
+// a strict subset of the analysis traffic, not a third serving level.
+func (e *Engine) SummaryCacheStats() (st memo.Stats, ok bool) {
+	if e.cache == nil {
+		return memo.Stats{}, false
+	}
+	return e.cache.sums.Stats(), true
 }
 
 // cachedSource is one memoized analysis: the findings and stats of the
@@ -108,6 +122,10 @@ type sourceCache struct {
 	canon *Canonicalizer
 	raw   *memo.Table[cachedSource]
 	table *memo.Table[cachedSource]
+	// sums caches per-class summary objects by the content address of the
+	// bytes the analysis actually ran on (canonical bytes on the template
+	// path), so template twins share one immutable ClassSummaries.
+	sums *memo.Table[*ClassSummaries]
 }
 
 // analyze serves one file through the cache. The returned findings are

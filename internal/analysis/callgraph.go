@@ -1,0 +1,157 @@
+package analysis
+
+// CallGraph is the class-local call graph the interprocedural pass runs
+// over: one node per method, one edge per invoke whose target resolves to
+// a method of the same class set. Targets are matched by their full
+// descriptor spelling (see Method.Descriptor), so direct, static and
+// virtual invokes all resolve the same way; an invoke whose receiver is
+// outside the class set simply has no edge and is handled by the taint
+// pass as an unknown callee (degrade to a conservative summary, never
+// panic).
+//
+// Recursion is made tractable by SCC condensation: SCCs lists the
+// strongly connected components in callee-first (reverse topological)
+// order, which is exactly the order the bottom-up summary fixpoint wants —
+// every callee outside the current SCC already has its final summary when
+// the SCC is processed.
+type CallGraph struct {
+	// Methods aliases the class's method list; indices below refer to it.
+	Methods []*Method
+	// Callees[i] lists the method indices i invokes, deduped, in first-call
+	// order.
+	Callees [][]int
+	// SCCs is the condensation in callee-first order: for any edge u→v with
+	// sccOf[u] != sccOf[v], the component of v appears before the component
+	// of u.
+	SCCs [][]int
+
+	index map[string]int
+	sccOf []int
+}
+
+// BuildCallGraph constructs the call graph and its condensation for one
+// parsed class.
+func BuildCallGraph(c *Class) *CallGraph {
+	g := &CallGraph{
+		Methods: c.Methods,
+		Callees: make([][]int, len(c.Methods)),
+		index:   make(map[string]int, len(c.Methods)),
+		sccOf:   make([]int, len(c.Methods)),
+	}
+	for i, m := range c.Methods {
+		// First definition wins on a duplicate descriptor; the parser does
+		// not forbid duplicates, and either resolution is sound.
+		if _, dup := g.index[m.Descriptor()]; !dup {
+			g.index[m.Descriptor()] = i
+		}
+	}
+	for i, m := range c.Methods {
+		var seen map[int]bool
+		for _, ins := range m.Instructions {
+			if ins.Kind != KindInvoke {
+				continue
+			}
+			j, ok := g.index[ins.Target]
+			if !ok {
+				continue
+			}
+			if seen == nil {
+				seen = make(map[int]bool, 4)
+			}
+			if !seen[j] {
+				seen[j] = true
+				g.Callees[i] = append(g.Callees[i], j)
+			}
+		}
+	}
+	g.condense()
+	return g
+}
+
+// Resolve maps an invoke target to its method index within the class set.
+func (g *CallGraph) Resolve(target string) (int, bool) {
+	i, ok := g.index[target]
+	return i, ok
+}
+
+// SCCOf returns the condensation component index of method i.
+func (g *CallGraph) SCCOf(i int) int { return g.sccOf[i] }
+
+// condense runs Tarjan's SCC algorithm iteratively (an explicit frame
+// stack, so deep call chains cannot overflow the goroutine stack). Tarjan
+// emits a component only once every component reachable from it has been
+// emitted, so SCCs comes out in the callee-first order documented above.
+func (g *CallGraph) condense() {
+	n := len(g.Methods)
+	if n == 0 {
+		return
+	}
+	const unvisited = -1
+	order := make([]int, n) // discovery index, or unvisited
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	stack := make([]int, 0, n)
+	next := 0
+
+	type frame struct {
+		v  int // method being visited
+		ci int // next callee position to examine
+	}
+	frames := make([]frame, 0, 8)
+	for i := range order {
+		order[i] = unvisited
+	}
+	for root := 0; root < n; root++ {
+		if order[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ci == 0 {
+				order[v], low[v] = next, next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			descended := false
+			for f.ci < len(g.Callees[v]) {
+				w := g.Callees[v][f.ci]
+				f.ci++
+				if order[w] == unvisited {
+					frames = append(frames, frame{v: w})
+					descended = true
+					break
+				}
+				if onStack[w] && order[w] < low[v] {
+					low[v] = order[w]
+				}
+			}
+			if descended {
+				continue
+			}
+			if low[v] == order[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					g.sccOf[w] = len(g.SCCs)
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				g.SCCs = append(g.SCCs, scc)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import "testing"
+
+func buildGraph(t *testing.T, src string) *CallGraph {
+	t.Helper()
+	cls, err := ParseFile("g.smali", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildCallGraph(cls)
+}
+
+func methodIdx(t *testing.T, g *CallGraph, desc string) int {
+	t.Helper()
+	i, ok := g.Resolve(desc)
+	if !ok {
+		t.Fatalf("method %s not in call graph", desc)
+	}
+	return i
+}
+
+func TestCallGraphDirectRecursion(t *testing.T) {
+	g := buildGraph(t, `.class Lcom/t/R;
+.method public loop()V
+    invoke-virtual {p0}, Lcom/t/R;->loop()V
+    return-void
+.end method
+.method public leaf()V
+    return-void
+.end method
+`)
+	loop := methodIdx(t, g, "Lcom/t/R;->loop()V")
+	leaf := methodIdx(t, g, "Lcom/t/R;->leaf()V")
+	if len(g.Callees[loop]) != 1 || g.Callees[loop][0] != loop {
+		t.Errorf("self-recursive callees = %v", g.Callees[loop])
+	}
+	if g.SCCOf(loop) == g.SCCOf(leaf) {
+		t.Errorf("unrelated methods share an SCC")
+	}
+	if len(g.SCCs) != 2 {
+		t.Errorf("SCC count = %d, want 2", len(g.SCCs))
+	}
+}
+
+func TestCallGraphMutualRecursion(t *testing.T) {
+	g := buildGraph(t, `.class Lcom/t/M;
+.method public ping()V
+    invoke-virtual {p0}, Lcom/t/M;->pong()V
+    return-void
+.end method
+.method public pong()V
+    invoke-virtual {p0}, Lcom/t/M;->ping()V
+    return-void
+.end method
+.method public driver()V
+    invoke-virtual {p0}, Lcom/t/M;->ping()V
+    return-void
+.end method
+`)
+	ping := methodIdx(t, g, "Lcom/t/M;->ping()V")
+	pong := methodIdx(t, g, "Lcom/t/M;->pong()V")
+	driver := methodIdx(t, g, "Lcom/t/M;->driver()V")
+	if g.SCCOf(ping) != g.SCCOf(pong) {
+		t.Errorf("mutually recursive pair split across SCCs")
+	}
+	if g.SCCOf(driver) == g.SCCOf(ping) {
+		t.Errorf("driver merged into the recursive SCC")
+	}
+	// Callee-first condensation order: the pair's component must be
+	// emitted before its caller's.
+	if g.SCCOf(ping) > g.SCCOf(driver) {
+		t.Errorf("SCC order not callee-first: callee %d, caller %d",
+			g.SCCOf(ping), g.SCCOf(driver))
+	}
+}
+
+// TestCallGraphUnknownReceiver pins the degrade-to-top contract: a virtual
+// dispatch outside the class set resolves to nothing, the edge is dropped,
+// and both the condensation and the taint summaries stay well defined —
+// the unknown callee is treated as argument pass-through, never a panic.
+func TestCallGraphUnknownReceiver(t *testing.T) {
+	cls, err := ParseFile("g.smali", `.class Lcom/t/U;
+.method public relay(Ljava/lang/String;)Ljava/lang/String;
+    invoke-static {p0}, Lvendor/Blob;->transform(Ljava/lang/String;)Ljava/lang/String;
+    move-result-object v0
+    return-object v0
+.end method
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph(cls)
+	relay := methodIdx(t, g, "Lcom/t/U;->relay(Ljava/lang/String;)Ljava/lang/String;")
+	if len(g.Callees[relay]) != 0 {
+		t.Errorf("unknown receiver produced an edge: %v", g.Callees[relay])
+	}
+	if _, ok := g.Resolve("Lvendor/Blob;->transform(Ljava/lang/String;)Ljava/lang/String;"); ok {
+		t.Errorf("external target resolved inside the class")
+	}
+	// Summary side of the contract: the unknown callee's result carries
+	// the union of its argument taints (top for what we track), so the
+	// parameter flows through to the return.
+	sums := ComputeSummaries(NewClassInfo(cls))
+	sum, ok := sums.Of("Lcom/t/U;->relay(Ljava/lang/String;)Ljava/lang/String;")
+	if !ok {
+		t.Fatal("summary missing")
+	}
+	if sum.Ret&ParamTaint(0) == 0 {
+		t.Errorf("unknown-callee pass-through lost param taint: %+v", sum)
+	}
+}
+
+func TestCallGraphCalleeFirstAcrossChain(t *testing.T) {
+	g := buildGraph(t, `.class Lcom/t/C;
+.method public a()V
+    invoke-virtual {p0}, Lcom/t/C;->b()V
+    return-void
+.end method
+.method public b()V
+    invoke-virtual {p0}, Lcom/t/C;->c()V
+    return-void
+.end method
+.method public c()V
+    return-void
+.end method
+`)
+	a := g.SCCOf(methodIdx(t, g, "Lcom/t/C;->a()V"))
+	b := g.SCCOf(methodIdx(t, g, "Lcom/t/C;->b()V"))
+	c := g.SCCOf(methodIdx(t, g, "Lcom/t/C;->c()V"))
+	if !(c < b && b < a) {
+		t.Errorf("chain a→b→c condensed out of order: a=%d b=%d c=%d", a, b, c)
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import "testing"
+
+// TestWorldReadableDedupesPerCallSite pins the duplicate-finding fix: one
+// invoke naming the same world-readable register twice (or two registers
+// resolving to the same mode) used to emit one finding per register — one
+// defect, one finding.
+func TestWorldReadableDedupesPerCallSite(t *testing.T) {
+	src := wrap(`    const/4 v3, MODE_WORLD_READABLE
+    invoke-virtual {v3, v3}, Ljava/io/File;->setReadable(Z)Z
+`)
+	got := checkRule(t, WorldReadableRule{}, src)
+	if len(got) != 1 {
+		t.Errorf("duplicate-register call site: %d findings, want 1: %v", len(got), got)
+	}
+}
+
+// TestEachConstStringDedupesSameSite drives the dedupe through the
+// const-string helper with a hand-built IR: two const instructions
+// carrying the same marker on one source line (a shape a macro-expanding
+// front end can emit) must yield a single finding.
+func TestEachConstStringDedupesSameSite(t *testing.T) {
+	m := &Method{
+		Name:  "m()V",
+		Class: "Lcom/t/C;",
+		File:  "t.smali",
+		Instructions: []Instruction{
+			{Index: 0, Line: 7, Kind: KindConst, Op: "const-string", Dest: "v0", Value: "/sdcard/a/stage.apk"},
+			{Index: 1, Line: 7, Kind: KindConst, Op: "const-string", Dest: "v1", Value: "/sdcard/a/stage.apk"},
+			{Index: 2, Line: 8, Kind: KindReturn, Op: "return-void"},
+		},
+	}
+	ci := NewClassInfo(&Class{Name: "Lcom/t/C;", File: "t.smali", Methods: []*Method{m}})
+	got := SDCardStagingRule{}.Check(ci)
+	if len(got) != 1 {
+		t.Errorf("same (rule, method, line) twice: %d findings, want 1: %v", len(got), got)
+	}
+}
+
+// Distinct lines must NOT be collapsed — the market-redirect census counts
+// one finding per link constant.
+func TestDedupeKeepsDistinctLines(t *testing.T) {
+	src := wrap(`    const-string v0, "market://details?id=com.a"
+    const-string v1, "market://details?id=com.a"
+`)
+	got := checkRule(t, MarketRedirectRule{}, src)
+	if len(got) != 2 {
+		t.Errorf("distinct lines collapsed: %d findings, want 2: %v", len(got), got)
+	}
+}

@@ -31,10 +31,15 @@ const (
 	KindGoto
 	// KindIf: conditional branch on Cond to Label, else fallthrough.
 	KindIf
-	// KindReturn: method exit.
+	// KindReturn: method exit; Src names the returned register when the
+	// mnemonic carries one (return-object v0).
 	KindReturn
 	// KindLabel: a `:name` jump target (no-op at runtime).
 	KindLabel
+	// KindMove: register copies. `move vA, vB` writes Dest from Src;
+	// `move-result*` writes Dest from the preceding invoke's result
+	// (Src empty).
+	KindMove
 )
 
 func (k Kind) String() string {
@@ -51,6 +56,8 @@ func (k Kind) String() string {
 		return "return"
 	case KindLabel:
 		return "label"
+	case KindMove:
+		return "move"
 	default:
 		return "other"
 	}
@@ -63,7 +70,7 @@ type Instruction struct {
 	Kind  Kind
 	Op    string // mnemonic as written (e.g. "const-string", "invoke-virtual")
 
-	Dest  string // KindConst: destination register
+	Dest  string // KindConst/KindMove: destination register
 	Value string // KindConst: operand with string quotes stripped
 
 	Args   []string // KindInvoke: argument registers
@@ -71,6 +78,8 @@ type Instruction struct {
 
 	Cond  string // KindIf: tested register
 	Label string // KindGoto/KindIf/KindLabel: label name without the colon
+	Src   string // KindMove: source register ("" for move-result*);
+	// KindReturn: returned register ("" for bare return/return-void)
 }
 
 // Method is one parsed method body.
@@ -88,6 +97,14 @@ type Method struct {
 func (m *Method) LabelTarget(name string) (int, bool) {
 	idx, ok := m.labels[name]
 	return idx, ok
+}
+
+// Descriptor is the method's fully qualified call-target spelling —
+// `Lpkg/Cls;->name(sig)ret` — exactly the form invoke operands carry, so
+// the call graph resolves invokes by string equality with no signature
+// parsing.
+func (m *Method) Descriptor() string {
+	return m.Class + "->" + m.Name
 }
 
 // Class is one parsed smali class.

@@ -203,6 +203,8 @@ func (p *parser) instruction(n int, toks []token) error {
 		return p.constOp(n, op, rest)
 	case strings.HasPrefix(op, "invoke-"):
 		return p.invokeOp(n, op, rest)
+	case strings.HasPrefix(op, "move"):
+		return p.moveOp(n, op, rest)
 	case op == "goto":
 		if len(rest) != 1 || rest[0].kind != tokLabel {
 			return p.errf(n, "goto needs exactly one label operand")
@@ -216,7 +218,13 @@ func (p *parser) instruction(n int, toks []token) error {
 		p.emit(Instruction{Line: n, Kind: KindIf, Op: op, Cond: intern(rest[0].text), Label: intern(rest[2].text)})
 		return nil
 	case strings.HasPrefix(op, "return"):
-		p.emit(Instruction{Line: n, Kind: KindReturn, Op: op})
+		// return-void has no operand; return/return-object/return-wide name
+		// the returned register, which the taint summaries read.
+		var src string
+		if len(rest) == 1 && rest[0].kind == tokWord {
+			src = intern(rest[0].text)
+		}
+		p.emit(Instruction{Line: n, Kind: KindReturn, Op: op, Src: src})
 		return nil
 	default:
 		p.emit(Instruction{Line: n, Kind: KindOther, Op: op})
@@ -238,6 +246,26 @@ func (p *parser) constOp(n int, op string, rest []token) error {
 		return p.errf(n, "%s operand must be a literal", op)
 	}
 	p.emit(Instruction{Line: n, Kind: KindConst, Op: op, Dest: intern(rest[0].text), Value: intern(operand.text)})
+	return nil
+}
+
+// moveOp parses the register-copy family. `move-result*` takes one
+// register (the destination; the source is the preceding invoke's return
+// value). `move`/`move-object`/`move-wide` and their /from16 variants take
+// a destination and a source. Shapes the analyses do not model
+// (move-exception, malformed operand lists) stay lenient as KindOther,
+// matching how every move opcode parsed before this family existed.
+func (p *parser) moveOp(n int, op string, rest []token) error {
+	if strings.HasPrefix(op, "move-result") {
+		if len(rest) == 1 && rest[0].kind == tokWord {
+			p.emit(Instruction{Line: n, Kind: KindMove, Op: op, Dest: intern(rest[0].text)})
+			return nil
+		}
+	} else if len(rest) == 3 && rest[0].kind == tokWord && rest[1].kind == tokComma && rest[2].kind == tokWord {
+		p.emit(Instruction{Line: n, Kind: KindMove, Op: op, Dest: intern(rest[0].text), Src: intern(rest[2].text)})
+		return nil
+	}
+	p.emit(Instruction{Line: n, Kind: KindOther, Op: op})
 	return nil
 }
 
@@ -265,9 +293,8 @@ func (p *parser) invokeOp(n int, op string, rest []token) error {
 			continue
 		}
 	}
-	if len(args) == 0 {
-		return p.errf(n, "%s: empty register list", op)
-	}
+	// An empty register list is valid: no-arg static calls are spelled
+	// `invoke-static {}, Lpkg/Cls;->m()V`.
 	// rest[i] is the closing brace; expect `, target`.
 	if i+2 >= len(rest) || rest[i+1].kind != tokComma || rest[i+2].kind != tokWord {
 		return p.errf(n, "%s: missing call target", op)

@@ -86,11 +86,6 @@ func TestParseMalformed(t *testing.T) {
 			want: "escape",
 		},
 		{
-			name: "empty register list",
-			src:  ".class Lx;\n.method m()V\n    invoke-static {}, Lx;->m()V\n.end method\n",
-			want: "empty register list",
-		},
-		{
 			name: "unterminated register list",
 			src:  ".class Lx;\n.method m()V\n    invoke-virtual {p0, v2\n.end method\n",
 			want: "unterminated register list",
@@ -206,7 +201,7 @@ func errorsAs(err error, target **ParseError) bool {
 
 func TestParseLenientUnknowns(t *testing.T) {
 	src := ".class Lx;\n.source \"x.java\"\n.field private a:I\n" +
-		".method m()V\n    nop\n    move-result v0  # comment\n    return-void\n.end method\n"
+		".method m()V\n    nop\n    array-length v0, v1  # comment\n    return-void\n.end method\n"
 	cls, err := ParseFile("x.smali", src)
 	if err != nil {
 		t.Fatal(err)
@@ -217,6 +212,39 @@ func TestParseLenientUnknowns(t *testing.T) {
 	}
 	if m.Instructions[0].Kind != KindOther || m.Instructions[1].Kind != KindOther {
 		t.Errorf("unknown opcodes should parse as KindOther: %+v", m.Instructions[:2])
+	}
+}
+
+// TestParseMoves pins the move family: move-result* writes a destination
+// with no source register, plain moves copy Src into Dest, and shapes the
+// analyses do not model (move-exception) stay lenient as KindOther.
+func TestParseMoves(t *testing.T) {
+	src := ".class Lx;\n.method m()V\n" +
+		"    invoke-static {}, Lx;->f()Ljava/lang/String;\n" +
+		"    move-result-object v0\n" +
+		"    move v1, v0\n" +
+		"    move-exception v2\n" +
+		"    return-object v1\n" +
+		".end method\n"
+	cls, err := ParseFile("x.smali", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := cls.Methods[0].Instructions
+	if ins[0].Kind != KindInvoke || len(ins[0].Args) != 0 {
+		t.Errorf("no-arg invoke-static = %+v", ins[0])
+	}
+	if ins[1].Kind != KindMove || ins[1].Dest != "v0" || ins[1].Src != "" {
+		t.Errorf("move-result-object = %+v", ins[1])
+	}
+	if ins[2].Kind != KindMove || ins[2].Dest != "v1" || ins[2].Src != "v0" {
+		t.Errorf("move = %+v", ins[2])
+	}
+	if ins[3].Kind != KindOther {
+		t.Errorf("move-exception should stay KindOther: %+v", ins[3])
+	}
+	if ins[4].Kind != KindReturn || ins[4].Src != "v1" {
+		t.Errorf("return-object = %+v", ins[4])
 	}
 }
 

@@ -44,10 +44,11 @@ func (r regDefs) merge(other regDefs) bool {
 }
 
 // ReachingDefs holds the fixpoint of the classic intra-procedural
-// reaching-definitions (may) analysis over a method's CFG. In this dialect
-// the only register writers are const* instructions, so "which definitions
-// reach this use" is equivalently "which constant values may this register
-// hold here" — the def-use chain the world-readable rule needs.
+// reaching-definitions (may) analysis over a method's CFG. The register
+// writers in this dialect are const* and move* instructions; const defs
+// carry the value a register may hold (the def-use chain the
+// world-readable rule needs), while move defs kill prior constants —
+// after `move-result-object v0`, v0 no longer holds any const.
 type ReachingDefs struct {
 	cfg *CFG
 	in  []regDefs // per-block entry state
@@ -99,7 +100,7 @@ func Reaching(g *CFG) *ReachingDefs {
 	return r
 }
 
-// transfer applies a block's definitions to an entry state: each const
+// transfer applies a block's definitions to an entry state: each write
 // kills every prior definition of its destination register (strong
 // update) and generates itself.
 func (r *ReachingDefs) transfer(bi int, entry regDefs) regDefs {
@@ -107,11 +108,16 @@ func (r *ReachingDefs) transfer(bi int, entry regDefs) regDefs {
 	b := r.cfg.Blocks[bi]
 	for i := b.Start; i < b.End; i++ {
 		ins := r.cfg.Method.Instructions[i]
-		if ins.Kind == KindConst {
+		if writesRegister(ins) {
 			state[ins.Dest] = defSet{i: {}}
 		}
 	}
 	return state
+}
+
+// writesRegister reports whether ins defines ins.Dest.
+func writesRegister(ins Instruction) bool {
+	return ins.Kind == KindConst || ins.Kind == KindMove
 }
 
 // DefsAt returns the instruction indices of the definitions of reg that
@@ -125,7 +131,7 @@ func (r *ReachingDefs) DefsAt(idx int, reg string) []int {
 	}
 	for i := b.Start; i < idx; i++ {
 		ins := r.cfg.Method.Instructions[i]
-		if ins.Kind == KindConst && ins.Dest == reg {
+		if writesRegister(ins) && ins.Dest == reg {
 			state = defSet{i: {}}
 		}
 	}
@@ -138,16 +144,21 @@ func (r *ReachingDefs) DefsAt(idx int, reg string) []int {
 }
 
 // ConstsAt returns the distinct constant values register reg may hold at
-// instruction idx, sorted for determinism.
+// instruction idx, sorted for determinism. Move definitions reaching idx
+// contribute no value: the register's content came from another register
+// or an invoke result, not a literal.
 func (r *ReachingDefs) ConstsAt(idx int, reg string) []string {
 	defs := r.DefsAt(idx, reg)
 	seen := make(map[string]bool, len(defs))
 	out := make([]string, 0, len(defs))
 	for _, d := range defs {
-		v := r.cfg.Method.Instructions[d].Value
-		if !seen[v] {
-			seen[v] = true
-			out = append(out, v)
+		ins := r.cfg.Method.Instructions[d]
+		if ins.Kind != KindConst {
+			continue
+		}
+		if !seen[ins.Value] {
+			seen[ins.Value] = true
+			out = append(out, ins.Value)
 		}
 	}
 	sort.Strings(out)

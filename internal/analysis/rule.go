@@ -1,6 +1,10 @@
 package analysis
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/ghost-installer/gia/internal/memo"
+)
 
 // Severity ranks a finding.
 type Severity int
@@ -70,10 +74,20 @@ func (mi *MethodInfo) Reaching() *ReachingDefs {
 	return mi.reach
 }
 
-// ClassInfo is the unit rules check: a parsed class plus per-method facts.
+// ClassInfo is the unit rules check: a parsed class plus per-method facts
+// and lazily built whole-class facts (call graph, taint summaries).
 type ClassInfo struct {
 	Class   *Class
 	Methods []*MethodInfo
+
+	cg   *CallGraph
+	sums *ClassSummaries
+
+	// sumTable/sumKey, when set by a cache-enabled engine, serve Summaries
+	// content-addressed: classes with identical (canonical) source share
+	// one immutable ClassSummaries object instead of recomputing it.
+	sumTable *memo.Table[*ClassSummaries]
+	sumKey   memo.Key
 }
 
 // NewClassInfo wraps a parsed class for rule checking.
@@ -83,6 +97,31 @@ func NewClassInfo(c *Class) *ClassInfo {
 		ci.Methods[i] = &MethodInfo{Method: m}
 	}
 	return ci
+}
+
+// CallGraph returns the class-local call graph, building it on first use.
+func (ci *ClassInfo) CallGraph() *CallGraph {
+	if ci.cg == nil {
+		ci.cg = BuildCallGraph(ci.Class)
+	}
+	return ci.cg
+}
+
+// Summaries returns the class's interprocedural taint summaries, computing
+// them on first use — through the engine's content-addressed summary cache
+// when one is attached.
+func (ci *ClassInfo) Summaries() *ClassSummaries {
+	if ci.sums == nil {
+		if ci.sumTable != nil {
+			v, _, _ := ci.sumTable.Do(ci.sumKey, func() (*ClassSummaries, error) {
+				return ComputeSummaries(ci), nil
+			})
+			ci.sums = v
+		} else {
+			ci.sums = ComputeSummaries(ci)
+		}
+	}
+	return ci.sums
 }
 
 // Rule is one pluggable GIA detector.
@@ -95,6 +134,31 @@ type Rule interface {
 	Description() string
 	// Check reports every hit in the class.
 	Check(ci *ClassInfo) []Finding
+}
+
+// dedupeFindings collapses findings sharing (RuleID, Class, Method, Line),
+// keeping the first emission. A rule that resolves one call site through
+// several registers (or several dataflow paths) otherwise reports the same
+// defect once per path — one defect per rule per line is the contract.
+func dedupeFindings(fs []Finding) []Finding {
+	if len(fs) < 2 {
+		return fs
+	}
+	type site struct {
+		rule, class, method string
+		line                int
+	}
+	seen := make(map[site]bool, len(fs))
+	out := fs[:0]
+	for _, f := range fs {
+		k := site{f.RuleID, f.Class, f.Method, f.Line}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
 }
 
 // finding builds a Finding for rule r at instruction ins of method m.

@@ -9,11 +9,14 @@ import (
 // Stable rule IDs, exported so consumers (internal/measure, gia-lint) can
 // key on findings without string literals.
 const (
-	RuleIDInstallAPI    = "gia/install-api"
-	RuleIDSDCardStaging = "gia/sdcard-staging"
-	RuleIDWorldReadable = "gia/world-readable-staging"
-	RuleIDMarketLink    = "gia/market-redirect"
-	RuleIDReflection    = "gia/reflection-obfuscation"
+	RuleIDInstallAPI     = "gia/install-api"
+	RuleIDSDCardStaging  = "gia/sdcard-staging"
+	RuleIDWorldReadable  = "gia/world-readable-staging"
+	RuleIDMarketLink     = "gia/market-redirect"
+	RuleIDReflection     = "gia/reflection-obfuscation"
+	RuleIDTaintStaging   = "gia/taint-sdcard-staging"
+	RuleIDSelfSigCheck   = "gia/self-sig-check"
+	RuleIDIntegrityCheck = "gia/integrity-check"
 )
 
 // Code-level markers shared by the rules (the paper's Section IV-A scan
@@ -51,13 +54,35 @@ var reflectionMarkers = []string{
 	"Lcom/obf/",
 }
 
+// Anti-repackaging markers: the signature self-check idiom (querying the
+// app's own package with GET_SIGNATURES, or asking the PMS to compare
+// signatures directly) and the integrity-digest idiom (hashing the code
+// archive).
+const (
+	sigCompareAPI  = "->checkSignatures("
+	pkgInfoAPI     = "getPackageInfo"
+	getSigFlag     = "GET_SIGNATURES"
+	codePathAPI    = "getPackageCodePath"
+	classesDexName = "classes.dex"
+)
+
+var digestAPIs = []string{
+	"Ljava/security/MessageDigest;",
+	"Ljava/util/zip/CRC32;",
+}
+
 // DefaultCanonMarkers returns every substring and exact constant the
 // default rules match on. The analysis cache's canonicalizer refuses any
 // rewrite that changes a line's occurrence count of one of these, which is
 // what makes rule verdicts invariant across sources sharing a canonical
 // form. Keep this list in sync with the rule definitions below.
 func DefaultCanonMarkers() []string {
-	out := []string{installMIME, marketScheme, playURL, "/sdcard"}
+	out := []string{installMIME, marketScheme, playURL,
+		sigCompareAPI, pkgInfoAPI, getSigFlag, codePathAPI, classesDexName,
+		envGetterPrefix, intentExtraMarker}
+	out = append(out, externalPathMarkers...)
+	out = append(out, installSinkMarkers...)
+	out = append(out, digestAPIs...)
 	for m := range worldReadableModes {
 		out = append(out, m)
 	}
@@ -76,6 +101,9 @@ func DefaultRules() []Rule {
 		WorldReadableRule{},
 		MarketRedirectRule{},
 		ReflectionRule{},
+		TaintStagingRule{},
+		SelfSigCheckRule{},
+		IntegrityCheckRule{},
 	}
 }
 
@@ -174,7 +202,7 @@ func (r WorldReadableRule) Check(ci *ClassInfo) []Finding {
 			}
 		}
 	}
-	return out
+	return dedupeFindings(out)
 }
 
 // ReflectionRule flags reflection-built API access: the obfuscation
@@ -207,8 +235,127 @@ func (r ReflectionRule) Check(ci *ClassInfo) []Finding {
 	return out
 }
 
+// TaintStagingRule is the interprocedural half of the staging classifier:
+// it tracks external-storage paths (literals, Environment getters) through
+// register moves, returns and calls via the class's method summaries, and
+// flags any flow into an install sink (setDataAndType / installPackage).
+// Unlike SDCardStagingRule it needs no literal at the sink's method — a
+// path produced in one method and installed in another is exactly what the
+// summaries exist to catch.
+type TaintStagingRule struct {
+	// IntraOnly disables summary and call-graph use, making every call
+	// opaque: the baseline whose findings the interprocedural run must
+	// subsume (FuzzSummaries pins that containment).
+	IntraOnly bool
+}
+
+func (TaintStagingRule) ID() string         { return RuleIDTaintStaging }
+func (TaintStagingRule) Severity() Severity { return SeverityVuln }
+func (TaintStagingRule) Description() string {
+	return "external-storage path flows into an install sink (interprocedural taint)"
+}
+
+func (r TaintStagingRule) Check(ci *ClassInfo) []Finding {
+	if !classHasTaintSourceAndSink(ci.Class) {
+		// The gate is mode-independent, so the intraprocedural baseline and
+		// the interprocedural run skip exactly the same classes — the
+		// containment FuzzSummaries checks is unaffected.
+		return nil
+	}
+	if r.IntraOnly {
+		return taintFindings(r, ci, nil)
+	}
+	return taintFindings(r, ci, ci.Summaries())
+}
+
+// SelfSigCheckRule finds the signature self-check defense: asking the PMS
+// to compare signatures outright, or loading the app's own signing info
+// with GET_SIGNATURES. Repackaged clones fail these checks, so their
+// presence lowers the threat score.
+type SelfSigCheckRule struct{}
+
+func (SelfSigCheckRule) ID() string         { return RuleIDSelfSigCheck }
+func (SelfSigCheckRule) Severity() Severity { return SeverityInfo }
+func (SelfSigCheckRule) Description() string {
+	return "anti-repackaging: app verifies its own signing certificate"
+}
+
+func (r SelfSigCheckRule) Check(ci *ClassInfo) []Finding {
+	var out []Finding
+	for _, mi := range ci.Methods {
+		usesSigFlag := false
+		for _, ins := range mi.Method.Instructions {
+			if ins.Kind == KindConst && strings.Contains(ins.Value, getSigFlag) {
+				usesSigFlag = true
+				break
+			}
+		}
+		for _, ins := range mi.Method.Instructions {
+			if ins.Kind != KindInvoke {
+				continue
+			}
+			switch {
+			case strings.Contains(ins.Target, sigCompareAPI):
+				out = append(out, finding(r, mi.Method, ins,
+					"signature comparison via "+callName(ins.Target)))
+			case usesSigFlag && strings.Contains(ins.Target, pkgInfoAPI):
+				out = append(out, finding(r, mi.Method, ins,
+					"own signing info loaded with GET_SIGNATURES"))
+			}
+		}
+	}
+	return dedupeFindings(out)
+}
+
+// IntegrityCheckRule finds the integrity-digest defense: a method that
+// both names the code archive (classes.dex const or getPackageCodePath)
+// and drives a digest API over it. A digest used for anything else (e.g. a
+// download checksum with no code-archive reference) must not flag.
+type IntegrityCheckRule struct{}
+
+func (IntegrityCheckRule) ID() string         { return RuleIDIntegrityCheck }
+func (IntegrityCheckRule) Severity() Severity { return SeverityInfo }
+func (IntegrityCheckRule) Description() string {
+	return "anti-repackaging: app digests its own code archive"
+}
+
+func (r IntegrityCheckRule) Check(ci *ClassInfo) []Finding {
+	var out []Finding
+	for _, mi := range ci.Methods {
+		refsCode := false
+		for _, ins := range mi.Method.Instructions {
+			if ins.Kind == KindConst && strings.Contains(ins.Value, classesDexName) {
+				refsCode = true
+				break
+			}
+			if ins.Kind == KindInvoke && strings.Contains(ins.Target, codePathAPI) {
+				refsCode = true
+				break
+			}
+		}
+		if !refsCode {
+			continue
+		}
+		for _, ins := range mi.Method.Instructions {
+			if ins.Kind != KindInvoke {
+				continue
+			}
+			for _, api := range digestAPIs {
+				if strings.Contains(ins.Target, api) {
+					out = append(out, finding(r, mi.Method, ins,
+						"code-archive digest via "+callName(ins.Target)))
+					break
+				}
+			}
+		}
+	}
+	return dedupeFindings(out)
+}
+
 // eachConstString applies match to every const-string value in the class,
-// emitting one finding per matching instruction.
+// emitting one finding per matching instruction. Findings are deduped by
+// call site: a value reached through several registers or paths is still
+// one defect.
 func eachConstString(r Rule, ci *ClassInfo, match func(string) (string, bool)) []Finding {
 	var out []Finding
 	for _, mi := range ci.Methods {
@@ -221,7 +368,7 @@ func eachConstString(r Rule, ci *ClassInfo, match func(string) (string, bool)) [
 			}
 		}
 	}
-	return out
+	return dedupeFindings(out)
 }
 
 func isFileModeAPI(target string) bool {

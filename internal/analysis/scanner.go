@@ -74,6 +74,10 @@ type Report struct {
 	Findings []Finding
 	Stats    Stats
 	Errors   []error
+	// Score is the artifact's 0–100 threat score (see score.go), derived
+	// from Findings after the scan — so cached and uncached scans agree by
+	// construction.
+	Score int
 
 	CacheHits    int
 	CacheMisses  int
@@ -111,6 +115,13 @@ func (e *Engine) analyzeUncached(file string, src []byte) ([]Finding, Stats, err
 		return nil, Stats{Files: 1, ParseErrors: 1}, err
 	}
 	ci := NewClassInfo(cls)
+	if e.cache != nil {
+		// Serve taint summaries content-addressed: src here is whatever the
+		// cache route analyzed (canonical bytes on the template path), so
+		// the key is canonicalization-stable by construction.
+		ci.sumTable = e.cache.sums
+		ci.sumKey = memo.KeyOf(src)
+	}
 	var findings []Finding
 	for _, rule := range e.rules {
 		findings = append(findings, rule.Check(ci)...)
@@ -156,6 +167,7 @@ func (e *Engine) ScanAPK(a *apk.APK) Report {
 		rep.Findings = append(rep.Findings, findings...)
 	}
 	sortFindings(rep.Findings)
+	rep.Score = Score(rep.Findings)
 	e.met.record(rep)
 	return rep
 }
@@ -186,9 +198,23 @@ type ScanStats struct {
 	Stats    Stats
 	Elapsed  time.Duration
 
+	// Threat-score aggregates over the scanned artifacts: total, maximum
+	// and a ScoreBuckets-bucket histogram (20 points per bucket).
+	ScoreSum  int
+	ScoreMax  int
+	ScoreHist [ScoreBuckets]int
+
 	CacheHits    int
 	CacheMisses  int
 	CacheDeduped int
+}
+
+// MeanScore is the average per-APK threat score of the scan.
+func (s ScanStats) MeanScore() float64 {
+	if s.APKs == 0 {
+		return 0
+	}
+	return float64(s.ScoreSum) / float64(s.APKs)
 }
 
 // InstructionsPerSecond is the scan throughput in IR operations.
@@ -247,6 +273,11 @@ func (e *Engine) ScanCorpus(n, workers int, fetch func(int) *apk.APK) ([]Report,
 				part.APKs++
 				part.Findings += len(rep.Findings)
 				part.Stats.add(rep.Stats)
+				part.ScoreSum += rep.Score
+				if rep.Score > part.ScoreMax {
+					part.ScoreMax = rep.Score
+				}
+				part.ScoreHist[ScoreBucket(rep.Score)]++
 				part.CacheHits += rep.CacheHits
 				part.CacheMisses += rep.CacheMisses
 				part.CacheDeduped += rep.CacheDeduped
@@ -267,6 +298,13 @@ func (e *Engine) ScanCorpus(n, workers int, fetch func(int) *apk.APK) ([]Report,
 		agg.APKs += p.APKs
 		agg.Findings += p.Findings
 		agg.Stats.add(p.Stats)
+		agg.ScoreSum += p.ScoreSum
+		if p.ScoreMax > agg.ScoreMax {
+			agg.ScoreMax = p.ScoreMax
+		}
+		for b, c := range p.ScoreHist {
+			agg.ScoreHist[b] += c
+		}
 		agg.CacheHits += p.CacheHits
 		agg.CacheMisses += p.CacheMisses
 		agg.CacheDeduped += p.CacheDeduped

@@ -1,0 +1,107 @@
+package analysis
+
+// Threat scoring folds an artifact's findings into one 0–100 number, the
+// triage-friendly summary the paper's classification tables imply but
+// never compute: how exposed is this installer to GIA-style hijack?
+//
+// The model is deliberately simple and auditable — per-rule weights for
+// attack surface, per-link increments (capped) for redirect volume, flat
+// deductions for detected anti-repackaging defenses, clamped to [0, 100].
+// Weights count rule *presence*, not finding volume: two staging paths are
+// not twice as vulnerable as one, but a staging path plus a world-readable
+// stage plus reflection cover is strictly worse than any alone.
+
+// ruleWeights score attack-surface rules by presence.
+var ruleWeights = map[string]int{
+	// The cross-method taint flow is the strongest signal: an
+	// external-storage path demonstrably reaches an install sink.
+	RuleIDTaintStaging: 35,
+	// A literal /sdcard staging path without a proven flow into the sink.
+	RuleIDSDCardStaging: 25,
+	// Internal staging opened world-readable: the PMS can read it, so can
+	// everyone else.
+	RuleIDWorldReadable: 15,
+	// The install capability itself (setDataAndType with the archive MIME).
+	RuleIDInstallAPI: 10,
+	// Reflection cover: storage behaviour resists static analysis.
+	RuleIDReflection: 10,
+}
+
+// marketLinkWeight/marketLinkCap score redirect volume: each hard-coded
+// market link adds a little surface, capped so a link farm cannot dominate
+// the real staging signals.
+const (
+	marketLinkWeight = 2
+	marketLinkCap    = 10
+)
+
+// defenseDeductions reward detected anti-repackaging defenses.
+var defenseDeductions = map[string]int{
+	RuleIDSelfSigCheck:   10,
+	RuleIDIntegrityCheck: 8,
+}
+
+// MaxScore is the score ceiling.
+const MaxScore = 100
+
+// Score folds findings into the 0–100 threat score.
+func Score(findings []Finding) int {
+	var seen map[string]bool
+	score, links := 0, 0
+	for _, f := range findings {
+		if f.RuleID == RuleIDMarketLink {
+			links++
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool, 8)
+		}
+		if seen[f.RuleID] {
+			continue
+		}
+		seen[f.RuleID] = true
+		score += ruleWeights[f.RuleID]
+		score -= defenseDeductions[f.RuleID]
+	}
+	if lw := links * marketLinkWeight; lw > marketLinkCap {
+		score += marketLinkCap
+	} else {
+		score += lw
+	}
+	if score < 0 {
+		return 0
+	}
+	if score > MaxScore {
+		return MaxScore
+	}
+	return score
+}
+
+// ScoreBuckets is the number of histogram buckets ScanStats tracks: 20
+// points per bucket, with the top bucket closed ([80, 100]).
+const ScoreBuckets = 5
+
+// ScoreBucket maps a score to its histogram bucket.
+func ScoreBucket(score int) int {
+	b := score / (MaxScore / ScoreBuckets)
+	if b >= ScoreBuckets {
+		b = ScoreBuckets - 1
+	}
+	return b
+}
+
+// ScoreBucketLabel names a histogram bucket for table output.
+func ScoreBucketLabel(b int) string {
+	switch b {
+	case 0:
+		return "0-19"
+	case 1:
+		return "20-39"
+	case 2:
+		return "40-59"
+	case 3:
+		return "60-79"
+	default:
+		return "80-100"
+	}
+}

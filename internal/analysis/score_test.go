@@ -1,0 +1,114 @@
+package analysis
+
+import "testing"
+
+func mkFinding(rule string, line int) Finding {
+	return Finding{RuleID: rule, File: "t.smali", Class: "Lt;", Method: "m()V", Line: line}
+}
+
+func TestScoreWeightsByPresenceNotVolume(t *testing.T) {
+	one := []Finding{mkFinding(RuleIDSDCardStaging, 3)}
+	three := []Finding{
+		mkFinding(RuleIDSDCardStaging, 3),
+		mkFinding(RuleIDSDCardStaging, 8),
+		mkFinding(RuleIDSDCardStaging, 12),
+	}
+	if Score(one) != Score(three) {
+		t.Errorf("finding volume changed the score: %d vs %d", Score(one), Score(three))
+	}
+	if Score(one) != 25 {
+		t.Errorf("sdcard-staging alone = %d, want 25", Score(one))
+	}
+}
+
+func TestScoreAdditiveAcrossRules(t *testing.T) {
+	fs := []Finding{
+		mkFinding(RuleIDTaintStaging, 3),
+		mkFinding(RuleIDInstallAPI, 4),
+	}
+	if got := Score(fs); got != 45 {
+		t.Errorf("taint+install = %d, want 45", got)
+	}
+}
+
+func TestScoreMarketLinksCapped(t *testing.T) {
+	var two, many []Finding
+	for i := 0; i < 2; i++ {
+		two = append(two, mkFinding(RuleIDMarketLink, 3+i))
+	}
+	for i := 0; i < 40; i++ {
+		many = append(many, mkFinding(RuleIDMarketLink, 3+i))
+	}
+	if got := Score(two); got != 2*marketLinkWeight {
+		t.Errorf("two links = %d, want %d", got, 2*marketLinkWeight)
+	}
+	if got := Score(many); got != marketLinkCap {
+		t.Errorf("link farm = %d, want capped %d", got, marketLinkCap)
+	}
+}
+
+func TestScoreDefenseDeductions(t *testing.T) {
+	base := []Finding{mkFinding(RuleIDSDCardStaging, 3)}
+	defended := append(append([]Finding{}, base...),
+		mkFinding(RuleIDSelfSigCheck, 9),
+		mkFinding(RuleIDIntegrityCheck, 14),
+	)
+	want := 25 - 10 - 8
+	if got := Score(defended); got != want {
+		t.Errorf("defended app = %d, want %d", got, want)
+	}
+	// Defenses alone cannot go below zero.
+	onlyDefense := []Finding{mkFinding(RuleIDSelfSigCheck, 9)}
+	if got := Score(onlyDefense); got != 0 {
+		t.Errorf("defense-only score = %d, want clamp at 0", got)
+	}
+}
+
+func TestScoreClampsAtCeiling(t *testing.T) {
+	var fs []Finding
+	for rule := range ruleWeights {
+		fs = append(fs, mkFinding(rule, len(fs)+1))
+	}
+	for i := 0; i < 20; i++ {
+		fs = append(fs, mkFinding(RuleIDMarketLink, 100+i))
+	}
+	if got := Score(fs); got != MaxScore {
+		t.Errorf("everything at once = %d, want clamp at %d", got, MaxScore)
+	}
+	if Score(nil) != 0 {
+		t.Errorf("empty findings score %d, want 0", Score(nil))
+	}
+}
+
+func TestScoreBuckets(t *testing.T) {
+	cases := map[int]int{0: 0, 19: 0, 20: 1, 59: 2, 79: 3, 80: 4, 100: 4}
+	for score, want := range cases {
+		if got := ScoreBucket(score); got != want {
+			t.Errorf("ScoreBucket(%d) = %d, want %d", score, got, want)
+		}
+	}
+	seen := map[string]bool{}
+	for b := 0; b < ScoreBuckets; b++ {
+		l := ScoreBucketLabel(b)
+		if l == "" || seen[l] {
+			t.Errorf("bucket %d label %q empty or duplicated", b, l)
+		}
+		seen[l] = true
+	}
+}
+
+// TestReportScore pins the end-to-end wiring: ScanAPK derives the score
+// from its sorted findings.
+func TestReportScore(t *testing.T) {
+	src := wrap(`    const-string v0, "application/vnd.android.package-archive"
+    invoke-virtual {p1, v1, v0}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;
+`)
+	eng := NewEngine()
+	findings, _, err := eng.AnalyzeSource("t.smali", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Score(findings); got != ruleWeights[RuleIDInstallAPI] {
+		t.Errorf("install-api fixture scores %d, want %d", got, ruleWeights[RuleIDInstallAPI])
+	}
+}

@@ -1,0 +1,435 @@
+package analysis
+
+import "strings"
+
+// Taint is the dataflow lattice element: a bitmask whose join is bitwise
+// OR. The low bits are source kinds; the remaining bits track which formal
+// parameters a value may derive from, which is what lets per-method
+// summaries compose across calls.
+type Taint uint32
+
+// Source taint kinds.
+const (
+	// TaintExternalPath: the value may be a shared external-storage path —
+	// an /sdcard literal or the result of an Environment getter. Anything
+	// staged at such a path is replaceable by any WRITE_EXTERNAL_STORAGE
+	// holder, the paper's core GIA condition.
+	TaintExternalPath Taint = 1 << iota
+	// TaintIntentExtra: the value came out of an Intent extra — attacker
+	// influenced when the receiving component is exported.
+	TaintIntentExtra
+)
+
+// sourceTaints masks the source kinds out of a lattice element.
+const sourceTaints = TaintExternalPath | TaintIntentExtra
+
+// taintParamShift is the bit position of parameter 0's bit.
+const taintParamShift = 2
+
+// MaxTrackedParams bounds how many formal parameters a summary tracks
+// (p0..p15); higher registers degrade soundly to untracked.
+const MaxTrackedParams = 30
+
+// ParamTaint returns the lattice bit for formal parameter i, or 0 when i
+// is out of the tracked range.
+func ParamTaint(i int) Taint {
+	if i < 0 || i >= MaxTrackedParams {
+		return 0
+	}
+	return Taint(1) << (taintParamShift + i)
+}
+
+// paramBits extracts the parameter-derivation bits of t as a 0-based
+// parameter bitmask.
+func paramBits(t Taint) uint32 { return uint32(t >> taintParamShift) }
+
+// Dataflow source/sink markers. Every substring here must also appear in
+// DefaultCanonMarkers, or the cache's canonicalizer could rewrite a source
+// into or out of existence.
+var externalPathMarkers = []string{"/sdcard", "/storage/emulated"}
+
+const (
+	envGetterPrefix   = "Landroid/os/Environment;->getExternalStorage"
+	intentExtraMarker = "->getStringExtra("
+)
+
+// installSinkMarkers are the call-target substrings that consume a staged
+// APK path: handing one a value derived from external storage is the
+// cross-method staging pattern the taint rule flags.
+var installSinkMarkers = []string{"setDataAndType", "installPackage"}
+
+func isExternalPathConst(v string) bool {
+	for _, m := range externalPathMarkers {
+		if strings.Contains(v, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func isInstallSink(target string) bool {
+	for _, m := range installSinkMarkers {
+		if strings.Contains(target, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// MethodSummary is one method's interprocedural behaviour, abstracted to
+// the taint lattice.
+type MethodSummary struct {
+	// Ret is the taint the return value may carry: source bits for taint
+	// the method introduces itself, parameter bits for pass-through (bit i
+	// set means "the return may derive from formal parameter i").
+	Ret Taint
+	// SinkParams is a bitmask of formal parameters that may flow into an
+	// install sink inside the method (directly or through further calls).
+	SinkParams uint32
+}
+
+// ClassSummaries holds the bottom-up summary fixpoint for one class. A
+// computed ClassSummaries is immutable and safe to share across goroutines
+// — which is what lets the engine cache them content-addressed.
+type ClassSummaries struct {
+	graph   *CallGraph
+	byIndex []MethodSummary
+}
+
+// Graph returns the call graph the summaries were computed over.
+func (s *ClassSummaries) Graph() *CallGraph { return s.graph }
+
+// Of returns the summary for a method descriptor, reporting whether the
+// descriptor resolved within the class.
+func (s *ClassSummaries) Of(descriptor string) (MethodSummary, bool) {
+	if s == nil {
+		return MethodSummary{}, false
+	}
+	i, ok := s.graph.Resolve(descriptor)
+	if !ok {
+		return MethodSummary{}, false
+	}
+	return s.byIndex[i], true
+}
+
+// ComputeSummaries runs the bottom-up summary fixpoint over the class's
+// SCC condensation: components are processed callee-first, and within a
+// (possibly recursive) component the member summaries iterate to a fixed
+// point. The lattice is a finite bitmask under union and every transfer is
+// monotone, so the iteration terminates.
+func ComputeSummaries(ci *ClassInfo) *ClassSummaries {
+	g := ci.CallGraph()
+	s := &ClassSummaries{graph: g, byIndex: make([]MethodSummary, len(g.Methods))}
+	for _, scc := range g.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, mi := range scc {
+				flow := taintFlow{mi: ci.Methods[mi], sums: s, seedParams: true}
+				sum := flow.summarize()
+				if sum != s.byIndex[mi] {
+					s.byIndex[mi] = sum
+					changed = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// paramIndex maps a parameter register name (p0, p1, …) to its index, or
+// -1 for non-parameter registers.
+func paramIndex(reg string) int {
+	if len(reg) < 2 || reg[0] != 'p' {
+		return -1
+	}
+	n := 0
+	for i := 1; i < len(reg); i++ {
+		d := reg[i]
+		if d < '0' || d > '9' {
+			return -1
+		}
+		n = n*10 + int(d-'0')
+		if n >= MaxTrackedParams {
+			return -1
+		}
+	}
+	return n
+}
+
+// taintState maps live registers to their lattice element.
+type taintState map[string]Taint
+
+func (t taintState) clone() taintState {
+	out := make(taintState, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// merge unions other into t, reporting growth.
+func (t taintState) merge(other taintState) bool {
+	changed := false
+	for reg, taint := range other {
+		if t[reg]|taint != t[reg] {
+			t[reg] |= taint
+			changed = true
+		}
+	}
+	return changed
+}
+
+// taintFlow evaluates one method's taint dataflow over its CFG.
+//
+// Modes:
+//   - summaries (seedParams=true): parameter registers are seeded with
+//     their ParamTaint bits so the resulting Ret/SinkParams express the
+//     method's behaviour as a function of its inputs.
+//   - findings (seedParams=false): parameters are seeded empty; only
+//     source-introduced taint flows, and sink hits become findings (the
+//     caller attributes flows into callee sinks at the call site, so no
+//     flow is ever double-reported).
+//   - intraprocedural (sums=nil): every call is opaque — results carry no
+//     taint unless the callee is a recognized source API. Used as the
+//     baseline the fuzz harness proves interprocedural results subsume.
+type taintFlow struct {
+	mi         *MethodInfo
+	sums       *ClassSummaries
+	seedParams bool
+
+	in      []taintState
+	pending Taint // result taint of the last invoke in the current block walk
+}
+
+// fixpoint computes per-block entry states with the same reachable-blocks
+// worklist the reaching-definitions pass uses.
+func (f *taintFlow) fixpoint() {
+	g := f.mi.CFG()
+	f.in = make([]taintState, len(g.Blocks))
+	for i := range f.in {
+		f.in[i] = make(taintState)
+	}
+	if len(g.Blocks) == 0 {
+		return
+	}
+	if f.seedParams {
+		entry := f.in[0]
+		for _, ins := range f.mi.Method.Instructions {
+			seedParamRegs(entry, ins)
+		}
+	}
+	workPtr := intScratchPool.Get().(*[]int)
+	queuedPtr := boolScratchPool.Get().(*[]bool)
+	work := (*workPtr)[:0]
+	queued := (*queuedPtr)[:0]
+	for range g.Blocks {
+		queued = append(queued, false)
+	}
+	for _, b := range g.Blocks {
+		if b.Reachable {
+			work = append(work, b.Index)
+			queued[b.Index] = true
+		}
+	}
+	for head := 0; head < len(work); head++ {
+		bi := work[head]
+		queued[bi] = false
+		out := f.transfer(bi, nil)
+		for _, s := range g.Blocks[bi].Succs {
+			if f.in[s].merge(out) && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	*workPtr = work[:0]
+	intScratchPool.Put(workPtr)
+	*queuedPtr = queued[:0]
+	boolScratchPool.Put(queuedPtr)
+}
+
+// seedParamRegs pre-taints every parameter register ins mentions. Walking
+// the instructions for mentions (rather than guessing a register count)
+// keeps the seeding exact: registers that never occur cannot matter.
+func seedParamRegs(entry taintState, ins Instruction) {
+	seed := func(reg string) {
+		if i := paramIndex(reg); i >= 0 {
+			entry[reg] |= ParamTaint(i)
+		}
+	}
+	seed(ins.Dest)
+	seed(ins.Src)
+	seed(ins.Cond)
+	for _, a := range ins.Args {
+		seed(a)
+	}
+}
+
+// transfer walks block bi from its entry state. When visit is non-nil it
+// is called at each invoke with the state in effect just before the call —
+// the replay mode the findings and summary collectors use.
+func (f *taintFlow) transfer(bi int, visit func(ins Instruction, state taintState)) taintState {
+	state := f.in[bi].clone()
+	b := f.mi.CFG().Blocks[bi]
+	f.pending = 0
+	for i := b.Start; i < b.End; i++ {
+		ins := f.mi.Method.Instructions[i]
+		switch ins.Kind {
+		case KindConst:
+			if isExternalPathConst(ins.Value) {
+				state[ins.Dest] = TaintExternalPath
+			} else {
+				state[ins.Dest] = 0
+			}
+		case KindMove:
+			if ins.Src == "" {
+				state[ins.Dest] = f.pending
+			} else {
+				state[ins.Dest] = state[ins.Src]
+			}
+		case KindInvoke:
+			if visit != nil {
+				visit(ins, state)
+			}
+			f.pending = f.resultTaint(ins, state)
+		}
+	}
+	return state
+}
+
+// resultTaint is the abstract call: source APIs introduce taint, resolved
+// callees apply their summary, unknown callees degrade to argument
+// pass-through (top for what we track — never drops taint, never invents
+// sources). The intraprocedural mode drops to bottom instead, so its
+// results are always a subset of the interprocedural ones.
+func (f *taintFlow) resultTaint(ins Instruction, state taintState) Taint {
+	if strings.HasPrefix(ins.Target, envGetterPrefix) {
+		return TaintExternalPath
+	}
+	if strings.Contains(ins.Target, intentExtraMarker) {
+		return TaintIntentExtra
+	}
+	if f.sums == nil {
+		return 0 // intraprocedural baseline: opaque call
+	}
+	if idx, ok := f.sums.graph.Resolve(ins.Target); ok {
+		sum := f.sums.byIndex[idx]
+		r := sum.Ret & sourceTaints // source taint the callee introduces itself
+		for i, reg := range ins.Args {
+			if sum.Ret&ParamTaint(i) != 0 {
+				r |= state[reg]
+			}
+		}
+		return r
+	}
+	var r Taint
+	for _, reg := range ins.Args {
+		r |= state[reg]
+	}
+	return r
+}
+
+// summarize computes the method's summary: fixpoint, then one replay pass
+// collecting return taint and parameter-to-sink flows.
+func (f *taintFlow) summarize() MethodSummary {
+	f.fixpoint()
+	var sum MethodSummary
+	g := f.mi.CFG()
+	for _, b := range g.Blocks {
+		if !b.Reachable {
+			continue
+		}
+		state := f.transfer(b.Index, func(ins Instruction, st taintState) {
+			f.eachSinkArg(ins, st, func(_ int, argTaint Taint) {
+				sum.SinkParams |= paramBits(argTaint)
+			})
+		})
+		last := f.mi.Method.Instructions[b.End-1]
+		if last.Kind == KindReturn && last.Src != "" {
+			sum.Ret |= state[last.Src]
+		}
+	}
+	return sum
+}
+
+// eachSinkArg reports every argument of ins that flows into an install
+// sink: directly when ins targets a sink API, or through a resolved callee
+// whose summary sinks the corresponding parameter. Unknown callees are
+// pass-through, not sinks, so they never report here.
+func (f *taintFlow) eachSinkArg(ins Instruction, state taintState, report func(argPos int, argTaint Taint)) {
+	if isInstallSink(ins.Target) {
+		for i, reg := range ins.Args {
+			report(i, state[reg])
+		}
+		return
+	}
+	if f.sums == nil {
+		return
+	}
+	if idx, ok := f.sums.graph.Resolve(ins.Target); ok {
+		sinks := f.sums.byIndex[idx].SinkParams
+		for i, reg := range ins.Args {
+			if sinks&(1<<uint(i)) != 0 {
+				report(i, state[reg])
+			}
+		}
+	}
+}
+
+// classHasTaintSourceAndSink is the cheap gate in front of the dataflow: a
+// finding needs an external-path source (literal or Environment getter)
+// and an install sink somewhere in the class, so a class missing either
+// can skip call-graph, summary and fixpoint work entirely. Flows through
+// callee summaries change nothing — the callee is in the same class, so
+// its source/sink still shows up in this scan.
+func classHasTaintSourceAndSink(c *Class) bool {
+	hasSource, hasSink := false, false
+	for _, m := range c.Methods {
+		for _, ins := range m.Instructions {
+			switch ins.Kind {
+			case KindConst:
+				if !hasSource && isExternalPathConst(ins.Value) {
+					hasSource = true
+				}
+			case KindInvoke:
+				if !hasSource && strings.HasPrefix(ins.Target, envGetterPrefix) {
+					hasSource = true
+				}
+				if !hasSink && isInstallSink(ins.Target) {
+					hasSink = true
+				}
+			}
+			if hasSource && hasSink {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// taintFindings runs the findings pass for rule r over every method:
+// parameters seeded empty, sink flows of external-path taint reported at
+// the instruction that hands the value over.
+func taintFindings(r Rule, ci *ClassInfo, sums *ClassSummaries) []Finding {
+	var out []Finding
+	for _, mi := range ci.Methods {
+		f := taintFlow{mi: mi, sums: sums}
+		f.fixpoint()
+		g := mi.CFG()
+		for _, b := range g.Blocks {
+			if !b.Reachable {
+				continue
+			}
+			f.transfer(b.Index, func(ins Instruction, st taintState) {
+				f.eachSinkArg(ins, st, func(_ int, argTaint Taint) {
+					if argTaint&TaintExternalPath == 0 {
+						return
+					}
+					out = append(out, finding(r, mi.Method, ins,
+						"external-storage path may reach install sink "+callName(ins.Target)))
+				})
+			})
+		}
+	}
+	return dedupeFindings(out)
+}

@@ -68,6 +68,19 @@ type AppMeta struct {
 	HasInstallAPI bool // contains the package-archive install code
 	Storage       StorageUse
 
+	// CrossMethodStaging (meaningful for StorageSDCard installers) stages
+	// through a helper method: the external-storage path is produced by an
+	// Environment getter in one method and consumed by the install sink in
+	// another, with no /sdcard literal anywhere — detectable only by the
+	// interprocedural taint rule.
+	CrossMethodStaging bool
+	// SelfSigCheck: the app verifies its own signing certificate
+	// (anti-repackaging defense; lowers the threat score).
+	SelfSigCheck bool
+	// IntegrityCheck: the app digests its own code archive
+	// (anti-repackaging defense; lowers the threat score).
+	IntegrityCheck bool
+
 	UsesWriteExternal bool
 	UsesInstallPkgs   bool // requests INSTALL_PACKAGES
 
@@ -180,7 +193,66 @@ func Generate(cfg Config) *Corpus {
 	c.PlayApps = generatePlay(rand.New(rand.NewSource(cfg.Seed)), cfg.Scale)
 	c.Images = generateImages(rand.New(rand.NewSource(cfg.Seed+1)), cfg.Scale)
 	c.StoreApps = generateStoreApps(rand.New(rand.NewSource(cfg.Seed+2)), cfg.Scale)
+	assignScenarioDiversity(c)
 	return c
+}
+
+// Scenario-diversity marginals: the share of SD-card installers staging
+// through a helper method, and the anti-repackaging defense shares among
+// installer-capable apps.
+const (
+	crossMethodFrac  = 0.30
+	selfSigCheckFrac = 0.15
+	integrityFrac    = 0.10
+)
+
+// assignScenarioDiversity sets the PR 6 feature flags in a post-pass. The
+// draw is a pure function of the package name (an FNV hash), not an rng
+// stream: it cannot shift any existing phase's draws, and a pool app
+// copied into many factory images gets the same flags in every copy.
+func assignScenarioDiversity(c *Corpus) {
+	each := func(apps []AppMeta) {
+		for i := range apps {
+			assignAppScenario(&apps[i])
+		}
+	}
+	each(c.PlayApps)
+	each(c.StoreApps)
+	for i := range c.Images {
+		each(c.Images[i].Apps)
+	}
+}
+
+func assignAppScenario(app *AppMeta) {
+	if app.Storage == StorageSDCard {
+		app.CrossMethodStaging = hashFrac(app.Package, "xmethod") < crossMethodFrac
+	}
+	if app.HasInstallAPI {
+		app.SelfSigCheck = hashFrac(app.Package, "selfsig") < selfSigCheckFrac
+		app.IntegrityCheck = hashFrac(app.Package, "digest") < integrityFrac
+	}
+}
+
+// hashFrac maps (name, salt) to a uniform-ish fraction in [0, 1) with a
+// 64-bit FNV-1a hash — deterministic across runs, processes and corpus
+// positions.
+func hashFrac(name, salt string) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= '/'
+	h *= prime64
+	for i := 0; i < len(salt); i++ {
+		h ^= uint64(salt[i])
+		h *= prime64
+	}
+	return float64(h>>11) / float64(uint64(1)<<53)
 }
 
 func scaleCount(n int, scale float64) int {

@@ -48,6 +48,36 @@ func mainSmali(meta AppMeta) string {
 	b.WriteString("    const-string v0, \"hello\"\n")
 	b.WriteString("    return-void\n")
 	b.WriteString(".end method\n")
+	// Benign near-misses, emitted for every app: a version probe that
+	// loads package info WITHOUT the signatures flag, and a download
+	// checksum that drives a digest WITHOUT referencing the code archive.
+	// The anti-repackaging rules must not fire on either — they keep the
+	// true-negative pressure on the whole corpus, not just pinned samples.
+	b.WriteString(".method private checkVersion()V\n")
+	b.WriteString("    invoke-virtual {p0, v1, v2}, Landroid/content/pm/PackageManager;->getPackageInfo(Ljava/lang/String;I)Landroid/content/pm/PackageInfo;\n")
+	b.WriteString("    return-void\n")
+	b.WriteString(".end method\n")
+	b.WriteString(".method private checksumDownload()V\n")
+	b.WriteString("    const-string v0, \"update.bin\"\n")
+	b.WriteString("    invoke-static {v1}, Ljava/security/MessageDigest;->getInstance(Ljava/lang/String;)Ljava/security/MessageDigest;\n")
+	b.WriteString("    return-void\n")
+	b.WriteString(".end method\n")
+	if meta.SelfSigCheck {
+		// The defense idiom: own package info loaded with GET_SIGNATURES.
+		b.WriteString(".method private verifySigner()V\n")
+		b.WriteString("    const/16 v1, GET_SIGNATURES\n")
+		b.WriteString("    invoke-virtual {p0, v0, v1}, Landroid/content/pm/PackageManager;->getPackageInfo(Ljava/lang/String;I)Landroid/content/pm/PackageInfo;\n")
+		b.WriteString("    return-void\n")
+		b.WriteString(".end method\n")
+	}
+	if meta.IntegrityCheck {
+		// The defense idiom: a digest driven over the code archive.
+		b.WriteString(".method private verifyPackageDigest()V\n")
+		b.WriteString("    const-string v0, \"classes.dex\"\n")
+		b.WriteString("    invoke-static {v1}, Ljava/security/MessageDigest;->getInstance(Ljava/lang/String;)Ljava/security/MessageDigest;\n")
+		b.WriteString("    return-void\n")
+		b.WriteString(".end method\n")
+	}
 	return b.String()
 }
 
@@ -66,6 +96,29 @@ func installerSmali(meta AppMeta) string {
 	b.WriteString("    invoke-virtual {p1, v1, v0}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;\n")
 	switch meta.Storage {
 	case StorageSDCard:
+		if meta.CrossMethodStaging {
+			// Interprocedural variant: the staging path is produced by an
+			// Environment getter in a helper method and consumed by the
+			// install sink here. No /sdcard literal exists anywhere, so the
+			// intraprocedural staging rule is structurally blind to it —
+			// only the taint rule (helper summary: returns external-path)
+			// classifies this app correctly.
+			fmt.Fprintf(&b, "    invoke-direct {p0}, L%s/Installer;->getStageDir()Ljava/lang/String;\n", slashed(meta.Package))
+			b.WriteString("    move-result-object v2\n")
+			b.WriteString("    invoke-virtual {p1, v2, v0}, Landroid/content/Intent;->setDataAndType(Landroid/net/Uri;Ljava/lang/String;)Landroid/content/Intent;\n")
+			b.WriteString("    return-void\n")
+			b.WriteString(".end method\n")
+			b.WriteString(".method private getStageDir()Ljava/lang/String;\n")
+			b.WriteString("    invoke-static {}, Landroid/os/Environment;->getExternalStorageDirectory()Ljava/io/File;\n")
+			b.WriteString("    move-result-object v0\n")
+			b.WriteString("    return-object v0\n")
+			b.WriteString(".end method\n")
+			b.WriteString(".method private touchStageFile()V\n")
+			b.WriteString("    invoke-virtual {v9, v3}, Ljava/io/File;->setReadable(Z)Z\n")
+			b.WriteString("    return-void\n")
+			b.WriteString(".end method\n")
+			return b.String()
+		}
 		// Stages on shared storage; never makes anything world-readable.
 		fmt.Fprintf(&b, "    const-string v2, \"/sdcard/%s/stage.apk\"\n", shortName(meta.Package))
 		b.WriteString("    invoke-static {v2}, Ljava/io/File;-><init>(Ljava/lang/String;)V\n")

@@ -1,0 +1,119 @@
+package corpus
+
+// TruthCase is one hand-labelled APK configuration in the taint /
+// anti-repackaging truth set. Each case pins, per detector, whether the
+// analysis engine MUST (true positive) or MUST NOT (true negative) fire
+// on the artifact BuildAPKFor materializes for Meta. The measure-side
+// accuracy gate (TestTruthSetAccuracy) requires 100% on every case —
+// any drift in the templates or the rules trips it.
+type TruthCase struct {
+	Name string
+	Meta AppMeta
+
+	// Expected detector verdicts over the built artifact.
+	WantTaintStaging  bool // gia/taint-sdcard-staging
+	WantSDCardStaging bool // gia/sdcard-staging (intraprocedural literal)
+	WantSelfSigCheck  bool // gia/self-sig-check
+	WantIntegrity     bool // gia/integrity-check
+}
+
+// TruthSet returns the pinned TP/TN corpus for the interprocedural taint
+// rule and the anti-repackaging detectors. The set is deliberately small
+// and fully labelled: every case either exhibits exactly the pattern a
+// detector targets, or a near-miss that a sloppy substring match would
+// confuse with it.
+func TruthSet() []TruthCase {
+	return []TruthCase{
+		{
+			// TP: the staging path flows from an Environment getter in a
+			// helper method into the install sink — no /sdcard literal
+			// exists, so only the taint rule can catch it.
+			Name: "cross-method-staging",
+			Meta: AppMeta{
+				Package:            "com.truth.xmethod",
+				HasInstallAPI:      true,
+				Storage:            StorageSDCard,
+				CrossMethodStaging: true,
+			},
+			WantTaintStaging: true,
+		},
+		{
+			// TP for both staging detectors: the literal /sdcard path is a
+			// same-method flow, which the taint rule also sees (containment:
+			// interprocedural ⊇ intraprocedural on direct flows is pinned by
+			// FuzzSummaries; here we pin it on a real artifact).
+			Name: "literal-sdcard-staging",
+			Meta: AppMeta{
+				Package:       "com.truth.literal",
+				HasInstallAPI: true,
+				Storage:       StorageSDCard,
+			},
+			WantSDCardStaging: true,
+		},
+		{
+			// TN: internal world-readable staging never touches external
+			// storage; neither staging detector may fire.
+			Name: "internal-staging",
+			Meta: AppMeta{
+				Package:       "com.truth.internal",
+				HasInstallAPI: true,
+				Storage:       StorageInternalWorldReadable,
+			},
+		},
+		{
+			// TN: reflection-obfuscated storage — the paths are assembled
+			// dynamically, so the staging detectors must stay silent (the
+			// app lands in the Unknown bucket, not a false positive).
+			Name: "reflection-unclear",
+			Meta: AppMeta{
+				Package:       "com.truth.unclear",
+				HasInstallAPI: true,
+				Storage:       StorageUnclear,
+			},
+		},
+		{
+			// TP: self-signature check — getPackageInfo with GET_SIGNATURES
+			// in the same method.
+			Name: "self-sig-check",
+			Meta: AppMeta{
+				Package:       "com.truth.selfsig",
+				HasInstallAPI: true,
+				Storage:       StorageSDCard,
+				SelfSigCheck:  true,
+			},
+			WantSDCardStaging: true,
+			WantSelfSigCheck:  true,
+		},
+		{
+			// TP: integrity check — classes.dex digested via MessageDigest.
+			Name: "integrity-check",
+			Meta: AppMeta{
+				Package:        "com.truth.digest",
+				HasInstallAPI:  true,
+				Storage:        StorageSDCard,
+				IntegrityCheck: true,
+			},
+			WantSDCardStaging: true,
+			WantIntegrity:     true,
+		},
+		{
+			// TN: every app (this one has no defenses enabled) carries the
+			// benign near-misses — getPackageInfo WITHOUT the signatures
+			// flag and a digest WITHOUT the code archive. Neither
+			// anti-repackaging detector may fire on them.
+			Name: "benign-near-miss",
+			Meta: AppMeta{
+				Package:       "com.truth.nearmiss",
+				HasInstallAPI: true,
+				Storage:       StorageNone,
+			},
+		},
+		{
+			// TN: a plain non-installer app — nothing fires at all.
+			Name: "not-an-installer",
+			Meta: AppMeta{
+				Package: "com.truth.plain",
+			},
+		},
+	}
+}

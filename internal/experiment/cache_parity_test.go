@@ -17,6 +17,7 @@ func TestCacheTableParity(t *testing.T) {
 		{"Table II", func(o measure.ScanOptions) Table { return tableII(smallCorpus, o) }},
 		{"Table III", func(o measure.ScanOptions) Table { return tableIII(smallCorpus, o) }},
 		{"Flow Study", func(o measure.ScanOptions) Table { return flowStudy(smallCorpus, 43, o) }},
+		{"Threat Scores", func(o measure.ScanOptions) Table { return threatScoreTable(smallCorpus, o) }},
 	}
 	for _, b := range builders {
 		for _, workers := range []int{1, 0} {

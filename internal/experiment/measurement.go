@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"github.com/ghost-installer/gia/internal/analysis"
 	"github.com/ghost-installer/gia/internal/corpus"
 	"github.com/ghost-installer/gia/internal/measure"
 )
@@ -175,6 +176,41 @@ func flowStudy(c *corpus.Corpus, sample int, o measure.ScanOptions) Table {
 		},
 		Notes: []string{"the paper tested 43 apps; 14% stopped on CFGs, 14% on handleMessage, 42% on Flowdroid bugs"},
 	}
+}
+
+// ThreatScoreTable renders the 0-100 threat-score distribution the
+// interprocedural engine assigns to the Play population: a histogram over
+// the five score buckets, the mean/max score, and how many apps carry an
+// anti-repackaging defense (which deducts from the score).
+func ThreatScoreTable(c *corpus.Corpus) Table {
+	return threatScoreTable(c, measure.ScanOptions{})
+}
+
+func threatScoreTable(c *corpus.Corpus, o measure.ScanOptions) Table {
+	metas, stats := measure.ScanArtifactsOpts(c.PlayApps, o)
+	defended := 0
+	for _, m := range metas {
+		if m.SelfSigCheck || m.IntegrityCheck {
+			defended++
+		}
+	}
+	t := Table{
+		ID:     "Threat Scores",
+		Title:  "Threat-score distribution over the Play population (0-100)",
+		Header: []string{"Score bucket", "Apps", "Share"},
+	}
+	for b := 0; b < analysis.ScoreBuckets; b++ {
+		t.Rows = append(t.Rows, []string{
+			analysis.ScoreBucketLabel(b),
+			fmt.Sprintf("%d", stats.ScoreHist[b]),
+			ratio(stats.ScoreHist[b], stats.APKs),
+		})
+	}
+	t.Notes = []string{
+		fmt.Sprintf("mean score %.1f, max %d over %d apps", stats.MeanScore(), stats.ScoreMax, stats.APKs),
+		fmt.Sprintf("%d/%d apps carry a self-signature or integrity check (score deduction)", defended, len(metas)),
+	}
+	return t
 }
 
 // HareStudy reports the hanging-permission escalation surface.

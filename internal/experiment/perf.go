@@ -7,6 +7,7 @@ import (
 	"github.com/ghost-installer/gia/internal/fault"
 	"github.com/ghost-installer/gia/internal/fuse"
 	"github.com/ghost-installer/gia/internal/intents"
+	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/procfs"
 	"github.com/ghost-installer/gia/internal/sim"
 	"github.com/ghost-installer/gia/internal/vfs"
@@ -14,11 +15,12 @@ import (
 
 // perfClock hands each measurement its stopwatch: the returned function
 // reports the elapsed time since perfClock was called. The default reads
-// the monotonic wall clock; tests swap in a deterministic counter so
-// parallel and serial AllTables runs render byte-identical perf tables.
+// the monotonic stopwatch from internal/obs (the one blessed wall-clock
+// entry point — gia-vet forbids raw time.Now in this package); tests swap
+// in a deterministic counter so parallel and serial AllTables runs render
+// byte-identical perf tables.
 var perfClock = func() func() time.Duration {
-	start := time.Now()
-	return func() time.Duration { return time.Since(start) }
+	return obs.Stopwatch()
 }
 
 // perfInjector, when non-nil, is installed on every simulator a perf

@@ -63,6 +63,7 @@ func AllTables(opts Options) ([]Table, error) {
 		func() (Table, error) { return HareStudy(c), nil },
 		func() (Table, error) { return SuggestionTable(opts.Seed, opts.Workers) },
 		func() (Table, error) { return flowStudy(c, 43, scanOpts), nil },
+		func() (Table, error) { return threatScoreTable(c, scanOpts), nil },
 		func() (Table, error) { return DAPPTable(opts.Seed, installs, 6) },
 		func() (Table, error) { return FleetTable(5, opts.Seed, opts.Workers) },
 		func() (Table, error) { return ChaosTable(opts.Seed, opts.Workers) },

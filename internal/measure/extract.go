@@ -23,6 +23,13 @@ type ExtractedMeta struct {
 	// reaches file APIs through reflection, so its storage behaviour is
 	// opaque to static analysis (the paper's "unknown" bucket).
 	ReflectionObfuscated bool
+	// SelfSigCheck / IntegrityCheck mark the anti-repackaging defenses:
+	// the app verifies its own signing certificate, or digests its code
+	// archive, before installing anything.
+	SelfSigCheck   bool
+	IntegrityCheck bool
+	// Score is the 0-100 aggregate threat score derived from the findings.
+	Score int
 }
 
 // engine is the shared uncached analysis engine with the default GIA rule
@@ -71,12 +78,17 @@ func ExtractMeta(a *apk.APK) ExtractedMeta {
 }
 
 // applyFindings folds the engine's rule hits into the classifier features.
+// Both staging rules map onto UsesSDCard: the intraprocedural rule catches
+// the literal-path pattern, the taint rule the cross-method pattern where
+// the external path reaches the sink through a helper's return value —
+// without the latter, interprocedurally-staged apps fall into the Unknown
+// bucket and the Table II/III classifications drift from ground truth.
 func applyFindings(out *ExtractedMeta, findings []analysis.Finding) {
 	for _, f := range findings {
 		switch f.RuleID {
 		case analysis.RuleIDInstallAPI:
 			out.HasInstallAPI = true
-		case analysis.RuleIDSDCardStaging:
+		case analysis.RuleIDSDCardStaging, analysis.RuleIDTaintStaging:
 			out.UsesSDCard = true
 		case analysis.RuleIDWorldReadable:
 			out.SetsWorldReadable = true
@@ -84,8 +96,13 @@ func applyFindings(out *ExtractedMeta, findings []analysis.Finding) {
 			out.MarketLinks++
 		case analysis.RuleIDReflection:
 			out.ReflectionObfuscated = true
+		case analysis.RuleIDSelfSigCheck:
+			out.SelfSigCheck = true
+		case analysis.RuleIDIntegrityCheck:
+			out.IntegrityCheck = true
 		}
 	}
+	out.Score = analysis.Score(findings)
 }
 
 // ClassifyExtracted applies the classifier rules to extracted features.

@@ -16,6 +16,11 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
+echo "== gia-vet (determinism lint: sim, chaos, experiment) =="
+# The custom linter forbids time.Now, the global math/rand source and
+# map-iteration-ordered output in the deterministic packages.
+go run ./cmd/gia-vet
+
 echo "== go build ./... =="
 go build ./...
 
@@ -49,6 +54,17 @@ echo "== analysis-cache parity =="
 # and NumCPU workers, plus the rendered -cache=on vs -cache=off tables.
 go test -count=1 -run '^(TestCachedMatchesUncached|TestCacheTableParity)$' \
     ./internal/measure ./internal/experiment
+
+echo "== summary-cache parity (interprocedural summaries) =="
+# The per-class taint summaries are memoized content-addressed; findings
+# and threat scores through the caching engine must equal a plain one's.
+go test -count=1 -run '^TestSummaryCacheParity$' ./internal/analysis
+
+echo "== taint truth-set accuracy (100% required) =="
+# Every hand-labelled TP/TN case for the taint and anti-repackaging
+# detectors must classify correctly — accuracy below 100% fails the gate.
+go test -count=1 -run '^(TestTruthSetAccuracy|TestTruthSetCoversBothPolarities)$' \
+    ./internal/measure
 
 echo "== cache smoke under race (warm corpus scan, NumCPU workers) =="
 # Two race-enabled warm scans through the shared cache: concurrent hits,
