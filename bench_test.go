@@ -12,7 +12,6 @@ package gia
 // asserted inside the loop.
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -251,32 +250,17 @@ func BenchmarkHijack_Xiaomi_FileObserver(b *testing.B) {
 
 // benchExplorerSweep measures schedule-exploration throughput: each
 // benchmark iteration is one complete AIT hijack scenario checked under the
-// chaos harness, swept across b.N seeds by a pool of the given size. The
-// schedules/s metric is the headline number for sizing seed × jitter grids.
+// chaos harness, swept across b.N seeds by a pool of the given size. Every
+// worker draws its device from a private arena (boot once, reset per
+// schedule). The schedules/s metric is the headline number for sizing
+// seed × jitter grids.
 func benchExplorerSweep(b *testing.B, workerCount int) {
-	prof := installer.Amazon()
-	fn := func(r *chaos.Run) error {
-		s, err := experiment.NewScenario(prof, r.Seed())
-		if err != nil {
-			return err
-		}
-		s.Instrument(r)
-		atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), s.Target)
-		if err := atk.Launch(); err != nil {
-			return err
-		}
-		res := s.RunAIT()
-		atk.Stop()
-		if !res.Hijacked {
-			return fmt.Errorf("hijack missed: %v", res.Err)
-		}
-		return nil
-	}
+	fn := experiment.HijackRunFunc(installer.Amazon(), attack.StrategyFileObserver)
 	seeds := make([]int64, b.N)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
 	}
-	ex := &chaos.Explorer{Workers: workerCount}
+	ex := &chaos.Explorer{Workers: workerCount, WorkerState: experiment.ArenaWorkerState(nil)}
 	b.ResetTimer()
 	res := ex.Sweep(seeds, nil, fn)
 	b.StopTimer()

@@ -14,6 +14,7 @@ import (
 	"github.com/ghost-installer/gia/internal/corpus"
 	"github.com/ghost-installer/gia/internal/experiment"
 	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 // benchRun is one measured scanner configuration in the -benchjson
@@ -39,6 +40,13 @@ type benchRun struct {
 	// Explorer configuration fields (the explore/sweep run).
 	Schedules       int     `json:"schedules,omitempty"`
 	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
+
+	// Device-arena fields (explore/sweep): pool effectiveness and in-place
+	// reset latency. hits+misses = schedules; misses = one boot per worker.
+	ArenaHits        int64   `json:"arena_hits,omitempty"`
+	ArenaMisses      int64   `json:"arena_misses,omitempty"`
+	ArenaResets      int64   `json:"arena_resets,omitempty"`
+	ArenaResetMeanNs float64 `json:"arena_reset_mean_ns,omitempty"`
 }
 
 // benchDoc is the whole BENCH_scan.json document.
@@ -56,6 +64,14 @@ type benchDoc struct {
 // JSON snapshot to path. The corpus (all three populations) is generated
 // once; every configuration scans the same APK stream.
 func runScanBench(path string, seed int64, scale float64, workers int) error {
+	// The explorer sweep runs first, before the corpus exists: the scan
+	// corpus stays live across all three scan configurations, and the GC
+	// pressure it generates would tax the sweep's measurement.
+	explore, err := runExplorerBench(2000, workers)
+	if err != nil {
+		return err
+	}
+
 	c := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
 	var apps []corpus.AppMeta
 	apps = append(apps, c.PlayApps...)
@@ -109,10 +125,6 @@ func runScanBench(path string, seed int64, scale float64, workers int) error {
 	record("scan/cached-cold", cached, scan(cached))
 	record("scan/cached-warm", cached, scan(cached))
 
-	explore, err := runExplorerBench(200, workers)
-	if err != nil {
-		return err
-	}
 	doc.Results = append(doc.Results, explore)
 
 	f, err := os.Create(path)
@@ -122,47 +134,44 @@ func runScanBench(path string, seed int64, scale float64, workers int) error {
 	return writeBenchDoc(f, path, doc)
 }
 
-// runExplorerBench sweeps n complete AIT hijack scenarios (boot device,
-// deploy store + malware, download, verify, hijack, install) through the
-// chaos explorer and reports schedules/s — the headline number for sizing
-// seed x jitter grids.
+// runExplorerBench sweeps n complete AIT hijack scenarios (deploy store +
+// malware, download, verify, hijack, install) through the chaos explorer
+// and reports schedules/s — the headline number for sizing seed x jitter
+// grids. Devices come from per-worker arenas, so device.Boot is paid once
+// per worker and every other schedule resets a pooled device in place; the
+// arena_* fields report the pool's hit/miss/reset counters and mean reset
+// latency.
 func runExplorerBench(n, workers int) (benchRun, error) {
-	prof := installer.Amazon()
-	fn := func(r *chaos.Run) error {
-		s, err := experiment.NewScenario(prof, r.Seed())
-		if err != nil {
-			return err
-		}
-		s.Instrument(r)
-		atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), s.Target)
-		if err := atk.Launch(); err != nil {
-			return err
-		}
-		res := s.RunAIT()
-		atk.Stop()
-		if !res.Hijacked {
-			return fmt.Errorf("hijack missed: %v", res.Err)
-		}
-		return nil
-	}
+	reg := obs.NewRegistry()
+	fn := experiment.HijackRunFunc(installer.Amazon(), attack.StrategyFileObserver)
 	seeds := make([]int64, n)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
 	}
-	ex := &chaos.Explorer{Workers: workers}
+	ex := &chaos.Explorer{Workers: workers, WorkerState: experiment.ArenaWorkerState(reg)}
 	start := time.Now()
 	res := ex.Sweep(seeds, nil, fn)
 	elapsed := time.Since(start)
 	if res.Violations != 0 {
 		return benchRun{}, fmt.Errorf("explorer bench: %d violations in a plain sweep (first: %v)", res.Violations, res.First.Err)
 	}
-	return benchRun{
+	run := benchRun{
 		Name:            "explore/sweep",
 		Workers:         workers,
 		ElapsedNs:       elapsed.Nanoseconds(),
 		Schedules:       res.Explored,
 		SchedulesPerSec: float64(res.Explored) / elapsed.Seconds(),
-	}, nil
+	}
+	snap := reg.Snapshot()
+	run.ArenaHits = snap.Counter("arena.hits")
+	run.ArenaMisses = snap.Counter("arena.misses")
+	run.ArenaResets = snap.Counter("arena.resets")
+	for _, h := range snap.Histograms {
+		if h.Name == "arena.reset_ns" && h.Count > 0 {
+			run.ArenaResetMeanNs = float64(h.Sum) / float64(h.Count)
+		}
+	}
+	return run, nil
 }
 
 func writeBenchDoc(f *os.File, path string, doc benchDoc) error {

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBenchDocRoundTrip pins the -benchjson schema: a document carrying an
+// arena-backed explore/sweep run must encode with the expected keys and
+// decode back to the identical value.
+func TestBenchDocRoundTrip(t *testing.T) {
+	doc := benchDoc{
+		Seed: 2017, Scale: 1, GoArch: "amd64", GoOS: "linux", NumCPU: 1,
+		Results: []benchRun{
+			{
+				Name: "scan/uncached", Workers: 2, APKs: 10, Instructions: 100,
+				ElapsedNs: 5e6, APKsPerSec: 2000, InstrPerSec: 20000,
+				Findings: 3, MeanScore: 1.25,
+			},
+			{
+				Name: "explore/sweep", Workers: 2, ElapsedNs: 1e9,
+				Schedules: 2000, SchedulesPerSec: 15000,
+				ArenaHits: 1998, ArenaMisses: 2, ArenaResets: 1998,
+				ArenaResetMeanNs: 40000,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for _, key := range []string{
+		`"seed"`, `"num_cpu"`, `"schedules"`, `"schedules_per_sec"`,
+		`"arena_hits"`, `"arena_misses"`, `"arena_resets"`, `"arena_reset_mean_ns"`,
+	} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("encoded snapshot is missing key %s", key)
+		}
+	}
+	var back benchDoc
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(doc, back) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, doc)
+	}
+}
+
+// TestCommittedBenchSnapshotParses guards the snapshot checked in at the
+// repo root: it must stay decodable against the current schema and carry an
+// arena-backed explorer run.
+func TestCommittedBenchSnapshotParses(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_scan.json")
+	if err != nil {
+		t.Fatalf("read committed snapshot: %v", err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("decode committed snapshot: %v", err)
+	}
+	var explore *benchRun
+	for i := range doc.Results {
+		if doc.Results[i].Name == "explore/sweep" {
+			explore = &doc.Results[i]
+		}
+	}
+	if explore == nil {
+		t.Fatal("committed snapshot has no explore/sweep run")
+	}
+	if explore.SchedulesPerSec <= 0 || explore.Schedules <= 0 {
+		t.Errorf("explore/sweep throughput not recorded: %+v", *explore)
+	}
+	if explore.ArenaHits+explore.ArenaMisses != int64(explore.Schedules) {
+		t.Errorf("arena acquisitions (%d hits + %d misses) != %d schedules",
+			explore.ArenaHits, explore.ArenaMisses, explore.Schedules)
+	}
+	if explore.ArenaResetMeanNs <= 0 {
+		t.Errorf("arena reset latency not recorded: %+v", *explore)
+	}
+}

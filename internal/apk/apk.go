@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/ghost-installer/gia/internal/sig"
 )
@@ -109,12 +111,21 @@ func (m Manifest) Digest() sig.Digest {
 	return sig.Sum(data)
 }
 
-// APK is a parsed application package.
+// APK is a parsed application package. Manifest, Files and Padding may be
+// adjusted freely after Build or Decode — but not once Encode (or Size) has
+// been called: the encoding is memoized on first use, because scenario
+// fixtures encode the same artifact for every device of a sweep.
 type APK struct {
 	Manifest  Manifest
 	Files     map[string][]byte
 	Signature sig.Signature
 	Padding   int // extra bytes appended before the EOCD to reach a target size
+
+	encodeOnce sync.Once
+	encoded    []byte
+	digestOnce sync.Once
+	digest     sig.Digest
+	verified   atomic.Bool
 }
 
 // payload is the serialized body of the archive. File contents round-trip
@@ -164,6 +175,22 @@ func (a *APK) VerifySignature() error {
 	return nil
 }
 
+// VerifySignatureShared is VerifySignature for archives that are shared and
+// immutable — decode-cache results and memoized scenario fixtures: a
+// successful check is memoized so repeated installs of the same image skip
+// the digest recomputation. Archives whose Files may still be mutated must
+// use VerifySignature, which always recomputes.
+func (a *APK) VerifySignatureShared() error {
+	if a.verified.Load() {
+		return nil
+	}
+	if err := a.VerifySignature(); err != nil {
+		return err
+	}
+	a.verified.Store(true)
+	return nil
+}
+
 // Cert returns the signer's certificate.
 func (a *APK) Cert() sig.Certificate { return a.Signature.Cert }
 
@@ -171,8 +198,23 @@ func (a *APK) Cert() sig.Certificate { return a.Signature.Cert }
 func (a *APK) ManifestDigest() sig.Digest { return a.Manifest.Digest() }
 
 // Encode serializes the APK. The EOCD record — magic, payload length and
-// full-content digest — is the final eocdSize bytes of the output.
+// full-content digest — is the final eocdSize bytes of the output. The
+// result is memoized (and must not be written to): an APK is immutable
+// once encoded.
 func (a *APK) Encode() []byte {
+	a.encodeOnce.Do(func() { a.encoded = a.encode() })
+	return a.encoded
+}
+
+// EncodedDigest returns ContentDigest(a.Encode()), memoized under the same
+// immutability contract as Encode. Markets hash every listing they publish;
+// a sweep republishes the same images once per schedule.
+func (a *APK) EncodedDigest() sig.Digest {
+	a.digestOnce.Do(func() { a.digest = ContentDigest(a.Encode()) })
+	return a.digest
+}
+
+func (a *APK) encode() []byte {
 	p := payload{
 		Manifest:  a.Manifest,
 		Signature: a.Signature,
@@ -200,7 +242,21 @@ func (a *APK) Encode() []byte {
 // Size returns the encoded size in bytes.
 func (a *APK) Size() int64 { return int64(len(a.Encode())) }
 
-// Decode parses an encoded APK, requiring a complete EOCD record.
+// decodeCache memoizes parsed archives by their verified full-content
+// digest: every device of a sweep installs the same handful of staged
+// images, and identical bytes decode to identical (immutable, shareable)
+// APKs. The cap bounds memory on corpus-scale workloads; past it, decodes
+// simply stop being cached.
+var decodeCache struct {
+	sync.Mutex
+	m map[sig.Digest]*APK
+}
+
+const decodeCacheCap = 4096
+
+// Decode parses an encoded APK, requiring a complete EOCD record. The
+// returned APK may be shared with other callers that decoded the same
+// bytes; treat it as immutable.
 func Decode(data []byte) (*APK, error) {
 	if !HasEOCD(data) {
 		return nil, ErrTruncated
@@ -211,8 +267,16 @@ func Decode(data []byte) (*APK, error) {
 	}
 	var want sig.Digest
 	copy(want[:], data[len(data)-sig.DigestSize:])
+	// The digest check always runs: cache hits are keyed by what the bytes
+	// actually hash to, never by what the EOCD claims.
 	if got := sig.Sum(data[:len(data)-eocdSize]); got != want {
 		return nil, fmt.Errorf("content digest mismatch: %w", ErrCorrupt)
+	}
+	decodeCache.Lock()
+	cached := decodeCache.m[want]
+	decodeCache.Unlock()
+	if cached != nil {
+		return cached, nil
 	}
 	var p payload
 	if err := json.Unmarshal(data[:bodyLen], &p); err != nil {
@@ -222,6 +286,14 @@ func Decode(data []byte) (*APK, error) {
 	if len(p.Files) > 0 {
 		a.Files = p.Files
 	}
+	decodeCache.Lock()
+	if decodeCache.m == nil {
+		decodeCache.m = make(map[sig.Digest]*APK)
+	}
+	if len(decodeCache.m) < decodeCacheCap {
+		decodeCache.m[want] = a
+	}
+	decodeCache.Unlock()
 	return a, nil
 }
 

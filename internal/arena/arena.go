@@ -1,0 +1,113 @@
+// Package arena pools booted devices so chaos sweeps and experiment fleets
+// pay device.Boot once per worker: after the first boot every acquisition
+// resets a pooled device in place (scheduler, filesystem tree, package
+// manager, FUSE daemon, intent machinery, download manager, process table
+// and market wiring), which is microseconds instead of a full rebuild.
+//
+// An Arena is not safe for concurrent use, matching the single-threaded
+// simulation design (see internal/sim): deploy one arena per worker (see
+// chaos.Explorer.WorkerState) so each worker always hits its own warm
+// device.
+package arena
+
+import (
+	"time"
+
+	"github.com/ghost-installer/gia/internal/device"
+	"github.com/ghost-installer/gia/internal/obs"
+)
+
+// Metrics are the arena's observability hooks. All fields are optional;
+// nil hooks are free no-ops (the obs contract).
+type Metrics struct {
+	// Hits counts acquisitions served by resetting a pooled device.
+	Hits *obs.Counter
+	// Misses counts acquisitions that had to boot a fresh device.
+	Misses *obs.Counter
+	// Resets counts in-place resets performed (equals Hits unless a reset
+	// fails and falls back to a boot).
+	Resets *obs.Counter
+	// ResetNS records wall-clock reset latency in nanoseconds.
+	ResetNS *obs.Histogram
+	// Clock times resets for ResetNS; nil disables latency recording.
+	Clock obs.Clock
+}
+
+// Instrument registers the arena metrics on reg under the arena.* names
+// and binds a real stopwatch for reset latency.
+func Instrument(reg *obs.Registry) Metrics {
+	return Metrics{
+		Hits:    reg.Counter("arena.hits"),
+		Misses:  reg.Counter("arena.misses"),
+		Resets:  reg.Counter("arena.resets"),
+		ResetNS: reg.Histogram("arena.reset_ns", obs.DurationBuckets()),
+		Clock:   obs.Stopwatch(),
+	}
+}
+
+// Arena is a pool of devices sharing one profile. The profile's Seed field
+// is ignored: each Acquire stamps its own seed, and Reset makes the device
+// indistinguishable from a fresh Boot under that seed (pinned by the
+// devicetest equivalence harness).
+type Arena struct {
+	profile device.Profile
+	free    []*device.Device
+	met     Metrics
+}
+
+// New creates an empty arena for profile.
+func New(profile device.Profile) *Arena {
+	profile.Seed = 0
+	return &Arena{profile: profile}
+}
+
+// SetMetrics installs observability hooks (typically from Instrument).
+func (a *Arena) SetMetrics(m Metrics) { a.met = m }
+
+// Profile returns the arena's profile (with a zero Seed).
+func (a *Arena) Profile() device.Profile { return a.profile }
+
+// Idle reports how many devices are pooled and ready for reuse.
+func (a *Arena) Idle() int { return len(a.free) }
+
+// Acquire returns a device booted from the arena's profile under seed: a
+// pooled device reset in place when one is available, a fresh Boot
+// otherwise. The caller owns the device until Release.
+func (a *Arena) Acquire(seed int64) (*device.Device, error) {
+	var d *device.Device
+	if n := len(a.free); n > 0 {
+		d = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+	}
+	if d != nil {
+		var start time.Duration
+		if a.met.Clock != nil {
+			start = a.met.Clock()
+		}
+		if err := d.Reset(seed); err == nil {
+			a.met.Hits.Inc()
+			a.met.Resets.Inc()
+			if a.met.Clock != nil {
+				a.met.ResetNS.Observe(int64(a.met.Clock() - start))
+			}
+			return d, nil
+		}
+		// A failed reset poisons the pooled device: drop it and fall
+		// through to a fresh boot.
+	}
+	a.met.Misses.Inc()
+	prof := a.profile
+	prof.Seed = seed
+	return device.Boot(prof)
+}
+
+// Release returns a device to the pool. Only devices acquired from this
+// arena (or booted from an identical profile) may be released into it; a
+// nil device is ignored.
+func (a *Arena) Release(d *device.Device) {
+	if d == nil {
+		return
+	}
+	a.free = append(a.free, d)
+}

@@ -2,11 +2,14 @@ package attack
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/fileobserver"
+	"github.com/ghost-installer/gia/internal/sig"
 	"github.com/ghost-installer/gia/internal/sim"
 	"github.com/ghost-installer/gia/internal/vfs"
 )
@@ -93,6 +96,10 @@ type TOCTOUConfig struct {
 	Method ReplaceMethod
 }
 
+// defaultPayload is shared by every config that doesn't override it; it is
+// only ever read (repackaging copies the entries into the evil APK).
+var defaultPayload = map[string][]byte{"classes.dex": []byte("gia-payload")}
+
 func (c *TOCTOUConfig) fill() {
 	if c.PollInterval <= 0 {
 		c.PollInterval = 50 * time.Millisecond
@@ -104,7 +111,7 @@ func (c *TOCTOUConfig) fill() {
 		c.ReactMax = c.ReactMin
 	}
 	if c.Payload == nil {
-		c.Payload = map[string][]byte{"classes.dex": []byte("gia-payload")}
+		c.Payload = defaultPayload
 	}
 	if c.Method == 0 {
 		c.Method = MethodRename
@@ -140,12 +147,59 @@ type TOCTOU struct {
 	replacements []Replacement
 }
 
+// evilCache memoizes the repackaged attack APK per (original, signer,
+// payload, DRM-strip) tuple: a sweep rebuilds the identical replacement for
+// every schedule, and each repackage re-copies, re-signs and re-encodes the
+// full original. Cached APKs are shared and immutable.
+var evilCache struct {
+	sync.Mutex
+	m map[evilKey]*apk.APK
+}
+
+type evilKey struct {
+	orig    *apk.APK
+	signer  sig.Digest
+	strip   bool
+	payload string
+}
+
+func repackageCached(orig *apk.APK, payload map[string][]byte, key *sig.Key, strip bool) *apk.APK {
+	names := make([]string, 0, len(payload))
+	for name := range payload {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		sb.WriteString(name)
+		sb.WriteByte(0)
+		sb.Write(payload[name])
+		sb.WriteByte(0)
+	}
+	k := evilKey{orig, key.Certificate().Fingerprint, strip, sb.String()}
+	evilCache.Lock()
+	evil := evilCache.m[k]
+	evilCache.Unlock()
+	if evil != nil {
+		return evil
+	}
+	evil = apk.Repackage(orig, payload, key, strip)
+	evil.Encode()
+	evilCache.Lock()
+	if evilCache.m == nil {
+		evilCache.m = make(map[evilKey]*apk.APK)
+	}
+	evilCache.m[k] = evil
+	evilCache.Unlock()
+	return evil
+}
+
 // NewTOCTOU prepares a hijack of the store described by cfg, replacing the
 // genuine APK `orig` (obtained from the store beforehand) with a
 // same-manifest repackage carrying cfg.Payload, signed by the malware's key.
 func NewTOCTOU(mal *Malware, cfg TOCTOUConfig, orig *apk.APK) *TOCTOU {
 	cfg.fill()
-	evil := apk.Repackage(orig, cfg.Payload, mal.Key, cfg.StripDRM)
+	evil := repackageCached(orig, cfg.Payload, mal.Key, cfg.StripDRM)
 	return &TOCTOU{
 		mal:      mal,
 		cfg:      cfg,
@@ -202,7 +256,7 @@ func (a *TOCTOU) Stop() {
 func (a *TOCTOU) preStage() error {
 	a.staged++
 	path := fmt.Sprintf("%s/payload-%d.bin", a.cacheDir, a.staged)
-	if err := a.mal.Dev.FS.WriteFile(path, a.evilData, a.mal.UID(), vfs.ModeShared); err != nil {
+	if err := a.mal.Dev.FS.WriteFileShared(path, a.evilData, a.mal.UID(), vfs.ModeShared); err != nil {
 		return fmt.Errorf("attack: pre-stage payload: %w", err)
 	}
 	return nil
@@ -298,12 +352,12 @@ func (a *TOCTOU) replace(path string) error {
 	fs := a.mal.Dev.FS
 	switch a.cfg.Method {
 	case MethodOverwrite:
-		return fs.WriteFile(path, a.evilData, a.mal.UID(), vfs.ModeShared)
+		return fs.WriteFileShared(path, a.evilData, a.mal.UID(), vfs.ModeShared)
 	case MethodDeleteRewrite:
 		if err := fs.Remove(path, a.mal.UID()); err != nil {
 			return err
 		}
-		return fs.WriteFile(path, a.evilData, a.mal.UID(), vfs.ModeShared)
+		return fs.WriteFileShared(path, a.evilData, a.mal.UID(), vfs.ModeShared)
 	default: // MethodRename
 		return fs.Rename(a.stagedPath(), path, a.mal.UID())
 	}

@@ -57,15 +57,46 @@ type Explorer struct {
 	// from workers, so virtual-only exports are byte-identical at any
 	// worker count.
 	Trace *obs.Trace
+	// WorkerState, when non-nil, is called lazily — at most once per pool
+	// worker over the explorer's lifetime — to build state that worker's
+	// runs share across schedules (typically a device arena, so Boot is a
+	// one-time cost and each run resets the pooled device in place). Runs
+	// read it back via Run.State. Because which schedules land on which
+	// worker is timing-dependent, state must never influence a run's
+	// *result*, only how cheaply the run rebuilds its world.
+	WorkerState func() any
+
+	mu     sync.Mutex
+	states []any
+	built  []bool
 }
 
-// prepare builds the run for schedule s (already cloned by the caller)
-// and gives it its trace lane.
-func (e *Explorer) prepare(s Schedule) *Run {
+// stateFor returns worker k's shared state, building it on first use.
+func (e *Explorer) stateFor(k int) any {
+	if e.WorkerState == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.states) <= k {
+		e.states = append(e.states, nil)
+		e.built = append(e.built, false)
+	}
+	if !e.built[k] {
+		e.states[k] = e.WorkerState()
+		e.built[k] = true
+	}
+	return e.states[k]
+}
+
+// prepare builds the run for schedule s (already cloned by the caller) on
+// pool worker k, giving it its trace lane and the worker's shared state.
+func (e *Explorer) prepare(s Schedule, k int) *Run {
 	r := newRun(s, e.Plan)
 	if e.Trace != nil {
 		r.track = e.Trace.VirtualTrack("run/" + s.Token())
 	}
+	r.state = e.stateFor(k)
 	return r
 }
 
@@ -83,7 +114,7 @@ func (e *Explorer) counted(err error) {
 // Check executes fn once under schedule s and reports the invariant's
 // verdict plus the fully resolved schedule (the replay token).
 func (e *Explorer) Check(s Schedule, fn RunFunc) (Schedule, error) {
-	r := e.prepare(s.clone())
+	r := e.prepare(s.clone(), 0)
 	err := runGuarded(r, fn)
 	e.counted(err)
 	return r.Schedule(), err
@@ -121,7 +152,7 @@ func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
 	res := &Result{}
 	var mu sync.Mutex
 	maxSchedules := e.MaxSchedules
-	par.Frontier(e.Workers, []Schedule{base.clone()}, func(s Schedule) []Schedule {
+	par.FrontierWorker(e.Workers, []Schedule{base.clone()}, func(worker int, s Schedule) []Schedule {
 		mu.Lock()
 		if maxSchedules > 0 && res.Explored >= maxSchedules {
 			// The cap was reached while work remained queued: drop this
@@ -133,7 +164,7 @@ func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
 		res.Explored++
 		mu.Unlock()
 
-		r := e.prepare(s)
+		r := e.prepare(s, worker)
 		err := runGuarded(r, fn)
 		e.counted(err)
 
@@ -191,8 +222,8 @@ func (e *Explorer) Sweep(seeds []int64, jitters []time.Duration, fn RunFunc) *Re
 	}
 	// The RunFunc's verdict is data (a violation), never a pool error, so
 	// the map always completes the whole grid.
-	outs, _ := par.Map(e.Workers, len(cells), func(i int) (cellResult, error) {
-		r := e.prepare(cells[i])
+	outs, _ := par.MapWorker(e.Workers, len(cells), func(worker, i int) (cellResult, error) {
+		r := e.prepare(cells[i], worker)
 		err := runGuarded(r, fn)
 		e.counted(err)
 		return cellResult{sched: trim(r.Schedule()), maxBranch: maxBranch(r.arb.branches), err: err}, nil

@@ -84,7 +84,8 @@ type FaultPlan struct {
 	rules   []Rule
 	skipped []int
 	fired   []int
-	rng     *rand.Rand
+	seed    int64
+	rng     *rand.Rand // seeded lazily: most plans never draw jitter
 	hits    []Hit
 }
 
@@ -95,7 +96,7 @@ func NewFaultPlan(seed int64, rules ...Rule) *FaultPlan {
 		rules:   rules,
 		skipped: make([]int, len(rules)),
 		fired:   make([]int, len(rules)),
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 	}
 }
 
@@ -186,6 +187,12 @@ func (p *FaultPlan) Probe(site fault.Site, subject string, now time.Duration) fa
 		p.fired[i]++
 		act := fault.Action{Kind: r.Kind, Err: r.Err, Delay: r.Delay}
 		if r.MaxJitter > 0 {
+			if p.rng == nil {
+				// First jitter draw of the plan's life: seeding here rather
+				// than in NewFaultPlan keeps jitter-free plans (the common
+				// case) from paying math/rand's full state initialization.
+				p.rng = rand.New(rand.NewSource(p.seed))
+			}
 			act.Delay = time.Duration(p.rng.Int63n(int64(r.MaxJitter) + 1))
 		}
 		if r.SnapTo > 0 {

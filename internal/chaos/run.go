@@ -25,6 +25,9 @@ type Run struct {
 	// schedule's token so exports are deterministic at any worker count.
 	// Nil unless the explorer has a Trace attached.
 	track *obs.Track
+	// state is the pool worker's shared state (Explorer.WorkerState), nil
+	// when the explorer has no state factory.
+	state any
 }
 
 // newRun prepares a run for schedule, deriving the run-local fault plan
@@ -60,6 +63,11 @@ func (r *Run) Schedule() Schedule {
 	}
 	return s
 }
+
+// State returns the pool worker's shared state built by the explorer's
+// WorkerState factory (nil without one). The canonical use is a device
+// arena: the RunFunc acquires a device for r.Seed() instead of booting one.
+func (r *Run) State() any { return r.state }
 
 // Hits reports the faults injected so far in this run.
 func (r *Run) Hits() []Hit { return r.plan.Hits() }

@@ -195,7 +195,7 @@ func (d *DAPP) onFileEvent(ev fileobserver.Event) {
 // matters: DAPP reads at CLOSE_WRITE, before any attacker waiting for the
 // verification pass has struck.
 func (d *DAPP) grabSignature(path string) {
-	data, err := d.dev.FS.ReadFile(path, d.pkg.UID)
+	data, err := d.dev.FS.ReadFileShared(path, d.pkg.UID)
 	if err != nil {
 		return // internal staging or unreadable: out of DAPP's reach
 	}

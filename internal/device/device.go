@@ -74,10 +74,8 @@ func Boot(p Profile) (*Device, error) {
 	}
 	sched := sim.New(p.Seed)
 	fs := vfs.New(sched.Now)
-	for _, dir := range []string{"/data/app", "/data/data", "/sdcard/Download", "/system/app"} {
-		if err := fs.MkdirAll(dir, vfs.Root, vfs.ModeDir); err != nil {
-			return nil, fmt.Errorf("device: prepare %s: %w", dir, err)
-		}
+	if err := prepareSkeleton(fs); err != nil {
+		return nil, err
 	}
 
 	registry := perm.NewRegistry()
@@ -135,6 +133,44 @@ func Boot(p Profile) (*Device, error) {
 	return d, nil
 }
 
+// prepareSkeleton creates the factory directory layout shared by Boot and
+// Reset.
+func prepareSkeleton(fs *vfs.FS) error {
+	for _, dir := range []string{"/data/app", "/data/data", "/sdcard/Download", "/system/app"} {
+		if err := fs.MkdirAll(dir, vfs.Root, vfs.ModeDir); err != nil {
+			return fmt.Errorf("device: prepare %s: %w", dir, err)
+		}
+	}
+	return nil
+}
+
+// Reset returns the device to the state Boot leaves it in, under a new
+// seed, without reconstructing any component: every service is cleared in
+// place and the boot wiring (mounts, package-event subscription, factory
+// directories) is re-established. It is the arena's fast path; the
+// devicetest harness pins Reset ≡ Boot across attack/defense scenarios.
+func (d *Device) Reset(seed int64) error {
+	d.Profile.Seed = seed
+	d.Sched.Reset(seed)
+	d.FS.Reset()
+	if err := prepareSkeleton(d.FS); err != nil {
+		return err
+	}
+	d.PMS.Registry().Reset()
+	d.PMS.Reset()
+	d.Fuse.Reset()
+	d.Market.Reset()
+	if err := d.DM.Reset(dm.Options{Policy: d.Profile.DMPolicy, RecheckGap: d.Profile.DMRecheckGap}); err != nil {
+		return fmt.Errorf("device: reset dm: %w", err)
+	}
+	d.Procs.Reset()
+	d.AMS.Reset()
+	d.foregroundSvc = nil
+	// PIA is stateless beyond its fs/pms references; nothing to clear.
+	d.PMS.Subscribe(d.onPackageEvent)
+	return nil
+}
+
 // SystemSender is the package name used for OS-originated Intents.
 const SystemSender = "android"
 
@@ -186,7 +222,7 @@ func (d *Device) InstallSystemApp(a *apk.APK) (*pm.Package, error) {
 	}
 	// Keep a copy under /system/app like a real image.
 	path := "/system/app/" + p.Name() + ".apk"
-	if err := d.FS.WriteFile(path, a.Encode(), vfs.Root, vfs.ModeWorldReadable); err != nil {
+	if err := d.FS.WriteFileShared(path, a.Encode(), vfs.Root, vfs.ModeWorldReadable); err != nil {
 		return nil, fmt.Errorf("device: copy system apk: %w", err)
 	}
 	p.CodePath = path

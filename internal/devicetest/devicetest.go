@@ -1,0 +1,148 @@
+// Package devicetest is the reset-equivalence harness behind the device
+// arena: it proves that driving a scenario on an arena-reset device is
+// byte-for-byte indistinguishable from driving it on a freshly booted one.
+// Everything observable goes into a Fingerprint — the drive's own
+// transcript (timelines, attack results, replay tokens), the device
+// snapshot, the scheduler's state digest and a tail of the random stream —
+// and CompareBootReset diffs the fingerprints of the two paths.
+package devicetest
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghost-installer/gia/internal/arena"
+	"github.com/ghost-installer/gia/internal/device"
+	"github.com/ghost-installer/gia/internal/sim"
+)
+
+// Drive prepares and executes one deterministic scenario on dev — deploy
+// apps, launch attacks, drive the virtual clock — and returns a textual
+// transcript of everything the scenario observed (AIT results, rendered
+// timelines, chaos replay tokens). Transcripts are compared byte-for-byte
+// between a fresh boot and a reset device, so a Drive must derive every
+// byte from device state and its own constants, never from wall time or
+// global randomness.
+type Drive func(dev *device.Device) (string, error)
+
+// rngTail is how many post-drive random draws go into the fingerprint.
+// Matching draws pin the stream *position*, not just the seed: a reset
+// device that consumed one extra or one fewer random number during the
+// drive diverges here even if everything else lined up.
+const rngTail = 32
+
+// Fingerprint is the complete observable outcome of one drive.
+type Fingerprint struct {
+	// Transcript is what the Drive returned.
+	Transcript string
+	// Snapshot is the rendered device.Snapshot after the drive.
+	Snapshot string
+	// Sched digests the scheduler: virtual clock, event sequence counter
+	// and the live pending set (representation-independent).
+	Sched sim.Fingerprint
+	// RNG is the next rngTail draws of the scheduler's random stream.
+	RNG string
+}
+
+// Capture runs drive on dev and fingerprints the outcome. It consumes
+// rngTail random draws after the drive, so the device is not pristine
+// afterwards — release it to an arena (or discard it) rather than reusing
+// it directly.
+func Capture(dev *device.Device, drive Drive) (Fingerprint, error) {
+	out, err := drive(dev)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	var rng strings.Builder
+	for i := 0; i < rngTail; i++ {
+		fmt.Fprintf(&rng, "%d.", dev.Sched.Uint32())
+	}
+	return Fingerprint{
+		Transcript: out,
+		Snapshot:   fmt.Sprintf("%+v", dev.Snapshot()),
+		Sched:      dev.Sched.Fingerprint(),
+		RNG:        rng.String(),
+	}, nil
+}
+
+// Diff reports every divergence between the fresh-boot fingerprint and the
+// reset fingerprint, one labelled first-difference per section, or "" when
+// they are identical.
+func Diff(fresh, reset Fingerprint) string {
+	var b strings.Builder
+	diffText(&b, "transcript", fresh.Transcript, reset.Transcript)
+	diffText(&b, "snapshot", fresh.Snapshot, reset.Snapshot)
+	if fresh.Sched != reset.Sched {
+		fmt.Fprintf(&b, "scheduler:\n  fresh: %+v\n  reset: %+v\n", fresh.Sched, reset.Sched)
+	}
+	diffText(&b, "rng stream", fresh.RNG, reset.RNG)
+	return b.String()
+}
+
+// diffText writes the first differing line of a labelled section.
+func diffText(b *strings.Builder, label, fresh, reset string) {
+	if fresh == reset {
+		return
+	}
+	fl, rl := strings.Split(fresh, "\n"), strings.Split(reset, "\n")
+	for i := 0; i < len(fl) || i < len(rl); i++ {
+		f, r := lineAt(fl, i), lineAt(rl, i)
+		if f != r {
+			fmt.Fprintf(b, "%s line %d:\n  fresh: %s\n  reset: %s\n", label, i+1, f, r)
+			return
+		}
+	}
+	// Same lines, different bytes (trailing newline): still report it.
+	fmt.Fprintf(b, "%s: differs only in trailing bytes (fresh %d bytes, reset %d bytes)\n", label, len(fresh), len(reset))
+}
+
+func lineAt(lines []string, i int) string {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return "<missing>"
+}
+
+// CompareBootReset proves drive is reset-equivalent on profile: it drives
+// a freshly booted device under seed, then takes the arena path — boot
+// (pool miss), dirty the device with a full drive under dirtySeed, release,
+// re-acquire under seed (pool hit, reset in place) — drives again, and
+// returns a descriptive error on any fingerprint divergence. It also fails
+// if the arena booted instead of resetting, which would silently weaken the
+// equivalence being tested.
+func CompareBootReset(profile device.Profile, seed, dirtySeed int64, drive Drive) error {
+	profile.Seed = seed
+	fresh, err := device.Boot(profile)
+	if err != nil {
+		return fmt.Errorf("devicetest: boot fresh device: %w", err)
+	}
+	want, err := Capture(fresh, drive)
+	if err != nil {
+		return fmt.Errorf("devicetest: drive fresh device: %w", err)
+	}
+
+	ar := arena.New(profile)
+	dirty, err := ar.Acquire(dirtySeed)
+	if err != nil {
+		return fmt.Errorf("devicetest: arena boot: %w", err)
+	}
+	if _, err := Capture(dirty, drive); err != nil {
+		return fmt.Errorf("devicetest: dirtying drive: %w", err)
+	}
+	ar.Release(dirty)
+	reused, err := ar.Acquire(seed)
+	if err != nil {
+		return fmt.Errorf("devicetest: arena reset: %w", err)
+	}
+	if reused != dirty {
+		return fmt.Errorf("devicetest: arena booted a fresh device instead of resetting the pooled one")
+	}
+	got, err := Capture(reused, drive)
+	if err != nil {
+		return fmt.Errorf("devicetest: drive reset device: %w", err)
+	}
+	if d := Diff(want, got); d != "" {
+		return fmt.Errorf("devicetest: reset device diverged from fresh boot:\n%s", d)
+	}
+	return nil
+}

@@ -193,6 +193,27 @@ func New(fs *vfs.FS, sched *sim.Scheduler, fetch Fetcher, opts Options) (*Manage
 	return m, nil
 }
 
+// Reset discards all download state and re-initializes the database file,
+// restoring the boot-time options (experiments mutate the policy through
+// SetPolicy). The filesystem must already be reset: like New, Reset
+// recreates the database directory and file from scratch.
+func (m *Manager) Reset(opts Options) error {
+	opts.fill()
+	m.opts = opts
+	m.downloads = make(map[int64]*Download)
+	m.nextID = 1
+	m.injector = nil
+	m.initialized = false
+	if err := m.fs.MkdirAll(path.Dir(DBPath), ManagerUID, vfs.ModeDir); err != nil {
+		return fmt.Errorf("dm: prepare database dir: %w", err)
+	}
+	if err := m.persistDB(); err != nil {
+		return err
+	}
+	m.initialized = true
+	return nil
+}
+
 // RepairDB recreates a destroyed downloads database (factory reset in the
 // real world). Used by experiments to restore service between runs.
 func (m *Manager) RepairDB() error {

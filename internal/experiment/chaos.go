@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/ghost-installer/gia/internal/arena"
 	"github.com/ghost-installer/gia/internal/attack"
 	"github.com/ghost-installer/gia/internal/chaos"
+	"github.com/ghost-installer/gia/internal/device"
 	"github.com/ghost-installer/gia/internal/fault"
 	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/obs"
 )
 
 // Instrument attaches a chaos run to the scenario: the schedule (arbiter +
@@ -19,20 +22,57 @@ func (s *Scenario) Instrument(r *chaos.Run) {
 	r.Attach(s.Dev.Sched, s.Dev.FS, s.Dev.DM, s.Dev.AMS, s.Dev.Fuse)
 }
 
+// ArenaWorkerState is the chaos.Explorer.WorkerState factory for studies
+// whose RunFuncs build scenarios through aitRun: each pool worker gets a
+// private device arena over the standard scenario profile, so device.Boot
+// is a one-time cost per worker and every subsequent schedule resets the
+// pooled device in place. A non-nil registry wires the arena's hit/miss/
+// reset counters and reset-latency histogram (shared across workers).
+func ArenaWorkerState(reg *obs.Registry) func() any {
+	var met arena.Metrics
+	if reg != nil {
+		met = arena.Instrument(reg)
+	}
+	return func() any {
+		a := arena.New(ScenarioDeviceProfile(0))
+		a.SetMetrics(met)
+		return a
+	}
+}
+
+// runDevice yields the device a chaos run builds its world on: acquired
+// from the pool worker's arena when the explorer carries one (see
+// ArenaWorkerState), booted fresh otherwise. release returns an arena
+// device to its pool and is a no-op for booted ones.
+func runDevice(r *chaos.Run) (dev *device.Device, release func(), err error) {
+	if ar, ok := r.State().(*arena.Arena); ok {
+		dev, err := ar.Acquire(r.Seed())
+		if err != nil {
+			return nil, nil, err
+		}
+		return dev, func() { ar.Release(dev) }, nil
+	}
+	dev, err = device.Boot(ScenarioDeviceProfile(r.Seed()))
+	if err != nil {
+		return nil, nil, err
+	}
+	return dev, func() {}, nil
+}
+
 // aitRun builds a store scenario from the run's seed, launches a TOCTOU
 // attack with the given strategy, drives the AIT and reports the result.
 // A non-nil payload sizes the target APK (multi-chunk downloads need more
 // than 64 KiB); patched enables the Section V-C FUSE defense.
 func aitRun(prof installer.Profile, strategy attack.Strategy, payload []byte, patched bool, r *chaos.Run) (installer.Result, error) {
-	var (
-		s   *Scenario
-		err error
-	)
-	if payload == nil {
-		s, err = NewScenario(prof, r.Seed())
-	} else {
-		s, err = NewScenarioPayload(prof, r.Seed(), payload)
+	dev, release, err := runDevice(r)
+	if err != nil {
+		return installer.Result{}, fmt.Errorf("device: %w", err)
 	}
+	defer release()
+	if payload == nil {
+		payload = []byte("genuine")
+	}
+	s, err := NewScenarioPayloadOn(dev, prof, payload)
 	if err != nil {
 		return installer.Result{}, fmt.Errorf("scenario: %w", err)
 	}
@@ -47,6 +87,22 @@ func aitRun(prof installer.Profile, strategy attack.Strategy, payload []byte, pa
 	res := s.RunAIT()
 	atk.Stop()
 	return res, nil
+}
+
+// HijackRunFunc is the canonical chaos invariant of the exploration bench:
+// one complete AIT hijack scenario per schedule, asserting the hijack
+// lands. Devices come from the worker arena when the explorer carries one.
+func HijackRunFunc(prof installer.Profile, strategy attack.Strategy) chaos.RunFunc {
+	return func(r *chaos.Run) error {
+		res, err := aitRun(prof, strategy, nil, false, r)
+		if err != nil {
+			return err
+		}
+		if !res.Hijacked {
+			return fmt.Errorf("hijack missed (attempts=%d, err=%v)", res.Attempts, res.Err)
+		}
+		return nil
+	}
 }
 
 // ExplorationRow is one row of the chaos study.
@@ -99,7 +155,8 @@ func ExplorationStudy(seed int64, workers int) ([]ExplorationRow, error) {
 	}
 	exOrd := &chaos.Explorer{
 		Workers: workers, MaxSchedules: 2000,
-		Plan: chaos.Quantize(10*time.Millisecond, 0, 0),
+		Plan:        chaos.Quantize(10*time.Millisecond, 0, 0),
+		WorkerState: ArenaWorkerState(nil),
 	}
 	res := exOrd.ExploreOrders(chaos.Schedule{Seed: seed}, wsHijacks)
 	rows = append(rows, explorationRow("exhaustive orderings (wait-and-see)", "hijack lands", exOrd, res, wsHijacks))
@@ -112,18 +169,9 @@ func ExplorationStudy(seed int64, workers int) ([]ExplorationRow, error) {
 		seeds[i] = seed + int64(i)
 	}
 	jitters := []time.Duration{0, time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond}
-	ex := &chaos.Explorer{Workers: workers}
+	ex := &chaos.Explorer{Workers: workers, WorkerState: ArenaWorkerState(nil)}
 
-	foHijacks := func(r *chaos.Run) error {
-		res, err := aitRun(installer.Amazon(), attack.StrategyFileObserver, nil, false, r)
-		if err != nil {
-			return err
-		}
-		if !res.Hijacked {
-			return fmt.Errorf("hijack missed (attempts=%d, err=%v)", res.Attempts, res.Err)
-		}
-		return nil
-	}
+	foHijacks := HijackRunFunc(installer.Amazon(), attack.StrategyFileObserver)
 	res = ex.Sweep(seeds, jitters, foHijacks)
 	rows = append(rows, explorationRow("seed x jitter sweep (legacy)", "hijack lands", ex, res, foHijacks))
 
@@ -161,6 +209,7 @@ func ExplorationStudy(seed int64, workers int) ([]ExplorationRow, error) {
 		Plan: chaos.NewFaultPlan(seed, chaos.Rule{
 			Site: fault.SiteDMChunk, Kind: fault.KindTruncate, Skip: 1,
 		}),
+		WorkerState: ArenaWorkerState(nil),
 	}
 	fres := exFault.Sweep([]int64{seed}, nil, dtiHijacks)
 	rows = append(rows, explorationRow("truncated download fault", "hijack lands", exFault, fres, dtiHijacks))

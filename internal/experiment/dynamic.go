@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ghost-installer/gia/internal/apk"
@@ -42,18 +43,64 @@ func NewScenario(prof installer.Profile, seed int64) (*Scenario, error) {
 // download multi-chunk, which the chaos fault rows rely on to truncate a
 // transfer mid-flight.
 func NewScenarioPayload(prof installer.Profile, seed int64, payload []byte) (*Scenario, error) {
-	dev, err := device.Boot(device.Profile{Name: "galaxy-s6-verizon", Vendor: "samsung", Seed: seed})
+	dev, err := device.Boot(ScenarioDeviceProfile(seed))
 	if err != nil {
 		return nil, err
 	}
+	return NewScenarioPayloadOn(dev, prof, payload)
+}
+
+// ScenarioDeviceProfile is the device every dynamic scenario runs on —
+// exposed so arena-based callers can pool devices of the same profile and
+// build scenarios on them with NewScenarioOn.
+func ScenarioDeviceProfile(seed int64) device.Profile {
+	return device.Profile{Name: "galaxy-s6-verizon", Vendor: "samsung", Seed: seed}
+}
+
+// NewScenarioOn builds the store + target + malware fixture on an
+// already-booted (or arena-acquired) device.
+func NewScenarioOn(dev *device.Device, prof installer.Profile) (*Scenario, error) {
+	return NewScenarioPayloadOn(dev, prof, []byte("genuine"))
+}
+
+// targetCache memoizes the published target APK by payload: a sweep builds
+// the identical artifact for every schedule, and signing keys are
+// deterministic per subject, so the build (clone + sign + encode) is a
+// one-time cost per distinct payload. Cached targets are shared across
+// scenarios and must be treated as immutable — attacks repackage, never
+// mutate.
+var targetCache struct {
+	sync.Mutex
+	m map[string]*apk.APK
+}
+
+func targetAPK(payload []byte) *apk.APK {
+	targetCache.Lock()
+	target := targetCache.m[string(payload)]
+	targetCache.Unlock()
+	if target != nil {
+		return target
+	}
+	target = apk.Build(apk.Manifest{
+		Package: TargetPackage, VersionCode: 1, Label: "Popular App", Icon: "icon-popular",
+		UsesPerms: []string{perm.Internet},
+	}, map[string][]byte{"classes.dex": payload}, sig.NewKey("popular-dev"))
+	targetCache.Lock()
+	if targetCache.m == nil {
+		targetCache.m = make(map[string]*apk.APK)
+	}
+	targetCache.m[string(payload)] = target
+	targetCache.Unlock()
+	return target
+}
+
+// NewScenarioPayloadOn is NewScenarioOn with a caller-chosen payload.
+func NewScenarioPayloadOn(dev *device.Device, prof installer.Profile, payload []byte) (*Scenario, error) {
 	store, err := installer.Deploy(dev, prof, nil)
 	if err != nil {
 		return nil, err
 	}
-	target := apk.Build(apk.Manifest{
-		Package: TargetPackage, VersionCode: 1, Label: "Popular App", Icon: "icon-popular",
-		UsesPerms: []string{perm.Internet},
-	}, map[string][]byte{"classes.dex": payload}, sig.NewKey("popular-dev"))
+	target := targetAPK(payload)
 	store.Store.Publish(target)
 	mal, err := attack.DeployMalware(dev, "com.fun.game")
 	if err != nil {

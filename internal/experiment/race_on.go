@@ -1,0 +1,8 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget tests skip under race because instrumentation changes
+// allocation counts.
+const raceEnabled = true

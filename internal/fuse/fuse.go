@@ -63,6 +63,15 @@ func New(root string, perms PermChecker) *Daemon {
 	}
 }
 
+// Reset returns the daemon to its freshly-created state: patch disabled,
+// APK list empty, fault injector removed. The mount root, permission
+// checker and clock are boot-time wiring and survive.
+func (d *Daemon) Reset() {
+	d.patched = false
+	d.apkList = make(map[string]vfs.UID)
+	d.injector = nil
+}
+
 // Root reports the guarded mount point.
 func (d *Daemon) Root() string { return d.root }
 

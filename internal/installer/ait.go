@@ -120,7 +120,7 @@ func (t *ait) attemptDownload() {
 		// download completes, before any attacker waiting for the
 		// verification pass can strike.
 		if t.app.Prof.UseSignatureVerification {
-			data, err := t.app.Dev.FS.ReadFile(path, t.app.uid)
+			data, err := t.app.Dev.FS.ReadFileShared(path, t.app.uid)
 			if err != nil {
 				t.fail(fmt.Errorf("installer: signature grab: %w", err))
 				return
@@ -172,7 +172,7 @@ func (t *ait) verify(path string) {
 	var readOnce func(k int)
 	readOnce = func(k int) {
 		t.app.Dev.Sched.After(t.app.Prof.VerifyReadTime, func() {
-			data, err := t.app.Dev.FS.ReadFile(path, t.app.uid)
+			data, err := t.app.Dev.FS.ReadFileShared(path, t.app.uid)
 			if err != nil {
 				t.fail(fmt.Errorf("installer: verify read: %w", err))
 				return

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/ghost-installer/gia/internal/apk"
@@ -112,13 +113,40 @@ func (a *App) Instrument(reg *obs.Registry, track *obs.Track) {
 	}
 }
 
+// imageCache memoizes default-key installer images: an image is a pure
+// function of the profile and its derived signing key, and the sweeps and
+// fleet studies deploy the same handful of stores onto thousands of
+// devices. Cached images are shared and must stay immutable.
+var imageCache struct {
+	sync.Mutex
+	m map[Profile]*apk.APK
+}
+
 // Deploy builds the installer's APK from its profile, installs it as part
 // of the system image, registers its components with the AMS and connects
 // (or creates) its store server.
 func Deploy(dev *device.Device, prof Profile, key *sig.Key) (*App, error) {
 	if key == nil {
 		key = sig.NewKey(prof.Package + "-signer")
+		imageCache.Lock()
+		image := imageCache.m[prof]
+		imageCache.Unlock()
+		if image == nil {
+			image = buildImage(prof, key)
+			imageCache.Lock()
+			if imageCache.m == nil {
+				imageCache.m = make(map[Profile]*apk.APK)
+			}
+			imageCache.m[prof] = image
+			imageCache.Unlock()
+		}
+		return DeployImage(dev, prof, key, image)
 	}
+	return DeployImage(dev, prof, key, buildImage(prof, key))
+}
+
+// buildImage assembles the store's system-image APK for prof, signed by key.
+func buildImage(prof Profile, key *sig.Key) *apk.APK {
 	uses := []string{perm.Internet, perm.WriteExternalStorage, perm.ReadExternalStorage}
 	if prof.Silent {
 		uses = append(uses, perm.InstallPackages, perm.DeletePackages)
@@ -157,7 +185,7 @@ func Deploy(dev *device.Device, prof Profile, key *sig.Key) (*App, error) {
 	if prof.DRMSelfCheck {
 		image = apk.WithDRM(image, key)
 	}
-	return DeployImage(dev, prof, key, image)
+	return image
 }
 
 // DeployImage deploys a pre-built installer image (used to model the
@@ -413,7 +441,7 @@ func (a *App) secureCopy(stagedPath string) (string, error) {
 		return "", fmt.Errorf("installer: secure copy dir: %w", err)
 	}
 	dest := a.internalFilesDir() + "/secure-" + path.Base(stagedPath)
-	if err := a.Dev.FS.WriteFile(dest, data, a.uid, vfs.ModeWorldReadable); err != nil {
+	if err := a.Dev.FS.WriteFileShared(dest, data, a.uid, vfs.ModeWorldReadable); err != nil {
 		return "", fmt.Errorf("installer: secure copy write: %w", err)
 	}
 	return dest, nil

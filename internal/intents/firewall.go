@@ -56,6 +56,18 @@ func newFirewall(now func() time.Duration, isSystemPkg func(string) bool) *Firew
 	}
 }
 
+// reset restores the firewall to its newFirewall state: both schemes off,
+// default threshold, empty record and alert history, counters zeroed.
+func (f *Firewall) reset() {
+	f.detection = false
+	f.origin = false
+	f.threshold = DefaultThreshold
+	f.records = make(map[string]intentRecord)
+	f.alerts = nil
+	f.onAlert = nil
+	f.checks = 0
+}
+
 // EnableDetection toggles the redirect-Intent detection scheme.
 func (f *Firewall) EnableDetection(on bool) { f.detection = on }
 

@@ -162,6 +162,18 @@ func New(sched *sim.Scheduler, procs *procfs.Table, opts Options) *AMS {
 	return a
 }
 
+// Reset returns the AMS (and its firewall) to the just-booted state: no
+// registered components, empty screen and back stack, no fault injector,
+// both firewall schemes off with empty history.
+func (a *AMS) Reset() {
+	a.activities = make(map[string]*activityReg)
+	a.receivers = nil
+	a.screen = Screen{}
+	a.stackTop = ""
+	a.injector = nil
+	a.firewall.reset()
+}
+
 // Firewall returns the IntentFirewall for defense configuration.
 func (a *AMS) Firewall() *Firewall { return a.firewall }
 

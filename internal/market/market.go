@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/ghost-installer/gia/internal/apk"
 	"github.com/ghost-installer/gia/internal/sig"
@@ -55,19 +56,49 @@ func NewServer(host string) *Server {
 // Host returns the server's hostname.
 func (s *Server) Host() string { return s.host }
 
+// listingCache memoizes the Listing derived for an APK on a host: sweeps
+// re-publish the identical (immutable, shared) APK to a fresh server every
+// schedule, and rebuilding the URL string and digests dominated publish
+// cost. The cap bounds memory against unbounded corpora.
+var listingCache struct {
+	sync.Mutex
+	m map[listingKey]*Listing
+}
+
+type listingKey struct {
+	host string
+	apk  *apk.APK
+}
+
+const listingCacheCap = 4096
+
 // Publish adds an APK to the catalog and returns its listing.
 func (s *Server) Publish(a *apk.APK) Listing {
-	encoded := a.Encode()
-	url := fmt.Sprintf("https://%s/apps/%s-v%d.apk", s.host, a.Manifest.Package, a.Manifest.VersionCode)
-	l := Listing{
-		Package:      a.Manifest.Package,
-		VersionCode:  a.Manifest.VersionCode,
-		URL:          url,
-		SizeBytes:    int64(len(encoded)),
-		ContentHash:  apk.ContentDigest(encoded),
-		ManifestHash: a.ManifestDigest(),
+	key := listingKey{s.host, a}
+	listingCache.Lock()
+	cached := listingCache.m[key]
+	listingCache.Unlock()
+	if cached == nil {
+		encoded := a.Encode()
+		cached = &Listing{
+			Package:      a.Manifest.Package,
+			VersionCode:  a.Manifest.VersionCode,
+			URL:          fmt.Sprintf("https://%s/apps/%s-v%d.apk", s.host, a.Manifest.Package, a.Manifest.VersionCode),
+			SizeBytes:    int64(len(encoded)),
+			ContentHash:  a.EncodedDigest(),
+			ManifestHash: a.ManifestDigest(),
+		}
+		listingCache.Lock()
+		if listingCache.m == nil {
+			listingCache.m = make(map[listingKey]*Listing)
+		}
+		if len(listingCache.m) < listingCacheCap {
+			listingCache.m[key] = cached
+		}
+		listingCache.Unlock()
 	}
-	s.byURL[url] = encoded
+	l := *cached
+	s.byURL[l.URL] = a.Encode()
 	if prev, ok := s.listings[l.Package]; !ok || l.VersionCode >= prev.VersionCode {
 		s.listings[l.Package] = l
 	}
@@ -108,7 +139,10 @@ func (s *Server) Fetch(url string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%s: %w", url, ErrNotFound)
 	}
-	return append([]byte(nil), data...), nil
+	// The hosted bytes are immutable once published; callers (DM and
+	// installer download loops) only read the slice while copying it onto
+	// the device, so no defensive copy is taken.
+	return data, nil
 }
 
 // Mux routes fetches to servers by URL host.
@@ -120,6 +154,9 @@ type Mux struct {
 func NewMux() *Mux {
 	return &Mux{servers: make(map[string]*Server)}
 }
+
+// Reset drops every registered server (the next scenario publishes its own).
+func (m *Mux) Reset() { m.servers = make(map[string]*Server) }
 
 // Add registers a server. A server with the same host replaces the old one.
 func (m *Mux) Add(s *Server) { m.servers[s.Host()] = s }

@@ -117,6 +117,17 @@ func Workers(n int) int {
 // jobs are skipped. A job that panics contributes a descriptive error
 // instead of crashing the process.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorker(workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map with the worker index exposed: fn(worker, i) runs job i
+// on pool worker `worker` (0 <= worker < Workers(workers)). Each worker
+// index is owned by exactly one goroutine per call, so per-worker state
+// (e.g. a device arena) indexed by it needs no locking inside a call. The
+// index says nothing about *which* jobs land on a worker — that remains
+// schedule-dependent — so results must stay worker-independent for
+// deterministic output.
+func MapWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -159,7 +170,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 					if track != nil {
 						sp = track.Begin("job", strconv.Itoa(i))
 					}
-					if err := runJob(i, fn, &results[i]); err != nil {
+					if err := runJob(k, i, fn, &results[i]); err != nil {
 						errs[i] = err
 						failed.Store(true)
 					}
@@ -189,13 +200,13 @@ func Run(workers, n int, fn func(i int) error) error {
 
 // runJob executes one job with panic containment, storing its result only
 // on success so a failed map never exposes partial values.
-func runJob[T any](i int, fn func(int) (T, error), out *T) (err error) {
+func runJob[T any](worker, i int, fn func(int, int) (T, error), out *T) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("par: job %d panicked: %v", i, p)
 		}
 	}()
-	v, err := fn(i)
+	v, err := fn(worker, i)
 	if err != nil {
 		return err
 	}
@@ -212,6 +223,13 @@ func runJob[T any](i int, fn func(int) (T, error), out *T) (err error) {
 // from completion order. A panic in process is re-raised on the calling
 // goroutine after the remaining workers drain, never from a worker.
 func Frontier[T any](workers int, seed []T, process func(T) []T) {
+	FrontierWorker(workers, seed, func(_ int, it T) []T { return process(it) })
+}
+
+// FrontierWorker is Frontier with the worker index exposed, under the same
+// ownership contract as MapWorker: index k is owned by one goroutine per
+// call, enabling lock-free per-worker state.
+func FrontierWorker[T any](workers int, seed []T, process func(worker int, it T) []T) {
 	var (
 		mu       sync.Mutex
 		items    = append([]T(nil), seed...)
@@ -255,7 +273,7 @@ func Frontier[T any](workers int, seed []T, process func(T) []T) {
 					if track != nil {
 						sp = track.Begin("item", "")
 					}
-					kids, p := guardedProcess(process, it)
+					kids, p := guardedProcess(k, process, it)
 					sp.End()
 
 					mu.Lock()
@@ -284,11 +302,11 @@ func Frontier[T any](workers int, seed []T, process func(T) []T) {
 	}
 }
 
-func guardedProcess[T any](process func(T) []T, it T) (kids []T, panicked any) {
+func guardedProcess[T any](worker int, process func(int, T) []T, it T) (kids []T, panicked any) {
 	defer func() {
 		if p := recover(); p != nil {
 			panicked = p
 		}
 	}()
-	return process(it), nil
+	return process(worker, it), nil
 }

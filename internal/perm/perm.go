@@ -97,7 +97,19 @@ type Registry struct {
 // NewRegistry returns a registry pre-loaded with the AOSP definitions the
 // simulation uses.
 func NewRegistry() *Registry {
-	r := &Registry{defs: make(map[string]Definition)}
+	r := &Registry{}
+	r.Reset()
+	return r
+}
+
+// Reset restores the registry to the factory AOSP preload, dropping every
+// app-defined permission (device arena reuse between runs).
+func (r *Registry) Reset() {
+	if r.defs == nil {
+		r.defs = make(map[string]Definition, 8)
+	} else {
+		clear(r.defs)
+	}
 	aosp := []Definition{
 		{Name: WriteExternalStorage, Level: Dangerous, Group: GroupStorage},
 		{Name: ReadExternalStorage, Level: Dangerous, Group: GroupStorage},
@@ -111,7 +123,6 @@ func NewRegistry() *Registry {
 		d.DefinedBy = "android"
 		r.defs[d.Name] = d
 	}
-	return r
 }
 
 // Define registers a permission definition. It fails if the name is taken.

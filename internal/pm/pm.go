@@ -67,24 +67,35 @@ type Package struct {
 	SystemImage bool // pre-installed on the factory image
 	CodePath    string
 	InstallTime time.Duration
-	granted     map[string]bool
+	granted     []string // sorted insertion not required; tiny linear list
 	image       *apk.APK
 }
 
 // Name returns the package name.
 func (p *Package) Name() string { return p.Manifest.Package }
 
+// grant records a held permission. A slice beats a map here: most simulated
+// packages hold only a couple of permissions, and many none, so lookups are
+// a short linear scan and no per-package map is ever allocated.
+func (p *Package) grant(name string) {
+	if !p.Granted(name) {
+		p.granted = append(p.granted, name)
+	}
+}
+
 // Granted reports whether the package holds the named permission.
-func (p *Package) Granted(name string) bool { return p.granted[name] }
+func (p *Package) Granted(name string) bool {
+	for _, held := range p.granted {
+		if held == name {
+			return true
+		}
+	}
+	return false
+}
 
 // GrantedPerms returns the sorted list of held permissions.
 func (p *Package) GrantedPerms() []string {
-	out := make([]string, 0, len(p.granted))
-	for name, ok := range p.granted {
-		if ok {
-			out = append(out, name)
-		}
-	}
+	out := append([]string(nil), p.granted...)
 	sort.Strings(out)
 	return out
 }
@@ -138,6 +149,17 @@ func New(fs *vfs.FS, registry *perm.Registry, opts Options) *Service {
 	}
 }
 
+// Reset returns the service to its just-created state: no packages, no
+// shared UIDs, UID allocation rewound and all listeners dropped (the device
+// re-subscribes its own wiring after a reset, exactly as Boot does).
+func (s *Service) Reset() {
+	s.packages = make(map[string]*Package)
+	s.sharedUID = make(map[string]vfs.UID)
+	s.byUID = make(map[vfs.UID][]*Package)
+	s.nextUID = FirstAppUID
+	s.listeners = nil
+}
+
 // PlatformCert returns the device's platform certificate.
 func (s *Service) PlatformCert() sig.Certificate { return s.opts.PlatformKey.Certificate() }
 
@@ -186,7 +208,7 @@ func (s *Service) UIDHolds(uid vfs.UID, permission string) bool {
 		return true
 	}
 	for _, p := range s.byUID[uid] {
-		if p.granted[permission] {
+		if p.Granted(permission) {
 			return true
 		}
 	}
@@ -217,7 +239,7 @@ func ReadStaged(fs *vfs.FS, path string) (*apk.APK, []byte, error) {
 	if strings.HasPrefix(path, "/data/") && !info.Owner.IsSystem() && !info.Mode.WorldReadable() {
 		return nil, nil, fmt.Errorf("%s (mode %o): %w", path, info.Mode, ErrUnreadableAPK)
 	}
-	data, err := fs.ReadFile(path, vfs.System)
+	data, err := fs.ReadFileShared(path, vfs.System)
 	if err != nil {
 		return nil, nil, fmt.Errorf("read staged apk: %w", err)
 	}
@@ -225,7 +247,7 @@ func ReadStaged(fs *vfs.FS, path string) (*apk.APK, []byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("parse staged apk: %w", err)
 	}
-	if err := parsed.VerifySignature(); err != nil {
+	if err := parsed.VerifySignatureShared(); err != nil {
 		return nil, nil, err
 	}
 	return parsed, data, nil
@@ -305,7 +327,7 @@ func (s *Service) install(stagedPath string, system bool) (*Package, error) {
 	if err := s.fs.MkdirAll("/data/app", vfs.System, vfs.ModeDir); err != nil {
 		return nil, fmt.Errorf("prepare /data/app: %w", err)
 	}
-	if err := s.fs.WriteFile(codePath, data, vfs.System, vfs.ModePrivate); err != nil {
+	if err := s.fs.WriteFileShared(codePath, data, vfs.System, vfs.ModePrivate); err != nil {
 		s.removeState(p)
 		if errors.Is(err, vfs.ErrNoSpace) {
 			return nil, fmt.Errorf("copy code image: %w", ErrInsufficientStorage)
@@ -317,7 +339,7 @@ func (s *Service) install(stagedPath string, system bool) (*Package, error) {
 }
 
 func (s *Service) installParsed(image *apk.APK, stagedPath string, system bool) (*Package, error) {
-	if err := image.VerifySignature(); err != nil {
+	if err := image.VerifySignatureShared(); err != nil {
 		return nil, err
 	}
 	m := image.Manifest
@@ -343,7 +365,6 @@ func (s *Service) installParsed(image *apk.APK, stagedPath string, system bool) 
 		UID:         uid,
 		SystemImage: system,
 		InstallTime: s.opts.Now(),
-		granted:     make(map[string]bool),
 		image:       image,
 	}
 	// Define the manifest's permissions. First definer wins: a name
@@ -437,18 +458,18 @@ func (s *Service) grantPermissions(p *Package) {
 		}
 		switch def.Level {
 		case perm.Normal:
-			p.granted[name] = true
+			p.grant(name)
 		case perm.Dangerous:
 			if !s.opts.RuntimePermissions {
-				p.granted[name] = true
+				p.grant(name)
 			}
 		case perm.Signature:
 			if s.definerCert(def).Equal(p.Cert) {
-				p.granted[name] = true
+				p.grant(name)
 			}
 		case perm.SignatureOrSystem:
 			if s.definerCert(def).Equal(p.Cert) || p.SystemImage || p.Cert.Equal(s.PlatformCert()) {
-				p.granted[name] = true
+				p.grant(name)
 			}
 		}
 	}
@@ -483,20 +504,20 @@ func (s *Service) RequestPermission(pkgName, permission string, userApproves boo
 		return false, false, nil
 	}
 	if def.Level != perm.Dangerous {
-		return p.granted[permission], false, nil
+		return p.Granted(permission), false, nil
 	}
-	if p.granted[permission] {
+	if p.Granted(permission) {
 		return true, true, nil
 	}
 	// Same-group silent grant.
-	for held := range p.granted {
+	for _, held := range p.granted {
 		if s.registry.SameGroup(held, permission) {
-			p.granted[permission] = true
+			p.grant(permission)
 			return true, true, nil
 		}
 	}
 	if userApproves {
-		p.granted[permission] = true
+		p.grant(permission)
 		return true, false, nil
 	}
 	return false, false, nil
@@ -509,6 +530,6 @@ func (s *Service) Grant(pkgName, permission string) error {
 	if !ok {
 		return fmt.Errorf("%s: %w", pkgName, ErrNotInstalled)
 	}
-	p.granted[permission] = true
+	p.grant(permission)
 	return nil
 }

@@ -46,6 +46,13 @@ func NewTable() *Table {
 	}
 }
 
+// Reset empties the table and rewinds PID allocation to its boot value.
+func (t *Table) Reset() {
+	t.byPID = make(map[int]*proc)
+	t.byPkg = make(map[string]int)
+	t.nextPID = 1000
+}
+
 // Register adds a process for pkg and returns its PID. Registering an
 // already-running package returns the existing PID.
 func (t *Table) Register(pkg string) int {

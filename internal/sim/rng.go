@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// This file provides fastSource, a drop-in replacement for math/rand's
+// additive lagged-Fibonacci source (Mitchell & Reeds) whose output stream
+// is bit-identical — pinned by TestFastSourceMatchesMathRand — but whose
+// Seed restores a cached state vector instead of re-running the ~1800-step
+// seeding recurrence. Device arenas reseed one scheduler per acquisition,
+// which made math/rand seeding the hottest flat cost of an exploration
+// sweep; restoring a 607-word vector is a ~5 KiB copy.
+//
+// math/rand folds a precomputed "cooked" constant table into every seeded
+// state. Rather than duplicating that table, calibrate() recovers it at
+// first use from math/rand itself: the generator's feedback structure makes
+// the pristine post-Seed state solvable from the first 607 outputs, and the
+// seeding recurrence then yields the constants by XOR.
+
+const (
+	fsLen    = 607 // generator register length
+	fsTap    = 273 // feedback tap offset
+	fsMask   = 1<<63 - 1
+	int32max = 1<<31 - 1
+
+	// Multiplier of the Lehmer seeding recurrence.
+	fsA = 48271
+)
+
+// fsSeedrand advances the seeding recurrence: x' = 48271·x mod (2³¹−1).
+// math/rand uses Schrage's method (two 32-bit divisions) to stay in int32;
+// with 64-bit arithmetic the Mersenne modulus reduces with a shift-and-add,
+// which matters because seeding runs this 1841 times per fresh seed. The
+// results are identical: both compute the exact product mod 2³¹−1.
+func fsSeedrand(x int32) int32 {
+	p := uint64(x) * fsA // < 2⁴⁷, so one folding step suffices
+	x32 := uint32(p>>31) + uint32(p&int32max)
+	if x32 >= int32max {
+		x32 -= int32max
+	}
+	return int32(x32)
+}
+
+var calib struct {
+	once   sync.Once
+	cooked [fsLen]int64
+}
+
+// calibrate recovers math/rand's cooked seeding constants from a reference
+// source. After Seed, the first fsTap·2+… outputs are sums over the pristine
+// state vector: out_k for k ≤ 273 adds two untouched entries, while later
+// outputs add one untouched entry and one already-emitted value, so the
+// whole vector falls out of two sequential passes. XORing the vector with
+// the (re-runnable) seeding recurrence isolates the constants.
+func calibrate() {
+	const calibSeed = 1
+	src := rand.NewSource(calibSeed).(rand.Source64)
+	var out [fsLen + 1]int64
+	for k := 1; k <= fsLen; k++ {
+		out[k] = int64(src.Uint64())
+	}
+	// Pass 1 (k = 274..607): vec[feed_k] = out_k − out_{k−273}, since the
+	// tap entry was overwritten by output k−273.
+	var vec [fsLen]int64
+	for k := 274; k <= fsLen; k++ {
+		feed := 334 - k
+		if feed < 0 {
+			feed += fsLen
+		}
+		vec[feed] = out[k] - out[k-273]
+	}
+	// Pass 2 (k = 273..1): both entries pristine, and the tap entry
+	// (index 607−k, in 334..606) was recovered by pass 1.
+	for k := 273; k >= 1; k-- {
+		vec[334-k] = out[k] - vec[fsLen-k]
+	}
+	// vec[i] = chain_i(seed) ^ cooked[i]  ⇒  cooked[i] = chain_i(seed) ^ vec[i].
+	x := fsNormalize(calibSeed)
+	for i := -20; i < fsLen; i++ {
+		x = fsSeedrand(x)
+		if i >= 0 {
+			u := int64(x) << 40
+			x = fsSeedrand(x)
+			u ^= int64(x) << 20
+			x = fsSeedrand(x)
+			u ^= int64(x)
+			calib.cooked[i] = u ^ vec[i]
+		}
+	}
+}
+
+// fsNormalize maps an int64 seed onto the recurrence's int32 domain the way
+// rngSource.Seed does.
+func fsNormalize(seed int64) int32 {
+	seed = seed % int32max
+	if seed < 0 {
+		seed += int32max
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	return int32(seed)
+}
+
+// seedStateCache memoizes the freshly-seeded state vector per seed. A sweep
+// revisits each of its seeds once per jitter bound (and benchmarks revisit
+// them every iteration), so the recurrence runs once per distinct seed per
+// process. The cap bounds memory at ~5 KiB per entry.
+var seedStateCache struct {
+	sync.Mutex
+	m map[int64]*[fsLen]int64
+}
+
+const seedStateCacheCap = 1024
+
+// fastSource implements rand.Source64 with math/rand's exact stream.
+type fastSource struct {
+	tap, feed int
+	vec       [fsLen]int64
+}
+
+func newFastSource(seed int64) *fastSource {
+	s := &fastSource{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed restores the canonical post-seed state for seed, computing and
+// caching it on first sight.
+func (s *fastSource) Seed(seed int64) {
+	s.tap = 0
+	s.feed = fsLen - fsTap
+	seedStateCache.Lock()
+	cached := seedStateCache.m[seed]
+	seedStateCache.Unlock()
+	if cached != nil {
+		s.vec = *cached
+		return
+	}
+	calib.once.Do(calibrate)
+	x := fsNormalize(seed)
+	for i := -20; i < fsLen; i++ {
+		x = fsSeedrand(x)
+		if i >= 0 {
+			u := int64(x) << 40
+			x = fsSeedrand(x)
+			u ^= int64(x) << 20
+			x = fsSeedrand(x)
+			u ^= int64(x)
+			s.vec[i] = u ^ calib.cooked[i]
+		}
+	}
+	seedStateCache.Lock()
+	if seedStateCache.m == nil {
+		seedStateCache.m = make(map[int64]*[fsLen]int64)
+	}
+	if len(seedStateCache.m) < seedStateCacheCap {
+		// Copy inside the capacity check: once the cache is full, a sweep
+		// over fresh seeds must not heap-allocate a state vector per seed.
+		state := new([fsLen]int64)
+		*state = s.vec
+		seedStateCache.m[seed] = state
+	}
+	seedStateCache.Unlock()
+}
+
+func (s *fastSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += fsLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += fsLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+func (s *fastSource) Int63() int64 {
+	return int64(s.Uint64() & fsMask)
+}

@@ -6,10 +6,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/ghost-installer/gia/internal/fault"
@@ -42,16 +42,25 @@ type Metrics struct {
 // A Scheduler is safe for concurrent use, although the intended model is
 // single-threaded: callbacks run on the goroutine that calls Run, Step or
 // RunUntil, and may schedule further events.
+//
+// Internally, pending events live in a hierarchical timer wheel and fired
+// events are recycled through a free list, so the steady-state hot path
+// (schedule, dispatch, recycle) does not allocate. Timer handles carry a
+// generation number so a handle that outlives its event cannot cancel the
+// event's pooled successor.
 type Scheduler struct {
-	mu       sync.Mutex
-	now      time.Duration
+	mu  sync.Mutex
+	now time.Duration
+	// nowA mirrors now so Now (the single hottest scheduler call: every
+	// modTime stamp and event reads it) never contends on the lock.
+	nowA     atomic.Int64
 	seq      uint64
-	events   eventHeap
+	q        eventQueue
+	free     []*event
 	rng      *rand.Rand
 	arbiter  Arbiter
 	injector fault.Injector
 	met      Metrics
-	running  bool
 }
 
 // Arbiter chooses which of n same-instant runnable events fires next,
@@ -65,7 +74,42 @@ type Arbiter func(n int) int
 // New returns a Scheduler whose random source is seeded with seed. The same
 // seed always yields the same event interleavings and random draws.
 func New(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+	s := &Scheduler{rng: rand.New(newFastSource(seed))}
+	s.q = newWheelQueue(s.recycle)
+	return s
+}
+
+// newHeapScheduler builds a Scheduler on the original binary-heap queue.
+// It exists only for the differential tests (FuzzTimerWheel) that pin the
+// wheel's dispatch order to the heap's.
+func newHeapScheduler(seed int64) *Scheduler {
+	s := &Scheduler{rng: rand.New(newFastSource(seed))}
+	s.q = newHeapQueue(s.recycle)
+	return s
+}
+
+// Reset rewinds the scheduler to its boot state with a fresh seed: clock at
+// zero, queue empty (pending events are discarded), arbiter, fault injector
+// and metrics hooks removed, and the random stream re-seeded so draws equal
+// those of a brand-new New(seed) scheduler. Allocated queue and pool
+// capacity is retained — this is the arena's microsecond-scale alternative
+// to rebuilding the object graph.
+func (s *Scheduler) Reset(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = 0
+	s.nowA.Store(0)
+	s.seq = 0
+	s.q.reset()
+	// rand.Rand.Seed reinitializes the underlying source in place (here
+	// fastSource restores a cached state vector); the stream is
+	// bit-identical to rand.New(rand.NewSource(seed)), which is what makes
+	// a reset device's random draws equal a fresh boot's. Pinned by
+	// TestFastSourceMatchesMathRand and TestResetRestoresRandomStream.
+	s.rng.Seed(seed)
+	s.arbiter = nil
+	s.injector = nil
+	s.met = Metrics{}
 }
 
 // SetArbiter installs (or, with nil, removes) the same-instant tie-break
@@ -96,16 +140,26 @@ func (s *Scheduler) Instrument(m Metrics) {
 
 // Now reports the current virtual time, measured from boot (zero).
 func (s *Scheduler) Now() time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.now
+	return time.Duration(s.nowA.Load())
 }
 
-// Pending reports how many events are queued.
+// Pending reports how many events are queued (including cancelled events
+// not yet swept from the queue).
 func (s *Scheduler) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.events)
+	return s.q.size()
+}
+
+// Fingerprint digests the scheduler's dynamic state — clock, sequence
+// counter and the multiset of live pending (deadline, seq) pairs — in a
+// representation-independent way: heap- and wheel-backed schedulers in the
+// same logical state produce equal fingerprints. The devicetest harness
+// compares these across fresh-boot and arena-reset devices.
+func (s *Scheduler) Fingerprint() Fingerprint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return queueFingerprint(s.now, s.seq, s.q)
 }
 
 // Uint32 draws from the scheduler's seeded source under its lock.
@@ -148,6 +202,27 @@ func (s *Scheduler) Uniform(lo, hi time.Duration) time.Duration {
 // (t earlier than Now) clamps to the present: the event fires on the next
 // Step. The returned Timer can cancel the event before it fires.
 func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
+	ev, ok := s.schedule(t, fn)
+	if !ok {
+		// Dropped by a fault plan: never entered the queue; hand back an
+		// inert handle whose Cancel is a no-op.
+		return &Timer{s: s, at: t}
+	}
+	return &Timer{s: s, ev: ev, gen: ev.gen, at: ev.at}
+}
+
+// AtFn schedules fn to run at absolute virtual time t, without returning a
+// cancellation handle. Internal call sites that never cancel use this: it
+// keeps the steady-state hot path allocation-free (the event struct itself
+// is pooled).
+func (s *Scheduler) AtFn(t time.Duration, fn func()) {
+	s.schedule(t, fn)
+}
+
+// schedule is the shared At/AtFn path: probe the fault injector, then
+// enqueue. It reports the queued event, or ok=false when a fault plan
+// dropped it.
+func (s *Scheduler) schedule(t time.Duration, fn func()) (*event, bool) {
 	s.mu.Lock()
 	fi := s.injector
 	now := s.now
@@ -163,48 +238,75 @@ func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
 		case fault.KindDelay:
 			t += act.Delay
 		case fault.KindDrop:
-			// Never enters the heap; Cancel stays a harmless no-op.
-			return &Timer{s: s, ev: &event{at: t, fn: fn, cancelled: true}}
+			return nil, false
 		case fault.KindDuplicate:
 			s.at(t+act.Delay, fn)
 		}
 	}
-	return s.at(t, fn)
+	return s.at(t, fn), true
 }
 
-// at is At without the fault probe (used for injected duplicates).
-func (s *Scheduler) at(t time.Duration, fn func()) *Timer {
+// at is the enqueue step, without the fault probe (used for injected
+// duplicates).
+func (s *Scheduler) at(t time.Duration, fn func()) *event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t < s.now {
 		t = s.now
 	}
-	ev := &event{at: t, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.cancelled = false
 	s.seq++
-	heap.Push(&s.events, ev)
+	s.q.push(s.now, ev)
 	s.met.Scheduled.Add(1)
-	s.met.Depth.Set(int64(len(s.events)))
-	return &Timer{s: s, ev: ev}
+	s.met.Depth.Set(int64(s.q.size()))
+	return ev
+}
+
+// alloc takes an event from the free list, or makes one. Callers hold s.mu.
+func (s *Scheduler) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a fired or swept event to the free list. Bumping the
+// generation invalidates any Timer still holding the event, so a stale
+// Cancel cannot kill the event's next incarnation. Callers hold s.mu.
+func (s *Scheduler) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	s.free = append(s.free, ev)
 }
 
 // After schedules fn to run d after the current virtual time.
 func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
-	s.mu.Lock()
-	now := s.now
-	s.mu.Unlock()
-	return s.At(now+d, fn)
+	return s.At(s.Now()+d, fn)
+}
+
+// AfterFn schedules fn to run d after the current virtual time, without a
+// cancellation handle (see AtFn).
+func (s *Scheduler) AfterFn(d time.Duration, fn func()) {
+	s.AtFn(s.Now()+d, fn)
 }
 
 // Step runs the earliest pending event, advancing the clock to its deadline.
 // It reports whether an event ran.
 func (s *Scheduler) Step() bool {
 	s.mu.Lock()
-	ev := s.popRunnable()
+	ev := s.popRunnable(maxDeadline)
 	s.mu.Unlock()
 	if ev == nil {
 		return false
 	}
-	ev.fn()
+	s.fire(ev)
 	return true
 }
 
@@ -220,45 +322,51 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(t time.Duration) {
 	for {
 		s.mu.Lock()
-		if len(s.events) == 0 || s.events[0].at > t {
+		ev := s.popRunnable(t)
+		if ev == nil {
 			if s.now < t {
 				s.now = t
+				s.nowA.Store(int64(t))
 			}
 			s.mu.Unlock()
 			return
 		}
-		ev := s.popRunnable()
 		s.mu.Unlock()
-		if ev != nil {
-			ev.fn()
-		}
+		s.fire(ev)
 	}
 }
 
-// popRunnable pops the next non-cancelled event and advances the clock.
-// With an arbiter installed, every runnable event sharing the earliest
-// deadline is collected, the arbiter picks which fires, and the rest return
-// to the queue with their scheduling order intact. Callers must hold s.mu.
-func (s *Scheduler) popRunnable() *event {
-	for len(s.events) > 0 && s.events[0].cancelled {
-		heap.Pop(&s.events)
-	}
-	if len(s.events) == 0 {
-		s.met.Depth.Set(0)
-		return nil
-	}
+// fire runs one dispatched event's callback outside the lock, then recycles
+// the event struct.
+func (s *Scheduler) fire(ev *event) {
+	fn := ev.fn
+	fn()
+	s.mu.Lock()
+	s.recycle(ev)
+	s.mu.Unlock()
+}
+
+// popRunnable pops the next non-cancelled event with deadline <= limit and
+// advances the clock. With an arbiter installed, every runnable event
+// sharing the earliest deadline is collected, the arbiter picks which
+// fires, and the rest return to the queue with their scheduling order
+// intact. Callers must hold s.mu.
+func (s *Scheduler) popRunnable(limit time.Duration) *event {
 	if s.arbiter == nil {
-		ev := s.popEvent()
+		ev := s.q.pop(s.now, limit)
+		if ev == nil {
+			s.met.Depth.Set(int64(s.q.size()))
+			return nil
+		}
 		s.now = ev.at
+		s.nowA.Store(int64(ev.at))
 		s.dispatched(ev)
 		return ev
 	}
-	at := s.events[0].at
-	var cands []*event
-	for len(s.events) > 0 && s.events[0].at == at {
-		if ev := s.popEvent(); !ev.cancelled {
-			cands = append(cands, ev)
-		}
+	cands := s.q.popTies(s.now, limit)
+	if len(cands) == 0 {
+		s.met.Depth.Set(int64(s.q.size()))
+		return nil
 	}
 	idx := 0
 	if len(cands) > 1 {
@@ -266,14 +374,17 @@ func (s *Scheduler) popRunnable() *event {
 			idx = i
 		}
 	}
+	at := cands[idx].at
+	s.now = at
+	s.nowA.Store(int64(at))
+	chosen := cands[idx]
 	for i, ev := range cands {
 		if i != idx {
-			heap.Push(&s.events, ev)
+			s.q.push(s.now, ev)
 		}
 	}
-	s.now = at
-	s.dispatched(cands[idx])
-	return cands[idx]
+	s.dispatched(chosen)
+	return chosen
 }
 
 // dispatched records one fired event. Callers hold s.mu, so the trace
@@ -281,31 +392,33 @@ func (s *Scheduler) popRunnable() *event {
 // takes the same lock).
 func (s *Scheduler) dispatched(ev *event) {
 	s.met.Dispatched.Add(1)
-	s.met.Depth.Set(int64(len(s.events)))
+	s.met.Depth.Set(int64(s.q.size()))
 	if s.met.Track != nil {
 		s.met.Track.InstantAt(ev.at, "dispatch", "")
 	}
 }
 
-func (s *Scheduler) popEvent() *event {
-	ev, ok := heap.Pop(&s.events).(*event)
-	if !ok {
-		panic("sim: event heap holds a non-event")
-	}
-	return ev
-}
-
-// Timer is a handle to a scheduled event.
+// Timer is a handle to a scheduled event. The handle pins the event's
+// deadline and generation at creation, so it stays valid (and harmless)
+// after the event fires and its struct is recycled for a later event.
 type Timer struct {
-	s  *Scheduler
-	ev *event
+	s   *Scheduler
+	ev  *event
+	gen uint64
+	at  time.Duration
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled timer is a no-op.
 func (t *Timer) Cancel() {
+	if t.ev == nil {
+		return // fault-dropped at scheduling time; nothing ever queued
+	}
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
+	if t.ev.gen != t.gen {
+		return // the event fired and its struct moved on
+	}
 	if !t.ev.cancelled {
 		t.ev.cancelled = true
 		t.s.met.Cancelled.Add(1)
@@ -313,47 +426,12 @@ func (t *Timer) Cancel() {
 }
 
 // When reports the virtual time the event is (or was) scheduled for.
-func (t *Timer) When() time.Duration { return t.ev.at }
+func (t *Timer) When() time.Duration { return t.at }
 
 type event struct {
 	at        time.Duration
 	seq       uint64
+	gen       uint64
 	fn        func()
 	cancelled bool
-	index     int
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		panic("sim: pushing a non-event")
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }

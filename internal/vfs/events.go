@@ -3,6 +3,7 @@ package vfs
 import (
 	"fmt"
 	"path"
+	"strings"
 )
 
 // EventKind is an inotify-style filesystem event type.
@@ -115,7 +116,15 @@ func (w *Watch) Close() {
 func (w *Watch) Dir() string { return w.dir }
 
 func (fs *FS) emit(ev Event) {
-	dir := path.Dir(ev.Path)
+	// Event paths are already clean and absolute, so the containing
+	// directory is a substring — path.Dir would re-Clean (and allocate)
+	// on every event.
+	dir := ev.Path
+	if i := strings.LastIndexByte(ev.Path, '/'); i > 0 {
+		dir = ev.Path[:i]
+	} else {
+		dir = "/"
+	}
 	// Copy the slice: a callback may add or close watches while we
 	// iterate.
 	list := fs.watchers[dir]

@@ -66,7 +66,7 @@ func (fs *FS) Open(p string, actor UID, flags OpenFlag, mode Mode) (*Handle, err
 			mode:    derived,
 			modTime: fs.now(),
 		}
-		parent.children[name] = n
+		addChild(parent, name, n)
 		created = true
 		fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor})
 	}
@@ -124,7 +124,21 @@ func (h *Handle) Write(p []byte) (int, error) {
 		if err := h.fs.chargeSpace(h.path, grow); err != nil {
 			return 0, err
 		}
-		h.node.data = append(h.node.data, make([]byte, grow)...)
+		if end <= int64(cap(h.node.data)) {
+			old := len(h.node.data)
+			h.node.data = h.node.data[:end]
+			clear(h.node.data[old:])
+		} else {
+			// Grow with headroom so chunked downloads don't reallocate and
+			// re-zero the whole file on every 64 KiB chunk.
+			newCap := 2 * cap(h.node.data)
+			if int64(newCap) < end {
+				newCap = int(end)
+			}
+			nd := make([]byte, end, newCap)
+			copy(nd, h.node.data)
+			h.node.data = nd
+		}
 	}
 	copy(h.node.data[h.offset:end], p)
 	h.offset = end
@@ -222,6 +236,92 @@ func (fs *FS) ReadFile(p string, actor UID) ([]byte, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// WriteShared is Write for an immutable shared buffer: instead of copying p
+// into the file, the (empty) file adopts p as its backing store, capped so
+// any later growth reallocates rather than scribbling past the shared
+// bytes. Checks, fault probes, space accounting and events match Write
+// exactly. The handle must be freshly opened with FlagTrunc; callers must
+// never modify p afterwards, and the file must not be rewritten in place
+// through a non-truncating handle (no simulated component does).
+func (h *Handle) WriteShared(p []byte) (int, error) {
+	if h.closed {
+		return 0, ErrClosedHandle
+	}
+	if h.flags&FlagWrite == 0 {
+		return 0, fmt.Errorf("write %q: read-only handle: %w", h.path, ErrPermission)
+	}
+	if h.offset != 0 || len(h.node.data) != 0 {
+		return h.Write(p) // mid-file writes still copy
+	}
+	if err := h.fs.injectErr(fault.SiteVFSWrite, h.path); err != nil {
+		return 0, fmt.Errorf("write %q: %w", h.path, err)
+	}
+	if len(p) > 0 {
+		if err := h.fs.chargeSpace(h.path, int64(len(p))); err != nil {
+			return 0, err
+		}
+		h.node.data = p[:len(p):len(p)]
+	}
+	h.offset = int64(len(p))
+	h.wrote = true
+	h.node.modTime = h.fs.now()
+	h.fs.emit(Event{Kind: EvModify, Path: h.path, Actor: h.actor})
+	return len(p), nil
+}
+
+// WriteFileShared is WriteFile for an immutable shared buffer: the created
+// or truncated file aliases data instead of copying it, with the same
+// OPEN/MODIFY/CLOSE_WRITE event stream. Installers copy the same encoded
+// APK image onto every reset device of a sweep; sharing the buffer removes
+// the dominant per-schedule allocation.
+func (fs *FS) WriteFileShared(p string, data []byte, actor UID, mode Mode) error {
+	h, err := fs.Open(p, actor, FlagWrite|FlagCreate|FlagTrunc, mode)
+	if err != nil {
+		return err
+	}
+	if _, err := h.WriteShared(data); err != nil {
+		_ = h.Close()
+		return err
+	}
+	return h.Close()
+}
+
+// ReadFileShared returns the file's content without copying, emitting the
+// same OPEN/ACCESS/CLOSE_NOWRITE sequence (and probing the same fault
+// sites) as ReadFile. The returned slice aliases the live file data:
+// callers must treat it as read-only and finish with it before the
+// simulation writes to the same file. Verification loops read staged APKs
+// hundreds of times per install, so the copy in ReadFile dominates their
+// allocation profile.
+func (fs *FS) ReadFileShared(p string, actor UID) ([]byte, error) {
+	if err := fs.injectErr(fault.SiteVFSOpen, p); err != nil {
+		return nil, fmt.Errorf("open %q: %w", p, err)
+	}
+	n, err := fs.lookup(p, true)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind == kindDir {
+		return nil, fmt.Errorf("open %q: %w", p, ErrIsDir)
+	}
+	info := n.info()
+	full := info.Path
+	if err := fs.check(Request{Op: OpRead, Path: full, Actor: actor, Info: &info}); err != nil {
+		return nil, err
+	}
+	fs.emit(Event{Kind: EvOpen, Path: full, Actor: actor})
+	data := n.data
+	if len(data) > 0 {
+		if err := fs.injectErr(fault.SiteVFSRead, full); err != nil {
+			fs.emit(Event{Kind: EvCloseNoWrite, Path: full, Actor: actor})
+			return nil, fmt.Errorf("read %q: %w", full, err)
+		}
+		fs.emit(Event{Kind: EvAccess, Path: full, Actor: actor})
+	}
+	fs.emit(Event{Kind: EvCloseNoWrite, Path: full, Actor: actor})
+	return data, nil
 }
 
 // ReadTail returns the last n bytes of the file at p — how the wait-and-see

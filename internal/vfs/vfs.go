@@ -100,23 +100,88 @@ type node struct {
 	kind     nodeKind
 	name     string
 	parent   *node
-	children map[string]*node // kindDir
-	data     []byte           // kindFile
-	target   string           // kindSymlink
+	children []*node // kindDir, sorted by name
+	data     []byte  // kindFile
+	target   string  // kindSymlink
 	owner    UID
 	mode     Mode
 	modTime  time.Duration
+	// cpath memoizes path(): every open, event emission and Info build
+	// renders the full path, and rebuilding it by walking the parent chain
+	// dominated the event hot path. Rename invalidates the moved subtree.
+	cpath string
 }
 
 func (n *node) path() string {
 	if n.parent == nil {
 		return "/"
 	}
+	if n.cpath != "" {
+		return n.cpath
+	}
 	parent := n.parent.path()
 	if parent == "/" {
-		return "/" + n.name
+		n.cpath = "/" + n.name
+	} else {
+		n.cpath = parent + "/" + n.name
 	}
-	return parent + "/" + n.name
+	return n.cpath
+}
+
+// invalidatePaths clears the memoized paths of n and everything beneath it,
+// after a rename re-roots the subtree.
+func invalidatePaths(n *node) {
+	n.cpath = ""
+	for _, c := range n.children {
+		invalidatePaths(c)
+	}
+}
+
+// childIndex returns the position of name in n's sorted children slice, or
+// the insertion point if absent (found reports which).
+func (n *node) childIndex(name string) (int, bool) {
+	lo, hi := 0, len(n.children)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.children[mid].name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.children) && n.children[lo].name == name
+}
+
+// child returns the entry named name, or nil. Directories in a device image
+// are tiny, so a sorted slice beats a map: no per-directory map allocation,
+// no string hashing on the lookup hot path, and List/Walk iterate in lexical
+// order without collecting and sorting names first.
+func (n *node) child(name string) *node {
+	if i, ok := n.childIndex(name); ok {
+		return n.children[i]
+	}
+	return nil
+}
+
+// addChild links n under parent, keeping the slice sorted. An existing entry
+// with the same name is replaced (matching the old map semantics, which
+// Rename relies on when overwriting a file).
+func addChild(parent *node, name string, n *node) {
+	i, ok := parent.childIndex(name)
+	if ok {
+		parent.children[i] = n
+		return
+	}
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+1:], parent.children[i:])
+	parent.children[i] = n
+}
+
+// removeChild unlinks child from parent (no-op if absent).
+func removeChild(parent, child *node) {
+	if i, ok := parent.childIndex(child.name); ok && parent.children[i] == child {
+		parent.children = append(parent.children[:i], parent.children[i+1:]...)
+	}
 }
 
 func (n *node) info() Info {
@@ -158,15 +223,30 @@ func New(now func() time.Duration) *FS {
 		now = func() time.Duration { return 0 }
 	}
 	return &FS{
-		root: &node{
-			kind:     kindDir,
-			children: make(map[string]*node),
-			owner:    Root,
-			mode:     ModeDir,
-		},
+		root:     &node{kind: kindDir, owner: Root, mode: ModeDir},
 		now:      now,
 		watchers: make(map[string][]*Watch),
 	}
+}
+
+// Reset returns the filesystem to its just-created state while keeping the
+// mount table: the policies installed at boot are part of the device's
+// hardware configuration, not its mutable state. The tree, watches, fault
+// injector and capacity accounting are all cleared. Watches created before
+// Reset are marked closed so stale handles cannot observe the next run.
+func (fs *FS) Reset() {
+	fs.root = &node{kind: kindDir, owner: Root, mode: ModeDir}
+	for _, list := range fs.watchers {
+		for _, w := range list {
+			w.closed = true
+		}
+	}
+	fs.watchers = make(map[string][]*Watch)
+	fs.nextWID = 0
+	for i := range fs.mounts {
+		fs.mounts[i].used = 0
+	}
+	fs.injector = nil
 }
 
 // Mount installs an access policy over the subtree rooted at prefix, with an
@@ -259,12 +339,56 @@ func (fs *FS) chargeSpace(p string, delta int64) error {
 	return nil
 }
 
+// pathError is the lazily-formatted form of fmt.Errorf("%q: %w", path, err)
+// for the lookup hot path: existence probes (attacker pollers, MkdirAll,
+// Exists) construct and immediately discard huge numbers of not-exist
+// errors, so the string rendering is deferred until someone reads it.
+type pathError struct {
+	path string
+	err  error
+}
+
+func (e *pathError) Error() string { return fmt.Sprintf("%q: %s", e.path, e.err) }
+func (e *pathError) Unwrap() error { return e.err }
+
 // cleanPath validates and normalizes an absolute path.
 func cleanPath(p string) (string, error) {
 	if p == "" || p[0] != '/' {
 		return "", fmt.Errorf("%q: %w", p, ErrInvalidPath)
 	}
+	if isCleanPath(p) {
+		return p, nil
+	}
 	return path.Clean(p), nil
+}
+
+// isCleanPath reports whether an absolute path is already in path.Clean
+// form — the overwhelmingly common case on the simulation's hot paths,
+// where Clean's byte-by-byte rebuild (and its allocation) can be skipped.
+func isCleanPath(p string) bool {
+	if p == "/" {
+		return true
+	}
+	if p[len(p)-1] == '/' {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if p[i] != '/' {
+			continue
+		}
+		if p[i+1] == '/' {
+			return false // empty component
+		}
+		if p[i+1] == '.' {
+			if i+2 == len(p) || p[i+2] == '/' {
+				return false // "." component
+			}
+			if p[i+2] == '.' && (i+3 == len(p) || p[i+3] == '/') {
+				return false // ".." component
+			}
+		}
+	}
+	return true
 }
 
 // underPrefix reports whether p equals prefix or lies beneath it,
@@ -284,7 +408,7 @@ func (fs *FS) lookup(p string, followLast bool) (*node, error) {
 
 func (fs *FS) walk(p string, followLast bool, hops int) (*node, error) {
 	if hops > maxSymlinkHops {
-		return nil, fmt.Errorf("%q: %w", p, ErrLinkLoop)
+		return nil, &pathError{p, ErrLinkLoop}
 	}
 	clean, err := cleanPath(p)
 	if err != nil {
@@ -294,30 +418,39 @@ func (fs *FS) walk(p string, followLast bool, hops int) (*node, error) {
 	if clean == "/" {
 		return cur, nil
 	}
-	parts := strings.Split(clean[1:], "/")
-	for i, part := range parts {
+	// Iterate components by slicing rather than strings.Split: lookups are
+	// the single hottest operation in the simulation and must not allocate.
+	rest := clean[1:]
+	for {
+		part := rest
+		slash := strings.IndexByte(rest, '/')
+		last := slash < 0
+		if !last {
+			part = rest[:slash]
+		}
 		if cur.kind != kindDir {
-			return nil, fmt.Errorf("%q: %w", clean, ErrNotDir)
+			return nil, &pathError{clean, ErrNotDir}
 		}
-		child, ok := cur.children[part]
-		if !ok {
-			return nil, fmt.Errorf("%q: %w", clean, ErrNotExist)
+		child := cur.child(part)
+		if child == nil {
+			return nil, &pathError{clean, ErrNotExist}
 		}
-		last := i == len(parts)-1
 		if child.kind == kindSymlink && (!last || followLast) {
-			rest := strings.Join(parts[i+1:], "/")
 			target := child.target
 			if !strings.HasPrefix(target, "/") {
 				target = path.Join(cur.path(), target)
 			}
-			if rest != "" {
-				target = target + "/" + rest
+			if !last {
+				target = target + "/" + rest[slash+1:]
 			}
 			return fs.walk(target, followLast, hops+1)
 		}
 		cur = child
+		if last {
+			return cur, nil
+		}
+		rest = rest[slash+1:]
 	}
-	return cur, nil
 }
 
 // parentOf resolves the directory that would contain path p, following
@@ -387,22 +520,21 @@ func (fs *FS) Mkdir(p string, actor UID, mode Mode) error {
 	if err != nil {
 		return err
 	}
-	if _, ok := parent.children[name]; ok {
+	if parent.child(name) != nil {
 		return fmt.Errorf("%q: %w", p, ErrExist)
 	}
 	full := childPath(parent, name)
 	if err := fs.check(Request{Op: OpCreate, Path: full, Actor: actor, Dir: true}); err != nil {
 		return err
 	}
-	parent.children[name] = &node{
-		kind:     kindDir,
-		name:     name,
-		parent:   parent,
-		children: make(map[string]*node),
-		owner:    actor,
-		mode:     mode,
-		modTime:  fs.now(),
-	}
+	addChild(parent, name, &node{
+		kind:    kindDir,
+		name:    name,
+		parent:  parent,
+		owner:   actor,
+		mode:    mode,
+		modTime: fs.now(),
+	})
 	fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor, IsDir: true})
 	return nil
 }
@@ -416,23 +548,67 @@ func (fs *FS) MkdirAll(p string, actor UID, mode Mode) error {
 	if clean == "/" {
 		return nil
 	}
-	parts := strings.Split(clean[1:], "/")
-	cur := "/"
-	for _, part := range parts {
-		cur = path.Join(cur, part)
-		n, err := fs.lookup(cur, true)
-		if err == nil {
-			if n.kind != kindDir {
-				return fmt.Errorf("%q: %w", cur, ErrNotDir)
+	// Fast path: the full tree usually already exists — one walk instead of
+	// one per component.
+	if n, err := fs.lookup(clean, true); err == nil {
+		if n.kind != kindDir {
+			return fmt.Errorf("%q: %w", clean, ErrNotDir)
+		}
+		return nil
+	}
+	// Single descent: step through existing components in place and create
+	// each missing one directly under its (already resolved) parent, with
+	// the same per-component check and CREATE event as Mkdir. Re-walking
+	// from the root per component made directory skeletons the hottest
+	// path of a device reset.
+	cur := fs.root
+	end := 0
+	for end != len(clean) {
+		start := end + 1
+		if slash := strings.IndexByte(clean[start:], '/'); slash < 0 {
+			end = len(clean)
+		} else {
+			end = start + slash
+		}
+		name := clean[start:end]
+		if cur.kind != kindDir {
+			return &pathError{clean[:start-1], ErrNotDir}
+		}
+		if child := cur.child(name); child != nil {
+			if child.kind != kindSymlink {
+				cur = child
+				continue
 			}
+			// Symlinked prefix: resolve with a full walk. A dangling link
+			// occupies the name, so creation would fail like Mkdir's.
+			n, err := fs.lookup(clean[:end], true)
+			if err != nil {
+				if errors.Is(err, ErrNotExist) {
+					return fmt.Errorf("%q: %w", clean[:end], ErrExist)
+				}
+				return err
+			}
+			cur = n
 			continue
 		}
-		if !errors.Is(err, ErrNotExist) {
+		full := childPath(cur, name)
+		if err := fs.check(Request{Op: OpCreate, Path: full, Actor: actor, Dir: true}); err != nil {
 			return err
 		}
-		if err := fs.Mkdir(cur, actor, mode); err != nil {
-			return err
+		n := &node{
+			kind:    kindDir,
+			name:    name,
+			parent:  cur,
+			owner:   actor,
+			mode:    mode,
+			modTime: fs.now(),
 		}
+		addChild(cur, name, n)
+		fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor, IsDir: true})
+		cur = n
+	}
+	if cur.kind != kindDir {
+		return &pathError{clean, ErrNotDir}
 	}
 	return nil
 }
@@ -444,14 +620,14 @@ func (fs *FS) Symlink(target, linkPath string, actor UID) error {
 	if err != nil {
 		return err
 	}
-	if _, ok := parent.children[name]; ok {
+	if parent.child(name) != nil {
 		return fmt.Errorf("%q: %w", linkPath, ErrExist)
 	}
 	full := childPath(parent, name)
 	if err := fs.check(Request{Op: OpCreate, Path: full, Actor: actor}); err != nil {
 		return err
 	}
-	parent.children[name] = &node{
+	addChild(parent, name, &node{
 		kind:    kindSymlink,
 		name:    name,
 		parent:  parent,
@@ -459,7 +635,7 @@ func (fs *FS) Symlink(target, linkPath string, actor UID) error {
 		owner:   actor,
 		mode:    0o777,
 		modTime: fs.now(),
-	}
+	})
 	fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor})
 	return nil
 }
@@ -548,7 +724,7 @@ func (fs *FS) Remove(p string, actor UID) error {
 			return err
 		}
 	}
-	delete(n.parent.children, n.name)
+	removeChild(n.parent, n)
 	fs.emit(Event{Kind: EvDelete, Path: full, Actor: actor, IsDir: n.kind == kindDir})
 	return nil
 }
@@ -563,13 +739,10 @@ func (fs *FS) RemoveAll(p string, actor UID) error {
 		return err
 	}
 	if n.kind == kindDir {
-		names := make([]string, 0, len(n.children))
-		for name := range n.children {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			if err := fs.RemoveAll(childPath(n, name), actor); err != nil {
+		// Snapshot: Remove mutates the slice while we iterate.
+		kids := append([]*node(nil), n.children...)
+		for _, c := range kids {
+			if err := fs.RemoveAll(childPath(n, c.name), actor); err != nil {
 				return err
 			}
 		}
@@ -602,7 +775,7 @@ func (fs *FS) Rename(oldPath, newPath string, actor UID) error {
 	if err := fs.check(req); err != nil {
 		return err
 	}
-	if existing, ok := newParent.children[newName]; ok {
+	if existing := newParent.child(newName); existing != nil {
 		if existing.kind == kindDir {
 			return fmt.Errorf("%q: %w", newFull, ErrIsDir)
 		}
@@ -626,12 +799,13 @@ func (fs *FS) Rename(oldPath, newPath string, actor UID) error {
 			}
 		}
 	}
-	delete(n.parent.children, n.name)
+	removeChild(n.parent, n)
 	fs.emit(Event{Kind: EvMovedFrom, Path: oldFull, Actor: actor, IsDir: n.kind == kindDir})
 	n.parent = newParent
 	n.name = newName
 	n.modTime = fs.now()
-	newParent.children[newName] = n
+	invalidatePaths(n)
+	addChild(newParent, newName, n)
 	fs.emit(Event{Kind: EvMovedTo, Path: newFull, Actor: actor, IsDir: n.kind == kindDir})
 	return nil
 }
@@ -645,14 +819,9 @@ func (fs *FS) List(p string) ([]Info, error) {
 	if n.kind != kindDir {
 		return nil, fmt.Errorf("%q: %w", p, ErrNotDir)
 	}
-	names := make([]string, 0, len(n.children))
-	for name := range n.children {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	infos := make([]Info, 0, len(names))
-	for _, name := range names {
-		infos = append(infos, n.children[name].info())
+	infos := make([]Info, 0, len(n.children))
+	for _, c := range n.children {
+		infos = append(infos, c.info())
 	}
 	return infos, nil
 }
@@ -673,13 +842,10 @@ func walkNode(n *node, fn func(Info) error) error {
 	if n.kind != kindDir {
 		return nil
 	}
-	names := make([]string, 0, len(n.children))
-	for name := range n.children {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if err := walkNode(n.children[name], fn); err != nil {
+	// Snapshot: fn may create or remove entries under n.
+	kids := append([]*node(nil), n.children...)
+	for _, c := range kids {
+		if err := walkNode(c, fn); err != nil {
 			return err
 		}
 	}

@@ -43,6 +43,20 @@ echo "== alloc budgets (non-race) =="
 # which is what keeps the analysis budgets intact with hooks compiled in.
 go test -run 'AllocBudget' -count=1 ./internal/analysis
 go test -run '^TestDisabledHooksZeroAlloc$' -count=1 ./internal/obs
+# The simulator hot path (schedule+dispatch through the pooled timer
+# wheel) must stay allocation-free, and one full AIT schedule on a warm
+# arena device must stay within its pinned object budget.
+go test -run '^TestSchedulerAllocBudget$' -count=1 ./internal/sim
+go test -run '^TestAITAllocBudget$' -count=1 ./internal/experiment
+
+echo "== arena reset equivalence (race-enabled) =="
+# A pooled device reset in place must be indistinguishable from a fresh
+# boot: byte-identical state fingerprints across every GIA x defense cell
+# and fault plan, plus the restored seeded RNG stream.
+go test -race -count=1 \
+    -run '^(TestArenaResetEquivalence|TestDeviceResetRestoresRNGStream)$' \
+    ./internal/devicetest
+go test -race -count=1 -run '^TestFastSourceMatchesMathRand$' ./internal/sim
 
 echo "== trace/metrics parity across worker counts =="
 # A virtual-only trace, its JSONL export and the metrics snapshot must be
