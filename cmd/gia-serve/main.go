@@ -1,0 +1,138 @@
+// Command gia-serve runs the fleet-as-a-service daemon: a long-lived HTTP/
+// JSON API managing thousands of concurrent simulated devices (create,
+// install, attack, chaos replay, reclaim) backed by per-shard device
+// arenas, plus a built-in open-loop load generator.
+//
+// Serve mode (default):
+//
+//	gia-serve -addr 127.0.0.1:8436 -shards 4 -idle-reclaim 5m
+//
+// Load-test mode — boots a fleet, offers an open-loop arrival stream and
+// prints p50/p99 arrival-to-completion latency from the obs histogram:
+//
+//	gia-serve -loadtest -devices 1000 -rate 1500 -duration 10s
+//
+// Smoke mode — drives one device through the full HTTP lifecycle against
+// an already-running daemon (used by verify.sh):
+//
+//	gia-serve -smoke http://127.0.0.1:8436
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/obs"
+	"github.com/ghost-installer/gia/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8436", "listen address (host:port; port 0 picks a free port)")
+		shards      = flag.Int("shards", 4, "goroutine-owned device arena shards")
+		seed        = flag.Int64("seed", 2017, "base seed for per-device RNG streams")
+		idleReclaim = flag.Duration("idle-reclaim", 0, "reclaim devices idle this long to their shard pool (0 disables)")
+
+		loadtest    = flag.Bool("loadtest", false, "run the built-in open-loop load generator instead of serving")
+		devices     = flag.Int("devices", 1000, "loadtest: concurrent fleet size")
+		rate        = flag.Float64("rate", 1000, "loadtest: offered arrivals per second")
+		duration    = flag.Duration("duration", 5*time.Second, "loadtest: arrival window")
+		churnEvery  = flag.Int("churn", 4, "loadtest: every Nth arrival reclaims+recreates its device (0 disables)")
+		attackEvery = flag.Int("attack-every", 0, "loadtest: every Nth arrival runs an attack (0 disables)")
+		store       = flag.String("store", "amazon", "loadtest: store profile for fleet devices")
+		benchJSON   = flag.String("benchjson", "", "loadtest: record the serve entry into this BENCH_scan.json")
+
+		smoke = flag.String("smoke", "", "run the HTTP smoke sequence against a daemon at this URL, then exit")
+	)
+	flag.Parse()
+
+	if *smoke != "" {
+		if err := runSmoke(*smoke); err != nil {
+			fmt.Fprintf(os.Stderr, "gia-serve: smoke failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("gia-serve: smoke ok")
+		return
+	}
+
+	reg := obs.NewRegistry()
+	fleet := serve.NewFleet(serve.Config{
+		Shards:      *shards,
+		Seed:        *seed,
+		IdleReclaim: *idleReclaim,
+		Registry:    reg,
+	})
+
+	if *loadtest {
+		report, err := serve.RunLoad(fleet, serve.LoadConfig{
+			Devices:     *devices,
+			Rate:        *rate,
+			Duration:    *duration,
+			ChurnEvery:  *churnEvery,
+			AttackEvery: *attackEvery,
+			Seed:        *seed,
+			Store:       *store,
+			Registry:    reg,
+		})
+		fleet.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gia-serve: loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		report.WriteReport(os.Stdout)
+		if *benchJSON != "" {
+			if err := recordBench(*benchJSON, *shards, report); err != nil {
+				fmt.Fprintf(os.Stderr, "gia-serve: record bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("recorded serve entry in %s\n", *benchJSON)
+		}
+		if report.Errors > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gia-serve: listen: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: serve.NewHandler(fleet, reg)}
+	// The listening line is the daemon's readiness signal; verify.sh and
+	// scripts scrape the URL from it (port 0 resolves here).
+	fmt.Printf("gia-serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "gia-serve: serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Graceful shutdown: stop accepting, drain HTTP handlers, then drain
+	// the fleet's in-flight transactions.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "gia-serve: shutdown: %v\n", err)
+	}
+	fleet.Close()
+	fmt.Println("gia-serve: drained and stopped")
+}

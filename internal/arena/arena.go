@@ -29,6 +29,9 @@ type Metrics struct {
 	Resets *obs.Counter
 	// ResetNS records wall-clock reset latency in nanoseconds.
 	ResetNS *obs.Histogram
+	// ResetFailures counts pooled devices dropped because their in-place
+	// reset errored; each failure also books a miss for the fall-back boot.
+	ResetFailures *obs.Counter
 	// Clock times resets for ResetNS; nil disables latency recording.
 	Clock obs.Clock
 }
@@ -37,11 +40,12 @@ type Metrics struct {
 // and binds a real stopwatch for reset latency.
 func Instrument(reg *obs.Registry) Metrics {
 	return Metrics{
-		Hits:    reg.Counter("arena.hits"),
-		Misses:  reg.Counter("arena.misses"),
-		Resets:  reg.Counter("arena.resets"),
-		ResetNS: reg.Histogram("arena.reset_ns", obs.DurationBuckets()),
-		Clock:   obs.Stopwatch(),
+		Hits:          reg.Counter("arena.hits"),
+		Misses:        reg.Counter("arena.misses"),
+		Resets:        reg.Counter("arena.resets"),
+		ResetNS:       reg.Histogram("arena.reset_ns", obs.DurationBuckets()),
+		ResetFailures: reg.Counter("arena.reset_failures"),
+		Clock:         obs.Stopwatch(),
 	}
 }
 
@@ -95,6 +99,7 @@ func (a *Arena) Acquire(seed int64) (*device.Device, error) {
 		}
 		// A failed reset poisons the pooled device: drop it and fall
 		// through to a fresh boot.
+		a.met.ResetFailures.Inc()
 	}
 	a.met.Misses.Inc()
 	prof := a.profile

@@ -1,0 +1,125 @@
+package arena_test
+
+import (
+	"errors"
+	"path"
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/arena"
+	"github.com/ghost-installer/gia/internal/device"
+	"github.com/ghost-installer/gia/internal/dm"
+	"github.com/ghost-installer/gia/internal/obs"
+	"github.com/ghost-installer/gia/internal/vfs"
+)
+
+func testProfile() device.Profile {
+	return device.Profile{Name: "galaxy-s6-verizon", Vendor: "samsung"}
+}
+
+// denyAll refuses every access under its mount, which makes the next
+// device.Reset fail inside dm.Reset (the download-manager database
+// directory becomes unwritable). Mounts survive vfs.Reset, so the poison
+// persists across the in-place reset attempt — exactly the shape of a
+// device whose state can no longer be scrubbed.
+type denyAll struct{}
+
+var errDenied = errors.New("denyAll: access denied")
+
+func (denyAll) Check(*vfs.FS, vfs.Request) error { return errDenied }
+func (denyAll) DeriveMode(_ *vfs.FS, _ string, _ vfs.UID, requested vfs.Mode) vfs.Mode {
+	return requested
+}
+
+// A pooled device whose Reset fails must be dropped — never re-pooled —
+// with the acquisition served by the fall-back Boot path, and the failure
+// must be visible on the arena.reset_failures counter.
+func TestFailedResetDropsDeviceAndBootsFresh(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := arena.New(testProfile())
+	a.SetMetrics(arena.Instrument(reg))
+
+	poisoned, err := a.Acquire(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison: deny all access under the DM database directory. The mount
+	// table is hardware configuration and survives FS.Reset, so the next
+	// in-place reset cannot recreate the database and errors out.
+	if err := poisoned.FS.Mount(path.Dir(dm.DBPath), denyAll{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := poisoned.Reset(12); err == nil {
+		t.Fatal("sanity: expected Reset to fail on the poisoned device")
+	}
+	a.Release(poisoned)
+
+	fresh, err := a.Acquire(13)
+	if err != nil {
+		t.Fatalf("acquire after poisoned release: %v", err)
+	}
+	if fresh == poisoned {
+		t.Fatal("arena returned the poisoned device instead of booting fresh")
+	}
+	if got := a.Idle(); got != 0 {
+		t.Fatalf("poisoned device re-pooled: idle=%d, want 0", got)
+	}
+	// The fall-back boot produced a genuinely working device.
+	if !fresh.DM.Healthy() {
+		t.Fatal("fall-back boot produced an unhealthy device")
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("arena.reset_failures"); got != 1 {
+		t.Fatalf("arena.reset_failures = %d, want 1", got)
+	}
+	if got := snap.Counter("arena.hits"); got != 0 {
+		t.Fatalf("arena.hits = %d, want 0", got)
+	}
+	// Both the cold first acquire and the failed-reset fall-back boot book
+	// misses.
+	if got := snap.Counter("arena.misses"); got != 2 {
+		t.Fatalf("arena.misses = %d, want 2", got)
+	}
+	if got := snap.Counter("arena.resets"); got != 0 {
+		t.Fatalf("arena.resets = %d, want 0", got)
+	}
+
+	// The fresh device is clean: releasing and re-acquiring it is a
+	// plain reset hit, so the pool recovers after the poisoned drop.
+	a.Release(fresh)
+	again, err := a.Acquire(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != fresh {
+		t.Fatal("expected the released fresh device to be reused")
+	}
+	snap = reg.Snapshot()
+	if got := snap.Counter("arena.hits"); got != 1 {
+		t.Fatalf("arena.hits after recovery = %d, want 1", got)
+	}
+	if got := snap.Counter("arena.reset_failures"); got != 1 {
+		t.Fatalf("arena.reset_failures after recovery = %d, want 1", got)
+	}
+}
+
+// Nil metrics hooks must stay free no-ops on every Acquire path, including
+// the failed-reset fall-back.
+func TestFailedResetWithoutMetrics(t *testing.T) {
+	a := arena.New(testProfile())
+	d, err := a.Acquire(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FS.Mount(path.Dir(dm.DBPath), denyAll{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	a.Release(d)
+	fresh, err := a.Acquire(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == d {
+		t.Fatal("poisoned device served from the pool")
+	}
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/arena"
+	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/chaos"
+	"github.com/ghost-installer/gia/internal/device"
+	"github.com/ghost-installer/gia/internal/devicetest"
+	"github.com/ghost-installer/gia/internal/installer"
+	"github.com/ghost-installer/gia/internal/obs"
+)
+
+// panicDrive is the deterministic AIT hijack drive both fingerprints run:
+// one on a fresh boot, one on the device the panicked run re-pooled.
+func panicDrive(prof installer.Profile) devicetest.Drive {
+	return func(dev *device.Device) (string, error) {
+		s, err := NewScenarioOn(dev, prof)
+		if err != nil {
+			return "", err
+		}
+		atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), s.Target)
+		if err := atk.Launch(); err != nil {
+			return "", err
+		}
+		res := s.RunAIT()
+		atk.Stop()
+		return fmt.Sprintf("hijacked=%v attempts=%d err=%v", res.Hijacked, res.Attempts, res.Err), nil
+	}
+}
+
+// runGuarded (chaos/explorer.go) recovers a panicking RunFunc, and the
+// deferred release in aitRun-style runs re-pools the device mid-mutation
+// during the unwind. A device released that way must never be served
+// dirty: the next Acquire either resets it to boot-equivalence (pinned by
+// the devicetest fingerprint) or drops it via the reset-failure path.
+func TestPanickedRunReleaseNeverServesDirtyDevice(t *testing.T) {
+	prof := installer.Amazon()
+	const seed = 4242
+
+	fresh, err := device.Boot(ScenarioDeviceProfile(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := devicetest.Capture(fresh, panicDrive(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	met := arena.Instrument(reg)
+	var ar *arena.Arena
+	ex := &chaos.Explorer{Workers: 1, MaxSchedules: 8, WorkerState: func() any {
+		a := arena.New(ScenarioDeviceProfile(0))
+		a.SetMetrics(met)
+		ar = a
+		return a
+	}}
+
+	// The panicking run: a full scenario with an in-flight install and a
+	// live attacker, killed by a panic from inside a scheduled callback.
+	// The unwind passes through the deferred release, re-pooling the
+	// device with the transaction half-applied.
+	panicky := func(r *chaos.Run) error {
+		dev, release, err := runDevice(r)
+		if err != nil {
+			return err
+		}
+		defer release()
+		s, err := NewScenarioOn(dev, prof)
+		if err != nil {
+			return err
+		}
+		s.Instrument(r)
+		atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, attack.StrategyFileObserver), s.Target)
+		if err := atk.Launch(); err != nil {
+			return err
+		}
+		s.Store.RequestInstall(TargetPackage, nil)
+		dev.Sched.After(30*time.Millisecond, func() { panic("chaos: die mid-transaction") })
+		dev.Sched.RunUntil(dev.Sched.Now() + 2*time.Minute)
+		return nil
+	}
+	_, err = ex.Check(chaos.Schedule{Seed: 77}, panicky)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("sanity: expected a recovered panic violation, got %v", err)
+	}
+	if ar == nil {
+		t.Fatal("worker arena never built")
+	}
+	if got := ar.Idle(); got != 1 {
+		t.Fatalf("dirty device not re-pooled by the deferred release: idle=%d", got)
+	}
+
+	dev2, err := ar.Acquire(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	failures := snap.Counter("arena.reset_failures")
+	hits := snap.Counter("arena.hits")
+	if failures == 0 && hits != 1 {
+		t.Fatalf("acquire after panic neither reset (hits=%d) nor dropped (reset_failures=%d)", hits, failures)
+	}
+	if got := ar.Idle(); got != 0 {
+		t.Fatalf("pool still holds a device after acquire: idle=%d", got)
+	}
+
+	got, err := devicetest.Capture(dev2, panicDrive(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := devicetest.Diff(want, got); d != "" {
+		t.Fatalf("device served dirty after a panicked run's release:\n%s", d)
+	}
+}

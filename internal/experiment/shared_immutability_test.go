@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ghost-installer/gia/internal/attack"
+	"github.com/ghost-installer/gia/internal/installer"
+)
+
+// Regression: market.Fetch hands out its hosted listing bytes without a
+// defensive copy, and the staging pipeline adopts shared buffers
+// (WriteFileShared / ReadFileShared). An attacker's TOCTOU overwrite of a
+// downloaded APK therefore must never propagate through those aliases
+// into the market's hosted bytes: a second Fetch of the same URL has to
+// be byte-identical to the first, before and after a successful hijack.
+func TestTOCTOUOverwriteNeverMutatesMarketBytes(t *testing.T) {
+	// DTIgnite stages through the system Download Manager (dm.writeChunks),
+	// and a payload larger than one 64 KiB transfer chunk keeps the
+	// destination handle open across many in-place chunk writes — the
+	// exact window where an overwrite-style replacement interleaves.
+	prof := installer.DTIgnite()
+	payload := bytes.Repeat([]byte{0xab}, 100<<10)
+	s, err := NewScenarioPayload(prof, 99, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing, ok := s.Store.Store.Lookup(TargetPackage)
+	if !ok {
+		t.Fatal("target listing missing")
+	}
+	first, err := s.Dev.Market.Fetch(listing.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetch aliases the hosted bytes; pristine is our private copy.
+	pristine := append([]byte(nil), first...)
+
+	cfg := attack.ConfigForStore(prof, attack.StrategyWaitAndSee)
+	// Overwrite rewrites the staged file's bytes rather than renaming a
+	// pre-staged copy over it — the mutation-heavy replacement method.
+	cfg.Method = attack.MethodOverwrite
+	atk := attack.NewTOCTOU(s.Mal, cfg, s.Target)
+	if err := atk.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	res := s.RunAIT()
+	atk.Stop()
+	if !res.Hijacked {
+		t.Fatalf("sanity: hijack must land for the overwrite to matter (attempts=%d err=%v)", res.Attempts, res.Err)
+	}
+	if len(atk.Replacements()) == 0 {
+		t.Fatal("sanity: no replacement recorded")
+	}
+
+	// The alias handed out before the attack must be untouched...
+	if !bytes.Equal(first, pristine) {
+		t.Fatal("market-hosted listing bytes mutated through the fetch alias")
+	}
+	// ...and a second fetch of the same URL must be byte-identical.
+	second, err := s.Dev.Market.Fetch(listing.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second, pristine) {
+		t.Fatal("second Fetch of the hijacked listing differs from the original bytes")
+	}
+	// The cached immutable target build must match what the market serves.
+	if !bytes.Equal(s.Target.Encode(), pristine) {
+		t.Fatal("target APK encode diverged from the hosted listing")
+	}
+}

@@ -95,6 +95,18 @@ func DurationBuckets() []int64 {
 	return []int64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
 }
 
+// LatencyBuckets is the fine-grained latency layout in nanoseconds — a
+// 1-2-5 series per decade from 1µs to 10s — for histograms whose
+// quantiles are reported (DurationBuckets' full decades make p50/p99
+// interpolation too coarse to be meaningful).
+func LatencyBuckets() []int64 {
+	out := make([]int64, 0, 22)
+	for scale := int64(1e3); scale <= 1e9; scale *= 10 {
+		out = append(out, scale, 2*scale, 5*scale)
+	}
+	return append(out, 1e10)
+}
+
 // Observe records one sample. The linear bucket scan is deliberate: layouts
 // are small (≤ a dozen buckets) and the scan allocates nothing.
 func (h *Histogram) Observe(v int64) {
@@ -223,6 +235,41 @@ type HistogramSnap struct {
 	Sum    int64
 	Bounds []int64
 	Counts []int64
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket containing the target rank. Samples in the overflow
+// bucket are reported as the largest bound — the histogram cannot know
+// how far past it they landed. An empty histogram reports 0.
+func (h HistogramSnap) Quantile(q float64) int64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			if i >= len(h.Bounds) {
+				return h.Bounds[len(h.Bounds)-1]
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = h.Bounds[i-1]
+			}
+			hi := h.Bounds[i]
+			frac := (rank - cum) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return h.Bounds[len(h.Bounds)-1]
 }
 
 // Snapshot is a point-in-time view of a registry, sorted by name within

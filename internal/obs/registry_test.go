@@ -139,3 +139,57 @@ func TestSnapshotWriteTextDeterministic(t *testing.T) {
 		t.Errorf("counters not sorted by name:\n%s", one.String())
 	}
 }
+
+func TestLatencyBucketsShape(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) != 22 {
+		t.Fatalf("len = %d, want 22", len(b))
+	}
+	if b[0] != 1e3 || b[len(b)-1] != 1e10 {
+		t.Fatalf("range = [%d, %d], want [1e3, 1e10]", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %v", i, b)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", LatencyBuckets())
+	// 1000 samples uniformly spread across 1µs..1ms.
+	for i := 0; i < 1000; i++ {
+		h.Observe(int64(1e3 + i*1e3))
+	}
+	snap := reg.Snapshot().Histograms[0]
+	p50 := snap.Quantile(0.50)
+	if p50 < 2e5 || p50 > 8e5 {
+		t.Fatalf("p50 = %d, want ~5e5", p50)
+	}
+	p99 := snap.Quantile(0.99)
+	if p99 < 8e5 || p99 > 1.2e6 {
+		t.Fatalf("p99 = %d, want ~1e6", p99)
+	}
+	if got := snap.Quantile(0); got < 0 || got > 2e3 {
+		t.Fatalf("p0 = %d, want ~1e3 bucket floor", got)
+	}
+	if got := snap.Quantile(1); got > 1e6 {
+		t.Fatalf("p100 = %d, want <= 1e6", got)
+	}
+	var empty HistogramSnap
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	// Overflow-bucket samples clamp to the largest bound.
+	h2 := reg.Histogram("q2", []int64{10, 100})
+	h2.Observe(5000)
+	s2 := reg.Snapshot().Histograms
+	for _, s := range s2 {
+		if s.Name == "q2" {
+			if got := s.Quantile(0.5); got != 100 {
+				t.Fatalf("overflow quantile = %d, want 100", got)
+			}
+		}
+	}
+}

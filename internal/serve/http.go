@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/ghost-installer/gia/internal/obs"
+)
+
+// handler adapts a Service to HTTP/JSON. Routes (Go 1.22 pattern mux):
+//
+//	POST   /devices               create/boot a device
+//	GET    /devices               list devices
+//	GET    /devices/{id}          device status
+//	DELETE /devices/{id}          reclaim the device to its shard pool
+//	POST   /devices/{id}/install  drive one clean install transaction
+//	POST   /devices/{id}/attack   drive one AIT under a GIA strategy
+//	GET    /devices/{id}/timeline recorded device timeline
+//	POST   /replay                run a chaos replay token
+//	GET    /metrics               internal/obs text snapshot
+//	GET    /healthz               liveness probe
+type handler struct {
+	svc      Service
+	reg      *obs.Registry
+	requests *obs.Counter
+	errors   *obs.Counter
+}
+
+// NewHandler builds the HTTP layer over svc. reg is rendered by
+// GET /metrics and receives the serve.http.* counters; nil disables both.
+func NewHandler(svc Service, reg *obs.Registry) http.Handler {
+	h := &handler{
+		svc:      svc,
+		reg:      reg,
+		requests: reg.Counter("serve.http.requests"),
+		errors:   reg.Counter("serve.http.errors"),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /devices", h.createDevice)
+	mux.HandleFunc("GET /devices", h.listDevices)
+	mux.HandleFunc("GET /devices/{id}", h.getDevice)
+	mux.HandleFunc("DELETE /devices/{id}", h.deleteDevice)
+	mux.HandleFunc("POST /devices/{id}/install", h.install)
+	mux.HandleFunc("POST /devices/{id}/attack", h.attack)
+	mux.HandleFunc("GET /devices/{id}/timeline", h.timeline)
+	mux.HandleFunc("POST /replay", h.replay)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /healthz", h.healthz)
+	return h.count(mux)
+}
+
+func (h *handler) count(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.requests.Inc()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// readJSON decodes an optional JSON body into v; an empty body (io.EOF on
+// the first token) is the zero request, so clients may POST without a body
+// for all-default operations.
+func readJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		return badRequestf("decode body: %v", err)
+	}
+	return nil
+}
+
+func (h *handler) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (h *handler) writeErr(w http.ResponseWriter, err error) {
+	h.errors.Inc()
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	h.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (h *handler) createDevice(w http.ResponseWriter, r *http.Request) {
+	var req CreateDeviceRequest
+	if err := readJSON(r, &req); err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	info, err := h.svc.CreateDevice(req)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusCreated, info)
+}
+
+func (h *handler) listDevices(w http.ResponseWriter, r *http.Request) {
+	devices := h.svc.Devices()
+	h.writeJSON(w, http.StatusOK, map[string]any{
+		"devices": devices,
+		"count":   len(devices),
+	})
+}
+
+func (h *handler) getDevice(w http.ResponseWriter, r *http.Request) {
+	info, err := h.svc.Device(r.PathValue("id"))
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, info)
+}
+
+func (h *handler) deleteDevice(w http.ResponseWriter, r *http.Request) {
+	if err := h.svc.DeleteDevice(r.PathValue("id")); err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, map[string]string{"status": "reclaimed"})
+}
+
+func (h *handler) install(w http.ResponseWriter, r *http.Request) {
+	var req InstallRequest
+	if err := readJSON(r, &req); err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	res, err := h.svc.Install(r.PathValue("id"), req)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, res)
+}
+
+func (h *handler) attack(w http.ResponseWriter, r *http.Request) {
+	var req AttackRequest
+	if err := readJSON(r, &req); err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	res, err := h.svc.Attack(r.PathValue("id"), req)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, res)
+}
+
+func (h *handler) timeline(w http.ResponseWriter, r *http.Request) {
+	entries, err := h.svc.Timeline(r.PathValue("id"))
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, map[string]any{
+		"device":  r.PathValue("id"),
+		"entries": entries,
+	})
+}
+
+func (h *handler) replay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if err := readJSON(r, &req); err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	if req.Token == "" {
+		h.writeErr(w, badRequestf("missing token"))
+		return
+	}
+	res, err := h.svc.Replay(req)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, res)
+}
+
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if h.reg == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = h.reg.Snapshot().WriteText(w)
+}
+
+func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/obs"
+)
+
+// LoadConfig sizes one open-loop load run against a Service.
+type LoadConfig struct {
+	// Devices is the concurrent fleet size the run creates up front.
+	Devices int
+	// Rate is the arrival rate in operations/second. The arrival process
+	// is open-loop: arrivals are scheduled on the wall clock independent
+	// of completions, so a slow server builds queueing delay instead of
+	// silently throttling the offered load.
+	Rate float64
+	// Duration is how long arrivals keep coming.
+	Duration time.Duration
+	// ChurnEvery makes every Nth arrival a reclaim+create cycle instead
+	// of an install, exercising the arena reuse path; 0 disables churn.
+	ChurnEvery int
+	// AttackEvery makes every Nth arrival an attack transaction; 0
+	// disables attacks.
+	AttackEvery int
+	// Seed drives the deterministic device-picking sequence.
+	Seed int64
+	// Store selects the device profile (default "amazon").
+	Store string
+	// Registry receives the serve.load.e2e_ns latency histogram; the
+	// report's quantiles are computed from its snapshot.
+	Registry *obs.Registry
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Devices     int           `json:"devices"`
+	Rate        float64       `json:"rate"`
+	Duration    time.Duration `json:"-"`
+	DurationSec float64       `json:"duration_sec"`
+	Arrivals    int64         `json:"arrivals"`
+	Installs    int64         `json:"installs"`
+	Attacks     int64         `json:"attacks"`
+	Churns      int64         `json:"churns"`
+	Errors      int64         `json:"errors"`
+	// Raced counts arrivals that lost the churn race (the slot's device
+	// was reclaimed between pick and dispatch) — expected under churn,
+	// not errors.
+	Raced int64 `json:"raced"`
+	// CompletedPerSec is completed operations over the full wall time
+	// (arrival window + drain).
+	CompletedPerSec float64 `json:"completed_per_sec"`
+	// P50NS/P99NS are arrival-to-completion latencies from the obs
+	// histogram (serve.load.e2e_ns).
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+	// Arena counters, with warm-rate measured across the loaded window
+	// only (the initial fleet boot is all compulsory misses).
+	ArenaHits         int64   `json:"arena_hits"`
+	ArenaMisses       int64   `json:"arena_misses"`
+	ArenaResetFails   int64   `json:"arena_reset_failures"`
+	ArenaWarmHitRate  float64 `json:"arena_warm_hit_rate"`
+	ArenaResetMeanNS  int64   `json:"arena_reset_mean_ns"`
+	ActiveDevicesEnd  int64   `json:"active_devices_end"`
+	TotalWallSeconds  float64 `json:"total_wall_sec"`
+	ArrivalWindowSecs float64 `json:"arrival_window_sec"`
+}
+
+// RunLoad drives an open-loop arrival process against svc: it boots a
+// fleet of cfg.Devices devices, then fires cfg.Rate arrivals/second for
+// cfg.Duration, each arrival an install (or attack / churn cycle) against
+// a deterministically picked device, recording arrival-to-completion
+// latency into the serve.load.e2e_ns histogram.
+func RunLoad(svc Service, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Devices <= 0 {
+		cfg.Devices = 100
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 100
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	lat := cfg.Registry.Histogram("serve.load.e2e_ns", obs.LatencyBuckets())
+
+	// Boot the fleet. These creates are the warm-up: every one is a
+	// compulsory arena miss (nothing is pooled yet).
+	slots := make([]atomic.Value, cfg.Devices) // holds device IDs (string)
+	for i := range slots {
+		info, err := svc.CreateDevice(CreateDeviceRequest{Store: cfg.Store})
+		if err != nil {
+			return LoadReport{}, fmt.Errorf("loadgen: boot fleet device %d: %w", i, err)
+		}
+		slots[i].Store(info.ID)
+	}
+	warmHits, warmMisses, _ := arenaCounters(cfg.Registry)
+
+	var (
+		report    LoadReport
+		wg        sync.WaitGroup
+		installs  atomic.Int64
+		attacks   atomic.Int64
+		churns    atomic.Int64
+		errCount  atomic.Int64
+		raced     atomic.Int64
+		slotLocks = make([]sync.Mutex, cfg.Devices)
+	)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	rng := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x1234567
+	arrivals := int64(0)
+	for time.Now().Before(deadline) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		arrival := next
+		next = next.Add(interval)
+		arrivals++
+		n := arrivals
+		// Deterministic device pick (LCG) — the load pattern is
+		// reproducible per seed even though completion order is not.
+		rng = rng*6364136223846793005 + 1442695040888963407
+		slot := int(rng>>33) % cfg.Devices
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var err error
+			switch {
+			case cfg.ChurnEvery > 0 && n%int64(cfg.ChurnEvery) == 0:
+				churns.Add(1)
+				err = churn(svc, cfg, slots, slotLocks, slot)
+			case cfg.AttackEvery > 0 && n%int64(cfg.AttackEvery) == 0:
+				attacks.Add(1)
+				_, err = svc.Attack(slotID(&slots[slot]), AttackRequest{})
+			default:
+				installs.Add(1)
+				_, err = svc.Install(slotID(&slots[slot]), InstallRequest{})
+			}
+			switch {
+			case err == nil:
+				lat.Observe(time.Since(arrival).Nanoseconds())
+			case isRace(err):
+				raced.Add(1)
+			default:
+				errCount.Add(1)
+			}
+		}()
+	}
+	arrivalWindow := time.Since(start)
+	wg.Wait()
+	total := time.Since(start)
+
+	hits, misses, resetFails := arenaCounters(cfg.Registry)
+	report = LoadReport{
+		Devices:           cfg.Devices,
+		Rate:              cfg.Rate,
+		Duration:          cfg.Duration,
+		DurationSec:       cfg.Duration.Seconds(),
+		Arrivals:          arrivals,
+		Installs:          installs.Load(),
+		Attacks:           attacks.Load(),
+		Churns:            churns.Load(),
+		Errors:            errCount.Load(),
+		Raced:             raced.Load(),
+		ArenaHits:         hits,
+		ArenaMisses:       misses,
+		ArenaResetFails:   resetFails,
+		TotalWallSeconds:  total.Seconds(),
+		ArrivalWindowSecs: arrivalWindow.Seconds(),
+	}
+	completed := arrivals - report.Errors - report.Raced
+	if total > 0 {
+		report.CompletedPerSec = float64(completed) / total.Seconds()
+	}
+	if warmDelta := (hits - warmHits) + (misses - warmMisses); warmDelta > 0 {
+		report.ArenaWarmHitRate = float64(hits-warmHits) / float64(warmDelta)
+	}
+	snap := cfg.Registry.Snapshot()
+	for _, h := range snap.Histograms {
+		switch h.Name {
+		case "serve.load.e2e_ns":
+			report.P50NS = h.Quantile(0.50)
+			report.P99NS = h.Quantile(0.99)
+		case "arena.reset_ns":
+			if h.Count > 0 {
+				report.ArenaResetMeanNS = h.Sum / h.Count
+			}
+		}
+	}
+	report.ActiveDevicesEnd = snap.Gauge("serve.devices.active")
+	return report, nil
+}
+
+func slotID(v *atomic.Value) string {
+	id, _ := v.Load().(string)
+	return id
+}
+
+// churn reclaims the slot's device and creates a fresh one in its place —
+// the create should land on the shard that just pooled the reclaimed
+// device, turning it into an arena reset hit.
+func churn(svc Service, cfg LoadConfig, slots []atomic.Value, locks []sync.Mutex, slot int) error {
+	locks[slot].Lock()
+	defer locks[slot].Unlock()
+	if err := svc.DeleteDevice(slotID(&slots[slot])); err != nil {
+		return err
+	}
+	info, err := svc.CreateDevice(CreateDeviceRequest{Store: cfg.Store})
+	if err != nil {
+		return err
+	}
+	slots[slot].Store(info.ID)
+	return nil
+}
+
+// isRace classifies a lost churn race: the picked device was reclaimed
+// between slot read and dispatch.
+func isRace(err error) bool {
+	return errors.Is(err, ErrNotFound)
+}
+
+// arenaCounters reads the shared arena counters from the registry.
+func arenaCounters(reg *obs.Registry) (hits, misses, resetFails int64) {
+	snap := reg.Snapshot()
+	return snap.Counter("arena.hits"), snap.Counter("arena.misses"), snap.Counter("arena.reset_failures")
+}
+
+// WriteReport renders the human-readable load summary.
+func (r LoadReport) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "loadtest: %d devices, %.0f ops/s offered for %s (%s store window)\n",
+		r.Devices, r.Rate, r.Duration, time.Duration(r.ArrivalWindowSecs*float64(time.Second)).Round(time.Millisecond))
+	fmt.Fprintf(w, "  arrivals=%d installs=%d attacks=%d churns=%d errors=%d raced=%d\n",
+		r.Arrivals, r.Installs, r.Attacks, r.Churns, r.Errors, r.Raced)
+	fmt.Fprintf(w, "  completed %.1f ops/s; e2e latency p50=%s p99=%s\n",
+		r.CompletedPerSec, time.Duration(r.P50NS), time.Duration(r.P99NS))
+	fmt.Fprintf(w, "  arena: hits=%d misses=%d reset_failures=%d warm-hit-rate=%.1f%% reset-mean=%s\n",
+		r.ArenaHits, r.ArenaMisses, r.ArenaResetFails, 100*r.ArenaWarmHitRate, time.Duration(r.ArenaResetMeanNS))
+	fmt.Fprintf(w, "  active devices at end: %d\n", r.ActiveDevicesEnd)
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/obs"
+)
+
+// A short load run: offered load is sustained, churned devices come back
+// as arena hits, and the report carries obs-derived percentiles.
+func TestRunLoadSmoke(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := newTestFleet(t, Config{Shards: 2, Seed: 1, Registry: reg})
+	report, err := RunLoad(f, LoadConfig{
+		Devices:     16,
+		Rate:        400,
+		Duration:    500 * time.Millisecond,
+		ChurnEvery:  4,
+		AttackEvery: 7,
+		Seed:        1,
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Arrivals == 0 {
+		t.Fatal("no arrivals fired")
+	}
+	if report.Errors != 0 {
+		t.Fatalf("load run had %d errors (raced=%d)", report.Errors, report.Raced)
+	}
+	if report.Churns > 0 && report.ArenaWarmHitRate < 0.9 {
+		t.Fatalf("warm arena hit rate %.2f, want > 0.9 (hits=%d misses=%d)",
+			report.ArenaWarmHitRate, report.ArenaHits, report.ArenaMisses)
+	}
+	if report.P50NS <= 0 || report.P99NS < report.P50NS {
+		t.Fatalf("bad percentiles: p50=%d p99=%d", report.P50NS, report.P99NS)
+	}
+	if report.ActiveDevicesEnd != 16 {
+		t.Fatalf("active devices at end = %d, want 16", report.ActiveDevicesEnd)
+	}
+	var b strings.Builder
+	report.WriteReport(&b)
+	for _, want := range []string{"loadtest:", "p50=", "warm-hit-rate="} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, b.String())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"github.com/ghost-installer/gia/internal/arena"
+	"github.com/ghost-installer/gia/internal/device"
+)
+
+// shardQueueDepth bounds the per-shard submission queue; submitters block
+// once it fills, which is exactly the backpressure a shard at capacity
+// should exert.
+const shardQueueDepth = 256
+
+// shard owns one device arena on one goroutine. Arenas and the simulation
+// substrates they pool are not safe for concurrent use, so every
+// operation touching a shard's arena or any device acquired from it runs
+// as a closure on the shard's loop goroutine — run() is the only door.
+type shard struct {
+	id    int
+	arena *arena.Arena
+	tasks chan func()
+	done  chan struct{}
+	// idle mirrors arena.Idle() so the placement decision in
+	// Fleet.CreateDevice can read pool depth without entering the shard.
+	idle atomic.Int64
+}
+
+func newShard(id int, profile device.Profile, met arena.Metrics) *shard {
+	a := arena.New(profile)
+	a.SetMetrics(met)
+	s := &shard{
+		id:    id,
+		arena: a,
+		tasks: make(chan func(), shardQueueDepth),
+		done:  make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *shard) loop() {
+	defer close(s.done)
+	for fn := range s.tasks {
+		fn()
+	}
+}
+
+// run executes fn on the shard goroutine and waits for it to finish. The
+// fleet guarantees (via its in-flight WaitGroup) that no run is submitted
+// after close.
+func (s *shard) run(fn func()) {
+	ack := make(chan struct{})
+	s.tasks <- func() {
+		defer close(ack)
+		fn()
+	}
+	<-ack
+}
+
+// acquire and release wrap the arena with the idle mirror. Both must be
+// called from the shard goroutine (inside run).
+func (s *shard) acquire(seed int64) (*device.Device, error) {
+	d, err := s.arena.Acquire(seed)
+	s.idle.Store(int64(s.arena.Idle()))
+	return d, err
+}
+
+func (s *shard) release(d *device.Device) {
+	s.arena.Release(d)
+	s.idle.Store(int64(s.arena.Idle()))
+}
+
+// close drains the task queue and stops the loop goroutine.
+func (s *shard) close() {
+	close(s.tasks)
+	<-s.done
+}

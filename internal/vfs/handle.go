@@ -92,6 +92,7 @@ func (fs *FS) Open(p string, actor UID, flags OpenFlag, mode Mode) (*Handle, err
 			return nil, err
 		}
 		n.data = nil
+		n.shared = false
 		n.modTime = fs.now()
 		h.wrote = true
 		fs.emit(Event{Kind: EvModify, Path: full, Actor: actor})
@@ -120,6 +121,14 @@ func (h *Handle) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("write %q: %w", h.path, err)
 	}
 	end := h.offset + int64(len(p))
+	if len(p) > 0 && h.node.shared {
+		// Copy-on-write: the backing bytes are an adopted shared buffer
+		// still aliased by their publisher, so mutating them in place would
+		// corrupt every other reader (a TOCTOU overwrite of a staged APK
+		// must never reach the market's hosted listing). Unshare first.
+		h.node.data = append([]byte(nil), h.node.data...)
+		h.node.shared = false
+	}
 	if grow := end - int64(len(h.node.data)); grow > 0 {
 		if err := h.fs.chargeSpace(h.path, grow); err != nil {
 			return 0, err
@@ -138,6 +147,7 @@ func (h *Handle) Write(p []byte) (int, error) {
 			nd := make([]byte, end, newCap)
 			copy(nd, h.node.data)
 			h.node.data = nd
+			h.node.shared = false
 		}
 	}
 	copy(h.node.data[h.offset:end], p)
@@ -242,9 +252,11 @@ func (fs *FS) ReadFile(p string, actor UID) ([]byte, error) {
 // into the file, the (empty) file adopts p as its backing store, capped so
 // any later growth reallocates rather than scribbling past the shared
 // bytes. Checks, fault probes, space accounting and events match Write
-// exactly. The handle must be freshly opened with FlagTrunc; callers must
-// never modify p afterwards, and the file must not be rewritten in place
-// through a non-truncating handle (no simulated component does).
+// exactly. The handle must be freshly opened with FlagTrunc, and callers
+// must never modify p afterwards. The adopted buffer is marked shared on
+// the node: a later in-place rewrite through a non-truncating handle
+// unshares it first (copy-on-write in Write), so the publisher's bytes
+// stay immutable no matter how the file is later mutated.
 func (h *Handle) WriteShared(p []byte) (int, error) {
 	if h.closed {
 		return 0, ErrClosedHandle
@@ -263,6 +275,7 @@ func (h *Handle) WriteShared(p []byte) (int, error) {
 			return 0, err
 		}
 		h.node.data = p[:len(p):len(p)]
+		h.node.shared = true
 	}
 	h.offset = int64(len(p))
 	h.wrote = true

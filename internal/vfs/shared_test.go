@@ -1,0 +1,87 @@
+package vfs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// A publisher's buffer adopted via WriteShared must survive any later
+// in-place rewrite of the file: Write unshares (copy-on-write) before
+// mutating, so the published bytes stay byte-identical.
+func TestWriteSharedCopyOnWriteProtectsPublisher(t *testing.T) {
+	fs := newFS()
+	if err := fs.MkdirAll("/sdcard/Download", 0, ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	published := []byte("published-apk-image-bytes")
+	pristine := append([]byte(nil), published...)
+	const path = "/sdcard/Download/app.apk"
+	if err := fs.WriteFileShared(path, published, 0, ModeShared); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attacker-style in-place overwrite through a plain write handle (no
+	// truncation — the exact path that used to scribble on the alias).
+	h, err := fs.Open(path, 0, FlagWrite, ModeShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("EVIL")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(published, pristine) {
+		t.Fatalf("publisher's shared buffer mutated by in-place write:\n got %q\nwant %q", published, pristine)
+	}
+	got, err := fs.ReadFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte("EVIL"), pristine[4:]...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("file content after overwrite: got %q want %q", got, want)
+	}
+}
+
+// Truncation drops the adopted buffer entirely, so a rewrite-from-scratch
+// (WriteFile with FlagTrunc) never touches the publisher's bytes either.
+func TestWriteSharedTruncateDropsAdoptedBuffer(t *testing.T) {
+	fs := newFS()
+	if err := fs.MkdirAll("/sdcard/Download", 0, ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	published := []byte("shared-original-content")
+	pristine := append([]byte(nil), published...)
+	const path = "/sdcard/Download/app.apk"
+	if err := fs.WriteFileShared(path, published, 0, ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(path, []byte("replacement"), 0, ModeShared); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(published, pristine) {
+		t.Fatalf("publisher's shared buffer mutated by truncating rewrite:\n got %q\nwant %q", published, pristine)
+	}
+	// The replacement file is private again: growing it in place must not
+	// alias anything shared.
+	h, err := fs.Open(path, 0, FlagWrite|FlagAppend, ModeShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("-grown")); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "replacement-grown" {
+		t.Fatalf("file content: got %q want %q", got, "replacement-grown")
+	}
+}

@@ -102,10 +102,14 @@ type node struct {
 	parent   *node
 	children []*node // kindDir, sorted by name
 	data     []byte  // kindFile
-	target   string  // kindSymlink
-	owner    UID
-	mode     Mode
-	modTime  time.Duration
+	// shared marks data as an adopted immutable buffer (WriteShared): the
+	// bytes are aliased by their publisher (e.g. a market listing), so any
+	// in-place mutation must unshare first (copy-on-write in Handle.Write).
+	shared  bool
+	target  string // kindSymlink
+	owner   UID
+	mode    Mode
+	modTime time.Duration
 	// cpath memoizes path(): every open, event emission and Info build
 	// renders the full path, and rebuilding it by walking the parent chain
 	// dominated the event hot path. Rename invalidates the moved subtree.

@@ -58,6 +58,16 @@ go test -race -count=1 \
     ./internal/devicetest
 go test -race -count=1 -run '^TestFastSourceMatchesMathRand$' ./internal/sim
 
+echo "== serve shard ownership (race-enabled) =="
+# The fleet daemon multiplexes racy HTTP goroutines onto goroutine-owned
+# arena shards; this pins the ownership discipline under the race
+# detector explicitly (the simulation substrates are not thread-safe, so
+# any fleet code touching device state off its shard goroutine is a
+# detected race, not a flake).
+go test -race -count=1 \
+    -run '^(TestShardOwnershipSerializesConcurrentOps|TestConcurrentLifecycleAcrossShards)$' \
+    ./internal/serve
+
 echo "== trace/metrics parity across worker counts =="
 # A virtual-only trace, its JSONL export and the metrics snapshot must be
 # byte-identical at 1 worker and at NumCPU workers.
@@ -84,6 +94,56 @@ echo "== cache smoke under race (warm corpus scan, NumCPU workers) =="
 # Two race-enabled warm scans through the shared cache: concurrent hits,
 # singleflight dedups and LRU movement all run under the race detector.
 go test -race -run '^$' -bench '^BenchmarkScanArtifactsWarm$' -benchtime=1x -count=2 .
+
+echo "== gia-serve daemon smoke (HTTP lifecycle + graceful shutdown) =="
+# Boot the fleet daemon on a loopback ephemeral port, drive one device
+# through create/install/attack/replay/reclaim over real HTTP, scrape
+# /metrics for the arena and serve counters, then require a clean
+# SIGTERM drain within the timeout. Runs in a subshell with its own EXIT
+# trap so a failing step cannot leak the daemon process.
+(
+    servedir=$(mktemp -d)
+    servepid=""
+    trap 'test -n "$servepid" && kill "$servepid" 2>/dev/null; rm -rf "$servedir"' EXIT
+    go build -o "$servedir/gia-serve" ./cmd/gia-serve
+    "$servedir/gia-serve" -addr 127.0.0.1:0 >"$servedir/serve.log" 2>&1 &
+    servepid=$!
+    url=""
+    i=0
+    while [ $i -lt 100 ]; do
+        url=$(sed -n 's/^gia-serve: listening on \(http:.*\)$/\1/p' "$servedir/serve.log")
+        test -n "$url" && break
+        kill -0 "$servepid" 2>/dev/null || {
+            echo "verify.sh: gia-serve died before listening" >&2
+            cat "$servedir/serve.log" >&2
+            exit 1
+        }
+        sleep 0.1
+        i=$((i + 1))
+    done
+    test -n "$url" || {
+        echo "verify.sh: gia-serve never reported its listen URL" >&2
+        exit 1
+    }
+    "$servedir/gia-serve" -smoke "$url"
+    kill -TERM "$servepid"
+    i=0
+    while kill -0 "$servepid" 2>/dev/null; do
+        i=$((i + 1))
+        if [ $i -gt 300 ]; then
+            echo "verify.sh: gia-serve did not drain within 30s of SIGTERM" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    wait "$servepid" 2>/dev/null || true
+    servepid=""
+    grep -q "drained and stopped" "$servedir/serve.log" || {
+        echo "verify.sh: gia-serve shutdown was not a clean drain" >&2
+        cat "$servedir/serve.log" >&2
+        exit 1
+    }
+)
 
 echo "== fuzz smoke (5s per target) =="
 # Run every Fuzz target briefly; fuzzing requires one target per
