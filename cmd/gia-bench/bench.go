@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/ghost-installer/gia/internal/analysis"
@@ -37,9 +38,13 @@ type benchRun struct {
 	SummaryMisses  int64 `json:"summary_cache_misses,omitempty"`
 	SummaryEntries int   `json:"summary_cache_entries,omitempty"`
 
-	// Explorer configuration fields (the explore/sweep run).
+	// Explorer configuration fields (the explore/sweep run). PORSkipped is
+	// a pointer so the key renders (as an explicit 0) on explorer entries
+	// and stays absent elsewhere: a plain FIFO sweep never prunes, and the
+	// snapshot should say so rather than omit the column.
 	Schedules       int     `json:"schedules,omitempty"`
 	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
+	PORSkipped      *int    `json:"por_skipped,omitempty"`
 
 	// Device-arena fields (explore/sweep): pool effectiveness and in-place
 	// reset latency. hits+misses = schedules; misses = one boot per worker.
@@ -61,15 +66,17 @@ type benchDoc struct {
 
 // runScanBench measures corpus-scan throughput through three engine
 // configurations — uncached, cold cache and warm cache — and writes the
-// JSON snapshot to path. The corpus (all three populations) is generated
-// once; every configuration scans the same APK stream.
-func runScanBench(path string, seed int64, scale float64, workers int) error {
+// JSON snapshot to path, preserving any result entries other tools own
+// (gia-serve's serve/* rows). The corpus (all three populations) is
+// generated once; every configuration scans the same APK stream. The
+// returned document carries only this run's entries — what -compare diffs.
+func runScanBench(path string, seed int64, scale float64, workers int) (benchDoc, error) {
 	// The explorer sweep runs first, before the corpus exists: the scan
 	// corpus stays live across all three scan configurations, and the GC
 	// pressure it generates would tax the sweep's measurement.
 	explore, err := runExplorerBench(2000, workers)
 	if err != nil {
-		return err
+		return benchDoc{}, err
 	}
 
 	c := corpus.Generate(corpus.Config{Seed: seed, Scale: scale})
@@ -127,11 +134,12 @@ func runScanBench(path string, seed int64, scale float64, workers int) error {
 
 	doc.Results = append(doc.Results, explore)
 
+	foreign := foreignResults(path)
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return benchDoc{}, err
 	}
-	return writeBenchDoc(f, path, doc)
+	return doc, writeBenchDoc(f, path, doc, foreign)
 }
 
 // runExplorerBench sweeps n complete AIT hijack scenarios (deploy store +
@@ -161,6 +169,7 @@ func runExplorerBench(n, workers int) (benchRun, error) {
 		ElapsedNs:       elapsed.Nanoseconds(),
 		Schedules:       res.Explored,
 		SchedulesPerSec: float64(res.Explored) / elapsed.Seconds(),
+		PORSkipped:      &res.PORSkipped,
 	}
 	snap := reg.Snapshot()
 	run.ArenaHits = snap.Counter("arena.hits")
@@ -174,10 +183,61 @@ func runExplorerBench(n, workers int) (benchRun, error) {
 	return run, nil
 }
 
-func writeBenchDoc(f *os.File, path string, doc benchDoc) error {
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	err := enc.Encode(doc)
+// foreignResults reads the snapshot already at path, if any, and keeps the
+// result entries this run does not replace — rows owned by other tools
+// (gia-serve's serve/* loadtest) survive a gia-bench refresh byte-for-byte.
+func foreignResults(path string) []json.RawMessage {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var doc struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if json.Unmarshal(raw, &doc) != nil {
+		return nil
+	}
+	var kept []json.RawMessage
+	for _, entry := range doc.Results {
+		var probe struct {
+			Name string `json:"name"`
+		}
+		if json.Unmarshal(entry, &probe) != nil {
+			continue
+		}
+		if strings.HasPrefix(probe.Name, "scan/") || strings.HasPrefix(probe.Name, "explore/") {
+			continue
+		}
+		kept = append(kept, entry)
+	}
+	return kept
+}
+
+func writeBenchDoc(f *os.File, path string, doc benchDoc, foreign []json.RawMessage) error {
+	// Rendered through a raw-entry envelope so preserved foreign rows keep
+	// whatever schema their owner wrote.
+	envelope := struct {
+		Seed    int64             `json:"seed"`
+		Scale   float64           `json:"scale"`
+		GoArch  string            `json:"goarch"`
+		GoOS    string            `json:"goos"`
+		NumCPU  int               `json:"num_cpu"`
+		Results []json.RawMessage `json:"results"`
+	}{Seed: doc.Seed, Scale: doc.Scale, GoArch: doc.GoArch, GoOS: doc.GoOS, NumCPU: doc.NumCPU}
+	var err error
+	for _, run := range doc.Results {
+		var entry json.RawMessage
+		if entry, err = json.Marshal(run); err != nil {
+			break
+		}
+		envelope.Results = append(envelope.Results, entry)
+	}
+	envelope.Results = append(envelope.Results, foreign...)
+	if err == nil {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(envelope)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -186,4 +246,53 @@ func writeBenchDoc(f *os.File, path string, doc benchDoc) error {
 	}
 	fmt.Fprintf(os.Stderr, "bench snapshot written to %s\n", path)
 	return nil
+}
+
+// benchTolerance is the relative throughput loss the -compare gate accepts
+// before calling a run a regression: committed snapshots come from a
+// particular host, so small deltas are noise, not signal.
+const benchTolerance = 0.20
+
+// compareBench diffs a fresh run against the committed snapshot at basePath
+// on the two headline throughput metrics — explorer schedules/s and the
+// warm-cache scan rate — and describes every one that fell more than the
+// tolerance below its committed value.
+func compareBench(fresh benchDoc, basePath string) ([]string, error) {
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", basePath, err)
+	}
+	find := func(doc benchDoc, name string) *benchRun {
+		for i := range doc.Results {
+			if doc.Results[i].Name == name {
+				return &doc.Results[i]
+			}
+		}
+		return nil
+	}
+	var regressions []string
+	check := func(name, metric string, got, want float64) {
+		if want <= 0 {
+			return
+		}
+		if got < want*(1-benchTolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s = %.0f, committed %.0f (-%.1f%%, tolerance %.0f%%)",
+				name, metric, got, want, (1-got/want)*100, benchTolerance*100))
+		}
+	}
+	for _, name := range []string{"explore/sweep", "scan/cached-warm"} {
+		f, b := find(fresh, name), find(base, name)
+		if f == nil || b == nil {
+			return nil, fmt.Errorf("entry %q missing from %s", name,
+				map[bool]string{true: "the fresh run", false: basePath}[b != nil])
+		}
+		check(name, "schedules/s", f.SchedulesPerSec, b.SchedulesPerSec)
+		check(name, "apks/s", f.APKsPerSec, b.APKsPerSec)
+	}
+	return regressions, nil
 }

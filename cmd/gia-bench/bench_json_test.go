@@ -24,7 +24,8 @@ func TestBenchDocRoundTrip(t *testing.T) {
 			{
 				Name: "explore/sweep", Workers: 2, ElapsedNs: 1e9,
 				Schedules: 2000, SchedulesPerSec: 15000,
-				ArenaHits: 1998, ArenaMisses: 2, ArenaResets: 1998,
+				PORSkipped: new(int),
+				ArenaHits:  1998, ArenaMisses: 2, ArenaResets: 1998,
 				ArenaResetMeanNs: 40000,
 			},
 		},
@@ -36,7 +37,7 @@ func TestBenchDocRoundTrip(t *testing.T) {
 		t.Fatalf("encode: %v", err)
 	}
 	for _, key := range []string{
-		`"seed"`, `"num_cpu"`, `"schedules"`, `"schedules_per_sec"`,
+		`"seed"`, `"num_cpu"`, `"schedules"`, `"schedules_per_sec"`, `"por_skipped"`,
 		`"arena_hits"`, `"arena_misses"`, `"arena_resets"`, `"arena_reset_mean_ns"`,
 	} {
 		if !strings.Contains(buf.String(), key) {
@@ -82,5 +83,99 @@ func TestCommittedBenchSnapshotParses(t *testing.T) {
 	}
 	if explore.ArenaResetMeanNs <= 0 {
 		t.Errorf("arena reset latency not recorded: %+v", *explore)
+	}
+	if explore.PORSkipped == nil {
+		t.Errorf("explore/sweep entry carries no por_skipped field: %+v", *explore)
+	}
+}
+
+// TestCompareBench pins the -compare gate's arithmetic: a >20% drop in
+// either headline metric is a regression, anything inside the tolerance is
+// not, and a snapshot missing a headline entry is an error, not a pass.
+func TestCompareBench(t *testing.T) {
+	mkdoc := func(schedPerSec, warmAPKsPerSec float64) benchDoc {
+		return benchDoc{Results: []benchRun{
+			{Name: "scan/cached-warm", APKsPerSec: warmAPKsPerSec},
+			{Name: "explore/sweep", SchedulesPerSec: schedPerSec},
+		}}
+	}
+	base := mkdoc(30000, 40000)
+	basePath := t.TempDir() + "/base.json"
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		fresh benchDoc
+		want  int
+	}{
+		{"identical", mkdoc(30000, 40000), 0},
+		{"faster", mkdoc(60000, 80000), 0},
+		{"within-tolerance", mkdoc(30000*0.81, 40000*0.81), 0},
+		{"explorer-regressed", mkdoc(30000*0.79, 40000), 1},
+		{"warm-scan-regressed", mkdoc(30000, 40000*0.5), 1},
+		{"both-regressed", mkdoc(100, 100), 2},
+	}
+	for _, tc := range cases {
+		regs, err := compareBench(tc.fresh, basePath)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if len(regs) != tc.want {
+			t.Errorf("%s: %d regressions (%v), want %d", tc.name, len(regs), regs, tc.want)
+		}
+	}
+
+	if _, err := compareBench(benchDoc{}, basePath); err == nil {
+		t.Error("fresh run missing the headline entries compared clean")
+	}
+	if _, err := compareBench(base, basePath+".nope"); err == nil {
+		t.Error("missing base snapshot compared clean")
+	}
+}
+
+// TestForeignResultsPreserved pins the refresh contract with gia-serve: a
+// rewrite through writeBenchDoc keeps rows it does not own (serve/*)
+// byte-for-byte while replacing the scan and explorer entries.
+func TestForeignResultsPreserved(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	serveRow := `{"name":"serve/loadtest","devices":42,"completed_per_sec":1500}`
+	seedDoc := `{"seed":1,"results":[` +
+		`{"name":"scan/cached-warm","apks_per_sec":1},` +
+		serveRow + `,` +
+		`{"name":"explore/sweep","schedules_per_sec":2}]}`
+	if err := os.WriteFile(path, []byte(seedDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	foreign := foreignResults(path)
+	if len(foreign) != 1 || string(foreign[0]) != serveRow {
+		t.Fatalf("foreignResults kept %d entries (%s), want the serve row alone",
+			len(foreign), foreign)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := benchDoc{Seed: 2, Results: []benchRun{{Name: "explore/sweep", SchedulesPerSec: 3}}}
+	if err := writeBenchDoc(f, path, fresh, foreign); err != nil {
+		t.Fatal(err)
+	}
+	rewritten, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(rewritten, []byte(`"completed_per_sec": 1500`)) &&
+		!bytes.Contains(rewritten, []byte(`"completed_per_sec":1500`)) {
+		t.Errorf("serve row lost on rewrite:\n%s", rewritten)
+	}
+	if bytes.Contains(rewritten, []byte(`"apks_per_sec": 1`)) {
+		t.Errorf("stale scan row survived the rewrite:\n%s", rewritten)
 	}
 }

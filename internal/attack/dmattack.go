@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"github.com/ghost-installer/gia/internal/dm"
-	"github.com/ghost-installer/gia/internal/market"
 	"github.com/ghost-installer/gia/internal/sim"
 	"github.com/ghost-installer/gia/internal/vfs"
 )
@@ -165,7 +164,7 @@ func (a *DMSymlink) strike(victimDir string, id int64, op func(int64, func([]byt
 		return fs.Retarget(a.linkDir, target, a.mal.UID()) == nil
 	})
 	jitter := a.mal.Dev.Sched.Uniform(0, 2*flipPeriod)
-	a.mal.Dev.Sched.After(jitter, func() {
+	a.mal.Dev.Sched.AfterFn(jitter, func() {
 		op(id, func(out []byte, err error) {
 			flipper.Stop()
 			_ = fs.Retarget(a.linkDir, a.benignDir, a.mal.UID())
@@ -178,10 +177,6 @@ func (a *DMSymlink) strike(victimDir string, id int64, op func(int64, func([]byt
 // returns its URL.
 func attackerCDNURL(mal *Malware) string {
 	const host = "cdn.attacker.example"
-	srv, ok := mal.Dev.Market.Server(host)
-	if !ok {
-		srv = market.NewServer(host)
-		mal.Dev.Market.Add(srv)
-	}
+	srv := mal.Dev.Market.Acquire(host)
 	return srv.PublishRaw("bait", attackerBait)
 }

@@ -322,7 +322,7 @@ func (a *TOCTOU) poll(now time.Duration) bool {
 		}
 		a.handled[path] = true
 		target := path
-		a.mal.Dev.Sched.After(a.cfg.WaitDelay, func() { a.strike(target) })
+		a.mal.Dev.Sched.AfterFn(a.cfg.WaitDelay, func() { a.strike(target) })
 	}
 	// Forget files that vanished so a re-download re-arms the attack.
 	for path := range a.handled {
@@ -337,7 +337,7 @@ func (a *TOCTOU) poll(now time.Duration) bool {
 // using the configured method.
 func (a *TOCTOU) strike(path string) {
 	latency := a.mal.Dev.Sched.Uniform(a.cfg.ReactMin, a.cfg.ReactMax)
-	a.mal.Dev.Sched.After(latency, func() {
+	a.mal.Dev.Sched.AfterFn(latency, func() {
 		if err := a.replace(path); err != nil {
 			// Blocked (e.g. the patched FUSE daemon) or the file moved.
 			return

@@ -32,6 +32,14 @@ type Result struct {
 	// MaxBranch is the widest same-instant tie observed (diagnostics: the
 	// factorial blow-up knob).
 	MaxBranch int
+	// PORSkipped counts sibling branches partial-order reduction proved
+	// equivalent to an explored ordering and therefore never ran: each is
+	// one alternative first-choice at a fully-commuting tie, standing for
+	// its whole subtree of orderings. Explored + the subtrees behind
+	// PORSkipped together cover the same violation set as an exhaustive
+	// walk (pinned by TestExploreOrdersPORSoundness and the verify.sh
+	// gate).
+	PORSkipped int
 }
 
 // Explorer enumerates schedules and checks an invariant over each, fanning
@@ -57,6 +65,11 @@ type Explorer struct {
 	// from workers, so virtual-only exports are byte-identical at any
 	// worker count.
 	Trace *obs.Trace
+	// DisablePOR turns partial-order reduction off in ExploreOrders: every
+	// sibling ordering is enumerated even when its tie provably commutes.
+	// The POR soundness gate uses it to diff reduced against exhaustive
+	// exploration; production sweeps leave it false.
+	DisablePOR bool
 	// WorkerState, when non-nil, is called lazily — at most once per pool
 	// worker over the explorer's lifetime — to build state that worker's
 	// runs share across schedules (typically a device arena, so Boot is a
@@ -141,17 +154,28 @@ func runGuarded(r *Run, fn RunFunc) (err error) {
 	return fn(r)
 }
 
-// ExploreOrders exhaustively enumerates same-instant event orderings
-// reachable from base (normally Schedule{Seed: s}): a depth-first walk of
-// the arbiter's choice tree. Every execution is identified by its choice
-// sequence; a run explored with prefix P spawns sibling prefixes at every
-// contended instant after P, which visits each distinct ordering exactly
-// once. For one instant with N tied events this is exactly the N!
-// permutations.
+// ExploreOrders enumerates same-instant event orderings reachable from
+// base (normally Schedule{Seed: s}): a depth-first walk of the arbiter's
+// choice tree. Every execution is identified by its choice sequence; a run
+// explored with prefix P spawns sibling prefixes at every contended
+// instant after P, which visits each distinct ordering exactly once. For
+// one instant with N tied events this is exactly the N! permutations.
+//
+// Partial-order reduction prunes the walk where it provably cannot matter:
+// when every event tied at an instant carries a footprint and all pairs
+// are independent (sim.Footprint.Independent), the tie fully commutes.
+// Tagged events schedule no same-instant follow-ups (the tagging
+// contract), so such a tie consists of exactly its candidates, every
+// permutation applies the same set of commuting effects, and all orderings
+// reach identical states — the FIFO ordering already explored represents
+// them all. Those siblings are counted in Result.PORSkipped instead of
+// running. One opaque (untagged) event in a tie disables pruning for that
+// instant, so workloads that never tag explore exactly as before.
 func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
 	res := &Result{}
 	var mu sync.Mutex
 	maxSchedules := e.MaxSchedules
+	por := !e.DisablePOR
 	par.FrontierWorker(e.Workers, []Schedule{base.clone()}, func(worker int, s Schedule) []Schedule {
 		mu.Lock()
 		if maxSchedules > 0 && res.Explored >= maxSchedules {
@@ -165,6 +189,7 @@ func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
 		mu.Unlock()
 
 		r := e.prepare(s, worker)
+		r.recordFP = por
 		err := runGuarded(r, fn)
 		e.counted(err)
 
@@ -174,13 +199,29 @@ func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
 		// past the imposed prefix.
 		var sibs []Schedule
 		for i := len(s.Choices); i < len(r.arb.branches); i++ {
-			if b := r.arb.branches[i]; b > res.MaxBranch {
+			b := r.arb.branches[i]
+			if b > res.MaxBranch {
 				res.MaxBranch = b
 			}
-			for alt := r.arb.choices[i] + 1; alt < r.arb.branches[i]; alt++ {
-				sib := s.clone()
-				sib.Choices = append(append([]int(nil), r.arb.choices[:i]...), alt)
-				sibs = append(sibs, sib)
+			nsibs := b - 1 - r.arb.choices[i]
+			if nsibs <= 0 {
+				continue
+			}
+			if por && i < len(r.arb.commuting) && r.arb.commuting[i] {
+				res.PORSkipped += nsibs
+				continue
+			}
+			// One backing array for all of this instant's sibling prefixes:
+			// nsibs slices of i+1 choices each, copied from the resolved
+			// trace once.
+			width := i + 1
+			buf := make([]int, nsibs*width)
+			for alt := r.arb.choices[i] + 1; alt < b; alt++ {
+				cs := buf[:width:width]
+				buf = buf[width:]
+				copy(cs, r.arb.choices[:i])
+				cs[i] = alt
+				sibs = append(sibs, Schedule{Seed: s.Seed, Jitter: s.Jitter, Choices: cs})
 			}
 		}
 		if err != nil {

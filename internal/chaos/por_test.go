@@ -1,0 +1,246 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/sim"
+)
+
+// porWorld builds the synthetic multi-download shape the POR gates run on:
+// n writer events tied at 1ms, each tagged by tag(i), plus an opaque pair
+// at 2ms whose inversion breaks the invariant. The writers' effects are a
+// per-writer flag — genuinely commuting — so every ordering of the first
+// tie reaches the same verdict, and only the opaque second tie decides it.
+func porWorld(n int, tag func(i int) sim.Footprint, check sim.FootprintCheck) RunFunc {
+	return func(r *Run) error {
+		s := sim.New(r.Seed())
+		r.Attach(s)
+		if check != nil {
+			s.SetFootprintCheck(check)
+		}
+		fired := make([]bool, n)
+		for i := 0; i < n; i++ {
+			i := i
+			s.AtFnTagged(time.Millisecond, tag(i), func() { fired[i] = true })
+		}
+		var second string
+		s.At(2*time.Millisecond, func() { second += "a" })
+		s.At(2*time.Millisecond, func() { second += "b" })
+		s.Run()
+		for i, ok := range fired {
+			if !ok {
+				return fmt.Errorf("writer %d dropped", i)
+			}
+		}
+		if second == "ba" {
+			return errors.New("second instant inverted")
+		}
+		return nil
+	}
+}
+
+// explorePair runs the same world reduced and exhaustive.
+func explorePair(seed int64, fn RunFunc) (reduced, exhaustive *Result) {
+	red := &Explorer{Workers: 4}
+	reduced = red.ExploreOrders(Schedule{Seed: seed}, fn)
+	exh := &Explorer{Workers: 4, DisablePOR: true}
+	exhaustive = exh.ExploreOrders(Schedule{Seed: seed}, fn)
+	return reduced, exhaustive
+}
+
+// TestExploreOrdersPORSoundness is the POR soundness gate: partial-order
+// reduction may only skip orderings whose verdict an explored ordering
+// already decides. Reduced and exhaustive exploration of the same world
+// must find the same violations (byte-identical minimized tokens), with
+// reduced never exploring more schedules, and pruning must switch off the
+// moment any candidate in a tie stops being provably independent.
+func TestExploreOrdersPORSoundness(t *testing.T) {
+	// Distinct directories and distinct kinds all pairwise commute.
+	tags := []sim.Footprint{
+		{Kind: sim.FootVFS, Key: "/sdcard/dl-a"},
+		{Kind: sim.FootVFS, Key: "/sdcard/dl-b"},
+		{Kind: sim.FootIntent, Key: "com.store/Done"},
+		{Kind: sim.FootProc, Key: "com.store"},
+	}
+
+	t.Run("CommutingTiePruned", func(t *testing.T) {
+		const n = 3
+		fn := porWorld(n, func(i int) sim.Footprint { return tags[i] }, nil)
+		red, exh := explorePair(5, fn)
+
+		// Exhaustive: 3! orderings of the writer tie x 2 of the opaque pair.
+		if exh.Explored != 12 || exh.Violations != 6 || exh.PORSkipped != 0 {
+			t.Fatalf("exhaustive = %+v, want 12 explored, 6 violations, 0 skipped", exh)
+		}
+		// Reduced: the writer tie fully commutes, so its sibling subtrees
+		// collapse onto the FIFO representative — only the opaque pair
+		// branches. The tie drains through widths 3 then 2, so 2+1 first-
+		// choice siblings are skipped.
+		if red.Explored != 2 || red.Violations != 1 {
+			t.Fatalf("reduced = %+v, want 2 explored, 1 violation", red)
+		}
+		if red.PORSkipped != 3 {
+			t.Errorf("PORSkipped = %d, want 3", red.PORSkipped)
+		}
+		if red.Explored > exh.Explored {
+			t.Errorf("reduced explored %d > exhaustive %d", red.Explored, exh.Explored)
+		}
+		if red.MaxBranch != exh.MaxBranch {
+			t.Errorf("MaxBranch: reduced %d, exhaustive %d", red.MaxBranch, exh.MaxBranch)
+		}
+		// Same violation, byte-identical canonical and minimized tokens.
+		if red.First == nil || exh.First == nil {
+			t.Fatal("a violation went missing")
+		}
+		if rt, et := red.First.Schedule.Token(), exh.First.Schedule.Token(); rt != et {
+			t.Errorf("First tokens diverge: reduced %s, exhaustive %s", rt, et)
+		}
+		redMin := (&Explorer{Workers: 1}).Minimize(red.First.Schedule, fn).Token()
+		exhMin := (&Explorer{Workers: 1, DisablePOR: true}).Minimize(exh.First.Schedule, fn).Token()
+		if redMin != exhMin {
+			t.Errorf("minimized tokens diverge: reduced %s, exhaustive %s", redMin, exhMin)
+		}
+		if _, err := (&Explorer{Workers: 1}).Replay(redMin, fn); err == nil {
+			t.Errorf("minimized token %s no longer violates on replay", redMin)
+		}
+	})
+
+	t.Run("OpaqueCandidateDisablesPruning", func(t *testing.T) {
+		// One untagged writer in the tie: the instant must explore exactly
+		// as without POR. The violation here hides in the writer ordering
+		// itself, so a wrongly pruned sibling would be a missed bug.
+		fn := func(r *Run) error {
+			s := sim.New(r.Seed())
+			r.Attach(s)
+			var order string
+			s.AtFnTagged(time.Millisecond, tags[0], func() { order += "a" })
+			s.At(time.Millisecond, func() { order += "b" })
+			s.Run()
+			if order == "ba" {
+				return errors.New("inverted")
+			}
+			return nil
+		}
+		red, exh := explorePair(5, fn)
+		if red.PORSkipped != 0 {
+			t.Errorf("PORSkipped = %d, want 0 (opaque candidate in the tie)", red.PORSkipped)
+		}
+		if red.Explored != exh.Explored || red.Violations != exh.Violations {
+			t.Errorf("reduced %+v != exhaustive %+v", red, exh)
+		}
+		if red.First == nil || exh.First == nil ||
+			red.First.Schedule.Token() != exh.First.Schedule.Token() {
+			t.Errorf("First diverges: %+v vs %+v", red.First, exh.First)
+		}
+	})
+
+	t.Run("SameResourceConflicts", func(t *testing.T) {
+		// Two tagged events on the same directory do not commute; the tie
+		// must branch.
+		fn := porWorld(2, func(int) sim.Footprint {
+			return sim.Footprint{Kind: sim.FootVFS, Key: "/sdcard/dl"}
+		}, nil)
+		red, exh := explorePair(3, fn)
+		if red.PORSkipped != 0 {
+			t.Errorf("PORSkipped = %d, want 0 (same-key candidates conflict)", red.PORSkipped)
+		}
+		if red.Explored != exh.Explored || red.Violations != exh.Violations {
+			t.Errorf("reduced %+v != exhaustive %+v", red, exh)
+		}
+	})
+
+	t.Run("DispatchCheckDemotes", func(t *testing.T) {
+		// Two events whose tags claim independence but whose effects
+		// actually conflict — the lying-tag case the dispatch-time
+		// FootprintCheck exists for. With no check installed the reduction
+		// trusts the tags and misses the inversion; a check that withdraws
+		// the claim restores exhaustive exploration and finds it.
+		lying := func(check sim.FootprintCheck) RunFunc {
+			return func(r *Run) error {
+				s := sim.New(r.Seed())
+				r.Attach(s)
+				if check != nil {
+					s.SetFootprintCheck(check)
+				}
+				var order string
+				s.AtFnTagged(time.Millisecond, tags[0], func() { order += "a" })
+				s.AtFnTagged(time.Millisecond, tags[1], func() { order += "b" })
+				s.Run()
+				if order == "ba" {
+					return errors.New("inverted")
+				}
+				return nil
+			}
+		}
+		ex := &Explorer{Workers: 1}
+		unchecked := ex.ExploreOrders(Schedule{Seed: 1}, lying(nil))
+		if unchecked.Explored != 1 || unchecked.PORSkipped != 1 || unchecked.Violations != 0 {
+			t.Fatalf("unchecked lying tags = %+v, want the sibling pruned (that is the hazard)", unchecked)
+		}
+		demoted := ex.ExploreOrders(Schedule{Seed: 1}, lying(func(sim.Footprint) bool { return false }))
+		if demoted.PORSkipped != 0 || demoted.Explored != 2 || demoted.Violations != 1 {
+			t.Errorf("demoted = %+v, want full exploration finding the violation", demoted)
+		}
+	})
+}
+
+// TestFrontierStealDeterministicResult pins the work-stealing frontier's
+// contract: the explorer's entire Result — counts, canonical First token,
+// branching stats — is identical at 1 worker and at NumCPU workers, even
+// though stealing reorders which worker runs which schedule. Run under
+// -race this is also the data-race gate for the stealing deques.
+func TestFrontierStealDeterministicResult(t *testing.T) {
+	run := func(workers int) *Result {
+		ex := &Explorer{Workers: workers}
+		return ex.ExploreOrders(Schedule{Seed: 9}, func(r *Run) error {
+			if order := tieWorld(r, 5); order[0] == 'c' {
+				return fmt.Errorf("c fired first in %q", order)
+			}
+			return nil
+		})
+	}
+	serial := run(1)
+	stolen := run(runtime.NumCPU())
+	if serial.Explored != 120 || serial.Violations != 24 {
+		t.Fatalf("serial baseline = %+v, want 120 explored, 24 violations", serial)
+	}
+	if stolen.Explored != serial.Explored ||
+		stolen.Violations != serial.Violations ||
+		stolen.MaxBranch != serial.MaxBranch ||
+		stolen.PORSkipped != serial.PORSkipped ||
+		stolen.Truncated != serial.Truncated {
+		t.Errorf("results diverge:\n 1 worker: %+v\n%d workers: %+v", serial, runtime.NumCPU(), stolen)
+	}
+	if serial.First == nil || stolen.First == nil {
+		t.Fatal("missing First violation")
+	}
+	if st, wt := serial.First.Schedule.Token(), stolen.First.Schedule.Token(); st != wt {
+		t.Errorf("First token: 1 worker %s, %d workers %s", st, runtime.NumCPU(), wt)
+	}
+	if got, want := serial.First.Schedule.Token(), "gia1:9:0s:2"; got != want {
+		t.Errorf("canonical First = %s, want %s", got, want)
+	}
+}
+
+// TestMaxSchedulesTruncatesUnderStealing re-checks the MaxSchedules cap
+// with the stealing frontier saturated: the cap must hold exactly — not
+// approximately — no matter how many workers race to claim queued
+// schedules, and Truncated must report the dropped remainder.
+func TestMaxSchedulesTruncatesUnderStealing(t *testing.T) {
+	const cap = 37 // inside the 120-schedule tree, never on a boundary
+	ex := &Explorer{Workers: runtime.NumCPU(), MaxSchedules: cap}
+	res := ex.ExploreOrders(Schedule{Seed: 1}, func(r *Run) error {
+		tieWorld(r, 5)
+		return nil
+	})
+	if res.Explored != cap {
+		t.Fatalf("explored %d schedules, want exactly %d", res.Explored, cap)
+	}
+	if !res.Truncated {
+		t.Error("Truncated not set on a capped exploration")
+	}
+}

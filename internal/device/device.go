@@ -58,6 +58,31 @@ type Device struct {
 	Market  *market.Mux
 
 	foregroundSvc map[string]bool
+	// fpCheck revalidates event footprints at dispatch time for the chaos
+	// explorer's partial-order reduction (sim.SetFootprintCheck). Built once
+	// at Boot and reinstalled by Reset, since Scheduler.Reset clears hooks.
+	fpCheck sim.FootprintCheck
+	// dataDirs caches the per-package app-private directory paths. It
+	// deliberately survives Reset: the strings depend only on the package
+	// name, and sweeps install the same packages every schedule.
+	dataDirs map[string][3]string
+}
+
+// dataDirsFor returns the app-private tree for pkg (root, cache, files),
+// building the path strings once per package name per device.
+func (d *Device) dataDirsFor(pkg string) [3]string {
+	if dirs, ok := d.dataDirs[pkg]; ok {
+		return dirs
+	}
+	root := "/data/data/" + pkg
+	dirs := [3]string{root, root + "/cache", root + "/files"}
+	if d.dataDirs == nil {
+		d.dataDirs = make(map[string][3]string)
+	}
+	if len(d.dataDirs) < 1024 {
+		d.dataDirs[pkg] = dirs
+	}
+	return dirs
 }
 
 // Boot constructs and wires a device from a profile.
@@ -130,6 +155,21 @@ func Boot(p Profile) (*Device, error) {
 	d.PIA = pia.New(fs, pms)
 
 	pms.Subscribe(d.onPackageEvent)
+	// FootVFS footprints promise a write confined to one directory; whether
+	// that still holds when the event fires (no watcher appeared, no vfs
+	// write fault armed, no capacity-limited mount in reach) only the
+	// filesystem knows. Other kinds carry their whole claim statically.
+	d.fpCheck = func(fp sim.Footprint) bool {
+		if fp.Kind == sim.FootVFS {
+			return fs.WriteQuiet(fp.Key)
+		}
+		return true
+	}
+	sched.SetFootprintCheck(d.fpCheck)
+	// Everything the boot wiring has created so far — the skeleton, the
+	// DM's database directory — is factory image: stamp it so Reset keeps
+	// those directories in place instead of rebuilding them per run.
+	fs.MarkBaseline()
 	return d, nil
 }
 
@@ -168,6 +208,7 @@ func (d *Device) Reset(seed int64) error {
 	d.foregroundSvc = nil
 	// PIA is stateless beyond its fs/pms references; nothing to clear.
 	d.PMS.Subscribe(d.onPackageEvent)
+	d.Sched.SetFootprintCheck(d.fpCheck)
 	return nil
 }
 
@@ -180,11 +221,11 @@ const SystemSender = "android"
 func (d *Device) onPackageEvent(ev pm.Event) {
 	switch ev.Action {
 	case pm.ActionPackageAdded, pm.ActionPackageReplaced:
-		dataDir := "/data/data/" + ev.Package
-		if !d.FS.Exists(dataDir) {
+		dirs := d.dataDirsFor(ev.Package)
+		if !d.FS.Exists(dirs[0]) {
 			// The system creates the app-private tree and hands it to
 			// the app's UID (installd's job on a real device).
-			for _, dir := range []string{dataDir, dataDir + "/cache", dataDir + "/files"} {
+			for _, dir := range dirs {
 				_ = d.FS.MkdirAll(dir, vfs.System, vfs.ModeDir)
 				_ = d.FS.Chown(dir, ev.UID, vfs.System)
 			}
@@ -193,6 +234,12 @@ func (d *Device) onPackageEvent(ev pm.Event) {
 	case pm.ActionPackageRemoved:
 		d.AMS.UnregisterPackage(ev.Package)
 		_ = d.FS.RemoveAll("/data/data/"+ev.Package, vfs.System)
+	}
+	// Skip the broadcast outright when nobody subscribes to this action:
+	// every install fires one, and the Extras map plus delivery machinery
+	// are pure overhead in the (common) receiver-less sweep schedules.
+	if !d.AMS.HasReceiver(ev.Action) {
+		return
 	}
 	_, _ = d.AMS.SendBroadcast(SystemSender, intents.Intent{
 		Action:    ev.Action,

@@ -3,6 +3,7 @@ package installer
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -82,9 +83,15 @@ func (t *ait) fail(err error) {
 // terminal state. The caller drives the device scheduler.
 func (a *App) RequestInstall(target string, done func(Result)) {
 	t := &ait{
-		app:    a,
-		result: Result{Store: a.Prof.Package, Requested: target},
-		done:   done,
+		app: a,
+		// Presized trace: a clean AIT records ~8 steps, and growing the
+		// slice from nil costs four allocations per transaction.
+		result: Result{
+			Store:     a.Prof.Package,
+			Requested: target,
+			Trace:     make([]TraceStep, 0, 12),
+		},
+		done: done,
 	}
 	if done == nil {
 		t.done = func(Result) {}
@@ -169,28 +176,31 @@ func (t *ait) verify(path string) {
 	if reads < 1 {
 		reads = 1
 	}
-	var readOnce func(k int)
-	readOnce = func(k int) {
-		t.app.Dev.Sched.After(t.app.Prof.VerifyReadTime, func() {
-			data, err := t.app.Dev.FS.ReadFileShared(path, t.app.uid)
-			if err != nil {
-				t.fail(fmt.Errorf("installer: verify read: %w", err))
-				return
-			}
-			if k < reads {
-				readOnce(k + 1)
-				return
-			}
-			if apk.ContentDigest(data) != t.listing.ContentHash {
-				t.step(StepTrigger, "verify", "hash mismatch")
-				t.retryOrFail(path)
-				return
-			}
-			t.step(StepTrigger, "verify", fmt.Sprintf("hash ok after %d reads", reads))
-			t.gapThenTrigger(path)
-		})
+	// One closure re-armed per read, not a fresh pair per read: the
+	// verification loop runs for every AIT and its closures dominated the
+	// installer's share of the arena-reuse allocation profile.
+	k := 1
+	var read func()
+	read = func() {
+		data, err := t.app.Dev.FS.ReadFileShared(path, t.app.uid)
+		if err != nil {
+			t.fail(fmt.Errorf("installer: verify read: %w", err))
+			return
+		}
+		if k < reads {
+			k++
+			t.app.Dev.Sched.AfterFn(t.app.Prof.VerifyReadTime, read)
+			return
+		}
+		if apk.ContentDigest(data) != t.listing.ContentHash {
+			t.step(StepTrigger, "verify", "hash mismatch")
+			t.retryOrFail(path)
+			return
+		}
+		t.step(StepTrigger, "verify", "hash ok after "+strconv.Itoa(reads)+" reads")
+		t.gapThenTrigger(path)
 	}
-	readOnce(1)
+	t.app.Dev.Sched.AfterFn(t.app.Prof.VerifyReadTime, read)
 }
 
 // retryOrFail implements the transparent re-download many stores perform
@@ -202,7 +212,7 @@ func (t *ait) retryOrFail(path string) {
 		return
 	}
 	_ = t.app.Dev.FS.Remove(path, t.app.uid)
-	t.step(StepDownload, "redownload", fmt.Sprintf("attempt %d", t.result.Attempts+1))
+	t.step(StepDownload, "redownload", "attempt "+strconv.Itoa(t.result.Attempts+1))
 	t.attemptDownload()
 }
 
@@ -210,7 +220,7 @@ func (t *ait) retryOrFail(path string) {
 // moment the PMS/PIA opens the file.
 func (t *ait) gapThenTrigger(path string) {
 	gap := t.app.Dev.Sched.Uniform(t.app.Prof.GapMin, t.app.Prof.GapMax)
-	t.app.Dev.Sched.After(gap, func() { t.trigger(path) })
+	t.app.Dev.Sched.AfterFn(gap, func() { t.trigger(path) })
 }
 
 func (t *ait) trigger(path string) {
@@ -247,8 +257,8 @@ func (t *ait) trigger(path string) {
 		return
 	}
 	dialog := t.app.Dev.Sched.Uniform(t.app.Prof.DialogMin, t.app.Prof.DialogMax)
-	t.step(StepInstall, "consent", fmt.Sprintf("dialog for %s (%v)", sess.Prompt().Label, dialog))
-	t.app.Dev.Sched.After(dialog, func() {
+	t.step(StepInstall, "consent", "dialog for "+sess.Prompt().Label)
+	t.app.Dev.Sched.AfterFn(dialog, func() {
 		p, err := sess.Approve()
 		t.finishInstall(p, err)
 	})
@@ -260,7 +270,7 @@ func (t *ait) finishInstall(p *pm.Package, err error) {
 		return
 	}
 	t.result.Installed = p
-	t.result.Hijacked = apk.ContentDigest(p.Image().Encode()) != t.listing.ContentHash
+	t.result.Hijacked = p.Image().EncodedDigest() != t.listing.ContentHash
 	detail := "installed " + p.Name()
 	if t.result.Hijacked {
 		detail += " (HIJACKED: content differs from store listing)"

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"github.com/ghost-installer/gia/internal/perm"
 	"github.com/ghost-installer/gia/internal/pm"
 	"github.com/ghost-installer/gia/internal/sig"
+	"github.com/ghost-installer/gia/internal/sim"
 	"github.com/ghost-installer/gia/internal/vfs"
 )
 
@@ -199,11 +201,7 @@ func DeployImage(dev *device.Device, prof Profile, key *sig.Key, image *apk.APK)
 	if err != nil {
 		return nil, fmt.Errorf("installer: deploy %s: %w", prof.Package, err)
 	}
-	store, ok := dev.Market.Server(prof.StoreHost)
-	if !ok {
-		store = market.NewServer(prof.StoreHost)
-		dev.Market.Add(store)
-	}
+	store := dev.Market.Acquire(prof.StoreHost)
 	app := &App{Dev: dev, Prof: prof, Pkg: pkg, Key: key, Store: store, uid: pkg.UID}
 	app.registerComponents()
 	return app, nil
@@ -298,7 +296,15 @@ func (a *App) UID() vfs.UID { return a.uid }
 // stagingName picks the staged file name for a target package.
 func (a *App) stagingName(target string) string {
 	if a.Prof.RandomizeNames {
-		return fmt.Sprintf("%08x.apk", a.Dev.Sched.Uint32())
+		var buf [12]byte
+		const hexdigits = "0123456789abcdef"
+		v := a.Dev.Sched.Uint32()
+		for i := 7; i >= 0; i-- {
+			buf[i] = hexdigits[v&0xf]
+			v >>= 4
+		}
+		copy(buf[8:], ".apk")
+		return string(buf[:])
 	}
 	return target + ".apk"
 }
@@ -316,6 +322,15 @@ func (a *App) selfDownload(url, dest string, mode vfs.Mode, done func(error)) {
 		done(fmt.Errorf("installer: open staging file: %w", err))
 		return
 	}
+	// A non-final chunk only appends to the staged file and schedules the
+	// next chunk strictly later (selfBytesPerSec keeps even a 1-byte chunk
+	// above zero virtual time), so it carries a vfs footprint scoped to the
+	// staging directory for the explorer's partial-order reduction. The
+	// final chunk closes the handle and runs the arbitrary done callback, so
+	// it stays opaque; write-failure reachability (injected faults, a full
+	// mount, a watcher on the staging dir) is revalidated at dispatch time
+	// by the device's sim.FootprintCheck.
+	stagingFP := sim.Footprint{Kind: sim.FootVFS, Key: path.Dir(h.Path())}
 	var writeNext func(rest []byte)
 	writeNext = func(rest []byte) {
 		if len(rest) == 0 {
@@ -326,8 +341,12 @@ func (a *App) selfDownload(url, dest string, mode vfs.Mode, done func(error)) {
 		if len(rest) < n {
 			n = len(rest)
 		}
+		fp := sim.Footprint{}
+		if len(rest) > n {
+			fp = stagingFP
+		}
 		chunkTime := time.Duration(float64(n) / float64(selfBytesPerSec) * float64(time.Second))
-		a.Dev.Sched.After(chunkTime, func() {
+		a.Dev.Sched.AfterFnTagged(chunkTime, fp, func() {
 			if _, err := h.Write(rest[:n]); err != nil {
 				_ = h.Close()
 				done(fmt.Errorf("installer: write chunk: %w", err))
@@ -382,7 +401,7 @@ func (a *App) download(listing market.Listing, done func(path string, err error)
 	dlPath := finalPath
 	if a.Prof.TempNameRename {
 		a.nextDL++
-		dlPath = fmt.Sprintf("%s/.tmp-%d.part", stagingDir, a.nextDL)
+		dlPath = stagingDir + "/.tmp-" + strconv.Itoa(a.nextDL) + ".part"
 	}
 	finish := func(err error) {
 		if err != nil {

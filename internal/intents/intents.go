@@ -128,10 +128,34 @@ type AMS struct {
 	firewall *Firewall
 
 	activities map[string]*activityReg // "pkg/name"
-	receivers  []*receiverReg
+	receivers  []receiverReg
 	screen     Screen
 	stackTop   string // "pkg/name" of the top activity
 	injector   fault.Injector
+
+	// regFree recycles activityReg structs across Reset: sweeps register
+	// the same components every schedule, and the per-registration
+	// allocation showed up in arena-reuse profiles.
+	regFree []*activityReg
+	// keyCache interns "pkg/name" component keys. It deliberately survives
+	// Reset — the keys depend only on the names, which repeat every
+	// schedule. The cap bounds memory against unbounded corpora.
+	keyCache map[[2]string]string
+}
+
+// key returns the interned "pkg/name" map key.
+func (a *AMS) key(pkg, name string) string {
+	if k, ok := a.keyCache[[2]string{pkg, name}]; ok {
+		return k
+	}
+	k := pkg + "/" + name
+	if a.keyCache == nil {
+		a.keyCache = make(map[[2]string]string)
+	}
+	if len(a.keyCache) < 1024 {
+		a.keyCache[[2]string{pkg, name}] = k
+	}
+	return k
 }
 
 // SetFaultInjector installs (or, with nil, removes) the fault hook probed on
@@ -166,8 +190,14 @@ func New(sched *sim.Scheduler, procs *procfs.Table, opts Options) *AMS {
 // registered components, empty screen and back stack, no fault injector,
 // both firewall schemes off with empty history.
 func (a *AMS) Reset() {
-	a.activities = make(map[string]*activityReg)
-	a.receivers = nil
+	for key, reg := range a.activities {
+		if len(a.regFree) < 64 {
+			*reg = activityReg{}
+			a.regFree = append(a.regFree, reg)
+		}
+		delete(a.activities, key)
+	}
+	a.receivers = a.receivers[:0]
 	a.screen = Screen{}
 	a.stackTop = ""
 	a.injector = nil
@@ -179,18 +209,37 @@ func (a *AMS) Firewall() *Firewall { return a.firewall }
 
 // RegisterActivity declares an activity of pkg.
 func (a *AMS) RegisterActivity(pkg, name string, exported bool, guardedBy string, h ActivityHandler) {
-	a.activities[pkg+"/"+name] = &activityReg{
-		pkg: pkg, name: name, exported: exported, guardedBy: guardedBy, handler: h,
+	var reg *activityReg
+	if n := len(a.regFree); n > 0 {
+		reg = a.regFree[n-1]
+		a.regFree[n-1] = nil
+		a.regFree = a.regFree[:n-1]
+	} else {
+		reg = new(activityReg)
 	}
+	*reg = activityReg{pkg: pkg, name: name, exported: exported, guardedBy: guardedBy, handler: h}
+	a.activities[a.key(pkg, name)] = reg
 	a.procs.Register(pkg)
 }
 
 // RegisterReceiver declares a broadcast receiver of pkg for action.
 func (a *AMS) RegisterReceiver(pkg, name, action string, exported bool, guardedBy string, h ReceiverHandler) {
-	a.receivers = append(a.receivers, &receiverReg{
+	a.receivers = append(a.receivers, receiverReg{
 		pkg: pkg, name: name, action: action, exported: exported, guardedBy: guardedBy, handler: h,
 	})
 	a.procs.Register(pkg)
+}
+
+// HasReceiver reports whether any receiver is registered for action.
+// Broadcast senders with per-send setup cost (building an Extras map, say)
+// can use it to skip a delivery that would reach nobody.
+func (a *AMS) HasReceiver(action string) bool {
+	for i := range a.receivers {
+		if a.receivers[i].action == action {
+			return true
+		}
+	}
+	return false
 }
 
 // UnregisterPackage removes every component of pkg (uninstall).
@@ -201,9 +250,9 @@ func (a *AMS) UnregisterPackage(pkg string) {
 		}
 	}
 	kept := a.receivers[:0]
-	for _, r := range a.receivers {
-		if r.pkg != pkg {
-			kept = append(kept, r)
+	for i := range a.receivers {
+		if a.receivers[i].pkg != pkg {
+			kept = append(kept, a.receivers[i])
 		}
 	}
 	a.receivers = kept
@@ -219,7 +268,7 @@ func (a *AMS) Screen() Screen { return a.screen }
 // error reflects resolution and permission failures only — like the real
 // API, the sender learns nothing about what the firewall thought.
 func (a *AMS) StartActivity(senderPkg string, in Intent) error {
-	key := in.TargetPkg + "/" + in.Component
+	key := a.key(in.TargetPkg, in.Component)
 	reg, ok := a.activities[key]
 	if !ok {
 		return fmt.Errorf("%s: %w", key, ErrNoSuchComponent)
@@ -246,16 +295,16 @@ func (a *AMS) StartActivity(senderPkg string, in Intent) error {
 	case fault.KindDelay:
 		latency += act.Delay
 	case fault.KindDuplicate:
-		a.sched.After(latency+act.Delay, func() { a.deliver(reg, in) })
+		a.sched.AfterFn(latency+act.Delay, func() { a.deliver(reg, in) })
 	}
-	a.sched.After(latency, func() {
+	a.sched.AfterFn(latency, func() {
 		a.deliver(reg, in)
 	})
 	return nil
 }
 
 func (a *AMS) deliver(reg *activityReg, in Intent) {
-	key := reg.pkg + "/" + reg.name
+	key := a.key(reg.pkg, reg.name)
 	// singleTop: an already-top activity is not recreated; the intent is
 	// handed to the existing instance (onNewIntent). Anything else spins
 	// up a fresh instance.
@@ -276,7 +325,7 @@ func (a *AMS) deliver(reg *activityReg, in Intent) {
 // ActivityGeneration reports how many times the named activity has been
 // (re)created. Zero means it never launched.
 func (a *AMS) ActivityGeneration(pkg, name string) int {
-	if reg, ok := a.activities[pkg+"/"+name]; ok {
+	if reg, ok := a.activities[a.key(pkg, name)]; ok {
 		return reg.generation
 	}
 	return 0
@@ -288,7 +337,8 @@ func (a *AMS) ActivityGeneration(pkg, name string) int {
 // unguarded receiver's callers — the Xiaomi appstore flaw.
 func (a *AMS) SendBroadcast(senderPkg string, in Intent) (delivered int, err error) {
 	uid, hasUID := a.opts.UIDOf(senderPkg)
-	for _, r := range a.receivers {
+	for i := range a.receivers {
+		r := a.receivers[i] // copy: the closures below outlive this call
 		if r.action != in.Action {
 			continue
 		}
@@ -304,7 +354,6 @@ func (a *AMS) SendBroadcast(senderPkg string, in Intent) (delivered int, err err
 				continue
 			}
 		}
-		r := r
 		inCopy := in
 		latency := a.opts.DeliveryLatency
 		switch act := a.probe(fault.SiteIntentBroadcast, in.Action+"->"+r.pkg); act.Kind {
@@ -316,9 +365,9 @@ func (a *AMS) SendBroadcast(senderPkg string, in Intent) (delivered int, err err
 		case fault.KindDelay:
 			latency += act.Delay
 		case fault.KindDuplicate:
-			a.sched.After(latency+act.Delay, func() { r.handler(inCopy) })
+			a.sched.AfterFn(latency+act.Delay, func() { r.handler(inCopy) })
 		}
-		a.sched.After(latency, func() { r.handler(inCopy) })
+		a.sched.AfterFn(latency, func() { r.handler(inCopy) })
 		delivered++
 	}
 	return delivered, err

