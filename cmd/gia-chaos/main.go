@@ -36,6 +36,13 @@
 // FILE ends in .jsonl. -metrics prints a counter snapshot (schedules
 // explored, violations, scheduler and installer counters) to stderr. Both
 // are byte-identical for any -workers value.
+//
+// Flight recorder: -dump-dir=DIR writes the last -flight-recorder-depth
+// events of every violating run into DIR as Chrome-trace JSON + JSONL,
+// named by the run's replay token (works with or without -trace;
+// -flight-recorder-depth also bounds the -trace tracks to rings). Modes
+// that find violations (orders, sweep, fault, replay) exit 1 — after
+// flushing every telemetry output.
 package main
 
 import (
@@ -66,14 +73,25 @@ type options struct {
 	token     string
 	tracePath string
 	metrics   bool
+	dumpDir   string
+	ringDepth int
 
 	reg *gia.ObsRegistry
 	tr  *gia.ObsTrace
 }
 
-// errViolation marks a replay that reproduced its violation: exit status 1,
-// but only after the trace and metrics outputs are flushed.
+// errViolation marks a run that found (or reproduced) a violation: exit
+// status 1, but only after the trace and metrics outputs are flushed.
 var errViolation = errors.New("invariant violated")
+
+// violationErr maps an exploration result onto the exit contract replay
+// mode already follows: violations exit 1 once telemetry is flushed.
+func violationErr(res *gia.ChaosResult) error {
+	if res.Violations > 0 {
+		return errViolation
+	}
+	return nil
+}
 
 func main() {
 	var o options
@@ -92,6 +110,8 @@ func main() {
 	flag.StringVar(&o.token, "token", "", "replay: schedule token to re-execute")
 	flag.StringVar(&o.tracePath, "trace", "", "export a Chrome trace (or JSONL if the path ends in .jsonl) of every explored run")
 	flag.BoolVar(&o.metrics, "metrics", false, "print a metrics snapshot to stderr")
+	flag.StringVar(&o.dumpDir, "dump-dir", "", "dump each violating run's last events here as Chrome trace + JSONL, named by replay token")
+	flag.IntVar(&o.ringDepth, "flight-recorder-depth", 0, "bound each run's trace track to a ring of this many events (0 = unbounded trace / default dump depth)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		*mode = flag.Arg(0)
@@ -99,11 +119,19 @@ func main() {
 	if flag.NArg() > 1 {
 		o.token = flag.Arg(1)
 	}
-	if o.tracePath != "" {
+	if o.tracePath != "" || o.dumpDir != "" {
+		// -dump-dir without -trace still needs run tracks to dump: keep an
+		// internal flight recorder (ring mode, so memory stays bounded over
+		// arbitrarily long sweeps) and simply never export it whole.
 		o.tr = gia.NewObsTrace()
 		// Virtual-time only: wall spans depend on worker scheduling and
 		// would break byte-for-byte replay comparisons.
 		o.tr.SetWallClock(nil)
+		depth := o.ringDepth
+		if depth <= 0 && o.tracePath == "" {
+			depth = gia.ChaosDefaultDumpDepth
+		}
+		o.tr.SetRingDepth(depth)
 	}
 	if o.metrics {
 		o.reg = gia.NewObsRegistry()
@@ -123,7 +151,7 @@ func main() {
 // writeObservability flushes the trace file and the metrics snapshot; it
 // runs even when the invariant verdict will exit nonzero.
 func writeObservability(o options) error {
-	if o.tr != nil {
+	if o.tr != nil && o.tracePath != "" {
 		f, err := os.Create(o.tracePath)
 		if err != nil {
 			return err
@@ -149,10 +177,13 @@ func writeObservability(o options) error {
 	return nil
 }
 
-// instrument attaches the session's registry and trace to an explorer.
+// instrument attaches the session's registry, trace and flight-recorder
+// dump sink to an explorer.
 func (o options) instrument(ex *gia.ChaosExplorer) *gia.ChaosExplorer {
 	ex.Metrics = o.reg
 	ex.Trace = o.tr
+	ex.DumpDir = o.dumpDir
+	ex.DumpDepth = o.ringDepth
 	return ex
 }
 
@@ -317,8 +348,9 @@ func run(mode string, o options) error {
 				Site: gia.FaultSiteSimEvent, Kind: gia.FaultDelay, SnapTo: o.grid,
 			})
 		}
-		report("orderings", ex.ExploreOrders(gia.ChaosSchedule{Seed: o.seed}, fn), ex, fn)
-		return nil
+		res := ex.ExploreOrders(gia.ChaosSchedule{Seed: o.seed}, fn)
+		report("orderings", res, ex, fn)
+		return violationErr(res)
 	case "sweep":
 		fn, err := invariant(o)
 		if err != nil {
@@ -334,8 +366,9 @@ func run(mode string, o options) error {
 			seeds[i] = o.seed + int64(i)
 		}
 		ex := o.instrument(&gia.ChaosExplorer{Workers: o.workers})
-		report("sweep", ex.Sweep(seeds, jitters, fn), ex, fn)
-		return nil
+		res := ex.Sweep(seeds, jitters, fn)
+		report("sweep", res, ex, fn)
+		return violationErr(res)
 	case "fault":
 		fn, err := invariant(o)
 		if err != nil {
@@ -346,8 +379,9 @@ func run(mode string, o options) error {
 			return err
 		}
 		ex := o.instrument(&gia.ChaosExplorer{Workers: o.workers, Plan: plan})
-		report("fault "+o.faultName, ex.Sweep([]int64{o.seed}, nil, fn), ex, fn)
-		return nil
+		res := ex.Sweep([]int64{o.seed}, nil, fn)
+		report("fault "+o.faultName, res, ex, fn)
+		return violationErr(res)
 	case "replay":
 		if o.token == "" {
 			return fmt.Errorf("replay needs -token")

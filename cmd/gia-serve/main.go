@@ -16,6 +16,18 @@
 // an already-running daemon (used by verify.sh):
 //
 //	gia-serve -smoke http://127.0.0.1:8436
+//
+// Watch mode — polls a running daemon's /slo once per second and prints a
+// one-line fleet summary (tx, rolling error rate, p50/p99, per-shard):
+//
+//	gia-serve -watch http://127.0.0.1:8436
+//
+// The fleet keeps an always-on flight recorder: one bounded ring of trace
+// events per device, sized by -flight-recorder-depth. With -dump-dir set,
+// chaos replay violations, serve transaction errors and failed arena
+// resets each dump their ring tails retroactively as Chrome-trace JSON +
+// JSONL. In loadtest mode, -trace and -metrics export the recorder and
+// the metrics snapshot on exit — flushed on error exits too.
 package main
 
 import (
@@ -40,6 +52,8 @@ func main() {
 		shards      = flag.Int("shards", 4, "goroutine-owned device arena shards")
 		seed        = flag.Int64("seed", 2017, "base seed for per-device RNG streams")
 		idleReclaim = flag.Duration("idle-reclaim", 0, "reclaim devices idle this long to their shard pool (0 disables)")
+		flightDepth = flag.Int("flight-recorder-depth", 0, "per-device flight-recorder ring depth in events (0 = default, negative disables)")
+		dumpDir     = flag.String("dump-dir", "", "dump flight-recorder tails here on replay violations, tx errors and failed arena resets")
 
 		loadtest    = flag.Bool("loadtest", false, "run the built-in open-loop load generator instead of serving")
 		devices     = flag.Int("devices", 1000, "loadtest: concurrent fleet size")
@@ -49,8 +63,11 @@ func main() {
 		attackEvery = flag.Int("attack-every", 0, "loadtest: every Nth arrival runs an attack (0 disables)")
 		store       = flag.String("store", "amazon", "loadtest: store profile for fleet devices")
 		benchJSON   = flag.String("benchjson", "", "loadtest: record the serve entry into this BENCH_scan.json")
+		tracePath   = flag.String("trace", "", "loadtest: export the flight recorder on exit (Chrome JSON, or JSONL if the path ends in .jsonl)")
+		metricsPath = flag.String("metrics", "", "loadtest: write the metrics snapshot to this file on exit (- for stderr)")
 
 		smoke = flag.String("smoke", "", "run the HTTP smoke sequence against a daemon at this URL, then exit")
+		watch = flag.String("watch", "", "poll /slo at this daemon URL once per second and print one-line summaries")
 	)
 	flag.Parse()
 
@@ -62,12 +79,21 @@ func main() {
 		fmt.Println("gia-serve: smoke ok")
 		return
 	}
+	if *watch != "" {
+		if err := runWatch(*watch); err != nil {
+			fmt.Fprintf(os.Stderr, "gia-serve: watch: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	reg := obs.NewRegistry()
 	fleet := serve.NewFleet(serve.Config{
 		Shards:      *shards,
 		Seed:        *seed,
 		IdleReclaim: *idleReclaim,
+		FlightDepth: *flightDepth,
+		DumpDir:     *dumpDir,
 		Registry:    reg,
 	})
 
@@ -82,6 +108,13 @@ func main() {
 			Store:       *store,
 			Registry:    reg,
 		})
+		// Flush telemetry before inspecting the outcome: an errored or
+		// violating run must not drop its trace and metrics.
+		if werr := writeTelemetry(fleet, reg, *tracePath, *metricsPath); werr != nil {
+			fmt.Fprintf(os.Stderr, "gia-serve: %v\n", werr)
+			fleet.Close()
+			os.Exit(1)
+		}
 		fleet.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gia-serve: loadtest: %v\n", err)

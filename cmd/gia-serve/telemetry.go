@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/ghost-installer/gia/internal/obs"
+	"github.com/ghost-installer/gia/internal/serve"
+)
+
+// writeTelemetry flushes the loadtest's -trace and -metrics outputs. It is
+// called before every exit path — RunLoad errors and the nonzero
+// report.Errors exit included — so a failing run never drops its
+// telemetry (that failing run is exactly the one worth inspecting).
+func writeTelemetry(fleet *serve.Fleet, reg *obs.Registry, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		tr := fleet.FlightTrace()
+		if tr == nil {
+			return fmt.Errorf("-trace needs the flight recorder (do not pass a negative -flight-recorder-depth)")
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(tracePath, ".jsonl") {
+			err = tr.WriteJSONL(f)
+		} else {
+			err = tr.WriteChrome(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", tracePath)
+	}
+	if metricsPath != "" {
+		w, ownFile := os.Stderr, false
+		if metricsPath != "-" {
+			f, err := os.Create(metricsPath)
+			if err != nil {
+				return err
+			}
+			w, ownFile = f, true
+		}
+		err := reg.Snapshot().WriteText(w)
+		if ownFile {
+			if cerr := w.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/serve"
+)
+
+// runWatch polls a running daemon's GET /slo once per second and prints a
+// one-line fleet summary per poll until interrupted. A failed poll ends
+// the watch with its error so pointing at a dead daemon exits nonzero.
+func runWatch(url string) error {
+	url = strings.TrimRight(url, "/") + "/slo"
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &http.Client{Timeout: 5 * time.Second}
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		rep, err := pollSLO(client, url)
+		if err != nil {
+			return err
+		}
+		fmt.Println(watchLine(rep))
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+func pollSLO(client *http.Client, url string) (serve.SLOReport, error) {
+	var rep serve.SLOReport
+	resp, err := client.Get(url)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return rep, nil
+}
+
+// watchLine renders one SLO report as the -watch summary line: fleet
+// totals and latency quantiles, then the per-shard rolling error rates.
+func watchLine(rep serve.SLOReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "devices=%d tx=%d err=%d (%.1f%% rolling) p50=%s p99=%s shards=[",
+		rep.Devices, rep.Tx, rep.Errors, rep.ErrRate*100,
+		time.Duration(rep.P50NS), time.Duration(rep.P99NS))
+	for i, s := range rep.Shards {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d/%.1f%%", s.Shard, s.Tx, s.ErrRate*100)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ghost-installer/gia/internal/serve"
+)
+
+func TestWatchLine(t *testing.T) {
+	rep := serve.SLOReport{
+		Devices: 12,
+		Tx:      3456,
+		Errors:  7,
+		ErrRate: 0.004,
+		P50NS:   int64(1200 * time.Microsecond),
+		P99NS:   int64(8400 * time.Microsecond),
+		Shards: []serve.ShardSLOView{
+			{Shard: 0, Tx: 2000, ErrRate: 0.001},
+			{Shard: 1, Tx: 1456, ErrRate: 0.25},
+		},
+	}
+	got := watchLine(rep)
+	want := "devices=12 tx=3456 err=7 (0.4% rolling) p50=1.2ms p99=8.4ms shards=[0:2000/0.1% 1:1456/25.0%]"
+	if got != want {
+		t.Errorf("watchLine:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestWatchLineEmptyFleet(t *testing.T) {
+	got := watchLine(serve.SLOReport{})
+	want := "devices=0 tx=0 err=0 (0.0% rolling) p50=0s p99=0s shards=[]"
+	if got != want {
+		t.Errorf("watchLine:\n got %q\nwant %q", got, want)
+	}
+}

@@ -7,7 +7,10 @@
 // the build on:
 //
 //   - time.Now calls — simulated time comes from the scheduler, wall
-//     time from the injectable obs.Stopwatch;
+//     time from the injectable obs.Stopwatch; a site that legitimately
+//     needs the wall clock (e.g. the serve layer's idle-reclaim
+//     bookkeeping, which never feeds simulation output) carries a
+//     `//gia:wallclock — why` comment on the same line to pass;
 //   - the global math/rand drawing functions (rand.Intn, rand.Float64,
 //     rand.Shuffle, ...) — rand.New(rand.NewSource(seed)) is the only
 //     blessed way to randomness;
@@ -42,6 +45,7 @@ var guardedDirs = []string{
 	"internal/sim",
 	"internal/chaos",
 	"internal/experiment",
+	"internal/serve",
 }
 
 // globalRandFuncs are the math/rand package-level functions that draw
@@ -113,14 +117,32 @@ func goFiles(dir string) ([]string, error) {
 // vetFile parses one source file and runs all three checks over it.
 func vetFile(path string) ([]string, error) {
 	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, path, nil, 0)
+	file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
 	v := &vetter{fset: fset, randPkg: importName(file, "math/rand"), timePkg: importName(file, "time")}
+	v.collectWallclockLines(file)
 	v.collectMapIdents(file)
 	ast.Inspect(file, v.visit)
 	return v.findings, nil
+}
+
+// wallclockGuard is the comment marker acknowledging a deliberate wall
+// clock read. It must sit on the same line as the time.Now call.
+const wallclockGuard = "//gia:wallclock"
+
+// collectWallclockLines records the lines carrying a //gia:wallclock
+// guard comment; time.Now findings on those lines are suppressed.
+func (v *vetter) collectWallclockLines(file *ast.File) {
+	v.wallclockOK = map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, wallclockGuard) {
+				v.wallclockOK[v.fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
 }
 
 // importName returns the identifier the file binds an import path to
@@ -140,11 +162,12 @@ func importName(file *ast.File, path string) string {
 }
 
 type vetter struct {
-	fset     *token.FileSet
-	randPkg  string // identifier math/rand is imported as, "" if absent
-	timePkg  string // identifier time is imported as, "" if absent
-	mapNames map[string]bool
-	findings []string
+	fset        *token.FileSet
+	randPkg     string // identifier math/rand is imported as, "" if absent
+	timePkg     string // identifier time is imported as, "" if absent
+	mapNames    map[string]bool
+	wallclockOK map[int]bool // lines guarded by //gia:wallclock
+	findings    []string
 }
 
 // collectMapIdents records every identifier the file visibly declares
@@ -220,8 +243,9 @@ func (v *vetter) visit(n ast.Node) bool {
 		if !ok || pkg.Obj != nil { // shadowed by a local binding
 			return true
 		}
-		if v.timePkg != "" && pkg.Name == v.timePkg && sel.Sel.Name == "Now" {
-			v.report(n.Pos(), "time.Now: wall clock in a deterministic package (use the scheduler's virtual clock or obs.Stopwatch)")
+		if v.timePkg != "" && pkg.Name == v.timePkg && sel.Sel.Name == "Now" &&
+			!v.wallclockOK[v.fset.Position(n.Pos()).Line] {
+			v.report(n.Pos(), "time.Now: wall clock in a deterministic package (use the scheduler's virtual clock or obs.Stopwatch, or justify with //gia:wallclock)")
 		}
 		if v.randPkg != "" && pkg.Name == v.randPkg && globalRandFuncs[sel.Sel.Name] {
 			v.report(n.Pos(), "rand.%s: process-global rand source (use rand.New(rand.NewSource(seed)))", sel.Sel.Name)

@@ -134,3 +134,33 @@ func TestVetGuardedPackagesClean(t *testing.T) {
 		}
 	}
 }
+
+func TestVetWallclockGuardSuppressesTimeNow(t *testing.T) {
+	findings := vetSource(t, `package p
+import "time"
+func f() int64 { return time.Now().UnixNano() //gia:wallclock — idle-reclaim bookkeeping
+}
+`)
+	if len(findings) != 0 {
+		t.Errorf("guarded time.Now flagged: %v", findings)
+	}
+}
+
+func TestVetWallclockGuardIsLineScoped(t *testing.T) {
+	// A guard on an adjacent line must not leak onto the call's line.
+	findings := vetSource(t, `package p
+import "time"
+//gia:wallclock — wrong line
+func f() time.Time { return time.Now() }
+`)
+	wantFinding(t, findings, "time.Now")
+}
+
+func TestVetWallclockGuardDoesNotCoverRand(t *testing.T) {
+	findings := vetSource(t, `package p
+import "math/rand"
+func f() int { return rand.Intn(10) //gia:wallclock — not a clock
+}
+`)
+	wantFinding(t, findings, "rand.Intn")
+}

@@ -443,6 +443,10 @@ type (
 	FaultKind = fault.Kind
 )
 
+// ChaosDefaultDumpDepth is how many trailing events a violation dump
+// keeps when no explicit flight-recorder depth is configured.
+const ChaosDefaultDumpDepth = chaos.DefaultDumpDepth
+
 // Fault injection sites.
 const (
 	FaultSiteSimEvent        = fault.SiteSimEvent

@@ -32,6 +32,11 @@ type Metrics struct {
 	// ResetFailures counts pooled devices dropped because their in-place
 	// reset errored; each failure also books a miss for the fall-back boot.
 	ResetFailures *obs.Counter
+	// ResetFailureHook, when non-nil, fires with the reset error before
+	// the fall-back boot — the fleet daemon uses it to trigger a
+	// flight-recorder dump and a hub event while the poisoned device's
+	// rings are still intact.
+	ResetFailureHook func(err error)
 	// Clock times resets for ResetNS; nil disables latency recording.
 	Clock obs.Clock
 }
@@ -89,7 +94,8 @@ func (a *Arena) Acquire(seed int64) (*device.Device, error) {
 		if a.met.Clock != nil {
 			start = a.met.Clock()
 		}
-		if err := d.Reset(seed); err == nil {
+		err := d.Reset(seed)
+		if err == nil {
 			a.met.Hits.Inc()
 			a.met.Resets.Inc()
 			if a.met.Clock != nil {
@@ -100,6 +106,9 @@ func (a *Arena) Acquire(seed int64) (*device.Device, error) {
 		// A failed reset poisons the pooled device: drop it and fall
 		// through to a fresh boot.
 		a.met.ResetFailures.Inc()
+		if a.met.ResetFailureHook != nil {
+			a.met.ResetFailureHook(err)
+		}
 	}
 	a.met.Misses.Inc()
 	prof := a.profile

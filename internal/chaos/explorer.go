@@ -2,12 +2,18 @@ package chaos
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"github.com/ghost-installer/gia/internal/obs"
 	"github.com/ghost-installer/gia/internal/par"
 )
+
+// DefaultDumpDepth bounds how many trailing events a violation dump
+// carries per track when Explorer.DumpDepth is unset.
+const DefaultDumpDepth = 128
 
 // Violation is one schedule on which the invariant did not hold.
 type Violation struct {
@@ -70,6 +76,18 @@ type Explorer struct {
 	// The POR soundness gate uses it to diff reduced against exhaustive
 	// exploration; production sweeps leave it false.
 	DisablePOR bool
+	// DumpDir, when non-empty, turns on flight-recorder dumps: every
+	// violating run whose track recorded events gets the last DumpDepth of
+	// them written to DumpDir as Chrome-trace JSON and JSONL, tagged with
+	// the resolved replay token (in the filename, and as a trailing
+	// "chaos.violation" instant carrying token and error). Requires Trace.
+	// Dumps are keyed by token, and run tracks are virtual-only, so the
+	// dump set is byte-identical at any worker count.
+	DumpDir string
+	// DumpDepth bounds the events per dumped track; <= 0 means
+	// DefaultDumpDepth. With Trace in ring mode the ring depth caps it
+	// first.
+	DumpDepth int
 	// WorkerState, when non-nil, is called lazily — at most once per pool
 	// worker over the explorer's lifetime — to build state that worker's
 	// runs share across schedules (typically a device arena, so Boot is a
@@ -130,7 +148,69 @@ func (e *Explorer) Check(s Schedule, fn RunFunc) (Schedule, error) {
 	r := e.prepare(s.clone(), 0)
 	err := runGuarded(r, fn)
 	e.counted(err)
+	e.dumpViolation(r, err)
 	return r.Schedule(), err
+}
+
+// sanitizeToken maps a replay token into a filename-safe form.
+func sanitizeToken(token string) string {
+	out := []byte(token)
+	for i := 0; i < len(out); i++ {
+		c := out[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}
+
+// dumpViolation writes the flight-recorder dump for a violating run: the
+// last DumpDepth events of the run's track, as Chrome-trace JSON and
+// JSONL named by the resolved replay token. Best-effort — a failed write
+// bumps "chaos.dump_errors" instead of failing the exploration (the
+// violation verdict already propagated). No-op unless DumpDir is set, the
+// run violated, and the run has a track.
+func (e *Explorer) dumpViolation(r *Run, err error) {
+	if err == nil || e.DumpDir == "" || r.track == nil {
+		return
+	}
+	token := r.Schedule().Token()
+	// The marker instant rides inside the dump (and any later full-trace
+	// export): the replay token plus what the invariant reported. The
+	// track clock is scheduler-bound, so its timestamp is virtual and
+	// deterministic.
+	r.track.Instant("chaos.violation", token+": "+err.Error())
+	depth := e.DumpDepth
+	if depth <= 0 {
+		depth = DefaultDumpDepth
+	}
+	tracks := []*obs.Track{obs.TailTrack(r.track, depth)}
+	base := filepath.Join(e.DumpDir, "violation-"+sanitizeToken(token))
+	failed := false
+	if f, ferr := os.Create(base + ".trace.json"); ferr != nil {
+		failed = true
+	} else {
+		werr := obs.WriteChromeTracks(f, tracks)
+		if cerr := f.Close(); werr != nil || cerr != nil {
+			failed = true
+		}
+	}
+	if f, ferr := os.Create(base + ".jsonl"); ferr != nil {
+		failed = true
+	} else {
+		werr := obs.WriteJSONLTracks(f, tracks)
+		if cerr := f.Close(); werr != nil || cerr != nil {
+			failed = true
+		}
+	}
+	if failed {
+		e.Metrics.Counter("chaos.dump_errors").Add(1)
+	} else {
+		e.Metrics.Counter("chaos.dumps").Add(1)
+	}
 }
 
 // Replay decodes a token and re-executes its schedule, returning the
@@ -192,6 +272,7 @@ func (e *Explorer) ExploreOrders(base Schedule, fn RunFunc) *Result {
 		r.recordFP = por
 		err := runGuarded(r, fn)
 		e.counted(err)
+		e.dumpViolation(r, err)
 
 		mu.Lock()
 		defer mu.Unlock()
@@ -267,6 +348,7 @@ func (e *Explorer) Sweep(seeds []int64, jitters []time.Duration, fn RunFunc) *Re
 		r := e.prepare(cells[i], worker)
 		err := runGuarded(r, fn)
 		e.counted(err)
+		e.dumpViolation(r, err)
 		return cellResult{sched: trim(r.Schedule()), maxBranch: maxBranch(r.arb.branches), err: err}, nil
 	})
 	for _, o := range outs {

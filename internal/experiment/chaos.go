@@ -80,6 +80,12 @@ func aitRun(prof installer.Profile, strategy attack.Strategy, payload []byte, pa
 		s.Dev.Fuse.SetPatched(true)
 	}
 	s.Instrument(r)
+	// The run's trace lane (when the explorer carries a Trace) gets the
+	// installer's per-step AIT instants and outcome spans, so a violation
+	// dump shows the transaction steps leading up to the failure.
+	if k := r.Track(); k != nil {
+		s.Store.Instrument(nil, k)
+	}
 	atk := attack.NewTOCTOU(s.Mal, attack.ConfigForStore(prof, strategy), s.Target)
 	if err := atk.Launch(); err != nil {
 		return installer.Result{}, fmt.Errorf("launch: %w", err)

@@ -48,6 +48,15 @@ func jstr(s string) string {
 // ("wall clock"), spans as complete ("X") events and instants as "i"
 // events. A nil trace writes an empty, still-loadable file.
 func (t *Trace) WriteChrome(w io.Writer) error {
+	return WriteChromeTracks(w, t.Tracks())
+}
+
+// WriteChromeTracks renders an explicit track list — already in the
+// caller's intended order, normally Trace.Tracks' sorted (domain, name)
+// order — in Chrome trace-event JSON. Flight-recorder dumps use it to
+// export a subset of tracks (the rings involved in a violation) without
+// copying them into a throwaway Trace.
+func WriteChromeTracks(w io.Writer, tracks []*Track) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
 		return err
@@ -64,7 +73,6 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		return err
 	}
 
-	tracks := t.Tracks()
 	domainSeen := map[Domain]bool{}
 	for _, k := range tracks {
 		if !domainSeen[k.domain] {
@@ -125,26 +133,38 @@ type jsonlEvent struct {
 	Instant bool   `json:"instant,omitempty"`
 }
 
+// EventJSONL renders one event in the JSONL export form (no trailing
+// newline) — the unit the streaming trace endpoint emits per line.
+func EventJSONL(d Domain, track string, ev Event) ([]byte, error) {
+	dur := ev.Dur
+	if dur < 0 {
+		dur = 0
+	}
+	return json.Marshal(jsonlEvent{
+		Domain:  d.String(),
+		Track:   track,
+		Name:    ev.Name,
+		AtNS:    int64(ev.Start),
+		DurNS:   int64(dur),
+		Detail:  ev.Detail,
+		Instant: ev.Instant,
+	})
+}
+
 // WriteJSONL renders the trace as one JSON object per line — the
 // machine-diffable stream form of WriteChrome, with the same deterministic
 // ordering. A nil trace writes nothing.
 func (t *Trace) WriteJSONL(w io.Writer) error {
+	return WriteJSONLTracks(w, t.Tracks())
+}
+
+// WriteJSONLTracks renders an explicit track list as JSONL, in the order
+// given (see WriteChromeTracks).
+func WriteJSONLTracks(w io.Writer, tracks []*Track) error {
 	bw := bufio.NewWriter(w)
-	for _, k := range t.Tracks() {
+	for _, k := range tracks {
 		for _, ev := range k.Events() {
-			dur := ev.Dur
-			if dur < 0 {
-				dur = 0
-			}
-			line, err := json.Marshal(jsonlEvent{
-				Domain:  k.domain.String(),
-				Track:   k.name,
-				Name:    ev.Name,
-				AtNS:    int64(ev.Start),
-				DurNS:   int64(dur),
-				Detail:  ev.Detail,
-				Instant: ev.Instant,
-			})
+			line, err := EventJSONL(k.domain, k.name, ev)
 			if err != nil {
 				return err
 			}

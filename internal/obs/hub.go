@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HubEvent is one fleet lifecycle/violation/reclaim notification fanned
+// out to live subscribers (the /events SSE endpoint). Seq is a global
+// publish counter, so a subscriber can detect its own gaps.
+type HubEvent struct {
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Source string `json:"source,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	AtNS   int64  `json:"at_ns"`
+}
+
+// Hub is a fan-out broadcaster built for hot-path publishers. Publish
+// never blocks and takes no hub-wide lock: the subscriber list is an
+// immutable slice behind an atomic pointer (copy-on-write on
+// Subscribe/Unsubscribe, which are rare) and sends are non-blocking — a
+// subscriber that cannot keep up loses events, counted per subscription
+// in Subscription.Dropped, instead of stalling the publisher (a serve
+// transaction path). The nil Hub is a valid disabled hub.
+type Hub struct {
+	subs atomic.Pointer[[]*Subscription]
+	seq  atomic.Uint64
+	mu   sync.Mutex // serializes the copy-on-write writers only
+}
+
+// Subscription is one subscriber's buffered event stream. The tiny
+// per-subscription mutex exists only to order a racing Publish against
+// Unsubscribe's close — it is uncontended and never held across a
+// blocking operation, so publishers stay wait-free in practice.
+type Subscription struct {
+	mu      sync.Mutex
+	closed  bool
+	ch      chan HubEvent
+	dropped atomic.Uint64
+}
+
+// send delivers ev without blocking, dropping it if the buffer is full or
+// the subscription is already closed.
+func (s *Subscription) send(ev HubEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- ev:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// C is the subscriber's receive channel. It is closed only by
+// Hub.Unsubscribe, so ranging over it ends when the caller unsubscribes.
+func (s *Subscription) C() <-chan HubEvent { return s.ch }
+
+// Dropped reports how many events this subscriber lost to a full buffer.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// NewHub builds an empty hub.
+func NewHub() *Hub { return &Hub{} }
+
+// Subscribe registers a new subscriber with the given channel buffer
+// (minimum 1). A nil hub returns nil.
+func (h *Hub) Subscribe(buf int) *Subscription {
+	if h == nil {
+		return nil
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscription{ch: make(chan HubEvent, buf)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cur []*Subscription
+	if p := h.subs.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*Subscription, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = s
+	h.subs.Store(&next)
+	return s
+}
+
+// Unsubscribe removes s and closes its channel. Removing an unknown or
+// already-removed subscription is a no-op; nil-safe in both positions.
+func (h *Hub) Unsubscribe(s *Subscription) {
+	if h == nil || s == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cur []*Subscription
+	if p := h.subs.Load(); p != nil {
+		cur = *p
+	}
+	for i, have := range cur {
+		if have == s {
+			next := make([]*Subscription, 0, len(cur)-1)
+			next = append(next, cur[:i]...)
+			next = append(next, cur[i+1:]...)
+			h.subs.Store(&next)
+			s.mu.Lock()
+			s.closed = true
+			close(s.ch)
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Publish broadcasts one event to every current subscriber without
+// blocking and returns it (Seq assigned). A nil hub returns a zero event.
+func (h *Hub) Publish(kind, source, detail string, at time.Duration) HubEvent {
+	if h == nil {
+		return HubEvent{}
+	}
+	ev := HubEvent{
+		Seq:    h.seq.Add(1),
+		Kind:   kind,
+		Source: source,
+		Detail: detail,
+		AtNS:   int64(at),
+	}
+	p := h.subs.Load()
+	if p == nil {
+		return ev
+	}
+	for _, s := range *p {
+		s.send(ev)
+	}
+	return ev
+}

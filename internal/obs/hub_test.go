@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHubFanOut(t *testing.T) {
+	h := NewHub()
+	a := h.Subscribe(4)
+	b := h.Subscribe(4)
+	ev := h.Publish("device.created", "device/1", "shard 0", time.Second)
+	if ev.Seq != 1 || ev.Kind != "device.created" || ev.AtNS != int64(time.Second) {
+		t.Fatalf("published event: %+v", ev)
+	}
+	for _, sub := range []*Subscription{a, b} {
+		got := <-sub.C()
+		if got != ev {
+			t.Fatalf("subscriber got %+v, want %+v", got, ev)
+		}
+	}
+	h.Unsubscribe(a)
+	if _, ok := <-a.C(); ok {
+		t.Fatal("unsubscribed channel not closed")
+	}
+	h.Publish("device.deleted", "device/1", "", 2*time.Second)
+	if got := <-b.C(); got.Seq != 2 {
+		t.Fatalf("remaining subscriber got seq %d, want 2", got.Seq)
+	}
+	h.Unsubscribe(b)
+	h.Unsubscribe(b) // double-unsubscribe is a no-op
+}
+
+func TestHubSlowSubscriberDropsNotBlocks(t *testing.T) {
+	h := NewHub()
+	s := h.Subscribe(2)
+	for i := 0; i < 5; i++ {
+		h.Publish("tick", "", "", 0)
+	}
+	if s.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", s.Dropped())
+	}
+	if got := <-s.C(); got.Seq != 1 {
+		t.Fatalf("buffered head seq = %d, want 1 (oldest kept)", got.Seq)
+	}
+	h.Unsubscribe(s)
+}
+
+func TestHubNilSafe(t *testing.T) {
+	var h *Hub
+	if h.Subscribe(1) != nil {
+		t.Fatal("nil hub must hand out nil subscriptions")
+	}
+	h.Unsubscribe(nil)
+	if ev := h.Publish("k", "s", "d", 0); ev.Seq != 0 {
+		t.Fatalf("nil hub published %+v", ev)
+	}
+}
+
+// TestHubPublishUnsubscribeRace pins the ordering guarantee between a
+// racing Publish and Unsubscribe: no send on a closed channel, ever. Run
+// under -race this also proves the copy-on-write list is sound.
+func TestHubPublishUnsubscribeRace(t *testing.T) {
+	h := NewHub()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Publish("tick", "", "", 0)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s := h.Subscribe(1)
+		go func() {
+			for range s.C() {
+			}
+		}()
+		h.Unsubscribe(s)
+	}
+	close(stop)
+	wg.Wait()
+}

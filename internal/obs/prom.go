@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for a registry snapshot.
+// Metric names are the registry's dotted names mapped into the Prometheus
+// grammar and prefixed "gia_" — "serve.tx_ns" becomes "gia_serve_tx_ns" —
+// so one fleet daemon scrape target carries every subsystem's counters.
+// Deterministic like every renderer here: the snapshot is already sorted
+// by name, buckets are emitted in layout order, and quantile series use a
+// fixed q list.
+
+// promQuantiles is the fixed quantile set exported per histogram. The
+// estimates come from HistogramSnap.Quantile (bucket interpolation), so
+// they are scrape-time reads, not streaming summaries.
+var promQuantiles = []float64{0.5, 0.9, 0.99}
+
+// promName maps a dotted registry name into the Prometheus metric grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, prefixing "gia_".
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("gia_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format:
+// counters and gauges as single samples, histograms as cumulative
+// _bucket{le=...} series ending at +Inf plus _sum and _count, and an
+// interpolated quantile gauge series per histogram.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", n, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s_quantiles gauge\n", n); err != nil {
+			return err
+		}
+		for _, q := range promQuantiles {
+			if _, err := fmt.Fprintf(w, "%s_quantiles{quantile=\"%g\"} %d\n", n, q, h.Quantile(q)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePromExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.tx.total").Add(7)
+	reg.Gauge("serve.devices").Set(3)
+	h := reg.Histogram("serve.tx_ns", []int64{10, 100})
+	for _, v := range []int64{5, 50, 5000} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE gia_serve_tx_total counter\ngia_serve_tx_total 7\n",
+		"# TYPE gia_serve_devices gauge\ngia_serve_devices 3\n",
+		"# TYPE gia_serve_tx_ns histogram\n",
+		`gia_serve_tx_ns_bucket{le="10"} 1`,
+		`gia_serve_tx_ns_bucket{le="100"} 2`,
+		`gia_serve_tx_ns_bucket{le="+Inf"} 3`,
+		"gia_serve_tx_ns_sum 5055\n",
+		"gia_serve_tx_ns_count 3\n",
+		`gia_serve_tx_ns_quantiles{quantile="0.5"}`,
+		`gia_serve_tx_ns_quantiles{quantile="0.99"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Deterministic render: two snapshots of the same state are identical.
+	var again bytes.Buffer
+	if err := reg.Snapshot().WriteProm(&again); err != nil {
+		t.Fatal(err)
+	}
+	if out != again.String() {
+		t.Error("two prom renders of one registry state differ")
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"serve.tx_ns":        "gia_serve_tx_ns",
+		"arena.reset-ns":     "gia_arena_reset_ns",
+		"shard/0 p99":        "gia_shard_0_p99",
+		"already_legal":      "gia_already_legal",
+		"UPPER.case9":        "gia_UPPER_case9",
+		"weird:{}[]\"chars'": "gia_weird______chars_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -237,18 +237,19 @@ type HistogramSnap struct {
 	Counts []int64
 }
 
-// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
-// inside the bucket containing the target rank. Samples in the overflow
-// bucket are reported as the largest bound — the histogram cannot know
-// how far past it they landed. An empty histogram reports 0.
+// Quantile estimates the q-quantile by linear interpolation inside the
+// bucket containing the target rank. Out-of-range q is clamped to [0, 1]
+// and NaN is treated as 0 (an invalid quantile must not masquerade as the
+// maximum). Samples in the overflow bucket are reported as the largest
+// bound — the histogram cannot know how far past it they landed. An empty
+// histogram reports 0.
 func (h HistogramSnap) Quantile(q float64) int64 {
 	if h.Count == 0 || len(h.Bounds) == 0 {
 		return 0
 	}
-	if q < 0 {
+	if !(q > 0) { // also catches NaN, which fails every comparison
 		q = 0
-	}
-	if q > 1 {
+	} else if q > 1 {
 		q = 1
 	}
 	rank := q * float64(h.Count)
@@ -265,6 +266,11 @@ func (h HistogramSnap) Quantile(q float64) int64 {
 			}
 			hi := h.Bounds[i]
 			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
 			return lo + int64(frac*float64(hi-lo))
 		}
 		cum = next

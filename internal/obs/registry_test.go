@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -191,5 +192,85 @@ func TestHistogramQuantile(t *testing.T) {
 				t.Fatalf("overflow quantile = %d, want 100", got)
 			}
 		}
+	}
+}
+
+// TestQuantileEdgeCases pins the degenerate inputs Quantile must survive:
+// empty histograms, all-overflow mass, exact endpoints and garbage q.
+func TestQuantileEdgeCases(t *testing.T) {
+	overflowOnly := HistogramSnap{
+		Count: 5, Bounds: []int64{10, 100}, Counts: []int64{0, 0, 5},
+	}
+	uniform := HistogramSnap{
+		Count: 10, Bounds: []int64{10, 100}, Counts: []int64{5, 5, 0},
+	}
+	gapped := HistogramSnap{ // empty first bucket, mass in the second
+		Count: 4, Bounds: []int64{10, 100, 1000}, Counts: []int64{0, 4, 0, 0},
+	}
+	cases := []struct {
+		name string
+		h    HistogramSnap
+		q    float64
+		want int64
+	}{
+		{"empty histogram", HistogramSnap{}, 0.5, 0},
+		{"zero-count with bounds", HistogramSnap{Bounds: []int64{10}, Counts: []int64{0, 0}}, 0.5, 0},
+		{"no bounds", HistogramSnap{Count: 3, Counts: []int64{3}}, 0.5, 0},
+		{"all overflow q=0.5", overflowOnly, 0.5, 100},
+		{"all overflow q=0", overflowOnly, 0, 100},
+		{"all overflow q=1", overflowOnly, 1, 100},
+		{"q=0 lands at first bucket floor", uniform, 0, 0},
+		{"q=1 lands at last occupied bound", uniform, 1, 100},
+		{"q below range clamps to 0", uniform, -3, 0},
+		{"q above range clamps to 1", uniform, 7, 100},
+		{"NaN treated as q=0", uniform, math.NaN(), 0},
+		{"NaN on gapped histogram", gapped, math.NaN(), 10},
+		{"q=0 skips empty leading bucket", gapped, 0, 10},
+		{"q=1 gapped", gapped, 1, 100},
+		{"median interpolates", uniform, 0.5, 10},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestRehomeMergesExistingRegistryCounter covers the collision case: the
+// target registry already owns a counter under the name. The private
+// counter's history must merge into it — not shadow it, not vanish.
+func TestRehomeMergesExistingRegistryCounter(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("shared.hits").Add(10) // pre-existing registry history
+
+	private := &Counter{}
+	private.Add(32)
+	Rehome(reg, "shared.hits", &private)
+	if got := reg.Snapshot().Counter("shared.hits"); got != 42 {
+		t.Fatalf("merged counter = %d, want 42 (10 registry + 32 private)", got)
+	}
+	// Both handles now point at the same counter: increments through
+	// either side aggregate.
+	private.Inc()
+	reg.Counter("shared.hits").Inc()
+	if got := reg.Snapshot().Counter("shared.hits"); got != 44 {
+		t.Fatalf("post-merge aggregate = %d, want 44", got)
+	}
+	if private != reg.Counter("shared.hits") {
+		t.Fatal("rehomed handle is not the registry's counter")
+	}
+	// A second component rehoming its own private counter onto the same
+	// name merges again rather than resetting.
+	other := &Counter{}
+	other.Add(6)
+	Rehome(reg, "shared.hits", &other)
+	if got := reg.Snapshot().Counter("shared.hits"); got != 50 {
+		t.Fatalf("second merge = %d, want 50", got)
+	}
+	// Rehoming a nil private counter adopts the registry counter as-is.
+	var fresh *Counter
+	Rehome(reg, "shared.hits", &fresh)
+	if fresh.Value() != 50 {
+		t.Fatalf("nil-source rehome = %d, want 50", fresh.Value())
 	}
 }

@@ -64,9 +64,10 @@ type Event struct {
 // valid disabled trace: VirtualTrack and WallTrack return nil tracks,
 // whose methods are all no-ops. A Trace is safe for concurrent use.
 type Trace struct {
-	mu     sync.Mutex
-	wall   Clock
-	tracks map[trackKey]*Track
+	mu        sync.Mutex
+	wall      Clock
+	ringDepth int
+	tracks    map[trackKey]*Track
 }
 
 type trackKey struct {
@@ -90,6 +91,36 @@ func (t *Trace) SetWallClock(c Clock) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.wall = c
+}
+
+// SetRingDepth turns the trace into a flight recorder: tracks created
+// after the call are bounded rings holding the last n events each, with
+// slot storage preallocated so appends never allocate and overwritten
+// events counted in Track.Dropped. n <= 0 restores unbounded tracks.
+// Existing tracks keep their mode — size the recorder before wiring
+// instrumentation.
+func (t *Trace) SetRingDepth(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	t.ringDepth = n
+}
+
+// Drop removes the named track from the trace, so long-lived processes
+// (the fleet daemon reclaiming devices) do not accumulate dead tracks.
+// Dropping a track that does not exist is a no-op.
+func (t *Trace) Drop(d Domain, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.tracks, trackKey{domain: d, name: name})
 }
 
 // VirtualTrack returns the named virtual-time track, creating it on first
@@ -126,6 +157,13 @@ func (t *Trace) track(d Domain, name string, clock Clock) *Track {
 	k, ok := t.tracks[key]
 	if !ok {
 		k = &Track{domain: d, name: name, clock: clock}
+		if t.ringDepth > 0 {
+			// Ring slots are preallocated here, once, so the append path
+			// is a slot store — zero allocations per event.
+			k.depth = t.ringDepth
+			k.events = make([]Event, t.ringDepth)
+			k.seqs = make([]uint64, t.ringDepth)
+		}
 		t.tracks[key] = k
 	}
 	return k
@@ -155,13 +193,26 @@ func (t *Trace) Tracks() []*Track {
 // Track is one named event lane of a trace (a device, a worker, a chaos
 // run). The nil Track is a valid disabled track. A Track is safe for
 // concurrent use.
+//
+// A track runs in one of two modes, fixed at creation. Unbounded (the
+// default): events accumulate until exported. Ring (Trace.SetRingDepth):
+// events land in a preallocated circular buffer of depth slots, the
+// append path allocates nothing, and once the ring is full each append
+// evicts the oldest event (counted by Dropped). Every append in either
+// mode is assigned a monotonically increasing sequence number, which is
+// what EventsSince pages on and what lets a Span survive — or detect —
+// eviction of its open event.
 type Track struct {
 	domain Domain
 	name   string
+	depth  int // ring capacity; 0 = unbounded
 
-	mu     sync.Mutex
-	clock  Clock
-	events []Event
+	mu      sync.Mutex
+	clock   Clock
+	events  []Event
+	seqs    []uint64 // ring mode: sequence number held by each slot
+	seq     uint64   // next sequence number (== total events appended)
+	dropped uint64   // ring mode: events evicted by overwrite
 }
 
 // Domain reports the track's clock domain.
@@ -199,6 +250,25 @@ func (k *Track) now() time.Duration {
 	return k.clock()
 }
 
+// append records ev and returns its sequence number; k.mu must be held.
+// In ring mode this is a slot store (the event's string fields are header
+// copies into preallocated storage) — no allocation on any append.
+func (k *Track) append(ev Event) uint64 {
+	seq := k.seq
+	if k.depth > 0 {
+		slot := int(seq % uint64(k.depth))
+		if seq >= uint64(k.depth) {
+			k.dropped++
+		}
+		k.events[slot] = ev
+		k.seqs[slot] = seq
+	} else {
+		k.events = append(k.events, ev)
+	}
+	k.seq = seq + 1
+	return seq
+}
+
 // Begin opens a span at the current clock reading and returns its handle.
 // On a nil track the returned zero Span is itself a no-op.
 func (k *Track) Begin(name, detail string) Span {
@@ -207,8 +277,8 @@ func (k *Track) Begin(name, detail string) Span {
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	k.events = append(k.events, Event{Name: name, Detail: detail, Start: k.now(), Dur: -1})
-	return Span{k: k, idx: len(k.events) - 1}
+	seq := k.append(Event{Name: name, Detail: detail, Start: k.now(), Dur: -1})
+	return Span{k: k, seq: seq}
 }
 
 // Instant records a point event at the current clock reading.
@@ -218,7 +288,7 @@ func (k *Track) Instant(name, detail string) {
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	k.events = append(k.events, Event{Name: name, Detail: detail, Start: k.now(), Instant: true})
+	k.append(Event{Name: name, Detail: detail, Start: k.now(), Instant: true})
 }
 
 // InstantAt records a point event with an explicit timestamp. Hooks that
@@ -230,7 +300,7 @@ func (k *Track) InstantAt(at time.Duration, name, detail string) {
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	k.events = append(k.events, Event{Name: name, Detail: detail, Start: at, Instant: true})
+	k.append(Event{Name: name, Detail: detail, Start: at, Instant: true})
 }
 
 // SpanAt records a completed span with explicit timestamps.
@@ -240,25 +310,98 @@ func (k *Track) SpanAt(start, dur time.Duration, name, detail string) {
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	k.events = append(k.events, Event{Name: name, Detail: detail, Start: start, Dur: dur})
+	k.append(Event{Name: name, Detail: detail, Start: start, Dur: dur})
 }
 
-// Events returns a copy of the track's events in recording order.
+// firstLive returns the sequence number of the oldest event still held;
+// k.mu must be held.
+func (k *Track) firstLive() uint64 {
+	if k.depth > 0 && k.seq > uint64(k.depth) {
+		return k.seq - uint64(k.depth)
+	}
+	return 0
+}
+
+// copyRange appends events [from, k.seq) in sequence order to dst; k.mu
+// must be held and from must be >= firstLive.
+func (k *Track) copyRange(dst []Event, from uint64) []Event {
+	if k.depth > 0 {
+		for s := from; s < k.seq; s++ {
+			dst = append(dst, k.events[int(s%uint64(k.depth))])
+		}
+		return dst
+	}
+	return append(dst, k.events[from:]...)
+}
+
+// Events returns a copy of the track's events in recording order (for a
+// ring track, the retained window oldest-first).
 func (k *Track) Events() []Event {
 	if k == nil {
 		return nil
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	return append([]Event(nil), k.events...)
+	from := k.firstLive()
+	return k.copyRange(make([]Event, 0, k.seq-from), from)
+}
+
+// EventsSince returns the events with sequence number >= since that the
+// track still holds, oldest-first, plus the next sequence number to poll
+// from. Streaming consumers (the /devices/{id}/trace?follow=1 handler)
+// call it in a loop: events appended between calls appear exactly once,
+// and events evicted before a slow consumer caught up are skipped (the
+// gap is visible as next - since - len(events) on the previous call).
+func (k *Track) EventsSince(since uint64) ([]Event, uint64) {
+	if k == nil {
+		return nil, 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	from := k.firstLive()
+	if since > from {
+		from = since
+	}
+	if from >= k.seq {
+		return nil, k.seq
+	}
+	return k.copyRange(make([]Event, 0, k.seq-from), from), k.seq
+}
+
+// Dropped reports how many events a ring track has evicted by overwrite
+// (always zero on unbounded and nil tracks).
+func (k *Track) Dropped() uint64 {
+	if k == nil {
+		return 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.dropped
+}
+
+// TailTrack builds an unbounded snapshot track holding k's last n events
+// (all of them when n <= 0 or n exceeds what the track holds) — the shape
+// flight-recorder dumps feed to WriteChromeTracks/WriteJSONLTracks. A nil
+// track yields nil.
+func TailTrack(k *Track, n int) *Track {
+	if k == nil {
+		return nil
+	}
+	evs := k.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return &Track{domain: k.domain, name: k.name, events: evs, seq: uint64(len(evs))}
 }
 
 // Span is an open span handle. The zero Span (from a nil track's Begin)
 // is a no-op. Spans are values: copying one is fine, End is idempotent in
-// effect only if called once — call it exactly once per Begin.
+// effect only if called once — call it exactly once per Begin. On a ring
+// track whose open event has been evicted by newer appends, End quietly
+// does nothing.
 type Span struct {
 	k   *Track
-	idx int
+	seq uint64
 }
 
 // End closes the span at the track clock's current reading.
@@ -272,9 +415,28 @@ func (s Span) EndDetail(detail string) {
 	}
 	s.k.mu.Lock()
 	defer s.k.mu.Unlock()
-	ev := &s.k.events[s.idx]
+	ev := s.k.eventAt(s.seq)
+	if ev == nil {
+		return // evicted from the ring before the span closed
+	}
 	ev.Dur = s.k.now() - ev.Start
 	if detail != "" {
 		ev.Detail = detail
 	}
+}
+
+// eventAt returns the live event holding sequence number seq, or nil if
+// the ring has evicted it; k.mu must be held.
+func (k *Track) eventAt(seq uint64) *Event {
+	if k.depth > 0 {
+		slot := int(seq % uint64(k.depth))
+		if seq >= k.seq || k.seqs[slot] != seq {
+			return nil
+		}
+		return &k.events[slot]
+	}
+	if seq >= uint64(len(k.events)) {
+		return nil
+	}
+	return &k.events[seq]
 }

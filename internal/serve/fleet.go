@@ -38,7 +38,24 @@ type Config struct {
 	// Registry receives the fleet's serve.* and arena.* metrics; nil
 	// disables instrumentation (nil obs hooks are free).
 	Registry *obs.Registry
+	// FlightDepth sizes the per-device flight-recorder rings (events per
+	// track, appended at zero allocations). 0 means the 256-event default;
+	// negative disables the recorder entirely.
+	FlightDepth int
+	// DumpDir, when non-empty, receives flight-recorder dumps: chaos
+	// replay violations, failed arena resets and serve transaction errors
+	// each write the involved rings' tails as Chrome-trace JSON + JSONL.
+	DumpDir string
+	// Clock is the wall timebase for transaction timing and hub event
+	// stamps; nil defaults to a real stopwatch. Tests inject a fake so
+	// reported latencies are deterministic.
+	Clock obs.Clock
 }
+
+// defaultFlightDepth is the per-track ring size when Config.FlightDepth
+// is zero: 256 events comfortably covers a full AIT (~8 step instants +
+// outcome span) for the last ~25 transactions of a device.
+const defaultFlightDepth = 256
 
 // managedDevice is one fleet device. The mutable simulation state (dev,
 // scen, rec, the transaction counters) is owned by the shard goroutine:
@@ -59,6 +76,12 @@ type managedDevice struct {
 	installs int
 	attacks  int
 	hijacks  int
+
+	// ring is the device's flight-recorder lane ("device/<id>", virtual
+	// domain, clocked by the device scheduler). The obs.Track is internally
+	// synchronized, so the HTTP trace/dump readers may touch it off-shard;
+	// nil when the recorder is disabled.
+	ring *obs.Track
 }
 
 // fleetMetrics are the serve.* observability hooks; nil hooks no-op.
@@ -102,6 +125,13 @@ type Fleet struct {
 	reg    *obs.Registry
 	met    fleetMetrics
 	shards []*shard
+	slos   []*shardSLO
+	flight *obs.Trace // ring-mode flight recorder; nil when disabled
+	hub    *obs.Hub
+	clock  obs.Clock
+	// dumpSeq numbers trigger-keyed dump files so concurrent triggers
+	// never collide on a name.
+	dumpSeq atomic.Int64
 
 	mu        sync.Mutex
 	devices   map[string]*managedDevice
@@ -129,10 +159,25 @@ func NewFleet(cfg Config) *Fleet {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 4
 	}
+	if cfg.FlightDepth == 0 {
+		cfg.FlightDepth = defaultFlightDepth
+	}
 	f := &Fleet{
 		cfg:     cfg,
 		reg:     cfg.Registry,
 		devices: make(map[string]*managedDevice),
+		hub:     obs.NewHub(),
+		clock:   cfg.Clock,
+	}
+	if f.clock == nil {
+		f.clock = obs.Stopwatch()
+	}
+	if cfg.FlightDepth > 0 {
+		// The recorder is virtual-domain only (device schedulers clock the
+		// rings), which is what keeps replay-violation dumps deterministic.
+		f.flight = obs.NewTrace()
+		f.flight.SetWallClock(nil)
+		f.flight.SetRingDepth(cfg.FlightDepth)
 	}
 	if cfg.Registry != nil {
 		f.met = instrumentFleet(cfg.Registry)
@@ -143,12 +188,31 @@ func NewFleet(cfg Config) *Fleet {
 	if cfg.Registry != nil {
 		arenaMet = arena.Instrument(cfg.Registry)
 	}
+	// A failed in-place reset is the one corruption signal the arena can
+	// raise: broadcast it and dump every ring before the fall-back boot
+	// papers over the evidence. The hook runs on the shard goroutine that
+	// hit the failure; dumps and hub publishes are both off-shard-safe.
+	arenaMet.ResetFailureHook = func(err error) {
+		f.hub.Publish("arena.reset_failure", "", err.Error(), f.clock())
+		f.dumpAll(fmt.Sprintf("reset-failure-%d", f.dumpSeq.Add(1)))
+	}
 	prof := experiment.ScenarioDeviceProfile(0)
 	f.shards = make([]*shard, cfg.Shards)
+	f.slos = make([]*shardSLO, cfg.Shards)
 	for i := range f.shards {
 		f.shards[i] = newShard(i, prof, arenaMet)
+		f.slos[i] = newShardSLO(i, cfg.Registry)
 	}
-	f.replayEx = &chaos.Explorer{Workers: 1, WorkerState: experiment.ArenaWorkerState(cfg.Registry)}
+	f.replayEx = &chaos.Explorer{
+		Workers:     1,
+		Metrics:     cfg.Registry,
+		WorkerState: experiment.ArenaWorkerState(cfg.Registry),
+		// Replay runs record onto the flight recorder and dump their ring
+		// tail on violation, tagged with the replay token.
+		Trace:     f.flight,
+		DumpDir:   cfg.DumpDir,
+		DumpDepth: cfg.FlightDepth,
+	}
 	if cfg.IdleReclaim > 0 {
 		tick := cfg.ReclaimTick
 		if tick <= 0 {
@@ -223,10 +287,10 @@ func (f *Fleet) CreateDevice(req CreateDeviceRequest) (DeviceInfo, error) {
 		store:    store,
 		prof:     prof,
 		patched:  req.Patched,
-		created:  time.Now(),
+		created:  time.Now(), //gia:wallclock — API-facing creation stamp
 	}
 	f.mu.Unlock()
-	d.lastUsed.Store(time.Now().UnixNano())
+	d.lastUsed.Store(time.Now().UnixNano()) //gia:wallclock — idle-reclaim bookkeeping
 
 	payload := []byte("genuine")
 	if req.PayloadBytes > 0 {
@@ -261,6 +325,13 @@ func (f *Fleet) CreateDevice(req CreateDeviceRequest) (DeviceInfo, error) {
 			rec.WatchPackages(dev.PMS)
 			d.rec = rec
 		}
+		if f.flight != nil {
+			// The device's ring: scheduler-clocked, fed the installer's
+			// per-step AIT instants and outcome spans from here on.
+			d.ring = f.flight.VirtualTrack("device/" + d.id)
+			d.ring.SetClock(dev.Sched.Now)
+		}
+		scen.Store.Instrument(f.reg, d.ring)
 		d.dev, d.scen = dev, scen
 		info = d.info()
 	})
@@ -273,6 +344,7 @@ func (f *Fleet) CreateDevice(req CreateDeviceRequest) (DeviceInfo, error) {
 	f.mu.Unlock()
 	f.met.created.Inc()
 	f.met.active.Add(1)
+	f.hub.Publish("device.created", d.id, store, f.clock())
 	return info, nil
 }
 
@@ -355,17 +427,21 @@ func (f *Fleet) DeleteDevice(id string) error {
 			d.rec = nil
 		}
 		d.shardRef.release(d.dev)
-		d.dev, d.scen = nil, nil
+		d.dev, d.scen, d.ring = nil, nil, nil
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	// Drop the flight-recorder lane with the device, or a long-lived
+	// daemon leaks one ring per reclaimed device.
+	f.flight.Drop(obs.DomainVirtual, "device/"+id)
 	f.mu.Lock()
 	delete(f.devices, id)
 	f.mu.Unlock()
 	f.met.reclaimed.Inc()
 	f.met.active.Add(-1)
+	f.hub.Publish("device.reclaimed", id, "", f.clock())
 	return nil
 }
 
@@ -374,8 +450,8 @@ func (f *Fleet) DeleteDevice(id string) error {
 func (f *Fleet) Install(id string, req InstallRequest) (InstallResult, error) {
 	var out InstallResult
 	err := f.withDevice(id, func(d *managedDevice) error {
-		start := time.Now()
-		d.lastUsed.Store(start.UnixNano())
+		start := f.clock()
+		d.lastUsed.Store(time.Now().UnixNano()) //gia:wallclock — idle-reclaim bookkeeping
 		d.installs++
 		pkg := fmt.Sprintf("com.fleet.%s.app%05d", d.id, d.installs)
 		payload := []byte(pkg)
@@ -394,7 +470,7 @@ func (f *Fleet) Install(id string, req InstallRequest) (InstallResult, error) {
 			Hijacked:  res.Hijacked,
 			Attempts:  res.Attempts,
 			VirtualMs: int64(d.dev.Sched.Now() / time.Millisecond),
-			WallNS:    time.Since(start).Nanoseconds(),
+			WallNS:    int64(f.clock() - start),
 		}
 		switch {
 		case !completed:
@@ -412,10 +488,26 @@ func (f *Fleet) Install(id string, req InstallRequest) (InstallResult, error) {
 		default:
 			f.met.installsFailed.Inc()
 		}
-		f.met.txNS.Observe(out.WallNS)
+		f.finishTx(d, "install "+pkg, out.WallNS, out.Err)
 		return nil
 	})
 	return out, err
+}
+
+// finishTx books one transaction's SLO outcome and, when it errored,
+// broadcasts a tx.error hub event and dumps the device's ring tail.
+// Shard-goroutine only (SLO state and the hub tolerate any goroutine, but
+// the ring read must not race the transaction that just wrote it).
+func (f *Fleet) finishTx(d *managedDevice, what string, wallNS int64, errText string) {
+	f.met.txNS.Observe(wallNS)
+	f.slos[d.shardRef.id].record(wallNS, errText != "")
+	if errText == "" {
+		return
+	}
+	f.hub.Publish("tx.error", d.id, what+": "+errText, f.clock())
+	if d.ring != nil {
+		f.dumpTracks(fmt.Sprintf("txerror-%s-%d", d.id, f.dumpSeq.Add(1)), []*obs.Track{d.ring})
+	}
 }
 
 // Attack launches a TOCTOU strategy against the device's published target
@@ -427,8 +519,8 @@ func (f *Fleet) Attack(id string, req AttackRequest) (AttackResult, error) {
 	}
 	var out AttackResult
 	err = f.withDevice(id, func(d *managedDevice) error {
-		start := time.Now()
-		d.lastUsed.Store(start.UnixNano())
+		start := f.clock()
+		d.lastUsed.Store(time.Now().UnixNano()) //gia:wallclock — idle-reclaim bookkeeping
 		d.attacks++
 		atk := attack.NewTOCTOU(d.scen.Mal, attack.ConfigForStore(d.prof, strat), d.scen.Target)
 		if err := atk.Launch(); err != nil {
@@ -444,7 +536,7 @@ func (f *Fleet) Attack(id string, req AttackRequest) (AttackResult, error) {
 			Attempts:     res.Attempts,
 			Replacements: len(atk.Replacements()),
 			VirtualMs:    int64(d.dev.Sched.Now() / time.Millisecond),
-			WallNS:       time.Since(start).Nanoseconds(),
+			WallNS:       int64(f.clock() - start),
 		}
 		switch {
 		case !completed:
@@ -457,7 +549,7 @@ func (f *Fleet) Attack(id string, req AttackRequest) (AttackResult, error) {
 			f.met.attacksHijacked.Inc()
 		}
 		f.met.attacks.Inc()
-		f.met.txNS.Observe(out.WallNS)
+		f.finishTx(d, "attack "+strat.String(), out.WallNS, out.Err)
 		return nil
 	})
 	return out, err
@@ -504,7 +596,8 @@ func (f *Fleet) Timeline(id string) ([]TimelineEntry, error) {
 // on its own single-threaded explorer (not a fleet device: replays carry
 // fault plans and arbiter choices that must not leak into live devices).
 func (f *Fleet) Replay(req ReplayRequest) (ReplayResult, error) {
-	if _, err := chaos.ParseToken(req.Token); err != nil {
+	parsed, err := chaos.ParseToken(req.Token)
+	if err != nil {
 		return ReplayResult{}, badRequestf("parse token: %v", err)
 	}
 	_, prof, err := profileFor(req.Store)
@@ -522,6 +615,10 @@ func (f *Fleet) Replay(req ReplayRequest) (ReplayResult, error) {
 	f.replayMu.Lock()
 	defer f.replayMu.Unlock()
 	resolved, rerr := f.replayEx.Replay(req.Token, experiment.HijackRunFunc(prof, strat))
+	// The replay's trace lane served its purpose (a violation already
+	// dumped its tail, keyed by token); drop it so repeated replays do not
+	// accumulate rings.
+	f.flight.Drop(obs.DomainVirtual, "run/"+parsed.Token())
 	out := ReplayResult{Token: req.Token, Resolved: resolved.Token(), Violated: rerr != nil}
 	if rerr != nil {
 		out.Detail = rerr.Error()
@@ -529,6 +626,7 @@ func (f *Fleet) Replay(req ReplayRequest) (ReplayResult, error) {
 	f.met.replays.Inc()
 	if rerr != nil {
 		f.met.replayViolations.Inc()
+		f.hub.Publish("replay.violation", resolved.Token(), out.Detail, f.clock())
 	}
 	return out, nil
 }
@@ -550,7 +648,7 @@ func (f *Fleet) reclaimLoop(tick time.Duration) {
 }
 
 func (f *Fleet) reclaimIdle() {
-	cutoff := time.Now().Add(-f.cfg.IdleReclaim).UnixNano()
+	cutoff := time.Now().Add(-f.cfg.IdleReclaim).UnixNano() //gia:wallclock — idle-reclaim bookkeeping
 	f.mu.Lock()
 	var stale []string
 	for id, d := range f.devices {
@@ -562,6 +660,7 @@ func (f *Fleet) reclaimIdle() {
 	for _, id := range stale {
 		if err := f.DeleteDevice(id); err == nil {
 			f.met.idleReclaims.Inc()
+			f.hub.Publish("device.idle_reclaim", id, "", f.clock())
 		}
 	}
 }

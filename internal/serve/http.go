@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"github.com/ghost-installer/gia/internal/obs"
 )
@@ -20,14 +21,42 @@ import (
 //	POST   /devices/{id}/attack   drive one AIT under a GIA strategy
 //	GET    /devices/{id}/timeline recorded device timeline
 //	POST   /replay                run a chaos replay token
-//	GET    /metrics               internal/obs text snapshot
+//	GET    /metrics               internal/obs text snapshot (?format=prom
+//	                              for Prometheus exposition)
+//	GET    /devices/{id}/trace    flight-recorder ring as JSONL
+//	                              (?follow=1 streams over chunked HTTP)
+//	GET    /events                fleet lifecycle/violation events (SSE)
+//	GET    /slo                   per-shard SLO aggregation (JSON)
 //	GET    /healthz               liveness probe
+//
+// The telemetry routes are capability-gated: a Service that also
+// implements FlightSource/EventSource/SLOSource (the Fleet does) gets
+// them; a bare Service answers 404 there.
 type handler struct {
 	svc      Service
 	reg      *obs.Registry
 	requests *obs.Counter
 	errors   *obs.Counter
 }
+
+// FlightSource is the capability behind GET /devices/{id}/trace.
+type FlightSource interface {
+	DeviceTrack(id string) (*obs.Track, error)
+}
+
+// EventSource is the capability behind GET /events.
+type EventSource interface {
+	EventHub() *obs.Hub
+}
+
+// SLOSource is the capability behind GET /slo (and the -watch summary).
+type SLOSource interface {
+	SLO() SLOReport
+}
+
+// tracePollInterval paces the ?follow=1 ring poll: low enough to feel
+// live, high enough that an idle follower costs nothing measurable.
+const tracePollInterval = 100 * time.Millisecond
 
 // NewHandler builds the HTTP layer over svc. reg is rendered by
 // GET /metrics and receives the serve.http.* counters; nil disables both.
@@ -48,6 +77,9 @@ func NewHandler(svc Service, reg *obs.Registry) http.Handler {
 	mux.HandleFunc("GET /devices/{id}/timeline", h.timeline)
 	mux.HandleFunc("POST /replay", h.replay)
 	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc("GET /devices/{id}/trace", h.deviceTrace)
+	mux.HandleFunc("GET /events", h.events)
+	mux.HandleFunc("GET /slo", h.slo)
 	mux.HandleFunc("GET /healthz", h.healthz)
 	return h.count(mux)
 }
@@ -195,8 +227,114 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "metrics disabled", http.StatusNotFound)
 		return
 	}
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = h.reg.Snapshot().WriteProm(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_ = h.reg.Snapshot().WriteText(w)
+}
+
+// deviceTrace serves the device's flight-recorder ring as JSONL. With
+// ?follow=1 the response streams over chunked HTTP: the handler pages the
+// ring with EventsSince, flushing new events until the client goes away
+// or the device is reclaimed.
+func (h *handler) deviceTrace(w http.ResponseWriter, r *http.Request) {
+	fs, ok := h.svc.(FlightSource)
+	if !ok {
+		http.Error(w, "flight recorder unavailable", http.StatusNotFound)
+		return
+	}
+	id := r.PathValue("id")
+	k, err := fs.DeviceTrack(id)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	follow := r.URL.Query().Get("follow") == "1"
+	flusher, canFlush := w.(http.Flusher)
+	var since uint64
+	for {
+		evs, next := k.EventsSince(since)
+		since = next
+		for _, ev := range evs {
+			line, err := obs.EventJSONL(k.Domain(), k.Name(), ev)
+			if err != nil {
+				return
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+		}
+		if !follow {
+			return
+		}
+		if canFlush {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(tracePollInterval):
+		}
+		// A reclaimed device ends the stream (its ring was dropped).
+		if _, err := fs.DeviceTrack(id); err != nil {
+			return
+		}
+	}
+}
+
+// events serves the fleet hub as Server-Sent Events, one `data:` line of
+// HubEvent JSON per event. Slow consumers drop events rather than stall
+// the fleet (the hub's non-blocking contract).
+func (h *handler) events(w http.ResponseWriter, r *http.Request) {
+	es, ok := h.svc.(EventSource)
+	if !ok || es.EventHub() == nil {
+		http.Error(w, "event stream unavailable", http.StatusNotFound)
+		return
+	}
+	hub := es.EventHub()
+	sub := hub.Subscribe(64)
+	defer hub.Unsubscribe(sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	if canFlush {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, b); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// slo serves the per-shard SLO aggregation.
+func (h *handler) slo(w http.ResponseWriter, r *http.Request) {
+	src, ok := h.svc.(SLOSource)
+	if !ok {
+		http.Error(w, "slo unavailable", http.StatusNotFound)
+		return
+	}
+	h.writeJSON(w, http.StatusOK, src.SLO())
 }
 
 func (h *handler) healthz(w http.ResponseWriter, r *http.Request) {

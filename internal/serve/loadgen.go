@@ -111,12 +111,12 @@ func RunLoad(svc Service, cfg LoadConfig) (LoadReport, error) {
 		slotLocks = make([]sync.Mutex, cfg.Devices)
 	)
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
-	start := time.Now()
+	start := time.Now() //gia:wallclock — open-loop arrival pacing is real time by design
 	deadline := start.Add(cfg.Duration)
 	next := start
 	rng := uint64(cfg.Seed)*0x9E3779B97F4A7C15 + 0x1234567
 	arrivals := int64(0)
-	for time.Now().Before(deadline) {
+	for time.Now().Before(deadline) { //gia:wallclock — open-loop arrival pacing
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}

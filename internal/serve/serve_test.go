@@ -192,8 +192,8 @@ func TestIdleReclaimLoop(t *testing.T) {
 	if _, err := f.CreateDevice(CreateDeviceRequest{}); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	deadline := time.Now().Add(10 * time.Second) //gia:wallclock — test poll deadline
+	for time.Now().Before(deadline) {            //gia:wallclock — test poll deadline
 		if len(f.Devices()) == 0 {
 			break
 		}

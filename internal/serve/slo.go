@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ghost-installer/gia/internal/obs"
+)
+
+// sloWindow is the rolling window (in transactions) the per-shard error
+// rate is computed over.
+const sloWindow = 256
+
+// shardSLO aggregates one shard's transaction SLO signals: an all-time
+// latency histogram (registered as serve.shard<k>.tx_ns, so /metrics and
+// the Prometheus exposition carry its buckets and quantiles) plus a
+// rolling error-rate window. Records come from shard-goroutine closures,
+// reads from HTTP goroutines; the mutex is uncontended in practice.
+type shardSLO struct {
+	id          int
+	hist        *obs.Histogram
+	errPermille *obs.Gauge
+
+	mu      sync.Mutex
+	window  [sloWindow]bool // true = errored transaction
+	total   int64           // all-time transactions
+	errs    int64           // all-time errors
+	winErrs int             // errors inside the current window
+}
+
+// shardHistName names shard k's latency histogram in the registry.
+func shardHistName(id int) string { return fmt.Sprintf("serve.shard%d.tx_ns", id) }
+
+func newShardSLO(id int, reg *obs.Registry) *shardSLO {
+	return &shardSLO{
+		id:          id,
+		hist:        reg.Histogram(shardHistName(id), obs.LatencyBuckets()),
+		errPermille: reg.Gauge(fmt.Sprintf("serve.shard%d.err_permille", id)),
+	}
+}
+
+// record books one transaction outcome into the shard's SLO state.
+func (s *shardSLO) record(durNS int64, failed bool) {
+	s.hist.Observe(durNS)
+	s.mu.Lock()
+	slot := int(s.total % sloWindow)
+	if s.total >= sloWindow && s.window[slot] {
+		s.winErrs--
+	}
+	s.window[slot] = failed
+	if failed {
+		s.winErrs++
+		s.errs++
+	}
+	s.total++
+	n := s.total
+	if n > sloWindow {
+		n = sloWindow
+	}
+	permille := int64(s.winErrs) * 1000 / n
+	s.mu.Unlock()
+	s.errPermille.Set(permille)
+}
+
+// read returns (all-time tx, all-time errors, window errors, window size).
+func (s *shardSLO) read() (total, errs int64, winErrs, winN int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.total
+	if n > sloWindow {
+		n = sloWindow
+	}
+	return s.total, s.errs, s.winErrs, int(n)
+}
+
+// ShardSLOView is one shard's row of the SLO report.
+type ShardSLOView struct {
+	Shard  int   `json:"shard"`
+	Tx     int64 `json:"tx"`
+	Errors int64 `json:"errors"`
+	// ErrRate is the rolling error rate over the shard's last sloWindow
+	// transactions (0..1).
+	ErrRate float64 `json:"err_rate"`
+	P50NS   int64   `json:"p50_ns"`
+	P99NS   int64   `json:"p99_ns"`
+}
+
+// SLOReport is the fleet-wide SLO aggregation served by GET /slo and the
+// gia-serve -watch summary. Fleet quantiles come from serve.tx_ns, shard
+// quantiles from serve.shard<k>.tx_ns.
+type SLOReport struct {
+	Devices int64          `json:"devices"`
+	Tx      int64          `json:"tx"`
+	Errors  int64          `json:"errors"`
+	ErrRate float64        `json:"err_rate"`
+	P50NS   int64          `json:"p50_ns"`
+	P99NS   int64          `json:"p99_ns"`
+	Shards  []ShardSLOView `json:"shards"`
+}
+
+// SLO builds the fleet's current SLO report.
+func (f *Fleet) SLO() SLOReport {
+	snap := f.reg.Snapshot()
+	quantiles := func(name string) (p50, p99 int64) {
+		for _, h := range snap.Histograms {
+			if h.Name == name {
+				return h.Quantile(0.5), h.Quantile(0.99)
+			}
+		}
+		return 0, 0
+	}
+	rep := SLOReport{Devices: snap.Gauge("serve.devices.active")}
+	rep.P50NS, rep.P99NS = quantiles("serve.tx_ns")
+	var winErrs, winN int
+	for _, s := range f.slos {
+		total, errs, we, wn := s.read()
+		row := ShardSLOView{Shard: s.id, Tx: total, Errors: errs}
+		if wn > 0 {
+			row.ErrRate = float64(we) / float64(wn)
+		}
+		row.P50NS, row.P99NS = quantiles(shardHistName(s.id))
+		rep.Shards = append(rep.Shards, row)
+		rep.Tx += total
+		rep.Errors += errs
+		winErrs += we
+		winN += wn
+	}
+	if winN > 0 {
+		rep.ErrRate = float64(winErrs) / float64(winN)
+	}
+	return rep
+}

@@ -16,9 +16,11 @@ fi
 echo "== go vet ./... =="
 go vet ./...
 
-echo "== gia-vet (determinism lint: sim, chaos, experiment) =="
+echo "== gia-vet (determinism lint: sim, chaos, experiment, serve) =="
 # The custom linter forbids time.Now, the global math/rand source and
-# map-iteration-ordered output in the deterministic packages.
+# map-iteration-ordered output in the deterministic packages. In
+# internal/serve every wall-clock read must carry a //gia:wallclock
+# justification so nothing unguarded leaks into telemetry output.
 go run ./cmd/gia-vet
 
 echo "== go build ./... =="
@@ -43,6 +45,9 @@ echo "== alloc budgets (non-race) =="
 # which is what keeps the analysis budgets intact with hooks compiled in.
 go test -run 'AllocBudget' -count=1 ./internal/analysis
 go test -run '^TestDisabledHooksZeroAlloc$' -count=1 ./internal/obs
+# Flight-recorder rings must append without allocating: the recorder is
+# always on in gia-serve, so any per-event allocation is a fleet-wide tax.
+go test -run '^TestRingAppendZeroAlloc$' -count=1 ./internal/obs
 # The simulator hot path (schedule+dispatch through the pooled timer
 # wheel) must stay allocation-free, and one full AIT schedule on a warm
 # arena device must stay within its pinned object budget.
@@ -72,6 +77,10 @@ echo "== trace/metrics parity across worker counts =="
 # A virtual-only trace, its JSONL export and the metrics snapshot must be
 # byte-identical at 1 worker and at NumCPU workers.
 go test -count=1 -run '^TestTraceParityAcrossWorkers$' ./internal/chaos
+# Flight-recorder determinism: the violation dumps (Chrome trace + JSONL,
+# keyed by replay token) for the golden TOCTOU fault workload must be
+# byte-identical at 1 worker and at NumCPU workers.
+go test -count=1 -run '^TestFlightDumpParityAcrossWorkers$' ./internal/experiment
 
 echo "== POR soundness + stealing determinism (race-enabled) =="
 # Partial-order reduction may only prune orderings an explored ordering
